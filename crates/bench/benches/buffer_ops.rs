@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the four buffer designs' core operations.
+//!
+//! These quantify the software cost of the DAMQ's linked-list management
+//! relative to the simpler designs (in the chip this is the area/control
+//! trade-off of paper §3.2.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use damq_core::{BufferConfig, BufferKind, NodeId, OutputPort, Packet};
+
+fn packet(len: usize) -> Packet {
+    Packet::builder(NodeId::new(0), NodeId::new(1))
+        .length_bytes(len)
+        .build()
+}
+
+/// Fill-then-drain cycles: 4 single-slot packets in, 4 out.
+fn bench_fill_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fill_drain_4x1slot");
+    for kind in BufferKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let mut buf = BufferConfig::new(4, 4).build(kind).unwrap();
+            b.iter(|| {
+                for o in 0..4 {
+                    buf.try_enqueue(OutputPort::new(o), black_box(packet(8)))
+                        .unwrap();
+                }
+                for o in 0..4 {
+                    black_box(buf.dequeue(OutputPort::new(o)).unwrap());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Variable-length packets exercising multi-slot allocation (DAMQ's linked
+/// lists vs FIFO's ring).
+fn bench_variable_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fill_drain_variable_length");
+    for kind in [BufferKind::Fifo, BufferKind::Damq] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let mut buf = BufferConfig::new(4, 12).build(kind).unwrap();
+            b.iter(|| {
+                // 4+2+1 slots in, then drained (FIFO drains head output).
+                buf.try_enqueue(OutputPort::new(0), black_box(packet(32)))
+                    .unwrap();
+                buf.try_enqueue(OutputPort::new(1), black_box(packet(16)))
+                    .unwrap();
+                buf.try_enqueue(OutputPort::new(2), black_box(packet(8)))
+                    .unwrap();
+                black_box(buf.dequeue(OutputPort::new(0)).unwrap());
+                black_box(buf.dequeue(OutputPort::new(1)).unwrap());
+                black_box(buf.dequeue(OutputPort::new(2)).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The hot query of arbitration: queue_len across all outputs.
+fn bench_queue_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eligible_output_scan");
+    for kind in BufferKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let mut buf = BufferConfig::new(4, 8).build(kind).unwrap();
+            for o in 0..4 {
+                buf.try_enqueue(OutputPort::new(o), packet(8)).unwrap();
+            }
+            b.iter(|| {
+                let mut total = 0;
+                for o in 0..4 {
+                    total += black_box(&buf).queue_len(OutputPort::new(o));
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fill_drain,
+    bench_variable_length,
+    bench_queue_scan
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! **Extension**: bursty sources.
+//!
+//! The paper's traffic is Bernoulli — every cycle independent. Real
+//! processors emit *bursts* (cache-line sequences, message trains). Since
+//! saturation throughput is a mean-rate property, burstiness shows up not
+//! at the knee but in the **latency distribution**: this harness keeps the
+//! mean load fixed and clumps it into dense on/off bursts (12-cycle
+//! bursts, 30% duty — 3.3× the mean rate while ON), then compares means
+//! and p99 tails across the designs.
+
+use damq_bench::render_table;
+use damq_core::BufferKind;
+use damq_net::{measure, ArrivalProcess, NetworkConfig};
+use damq_switch::FlowControl;
+
+const SMOOTH: ArrivalProcess = ArrivalProcess::Bernoulli;
+const BURSTY: ArrivalProcess = ArrivalProcess::OnOff {
+    mean_burst: 12.0,
+    duty: 0.3,
+};
+
+fn main() {
+    println!("Bursty sources: same mean load, clumped into on/off bursts");
+    println!("(64x64 Omega, blocking, 4 slots; bursty = 12-cycle bursts at 30% duty)");
+    println!();
+
+    let base = NetworkConfig::new(64, 4)
+        .slots_per_buffer(4)
+        .flow_control(FlowControl::Blocking);
+
+    let loads = [0.10, 0.20, 0.28];
+    let mut header: Vec<String> = vec!["Buffer".into(), "arrivals".into()];
+    for load in loads {
+        header.push(format!("lat@{load:.2}"));
+        header.push(format!("p99@{load:.2}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    let mut p99_at_28 = std::collections::HashMap::new();
+    for kind in BufferKind::ALL {
+        for (label, arrivals) in [("smooth", SMOOTH), ("bursty", BURSTY)] {
+            let mut row = vec![kind.name().to_owned(), label.to_owned()];
+            for load in loads {
+                let m = measure(
+                    base.buffer_kind(kind)
+                        .arrival_process(arrivals)
+                        .offered_load(load),
+                    1_000,
+                    10_000,
+                )
+                .expect("sim");
+                row.push(format!("{:.1}", m.latency_clocks));
+                row.push(format!("{:.0}", m.latency_p99_clocks));
+                if load == 0.28 {
+                    p99_at_28.insert((kind, label), m.latency_p99_clocks);
+                }
+            }
+            rows.push(row);
+        }
+    }
+    print!("{}", render_table(&header_refs, &rows));
+    println!();
+    println!(
+        "at 0.28 mean load (93% of what 30%-duty sources can sustain), bursts push"
+    );
+    println!(
+        "FIFO's p99 from {:.0} to {:.0} clocks; DAMQ's from {:.0} to {:.0} -- the shared",
+        p99_at_28[&(BufferKind::Fifo, "smooth")],
+        p99_at_28[&(BufferKind::Fifo, "bursty")],
+        p99_at_28[&(BufferKind::Damq, "smooth")],
+        p99_at_28[&(BufferKind::Damq, "bursty")],
+    );
+    println!("pool absorbs a burst aimed at one output without freezing the rest, so");
+    println!("DAMQ's tail grows least. (saturation throughput itself is a mean-rate");
+    println!("property and barely moves; the tail is where burstiness bites.)");
+}

@@ -1,0 +1,59 @@
+//! **Extension**: what do stale counts actually buy? Fairness.
+//!
+//! The paper motivates *smart* arbitration as fairness machinery ("to
+//! maintain fairness within the buffers") but only reports mean
+//! performance, where dumb and smart are indistinguishable (Table 3).
+//! Fairness lives in the *distribution*: this harness measures, per
+//! source, the mean delivery latency, and reports the spread (max − min
+//! of per-source means) and the p99 tail — where round-robin bookkeeping
+//! should show up.
+
+use damq_bench::render_table;
+use damq_core::BufferKind;
+use damq_net::{NetworkConfig, NetworkSim};
+use damq_switch::{ArbiterPolicy, FlowControl};
+
+const WARM_UP: u64 = 1_000;
+const WINDOW: u64 = 15_000;
+
+fn main() {
+    println!("Fairness under load: dumb vs smart arbitration");
+    println!("(64x64 Omega, blocking, uniform traffic, 4 slots per buffer, load 0.45)");
+    println!();
+
+    let base = NetworkConfig::new(64, 4)
+        .slots_per_buffer(4)
+        .flow_control(FlowControl::Blocking)
+        .offered_load(0.45);
+
+    let header = [
+        "Buffer",
+        "policy",
+        "mean lat",
+        "p99 lat",
+        "src spread",
+    ];
+    let mut rows = Vec::new();
+    for kind in BufferKind::ALL {
+        for policy in ArbiterPolicy::ALL {
+            let mut sim = NetworkSim::new(base.buffer_kind(kind).arbiter_policy(policy))
+                .expect("valid config");
+            sim.warm_up(WARM_UP);
+            sim.run(WINDOW);
+            let m = sim.metrics();
+            rows.push(vec![
+                kind.name().to_owned(),
+                policy.name().to_owned(),
+                format!("{:.1}", m.mean_latency_clocks()),
+                format!("{:.0}", m.latency_percentile_clocks(0.99)),
+                format!("{:.1}", m.source_latency_spread_clocks()),
+            ]);
+        }
+    }
+    print!("{}", render_table(&header, &rows));
+    println!();
+    println!("'src spread' = difference between the luckiest and unluckiest source's");
+    println!("mean latency (clock cycles). Means barely move between policies (the");
+    println!("paper's finding); the spread and tail are where arbitration fairness");
+    println!("matters, and where the stale counts earn their silicon.");
+}

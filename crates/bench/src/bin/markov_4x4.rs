@@ -1,0 +1,61 @@
+//! **Extension**: exact Markov analysis of the 4×4 switch.
+//!
+//! The paper writes: "For the four-by-four switches, the state space was
+//! too large for Markov modeling, so the evaluation was done using
+//! event-driven simulation" (§4). For the multi-queue designs the state
+//! space is per-(input, output) counts, and modern machines solve it
+//! directly — an analysis the authors could not run in 1988, reproducing
+//! their simulated ordering analytically.
+//!
+//! FIFO is excluded (its state is order-dependent); the simulation remains
+//! the reference for it.
+
+use damq_bench::{fmt_prob, render_table};
+use damq_core::BufferKind;
+use damq_markov::{discard_probability_kxk, CycleOrder, SolveOptions};
+
+fn main() {
+    println!("Markov analysis of a 4x4 discarding switch (not in the paper)");
+    println!("(multi-queue designs; greedy longest-queue arbitration; arrivals-first)");
+    println!();
+
+    let traffics = [0.25, 0.50, 0.75, 0.90, 0.99];
+    let mut header: Vec<String> = vec!["Switch".into(), "Space".into(), "states".into()];
+    header.extend(traffics.iter().map(|t| format!("{:.0}%", t * 100.0)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    // Capacities are bounded by state-space size: DAMQ/DAFC at 3+ shared
+    // slots or SAMQ/SAFC at 2+ slots per queue exceed a million states.
+    for (kind, capacities) in [
+        (BufferKind::Damq, vec![1usize, 2]),
+        (BufferKind::Dafc, vec![1, 2]),
+        (BufferKind::Samq, vec![4]),
+        (BufferKind::Safc, vec![4]),
+    ] {
+        for cap in capacities {
+            let mut row = vec![kind.name().to_owned(), cap.to_string(), String::new()];
+            for &t in &traffics {
+                let p = discard_probability_kxk(
+                    kind,
+                    4,
+                    cap,
+                    t,
+                    CycleOrder::ArrivalsFirst,
+                    SolveOptions::default(),
+                )
+                .unwrap_or_else(|e| panic!("{kind}/{cap}/{t}: {e}"));
+                row[2] = p.states.to_string();
+                row.push(fmt_prob(p.discard_probability));
+            }
+            rows.push(row);
+        }
+    }
+    print!("{}", render_table(&header_refs, &rows));
+    println!();
+    println!("note: SAMQ/SAFC capacity is a total (4 slots = 1 per queue). DAMQ with");
+    println!("just 2 *shared* slots discards less than SAMQ with 4 static ones up to");
+    println!("~90% traffic (half the storage, better service); only at near-total");
+    println!("saturation does raw capacity win -- the dynamic-allocation story, now");
+    println!("in closed form at the radix the paper's network actually uses.");
+}

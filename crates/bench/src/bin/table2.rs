@@ -1,0 +1,47 @@
+//! Regenerates **Table 2** of the paper: "Probability for Discarding —
+//! Markov Analysis".
+//!
+//! A single 2×2 discarding switch is analysed in steady state for each
+//! buffer design, buffer size and traffic level. Run with `--order
+//! departures-first` to see the alternative intra-cycle ordering discussed
+//! in DESIGN.md.
+
+use damq_bench::{fmt_prob, render_table, TABLE2_TRAFFIC};
+use damq_core::BufferKind;
+use damq_markov::{discard_probability, CycleOrder, SolveOptions};
+
+fn main() {
+    let order = match std::env::args().nth(2).as_deref() {
+        Some("departures-first") => CycleOrder::DeparturesFirst,
+        _ => CycleOrder::ArrivalsFirst,
+    };
+    println!("Table 2: Probability for Discarding - Markov Analysis");
+    println!("(2x2 discarding switch, fixed-length packets, long clock; order: {order:?})");
+    println!();
+
+    let sizes: &[(BufferKind, &[usize])] = &[
+        (BufferKind::Fifo, &[2, 3, 4, 5, 6]),
+        (BufferKind::Damq, &[2, 3, 4, 5, 6]),
+        (BufferKind::Samq, &[2, 4, 6]),
+        (BufferKind::Safc, &[2, 4, 6]),
+    ];
+
+    let mut header: Vec<String> = vec!["Switch".into(), "Space".into()];
+    header.extend(TABLE2_TRAFFIC.iter().map(|t| format!("{:.0}%", t * 100.0)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    for &(kind, capacities) in sizes {
+        for &cap in capacities {
+            let mut row = vec![kind.name().to_owned(), cap.to_string()];
+            for &traffic in &TABLE2_TRAFFIC {
+                let point =
+                    discard_probability(kind, cap, traffic, order, SolveOptions::default())
+                        .unwrap_or_else(|e| panic!("analysis failed for {kind}/{cap}/{traffic}: {e}"));
+                row.push(fmt_prob(point.discard_probability));
+            }
+            rows.push(row);
+        }
+    }
+    print!("{}", render_table(&header_refs, &rows));
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Table 4** of the paper: average latencies for given
+//! throughput and saturation throughput, all four buffer designs, four
+//! slots per buffer, uniform traffic, blocking protocol.
+
+use damq_bench::render_table;
+use damq_core::BufferKind;
+use damq_net::{find_saturation, measure, NetworkConfig, SaturationOptions};
+use damq_switch::FlowControl;
+
+const WARM_UP: u64 = 1_000;
+const WINDOW: u64 = 10_000;
+
+fn main() {
+    println!("Table 4: Average latencies (clock cycles) for given throughput");
+    println!("(64x64 Omega, blocking, uniform traffic, smart arbitration, 4 slots per buffer)");
+    println!();
+
+    let base = NetworkConfig::new(64, 4)
+        .slots_per_buffer(4)
+        .flow_control(FlowControl::Blocking);
+
+    let loads = [0.25, 0.30, 0.40, 0.50];
+    let mut header: Vec<String> = vec!["Buffer".into()];
+    header.extend(loads.iter().map(|l| format!("{l:.2}")));
+    header.push("saturated".into());
+    header.push("sat. thr".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    for kind in [
+        BufferKind::Fifo,
+        BufferKind::Damq,
+        BufferKind::Safc,
+        BufferKind::Samq,
+    ] {
+        let mut row = vec![kind.name().to_owned()];
+        for &load in &loads {
+            let m = measure(base.buffer_kind(kind).offered_load(load), WARM_UP, WINDOW)
+                .expect("simulation must run");
+            row.push(format!("{:.2}", m.latency_clocks));
+        }
+        let sat = find_saturation(base.buffer_kind(kind), SaturationOptions::default())
+            .expect("saturation search must run");
+        row.push(format!("{:.2}", sat.saturated_latency_clocks));
+        row.push(format!("{:.2}", sat.throughput));
+        rows.push(row);
+    }
+    print!("{}", render_table(&header_refs, &rows));
+}

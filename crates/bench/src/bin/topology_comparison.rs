@@ -1,0 +1,43 @@
+//! **Extension**: is the DAMQ advantage a property of the Omega wiring?
+//!
+//! The paper evaluates one topology. Running the identical experiment on a
+//! k-ary butterfly (same stages, same switches, different inter-stage
+//! permutations) shows the buffer result is about switches, not wiring —
+//! both delta-class MINs route uniform traffic equivalently.
+
+use damq_bench::render_table;
+use damq_core::BufferKind;
+use damq_net::{find_saturation, measure, NetworkConfig, SaturationOptions, TopologyKind};
+use damq_switch::FlowControl;
+
+fn main() {
+    println!("Topology independence: Omega vs butterfly, 64x64, 4 slots per buffer");
+    println!("(blocking, uniform traffic, smart arbitration)");
+    println!();
+
+    let base = NetworkConfig::new(64, 4)
+        .slots_per_buffer(4)
+        .flow_control(FlowControl::Blocking);
+
+    let header = ["Buffer", "wiring", "lat@0.25", "lat@0.40", "sat. thr"];
+    let mut rows = Vec::new();
+    for kind in BufferKind::ALL {
+        for wiring in TopologyKind::ALL {
+            let cfg = base.buffer_kind(kind).topology_kind(wiring);
+            let m25 = measure(cfg.offered_load(0.25), 500, 4_000).expect("sim");
+            let m40 = measure(cfg.offered_load(0.40), 500, 4_000).expect("sim");
+            let sat = find_saturation(cfg, SaturationOptions::default()).expect("sat");
+            rows.push(vec![
+                kind.name().to_owned(),
+                wiring.name().to_owned(),
+                format!("{:.1}", m25.latency_clocks),
+                format!("{:.1}", m40.latency_clocks),
+                format!("{:.2}", sat.throughput),
+            ]);
+        }
+    }
+    print!("{}", render_table(&header, &rows));
+    println!();
+    println!("expected: per-buffer rows agree across wirings to within the search");
+    println!("resolution -- the DAMQ gain comes from the switch, not the shuffle.");
+}

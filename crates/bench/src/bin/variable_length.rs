@@ -1,0 +1,83 @@
+//! **Extension** (paper §5's conjecture): variable-length packets.
+//!
+//! The paper's simulations use fixed-length packets, but the DAMQ buffer
+//! was *designed* for variable lengths (1–32 bytes over 8-byte slots); the
+//! conclusion section conjectures "the DAMQ buffer will outperform its
+//! competition by an even wider margin for the more realistic case of
+//! variable length packets". This harness tests that conjecture on all
+//! four designs: the same Omega network with fixed one-slot packets vs
+//! uniformly distributed 1–32-byte packets (1–4 slots).
+//!
+//! Buffers get 16 slots each so the statically-partitioned designs can
+//! hold at least one maximum-size packet per queue (with less than 4
+//! slots per queue, SAMQ/SAFC cannot store large packets *at all* — the
+//! extreme form of the fragmentation the paper warns about).
+
+use damq_bench::render_table;
+use damq_core::BufferKind;
+use damq_net::{find_saturation, NetworkConfig, PacketLengths, SaturationOptions};
+use damq_switch::FlowControl;
+
+fn main() {
+    println!("Variable-length packets: testing the paper's Section 5 conjecture");
+    println!("(64x64 Omega, blocking, smart arbitration, 16 slots per buffer)");
+    println!();
+
+    let base = NetworkConfig::new(64, 4)
+        .slots_per_buffer(16)
+        .flow_control(FlowControl::Blocking);
+    let workloads: [(&str, PacketLengths); 2] = [
+        ("fixed 8B (1 slot)", PacketLengths::Fixed(8)),
+        (
+            "uniform 1-32B (1-4 slots)",
+            PacketLengths::Uniform { min: 1, max: 32 },
+        ),
+    ];
+
+    let mut header: Vec<String> = vec!["Workload".into()];
+    for kind in BufferKind::ALL {
+        header.push(format!("{} sat", kind.name()));
+    }
+    header.push("DAMQ/FIFO".into());
+    header.push("DAMQ/SAMQ".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for (label, lengths) in workloads {
+        let sat = |kind: BufferKind| {
+            find_saturation(
+                base.buffer_kind(kind).packet_lengths(lengths),
+                SaturationOptions::default(),
+            )
+            .expect("search runs")
+            .throughput
+        };
+        let sats: Vec<f64> = BufferKind::ALL.iter().map(|&k| sat(k)).collect();
+        let fifo = sats[0];
+        let samq = sats[1];
+        let damq = sats[3];
+        let mut row = vec![label.to_owned()];
+        row.extend(sats.iter().map(|s| format!("{s:.2}")));
+        row.push(format!("{:.2}x", damq / fifo));
+        row.push(format!("{:.2}x", damq / samq));
+        rows.push(row);
+        ratios.push((damq / fifo, damq / samq));
+    }
+    print!("{}", render_table(&header_refs, &rows));
+
+    println!();
+    println!("reading the conjecture:");
+    println!(
+        "  vs the statically-allocated SAMQ, DAMQ's margin moves {:.2}x -> {:.2}x:",
+        ratios[0].1, ratios[1].1
+    );
+    println!("  static partitions fragment badly once packets span 1-4 slots.");
+    println!(
+        "  vs FIFO the margin moves {:.2}x -> {:.2}x: a FIFO also pools its",
+        ratios[0].0, ratios[1].0
+    );
+    println!("  storage, so its penalty (head-of-line blocking) is length-independent.");
+    println!("  the paper's conjecture holds against the designs that partition");
+    println!("  storage -- exactly the designs its Section 2 critiques.");
+}

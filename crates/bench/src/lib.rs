@@ -1,0 +1,117 @@
+//! Shared helpers for the table/figure regenerators.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure from the paper;
+//! this library holds the bits they share: paper-style number formatting
+//! and simple fixed-width table rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Formats a probability the way the paper's Table 2 does: `0+` for
+/// positive-but-negligible values (rounds to zero at three decimals),
+/// otherwise three decimals.
+///
+/// # Examples
+///
+/// ```
+/// use damq_bench::fmt_prob;
+///
+/// assert_eq!(fmt_prob(0.0), "0");
+/// assert_eq!(fmt_prob(0.0001), "0+");
+/// assert_eq!(fmt_prob(0.074), "0.074");
+/// ```
+pub fn fmt_prob(p: f64) -> String {
+    if p == 0.0 {
+        "0".to_owned()
+    } else if p < 0.0005 {
+        "0+".to_owned()
+    } else {
+        format!("{p:.3}")
+    }
+}
+
+/// Renders rows as a fixed-width text table with a header row and a rule.
+///
+/// # Panics
+///
+/// Panics if rows have differing lengths.
+///
+/// # Examples
+///
+/// ```
+/// use damq_bench::render_table;
+///
+/// let t = render_table(
+///     &["buffer", "rate"],
+///     &[vec!["FIFO".into(), "0.074".into()]],
+/// );
+/// assert!(t.contains("FIFO"));
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    for row in rows {
+        assert_eq!(row.len(), cols, "all rows must match the header width");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>w$}"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// The traffic levels of the paper's Table 2, as fractions of link capacity.
+pub const TABLE2_TRAFFIC: [f64; 8] = [0.25, 0.50, 0.75, 0.80, 0.85, 0.90, 0.95, 0.99];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_prob_thresholds() {
+        assert_eq!(fmt_prob(0.0), "0");
+        assert_eq!(fmt_prob(0.0004), "0+");
+        assert_eq!(fmt_prob(0.0005), "0.001");
+        assert_eq!(fmt_prob(0.242), "0.242");
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(
+            &["a", "bb"],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["longer".into(), "z".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "match the header")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a"], &[vec!["x".into(), "y".into()]]);
+    }
+}

@@ -1,0 +1,354 @@
+//! The [`SwitchBuffer`] abstraction shared by all four buffer designs.
+//!
+//! A switch buffer sits at one *input port* of an n×n switch and holds
+//! packets that have already been routed (i.e. their output port is known)
+//! until the crossbar can forward them. The four designs compared in the
+//! paper differ in how they organise this storage:
+//!
+//! * [`FifoBuffer`](crate::FifoBuffer) — one queue; only the head packet is
+//!   transmittable (head-of-line blocking).
+//! * [`SamqBuffer`](crate::SamqBuffer) — one queue per output, storage
+//!   *statically* split among them, single read port.
+//! * [`SafcBuffer`](crate::SafcBuffer) — like SAMQ but with one read port per
+//!   output (a fully-connected 4×1-switch fabric).
+//! * [`DamqBuffer`](crate::DamqBuffer) — one queue per output, storage
+//!   *dynamically* shared through linked lists and a free list.
+
+use std::fmt;
+
+use crate::error::{ConfigError, Rejected};
+use crate::packet::{Packet, DEFAULT_SLOT_BYTES};
+use crate::stats::BufferStats;
+use crate::OutputPort;
+
+/// Which buffer design a buffer instance implements.
+///
+/// The first four are the designs compared in the paper;
+/// [`BufferKind::Dafc`] is this crate's ablation completing the
+/// (static/dynamic) × (single/fully-connected read) design matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BufferKind {
+    /// First-in first-out single queue.
+    Fifo,
+    /// Statically-allocated multi-queue.
+    Samq,
+    /// Statically-allocated fully-connected.
+    Safc,
+    /// Dynamically-allocated multi-queue (the paper's contribution).
+    Damq,
+    /// Dynamically-allocated fully-connected (ablation; not in the paper).
+    Dafc,
+}
+
+impl BufferKind {
+    /// The paper's four designs, in the order its tables list them.
+    pub const ALL: [BufferKind; 4] = [
+        BufferKind::Fifo,
+        BufferKind::Samq,
+        BufferKind::Safc,
+        BufferKind::Damq,
+    ];
+
+    /// The paper's four designs plus the DAFC ablation.
+    pub const EXTENDED: [BufferKind; 5] = [
+        BufferKind::Fifo,
+        BufferKind::Samq,
+        BufferKind::Safc,
+        BufferKind::Damq,
+        BufferKind::Dafc,
+    ];
+
+    /// Short upper-case name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BufferKind::Fifo => "FIFO",
+            BufferKind::Samq => "SAMQ",
+            BufferKind::Safc => "SAFC",
+            BufferKind::Damq => "DAMQ",
+            BufferKind::Dafc => "DAFC",
+        }
+    }
+
+    /// Whether storage is statically partitioned among output queues.
+    ///
+    /// Static partitioning restricts valid capacities (must divide by the
+    /// fanout) and is the root of the SAMQ/SAFC space-inefficiency the paper
+    /// describes.
+    pub fn is_statically_allocated(self) -> bool {
+        matches!(self, BufferKind::Samq | BufferKind::Safc)
+    }
+}
+
+impl fmt::Display for BufferKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Geometry of a switch buffer: fanout, slot count and slot size.
+///
+/// # Examples
+///
+/// ```
+/// use damq_core::{BufferConfig, BufferKind};
+///
+/// // A 4-output buffer with four 8-byte slots, as in the paper's Omega runs.
+/// let cfg = BufferConfig::new(4, 4);
+/// let buf = cfg.build(BufferKind::Damq)?;
+/// assert_eq!(buf.capacity_slots(), 4);
+/// # Ok::<(), damq_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferConfig {
+    fanout: usize,
+    capacity_slots: usize,
+    slot_bytes: usize,
+}
+
+impl BufferConfig {
+    /// Creates a configuration with `fanout` output queues and
+    /// `capacity_slots` total slots of [`DEFAULT_SLOT_BYTES`] bytes each.
+    pub fn new(fanout: usize, capacity_slots: usize) -> Self {
+        BufferConfig {
+            fanout,
+            capacity_slots,
+            slot_bytes: DEFAULT_SLOT_BYTES,
+        }
+    }
+
+    /// Overrides the slot size in bytes.
+    pub fn slot_bytes(mut self, slot_bytes: usize) -> Self {
+        self.slot_bytes = slot_bytes;
+        self
+    }
+
+    /// Number of output queues the buffer feeds.
+    pub fn fanout_count(&self) -> usize {
+        self.fanout
+    }
+
+    /// Total storage in slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity_slots
+    }
+
+    /// Slot size in bytes.
+    pub fn slot_size(&self) -> usize {
+        self.slot_bytes
+    }
+
+    /// Validates the configuration for the given buffer kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any dimension is zero, or if `kind` is
+    /// statically allocated and `capacity` is not divisible by `fanout`.
+    pub fn validate(&self, kind: BufferKind) -> Result<(), ConfigError> {
+        if self.capacity_slots == 0 {
+            return Err(ConfigError::ZeroCapacity);
+        }
+        if self.fanout == 0 {
+            return Err(ConfigError::ZeroFanout);
+        }
+        if self.slot_bytes == 0 {
+            return Err(ConfigError::ZeroSlotBytes);
+        }
+        if kind.is_statically_allocated() && self.capacity_slots % self.fanout != 0 {
+            return Err(ConfigError::CapacityNotDivisible {
+                capacity: self.capacity_slots,
+                fanout: self.fanout,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds a boxed buffer of the requested kind.
+    ///
+    /// This is the convenient way to construct buffers generically (e.g. when
+    /// sweeping all four kinds in an experiment). Use the concrete
+    /// constructors ([`DamqBuffer::new`](crate::DamqBuffer::new) etc.) when
+    /// the kind is fixed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from [`BufferConfig::validate`].
+    pub fn build(&self, kind: BufferKind) -> Result<Box<dyn SwitchBuffer>, ConfigError> {
+        Ok(match kind {
+            BufferKind::Fifo => Box::new(crate::FifoBuffer::new(*self)?),
+            BufferKind::Samq => Box::new(crate::SamqBuffer::new(*self)?),
+            BufferKind::Safc => Box::new(crate::SafcBuffer::new(*self)?),
+            BufferKind::Damq => Box::new(crate::DamqBuffer::new(*self)?),
+            BufferKind::Dafc => Box::new(crate::DafcBuffer::new(*self)?),
+        })
+    }
+}
+
+/// Common interface of the four input-port buffer designs.
+///
+/// Packets are enqueued with the output port they were routed to and dequeued
+/// per output port. The semantics of "what can be sent to output *o* right
+/// now" differ per design and are captured by [`SwitchBuffer::queue_len`]:
+///
+/// * For multi-queue buffers it is the length of the per-output queue.
+/// * For a FIFO it is nonzero **only** for the output of the head packet —
+///   everything behind the head is blocked, which is exactly the
+///   head-of-line effect the DAMQ design removes.
+///
+/// The trait is object-safe so switches can hold `Box<dyn SwitchBuffer>`.
+pub trait SwitchBuffer: fmt::Debug {
+    /// Which design this is.
+    fn kind(&self) -> BufferKind;
+
+    /// Number of output queues (the switch fanout).
+    fn fanout(&self) -> usize;
+
+    /// Total storage in slots.
+    fn capacity_slots(&self) -> usize;
+
+    /// Slots currently holding packet data.
+    fn used_slots(&self) -> usize;
+
+    /// Slot size in bytes.
+    fn slot_bytes(&self) -> usize;
+
+    /// Number of packets that can leave through the crossbar in one cycle.
+    ///
+    /// 1 for FIFO, SAMQ and DAMQ (single read port); equals
+    /// [`SwitchBuffer::fanout`] for SAFC (fully connected).
+    fn read_ports(&self) -> usize;
+
+    /// Whether a packet needing `slots` slots, routed to `output`, would be
+    /// accepted right now.
+    fn can_accept(&self, output: OutputPort, slots: usize) -> bool;
+
+    /// Stores a packet routed to `output`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back inside [`Rejected`] if there is no space for
+    /// it (the precise condition depends on the design — see
+    /// [`RejectReason`](crate::RejectReason)).
+    fn try_enqueue(&mut self, output: OutputPort, packet: Packet) -> Result<(), Rejected>;
+
+    /// Number of packets transmittable to `output` *now* (see trait docs for
+    /// the FIFO caveat).
+    fn queue_len(&self, output: OutputPort) -> usize;
+
+    /// The packet that would be returned by `dequeue(output)`, if any.
+    fn front(&self, output: OutputPort) -> Option<&Packet>;
+
+    /// Removes and returns the next packet for `output`, freeing its slots.
+    ///
+    /// Returns `None` when `queue_len(output)` is zero.
+    fn dequeue(&mut self, output: OutputPort) -> Option<Packet>;
+
+    /// Total packets resident in the buffer.
+    fn packet_count(&self) -> usize;
+
+    /// Operation counters.
+    fn stats(&self) -> &BufferStats;
+
+    /// Zeroes the operation counters (occupancy is untouched).
+    fn reset_stats(&mut self);
+
+    /// Free slots available to *some* queue (not necessarily to every queue —
+    /// static designs partition them).
+    fn free_slots(&self) -> usize {
+        self.capacity_slots() - self.used_slots()
+    }
+
+    /// Whether no packets are resident.
+    fn is_empty(&self) -> bool {
+        self.packet_count() == 0
+    }
+
+    /// Output ports that have at least one transmittable packet.
+    fn eligible_outputs(&self) -> Vec<OutputPort> {
+        OutputPort::all(self.fanout())
+            .filter(|&o| self.queue_len(o) > 0)
+            .collect()
+    }
+
+    /// Verifies internal invariants, panicking with a description on
+    /// violation. Heavy; meant for tests and debug assertions.
+    fn check_invariants(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_match_paper() {
+        assert_eq!(BufferKind::Fifo.name(), "FIFO");
+        assert_eq!(BufferKind::Samq.name(), "SAMQ");
+        assert_eq!(BufferKind::Safc.name(), "SAFC");
+        assert_eq!(BufferKind::Damq.name(), "DAMQ");
+    }
+
+    #[test]
+    fn static_allocation_flags() {
+        assert!(!BufferKind::Fifo.is_statically_allocated());
+        assert!(BufferKind::Samq.is_statically_allocated());
+        assert!(BufferKind::Safc.is_statically_allocated());
+        assert!(!BufferKind::Damq.is_statically_allocated());
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_dimensions() {
+        assert_eq!(
+            BufferConfig::new(4, 0).validate(BufferKind::Fifo),
+            Err(ConfigError::ZeroCapacity)
+        );
+        assert_eq!(
+            BufferConfig::new(0, 4).validate(BufferKind::Fifo),
+            Err(ConfigError::ZeroFanout)
+        );
+        assert_eq!(
+            BufferConfig::new(4, 4).slot_bytes(0).validate(BufferKind::Fifo),
+            Err(ConfigError::ZeroSlotBytes)
+        );
+    }
+
+    #[test]
+    fn static_kinds_require_divisible_capacity() {
+        let cfg = BufferConfig::new(4, 6);
+        assert!(cfg.validate(BufferKind::Fifo).is_ok());
+        assert!(cfg.validate(BufferKind::Damq).is_ok());
+        assert_eq!(
+            cfg.validate(BufferKind::Samq),
+            Err(ConfigError::CapacityNotDivisible {
+                capacity: 6,
+                fanout: 4
+            })
+        );
+        assert_eq!(
+            cfg.validate(BufferKind::Safc),
+            Err(ConfigError::CapacityNotDivisible {
+                capacity: 6,
+                fanout: 4
+            })
+        );
+    }
+
+    #[test]
+    fn build_produces_all_kinds() {
+        let cfg = BufferConfig::new(4, 8);
+        for kind in BufferKind::ALL {
+            let buf = cfg.build(kind).expect("valid config");
+            assert_eq!(buf.kind(), kind);
+            assert_eq!(buf.capacity_slots(), 8);
+            assert_eq!(buf.fanout(), 4);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn read_ports_distinguish_safc() {
+        let cfg = BufferConfig::new(4, 8);
+        assert_eq!(cfg.build(BufferKind::Fifo).unwrap().read_ports(), 1);
+        assert_eq!(cfg.build(BufferKind::Samq).unwrap().read_ports(), 1);
+        assert_eq!(cfg.build(BufferKind::Damq).unwrap().read_ports(), 1);
+        assert_eq!(cfg.build(BufferKind::Safc).unwrap().read_ports(), 4);
+    }
+}

@@ -1,0 +1,308 @@
+//! The DAMQ buffer: dynamically-allocated multi-queue (the paper's
+//! contribution).
+//!
+//! A DAMQ buffer keeps a separate FIFO queue of packets per output port —
+//! like SAMQ/SAFC it never suffers head-of-line blocking — but its storage is
+//! **not** statically partitioned. All slots live in one pool threaded onto
+//! a free list; a packet for any output may claim any free slot. The queues
+//! are linked lists through per-slot pointer registers (see
+//! [`SlotPool`]), managed in the chip by a simple hardwired controller.
+//!
+//! The combination gives DAMQ both of the properties the paper identifies as
+//! essential:
+//!
+//! 1. *non-FIFO packet handling* — an idle output is never starved by a
+//!    blocked packet in front, and
+//! 2. *efficient storage allocation* — free space "adapts" to whatever
+//!    traffic actually arrives, so a DAMQ buffer with 3 slots discards no
+//!    more than a FIFO with 6 (paper Table 2).
+
+use crate::buffer::{BufferConfig, BufferKind, SwitchBuffer};
+use crate::error::{ConfigError, RejectReason, Rejected};
+use crate::packet::Packet;
+use crate::slots::SlotPool;
+use crate::stats::BufferStats;
+use crate::OutputPort;
+
+/// Dynamically-allocated multi-queue input buffer.
+///
+/// # Examples
+///
+/// The dynamic-allocation property — one queue may use the whole pool:
+///
+/// ```
+/// use damq_core::{BufferConfig, DamqBuffer, NodeId, OutputPort, Packet, SwitchBuffer};
+///
+/// let mut buf = DamqBuffer::new(BufferConfig::new(4, 4))?;
+/// let mk = || Packet::builder(NodeId::new(0), NodeId::new(1)).build();
+/// for _ in 0..4 {
+///     buf.try_enqueue(OutputPort::new(2), mk())?; // all 4 slots to out2
+/// }
+/// assert_eq!(buf.queue_len(OutputPort::new(2)), 4);
+/// assert!(!buf.can_accept(OutputPort::new(0), 1)); // pool exhausted
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct DamqBuffer {
+    config: BufferConfig,
+    pool: SlotPool,
+    stats: BufferStats,
+}
+
+impl DamqBuffer {
+    /// Creates an empty DAMQ buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration has a zero dimension.
+    /// Unlike the statically-allocated designs, any capacity is valid — the
+    /// paper's Table 5 exploits this with 3-slot DAMQ buffers.
+    pub fn new(config: BufferConfig) -> Result<Self, ConfigError> {
+        config.validate(BufferKind::Damq)?;
+        Ok(DamqBuffer {
+            config,
+            pool: SlotPool::new(config.capacity(), config.fanout_count()),
+            stats: BufferStats::new(),
+        })
+    }
+
+    /// Direct read access to the underlying slot pool (for inspection and
+    /// the micro-architecture model).
+    pub fn pool(&self) -> &SlotPool {
+        &self.pool
+    }
+
+    /// Slots consumed by the queue for `output`.
+    pub fn queue_slots(&self, output: OutputPort) -> usize {
+        if output.index() < self.fanout() {
+            self.pool.queue_slots(output.index())
+        } else {
+            0
+        }
+    }
+}
+
+impl SwitchBuffer for DamqBuffer {
+    fn kind(&self) -> BufferKind {
+        BufferKind::Damq
+    }
+
+    fn fanout(&self) -> usize {
+        self.config.fanout_count()
+    }
+
+    fn capacity_slots(&self) -> usize {
+        self.config.capacity()
+    }
+
+    fn used_slots(&self) -> usize {
+        self.pool.used_count()
+    }
+
+    fn slot_bytes(&self) -> usize {
+        self.config.slot_size()
+    }
+
+    fn read_ports(&self) -> usize {
+        1
+    }
+
+    fn can_accept(&self, output: OutputPort, slots: usize) -> bool {
+        output.index() < self.fanout() && slots <= self.pool.free_count()
+    }
+
+    fn try_enqueue(&mut self, output: OutputPort, packet: Packet) -> Result<(), Rejected> {
+        if output.index() >= self.fanout() {
+            return Err(Rejected {
+                packet,
+                output,
+                reason: RejectReason::NoSuchOutput,
+            });
+        }
+        let slots = packet.slots_needed(self.slot_bytes());
+        if slots > self.capacity_slots() {
+            self.stats.record_rejected();
+            return Err(Rejected {
+                packet,
+                output,
+                reason: RejectReason::PacketTooLarge,
+            });
+        }
+        match self.pool.enqueue(output.index(), packet, slots) {
+            Ok(()) => {
+                self.stats.record_accepted(slots);
+                self.stats.observe_used_slots(self.pool.used_count());
+                Ok(())
+            }
+            Err(packet) => {
+                self.stats.record_rejected();
+                Err(Rejected {
+                    packet,
+                    output,
+                    reason: RejectReason::BufferFull,
+                })
+            }
+        }
+    }
+
+    fn queue_len(&self, output: OutputPort) -> usize {
+        if output.index() < self.fanout() {
+            self.pool.queue_packets(output.index())
+        } else {
+            0
+        }
+    }
+
+    fn front(&self, output: OutputPort) -> Option<&Packet> {
+        if output.index() < self.fanout() {
+            self.pool.front(output.index())
+        } else {
+            None
+        }
+    }
+
+    fn dequeue(&mut self, output: OutputPort) -> Option<Packet> {
+        if output.index() >= self.fanout() {
+            return None;
+        }
+        let packet = self.pool.dequeue(output.index())?;
+        self.stats.record_forwarded();
+        Some(packet)
+    }
+
+    fn packet_count(&self) -> usize {
+        (0..self.fanout()).map(|l| self.pool.queue_packets(l)).sum()
+    }
+
+    fn stats(&self) -> &BufferStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn check_invariants(&self) {
+        self.pool.check_invariants();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn pkt(len: usize, src: usize) -> Packet {
+        Packet::builder(NodeId::new(src), NodeId::new(1))
+            .length_bytes(len)
+            .build()
+    }
+
+    fn buf(slots: usize) -> DamqBuffer {
+        DamqBuffer::new(BufferConfig::new(4, slots)).unwrap()
+    }
+
+    #[test]
+    fn any_capacity_is_valid() {
+        // Odd capacities are fine (unlike SAMQ/SAFC): Table 5 uses 3 slots.
+        assert!(DamqBuffer::new(BufferConfig::new(4, 3)).is_ok());
+        assert!(DamqBuffer::new(BufferConfig::new(4, 5)).is_ok());
+    }
+
+    #[test]
+    fn no_head_of_line_blocking() {
+        let mut b = buf(4);
+        b.try_enqueue(OutputPort::new(3), pkt(8, 0)).unwrap();
+        b.try_enqueue(OutputPort::new(1), pkt(8, 1)).unwrap();
+        // out1 is immediately servable even though out3's packet arrived first.
+        assert_eq!(b.queue_len(OutputPort::new(1)), 1);
+        assert_eq!(b.dequeue(OutputPort::new(1)).unwrap().source(), NodeId::new(1));
+    }
+
+    #[test]
+    fn storage_is_shared_not_partitioned() {
+        let mut b = buf(4);
+        for i in 0..4 {
+            b.try_enqueue(OutputPort::new(0), pkt(8, i)).unwrap();
+        }
+        let err = b.try_enqueue(OutputPort::new(1), pkt(8, 9)).unwrap_err();
+        assert_eq!(err.reason, RejectReason::BufferFull);
+        // Freeing one slot makes it available to *any* queue.
+        b.dequeue(OutputPort::new(0)).unwrap();
+        b.try_enqueue(OutputPort::new(1), pkt(8, 9)).unwrap();
+        b.check_invariants();
+    }
+
+    #[test]
+    fn variable_length_packets_span_slots() {
+        let mut b = buf(6);
+        b.try_enqueue(OutputPort::new(0), pkt(32, 0)).unwrap(); // 4 slots
+        b.try_enqueue(OutputPort::new(1), pkt(12, 1)).unwrap(); // 2 slots
+        assert_eq!(b.used_slots(), 6);
+        assert_eq!(b.queue_slots(OutputPort::new(0)), 4);
+        assert_eq!(b.queue_slots(OutputPort::new(1)), 2);
+        assert!(!b.can_accept(OutputPort::new(2), 1));
+        let p = b.dequeue(OutputPort::new(0)).unwrap();
+        assert_eq!(p.length_bytes(), 32);
+        assert_eq!(b.free_slots(), 4);
+        b.check_invariants();
+    }
+
+    #[test]
+    fn per_output_fifo_order() {
+        let mut b = buf(8);
+        for i in 0..3 {
+            b.try_enqueue(OutputPort::new(2), pkt(8, i)).unwrap();
+            b.try_enqueue(OutputPort::new(0), pkt(8, 10 + i)).unwrap();
+        }
+        for i in 0..3 {
+            assert_eq!(
+                b.dequeue(OutputPort::new(2)).unwrap().source(),
+                NodeId::new(i)
+            );
+        }
+        for i in 0..3 {
+            assert_eq!(
+                b.dequeue(OutputPort::new(0)).unwrap().source(),
+                NodeId::new(10 + i)
+            );
+        }
+    }
+
+    #[test]
+    fn stats_track_all_outcomes() {
+        let mut b = buf(2);
+        b.try_enqueue(OutputPort::new(0), pkt(8, 0)).unwrap();
+        b.try_enqueue(OutputPort::new(1), pkt(8, 1)).unwrap();
+        let _ = b.try_enqueue(OutputPort::new(2), pkt(8, 2));
+        b.dequeue(OutputPort::new(0)).unwrap();
+        assert_eq!(b.stats().packets_accepted(), 2);
+        assert_eq!(b.stats().packets_rejected(), 1);
+        assert_eq!(b.stats().packets_forwarded(), 1);
+        assert_eq!(b.stats().peak_used_slots(), 2);
+    }
+
+    #[test]
+    fn eligible_outputs_lists_all_nonempty_queues() {
+        let mut b = buf(4);
+        b.try_enqueue(OutputPort::new(3), pkt(8, 0)).unwrap();
+        b.try_enqueue(OutputPort::new(1), pkt(8, 1)).unwrap();
+        assert_eq!(
+            b.eligible_outputs(),
+            vec![OutputPort::new(1), OutputPort::new(3)]
+        );
+    }
+
+    #[test]
+    fn mixed_operations_keep_invariants() {
+        let mut b = buf(12);
+        for i in 0..200 {
+            let out = OutputPort::new(i % 4);
+            let _ = b.try_enqueue(out, pkt(1 + (i * 5) % 32, i));
+            if i % 3 == 0 {
+                b.dequeue(OutputPort::new((i / 3) % 4));
+            }
+            b.check_invariants();
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The FIFO buffer: the paper's baseline ("control") design.
+//!
+//! A single first-in first-out queue with one write port and one read port.
+//! Simple to build and ideal for variable-length packets (storage is a ring
+//! of slots), but it suffers **head-of-line blocking**: when the packet at
+//! the head waits for a busy output, every packet behind it waits too, even
+//! if their outputs are idle.
+
+use std::collections::VecDeque;
+
+use crate::buffer::{BufferConfig, BufferKind, SwitchBuffer};
+use crate::error::{ConfigError, RejectReason, Rejected};
+use crate::packet::Packet;
+use crate::stats::BufferStats;
+use crate::OutputPort;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    output: OutputPort,
+    slots: usize,
+    packet: Packet,
+}
+
+/// Single-queue first-in first-out input buffer.
+///
+/// Only the head packet is ever transmittable; consequently
+/// [`queue_len`](SwitchBuffer::queue_len) reports the entire queue length for
+/// the head packet's output and `0` for every other output.
+///
+/// # Examples
+///
+/// ```
+/// use damq_core::{BufferConfig, FifoBuffer, NodeId, OutputPort, Packet, SwitchBuffer};
+///
+/// let mut buf = FifoBuffer::new(BufferConfig::new(4, 4))?;
+/// let a = Packet::builder(NodeId::new(0), NodeId::new(1)).build();
+/// let b = Packet::builder(NodeId::new(0), NodeId::new(2)).build();
+/// buf.try_enqueue(OutputPort::new(1), a)?;
+/// buf.try_enqueue(OutputPort::new(2), b)?;
+///
+/// // b is routed to out2 and out2 is idle -- but b is stuck behind a.
+/// assert_eq!(buf.queue_len(OutputPort::new(2)), 0);
+/// assert_eq!(buf.queue_len(OutputPort::new(1)), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct FifoBuffer {
+    config: BufferConfig,
+    queue: VecDeque<Entry>,
+    used_slots: usize,
+    stats: BufferStats,
+}
+
+impl FifoBuffer {
+    /// Creates an empty FIFO buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration has a zero dimension.
+    pub fn new(config: BufferConfig) -> Result<Self, ConfigError> {
+        config.validate(BufferKind::Fifo)?;
+        Ok(FifoBuffer {
+            config,
+            queue: VecDeque::new(),
+            used_slots: 0,
+            stats: BufferStats::new(),
+        })
+    }
+
+    /// The output port of the head packet, if any.
+    pub fn head_output(&self) -> Option<OutputPort> {
+        self.queue.front().map(|e| e.output)
+    }
+
+    fn head_matches(&self, output: OutputPort) -> bool {
+        self.head_output() == Some(output)
+    }
+}
+
+impl SwitchBuffer for FifoBuffer {
+    fn kind(&self) -> BufferKind {
+        BufferKind::Fifo
+    }
+
+    fn fanout(&self) -> usize {
+        self.config.fanout_count()
+    }
+
+    fn capacity_slots(&self) -> usize {
+        self.config.capacity()
+    }
+
+    fn used_slots(&self) -> usize {
+        self.used_slots
+    }
+
+    fn slot_bytes(&self) -> usize {
+        self.config.slot_size()
+    }
+
+    fn read_ports(&self) -> usize {
+        1
+    }
+
+    fn can_accept(&self, output: OutputPort, slots: usize) -> bool {
+        output.index() < self.fanout() && self.used_slots + slots <= self.capacity_slots()
+    }
+
+    fn try_enqueue(&mut self, output: OutputPort, packet: Packet) -> Result<(), Rejected> {
+        let slots = packet.slots_needed(self.slot_bytes());
+        if output.index() >= self.fanout() {
+            return Err(Rejected {
+                packet,
+                output,
+                reason: RejectReason::NoSuchOutput,
+            });
+        }
+        if slots > self.capacity_slots() {
+            self.stats.record_rejected();
+            return Err(Rejected {
+                packet,
+                output,
+                reason: RejectReason::PacketTooLarge,
+            });
+        }
+        if self.used_slots + slots > self.capacity_slots() {
+            self.stats.record_rejected();
+            return Err(Rejected {
+                packet,
+                output,
+                reason: RejectReason::BufferFull,
+            });
+        }
+        self.used_slots += slots;
+        self.stats.record_accepted(slots);
+        self.stats.observe_used_slots(self.used_slots);
+        self.queue.push_back(Entry {
+            output,
+            slots,
+            packet,
+        });
+        Ok(())
+    }
+
+    fn queue_len(&self, output: OutputPort) -> usize {
+        if self.head_matches(output) {
+            self.queue.len()
+        } else {
+            0
+        }
+    }
+
+    fn front(&self, output: OutputPort) -> Option<&Packet> {
+        self.queue
+            .front()
+            .filter(|e| e.output == output)
+            .map(|e| &e.packet)
+    }
+
+    fn dequeue(&mut self, output: OutputPort) -> Option<Packet> {
+        if !self.head_matches(output) {
+            return None;
+        }
+        let entry = self.queue.pop_front().expect("head checked above");
+        self.used_slots -= entry.slots;
+        self.stats.record_forwarded();
+        Some(entry.packet)
+    }
+
+    fn packet_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn stats(&self) -> &BufferStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn check_invariants(&self) {
+        let sum: usize = self.queue.iter().map(|e| e.slots).sum();
+        assert_eq!(sum, self.used_slots, "FIFO used_slots out of sync");
+        assert!(
+            self.used_slots <= self.capacity_slots(),
+            "FIFO over capacity"
+        );
+        for e in &self.queue {
+            assert!(e.output.index() < self.fanout(), "stored bad output");
+            assert_eq!(
+                e.slots,
+                e.packet.slots_needed(self.slot_bytes()),
+                "stored slot count mismatch"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn pkt(len: usize) -> Packet {
+        Packet::builder(NodeId::new(0), NodeId::new(1))
+            .length_bytes(len)
+            .build()
+    }
+
+    fn buf(slots: usize) -> FifoBuffer {
+        FifoBuffer::new(BufferConfig::new(4, slots)).unwrap()
+    }
+
+    #[test]
+    fn accepts_until_full_then_rejects() {
+        let mut b = buf(2);
+        b.try_enqueue(OutputPort::new(0), pkt(8)).unwrap();
+        b.try_enqueue(OutputPort::new(1), pkt(8)).unwrap();
+        let err = b.try_enqueue(OutputPort::new(2), pkt(8)).unwrap_err();
+        assert_eq!(err.reason, RejectReason::BufferFull);
+        assert_eq!(b.stats().packets_rejected(), 1);
+        assert_eq!(b.used_slots(), 2);
+    }
+
+    #[test]
+    fn multi_slot_packet_consumes_multiple_slots() {
+        let mut b = buf(4);
+        b.try_enqueue(OutputPort::new(0), pkt(32)).unwrap(); // 4 slots
+        assert_eq!(b.used_slots(), 4);
+        assert!(!b.can_accept(OutputPort::new(0), 1));
+        let p = b.dequeue(OutputPort::new(0)).unwrap();
+        assert_eq!(p.length_bytes(), 32);
+        assert_eq!(b.used_slots(), 0);
+    }
+
+    #[test]
+    fn oversized_packet_rejected_as_too_large() {
+        let mut b = buf(2);
+        let err = b.try_enqueue(OutputPort::new(0), pkt(32)).unwrap_err();
+        assert_eq!(err.reason, RejectReason::PacketTooLarge);
+    }
+
+    #[test]
+    fn head_of_line_blocking_semantics() {
+        let mut b = buf(4);
+        b.try_enqueue(OutputPort::new(3), pkt(8)).unwrap();
+        b.try_enqueue(OutputPort::new(1), pkt(8)).unwrap();
+        // Head is for out3; out1 sees nothing.
+        assert_eq!(b.queue_len(OutputPort::new(1)), 0);
+        assert!(b.front(OutputPort::new(1)).is_none());
+        assert!(b.dequeue(OutputPort::new(1)).is_none());
+        // Draining out3 unblocks out1.
+        assert!(b.dequeue(OutputPort::new(3)).is_some());
+        assert_eq!(b.queue_len(OutputPort::new(1)), 1);
+        assert!(b.dequeue(OutputPort::new(1)).is_some());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut b = buf(4);
+        for i in 0..4 {
+            let p = Packet::builder(NodeId::new(i), NodeId::new(9)).build();
+            b.try_enqueue(OutputPort::new(2), p).unwrap();
+        }
+        for i in 0..4 {
+            let p = b.dequeue(OutputPort::new(2)).unwrap();
+            assert_eq!(p.source(), NodeId::new(i));
+        }
+    }
+
+    #[test]
+    fn bad_output_port_is_rejected_without_counting() {
+        let mut b = buf(2);
+        let err = b.try_enqueue(OutputPort::new(4), pkt(8)).unwrap_err();
+        assert_eq!(err.reason, RejectReason::NoSuchOutput);
+        assert_eq!(b.stats().offered(), 0);
+    }
+
+    #[test]
+    fn eligible_outputs_reports_only_head() {
+        let mut b = buf(4);
+        b.try_enqueue(OutputPort::new(2), pkt(8)).unwrap();
+        b.try_enqueue(OutputPort::new(0), pkt(8)).unwrap();
+        assert_eq!(b.eligible_outputs(), vec![OutputPort::new(2)]);
+    }
+
+    #[test]
+    fn invariants_hold_through_random_ops() {
+        let mut b = buf(6);
+        for i in 0..50 {
+            let out = OutputPort::new(i % 4);
+            let _ = b.try_enqueue(out, pkt(1 + (i * 7) % 32));
+            if i % 3 == 0 {
+                if let Some(o) = b.head_output() {
+                    b.dequeue(o);
+                }
+            }
+            b.check_invariants();
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Strongly-typed identifiers for ports, nodes and packets.
+//!
+//! Switch code juggles many small integers — input-port numbers, output-port
+//! numbers, node addresses, packet serial numbers. These newtypes keep them
+//! from being mixed up at compile time ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+/// Index of an input port on a switch.
+///
+/// # Examples
+///
+/// ```
+/// use damq_core::InputPort;
+///
+/// let p = InputPort::new(2);
+/// assert_eq!(p.index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InputPort(usize);
+
+impl InputPort {
+    /// Creates an input-port identifier from its index.
+    pub const fn new(index: usize) -> Self {
+        InputPort(index)
+    }
+
+    /// Returns the zero-based index of this port.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for InputPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in{}", self.0)
+    }
+}
+
+impl From<usize> for InputPort {
+    fn from(index: usize) -> Self {
+        InputPort(index)
+    }
+}
+
+/// Index of an output port on a switch.
+///
+/// Output ports identify the per-output queues inside multi-queue buffers
+/// ([`SamqBuffer`], [`SafcBuffer`], [`DamqBuffer`]).
+///
+/// [`SamqBuffer`]: crate::SamqBuffer
+/// [`SafcBuffer`]: crate::SafcBuffer
+/// [`DamqBuffer`]: crate::DamqBuffer
+///
+/// # Examples
+///
+/// ```
+/// use damq_core::OutputPort;
+///
+/// let p = OutputPort::new(0);
+/// assert_eq!(p.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OutputPort(usize);
+
+impl OutputPort {
+    /// Creates an output-port identifier from its index.
+    pub const fn new(index: usize) -> Self {
+        OutputPort(index)
+    }
+
+    /// Returns the zero-based index of this port.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over all output ports of a switch with `fanout` outputs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use damq_core::OutputPort;
+    ///
+    /// let all: Vec<_> = OutputPort::all(3).collect();
+    /// assert_eq!(all.len(), 3);
+    /// assert_eq!(all[2], OutputPort::new(2));
+    /// ```
+    pub fn all(fanout: usize) -> impl Iterator<Item = OutputPort> {
+        (0..fanout).map(OutputPort)
+    }
+}
+
+impl fmt::Display for OutputPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "out{}", self.0)
+    }
+}
+
+impl From<usize> for OutputPort {
+    fn from(index: usize) -> Self {
+        OutputPort(index)
+    }
+}
+
+/// Address of a node (source or destination) in a network.
+///
+/// In the Omega-network experiments nodes `0..64` are both the processor
+/// (source) addresses and the memory (sink) addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node address.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the numeric address.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Extracts the base-`radix` digit of this address used for routing at
+    /// `stage`, counting stages from the network input side.
+    ///
+    /// A packet traversing an Omega network built from `radix`×`radix`
+    /// switches selects, at each stage, the output port named by one digit of
+    /// its destination address, most-significant digit first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix < 2`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use damq_core::NodeId;
+    ///
+    /// // 0b011011 routed through 2x2 switches: digits 0,1,1,0,1,1.
+    /// let n = NodeId::new(0b011011);
+    /// assert_eq!(n.route_digit(0, 2, 6), 0);
+    /// assert_eq!(n.route_digit(1, 2, 6), 1);
+    /// assert_eq!(n.route_digit(5, 2, 6), 1);
+    /// ```
+    pub fn route_digit(self, stage: usize, radix: usize, stages: usize) -> usize {
+        assert!(radix >= 2, "radix must be at least 2");
+        let shift = stages - 1 - stage;
+        (self.0 / radix.pow(shift as u32)) % radix
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+/// Unique serial number of a packet, assigned at generation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PacketId(u64);
+
+impl PacketId {
+    /// Creates a packet identifier from a raw serial number.
+    pub const fn new(serial: u64) -> Self {
+        PacketId(serial)
+    }
+
+    /// Returns the raw serial number.
+    pub const fn serial(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+impl From<u64> for PacketId {
+    fn from(serial: u64) -> Self {
+        PacketId(serial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_round_trip() {
+        assert_eq!(InputPort::new(3).index(), 3);
+        assert_eq!(OutputPort::new(7).index(), 7);
+        assert_eq!(NodeId::new(63).index(), 63);
+        assert_eq!(PacketId::new(42).serial(), 42);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(InputPort::new(1).to_string(), "in1");
+        assert_eq!(OutputPort::new(2).to_string(), "out2");
+        assert_eq!(NodeId::new(9).to_string(), "node9");
+        assert_eq!(PacketId::new(5).to_string(), "pkt#5");
+    }
+
+    #[test]
+    fn output_port_all_enumerates_fanout() {
+        let v: Vec<_> = OutputPort::all(4).map(OutputPort::index).collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn route_digits_base_4() {
+        // 27 = 1*16 + 2*4 + 3 in base 4 over 3 stages.
+        let n = NodeId::new(27);
+        assert_eq!(n.route_digit(0, 4, 3), 1);
+        assert_eq!(n.route_digit(1, 4, 3), 2);
+        assert_eq!(n.route_digit(2, 4, 3), 3);
+    }
+
+    #[test]
+    fn route_digits_base_2_cover_all_bits() {
+        let n = NodeId::new(0b101100);
+        let digits: Vec<_> = (0..6).map(|s| n.route_digit(s, 2, 6)).collect();
+        assert_eq!(digits, vec![1, 0, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn from_usize_conversions() {
+        let p: InputPort = 5usize.into();
+        assert_eq!(p, InputPort::new(5));
+        let o: OutputPort = 6usize.into();
+        assert_eq!(o, OutputPort::new(6));
+        let n: NodeId = 7usize.into();
+        assert_eq!(n, NodeId::new(7));
+    }
+}

@@ -1,0 +1,120 @@
+//! The SAFC buffer: statically-allocated, fully-connected.
+//!
+//! Storage is organised exactly like [`SamqBuffer`](crate::SamqBuffer) —
+//! per-output queues with static partitions — but each queue has its own
+//! path to its output port (four 4×1 switches instead of one 4×4 crossbar in
+//! the paper's Figure 1b). One input buffer can therefore transmit to
+//! *several* outputs in the same cycle, which is reflected here by
+//! [`read_ports`](damq_core::SwitchBuffer::read_ports) equalling the fanout.
+//!
+//! The paper's critique: the replicated connection/control hardware costs
+//! silicon, flow control needs per-queue state at the upstream node, and the
+//! static partition still wastes storage. The evaluation shows SAFC barely
+//! beats SAMQ — full connectivity buys little.
+
+use crate::buffer::{BufferConfig, BufferKind, SwitchBuffer};
+use crate::error::{ConfigError, Rejected};
+use crate::packet::Packet;
+use crate::static_mq::{impl_static_switch_buffer, StaticMultiQueue};
+use crate::OutputPort;
+
+/// Statically-allocated fully-connected input buffer (one read port per
+/// output).
+///
+/// # Examples
+///
+/// ```
+/// use damq_core::{BufferConfig, SafcBuffer, NodeId, OutputPort, Packet, SwitchBuffer};
+///
+/// let mut buf = SafcBuffer::new(BufferConfig::new(4, 8))?;
+/// assert_eq!(buf.read_ports(), 4); // can feed all four outputs at once
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct SafcBuffer {
+    inner: StaticMultiQueue,
+}
+
+impl SafcBuffer {
+    /// Creates an empty SAFC buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if a dimension is zero or the capacity does
+    /// not divide evenly among the output queues.
+    pub fn new(config: BufferConfig) -> Result<Self, ConfigError> {
+        Ok(SafcBuffer {
+            inner: StaticMultiQueue::new(config, BufferKind::Safc)?,
+        })
+    }
+
+    /// Slot budget statically reserved for each output's queue.
+    pub fn per_queue_capacity(&self) -> usize {
+        self.inner.per_queue_capacity()
+    }
+}
+
+impl_static_switch_buffer!(SafcBuffer, BufferKind::Safc, |b: &SafcBuffer| b
+    .inner
+    .config()
+    .fanout_count());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn pkt() -> Packet {
+        Packet::builder(NodeId::new(0), NodeId::new(1)).build()
+    }
+
+    fn buf() -> SafcBuffer {
+        SafcBuffer::new(BufferConfig::new(4, 8)).unwrap()
+    }
+
+    #[test]
+    fn read_ports_equal_fanout() {
+        assert_eq!(buf().read_ports(), 4);
+    }
+
+    #[test]
+    fn can_dequeue_to_multiple_outputs_in_one_cycle() {
+        let mut b = buf();
+        for o in 0..4 {
+            b.try_enqueue(OutputPort::new(o), pkt()).unwrap();
+        }
+        // A fully-connected buffer drains one packet per output per cycle.
+        let drained: Vec<_> = (0..4)
+            .filter_map(|o| b.dequeue(OutputPort::new(o)))
+            .collect();
+        assert_eq!(drained.len(), 4);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn static_partition_identical_to_samq() {
+        let mut b = buf();
+        b.try_enqueue(OutputPort::new(2), pkt()).unwrap();
+        b.try_enqueue(OutputPort::new(2), pkt()).unwrap();
+        assert!(b.try_enqueue(OutputPort::new(2), pkt()).is_err());
+        assert!(b.can_accept(OutputPort::new(0), 1));
+    }
+
+    #[test]
+    fn rejects_uneven_capacity() {
+        assert!(SafcBuffer::new(BufferConfig::new(4, 7)).is_err());
+    }
+
+    #[test]
+    fn invariants_after_mixed_ops() {
+        let mut b = buf();
+        for i in 0..40 {
+            let out = OutputPort::new((i * 3) % 4);
+            let _ = b.try_enqueue(out, pkt());
+            if i % 2 == 1 {
+                b.dequeue(out);
+            }
+            b.check_invariants();
+        }
+    }
+}

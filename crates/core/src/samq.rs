@@ -1,0 +1,141 @@
+//! The SAMQ buffer: statically-allocated multi-queue.
+//!
+//! One FIFO queue per output port inside a single buffer with a single read
+//! port and a single write port, connected to the outputs through an
+//! ordinary crossbar. Segregating packets by output removes FIFO's
+//! head-of-line blocking, but the storage is *statically* partitioned: a
+//! packet for output *o* can be rejected while slots reserved for other
+//! outputs sit empty.
+
+use crate::buffer::{BufferConfig, BufferKind, SwitchBuffer};
+use crate::error::{ConfigError, Rejected};
+use crate::packet::Packet;
+use crate::static_mq::{impl_static_switch_buffer, StaticMultiQueue};
+use crate::OutputPort;
+
+/// Statically-allocated multi-queue input buffer (single read port).
+///
+/// # Examples
+///
+/// ```
+/// use damq_core::{BufferConfig, SamqBuffer, NodeId, OutputPort, Packet, SwitchBuffer};
+///
+/// let mut buf = SamqBuffer::new(BufferConfig::new(2, 4))?; // 2 slots per queue
+/// let mk = || Packet::builder(NodeId::new(0), NodeId::new(1)).build();
+/// buf.try_enqueue(OutputPort::new(0), mk())?;
+/// buf.try_enqueue(OutputPort::new(0), mk())?;
+///
+/// // Queue 0 is full even though queue 1's two slots are empty.
+/// assert!(buf.try_enqueue(OutputPort::new(0), mk()).is_err());
+/// assert!(buf.can_accept(OutputPort::new(1), 1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct SamqBuffer {
+    inner: StaticMultiQueue,
+}
+
+impl SamqBuffer {
+    /// Creates an empty SAMQ buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if a dimension is zero or the capacity does
+    /// not divide evenly among the output queues.
+    pub fn new(config: BufferConfig) -> Result<Self, ConfigError> {
+        Ok(SamqBuffer {
+            inner: StaticMultiQueue::new(config, BufferKind::Samq)?,
+        })
+    }
+
+    /// Slot budget statically reserved for each output's queue.
+    pub fn per_queue_capacity(&self) -> usize {
+        self.inner.per_queue_capacity()
+    }
+}
+
+impl_static_switch_buffer!(SamqBuffer, BufferKind::Samq, |_b| 1);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RejectReason;
+    use crate::NodeId;
+
+    fn pkt(len: usize) -> Packet {
+        Packet::builder(NodeId::new(0), NodeId::new(1))
+            .length_bytes(len)
+            .build()
+    }
+
+    fn buf() -> SamqBuffer {
+        // 4 outputs, 8 slots -> 2 slots per queue.
+        SamqBuffer::new(BufferConfig::new(4, 8)).unwrap()
+    }
+
+    #[test]
+    fn partitions_evenly() {
+        assert_eq!(buf().per_queue_capacity(), 2);
+    }
+
+    #[test]
+    fn rejects_uneven_capacity() {
+        assert!(SamqBuffer::new(BufferConfig::new(4, 6)).is_err());
+    }
+
+    #[test]
+    fn queue_full_while_buffer_has_space() {
+        let mut b = buf();
+        b.try_enqueue(OutputPort::new(1), pkt(8)).unwrap();
+        b.try_enqueue(OutputPort::new(1), pkt(8)).unwrap();
+        let err = b.try_enqueue(OutputPort::new(1), pkt(8)).unwrap_err();
+        assert_eq!(err.reason, RejectReason::QueueFull);
+        // Six slots remain free overall, but not for queue 1.
+        assert_eq!(b.free_slots(), 6);
+    }
+
+    #[test]
+    fn queues_are_independent_fifos() {
+        let mut b = buf();
+        let a = Packet::builder(NodeId::new(10), NodeId::new(0)).build();
+        let c = Packet::builder(NodeId::new(11), NodeId::new(0)).build();
+        b.try_enqueue(OutputPort::new(0), a).unwrap();
+        b.try_enqueue(OutputPort::new(3), c).unwrap();
+        // No head-of-line blocking: out3 is servable though out0 arrived first.
+        assert_eq!(b.queue_len(OutputPort::new(3)), 1);
+        assert_eq!(
+            b.dequeue(OutputPort::new(3)).unwrap().source(),
+            NodeId::new(11)
+        );
+        assert_eq!(
+            b.dequeue(OutputPort::new(0)).unwrap().source(),
+            NodeId::new(10)
+        );
+    }
+
+    #[test]
+    fn packet_larger_than_partition_is_too_large() {
+        let mut b = buf();
+        // 3 slots needed, partition holds 2 -- even an empty queue rejects it.
+        let err = b.try_enqueue(OutputPort::new(0), pkt(24)).unwrap_err();
+        assert_eq!(err.reason, RejectReason::PacketTooLarge);
+    }
+
+    #[test]
+    fn single_read_port() {
+        assert_eq!(buf().read_ports(), 1);
+    }
+
+    #[test]
+    fn invariants_after_mixed_ops() {
+        let mut b = buf();
+        for i in 0..40 {
+            let out = OutputPort::new(i % 4);
+            let _ = b.try_enqueue(out, pkt(1 + (i % 16)));
+            if i % 2 == 0 {
+                b.dequeue(out);
+            }
+            b.check_invariants();
+        }
+    }
+}

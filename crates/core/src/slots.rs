@@ -1,0 +1,457 @@
+//! Slotted storage managed as linked lists — the DAMQ mechanism.
+//!
+//! The paper's buffer (§3.1) is an array of fixed-size *slots*, each with an
+//! associated **pointer register** naming the next slot of its list. The
+//! pointer registers live in a separate array so they can be accessed in
+//! parallel with the data. Lists are delimited by **head and tail
+//! registers**; one list holds the free slots and one list exists per
+//! destination queue. A packet spans one or more slots (its first slot also
+//! carries length and new-header registers).
+//!
+//! [`SlotPool`] models exactly this: a `next` array (the pointer registers),
+//! per-list head/tail registers, and per-slot content. It is the storage
+//! engine of [`DamqBuffer`](crate::DamqBuffer) and is exposed so that other
+//! buffer organisations (e.g. the micro-architecture model) can reuse it.
+
+use std::fmt;
+
+use crate::packet::Packet;
+
+/// Index of a slot within a [`SlotPool`] (the value a pointer register
+/// holds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(u32);
+
+impl SlotId {
+    /// Creates a slot id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        SlotId(index)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+/// What a slot currently holds.
+#[derive(Debug, Clone)]
+enum SlotContent {
+    /// On the free list.
+    Free,
+    /// First slot of a packet; carries the packet and its total slot count
+    /// (the "length register" of the paper).
+    Head { packet: Packet, slots: usize },
+    /// A continuation slot of a multi-slot packet.
+    Continuation,
+}
+
+/// Head/tail registers and counters for one linked list.
+#[derive(Debug, Clone, Copy, Default)]
+struct ListRegs {
+    head: Option<SlotId>,
+    tail: Option<SlotId>,
+    slot_count: usize,
+    packet_count: usize,
+}
+
+/// A pool of fixed-size slots organised into a free list plus `lists`
+/// packet queues, all threaded through per-slot pointer registers.
+///
+/// # Examples
+///
+/// ```
+/// use damq_core::{NodeId, Packet, SlotPool};
+///
+/// let mut pool = SlotPool::new(4, 2); // 4 slots, 2 queues
+/// let p = Packet::builder(NodeId::new(0), NodeId::new(1)).build();
+/// pool.enqueue(1, p.clone(), 1).unwrap();
+/// assert_eq!(pool.queue_packets(1), 1);
+/// assert_eq!(pool.dequeue(1), Some(p));
+/// assert_eq!(pool.free_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlotPool {
+    next: Vec<Option<SlotId>>,
+    content: Vec<SlotContent>,
+    free: ListRegs,
+    queues: Vec<ListRegs>,
+}
+
+impl SlotPool {
+    /// Creates a pool of `capacity` slots and `lists` empty packet queues;
+    /// every slot starts on the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or exceeds `u32::MAX` slots.
+    pub fn new(capacity: usize, lists: usize) -> Self {
+        assert!(capacity > 0, "slot pool needs at least one slot");
+        assert!(u32::try_from(capacity).is_ok(), "slot pool too large");
+        let mut pool = SlotPool {
+            next: vec![None; capacity],
+            content: vec![SlotContent::Free; capacity],
+            free: ListRegs::default(),
+            queues: vec![ListRegs::default(); lists],
+        };
+        // Thread all slots onto the free list in address order.
+        for i in 0..capacity {
+            pool.push_free(SlotId::new(i as u32));
+        }
+        pool
+    }
+
+    /// Total slots in the pool.
+    pub fn capacity(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Number of packet queues.
+    pub fn list_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Slots currently on the free list.
+    pub fn free_count(&self) -> usize {
+        self.free.slot_count
+    }
+
+    /// Slots currently holding packet data.
+    pub fn used_count(&self) -> usize {
+        self.capacity() - self.free_count()
+    }
+
+    /// Packets waiting on queue `list`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn queue_packets(&self, list: usize) -> usize {
+        self.queues[list].packet_count
+    }
+
+    /// Slots consumed by queue `list`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn queue_slots(&self, list: usize) -> usize {
+        self.queues[list].slot_count
+    }
+
+    /// The packet at the front of queue `list`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn front(&self, list: usize) -> Option<&Packet> {
+        let head = self.queues[list].head?;
+        match &self.content[head.index()] {
+            SlotContent::Head { packet, .. } => Some(packet),
+            _ => unreachable!("queue head register must point at a packet head slot"),
+        }
+    }
+
+    /// Appends `packet`, which occupies `slots` slots, to queue `list`.
+    ///
+    /// Slots are taken from the *front* of the free list, one per stored
+    /// 8-byte chunk, and linked to the queue's tail — mirroring the paper's
+    /// reception sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back if fewer than `slots` slots are free. The
+    /// pool is unchanged in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range or `slots` is zero.
+    pub fn enqueue(&mut self, list: usize, packet: Packet, slots: usize) -> Result<(), Packet> {
+        assert!(slots > 0, "a packet occupies at least one slot");
+        assert!(list < self.queues.len(), "queue index out of range");
+        if self.free.slot_count < slots {
+            return Err(packet);
+        }
+        let first = self.pop_free().expect("free count checked");
+        self.content[first.index()] = SlotContent::Head { packet, slots };
+        self.append_to_queue(list, first);
+        for _ in 1..slots {
+            let s = self.pop_free().expect("free count checked");
+            self.content[s.index()] = SlotContent::Continuation;
+            self.append_to_queue(list, s);
+        }
+        self.queues[list].packet_count += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the packet at the front of queue `list`, returning
+    /// its slots to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn dequeue(&mut self, list: usize) -> Option<Packet> {
+        let first = self.queues[list].head?;
+        let (packet, slots) =
+            match std::mem::replace(&mut self.content[first.index()], SlotContent::Free) {
+                SlotContent::Head { packet, slots } => (packet, slots),
+                other => unreachable!("queue head was {other:?}, not a packet head"),
+            };
+        self.unlink_queue_head(list);
+        self.push_free(first);
+        for _ in 1..slots {
+            let s = self
+                .queues[list]
+                .head
+                .expect("multi-slot packet must have continuation slots queued");
+            debug_assert!(matches!(self.content[s.index()], SlotContent::Continuation));
+            self.content[s.index()] = SlotContent::Free;
+            self.unlink_queue_head(list);
+            self.push_free(s);
+        }
+        self.queues[list].packet_count -= 1;
+        Some(packet)
+    }
+
+    /// Appends slot `id` to the tail of queue `list` (pointer-register
+    /// update of §3.2.1).
+    fn append_to_queue(&mut self, list: usize, id: SlotId) {
+        let regs = &mut self.queues[list];
+        self.next[id.index()] = None;
+        match regs.tail {
+            Some(tail) => self.next[tail.index()] = Some(id),
+            None => regs.head = Some(id),
+        }
+        regs.tail = Some(id);
+        regs.slot_count += 1;
+    }
+
+    /// Advances a queue's head register past its first slot.
+    fn unlink_queue_head(&mut self, list: usize) {
+        let regs = &mut self.queues[list];
+        let head = regs.head.expect("unlink from empty queue");
+        regs.head = self.next[head.index()];
+        if regs.head.is_none() {
+            regs.tail = None;
+        }
+        self.next[head.index()] = None;
+        regs.slot_count -= 1;
+    }
+
+    fn push_free(&mut self, id: SlotId) {
+        self.next[id.index()] = None;
+        match self.free.tail {
+            Some(tail) => self.next[tail.index()] = Some(id),
+            None => self.free.head = Some(id),
+        }
+        self.free.tail = Some(id);
+        self.free.slot_count += 1;
+    }
+
+    fn pop_free(&mut self) -> Option<SlotId> {
+        let head = self.free.head?;
+        self.free.head = self.next[head.index()];
+        if self.free.head.is_none() {
+            self.free.tail = None;
+        }
+        self.next[head.index()] = None;
+        self.free.slot_count -= 1;
+        Some(head)
+    }
+
+    /// Verifies every structural invariant of the pool, panicking with a
+    /// description on violation:
+    ///
+    /// * every slot is on exactly one list (free or some queue),
+    /// * no list contains a cycle,
+    /// * head/tail registers and counters agree with the links,
+    /// * queue contents alternate head/continuation slots consistently with
+    ///   the stored packet lengths.
+    pub fn check_invariants(&self) {
+        let mut seen = vec![false; self.capacity()];
+        let walk = |regs: &ListRegs, seen: &mut Vec<bool>, label: &str| -> Vec<SlotId> {
+            let mut out = Vec::new();
+            let mut cur = regs.head;
+            while let Some(id) = cur {
+                assert!(
+                    !seen[id.index()],
+                    "{label}: slot {id} appears on two lists or in a cycle"
+                );
+                seen[id.index()] = true;
+                out.push(id);
+                cur = self.next[id.index()];
+            }
+            assert_eq!(
+                out.len(),
+                regs.slot_count,
+                "{label}: slot_count register disagrees with links"
+            );
+            assert_eq!(
+                out.last().copied(),
+                regs.tail,
+                "{label}: tail register disagrees with links"
+            );
+            out
+        };
+
+        let free = walk(&self.free, &mut seen, "free list");
+        for id in free {
+            assert!(
+                matches!(self.content[id.index()], SlotContent::Free),
+                "free list holds non-free slot {id}"
+            );
+        }
+        for (qi, regs) in self.queues.iter().enumerate() {
+            let slots = walk(regs, &mut seen, &format!("queue {qi}"));
+            let mut packets = 0;
+            let mut i = 0;
+            while i < slots.len() {
+                match &self.content[slots[i].index()] {
+                    SlotContent::Head { slots: k, .. } => {
+                        for j in 1..*k {
+                            assert!(
+                                matches!(
+                                    self.content[slots[i + j].index()],
+                                    SlotContent::Continuation
+                                ),
+                                "queue {qi}: packet missing continuation slot"
+                            );
+                        }
+                        packets += 1;
+                        i += k;
+                    }
+                    other => panic!("queue {qi}: expected packet head, found {other:?}"),
+                }
+            }
+            assert_eq!(
+                packets, regs.packet_count,
+                "queue {qi}: packet_count register disagrees with contents"
+            );
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some slot is on no list (leaked slot)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn pkt(src: usize) -> Packet {
+        Packet::builder(NodeId::new(src), NodeId::new(0)).build()
+    }
+
+    #[test]
+    fn new_pool_is_all_free() {
+        let pool = SlotPool::new(12, 5);
+        assert_eq!(pool.capacity(), 12);
+        assert_eq!(pool.free_count(), 12);
+        assert_eq!(pool.used_count(), 0);
+        assert_eq!(pool.list_count(), 5);
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn enqueue_dequeue_single_slot_round_trip() {
+        let mut pool = SlotPool::new(4, 2);
+        pool.enqueue(0, pkt(7), 1).unwrap();
+        assert_eq!(pool.free_count(), 3);
+        assert_eq!(pool.queue_packets(0), 1);
+        assert_eq!(pool.front(0).unwrap().source(), NodeId::new(7));
+        let p = pool.dequeue(0).unwrap();
+        assert_eq!(p.source(), NodeId::new(7));
+        assert_eq!(pool.free_count(), 4);
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn multi_slot_packets_link_and_free_correctly() {
+        let mut pool = SlotPool::new(8, 2);
+        pool.enqueue(0, pkt(1), 4).unwrap();
+        pool.enqueue(1, pkt(2), 3).unwrap();
+        assert_eq!(pool.free_count(), 1);
+        assert_eq!(pool.queue_slots(0), 4);
+        assert_eq!(pool.queue_slots(1), 3);
+        pool.check_invariants();
+        assert_eq!(pool.dequeue(0).unwrap().source(), NodeId::new(1));
+        assert_eq!(pool.free_count(), 5);
+        pool.check_invariants();
+        assert_eq!(pool.dequeue(1).unwrap().source(), NodeId::new(2));
+        assert_eq!(pool.free_count(), 8);
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn enqueue_fails_without_enough_free_slots_and_is_atomic() {
+        let mut pool = SlotPool::new(4, 1);
+        pool.enqueue(0, pkt(1), 3).unwrap();
+        let p = pkt(2);
+        let back = pool.enqueue(0, p.clone(), 2).unwrap_err();
+        assert_eq!(back, p);
+        assert_eq!(pool.free_count(), 1);
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn queues_share_the_free_pool_dynamically() {
+        // The defining DAMQ property: one queue may consume all slots.
+        let mut pool = SlotPool::new(4, 4);
+        for i in 0..4 {
+            pool.enqueue(2, pkt(i), 1).unwrap();
+        }
+        assert_eq!(pool.queue_packets(2), 4);
+        assert_eq!(pool.free_count(), 0);
+        assert!(pool.enqueue(0, pkt(9), 1).is_err());
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn freed_slots_are_reused_in_fifo_order() {
+        let mut pool = SlotPool::new(2, 1);
+        pool.enqueue(0, pkt(0), 1).unwrap();
+        pool.enqueue(0, pkt(1), 1).unwrap();
+        pool.dequeue(0).unwrap();
+        pool.enqueue(0, pkt(2), 1).unwrap();
+        assert_eq!(pool.dequeue(0).unwrap().source(), NodeId::new(1));
+        assert_eq!(pool.dequeue(0).unwrap().source(), NodeId::new(2));
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn per_queue_fifo_order_with_interleaving() {
+        let mut pool = SlotPool::new(6, 2);
+        pool.enqueue(0, pkt(0), 1).unwrap();
+        pool.enqueue(1, pkt(1), 2).unwrap();
+        pool.enqueue(0, pkt(2), 1).unwrap();
+        pool.enqueue(1, pkt(3), 1).unwrap();
+        assert_eq!(pool.dequeue(1).unwrap().source(), NodeId::new(1));
+        assert_eq!(pool.dequeue(0).unwrap().source(), NodeId::new(0));
+        assert_eq!(pool.dequeue(1).unwrap().source(), NodeId::new(3));
+        assert_eq!(pool.dequeue(0).unwrap().source(), NodeId::new(2));
+        assert_eq!(pool.dequeue(0), None);
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn dequeue_empty_queue_is_none() {
+        let mut pool = SlotPool::new(2, 2);
+        assert_eq!(pool.dequeue(0), None);
+        assert_eq!(pool.dequeue(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue index out of range")]
+    fn enqueue_bad_list_panics() {
+        let mut pool = SlotPool::new(2, 1);
+        let _ = pool.enqueue(1, pkt(0), 1);
+    }
+}

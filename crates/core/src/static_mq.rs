@@ -1,0 +1,219 @@
+//! Shared implementation of the statically-allocated multi-queue designs.
+//!
+//! SAMQ and SAFC organise storage identically — the input buffer is split
+//! into `fanout` equal partitions, one FIFO queue per output port — and
+//! differ only in the read fabric (single read port vs. one per output),
+//! which is a property of the *switch* side. The common storage lives here.
+
+use std::collections::VecDeque;
+
+use crate::buffer::{BufferConfig, BufferKind};
+use crate::error::{ConfigError, RejectReason, Rejected};
+use crate::packet::Packet;
+use crate::stats::BufferStats;
+use crate::OutputPort;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    slots: usize,
+    packet: Packet,
+}
+
+/// Storage common to [`SamqBuffer`](crate::SamqBuffer) and
+/// [`SafcBuffer`](crate::SafcBuffer): per-output queues with statically
+/// partitioned slot budgets.
+#[derive(Debug)]
+pub(crate) struct StaticMultiQueue {
+    config: BufferConfig,
+    per_queue_capacity: usize,
+    queues: Vec<VecDeque<Entry>>,
+    queue_used: Vec<usize>,
+    stats: BufferStats,
+}
+
+impl StaticMultiQueue {
+    pub(crate) fn new(config: BufferConfig, kind: BufferKind) -> Result<Self, ConfigError> {
+        debug_assert!(kind.is_statically_allocated());
+        config.validate(kind)?;
+        let fanout = config.fanout_count();
+        Ok(StaticMultiQueue {
+            config,
+            per_queue_capacity: config.capacity() / fanout,
+            queues: (0..fanout).map(|_| VecDeque::new()).collect(),
+            queue_used: vec![0; fanout],
+            stats: BufferStats::new(),
+        })
+    }
+
+    /// Slot budget of each per-output partition.
+    pub(crate) fn per_queue_capacity(&self) -> usize {
+        self.per_queue_capacity
+    }
+
+    pub(crate) fn config(&self) -> &BufferConfig {
+        &self.config
+    }
+
+    pub(crate) fn used_slots(&self) -> usize {
+        self.queue_used.iter().sum()
+    }
+
+    pub(crate) fn can_accept(&self, output: OutputPort, slots: usize) -> bool {
+        output.index() < self.queues.len()
+            && self.queue_used[output.index()] + slots <= self.per_queue_capacity
+    }
+
+    pub(crate) fn try_enqueue(
+        &mut self,
+        output: OutputPort,
+        packet: Packet,
+    ) -> Result<(), Rejected> {
+        if output.index() >= self.queues.len() {
+            return Err(Rejected {
+                packet,
+                output,
+                reason: RejectReason::NoSuchOutput,
+            });
+        }
+        let slots = packet.slots_needed(self.config.slot_size());
+        if slots > self.per_queue_capacity {
+            self.stats.record_rejected();
+            return Err(Rejected {
+                packet,
+                output,
+                reason: RejectReason::PacketTooLarge,
+            });
+        }
+        if self.queue_used[output.index()] + slots > self.per_queue_capacity {
+            self.stats.record_rejected();
+            return Err(Rejected {
+                packet,
+                output,
+                reason: RejectReason::QueueFull,
+            });
+        }
+        self.queue_used[output.index()] += slots;
+        self.stats.record_accepted(slots);
+        let used = self.used_slots();
+        self.stats.observe_used_slots(used);
+        self.queues[output.index()].push_back(Entry { slots, packet });
+        Ok(())
+    }
+
+    pub(crate) fn queue_len(&self, output: OutputPort) -> usize {
+        self.queues
+            .get(output.index())
+            .map_or(0, VecDeque::len)
+    }
+
+    pub(crate) fn front(&self, output: OutputPort) -> Option<&Packet> {
+        self.queues.get(output.index())?.front().map(|e| &e.packet)
+    }
+
+    pub(crate) fn dequeue(&mut self, output: OutputPort) -> Option<Packet> {
+        let entry = self.queues.get_mut(output.index())?.pop_front()?;
+        self.queue_used[output.index()] -= entry.slots;
+        self.stats.record_forwarded();
+        Some(entry.packet)
+    }
+
+    pub(crate) fn packet_count(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    pub(crate) fn stats(&self) -> &BufferStats {
+        &self.stats
+    }
+
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    pub(crate) fn check_invariants(&self) {
+        for (i, q) in self.queues.iter().enumerate() {
+            let sum: usize = q.iter().map(|e| e.slots).sum();
+            assert_eq!(sum, self.queue_used[i], "queue {i} used count out of sync");
+            assert!(
+                self.queue_used[i] <= self.per_queue_capacity,
+                "queue {i} over its static partition"
+            );
+            for e in q {
+                assert_eq!(
+                    e.slots,
+                    e.packet.slots_needed(self.config.slot_size()),
+                    "stored slot count mismatch"
+                );
+            }
+        }
+    }
+}
+
+/// Implements `SwitchBuffer` for a newtype wrapping `StaticMultiQueue`.
+macro_rules! impl_static_switch_buffer {
+    ($ty:ty, $kind:expr, $read_ports:expr) => {
+        impl SwitchBuffer for $ty {
+            fn kind(&self) -> BufferKind {
+                $kind
+            }
+
+            fn fanout(&self) -> usize {
+                self.inner.config().fanout_count()
+            }
+
+            fn capacity_slots(&self) -> usize {
+                self.inner.config().capacity()
+            }
+
+            fn used_slots(&self) -> usize {
+                self.inner.used_slots()
+            }
+
+            fn slot_bytes(&self) -> usize {
+                self.inner.config().slot_size()
+            }
+
+            fn read_ports(&self) -> usize {
+                let f: fn(&$ty) -> usize = $read_ports;
+                f(self)
+            }
+
+            fn can_accept(&self, output: OutputPort, slots: usize) -> bool {
+                self.inner.can_accept(output, slots)
+            }
+
+            fn try_enqueue(&mut self, output: OutputPort, packet: Packet) -> Result<(), Rejected> {
+                self.inner.try_enqueue(output, packet)
+            }
+
+            fn queue_len(&self, output: OutputPort) -> usize {
+                self.inner.queue_len(output)
+            }
+
+            fn front(&self, output: OutputPort) -> Option<&Packet> {
+                self.inner.front(output)
+            }
+
+            fn dequeue(&mut self, output: OutputPort) -> Option<Packet> {
+                self.inner.dequeue(output)
+            }
+
+            fn packet_count(&self) -> usize {
+                self.inner.packet_count()
+            }
+
+            fn stats(&self) -> &crate::stats::BufferStats {
+                self.inner.stats()
+            }
+
+            fn reset_stats(&mut self) {
+                self.inner.reset_stats()
+            }
+
+            fn check_invariants(&self) {
+                self.inner.check_invariants()
+            }
+        }
+    };
+}
+
+pub(crate) use impl_static_switch_buffer;

@@ -1,0 +1,176 @@
+//! Per-buffer operation counters.
+
+use std::fmt;
+
+/// Running counters kept by every buffer implementation.
+///
+/// Counters are cumulative since construction (or the last
+/// [`BufferStats::reset`]); simulators read them to compute discard rates and
+/// utilisation.
+///
+/// # Examples
+///
+/// ```
+/// use damq_core::BufferStats;
+///
+/// let mut s = BufferStats::new();
+/// s.record_accepted(2);
+/// s.record_rejected();
+/// assert_eq!(s.offered(), 2);
+/// assert!((s.reject_fraction() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    packets_accepted: u64,
+    packets_rejected: u64,
+    packets_forwarded: u64,
+    slots_accepted: u64,
+    peak_used_slots: usize,
+}
+
+impl BufferStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records acceptance of a packet occupying `slots` slots.
+    pub fn record_accepted(&mut self, slots: usize) {
+        self.packets_accepted += 1;
+        self.slots_accepted += slots as u64;
+    }
+
+    /// Records a packet bounced for lack of space.
+    pub fn record_rejected(&mut self) {
+        self.packets_rejected += 1;
+    }
+
+    /// Records a packet leaving through the crossbar.
+    pub fn record_forwarded(&mut self) {
+        self.packets_forwarded += 1;
+    }
+
+    /// Tracks the high-water mark of slot occupancy.
+    pub fn observe_used_slots(&mut self, used: usize) {
+        if used > self.peak_used_slots {
+            self.peak_used_slots = used;
+        }
+    }
+
+    /// Packets stored successfully.
+    pub fn packets_accepted(&self) -> u64 {
+        self.packets_accepted
+    }
+
+    /// Packets that could not be stored.
+    pub fn packets_rejected(&self) -> u64 {
+        self.packets_rejected
+    }
+
+    /// Packets dequeued for transmission.
+    pub fn packets_forwarded(&self) -> u64 {
+        self.packets_forwarded
+    }
+
+    /// Total slots consumed by accepted packets.
+    pub fn slots_accepted(&self) -> u64 {
+        self.slots_accepted
+    }
+
+    /// Highest simultaneous slot occupancy seen.
+    pub fn peak_used_slots(&self) -> usize {
+        self.peak_used_slots
+    }
+
+    /// Packets that arrived at this buffer (accepted + rejected).
+    pub fn offered(&self) -> u64 {
+        self.packets_accepted + self.packets_rejected
+    }
+
+    /// Fraction of offered packets that were rejected; 0 if none offered.
+    pub fn reject_fraction(&self) -> f64 {
+        if self.offered() == 0 {
+            0.0
+        } else {
+            self.packets_rejected as f64 / self.offered() as f64
+        }
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Adds another set of counters into this one (for aggregating a whole
+    /// switch or network).
+    pub fn merge(&mut self, other: &BufferStats) {
+        self.packets_accepted += other.packets_accepted;
+        self.packets_rejected += other.packets_rejected;
+        self.packets_forwarded += other.packets_forwarded;
+        self.slots_accepted += other.slots_accepted;
+        self.peak_used_slots = self.peak_used_slots.max(other.peak_used_slots);
+    }
+}
+
+impl fmt::Display for BufferStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accepted {} / rejected {} / forwarded {} (peak {} slots)",
+            self.packets_accepted, self.packets_rejected, self.packets_forwarded, self.peak_used_slots
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = BufferStats::new();
+        s.record_accepted(3);
+        s.record_accepted(1);
+        s.record_rejected();
+        s.record_forwarded();
+        assert_eq!(s.packets_accepted(), 2);
+        assert_eq!(s.slots_accepted(), 4);
+        assert_eq!(s.packets_rejected(), 1);
+        assert_eq!(s.packets_forwarded(), 1);
+        assert_eq!(s.offered(), 3);
+    }
+
+    #[test]
+    fn reject_fraction_handles_zero_offered() {
+        assert_eq!(BufferStats::new().reject_fraction(), 0.0);
+    }
+
+    #[test]
+    fn peak_tracks_maximum_only() {
+        let mut s = BufferStats::new();
+        s.observe_used_slots(3);
+        s.observe_used_slots(1);
+        assert_eq!(s.peak_used_slots(), 3);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = BufferStats::new();
+        a.record_accepted(2);
+        a.observe_used_slots(2);
+        let mut b = BufferStats::new();
+        b.record_rejected();
+        b.observe_used_slots(5);
+        a.merge(&b);
+        assert_eq!(a.offered(), 2);
+        assert_eq!(a.peak_used_slots(), 5);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = BufferStats::new();
+        s.record_accepted(1);
+        s.reset();
+        assert_eq!(s, BufferStats::new());
+    }
+}

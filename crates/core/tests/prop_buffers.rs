@@ -1,0 +1,191 @@
+//! Property-based tests over arbitrary operation sequences on all four
+//! buffer designs.
+
+use proptest::prelude::*;
+
+use damq_core::{
+    BufferConfig, BufferKind, NodeId, OutputPort, Packet, PacketId,
+};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Enqueue { output: usize, length: usize },
+    Dequeue { output: usize },
+}
+
+fn op_strategy(fanout: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..fanout, 1usize..=32).prop_map(|(output, length)| Op::Enqueue { output, length }),
+        2 => (0..fanout).prop_map(|output| Op::Dequeue { output }),
+    ]
+}
+
+fn packet(serial: u64, length: usize) -> Packet {
+    Packet::builder(NodeId::new(0), NodeId::new(1))
+        .id(PacketId::new(serial))
+        .length_bytes(length)
+        .build()
+}
+
+proptest! {
+    /// Invariants hold and bookkeeping balances under arbitrary op mixes,
+    /// for every design.
+    #[test]
+    fn random_ops_preserve_invariants(
+        ops in prop::collection::vec(op_strategy(4), 1..200),
+        capacity in 1usize..=16,
+    ) {
+        for kind in BufferKind::ALL {
+            let capacity = if kind.is_statically_allocated() {
+                capacity.div_ceil(4) * 4 // round up to divisible
+            } else {
+                capacity
+            };
+            let mut buf = BufferConfig::new(4, capacity).build(kind).unwrap();
+            let mut serial = 0u64;
+            for op in &ops {
+                match *op {
+                    Op::Enqueue { output, length } => {
+                        let _ = buf.try_enqueue(OutputPort::new(output), packet(serial, length));
+                        serial += 1;
+                    }
+                    Op::Dequeue { output } => {
+                        let _ = buf.dequeue(OutputPort::new(output));
+                    }
+                }
+                buf.check_invariants();
+                prop_assert!(buf.used_slots() <= buf.capacity_slots(), "{kind}");
+            }
+            let s = buf.stats();
+            prop_assert_eq!(
+                s.packets_accepted() - s.packets_forwarded(),
+                buf.packet_count() as u64,
+                "{} accounting", kind
+            );
+        }
+    }
+
+    /// `can_accept` tells the truth: enqueue succeeds iff it said yes.
+    #[test]
+    fn can_accept_is_accurate(
+        ops in prop::collection::vec(op_strategy(4), 1..150),
+        capacity in 1usize..=12,
+    ) {
+        for kind in BufferKind::ALL {
+            let capacity = if kind.is_statically_allocated() {
+                capacity.div_ceil(4) * 4
+            } else {
+                capacity
+            };
+            let mut buf = BufferConfig::new(4, capacity).build(kind).unwrap();
+            let mut serial = 0;
+            for op in &ops {
+                match *op {
+                    Op::Enqueue { output, length } => {
+                        let p = packet(serial, length);
+                        serial += 1;
+                        let slots = p.slots_needed(buf.slot_bytes());
+                        let promised = buf.can_accept(OutputPort::new(output), slots);
+                        let accepted = buf.try_enqueue(OutputPort::new(output), p).is_ok();
+                        prop_assert_eq!(promised, accepted, "{} lied", kind);
+                    }
+                    Op::Dequeue { output } => {
+                        let _ = buf.dequeue(OutputPort::new(output));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-output dequeue order matches enqueue order (FIFO within queue)
+    /// for the multi-queue designs; global FIFO order for the FIFO design.
+    #[test]
+    fn fifo_order_per_queue(
+        ops in prop::collection::vec(op_strategy(3), 1..150),
+    ) {
+        for kind in BufferKind::ALL {
+            let mut buf = BufferConfig::new(3, 12).build(kind).unwrap();
+            let mut serial = 0u64;
+            let mut expected: Vec<std::collections::VecDeque<u64>> =
+                vec![Default::default(); 3];
+            let mut global: std::collections::VecDeque<(usize, u64)> = Default::default();
+            for op in &ops {
+                match *op {
+                    Op::Enqueue { output, length } => {
+                        let p = packet(serial, length);
+                        if buf.try_enqueue(OutputPort::new(output), p).is_ok() {
+                            expected[output].push_back(serial);
+                            global.push_back((output, serial));
+                        }
+                        serial += 1;
+                    }
+                    Op::Dequeue { output } => {
+                        if let Some(p) = buf.dequeue(OutputPort::new(output)) {
+                            match kind {
+                                BufferKind::Fifo => {
+                                    let (o, s) = global.pop_front().unwrap();
+                                    prop_assert_eq!(o, output);
+                                    prop_assert_eq!(p.id().serial(), s);
+                                }
+                                _ => {
+                                    let s = expected[output].pop_front().unwrap();
+                                    prop_assert_eq!(p.id().serial(), s, "{}", kind);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The DAMQ acceptance rule is exactly "enough free slots in the shared
+    /// pool", never per-queue.
+    #[test]
+    fn damq_shares_all_storage(
+        fills in prop::collection::vec((0usize..4, 1usize..=32), 1..40),
+    ) {
+        let mut buf = BufferConfig::new(4, 12).build(BufferKind::Damq).unwrap();
+        let mut serial = 0;
+        for (output, length) in fills {
+            let p = packet(serial, length);
+            serial += 1;
+            let need = p.slots_needed(buf.slot_bytes());
+            let fits = need <= buf.free_slots();
+            let accepted = buf.try_enqueue(OutputPort::new(output), p).is_ok();
+            prop_assert_eq!(fits, accepted);
+        }
+    }
+
+    /// SAMQ/SAFC never let one queue exceed its static partition.
+    #[test]
+    fn static_designs_respect_partitions(
+        ops in prop::collection::vec(op_strategy(4), 1..150),
+    ) {
+        for kind in [BufferKind::Samq, BufferKind::Safc] {
+            let mut buf = BufferConfig::new(4, 8).build(kind).unwrap();
+            let mut serial = 0;
+            let mut per_queue_slots = [0usize; 4];
+            for op in &ops {
+                match *op {
+                    Op::Enqueue { output, length } => {
+                        let p = packet(serial, length);
+                        serial += 1;
+                        let need = p.slots_needed(buf.slot_bytes());
+                        if buf.try_enqueue(OutputPort::new(output), p).is_ok() {
+                            per_queue_slots[output] += need;
+                        }
+                    }
+                    Op::Dequeue { output } => {
+                        if let Some(p) = buf.dequeue(OutputPort::new(output)) {
+                            per_queue_slots[output] -= p.slots_needed(buf.slot_bytes());
+                        }
+                    }
+                }
+                for (q, &used) in per_queue_slots.iter().enumerate() {
+                    prop_assert!(used <= 2, "{kind} queue {q} used {used} of 2 slots");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Discard-probability analysis: the computation behind the paper's
+//! Table 2.
+
+use std::error::Error;
+use std::fmt;
+
+use damq_core::BufferKind;
+
+use crate::chain::{Chain, MarkovModel};
+use crate::dafc_model::DafcModel;
+use crate::damq_model::DamqModel;
+use crate::fifo_model::FifoModel;
+use crate::safc_model::SafcModel;
+use crate::samq_model::SamqModel;
+use crate::solve::{SolveError, SolveOptions};
+use crate::switch2x2::{BufferModel2x2, CycleOrder, Switch2x2};
+
+/// Result of analysing one (buffer kind, capacity, traffic) point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscardPoint {
+    /// Probability that an arriving packet is discarded.
+    pub discard_probability: f64,
+    /// Mean packets transmitted per cycle (out of a maximum of 2).
+    pub throughput: f64,
+    /// Mean packets resident in the switch's two buffers.
+    pub mean_occupancy: f64,
+    /// Mean buffering delay of an accepted packet, in long-clock cycles
+    /// (Little's law: occupancy / throughput).
+    pub mean_wait_cycles: f64,
+    /// Number of states in the underlying chain.
+    pub states: usize,
+    /// Solver iterations used.
+    pub iterations: usize,
+}
+
+/// Failure of a discard analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// SAMQ/SAFC need an even capacity for the 2×2 static split.
+    OddStaticCapacity {
+        /// The buffer design requested.
+        kind: BufferKind,
+        /// The capacity requested.
+        capacity: usize,
+    },
+    /// The steady-state solver failed.
+    Solve(SolveError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::OddStaticCapacity { kind, capacity } => write!(
+                f,
+                "{kind} buffers statically split storage and need an even capacity, got {capacity}"
+            ),
+            AnalysisError::Solve(e) => write!(f, "steady-state solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Solve(e) => Some(e),
+            AnalysisError::OddStaticCapacity { .. } => None,
+        }
+    }
+}
+
+impl From<SolveError> for AnalysisError {
+    fn from(e: SolveError) -> Self {
+        AnalysisError::Solve(e)
+    }
+}
+
+fn analyze_model<M>(
+    model: M,
+    traffic: f64,
+    order: CycleOrder,
+    options: SolveOptions,
+) -> Result<DiscardPoint, AnalysisError>
+where
+    M: BufferModel2x2,
+    Switch2x2<M>: MarkovModel<State = M::State>,
+{
+    let switch = Switch2x2::new(model, traffic, order);
+    let chain = Chain::explore(&switch);
+    let ss = chain.steady_state(options)?;
+    let reward = chain.stationary_reward(&ss);
+    let discard_probability = if reward.arrivals > 0.0 {
+        reward.discards / reward.arrivals
+    } else {
+        0.0
+    };
+    let mean_occupancy: f64 = ss
+        .pi
+        .iter()
+        .enumerate()
+        .map(|(i, p)| p * f64::from(switch.model().occupancy(chain.state(i))))
+        .sum();
+    let mean_wait_cycles = if reward.departures > 0.0 {
+        mean_occupancy / reward.departures
+    } else {
+        0.0
+    };
+    Ok(DiscardPoint {
+        discard_probability,
+        throughput: reward.departures,
+        mean_occupancy,
+        mean_wait_cycles,
+        states: chain.state_count(),
+        iterations: ss.iterations,
+    })
+}
+
+/// Computes the steady-state discard probability of a 2×2 discarding switch
+/// with the given buffer design, per-input `capacity` (in packets) and
+/// per-input arrival probability `traffic`.
+///
+/// This is one cell of the paper's Table 2.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::OddStaticCapacity`] for SAMQ/SAFC with odd
+/// capacity, or a wrapped [`SolveError`] if the chain does not converge.
+///
+/// # Examples
+///
+/// ```
+/// use damq_core::BufferKind;
+/// use damq_markov::{discard_probability, CycleOrder, SolveOptions};
+///
+/// let damq = discard_probability(
+///     BufferKind::Damq, 3, 0.9, CycleOrder::default(), SolveOptions::default())?;
+/// let fifo = discard_probability(
+///     BufferKind::Fifo, 3, 0.9, CycleOrder::default(), SolveOptions::default())?;
+/// assert!(damq.discard_probability < fifo.discard_probability);
+/// # Ok::<(), damq_markov::AnalysisError>(())
+/// ```
+pub fn discard_probability(
+    kind: BufferKind,
+    capacity: usize,
+    traffic: f64,
+    order: CycleOrder,
+    options: SolveOptions,
+) -> Result<DiscardPoint, AnalysisError> {
+    if kind.is_statically_allocated() && capacity % 2 != 0 {
+        return Err(AnalysisError::OddStaticCapacity { kind, capacity });
+    }
+    match kind {
+        BufferKind::Fifo => analyze_model(FifoModel::new(capacity), traffic, order, options),
+        BufferKind::Damq => analyze_model(DamqModel::new(capacity), traffic, order, options),
+        BufferKind::Samq => analyze_model(SamqModel::new(capacity), traffic, order, options),
+        BufferKind::Safc => analyze_model(SafcModel::new(capacity), traffic, order, options),
+        BufferKind::Dafc => analyze_model(DafcModel::new(capacity), traffic, order, options),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(kind: BufferKind, cap: usize, traffic: f64) -> DiscardPoint {
+        discard_probability(
+            kind,
+            cap,
+            traffic,
+            CycleOrder::ArrivalsFirst,
+            SolveOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_traffic_never_discards() {
+        for kind in BufferKind::ALL {
+            let p = point(kind, 2, 0.0);
+            assert_eq!(p.discard_probability, 0.0, "{kind}");
+            assert_eq!(p.throughput, 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn flow_conservation_arrivals_equal_throughput_plus_discards() {
+        for kind in BufferKind::ALL {
+            let traffic = 0.8;
+            let p = point(kind, 2, traffic);
+            let arrivals = 2.0 * traffic;
+            let lost = arrivals * p.discard_probability;
+            assert!(
+                (p.throughput + lost - arrivals).abs() < 1e-7,
+                "{kind}: thr {} + lost {} != arr {}",
+                p.throughput,
+                lost,
+                arrivals
+            );
+        }
+    }
+
+    #[test]
+    fn damq_beats_fifo_at_high_traffic() {
+        let damq = point(BufferKind::Damq, 4, 0.9);
+        let fifo = point(BufferKind::Fifo, 4, 0.9);
+        assert!(damq.discard_probability < fifo.discard_probability);
+    }
+
+    #[test]
+    fn safc_at_least_as_good_as_samq() {
+        for traffic in [0.5, 0.75, 0.95] {
+            let safc = point(BufferKind::Safc, 4, traffic);
+            let samq = point(BufferKind::Samq, 4, traffic);
+            assert!(
+                safc.discard_probability <= samq.discard_probability + 1e-9,
+                "traffic {traffic}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_buffer_space_never_hurts() {
+        for kind in [BufferKind::Fifo, BufferKind::Damq] {
+            let small = point(kind, 2, 0.85);
+            let large = point(kind, 5, 0.85);
+            assert!(
+                large.discard_probability <= small.discard_probability + 1e-9,
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_and_wait_are_consistent() {
+        // Little's law is applied by construction; check the pieces are
+        // sane: occupancy within capacity, wait at least the service floor.
+        for kind in BufferKind::ALL {
+            let p = point(kind, 4, 0.8);
+            assert!(p.mean_occupancy > 0.0, "{kind}");
+            assert!(p.mean_occupancy <= 8.0, "{kind}: two 4-slot buffers");
+            assert!(p.mean_wait_cycles > 0.0, "{kind}");
+            assert!(
+                (p.mean_wait_cycles - p.mean_occupancy / p.throughput).abs() < 1e-12,
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_waits_longer_than_damq_under_load() {
+        // Head-of-line blocking shows up as queueing delay, not just loss.
+        let fifo = point(BufferKind::Fifo, 4, 0.9);
+        let damq = point(BufferKind::Damq, 4, 0.9);
+        assert!(
+            fifo.mean_wait_cycles > damq.mean_wait_cycles,
+            "FIFO {} vs DAMQ {}",
+            fifo.mean_wait_cycles,
+            damq.mean_wait_cycles
+        );
+    }
+
+    #[test]
+    fn occupancy_grows_with_traffic() {
+        for kind in BufferKind::ALL {
+            let lo = point(kind, 4, 0.3);
+            let hi = point(kind, 4, 0.9);
+            assert!(hi.mean_occupancy > lo.mean_occupancy, "{kind}");
+        }
+    }
+
+    #[test]
+    fn odd_capacity_static_designs_rejected() {
+        for kind in [BufferKind::Samq, BufferKind::Safc] {
+            let err = discard_probability(
+                kind,
+                3,
+                0.5,
+                CycleOrder::ArrivalsFirst,
+                SolveOptions::default(),
+            )
+            .unwrap_err();
+            assert!(matches!(err, AnalysisError::OddStaticCapacity { .. }));
+        }
+    }
+
+    #[test]
+    fn fifo_beats_static_designs_at_low_traffic_small_buffers() {
+        // The paper's observation: at 2 slots and light traffic the FIFO's
+        // pooled storage beats the static split.
+        let fifo = point(BufferKind::Fifo, 2, 0.25);
+        let samq = point(BufferKind::Samq, 2, 0.25);
+        let safc = point(BufferKind::Safc, 2, 0.25);
+        assert!(fifo.discard_probability < samq.discard_probability);
+        assert!(fifo.discard_probability < safc.discard_probability);
+    }
+
+    #[test]
+    fn departures_first_orders_are_also_solvable() {
+        let p = discard_probability(
+            BufferKind::Damq,
+            2,
+            0.7,
+            CycleOrder::DeparturesFirst,
+            SolveOptions::default(),
+        )
+        .unwrap();
+        assert!(p.discard_probability > 0.0 && p.discard_probability < 1.0);
+    }
+}

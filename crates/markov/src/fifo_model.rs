@@ -1,0 +1,177 @@
+//! FIFO buffer behaviour inside the 2×2 long-clock switch.
+//!
+//! A FIFO's state cannot be summarised by per-output counts: the *order* of
+//! destinations in the queue matters, because only the head packet is ever
+//! transmittable. The state is therefore the exact sequence of destination
+//! outputs in each input queue.
+
+use crate::switch2x2::BufferModel2x2;
+
+/// FIFO buffers of `capacity` packets each, for the 2×2 Markov model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoModel {
+    capacity: usize,
+}
+
+/// Joint state: the destination sequence of each input queue, head first.
+pub type FifoState = [Vec<u8>; 2];
+
+impl FifoModel {
+    /// Creates the model with `capacity` packet slots per input buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        FifoModel { capacity }
+    }
+
+    /// Packet slots per input buffer.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl BufferModel2x2 for FifoModel {
+    type State = FifoState;
+
+    fn empty(&self) -> FifoState {
+        [Vec::new(), Vec::new()]
+    }
+
+    fn occupancy(&self, state: &FifoState) -> u32 {
+        (state[0].len() + state[1].len()) as u32
+    }
+
+    fn accept(&self, state: &mut FifoState, input: usize, output: usize) -> bool {
+        if state[input].len() < self.capacity {
+            state[input].push(output as u8);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn departures(&self, state: &FifoState) -> Vec<(FifoState, f64, u32)> {
+        let head0 = state[0].first().copied();
+        let head1 = state[1].first().copied();
+        let pop = |state: &FifoState, which: &[usize]| {
+            let mut next = state.clone();
+            for &i in which {
+                next[i].remove(0);
+            }
+            (next, which.len() as u32)
+        };
+        match (head0, head1) {
+            (None, None) => vec![(state.clone(), 1.0, 0)],
+            (Some(_), None) => {
+                let (next, sent) = pop(state, &[0]);
+                vec![(next, 1.0, sent)]
+            }
+            (None, Some(_)) => {
+                let (next, sent) = pop(state, &[1]);
+                vec![(next, 1.0, sent)]
+            }
+            (Some(h0), Some(h1)) if h0 != h1 => {
+                let (next, sent) = pop(state, &[0, 1]);
+                vec![(next, 1.0, sent)]
+            }
+            (Some(_), Some(_)) => {
+                // Head-of-line conflict: one of the two heads goes, from the
+                // longest queue, ties split evenly.
+                match state[0].len().cmp(&state[1].len()) {
+                    std::cmp::Ordering::Greater => {
+                        let (next, sent) = pop(state, &[0]);
+                        vec![(next, 1.0, sent)]
+                    }
+                    std::cmp::Ordering::Less => {
+                        let (next, sent) = pop(state, &[1]);
+                        vec![(next, 1.0, sent)]
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let (a, sa) = pop(state, &[0]);
+                        let (b, sb) = pop(state, &[1]);
+                        vec![(a, 0.5, sa), (b, 0.5, sb)]
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_respects_capacity() {
+        let m = FifoModel::new(2);
+        let mut s = m.empty();
+        assert!(m.accept(&mut s, 0, 1));
+        assert!(m.accept(&mut s, 0, 0));
+        assert!(!m.accept(&mut s, 0, 1));
+        assert_eq!(s[0], vec![1, 0]);
+        assert!(m.accept(&mut s, 1, 1), "other input unaffected");
+    }
+
+    #[test]
+    fn distinct_heads_both_depart() {
+        let m = FifoModel::new(3);
+        let s: FifoState = [vec![0, 1], vec![1]];
+        let branches = m.departures(&s);
+        assert_eq!(branches.len(), 1);
+        let (next, p, sent) = &branches[0];
+        assert_eq!(*p, 1.0);
+        assert_eq!(*sent, 2);
+        assert_eq!(next[0], vec![1]);
+        assert!(next[1].is_empty());
+    }
+
+    #[test]
+    fn conflicting_heads_longest_queue_wins() {
+        let m = FifoModel::new(3);
+        let s: FifoState = [vec![0], vec![0, 1]];
+        let branches = m.departures(&s);
+        assert_eq!(branches.len(), 1);
+        let (next, _, sent) = &branches[0];
+        assert_eq!(*sent, 1);
+        assert_eq!(next[0], vec![0], "shorter queue kept its head");
+        assert_eq!(next[1], vec![1]);
+    }
+
+    #[test]
+    fn conflicting_heads_tie_splits() {
+        let m = FifoModel::new(3);
+        let s: FifoState = [vec![1, 0], vec![1, 1]];
+        let branches = m.departures(&s);
+        assert_eq!(branches.len(), 2);
+        let total: f64 = branches.iter().map(|(_, p, _)| p).sum();
+        assert!((total - 1.0).abs() < 1e-15);
+        for (_, _, sent) in branches {
+            assert_eq!(sent, 1);
+        }
+    }
+
+    #[test]
+    fn head_of_line_blocking_visible_in_model() {
+        // Input 0's second packet wants the idle output 1, but its head
+        // conflicts with input 1's head on output 0: only 1 packet departs
+        // on the conflict branch involving input 1.
+        let m = FifoModel::new(3);
+        let s: FifoState = [vec![0, 1], vec![0]];
+        let branches = m.departures(&s);
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].2, 1, "HOL blocking: out1 stays idle");
+    }
+
+    #[test]
+    fn single_nonempty_queue_departs_one() {
+        let m = FifoModel::new(2);
+        let s: FifoState = [vec![], vec![0, 0]];
+        let branches = m.departures(&s);
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].2, 1);
+        assert_eq!(branches[0].0[1], vec![0]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Compressed sparse row matrices for transition probabilities.
+
+use std::fmt;
+
+/// A sparse matrix in compressed-sparse-row form.
+///
+/// Used to hold row-stochastic transition matrices: entry `(i, j)` is the
+/// probability of moving from state `i` to state `j` in one step.
+///
+/// # Examples
+///
+/// ```
+/// use damq_markov::CsrMatrix;
+///
+/// // A 2-state chain that flips state with probability 1.
+/// let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+/// let out = m.left_multiply(&[0.25, 0.75]);
+/// assert_eq!(out, vec![0.75, 0.25]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate positions are summed. Triplets need not be sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `cols` exceeds `u32::MAX`.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        Self::from_triplet_vec(rows, cols, triplets.to_vec())
+    }
+
+    /// Like [`CsrMatrix::from_triplets`] but takes ownership, avoiding a
+    /// copy of what can be tens of millions of entries for large chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `cols` exceeds `u32::MAX`.
+    pub fn from_triplet_vec(
+        rows: usize,
+        cols: usize,
+        mut sorted: Vec<(usize, usize, f64)>,
+    ) -> Self {
+        assert!(u32::try_from(cols).is_ok(), "too many columns");
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        row_ptr.push(0);
+        let mut current_row = 0;
+        for (r, c, v) in sorted {
+            assert!(r < rows, "row index {r} out of range");
+            assert!(c < cols, "column index {c} out of range");
+            while current_row < r {
+                row_ptr.push(col_idx.len());
+                current_row += 1;
+            }
+            if col_idx.len() > row_ptr[current_row] && *col_idx.last().unwrap() == c as u32 {
+                *values.last_mut().unwrap() += v;
+            } else {
+                col_idx.push(c as u32);
+                values.push(v);
+            }
+        }
+        while current_row < rows {
+            row_ptr.push(col_idx.len());
+            current_row += 1;
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the stored entries of row `i` as `(col, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Sum of each row's stored values (should be 1.0 for a stochastic
+    /// matrix).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| self.row(i).map(|(_, v)| v).sum()).collect()
+    }
+
+    /// Converts to compressed-sparse-column form: for each column `j`, the
+    /// list of `(row, value)` entries. This is the access pattern
+    /// Gauss–Seidel needs (`π_j` depends on all incoming transitions).
+    pub fn to_columns(&self) -> Vec<Vec<(u32, f64)>> {
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); self.cols];
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                cols[j].push((i as u32, v));
+            }
+        }
+        cols
+    }
+
+    /// Computes the row-vector product `x · M`.
+    ///
+    /// This is one step of a Markov chain: if `x` is a distribution over
+    /// states, the result is the distribution after one transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn left_multiply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "vector length must equal row count");
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            for k in lo..hi {
+                out[self.col_idx[k] as usize] += xi * self.values[k];
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} sparse matrix, {} nonzeros", self.rows, self.cols, self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_from_unsorted_triplets() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(2, 0, 0.5), (0, 1, 1.0), (2, 2, 0.5)]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(1, 1.0)]);
+        assert!(m.row(1).next().is_none());
+        assert_eq!(m.row(2).collect::<Vec<_>>(), vec![(0, 0.5), (2, 0.5)]);
+    }
+
+    #[test]
+    fn duplicate_entries_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 2, &[(0, 1, 0.25), (0, 1, 0.25), (0, 0, 0.5)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(0, 0.5), (1, 0.5)]);
+    }
+
+    #[test]
+    fn left_multiply_matches_hand_computation() {
+        // P = [[0.9, 0.1], [0.4, 0.6]]
+        let m = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 0.9), (0, 1, 0.1), (1, 0, 0.4), (1, 1, 0.6)],
+        );
+        let out = m.left_multiply(&[0.5, 0.5]);
+        assert!((out[0] - 0.65).abs() < 1e-15);
+        assert!((out[1] - 0.35).abs() < 1e-15);
+    }
+
+    #[test]
+    fn row_sums_detect_stochasticity() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 0.3), (1, 1, 0.7)]);
+        for s in m.row_sums() {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0)]);
+        assert_eq!(m.row_sums(), vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn to_columns_transposes_correctly() {
+        let m = CsrMatrix::from_triplets(
+            2,
+            3,
+            &[(0, 0, 0.5), (0, 2, 0.5), (1, 0, 1.0)],
+        );
+        let cols = m.to_columns();
+        assert_eq!(cols[0], vec![(0, 0.5), (1, 1.0)]);
+        assert!(cols[1].is_empty());
+        assert_eq!(cols[2], vec![(0, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

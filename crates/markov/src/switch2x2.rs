@@ -1,0 +1,365 @@
+//! Long-clock semantics of a 2×2 discarding switch (paper §4.1).
+//!
+//! The Markov analysis models a *single* 2×2 switch with fixed-length
+//! packets and a "long clock": per cycle, each input port receives a packet
+//! with probability *p* (the traffic level), destined to each output with
+//! probability ½, and the arbiter transmits "two packets if at all
+//! possible, or a packet from the longest queue if not". Packets that find
+//! no space are discarded.
+//!
+//! The four buffer designs plug into this cycle structure through
+//! [`BufferModel2x2`]; [`Switch2x2`] lifts any such model to a
+//! [`MarkovModel`] whose states are joint buffer occupancies.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::chain::{MarkovModel, Reward, Transition};
+
+/// Whether arrivals are applied before or after departures within one long
+/// clock cycle.
+///
+/// `ArrivalsFirst` lets a packet that arrives at an empty queue leave in the
+/// same cycle (the cut-through-style behaviour of the paper's switches);
+/// `DeparturesFirst` is classic store-and-forward, where a packet stays at
+/// least one cycle. Both are offered because the paper does not spell the
+/// ordering out; `ArrivalsFirst` reproduces Table 2 far more closely and is
+/// the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CycleOrder {
+    /// Arrivals join queues (or are discarded), then the arbiter transmits.
+    #[default]
+    ArrivalsFirst,
+    /// The arbiter transmits from the old state, then arrivals join.
+    DeparturesFirst,
+}
+
+/// Buffer-design-specific behaviour inside the 2×2 long-clock switch.
+pub trait BufferModel2x2 {
+    /// Joint occupancy of the two input buffers.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// Both buffers empty.
+    fn empty(&self) -> Self::State;
+
+    /// Total packets resident in `state` (for mean-occupancy and, via
+    /// Little's law, waiting-time analysis).
+    fn occupancy(&self, state: &Self::State) -> u32;
+
+    /// Offers a packet for `output` to the buffer at `input` (0 or 1).
+    /// Returns `false` — leaving the state untouched — if it must be
+    /// discarded.
+    fn accept(&self, state: &mut Self::State, input: usize, output: usize) -> bool;
+
+    /// Enumerates the arbiter's possible outcomes from `state`: each branch
+    /// is (post-departure state, probability, packets transmitted).
+    /// Branch probabilities must sum to 1.
+    fn departures(&self, state: &Self::State) -> Vec<(Self::State, f64, u32)>;
+}
+
+/// A [`MarkovModel`] of one 2×2 discarding switch with buffer behaviour `M`.
+#[derive(Debug, Clone)]
+pub struct Switch2x2<M> {
+    model: M,
+    traffic: f64,
+    order: CycleOrder,
+}
+
+impl<M: BufferModel2x2> Switch2x2<M> {
+    /// Wraps `model` with per-input arrival probability `traffic`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= traffic <= 1.0`.
+    pub fn new(model: M, traffic: f64, order: CycleOrder) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&traffic),
+            "traffic must be a probability, got {traffic}"
+        );
+        Switch2x2 {
+            model,
+            traffic,
+            order,
+        }
+    }
+
+    /// The wrapped buffer model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The per-input arrival probability.
+    pub fn traffic(&self) -> f64 {
+        self.traffic
+    }
+
+    /// The configured intra-cycle ordering.
+    pub fn order(&self) -> CycleOrder {
+        self.order
+    }
+
+    fn arrival_options(&self) -> [(Option<usize>, f64); 3] {
+        let p = self.traffic;
+        [(None, 1.0 - p), (Some(0), p / 2.0), (Some(1), p / 2.0)]
+    }
+}
+
+impl<M: BufferModel2x2> MarkovModel for Switch2x2<M> {
+    type State = M::State;
+
+    fn initial(&self) -> Self::State {
+        self.model.empty()
+    }
+
+    fn transitions(&self, state: &Self::State) -> Vec<Transition<Self::State>> {
+        let mut out = Vec::new();
+        for (a0, p0) in self.arrival_options() {
+            if p0 == 0.0 {
+                continue;
+            }
+            for (a1, p1) in self.arrival_options() {
+                let prob = p0 * p1;
+                if prob == 0.0 {
+                    continue;
+                }
+                let arrivals =
+                    a0.map_or(0.0, |_| 1.0) + a1.map_or(0.0, |_| 1.0);
+                match self.order {
+                    CycleOrder::ArrivalsFirst => {
+                        let mut st = state.clone();
+                        let mut discards = 0.0;
+                        for (input, arrival) in [(0, a0), (1, a1)] {
+                            if let Some(output) = arrival {
+                                if !self.model.accept(&mut st, input, output) {
+                                    discards += 1.0;
+                                }
+                            }
+                        }
+                        for (next, dp, sent) in self.model.departures(&st) {
+                            out.push(Transition {
+                                next,
+                                probability: prob * dp,
+                                reward: Reward {
+                                    arrivals,
+                                    discards,
+                                    departures: f64::from(sent),
+                                },
+                            });
+                        }
+                    }
+                    CycleOrder::DeparturesFirst => {
+                        for (mut next, dp, sent) in self.model.departures(state) {
+                            let mut discards = 0.0;
+                            for (input, arrival) in [(0, a0), (1, a1)] {
+                                if let Some(output) = arrival {
+                                    if !self.model.accept(&mut next, input, output) {
+                                        discards += 1.0;
+                                    }
+                                }
+                            }
+                            out.push(Transition {
+                                next,
+                                probability: prob * dp,
+                                reward: Reward {
+                                    arrivals,
+                                    discards,
+                                    departures: f64::from(sent),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-(input, output) packet counts for the count-based models
+/// (DAMQ/SAMQ/SAFC).
+pub(crate) type Counts = [[u8; 2]; 2];
+
+/// Departure outcomes for buffers with a **single read port** per input
+/// (DAMQ and SAMQ): the arbiter sends two packets when inputs can cover
+/// distinct outputs, otherwise one from the longest queue.
+///
+/// Returns branches of (packets to remove as `(input, output)` moves,
+/// probability).
+pub(crate) fn single_read_port_moves(counts: &Counts) -> Vec<(Vec<(usize, usize)>, f64)> {
+    // Exactly two ways to send two packets through a 2x2 crossbar.
+    let straight = counts[0][0] > 0 && counts[1][1] > 0;
+    let crossed = counts[0][1] > 0 && counts[1][0] > 0;
+    match (straight, crossed) {
+        (true, true) => vec![
+            (vec![(0, 0), (1, 1)], 0.5),
+            (vec![(0, 1), (1, 0)], 0.5),
+        ],
+        (true, false) => vec![(vec![(0, 0), (1, 1)], 1.0)],
+        (false, true) => vec![(vec![(0, 1), (1, 0)], 1.0)],
+        (false, false) => {
+            // At most one packet can go: pick from the longest queue,
+            // breaking ties uniformly.
+            let mut best = 0;
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            for input in 0..2 {
+                for output in 0..2 {
+                    let c = counts[input][output];
+                    if c == 0 {
+                        continue;
+                    }
+                    match c.cmp(&best) {
+                        std::cmp::Ordering::Greater => {
+                            best = c;
+                            candidates = vec![(input, output)];
+                        }
+                        std::cmp::Ordering::Equal => candidates.push((input, output)),
+                        std::cmp::Ordering::Less => {}
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                vec![(Vec::new(), 1.0)]
+            } else {
+                let p = 1.0 / candidates.len() as f64;
+                candidates.into_iter().map(|m| (vec![m], p)).collect()
+            }
+        }
+    }
+}
+
+/// Departure outcomes for the **fully-connected** SAFC buffer: every output
+/// independently picks the input with the longer queue for it (ties
+/// uniform), and one input may feed both outputs at once.
+pub(crate) fn fully_connected_moves(counts: &Counts) -> Vec<(Vec<(usize, usize)>, f64)> {
+    // Per output: list of (chosen input, probability).
+    let choose = |output: usize| -> Vec<(Option<usize>, f64)> {
+        let c0 = counts[0][output];
+        let c1 = counts[1][output];
+        match (c0 > 0, c1 > 0) {
+            (false, false) => vec![(None, 1.0)],
+            (true, false) => vec![(Some(0), 1.0)],
+            (false, true) => vec![(Some(1), 1.0)],
+            (true, true) => match c0.cmp(&c1) {
+                std::cmp::Ordering::Greater => vec![(Some(0), 1.0)],
+                std::cmp::Ordering::Less => vec![(Some(1), 1.0)],
+                std::cmp::Ordering::Equal => vec![(Some(0), 0.5), (Some(1), 0.5)],
+            },
+        }
+    };
+    let mut out = Vec::new();
+    for (i0, p0) in choose(0) {
+        for (i1, p1) in choose(1) {
+            let mut moves = Vec::new();
+            if let Some(i) = i0 {
+                moves.push((i, 0));
+            }
+            if let Some(i) = i1 {
+                moves.push((i, 1));
+            }
+            out.push((moves, p0 * p1));
+        }
+    }
+    out
+}
+
+/// Applies `moves` to a count matrix, returning the new counts and the
+/// number of packets sent.
+pub(crate) fn apply_moves(counts: &Counts, moves: &[(usize, usize)]) -> (Counts, u32) {
+    let mut next = *counts;
+    for &(input, output) in moves {
+        debug_assert!(next[input][output] > 0, "move from empty queue");
+        next[input][output] -= 1;
+    }
+    (next, moves.len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_port_sends_two_when_outputs_differ() {
+        let counts = [[1, 0], [0, 1]];
+        let moves = single_read_port_moves(&counts);
+        assert_eq!(moves, vec![(vec![(0, 0), (1, 1)], 1.0)]);
+    }
+
+    #[test]
+    fn single_port_conflict_serves_longest_queue() {
+        // Both inputs only have out0 packets; input 1 has more.
+        let counts = [[1, 0], [3, 0]];
+        let moves = single_read_port_moves(&counts);
+        assert_eq!(moves, vec![(vec![(1, 0)], 1.0)]);
+    }
+
+    #[test]
+    fn single_port_conflict_tie_is_uniform() {
+        let counts = [[2, 0], [2, 0]];
+        let moves = single_read_port_moves(&counts);
+        assert_eq!(moves.len(), 2);
+        for (m, p) in moves {
+            assert_eq!(m.len(), 1);
+            assert!((p - 0.5).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn single_port_prefers_sending_two() {
+        // Input 0 could serve either output; input 1 only out0. The arbiter
+        // must pick the crossed assignment to move two packets.
+        let counts = [[5, 1], [1, 0]];
+        let moves = single_read_port_moves(&counts);
+        assert_eq!(moves, vec![(vec![(0, 1), (1, 0)], 1.0)]);
+    }
+
+    #[test]
+    fn single_port_two_valid_assignments_split_evenly() {
+        let counts = [[1, 1], [1, 1]];
+        let moves = single_read_port_moves(&counts);
+        assert_eq!(moves.len(), 2);
+        let total: f64 = moves.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-15);
+        for (m, _) in moves {
+            assert_eq!(m.len(), 2);
+        }
+    }
+
+    #[test]
+    fn empty_state_has_single_idle_branch() {
+        let counts = [[0, 0], [0, 0]];
+        assert_eq!(single_read_port_moves(&counts), vec![(Vec::new(), 1.0)]);
+        assert_eq!(fully_connected_moves(&counts), vec![(Vec::new(), 1.0)]);
+    }
+
+    #[test]
+    fn fully_connected_can_send_two_from_one_input() {
+        let counts = [[2, 3], [0, 0]];
+        let moves = fully_connected_moves(&counts);
+        assert_eq!(moves, vec![(vec![(0, 0), (0, 1)], 1.0)]);
+    }
+
+    #[test]
+    fn fully_connected_resolves_per_output_conflicts_by_length() {
+        let counts = [[2, 0], [1, 2]];
+        let moves = fully_connected_moves(&counts);
+        // out0: input0 wins (2 > 1); out1: only input1.
+        assert_eq!(moves, vec![(vec![(0, 0), (1, 1)], 1.0)]);
+    }
+
+    #[test]
+    fn fully_connected_tie_branches() {
+        let counts = [[1, 0], [1, 0]];
+        let moves = fully_connected_moves(&counts);
+        assert_eq!(moves.len(), 2);
+        let total: f64 = moves.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn apply_moves_decrements_and_counts() {
+        let counts = [[2, 1], [0, 1]];
+        let (next, sent) = apply_moves(&counts, &[(0, 0), (1, 1)]);
+        assert_eq!(next, [[1, 1], [0, 0]]);
+        assert_eq!(sent, 2);
+    }
+}

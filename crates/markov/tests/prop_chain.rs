@@ -1,0 +1,149 @@
+//! Property-based tests on the Markov engine and the 2×2 switch models.
+
+use proptest::prelude::*;
+
+use damq_core::BufferKind;
+use damq_markov::{
+    discard_probability, AnalysisError, Chain, CycleOrder, DamqModel, FifoModel, SafcModel,
+    SamqModel, SolveOptions, Switch2x2,
+};
+
+fn kinds() -> impl Strategy<Value = BufferKind> {
+    prop::sample::select(BufferKind::ALL.to_vec())
+}
+
+fn orders() -> impl Strategy<Value = CycleOrder> {
+    prop::sample::select(vec![CycleOrder::ArrivalsFirst, CycleOrder::DeparturesFirst])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Row-stochasticity of every explored chain (checked by the builder)
+    /// plus: the steady state really is a fixed point of the transition
+    /// matrix, for random parameter points.
+    #[test]
+    fn steady_state_is_a_fixed_point(
+        kind in kinds(),
+        order in orders(),
+        cap in 1usize..=4,
+        traffic in 0.05f64..0.99,
+    ) {
+        let cap = if kind.is_statically_allocated() { cap * 2 } else { cap };
+        let point = discard_probability(kind, cap, traffic, order, SolveOptions::default());
+        let point = point.unwrap();
+        prop_assert!(point.discard_probability >= 0.0);
+        prop_assert!(point.discard_probability <= 1.0);
+        // Throughput cannot exceed the crossbar's 2 packets/cycle.
+        prop_assert!(point.throughput <= 2.0 + 1e-9);
+    }
+
+    /// Flow conservation at every random parameter point: offered traffic
+    /// splits exactly into throughput and discards.
+    #[test]
+    fn flow_conservation(
+        kind in kinds(),
+        order in orders(),
+        cap in 1usize..=3,
+        traffic in 0.05f64..0.99,
+    ) {
+        let cap = if kind.is_statically_allocated() { cap * 2 } else { cap };
+        let p = discard_probability(kind, cap, traffic, order, SolveOptions::default()).unwrap();
+        let arrivals = 2.0 * traffic;
+        let lost = arrivals * p.discard_probability;
+        prop_assert!(
+            (p.throughput + lost - arrivals).abs() < 1e-6,
+            "thr {} + lost {} vs arrivals {}", p.throughput, lost, arrivals
+        );
+    }
+
+    /// Discard probability is monotone in traffic (more offered load never
+    /// reduces the discard fraction) for every design.
+    #[test]
+    fn discards_monotone_in_traffic(
+        kind in kinds(),
+        order in orders(),
+        cap in 1usize..=3,
+        t_low in 0.1f64..0.5,
+        bump in 0.05f64..0.45,
+    ) {
+        let cap = if kind.is_statically_allocated() { cap * 2 } else { cap };
+        let lo = discard_probability(kind, cap, t_low, order, SolveOptions::default()).unwrap();
+        let hi = discard_probability(kind, cap, t_low + bump, order, SolveOptions::default())
+            .unwrap();
+        prop_assert!(
+            hi.discard_probability >= lo.discard_probability - 1e-7,
+            "{kind}: {} -> {}", lo.discard_probability, hi.discard_probability
+        );
+    }
+
+    /// The explored state space never exceeds the combinatorial bound of
+    /// the design's occupancy constraint (exploration visits only states
+    /// reachable *after* a departure round, which is a strict subset for
+    /// small buffers), and it grows with the buffer size.
+    #[test]
+    fn state_space_sizes_respect_combinatorial_bounds(
+        cap in 1usize..=5,
+        traffic in 0.3f64..0.9,
+    ) {
+        // DAMQ: a + b <= cap per input.
+        let per_input = (cap + 1) * (cap + 2) / 2;
+        let damq = Chain::explore(&Switch2x2::new(
+            DamqModel::new(cap), traffic, CycleOrder::ArrivalsFirst));
+        prop_assert!(damq.state_count() <= per_input * per_input);
+
+        // SAMQ/SAFC: a <= cap, b <= cap per input (per-queue cap).
+        let per_input = (cap + 1) * (cap + 1);
+        let samq = Chain::explore(&Switch2x2::new(
+            SamqModel::new(2 * cap), traffic, CycleOrder::ArrivalsFirst));
+        prop_assert!(samq.state_count() <= per_input * per_input);
+        let safc = Chain::explore(&Switch2x2::new(
+            SafcModel::new(2 * cap), traffic, CycleOrder::ArrivalsFirst));
+        prop_assert!(safc.state_count() <= per_input * per_input);
+        // SAFC's fuller service makes its reachable set no larger than
+        // SAMQ's.
+        prop_assert!(safc.state_count() <= samq.state_count());
+
+        // FIFO: ordered destination strings up to length cap.
+        let per_input = (1usize << (cap + 1)) - 1; // sum of 2^l for l in 0..=cap
+        let fifo = Chain::explore(&Switch2x2::new(
+            FifoModel::new(cap), traffic, CycleOrder::ArrivalsFirst));
+        prop_assert!(fifo.state_count() <= per_input * per_input);
+
+        // Bigger buffers reach more states.
+        if cap >= 2 {
+            let smaller = Chain::explore(&Switch2x2::new(
+                DamqModel::new(cap - 1), traffic, CycleOrder::ArrivalsFirst));
+            prop_assert!(smaller.state_count() <= damq.state_count());
+        }
+    }
+
+    /// SAMQ is never better than DAMQ with the same storage: the static
+    /// split only removes options.
+    #[test]
+    fn samq_never_beats_damq(
+        cap in 1usize..=3,
+        traffic in 0.1f64..0.99,
+        order in orders(),
+    ) {
+        let damq = discard_probability(
+            BufferKind::Damq, 2 * cap, traffic, order, SolveOptions::default()).unwrap();
+        let samq = discard_probability(
+            BufferKind::Samq, 2 * cap, traffic, order, SolveOptions::default()).unwrap();
+        prop_assert!(damq.discard_probability <= samq.discard_probability + 1e-7);
+    }
+}
+
+#[test]
+fn odd_static_capacity_is_a_clean_error() {
+    let err = discard_probability(
+        BufferKind::Samq,
+        5,
+        0.5,
+        CycleOrder::ArrivalsFirst,
+        SolveOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, AnalysisError::OddStaticCapacity { .. }));
+    assert!(err.to_string().contains('5'));
+}

@@ -1,0 +1,125 @@
+//! The central crossbar arbiter (paper §3.2.2).
+//!
+//! Every cycle (phase 1) the arbiter examines the buffers and connects
+//! idle output ports to input buffers that hold data for them — "it makes
+//! this decision based upon data it receives from each of the buffers, so
+//! that a buffer is never connected to a port to which it has no data".
+//! Because a DAMQ buffer has a single read bus, an input buffer feeds at
+//! most one output at a time; connections persist until end of packet.
+
+/// Rotating-priority arbiter state.
+#[derive(Debug, Clone)]
+pub(crate) struct CentralArbiter {
+    ports: usize,
+    priority: usize,
+}
+
+/// A connection decision: output `output` reads from input `input`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Grant {
+    pub(crate) input: usize,
+    pub(crate) output: usize,
+}
+
+impl CentralArbiter {
+    pub(crate) fn new(ports: usize) -> Self {
+        assert!(ports > 0, "arbiter needs ports");
+        CentralArbiter { ports, priority: 0 }
+    }
+
+    /// Chooses connections for this cycle.
+    ///
+    /// * `output_idle[o]` — output `o` has no active transmission and its
+    ///   downstream node is ready;
+    /// * `input_free[i]` — input buffer `i`'s read bus is unused;
+    /// * `has_data(i, o)` — buffer `i` holds at least one packet for `o`.
+    ///
+    /// Inputs are examined in rotating priority order; the priority
+    /// pointer advances by one each call.
+    pub(crate) fn arbitrate<F>(
+        &mut self,
+        output_idle: &[bool],
+        input_free: &mut [bool],
+        has_data: F,
+    ) -> Vec<Grant>
+    where
+        F: Fn(usize, usize) -> bool,
+    {
+        debug_assert_eq!(output_idle.len(), self.ports);
+        debug_assert_eq!(input_free.len(), self.ports);
+        let mut grants = Vec::new();
+        for step in 0..self.ports {
+            let input = (self.priority + step) % self.ports;
+            if !input_free[input] {
+                continue;
+            }
+            // Connect this buffer to the first idle output it has data for.
+            for output in 0..self.ports {
+                if output_idle[output]
+                    && !grants.iter().any(|g: &Grant| g.output == output)
+                    && has_data(input, output)
+                {
+                    grants.push(Grant { input, output });
+                    input_free[input] = false;
+                    break;
+                }
+            }
+        }
+        self.priority = (self.priority + 1) % self.ports;
+        grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_one_output_per_input() {
+        let mut arb = CentralArbiter::new(3);
+        let mut free = vec![true; 3];
+        // Input 0 has data for outputs 1 and 2; it may win only one.
+        let grants = arb.arbitrate(&[true, true, true], &mut free, |i, _o| i == 0);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].input, 0);
+        assert!(!free[0]);
+    }
+
+    #[test]
+    fn grants_one_input_per_output() {
+        let mut arb = CentralArbiter::new(3);
+        let mut free = vec![true; 3];
+        // Everyone wants output 1.
+        let grants = arb.arbitrate(&[true, true, true], &mut free, |_i, o| o == 1);
+        assert_eq!(grants.len(), 1);
+    }
+
+    #[test]
+    fn busy_outputs_and_inputs_are_skipped() {
+        let mut arb = CentralArbiter::new(2);
+        let mut free = vec![false, true];
+        let grants = arb.arbitrate(&[false, true], &mut free, |_, _| true);
+        assert_eq!(grants, vec![Grant { input: 1, output: 1 }]);
+    }
+
+    #[test]
+    fn priority_rotates() {
+        let mut arb = CentralArbiter::new(2);
+        // Both inputs want output 0; run twice and see both win once.
+        let mut free = vec![true, true];
+        let g1 = arb.arbitrate(&[true, false], &mut free, |_, o| o == 0);
+        let mut free = vec![true, true];
+        let g2 = arb.arbitrate(&[true, false], &mut free, |_, o| o == 0);
+        assert_eq!(g1[0].input, 0);
+        assert_eq!(g2[0].input, 1);
+    }
+
+    #[test]
+    fn parallel_disjoint_grants() {
+        let mut arb = CentralArbiter::new(4);
+        let mut free = vec![true; 4];
+        // Input i has data for output (i+1) % 4: a perfect matching.
+        let grants = arb.arbitrate(&[true; 4], &mut free, |i, o| o == (i + 1) % 4);
+        assert_eq!(grants.len(), 4);
+    }
+}

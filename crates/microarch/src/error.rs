@@ -1,0 +1,60 @@
+//! Error types of the micro-architecture model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failures surfaced by the chip model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MicroarchError {
+    /// The buffer's free list is empty (flow control should have prevented
+    /// the upstream node from transmitting).
+    BufferFull,
+    /// A packet is already being received on this port — links are
+    /// synchronous and carry one packet at a time.
+    ReceiverBusy,
+    /// The routing table has no entry for a header byte.
+    NoRoute {
+        /// The header byte that failed to match.
+        header: u8,
+    },
+    /// A route points a packet back out of the port it arrived on, which
+    /// the ComCoBB forbids ("no packet is routed immediately back to the
+    /// node from which it just came").
+    RouteTurnsBack {
+        /// The offending port index.
+        port: usize,
+    },
+}
+
+impl fmt::Display for MicroarchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicroarchError::BufferFull => write!(f, "buffer free list is empty"),
+            MicroarchError::ReceiverBusy => write!(f, "a packet is already being received"),
+            MicroarchError::NoRoute { header } => {
+                write!(f, "no virtual-circuit entry for header {header:#04x}")
+            }
+            MicroarchError::RouteTurnsBack { port } => {
+                write!(f, "route sends packet back out of port {port}")
+            }
+        }
+    }
+}
+
+impl Error for MicroarchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        assert!(MicroarchError::NoRoute { header: 0xAB }
+            .to_string()
+            .contains("0xab"));
+        assert!(MicroarchError::RouteTurnsBack { port: 2 }
+            .to_string()
+            .contains('2'));
+    }
+}

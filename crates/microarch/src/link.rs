@@ -1,0 +1,225 @@
+//! Inter-chip links: 8-bit-wide wires with start-bit signalling.
+//!
+//! A ComCoBB link is eight data wires plus framing: a packet is preceded by
+//! a *start bit*, then carries the header byte, the length byte, and one
+//! data byte per 20 MHz clock cycle (paper §3.2). [`InputWire`] schedules
+//! the symbols an upstream node drives; [`OutputLog`] records what the chip
+//! drives downstream.
+
+use std::collections::BTreeMap;
+
+/// One clock cycle's worth of link state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSymbol {
+    /// The synchronisation start bit preceding a packet.
+    StartBit,
+    /// A byte of header, length or data.
+    Byte(u8),
+}
+
+/// A stimulus wire: what the upstream node drives in each cycle.
+///
+/// # Examples
+///
+/// ```
+/// use damq_microarch::{InputWire, LinkSymbol};
+///
+/// let mut wire = InputWire::new();
+/// wire.drive(3, LinkSymbol::StartBit);
+/// assert_eq!(wire.symbol_at(3), Some(LinkSymbol::StartBit));
+/// assert_eq!(wire.symbol_at(4), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InputWire {
+    schedule: BTreeMap<u64, LinkSymbol>,
+}
+
+impl InputWire {
+    /// An idle wire.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drives `symbol` during `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle is already driven (two packets colliding on one
+    /// wire is a test-bench bug).
+    pub fn drive(&mut self, cycle: u64, symbol: LinkSymbol) {
+        let clash = self.schedule.insert(cycle, symbol);
+        assert!(clash.is_none(), "wire driven twice in cycle {cycle}");
+    }
+
+    /// Schedules a complete packet starting at `cycle`: start bit, header,
+    /// length (= data byte count), then the data bytes.
+    ///
+    /// Returns the first idle cycle after the packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or longer than 255 bytes, or on a
+    /// scheduling collision.
+    pub fn drive_packet(&mut self, cycle: u64, header: u8, data: &[u8]) -> u64 {
+        assert!(!data.is_empty(), "packets carry at least one data byte");
+        assert!(data.len() <= 255, "length must fit the length byte");
+        self.drive(cycle, LinkSymbol::StartBit);
+        self.drive(cycle + 1, LinkSymbol::Byte(header));
+        self.drive(cycle + 2, LinkSymbol::Byte(data.len() as u8));
+        for (i, &b) in data.iter().enumerate() {
+            self.drive(cycle + 3 + i as u64, LinkSymbol::Byte(b));
+        }
+        cycle + 3 + data.len() as u64
+    }
+
+    /// What the wire carries during `cycle` (`None` = idle).
+    pub fn symbol_at(&self, cycle: u64) -> Option<LinkSymbol> {
+        self.schedule.get(&cycle).copied()
+    }
+
+    /// The last driven cycle, if any.
+    pub fn last_driven_cycle(&self) -> Option<u64> {
+        self.schedule.keys().next_back().copied()
+    }
+}
+
+/// Record of everything a chip output port drove, cycle by cycle.
+#[derive(Debug, Clone, Default)]
+pub struct OutputLog {
+    events: Vec<(u64, LinkSymbol)>,
+}
+
+impl OutputLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `symbol` driven during `cycle`.
+    pub fn record(&mut self, cycle: u64, symbol: LinkSymbol) {
+        if let Some(&(last, _)) = self.events.last() {
+            debug_assert!(last < cycle, "log must be recorded in cycle order");
+        }
+        self.events.push((cycle, symbol));
+    }
+
+    /// All recorded (cycle, symbol) pairs in cycle order.
+    pub fn events(&self) -> &[(u64, LinkSymbol)] {
+        &self.events
+    }
+
+    /// The symbol driven during `cycle`, if any (used to forward a chip's
+    /// output onto another chip's input wire).
+    pub fn at_cycle(&self, cycle: u64) -> Option<LinkSymbol> {
+        // Events are recorded in cycle order; the queried cycle is almost
+        // always the most recent, so scan from the back.
+        self.events
+            .iter()
+            .rev()
+            .take_while(|&&(c, _)| c >= cycle)
+            .find(|&&(c, _)| c == cycle)
+            .map(|&(_, s)| s)
+    }
+
+    /// Cycles at which a start bit was driven (one per packet).
+    pub fn start_bit_cycles(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter(|(_, s)| *s == LinkSymbol::StartBit)
+            .map(|&(c, _)| c)
+            .collect()
+    }
+
+    /// Reassembles the **complete** packets driven on this wire as
+    /// `(start_cycle, header, data)` triples. A packet still in flight at
+    /// the end of the log (e.g. when polling a running chip) is omitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log is malformed mid-stream (a symbol at an
+    /// unexpected cycle, or a byte where a start bit belongs) — that is a
+    /// transmitter bug, not an in-flight packet.
+    pub fn packets(&self) -> Vec<(u64, u8, Vec<u8>)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.events.len() {
+            let (start_cycle, sym) = self.events[i];
+            assert_eq!(sym, LinkSymbol::StartBit, "packet must begin with start bit");
+            let header = match self.events.get(i + 1) {
+                Some(&(c, LinkSymbol::Byte(h))) if c == start_cycle + 1 => h,
+                None => break, // header still in flight
+                other => panic!("expected header after start bit, found {other:?}"),
+            };
+            let length = match self.events.get(i + 2) {
+                Some(&(c, LinkSymbol::Byte(l))) if c == start_cycle + 2 => l as usize,
+                None => break, // length still in flight
+                other => panic!("expected length byte, found {other:?}"),
+            };
+            let mut data = Vec::with_capacity(length);
+            let mut complete = true;
+            for k in 0..length {
+                match self.events.get(i + 3 + k) {
+                    Some(&(c, LinkSymbol::Byte(b))) if c == start_cycle + 3 + k as u64 => {
+                        data.push(b);
+                    }
+                    None => {
+                        complete = false; // data still in flight
+                        break;
+                    }
+                    other => panic!("expected data byte {k}, found {other:?}"),
+                }
+            }
+            if !complete {
+                break;
+            }
+            out.push((start_cycle, header, data));
+            i += 3 + length;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drive_packet_lays_out_the_frame() {
+        let mut w = InputWire::new();
+        let end = w.drive_packet(10, 0x42, &[7, 8]);
+        assert_eq!(end, 15);
+        assert_eq!(w.symbol_at(10), Some(LinkSymbol::StartBit));
+        assert_eq!(w.symbol_at(11), Some(LinkSymbol::Byte(0x42)));
+        assert_eq!(w.symbol_at(12), Some(LinkSymbol::Byte(2)));
+        assert_eq!(w.symbol_at(13), Some(LinkSymbol::Byte(7)));
+        assert_eq!(w.symbol_at(14), Some(LinkSymbol::Byte(8)));
+        assert_eq!(w.symbol_at(15), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "driven twice")]
+    fn collisions_panic() {
+        let mut w = InputWire::new();
+        w.drive(5, LinkSymbol::StartBit);
+        w.drive(5, LinkSymbol::Byte(1));
+    }
+
+    #[test]
+    fn output_log_reassembles_packets() {
+        let mut log = OutputLog::new();
+        log.record(4, LinkSymbol::StartBit);
+        log.record(5, LinkSymbol::Byte(0xAA));
+        log.record(6, LinkSymbol::Byte(1));
+        log.record(7, LinkSymbol::Byte(0x99));
+        log.record(20, LinkSymbol::StartBit);
+        log.record(21, LinkSymbol::Byte(0xBB));
+        log.record(22, LinkSymbol::Byte(2));
+        log.record(23, LinkSymbol::Byte(1));
+        log.record(24, LinkSymbol::Byte(2));
+        let packets = log.packets();
+        assert_eq!(packets.len(), 2);
+        assert_eq!(packets[0], (4, 0xAA, vec![0x99]));
+        assert_eq!(packets[1], (20, 0xBB, vec![1, 2]));
+        assert_eq!(log.start_bit_cycles(), vec![4, 20]);
+    }
+}

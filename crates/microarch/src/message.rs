@@ -1,0 +1,174 @@
+//! Message segmentation and reassembly over ComCoBB packets.
+//!
+//! The ComCoBB system carries *messages* made of multiple packets: "The
+//! packets in the ComCoBB system are of variable length, from one to
+//! thirty two bytes long, and messages can be made up of multiple packets.
+//! Only the last packet of a message can be less than thirty two bytes
+//! long" (paper §3).
+//!
+//! Packet boundaries alone cannot delimit a message whose length is an
+//! exact multiple of 32, so this layer prepends a two-byte little-endian
+//! message length to the payload before segmenting — a host-side framing
+//! convention, invisible to the switch hardware.
+
+/// Largest payload of a single packet, in bytes (paper §3).
+pub const MAX_PACKET_DATA: usize = 32;
+
+/// Largest message the two-byte length prefix can describe.
+pub const MAX_MESSAGE_BYTES: usize = u16::MAX as usize;
+
+/// Splits a message into packet payloads: a two-byte length prefix
+/// followed by the data, cut into 32-byte packets where only the last may
+/// be shorter (the paper's rule).
+///
+/// # Panics
+///
+/// Panics if `message` is empty or longer than [`u16::MAX`] bytes.
+///
+/// # Examples
+///
+/// ```
+/// use damq_microarch::segment_message;
+///
+/// let packets = segment_message(&[7; 40]);
+/// assert_eq!(packets.len(), 2);           // 42 framed bytes -> 32 + 10
+/// assert_eq!(packets[0].len(), 32);
+/// assert_eq!(packets[1].len(), 10);
+/// ```
+pub fn segment_message(message: &[u8]) -> Vec<Vec<u8>> {
+    assert!(!message.is_empty(), "messages carry at least one byte");
+    assert!(
+        message.len() <= MAX_MESSAGE_BYTES,
+        "message exceeds the 16-bit length prefix"
+    );
+    let mut framed = Vec::with_capacity(message.len() + 2);
+    framed.extend_from_slice(&(message.len() as u16).to_le_bytes());
+    framed.extend_from_slice(message);
+    framed
+        .chunks(MAX_PACKET_DATA)
+        .map(<[u8]>::to_vec)
+        .collect()
+}
+
+/// Reassembles messages from an in-order packet stream (one virtual
+/// circuit).
+///
+/// Feed every received packet payload to [`MessageReassembler::push`];
+/// completed messages come back out.
+///
+/// # Examples
+///
+/// ```
+/// use damq_microarch::{segment_message, MessageReassembler};
+///
+/// let mut rx = MessageReassembler::new();
+/// let mut got = Vec::new();
+/// for packet in segment_message(b"hello, multicomputer world!") {
+///     got.extend(rx.push(&packet));
+/// }
+/// assert_eq!(got, vec![b"hello, multicomputer world!".to_vec()]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MessageReassembler {
+    buffer: Vec<u8>,
+}
+
+impl MessageReassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one packet payload; returns any messages it completed.
+    ///
+    /// A single packet can complete at most one message under the paper's
+    /// segmentation rule (only the final packet is short), but the return
+    /// type is a `Vec` so callers can drain in a loop uniformly.
+    pub fn push(&mut self, packet_data: &[u8]) -> Vec<Vec<u8>> {
+        self.buffer.extend_from_slice(packet_data);
+        let mut out = Vec::new();
+        while self.buffer.len() >= 2 {
+            let need = u16::from_le_bytes([self.buffer[0], self.buffer[1]]) as usize;
+            if self.buffer.len() < 2 + need {
+                break;
+            }
+            let message = self.buffer[2..2 + need].to_vec();
+            self.buffer.drain(..2 + need);
+            out.push(message);
+        }
+        out
+    }
+
+    /// Bytes of the partially-received message currently buffered.
+    pub fn pending_bytes(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_message_is_one_packet() {
+        let packets = segment_message(b"hi");
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].len(), 4); // 2-byte prefix + 2 data
+    }
+
+    #[test]
+    fn only_last_packet_is_short() {
+        let msg = vec![9u8; 100]; // 102 framed -> 32+32+32+6
+        let packets = segment_message(&msg);
+        assert_eq!(packets.len(), 4);
+        for p in &packets[..3] {
+            assert_eq!(p.len(), MAX_PACKET_DATA);
+        }
+        assert_eq!(packets[3].len(), 6);
+    }
+
+    #[test]
+    fn multiple_of_32_round_trips() {
+        // 62 bytes + 2-byte prefix = exactly 2 full packets: the case that
+        // packet boundaries alone could not delimit.
+        let msg = vec![5u8; 62];
+        let packets = segment_message(&msg);
+        assert_eq!(packets.len(), 2);
+        assert_eq!(packets[1].len(), MAX_PACKET_DATA);
+        let mut rx = MessageReassembler::new();
+        let mut got = Vec::new();
+        for p in packets {
+            got.extend(rx.push(&p));
+        }
+        assert_eq!(got, vec![msg]);
+        assert_eq!(rx.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn back_to_back_messages_on_one_circuit() {
+        let a = vec![1u8; 40];
+        let b = vec![2u8; 3];
+        let mut rx = MessageReassembler::new();
+        let mut got = Vec::new();
+        for p in segment_message(&a).into_iter().chain(segment_message(&b)) {
+            got.extend(rx.push(&p));
+        }
+        assert_eq!(got, vec![a, b]);
+    }
+
+    #[test]
+    fn partial_message_stays_pending() {
+        let msg = vec![3u8; 50];
+        let packets = segment_message(&msg);
+        let mut rx = MessageReassembler::new();
+        assert!(rx.push(&packets[0]).is_empty());
+        assert!(rx.pending_bytes() > 0);
+        assert_eq!(rx.push(&packets[1]), vec![msg]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte")]
+    fn empty_message_panics() {
+        let _ = segment_message(&[]);
+    }
+}

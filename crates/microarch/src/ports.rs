@@ -1,0 +1,333 @@
+//! Input-port (receiver) and output-port (transmitter) finite state
+//! machines.
+//!
+//! Each input port owns a receiver FSM ("buffer manager" + "router" of
+//! paper §3.2.3): it watches the link for a start bit, funnels bytes
+//! through the one-cycle synchronizer, routes the header in half a cycle,
+//! and streams data bytes into the linked-slot buffer.
+//!
+//! Each output port owns a transmitter FSM ("transmission manager"): once
+//! the central arbiter connects it to a buffer, it drives the start bit and
+//! then pulls one byte per cycle through the crossbar — one cycle ahead of
+//! the link, modelling the output latch of Table 1.
+
+use crate::link::{InputWire, LinkSymbol, OutputLog};
+use crate::router::RoutingTable;
+use crate::slotbuf::LinkedSlotBuffer;
+use crate::trace::{ChipEvent, Phase, Trace};
+
+/// Receiver state (one per input port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RxState {
+    /// Watching for a start bit.
+    Idle,
+    /// Start bit seen; the header byte is crossing the synchronizer.
+    Arming,
+    /// Header released this cycle's phase 0; routed at phase 1.
+    HeaderHeld { header: u8 },
+    /// Routed; waiting for the length byte to emerge from the synchronizer.
+    AwaitLength,
+    /// Length released this cycle's phase 0; latched at phase 1.
+    LengthHeld { length: u8 },
+    /// Streaming data bytes into the buffer; `left` counts what remains.
+    Receiving { left: u8 },
+    /// Discarding the rest of a packet that could not be stored or routed.
+    Dropping {
+        /// Data bytes still to swallow (`None` until the length byte
+        /// passes).
+        left: Option<u8>,
+    },
+}
+
+/// The receiver FSM of one input port.
+#[derive(Debug)]
+pub(crate) struct Receiver {
+    port: usize,
+    state: RxState,
+}
+
+impl Receiver {
+    pub(crate) fn new(port: usize) -> Self {
+        Receiver {
+            port,
+            state: RxState::Idle,
+        }
+    }
+
+    /// Phase 0: consume the synchronizer output (the wire symbol of the
+    /// previous cycle) and detect start bits (which bypass the
+    /// synchronizer).
+    pub(crate) fn phase0(
+        &mut self,
+        cycle: u64,
+        wire: &InputWire,
+        buffer: &mut LinkedSlotBuffer,
+        trace: &mut Trace,
+    ) {
+        // The synchronizer releases last cycle's wire symbol at phase 0.
+        let released = cycle
+            .checked_sub(1)
+            .and_then(|prev| wire.symbol_at(prev));
+        match (self.state, released) {
+            (RxState::Arming, Some(LinkSymbol::Byte(header))) => {
+                trace.record(cycle, Phase::Zero, self.port, ChipEvent::HeaderReleased);
+                self.state = RxState::HeaderHeld { header };
+            }
+            (RxState::AwaitLength, Some(LinkSymbol::Byte(length))) => {
+                self.state = RxState::LengthHeld { length };
+            }
+            (RxState::Receiving { left }, Some(LinkSymbol::Byte(byte))) => {
+                match buffer.write_data_byte(byte) {
+                    Ok(outcome) => {
+                        if outcome.allocated_slot {
+                            trace.record(
+                                cycle,
+                                Phase::Zero,
+                                self.port,
+                                ChipEvent::SlotAllocated { slot: outcome.slot },
+                            );
+                        }
+                        trace.record(
+                            cycle,
+                            Phase::Zero,
+                            self.port,
+                            ChipEvent::ByteWritten {
+                                slot: outcome.slot,
+                                offset: outcome.offset,
+                            },
+                        );
+                        if outcome.end_of_packet {
+                            debug_assert_eq!(left, 1, "FSM and write counter disagree");
+                            trace.record(
+                                cycle,
+                                Phase::Zero,
+                                self.port,
+                                ChipEvent::EndOfPacketReceived,
+                            );
+                            self.state = RxState::Idle;
+                        } else {
+                            self.state = RxState::Receiving { left: left - 1 };
+                        }
+                    }
+                    Err(_) => {
+                        trace.record(cycle, Phase::Zero, self.port, ChipEvent::PacketDropped);
+                        // The buffer aborted the reception; swallow the
+                        // remaining bytes off the wire.
+                        self.state = if left <= 1 {
+                            RxState::Idle
+                        } else {
+                            RxState::Dropping {
+                                left: Some(left - 1),
+                            }
+                        };
+                    }
+                }
+            }
+            (RxState::Dropping { left: None }, Some(LinkSymbol::Byte(length))) => {
+                // This is the (dropped) packet's length byte: it tells us
+                // how many data bytes to swallow.
+                self.state = if length == 0 {
+                    RxState::Idle
+                } else {
+                    RxState::Dropping {
+                        left: Some(length),
+                    }
+                };
+            }
+            (RxState::Dropping { left: Some(n) }, Some(LinkSymbol::Byte(_))) => {
+                self.state = if n <= 1 {
+                    RxState::Idle
+                } else {
+                    RxState::Dropping { left: Some(n - 1) }
+                };
+            }
+            _ => {}
+        }
+        // Start bits bypass the synchronizer: detect on the current cycle.
+        if self.state == RxState::Idle && wire.symbol_at(cycle) == Some(LinkSymbol::StartBit) {
+            trace.record(cycle, Phase::Zero, self.port, ChipEvent::StartBitDetected);
+            self.state = RxState::Arming;
+        }
+    }
+
+    /// Phase 1: routing (header cycle) and length latching (length cycle).
+    pub(crate) fn phase1(
+        &mut self,
+        cycle: u64,
+        table: &RoutingTable,
+        buffer: &mut LinkedSlotBuffer,
+        trace: &mut Trace,
+    ) {
+        match self.state {
+            RxState::HeaderHeld { header } => {
+                let entry = match table.lookup(header) {
+                    Ok(entry) if entry.output != self.port => entry,
+                    _ => {
+                        // No circuit, or the route turns straight back:
+                        // the ComCoBB never routes a packet back out of the
+                        // port pair it arrived on.
+                        trace.record(cycle, Phase::One, self.port, ChipEvent::PacketDropped);
+                        self.state = RxState::Dropping { left: None };
+                        return;
+                    }
+                };
+                match buffer.begin_packet(entry.output, entry.new_header) {
+                    Ok(slot) => {
+                        trace.record(
+                            cycle,
+                            Phase::One,
+                            self.port,
+                            ChipEvent::SlotAllocated { slot },
+                        );
+                        trace.record(
+                            cycle,
+                            Phase::One,
+                            self.port,
+                            ChipEvent::Routed {
+                                output: entry.output,
+                                new_header: entry.new_header,
+                            },
+                        );
+                        self.state = RxState::AwaitLength;
+                    }
+                    Err(_) => {
+                        trace.record(cycle, Phase::One, self.port, ChipEvent::PacketDropped);
+                        self.state = RxState::Dropping { left: None };
+                    }
+                }
+            }
+            RxState::LengthHeld { length } => {
+                buffer.set_length(length);
+                trace.record(cycle, Phase::One, self.port, ChipEvent::LengthLatched);
+                self.state = RxState::Receiving { left: length };
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether the port is mid-packet (for tests).
+    pub(crate) fn is_idle(&self) -> bool {
+        self.state == RxState::Idle
+    }
+}
+
+/// What kind of symbol sits in the transmitter's output latch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxSymbolKind {
+    Start,
+    Header,
+    Length,
+    Data { last: bool },
+}
+
+/// What the transmitter pulls next through the crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxProgress {
+    PullHeader,
+    PullLength,
+    PullData,
+    Drained,
+}
+
+#[derive(Debug)]
+struct TxActive {
+    input: usize,
+    header: u8,
+    latch: Option<(LinkSymbol, TxSymbolKind)>,
+    progress: TxProgress,
+}
+
+/// The transmitter FSM of one output port.
+#[derive(Debug)]
+pub(crate) struct Transmitter {
+    port: usize,
+    active: Option<TxActive>,
+}
+
+impl Transmitter {
+    pub(crate) fn new(port: usize) -> Self {
+        Transmitter { port, active: None }
+    }
+
+    /// Whether the output port is free for the arbiter to (re)connect.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.active.is_none()
+    }
+
+    /// Connects this output to `input`'s queue (called by the arbiter at
+    /// phase 1). `header` is the new-header register of the queue's head
+    /// packet, read at connection time.
+    pub(crate) fn connect(&mut self, input: usize, header: u8) {
+        debug_assert!(self.active.is_none(), "output port already connected");
+        self.active = Some(TxActive {
+            input,
+            header,
+            latch: Some((LinkSymbol::StartBit, TxSymbolKind::Start)),
+            progress: TxProgress::PullHeader,
+        });
+    }
+
+    /// Phase 0: drive the latched symbol onto the link, then pull the next
+    /// symbol through the crossbar into the latch. `buffers` are the
+    /// chip's input buffers; the transmitter reads from the one it is
+    /// connected to.
+    ///
+    /// Returns the input port to release when the packet completes.
+    pub(crate) fn phase0(
+        &mut self,
+        cycle: u64,
+        buffers: &mut [LinkedSlotBuffer],
+        log: &mut OutputLog,
+        trace: &mut Trace,
+    ) -> Option<usize> {
+        let Some(active) = self.active.as_mut() else {
+            return None;
+        };
+        if let Some((symbol, kind)) = active.latch.take() {
+            log.record(cycle, symbol);
+            let event = match kind {
+                TxSymbolKind::Start => ChipEvent::StartBitSent,
+                TxSymbolKind::Header => ChipEvent::HeaderSent,
+                TxSymbolKind::Length => ChipEvent::LengthSent,
+                TxSymbolKind::Data { .. } => ChipEvent::DataByteSent,
+            };
+            trace.record(cycle, Phase::Zero, self.port, event);
+            if matches!(kind, TxSymbolKind::Data { last: true }) {
+                trace.record(cycle, Phase::Zero, self.port, ChipEvent::EndOfPacketSent);
+                let input = active.input;
+                self.active = None;
+                return Some(input);
+            }
+        }
+        let active = self.active.as_mut().expect("still connected");
+        let buffer = &mut buffers[active.input];
+        match active.progress {
+            TxProgress::PullHeader => {
+                active.latch = Some((LinkSymbol::Byte(active.header), TxSymbolKind::Header));
+                active.progress = TxProgress::PullLength;
+            }
+            TxProgress::PullLength => {
+                let length = buffer.read_length(self.port);
+                active.latch = Some((LinkSymbol::Byte(length), TxSymbolKind::Length));
+                active.progress = TxProgress::PullData;
+            }
+            TxProgress::PullData => {
+                let outcome = buffer.read_data_byte(self.port);
+                if let Some(slot) = outcome.freed_slot {
+                    trace.record(cycle, Phase::Zero, self.port, ChipEvent::SlotFreed { slot });
+                }
+                active.latch = Some((
+                    LinkSymbol::Byte(outcome.byte),
+                    TxSymbolKind::Data {
+                        last: outcome.end_of_packet,
+                    },
+                ));
+                if outcome.end_of_packet {
+                    active.progress = TxProgress::Drained;
+                }
+            }
+            TxProgress::Drained => unreachable!("latch drained before progress"),
+        }
+        None
+    }
+}

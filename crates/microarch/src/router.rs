@@ -1,0 +1,107 @@
+//! The per-port router and its virtual-circuit table.
+//!
+//! The ComCoBB routes with a form of virtual circuits (paper §3.2): the
+//! header byte indexes a local table that yields the output port and the
+//! *new* header byte to send downstream. Routing one packet takes half a
+//! clock cycle (cycle 2, phase 1 of Table 1).
+
+use crate::error::MicroarchError;
+
+/// One virtual-circuit table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Output port the circuit leaves through.
+    pub output: usize,
+    /// Header byte to use on the next hop.
+    pub new_header: u8,
+}
+
+/// The routing table of one input port: 256 virtual-circuit entries indexed
+/// by header byte.
+///
+/// # Examples
+///
+/// ```
+/// use damq_microarch::{RouteEntry, RoutingTable};
+///
+/// let mut table = RoutingTable::new(5);
+/// table.set(0x10, RouteEntry { output: 2, new_header: 0x11 })?;
+/// assert_eq!(table.lookup(0x10)?.output, 2);
+/// # Ok::<(), damq_microarch::MicroarchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    outputs: usize,
+    entries: Vec<Option<RouteEntry>>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table for a chip with `outputs` output ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` is zero.
+    pub fn new(outputs: usize) -> Self {
+        assert!(outputs > 0, "chip needs output ports");
+        RoutingTable {
+            outputs,
+            entries: vec![None; 256],
+        }
+    }
+
+    /// Programs the circuit for `header`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroarchError::NoRoute`] if `entry.output` is out of
+    /// range (reported with the offending header).
+    pub fn set(&mut self, header: u8, entry: RouteEntry) -> Result<(), MicroarchError> {
+        if entry.output >= self.outputs {
+            return Err(MicroarchError::NoRoute { header });
+        }
+        self.entries[usize::from(header)] = Some(entry);
+        Ok(())
+    }
+
+    /// Looks a header byte up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroarchError::NoRoute`] for an unprogrammed header.
+    pub fn lookup(&self, header: u8) -> Result<RouteEntry, MicroarchError> {
+        self.entries[usize::from(header)].ok_or(MicroarchError::NoRoute { header })
+    }
+
+    /// Number of programmed circuits.
+    pub fn programmed(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_lookup() {
+        let mut t = RoutingTable::new(5);
+        t.set(7, RouteEntry { output: 4, new_header: 8 }).unwrap();
+        assert_eq!(
+            t.lookup(7).unwrap(),
+            RouteEntry { output: 4, new_header: 8 }
+        );
+        assert_eq!(t.programmed(), 1);
+    }
+
+    #[test]
+    fn unprogrammed_header_errors() {
+        let t = RoutingTable::new(5);
+        assert_eq!(t.lookup(9), Err(MicroarchError::NoRoute { header: 9 }));
+    }
+
+    #[test]
+    fn out_of_range_output_rejected() {
+        let mut t = RoutingTable::new(2);
+        assert!(t.set(0, RouteEntry { output: 2, new_header: 0 }).is_err());
+    }
+}

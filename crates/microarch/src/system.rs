@@ -1,0 +1,523 @@
+//! Multi-chip ComCoBB systems: the multicomputer the chip was built for.
+//!
+//! The ComCoBB is a communication coprocessor for point-to-point
+//! multicomputers (paper §1): each node couples a chip's processor
+//! interface to an application processor, and the four network ports to
+//! neighbouring nodes over synchronized byte-wide links. [`System`] wires
+//! several [`Chip`]s together and advances them on a common clock:
+//!
+//! * symbols driven by an output port appear on the connected input wire
+//!   one cycle later (single-cycle synchronized transmission, paper §3.2.3);
+//! * each link's flow-control line gates the upstream arbiter: a chip only
+//!   transmits into a neighbour with room for a maximum-size packet;
+//! * hosts exchange *messages* ([`segment_message`]) through per-node
+//!   outboxes that respect the processor port's flow control.
+//!
+//! [`segment_message`]: crate::segment_message
+
+use std::collections::VecDeque;
+
+use crate::chip::{Chip, ChipConfig, PROCESSOR_PORT};
+use crate::error::MicroarchError;
+use crate::message::MessageReassembler;
+use crate::router::RouteEntry;
+
+/// Identifier of a chip (node) within a [`System`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeIndex(usize);
+
+impl NodeIndex {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Wire {
+    from_chip: usize,
+    from_port: usize,
+    to_chip: usize,
+    to_port: usize,
+}
+
+#[derive(Debug)]
+struct HostPort {
+    /// Messages queued for sending: (circuit header, payload).
+    outbox: VecDeque<(u8, Vec<u8>)>,
+    /// Remaining packet payloads of the message currently being sent.
+    segments: VecDeque<Vec<u8>>,
+    /// Circuit header of the message currently being sent.
+    header: u8,
+    /// First cycle at which the processor input wire is certainly idle
+    /// *and* the previous packet has fully entered the buffer (so the
+    /// flow-control check against free slots is exact).
+    next_free_cycle: u64,
+    /// One reassembler per virtual circuit (packets of different circuits
+    /// interleave at a shared host port).
+    reassemblers: std::collections::HashMap<u8, MessageReassembler>,
+    packets_consumed: usize,
+    received: Vec<Vec<u8>>,
+}
+
+impl HostPort {
+    fn new() -> Self {
+        HostPort {
+            outbox: VecDeque::new(),
+            segments: VecDeque::new(),
+            header: 0,
+            next_free_cycle: 0,
+            reassemblers: std::collections::HashMap::new(),
+            packets_consumed: 0,
+            received: Vec::new(),
+        }
+    }
+
+    fn sending(&self) -> bool {
+        !self.segments.is_empty() || !self.outbox.is_empty()
+    }
+}
+
+/// A clocked assembly of ComCoBB chips connected by unidirectional links.
+///
+/// # Examples
+///
+/// Two nodes exchanging a message (see `examples/` and the crate tests for
+/// larger topologies):
+///
+/// ```
+/// use damq_microarch::{ChipConfig, RouteEntry, System, PROCESSOR_PORT};
+///
+/// let mut sys = System::new();
+/// let a = sys.add_node(ChipConfig::comcobb());
+/// let b = sys.add_node(ChipConfig::comcobb());
+/// sys.connect(a, 0, b, 1)?; // a's port 0 drives b's port 1
+///
+/// // Circuit 0x10: host A -> (A port 0) -> (B port 1) -> host B.
+/// sys.chip_mut(a).program_route(PROCESSOR_PORT, 0x10,
+///     RouteEntry { output: 0, new_header: 0x10 })?;
+/// sys.chip_mut(b).program_route(1, 0x10,
+///     RouteEntry { output: PROCESSOR_PORT, new_header: 0x10 })?;
+///
+/// sys.host_send(a, 0x10, b"hello".to_vec());
+/// sys.run_until_idle(10_000);
+/// assert_eq!(sys.host_received(b), &[b"hello".to_vec()]);
+/// # Ok::<(), damq_microarch::MicroarchError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct System {
+    chips: Vec<Chip>,
+    hosts: Vec<HostPort>,
+    wires: Vec<Wire>,
+    cycle: u64,
+}
+
+impl System {
+    /// An empty system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node (one chip + its host port) and returns its id.
+    pub fn add_node(&mut self, config: ChipConfig) -> NodeIndex {
+        self.chips.push(Chip::new(config));
+        self.hosts.push(HostPort::new());
+        NodeIndex(self.chips.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// The current clock cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Read access to a node's chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn chip(&self, node: NodeIndex) -> &Chip {
+        &self.chips[node.0]
+    }
+
+    /// Mutable access to a node's chip (for programming virtual circuits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn chip_mut(&mut self, node: NodeIndex) -> &mut Chip {
+        &mut self.chips[node.0]
+    }
+
+    /// Connects output port `from_port` of `from` to input port `to_port`
+    /// of `to` (one direction; call twice for a bidirectional pair, as the
+    /// ComCoBB's paired ports do).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroarchError::RouteTurnsBack`] if either endpoint is a
+    /// processor port (hosts attach through the message API instead), and
+    /// panics if a port is already wired or out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node or port index is invalid or the port is in use.
+    pub fn connect(
+        &mut self,
+        from: NodeIndex,
+        from_port: usize,
+        to: NodeIndex,
+        to_port: usize,
+    ) -> Result<(), MicroarchError> {
+        if from_port == PROCESSOR_PORT || to_port == PROCESSOR_PORT {
+            return Err(MicroarchError::RouteTurnsBack { port: PROCESSOR_PORT });
+        }
+        assert!(from.0 < self.chips.len() && to.0 < self.chips.len());
+        assert!(from_port < self.chips[from.0].config().ports());
+        assert!(to_port < self.chips[to.0].config().ports());
+        for w in &self.wires {
+            assert!(
+                !(w.from_chip == from.0 && w.from_port == from_port),
+                "output {from}/{from_port} already wired"
+            );
+            assert!(
+                !(w.to_chip == to.0 && w.to_port == to_port),
+                "input {to}/{to_port} already wired"
+            );
+        }
+        self.wires.push(Wire {
+            from_chip: from.0,
+            from_port,
+            to_chip: to.0,
+            to_port,
+        });
+        Ok(())
+    }
+
+    /// Convenience: programs the same virtual circuit hop on a node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing-table errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn program_route(
+        &mut self,
+        node: NodeIndex,
+        input: usize,
+        header: u8,
+        entry: RouteEntry,
+    ) -> Result<(), MicroarchError> {
+        self.chips[node.0].program_route(input, header, entry)
+    }
+
+    /// Queues a message from `node`'s host onto virtual circuit `header`.
+    ///
+    /// The message is segmented into packets (paper rule: only the last
+    /// may be shorter than 32 bytes) and injected through the processor
+    /// interface as flow control permits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or the message is empty.
+    pub fn host_send(&mut self, node: NodeIndex, header: u8, message: Vec<u8>) {
+        self.hosts[node.0].outbox.push_back((header, message));
+    }
+
+    /// Messages delivered to `node`'s host so far, in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn host_received(&self, node: NodeIndex) -> &[Vec<u8>] {
+        &self.hosts[node.0].received
+    }
+
+    /// Advances the whole system one clock cycle.
+    pub fn tick(&mut self) {
+        let cycle = self.cycle;
+
+        // Flow control: each output port sees its neighbour's ready line;
+        // host outboxes see the processor port's.
+        for w in &self.wires {
+            let ready = self.chips[w.to_chip].ready(w.to_port);
+            self.chips[w.from_chip].set_downstream_ready(w.from_port, ready);
+        }
+
+        // Host injection: at most one packet in flight on the processor
+        // wire at a time, each gated on the buffer having room for a whole
+        // maximum-size packet (conservative flow control, paper-style).
+        for (i, host) in self.hosts.iter_mut().enumerate() {
+            let chip = &mut self.chips[i];
+            if host.next_free_cycle > cycle {
+                continue;
+            }
+            if host.segments.is_empty() {
+                let Some((header, message)) = host.outbox.pop_front() else {
+                    continue;
+                };
+                host.header = header;
+                host.segments = crate::message::segment_message(&message).into();
+            }
+            if !chip.ready(PROCESSOR_PORT) {
+                continue; // buffer too full; retry next cycle
+            }
+            let data = host.segments.pop_front().expect("segments checked");
+            let wire_end = chip
+                .input_wire_mut(PROCESSOR_PORT)
+                .drive_packet(cycle, host.header, &data);
+            // +6: synchronizer + routing pipeline, so the packet's slots
+            // are fully claimed before the next ready() check.
+            host.next_free_cycle = wire_end + 6;
+        }
+
+        // Clock every chip.
+        for chip in &mut self.chips {
+            chip.tick();
+        }
+
+        // Propagate link symbols: what an output drove during `cycle`
+        // arrives at the connected input during `cycle + 1`.
+        for w in &self.wires {
+            if let Some(sym) = self.chips[w.from_chip].output_log(w.from_port).at_cycle(cycle) {
+                self.chips[w.to_chip]
+                    .input_wire_mut(w.to_port)
+                    .drive(cycle + 1, sym);
+            }
+        }
+
+        // Host reception: consume newly-delivered processor packets.
+        for (i, host) in self.hosts.iter_mut().enumerate() {
+            let packets = self.chips[i].output_log(PROCESSOR_PORT).packets();
+            for (_, header, data) in packets.iter().skip(host.packets_consumed) {
+                let reassembler = host.reassemblers.entry(*header).or_default();
+                host.received.extend(reassembler.push(data));
+            }
+            host.packets_consumed = packets.len();
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Runs until no work remains (all outboxes empty, chips quiescent) or
+    /// `max_cycle` is reached.
+    ///
+    /// Returns the cycle at which the system went idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if still busy at `max_cycle` — a routing dead end or
+    /// flow-control deadlock.
+    pub fn run_until_idle(&mut self, max_cycle: u64) -> u64 {
+        loop {
+            self.tick();
+            let hosts_done = self
+                .hosts
+                .iter()
+                .all(|h| !h.sending() && h.next_free_cycle + 8 < self.cycle);
+            let wires_idle = self.chips.iter().all(|c| {
+                (0..c.config().ports()).all(|p| {
+                    c.output_log(p)
+                        .events()
+                        .last()
+                        .is_none_or(|&(cyc, _)| cyc + 8 < self.cycle)
+                })
+            });
+            let buffers_empty = self.chips.iter().all(|c| {
+                (0..c.config().ports()).all(|i| {
+                    (0..c.config().ports()).all(|o| c.buffer(i).queue_packets(o) == 0)
+                })
+            });
+            if hosts_done && wires_idle && buffers_empty {
+                return self.cycle;
+            }
+            assert!(
+                self.cycle < max_cycle,
+                "system still busy at cycle {max_cycle}"
+            );
+        }
+    }
+
+    /// Checks every chip's buffer invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description on violation.
+    pub fn check_invariants(&self) {
+        for chip in &self.chips {
+            chip.check_invariants();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a bidirectional chain of `n` nodes: node i's port 0 -> node
+    /// i+1's port 1, and node i+1's port 1... ports: use port 0 eastward,
+    /// port 1 westward, with the paired wiring of the ComCoBB.
+    fn chain(n: usize) -> (System, Vec<NodeIndex>) {
+        let mut sys = System::new();
+        let nodes: Vec<NodeIndex> = (0..n).map(|_| sys.add_node(ChipConfig::comcobb())).collect();
+        for i in 0..n - 1 {
+            sys.connect(nodes[i], 0, nodes[i + 1], 1).unwrap();
+            sys.connect(nodes[i + 1], 1, nodes[i], 0).unwrap();
+        }
+        (sys, nodes)
+    }
+
+    /// Programs circuit `header` from node `src` eastward to node `dst`'s
+    /// host, along the chain built by `chain()`.
+    fn program_eastward(sys: &mut System, nodes: &[NodeIndex], src: usize, dst: usize, header: u8) {
+        // From the source host into the network.
+        let first_output = 0; // eastward
+        sys.program_route(
+            nodes[src],
+            PROCESSOR_PORT,
+            header,
+            RouteEntry {
+                output: first_output,
+                new_header: header,
+            },
+        )
+        .unwrap();
+        // Intermediate hops arrive on port 1 (westward input) and continue
+        // east, except the destination which delivers to its host.
+        for (hop, &node) in nodes.iter().enumerate().take(dst + 1).skip(src + 1) {
+            let output = if hop == dst { PROCESSOR_PORT } else { 0 };
+            sys.program_route(
+                node,
+                1,
+                header,
+                RouteEntry {
+                    output,
+                    new_header: header,
+                },
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn two_nodes_exchange_short_messages() {
+        let (mut sys, nodes) = chain(2);
+        program_eastward(&mut sys, &nodes, 0, 1, 0x11);
+        sys.host_send(nodes[0], 0x11, b"ping".to_vec());
+        sys.run_until_idle(5_000);
+        assert_eq!(sys.host_received(nodes[1]), &[b"ping".to_vec()]);
+        sys.check_invariants();
+    }
+
+    #[test]
+    fn multi_packet_message_crosses_three_hops() {
+        let (mut sys, nodes) = chain(4);
+        program_eastward(&mut sys, &nodes, 0, 3, 0x22);
+        let message: Vec<u8> = (0..=255).collect(); // 256 B -> 9 packets
+        sys.host_send(nodes[0], 0x22, message.clone());
+        sys.run_until_idle(20_000);
+        assert_eq!(sys.host_received(nodes[3]), &[message]);
+        sys.check_invariants();
+    }
+
+    #[test]
+    fn several_messages_in_order_on_one_circuit() {
+        let (mut sys, nodes) = chain(3);
+        program_eastward(&mut sys, &nodes, 0, 2, 0x33);
+        let messages: Vec<Vec<u8>> = (1..=5u8).map(|k| vec![k; 20 * k as usize]).collect();
+        for m in &messages {
+            sys.host_send(nodes[0], 0x33, m.clone());
+        }
+        sys.run_until_idle(60_000);
+        assert_eq!(sys.host_received(nodes[2]), &messages[..]);
+    }
+
+    #[test]
+    fn crossing_traffic_both_directions() {
+        let (mut sys, nodes) = chain(2);
+        program_eastward(&mut sys, &nodes, 0, 1, 0x11);
+        // Westward circuit: host B -> B port 1 -> A port 0 -> host A.
+        sys.program_route(
+            nodes[1],
+            PROCESSOR_PORT,
+            0x44,
+            RouteEntry { output: 1, new_header: 0x44 },
+        )
+        .unwrap();
+        sys.program_route(
+            nodes[0],
+            0,
+            0x44,
+            RouteEntry { output: PROCESSOR_PORT, new_header: 0x44 },
+        )
+        .unwrap();
+        sys.host_send(nodes[0], 0x11, b"eastbound".to_vec());
+        sys.host_send(nodes[1], 0x44, b"westbound".to_vec());
+        sys.run_until_idle(10_000);
+        assert_eq!(sys.host_received(nodes[1]), &[b"eastbound".to_vec()]);
+        assert_eq!(sys.host_received(nodes[0]), &[b"westbound".to_vec()]);
+    }
+
+    #[test]
+    fn two_circuits_share_a_link_fairly() {
+        // Nodes 0 and 1 both send to node 3's host over the 1->2->3 links:
+        // contention at node 1's eastward port.
+        let (mut sys, nodes) = chain(4);
+        program_eastward(&mut sys, &nodes, 0, 3, 0x55);
+        // Circuit from node 1's host east to node 3.
+        sys.program_route(
+            nodes[1],
+            PROCESSOR_PORT,
+            0x66,
+            RouteEntry { output: 0, new_header: 0x66 },
+        )
+        .unwrap();
+        sys.program_route(nodes[2], 1, 0x66, RouteEntry { output: 0, new_header: 0x66 })
+            .unwrap();
+        sys.program_route(
+            nodes[3],
+            1,
+            0x66,
+            RouteEntry { output: PROCESSOR_PORT, new_header: 0x66 },
+        )
+        .unwrap();
+        sys.host_send(nodes[0], 0x55, vec![0xAA; 90]);
+        sys.host_send(nodes[1], 0x66, vec![0xBB; 90]);
+        sys.run_until_idle(60_000);
+        let mut got = sys.host_received(nodes[3]).to_vec();
+        got.sort();
+        assert_eq!(got, vec![vec![0xAA; 90], vec![0xBB; 90]]);
+        sys.check_invariants();
+    }
+
+    #[test]
+    fn cannot_wire_processor_ports() {
+        let mut sys = System::new();
+        let a = sys.add_node(ChipConfig::comcobb());
+        let b = sys.add_node(ChipConfig::comcobb());
+        assert!(sys.connect(a, PROCESSOR_PORT, b, 0).is_err());
+        assert!(sys.connect(a, 0, b, PROCESSOR_PORT).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn double_wiring_panics() {
+        let mut sys = System::new();
+        let a = sys.add_node(ChipConfig::comcobb());
+        let b = sys.add_node(ChipConfig::comcobb());
+        sys.connect(a, 0, b, 1).unwrap();
+        sys.connect(a, 0, b, 2).unwrap();
+    }
+}

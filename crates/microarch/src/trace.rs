@@ -1,0 +1,208 @@
+//! Cycle/phase event tracing — how the model reproduces the paper's
+//! Table 1.
+
+use std::fmt;
+
+/// The two phases of the ComCoBB's 20 MHz clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Phase 0: data movement (synchronizer release, buffer read/write,
+    /// link transmission).
+    Zero,
+    /// Phase 1: control (routing, arbitration, register latching).
+    One,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Zero => write!(f, "0"),
+            Phase::One => write!(f, "1"),
+        }
+    }
+}
+
+/// Something observable that happened inside the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChipEvent {
+    /// A start bit arrived at an input port.
+    StartBitDetected,
+    /// The synchronizer released the header byte to the router.
+    HeaderReleased,
+    /// The router picked an output and generated the new header.
+    Routed {
+        /// The chosen output port.
+        output: usize,
+        /// The rewritten header byte.
+        new_header: u8,
+    },
+    /// The length byte was latched into the slot's length register and the
+    /// write counter.
+    LengthLatched,
+    /// A data byte was written into the buffer.
+    ByteWritten {
+        /// Destination slot.
+        slot: u8,
+        /// Offset within the slot.
+        offset: u8,
+    },
+    /// The write counter reached zero.
+    EndOfPacketReceived,
+    /// The central arbiter connected an input buffer to an output port.
+    Granted {
+        /// The winning input port.
+        input: usize,
+    },
+    /// The output port drove the start bit.
+    StartBitSent,
+    /// The output port drove the (new) header byte.
+    HeaderSent,
+    /// The output port drove the length byte; the read counter is loaded.
+    LengthSent,
+    /// The output port drove a data byte.
+    DataByteSent,
+    /// The read counter reached zero; the connection is released.
+    EndOfPacketSent,
+    /// A slot was taken from the free list.
+    SlotAllocated {
+        /// The slot index.
+        slot: u8,
+    },
+    /// A drained slot returned to the free list.
+    SlotFreed {
+        /// The slot index.
+        slot: u8,
+    },
+    /// A packet had to be dropped (free list empty — only possible with
+    /// flow control disabled).
+    PacketDropped,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Clock cycle (starting at 0).
+    pub cycle: u64,
+    /// Clock phase.
+    pub phase: Phase,
+    /// The port the event belongs to.
+    pub port: usize,
+    /// What happened.
+    pub event: ChipEvent,
+}
+
+/// An append-only event log with query helpers.
+///
+/// Tracing is on by default; long-running simulations that do not need
+/// the event log should [`Trace::set_enabled`]`(false)` to keep memory
+/// flat (the log otherwise grows by a few events per byte moved).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns event recording on or off (existing events are kept).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether events are currently being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event (no-op while disabled).
+    pub fn record(&mut self, cycle: u64, phase: Phase, port: usize, event: ChipEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            cycle,
+            phase,
+            port,
+            event,
+        });
+    }
+
+    /// All events in record order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The first event matching `predicate`.
+    pub fn first<F: Fn(&TraceEvent) -> bool>(&self, predicate: F) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| predicate(e))
+    }
+
+    /// All events on `port`.
+    pub fn for_port(&self, port: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.port == port)
+    }
+
+    /// Renders the trace as a cycle/phase table (a Table-1-style listing).
+    pub fn render(&self) -> String {
+        let mut out = String::from("cycle  phase  port  event\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:>5}  {:>5}  {:>4}  {:?}\n",
+                e.cycle, e.phase, e.port, e.event
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries() {
+        let mut t = Trace::new();
+        t.record(0, Phase::Zero, 1, ChipEvent::StartBitDetected);
+        t.record(2, Phase::One, 1, ChipEvent::Routed { output: 3, new_header: 9 });
+        assert_eq!(t.events().len(), 2);
+        let routed = t
+            .first(|e| matches!(e.event, ChipEvent::Routed { .. }))
+            .unwrap();
+        assert_eq!(routed.cycle, 2);
+        assert_eq!(t.for_port(1).count(), 2);
+        assert_eq!(t.for_port(0).count(), 0);
+    }
+
+    #[test]
+    fn disabling_stops_recording() {
+        let mut t = Trace::new();
+        t.record(1, Phase::Zero, 0, ChipEvent::StartBitDetected);
+        t.set_enabled(false);
+        t.record(2, Phase::Zero, 0, ChipEvent::StartBitDetected);
+        assert_eq!(t.events().len(), 1);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn render_is_nonempty_and_ordered() {
+        let mut t = Trace::new();
+        t.record(4, Phase::Zero, 0, ChipEvent::StartBitSent);
+        let s = t.render();
+        assert!(s.contains("StartBitSent"));
+        assert!(s.starts_with("cycle"));
+    }
+}

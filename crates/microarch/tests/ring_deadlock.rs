@@ -1,0 +1,133 @@
+//! Store-and-forward deadlock on a unidirectional ring — reproduced and
+//! avoided.
+//!
+//! When every node of a 4-ring sends a multi-packet message two hops
+//! clockwise, the channel-dependency graph is the full ring cycle: each
+//! node's input buffer fills with transit packets whose next link is
+//! blocked by the next node's full buffer, and conservative flow control
+//! (ready ⇔ room for a whole max-size packet) freezes the system. This is
+//! the classic result that motivated virtual channels (Dally & Seitz); the
+//! ComCoBB of the paper relies on virtual-circuit placement to avoid it.
+//!
+//! These tests pin down both behaviours: the cyclic configuration
+//! deadlocks (no progress, buffers stuck, **no packets lost or
+//! corrupted**), and the direction-split configuration drains.
+
+use damq_microarch::{ChipConfig, RouteEntry, System, PROCESSOR_PORT};
+
+const CW: usize = 0;
+const CCW: usize = 1;
+
+fn ring() -> (System, Vec<damq_microarch::NodeIndex>) {
+    let mut sys = System::new();
+    let nodes: Vec<_> = (0..4).map(|_| sys.add_node(ChipConfig::comcobb())).collect();
+    for i in 0..4 {
+        let next = (i + 1) % 4;
+        sys.connect(nodes[i], CW, nodes[next], CCW).unwrap();
+        sys.connect(nodes[next], CCW, nodes[i], CW).unwrap();
+    }
+    (sys, nodes)
+}
+
+#[test]
+fn all_clockwise_circuits_deadlock_without_losing_packets() {
+    let (mut sys, nodes) = ring();
+    for i in 0..4 {
+        let header = 0x80 + i as u8;
+        let hop1 = (i + 1) % 4;
+        let hop2 = (i + 2) % 4;
+        sys.program_route(nodes[i], PROCESSOR_PORT, header, RouteEntry {
+            output: CW,
+            new_header: header,
+        })
+        .unwrap();
+        sys.program_route(nodes[hop1], CCW, header, RouteEntry {
+            output: CW,
+            new_header: header,
+        })
+        .unwrap();
+        sys.program_route(nodes[hop2], CCW, header, RouteEntry {
+            output: PROCESSOR_PORT,
+            new_header: header,
+        })
+        .unwrap();
+    }
+    // 100-byte messages segment into four packets (13 slots) — more than
+    // one 12-slot buffer, which is what arms the cycle.
+    for (i, &node) in nodes.iter().enumerate() {
+        sys.host_send(node, 0x80 + i as u8, vec![i as u8; 100]);
+    }
+    for _ in 0..20_000 {
+        sys.tick();
+    }
+    // Deadlock: nothing was delivered...
+    for &node in &nodes {
+        assert!(sys.host_received(node).is_empty(), "unexpectedly delivered");
+    }
+    // ...every node's transit buffer is wedged with clockwise packets...
+    for &node in &nodes {
+        assert!(
+            sys.chip(node).buffer(CCW).queue_packets(CW) > 0,
+            "transit queue should be stuck"
+        );
+        assert!(
+            sys.chip(node).buffer(CCW).free_slots() < 4,
+            "flow control must be holding the upstream node off"
+        );
+    }
+    // ...and it is a *clean* deadlock: linked lists intact, nothing lost.
+    sys.check_invariants();
+    // No further progress over another long run.
+    let stuck: Vec<usize> = nodes
+        .iter()
+        .map(|&n| sys.chip(n).buffer(CCW).queue_packets(CW))
+        .collect();
+    for _ in 0..5_000 {
+        sys.tick();
+    }
+    let still: Vec<usize> = nodes
+        .iter()
+        .map(|&n| sys.chip(n).buffer(CCW).queue_packets(CW))
+        .collect();
+    assert_eq!(stuck, still, "a deadlock does not move");
+}
+
+#[test]
+fn direction_split_circuits_drain_completely() {
+    let (mut sys, nodes) = ring();
+    for i in 0..4 {
+        let header = 0x80 + i as u8;
+        let (out, inp) = if i < 2 { (CW, CCW) } else { (CCW, CW) };
+        let hop1 = if i < 2 { (i + 1) % 4 } else { (i + 3) % 4 };
+        let dest = (i + 2) % 4;
+        sys.program_route(nodes[i], PROCESSOR_PORT, header, RouteEntry {
+            output: out,
+            new_header: header,
+        })
+        .unwrap();
+        sys.program_route(nodes[hop1], inp, header, RouteEntry {
+            output: out,
+            new_header: header,
+        })
+        .unwrap();
+        sys.program_route(nodes[dest], inp, header, RouteEntry {
+            output: PROCESSOR_PORT,
+            new_header: header,
+        })
+        .unwrap();
+    }
+    let messages: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 100]).collect();
+    for (i, &node) in nodes.iter().enumerate() {
+        sys.host_send(node, 0x80 + i as u8, messages[i].clone());
+    }
+    sys.run_until_idle(100_000);
+    for i in 0..4 {
+        let dest = nodes[(i + 2) % 4];
+        assert!(
+            sys.host_received(dest).contains(&messages[i]),
+            "message {i} must arrive intact at node {}",
+            (i + 2) % 4
+        );
+    }
+    sys.check_invariants();
+}

@@ -1,0 +1,503 @@
+//! Measurement: latency, throughput and discard accounting.
+
+use std::fmt;
+
+/// Clock cycles per network cycle: the paper's simulations move packets
+/// "instantaneously once every twelve clock cycles" (8 to transmit, 4 to
+/// route), and report latency in clock cycles.
+pub const CLOCKS_PER_CYCLE: u64 = 12;
+
+/// Streaming mean/min/max accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation; 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Exact latency histogram with one-cycle buckets (saturating at a cap),
+/// supporting percentile queries.
+///
+/// # Examples
+///
+/// ```
+/// use damq_net::Histogram;
+///
+/// let mut h = Histogram::new(100);
+/// for v in [3, 3, 4, 10] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.percentile(0.50), 3);
+/// assert_eq!(h.percentile(1.00), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets `0..=cap`; values above `cap` land
+    /// in an overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: u64) -> Self {
+        assert!(cap > 0, "histogram needs at least one bucket");
+        Histogram {
+            buckets: vec![0; cap as usize + 1],
+            count: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations above the cap.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The smallest value `v` such that at least `q` of the observations
+    /// are ≤ `v` (`0.0 < q <= 1.0`). Returns 0 when empty; returns the cap
+    /// if the answer lies in the overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0, 1]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (value, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return value as u64;
+            }
+        }
+        self.buckets.len() as u64 - 1
+    }
+
+    /// Zeroes the histogram, keeping its shape.
+    pub fn reset(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.overflow = 0;
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(4096)
+    }
+}
+
+/// Counters and latency statistics for one simulation window.
+///
+/// All latency accumulators are in **network cycles**; the `*_clocks`
+/// accessors convert to clock cycles (×12) for comparison with the paper's
+/// tables.
+#[derive(Debug, Clone, Default)]
+pub struct NetMetrics {
+    cycles: u64,
+    terminals: usize,
+    generated: u64,
+    injected: u64,
+    delivered: u64,
+    discarded_entry: u64,
+    discarded_network: u64,
+    /// Birth-to-delivery latency (includes source-queue wait).
+    total_latency: Accumulator,
+    /// Injection-to-delivery latency (in-network only).
+    network_latency: Accumulator,
+    /// Exact distribution of total latency, in network cycles.
+    latency_histogram: Histogram,
+    per_sink_delivered: Vec<u64>,
+    /// Per-source latency accumulators (fairness analysis).
+    per_source_latency: Vec<Accumulator>,
+}
+
+impl NetMetrics {
+    /// Creates zeroed metrics for a network of `terminals` sources/sinks.
+    pub fn new(terminals: usize) -> Self {
+        NetMetrics {
+            terminals,
+            per_sink_delivered: vec![0; terminals],
+            per_source_latency: vec![Accumulator::new(); terminals],
+            latency_histogram: Histogram::default(),
+            ..Default::default()
+        }
+    }
+
+    /// Called once per simulated cycle.
+    pub fn record_cycle(&mut self) {
+        self.cycles += 1;
+    }
+
+    /// A source generated a packet.
+    pub fn record_generated(&mut self) {
+        self.generated += 1;
+    }
+
+    /// A packet left its source queue into a first-stage buffer.
+    pub fn record_injected(&mut self) {
+        self.injected += 1;
+    }
+
+    /// A packet was dropped trying to enter the network (discarding
+    /// protocol, first-stage buffer full).
+    pub fn record_entry_discard(&mut self) {
+        self.discarded_entry += 1;
+    }
+
+    /// A packet was dropped between stages (discarding protocol).
+    pub fn record_network_discard(&mut self) {
+        self.discarded_network += 1;
+    }
+
+    /// A packet from `source` reached sink `sink` with the given
+    /// latencies, in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` or `source` is out of range.
+    pub fn record_delivery_from(
+        &mut self,
+        source: usize,
+        sink: usize,
+        total_cycles: u64,
+        network_cycles: u64,
+    ) {
+        self.delivered += 1;
+        self.per_sink_delivered[sink] += 1;
+        self.per_source_latency[source].record(total_cycles as f64);
+        self.total_latency.record(total_cycles as f64);
+        self.network_latency.record(network_cycles as f64);
+        self.latency_histogram.record(total_cycles);
+    }
+
+    /// A packet reached sink `sink` (source unattributed; kept for simple
+    /// callers and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is out of range.
+    pub fn record_delivery(&mut self, sink: usize, total_cycles: u64, network_cycles: u64) {
+        self.record_delivery_from(sink % self.terminals.max(1), sink, total_cycles, network_cycles);
+    }
+
+    /// Per-source mean latency accumulators (fairness analysis).
+    pub fn per_source_latency(&self) -> &[Accumulator] {
+        &self.per_source_latency
+    }
+
+    /// Spread of per-source mean latencies, in clock cycles: the max minus
+    /// min over sources that delivered at least one packet. A fairness
+    /// measure — smaller is fairer.
+    pub fn source_latency_spread_clocks(&self) -> f64 {
+        let means: Vec<f64> = self
+            .per_source_latency
+            .iter()
+            .filter(|a| a.count() > 0)
+            .map(Accumulator::mean)
+            .collect();
+        if means.is_empty() {
+            return 0.0;
+        }
+        let max = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        (max - min) * CLOCKS_PER_CYCLE as f64
+    }
+
+    /// Cycles in the measurement window.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Packets generated by sources.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Packets that entered the network.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Packets delivered to sinks.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Packets dropped at network entry.
+    pub fn discarded_entry(&self) -> u64 {
+        self.discarded_entry
+    }
+
+    /// Packets dropped between stages.
+    pub fn discarded_network(&self) -> u64 {
+        self.discarded_network
+    }
+
+    /// All packets dropped anywhere.
+    pub fn discarded(&self) -> u64 {
+        self.discarded_entry + self.discarded_network
+    }
+
+    /// Deliveries per sink (hot-spot analysis).
+    pub fn per_sink_delivered(&self) -> &[u64] {
+        &self.per_sink_delivered
+    }
+
+    /// Offered load: generated packets per terminal per cycle.
+    pub fn offered_throughput(&self) -> f64 {
+        self.per_terminal_rate(self.generated)
+    }
+
+    /// Delivered throughput: packets per terminal per cycle.
+    pub fn delivered_throughput(&self) -> f64 {
+        self.per_terminal_rate(self.delivered)
+    }
+
+    /// Fraction of generated packets that were discarded.
+    pub fn discard_fraction(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.discarded() as f64 / self.generated as f64
+        }
+    }
+
+    /// Mean birth-to-delivery latency in clock cycles (the paper's unit).
+    pub fn mean_latency_clocks(&self) -> f64 {
+        self.total_latency.mean() * CLOCKS_PER_CYCLE as f64
+    }
+
+    /// Mean injection-to-delivery latency in clock cycles.
+    pub fn mean_network_latency_clocks(&self) -> f64 {
+        self.network_latency.mean() * CLOCKS_PER_CYCLE as f64
+    }
+
+    /// The raw total-latency accumulator (network cycles).
+    pub fn total_latency(&self) -> &Accumulator {
+        &self.total_latency
+    }
+
+    /// The raw in-network latency accumulator (network cycles).
+    pub fn network_latency(&self) -> &Accumulator {
+        &self.network_latency
+    }
+
+    /// The `q`-quantile of total latency, in clock cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0, 1]`.
+    pub fn latency_percentile_clocks(&self, q: f64) -> f64 {
+        self.latency_histogram.percentile(q) as f64 * CLOCKS_PER_CYCLE as f64
+    }
+
+    /// The exact total-latency distribution (network cycles).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency_histogram
+    }
+
+    /// Zeroes everything, keeping the terminal count (start of a
+    /// measurement window after warm-up).
+    pub fn reset(&mut self) {
+        *self = NetMetrics::new(self.terminals);
+    }
+
+    fn per_terminal_rate(&self, count: u64) -> f64 {
+        if self.cycles == 0 || self.terminals == 0 {
+            0.0
+        } else {
+            count as f64 / (self.cycles as f64 * self.terminals as f64)
+        }
+    }
+}
+
+impl fmt::Display for NetMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles: gen {} inj {} dlv {} drop {} | thr {:.3} | lat {:.1} clk",
+            self.cycles,
+            self.generated,
+            self.injected,
+            self.delivered,
+            self.discarded(),
+            self.delivered_throughput(),
+            self.mean_latency_clocks(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_tracks_mean_min_max() {
+        let mut a = Accumulator::new();
+        a.record(2.0);
+        a.record(6.0);
+        a.record(4.0);
+        assert_eq!(a.count(), 3);
+        assert!((a.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(a.min(), 2.0);
+        assert_eq!(a.max(), 6.0);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zeroed() {
+        let a = Accumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.min(), 0.0);
+        assert_eq!(a.max(), 0.0);
+    }
+
+    #[test]
+    fn throughput_is_per_terminal_per_cycle() {
+        let mut m = NetMetrics::new(4);
+        for _ in 0..10 {
+            m.record_cycle();
+        }
+        for _ in 0..20 {
+            m.record_generated();
+        }
+        for _ in 0..12 {
+            m.record_delivery(0, 3, 3);
+        }
+        assert!((m.offered_throughput() - 0.5).abs() < 1e-12);
+        assert!((m.delivered_throughput() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_reported_in_clocks() {
+        let mut m = NetMetrics::new(1);
+        m.record_delivery(0, 4, 3);
+        assert_eq!(m.mean_latency_clocks(), 48.0);
+        assert_eq!(m.mean_network_latency_clocks(), 36.0);
+    }
+
+    #[test]
+    fn discard_fraction_counts_both_kinds() {
+        let mut m = NetMetrics::new(1);
+        for _ in 0..10 {
+            m.record_generated();
+        }
+        m.record_entry_discard();
+        m.record_network_discard();
+        assert!((m.discard_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new(10);
+        for v in 1..=100u64 {
+            h.record(v % 8);
+        }
+        assert_eq!(h.count(), 100);
+        assert!(h.percentile(0.5) <= h.percentile(0.9));
+        assert_eq!(h.percentile(1.0), 7);
+    }
+
+    #[test]
+    fn histogram_overflow_saturates_at_cap() {
+        let mut h = Histogram::new(4);
+        h.record(1_000_000);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.percentile(1.0), 4);
+    }
+
+    #[test]
+    fn metrics_expose_latency_percentiles_in_clocks() {
+        let mut m = NetMetrics::new(1);
+        m.record_delivery(0, 3, 3);
+        m.record_delivery(0, 5, 5);
+        assert_eq!(m.latency_percentile_clocks(0.5), 36.0);
+        assert_eq!(m.latency_percentile_clocks(1.0), 60.0);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_shape() {
+        let mut m = NetMetrics::new(8);
+        m.record_cycle();
+        m.record_delivery(7, 1, 1);
+        m.reset();
+        assert_eq!(m.cycles(), 0);
+        assert_eq!(m.delivered(), 0);
+        assert_eq!(m.per_sink_delivered().len(), 8);
+    }
+}

@@ -1,0 +1,838 @@
+//! The synchronous Omega-network simulator.
+//!
+//! The simulator follows the paper's assumptions (§4.2, after Pfister &
+//! Norton): message transmissions are synchronised, so packets move between
+//! stages "instantaneously once every twelve clock cycles". One call to
+//! [`NetworkSim::step`] is one such network cycle:
+//!
+//! 1. every source generates a packet with probability equal to the offered
+//!    load, appending it to its (unbounded) source queue;
+//! 2. stages transmit, **last stage first**, so that space freed downstream
+//!    in this cycle is visible upstream — a packet advances at most one
+//!    stage per cycle;
+//! 3. sources inject their head packet into the first stage if the protocol
+//!    allows.
+//!
+//! Under the *blocking* protocol a switch only transmits a packet if the
+//! downstream buffer can accept it (for the statically-allocated designs
+//! this checks the specific queue the packet will join — the pre-routing
+//! flow-control cost the paper describes). Under the *discarding* protocol
+//! packets always fly and are dropped at full buffers.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use damq_core::{
+    BufferKind, ConfigError, NodeId, Packet, PacketIdSource, DEFAULT_SLOT_BYTES,
+};
+use damq_switch::{ArbiterPolicy, FlowControl, Switch, SwitchConfig};
+
+use crate::metrics::NetMetrics;
+use crate::topology::{Topology, TopologyError, TopologyKind};
+use crate::traffic::TrafficPattern;
+
+/// How packet arrivals are timed at each source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Independent Bernoulli arrivals at the offered load each cycle (the
+    /// paper's traffic model).
+    Bernoulli,
+    /// Two-state Markov-modulated (on/off) sources: bursts of back-to-back
+    /// generation separated by silences. The long-run mean rate still
+    /// equals the configured offered load; burstiness redistributes it.
+    OnOff {
+        /// Mean burst (ON-state) duration in cycles (≥ 1).
+        mean_burst: f64,
+        /// Long-run fraction of time spent ON, in (0, 1]. While ON the
+        /// source generates with probability `load / duty` per cycle
+        /// (clamped to 1), so smaller duty means denser bursts.
+        duty: f64,
+    },
+}
+
+/// How packet payload lengths are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PacketLengths {
+    /// Every packet carries exactly this many bytes (the paper's simulation
+    /// assumption; 8 bytes = one slot).
+    Fixed(usize),
+    /// Lengths drawn uniformly from `min..=max` bytes (the variable-length
+    /// workload the DAMQ buffer was designed for; see paper §5).
+    Uniform {
+        /// Smallest payload in bytes.
+        min: usize,
+        /// Largest payload in bytes.
+        max: usize,
+    },
+}
+
+impl PacketLengths {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match *self {
+            PacketLengths::Fixed(bytes) => bytes,
+            PacketLengths::Uniform { min, max } => rng.random_range(min..=max),
+        }
+    }
+}
+
+/// Error constructing a [`NetworkSim`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// The topology dimensions are invalid.
+    Topology(TopologyError),
+    /// The per-switch buffer configuration is invalid.
+    Buffer(ConfigError),
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::Topology(e) => write!(f, "topology: {e}"),
+            NetworkError::Buffer(e) => write!(f, "buffer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetworkError::Topology(e) => Some(e),
+            NetworkError::Buffer(e) => Some(e),
+        }
+    }
+}
+
+impl From<TopologyError> for NetworkError {
+    fn from(e: TopologyError) -> Self {
+        NetworkError::Topology(e)
+    }
+}
+
+impl From<ConfigError> for NetworkError {
+    fn from(e: ConfigError) -> Self {
+        NetworkError::Buffer(e)
+    }
+}
+
+/// Full description of a network experiment.
+///
+/// Defaults reproduce the paper's Omega setup: 64 terminals, 4×4 switches,
+/// DAMQ buffers of 4 slots, smart arbitration, blocking protocol, uniform
+/// traffic, fixed one-slot packets.
+///
+/// # Examples
+///
+/// ```
+/// use damq_core::BufferKind;
+/// use damq_net::{NetworkConfig, NetworkSim};
+///
+/// let mut sim = NetworkSim::new(
+///     NetworkConfig::new(64, 4)
+///         .buffer_kind(BufferKind::Fifo)
+///         .offered_load(0.4)
+///         .seed(7),
+/// )?;
+/// sim.run(100);
+/// assert!(sim.metrics().delivered() > 0);
+/// # Ok::<(), damq_net::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    size: usize,
+    radix: usize,
+    topology_kind: TopologyKind,
+    buffer_kind: BufferKind,
+    slots_per_buffer: usize,
+    arbiter_policy: ArbiterPolicy,
+    flow_control: FlowControl,
+    pattern: TrafficPattern,
+    offered_load: f64,
+    packet_lengths: PacketLengths,
+    arrivals: ArrivalProcess,
+    seed: u64,
+}
+
+impl NetworkConfig {
+    /// Starts a configuration for `size` terminals and `radix`×`radix`
+    /// switches.
+    pub fn new(size: usize, radix: usize) -> Self {
+        NetworkConfig {
+            size,
+            radix,
+            topology_kind: TopologyKind::Omega,
+            buffer_kind: BufferKind::Damq,
+            slots_per_buffer: 4,
+            arbiter_policy: ArbiterPolicy::Smart,
+            flow_control: FlowControl::Blocking,
+            pattern: TrafficPattern::Uniform,
+            offered_load: 0.5,
+            packet_lengths: PacketLengths::Fixed(DEFAULT_SLOT_BYTES),
+            arrivals: ArrivalProcess::Bernoulli,
+            seed: 0xDA3B,
+        }
+    }
+
+    /// Selects the MIN wiring (Omega by default; the paper's network).
+    pub fn topology_kind(mut self, kind: TopologyKind) -> Self {
+        self.topology_kind = kind;
+        self
+    }
+
+    /// The MIN wiring in use.
+    pub fn wiring(&self) -> TopologyKind {
+        self.topology_kind
+    }
+
+    /// Selects the input-buffer design used by every switch.
+    pub fn buffer_kind(mut self, kind: BufferKind) -> Self {
+        self.buffer_kind = kind;
+        self
+    }
+
+    /// Sets the storage per input buffer, in slots.
+    pub fn slots_per_buffer(mut self, slots: usize) -> Self {
+        self.slots_per_buffer = slots;
+        self
+    }
+
+    /// Selects the crossbar arbitration policy.
+    pub fn arbiter_policy(mut self, policy: ArbiterPolicy) -> Self {
+        self.arbiter_policy = policy;
+        self
+    }
+
+    /// Selects the flow-control protocol.
+    pub fn flow_control(mut self, flow: FlowControl) -> Self {
+        self.flow_control = flow;
+        self
+    }
+
+    /// Selects the traffic pattern.
+    pub fn traffic(mut self, pattern: TrafficPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Sets the offered load: probability each source generates a packet
+    /// each cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= load <= 1.0`.
+    pub fn offered_load(mut self, load: f64) -> Self {
+        assert!((0.0..=1.0).contains(&load), "load must be a probability");
+        self.offered_load = load;
+        self
+    }
+
+    /// Selects the packet-length distribution.
+    pub fn packet_lengths(mut self, lengths: PacketLengths) -> Self {
+        self.packet_lengths = lengths;
+        self
+    }
+
+    /// Selects the arrival process (Bernoulli by default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an on/off process has `mean_burst < 1` or `duty` outside
+    /// `(0, 1]`.
+    pub fn arrival_process(mut self, arrivals: ArrivalProcess) -> Self {
+        if let ArrivalProcess::OnOff { mean_burst, duty } = arrivals {
+            assert!(mean_burst >= 1.0, "bursts last at least one cycle");
+            assert!(duty > 0.0 && duty <= 1.0, "duty is a fraction of time");
+        }
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// The arrival process in use.
+    pub fn arrivals(&self) -> ArrivalProcess {
+        self.arrivals
+    }
+
+    /// Seeds the traffic generator (same seed ⇒ identical run).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of terminals.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Switch radix.
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Buffer design in use.
+    pub fn kind(&self) -> BufferKind {
+        self.buffer_kind
+    }
+
+    /// Slots per input buffer.
+    pub fn slots(&self) -> usize {
+        self.slots_per_buffer
+    }
+
+    /// Arbitration policy in use.
+    pub fn policy(&self) -> ArbiterPolicy {
+        self.arbiter_policy
+    }
+
+    /// Flow-control protocol in use.
+    pub fn flow(&self) -> FlowControl {
+        self.flow_control
+    }
+
+    /// Traffic pattern in use.
+    pub fn pattern(&self) -> TrafficPattern {
+        self.pattern
+    }
+
+    /// Offered load per source per cycle.
+    pub fn load(&self) -> f64 {
+        self.offered_load
+    }
+
+    /// Packet length distribution in use.
+    pub fn lengths(&self) -> PacketLengths {
+        self.packet_lengths
+    }
+}
+
+/// The simulator: a grid of switches, source queues and sinks.
+#[derive(Debug)]
+pub struct NetworkSim {
+    config: NetworkConfig,
+    topology: Topology,
+    /// `switches[stage][index]`.
+    switches: Vec<Vec<Switch>>,
+    source_queues: Vec<VecDeque<Packet>>,
+    /// On/off state per source (always `true` under Bernoulli arrivals).
+    source_on: Vec<bool>,
+    ids: PacketIdSource,
+    rng: StdRng,
+    cycle: u64,
+    metrics: NetMetrics,
+}
+
+impl NetworkSim {
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if the topology dimensions are invalid or
+    /// the buffer configuration is rejected (e.g. SAMQ slots not divisible
+    /// by the radix).
+    pub fn new(config: NetworkConfig) -> Result<Self, NetworkError> {
+        let topology = Topology::build(config.topology_kind, config.size, config.radix)?;
+        let switch_config = SwitchConfig::new(config.radix)
+            .buffer_kind(config.buffer_kind)
+            .slots_per_buffer(config.slots_per_buffer)
+            .arbiter_policy(config.arbiter_policy)
+            .flow_control(config.flow_control);
+        let mut switches = Vec::with_capacity(topology.stages());
+        for _stage in 0..topology.stages() {
+            let mut row = Vec::with_capacity(topology.switches_per_stage());
+            for _ in 0..topology.switches_per_stage() {
+                row.push(Switch::new(switch_config)?);
+            }
+            switches.push(row);
+        }
+        Ok(NetworkSim {
+            config,
+            topology,
+            switches,
+            source_queues: vec![VecDeque::new(); config.size],
+            source_on: vec![true; config.size],
+            ids: PacketIdSource::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            cycle: 0,
+            metrics: NetMetrics::new(config.size),
+        })
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The wiring.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Measurement counters for the current window.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Packets waiting in source queues.
+    pub fn source_backlog(&self) -> usize {
+        self.source_queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Packets resident in switch buffers.
+    pub fn packets_in_flight(&self) -> usize {
+        self.switches
+            .iter()
+            .flatten()
+            .map(Switch::packets_resident)
+            .sum()
+    }
+
+    /// Buffer-occupancy fraction of each switch in `stage` (a snapshot;
+    /// used to visualise tree saturation spreading stage by stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn stage_occupancy(&self, stage: usize) -> Vec<f64> {
+        self.switches[stage]
+            .iter()
+            .map(Switch::occupancy_fraction)
+            .collect()
+    }
+
+    /// Mean buffer-occupancy fraction per stage, input side first.
+    pub fn occupancy_by_stage(&self) -> Vec<f64> {
+        self.switches
+            .iter()
+            .map(|row| {
+                row.iter().map(Switch::occupancy_fraction).sum::<f64>() / row.len() as f64
+            })
+            .collect()
+    }
+
+    /// Simulates one network cycle (12 clock cycles).
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        self.metrics.record_cycle();
+        self.generate();
+        self.advance_stages();
+        self.inject();
+    }
+
+    /// Simulates `cycles` network cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs `cycles` cycles and then zeroes the metrics: the standard
+    /// warm-up before a measurement window.
+    pub fn warm_up(&mut self, cycles: u64) {
+        self.run(cycles);
+        self.metrics.reset();
+    }
+
+    fn generate(&mut self) {
+        let size = self.config.size;
+        for src in 0..size {
+            let generate_probability = match self.config.arrivals {
+                ArrivalProcess::Bernoulli => self.config.offered_load,
+                ArrivalProcess::OnOff { duty, .. } if duty >= 1.0 => {
+                    // Always-on degenerates to Bernoulli.
+                    self.config.offered_load
+                }
+                ArrivalProcess::OnOff { mean_burst, duty } => {
+                    // Two-state modulation: leave ON w.p. 1/mean_burst,
+                    // enter ON at the rate that makes the stationary ON
+                    // fraction equal the duty cycle.
+                    let exit_on = 1.0 / mean_burst;
+                    let enter_on = (duty * exit_on / (1.0 - duty)).min(1.0);
+                    let flip = if self.source_on[src] { exit_on } else { enter_on };
+                    if self.rng.random_bool(flip) {
+                        self.source_on[src] = !self.source_on[src];
+                    }
+                    if self.source_on[src] {
+                        (self.config.offered_load / duty).min(1.0)
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            if generate_probability <= 0.0 || !self.rng.random_bool(generate_probability) {
+                continue;
+            }
+            let source = NodeId::new(src);
+            let dest = self.config.pattern.sample(&mut self.rng, source, size);
+            let length = self.config.packet_lengths.sample(&mut self.rng);
+            let packet = Packet::builder(source, dest)
+                .id(self.ids.next_id())
+                .length_bytes(length)
+                .birth_cycle(self.cycle)
+                .build();
+            self.source_queues[src].push_back(packet);
+            self.metrics.record_generated();
+        }
+    }
+
+    fn advance_stages(&mut self) {
+        let stages = self.topology.stages();
+        let per_stage = self.topology.switches_per_stage();
+        let blocking = self.config.flow_control.requires_backpressure();
+        let topology = self.topology;
+
+        // Last stage delivers straight to the (always-ready) sinks.
+        let last = stages - 1;
+        for sw in 0..per_stage {
+            let departures = self.switches[last][sw].transmit_cycle(|_, _| true);
+            for d in departures {
+                let sink = topology.sink_of(sw, d.output);
+                debug_assert_eq!(sink, d.packet.dest(), "misrouted packet at sink");
+                let total = self.cycle.saturating_sub(d.packet.birth_cycle());
+                let injected = d.packet.injected_cycle().unwrap_or(d.packet.birth_cycle());
+                let network = self.cycle.saturating_sub(injected);
+                self.metrics.record_delivery_from(
+                    d.packet.source().index(),
+                    sink.index(),
+                    total,
+                    network,
+                );
+            }
+        }
+
+        // Earlier stages, last to first, feed their successor stage.
+        for stage in (0..last).rev() {
+            let (current_stages, later_stages) = self.switches.split_at_mut(stage + 1);
+            let current = &mut current_stages[stage];
+            let downstream = &mut later_stages[0];
+            for sw in 0..per_stage {
+                let departures = current[sw].transmit_cycle(|out, pkt| {
+                    if !blocking {
+                        return true;
+                    }
+                    let (next_switch, next_port) = topology.next_hop(stage, sw, out);
+                    let next_out = topology.route_output(stage + 1, pkt.dest());
+                    let slots = pkt.slots_needed(DEFAULT_SLOT_BYTES);
+                    downstream[next_switch].can_accept(next_port, next_out, slots)
+                });
+                for d in departures {
+                    let (next_switch, next_port) = topology.next_hop(stage, sw, d.output);
+                    let next_out = topology.route_output(stage + 1, d.packet.dest());
+                    match downstream[next_switch].receive(next_port, next_out, d.packet) {
+                        Ok(()) => {}
+                        Err(_rejected) => {
+                            debug_assert!(!blocking, "blocking transmit was pre-checked");
+                            self.metrics.record_network_discard();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn inject(&mut self) {
+        let blocking = self.config.flow_control.requires_backpressure();
+        for src in 0..self.config.size {
+            let Some(front) = self.source_queues[src].front() else {
+                continue;
+            };
+            let (sw, port) = self.topology.source_entry(NodeId::new(src));
+            let out = self.topology.route_output(0, front.dest());
+            let slots = front.slots_needed(DEFAULT_SLOT_BYTES);
+            if blocking && !self.switches[0][sw].can_accept(port, out, slots) {
+                continue; // hold the packet; try again next cycle
+            }
+            let mut packet = self.source_queues[src].pop_front().expect("front checked");
+            packet.mark_injected(self.cycle);
+            match self.switches[0][sw].receive(port, out, packet) {
+                Ok(()) => self.metrics.record_injected(),
+                Err(_rejected) => {
+                    debug_assert!(!blocking, "blocking inject was pre-checked");
+                    self.metrics.record_entry_discard();
+                }
+            }
+        }
+    }
+
+    /// Verifies buffer invariants in every switch (testing aid).
+    pub fn check_invariants(&self) {
+        for row in &self.switches {
+            for sw in row {
+                sw.check_invariants();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CLOCKS_PER_CYCLE;
+
+    fn small(kind: BufferKind) -> NetworkConfig {
+        NetworkConfig::new(16, 4)
+            .buffer_kind(kind)
+            .offered_load(0.3)
+            .seed(11)
+    }
+
+    #[test]
+    fn packets_flow_and_arrive_at_their_destinations() {
+        let mut sim = NetworkSim::new(small(BufferKind::Damq)).unwrap();
+        sim.run(200);
+        assert!(sim.metrics().delivered() > 500);
+        // debug_assert in advance_stages checks per-packet destinations.
+        sim.check_invariants();
+    }
+
+    #[test]
+    fn conservation_generated_equals_everything_else() {
+        for kind in BufferKind::ALL {
+            for flow in FlowControl::ALL {
+                let mut sim = NetworkSim::new(
+                    small(kind).flow_control(flow).offered_load(0.8),
+                )
+                .unwrap();
+                sim.run(300);
+                let m = sim.metrics();
+                let accounted = m.delivered()
+                    + m.discarded()
+                    + sim.source_backlog() as u64
+                    + sim.packets_in_flight() as u64;
+                assert_eq!(m.generated(), accounted, "{kind}/{flow}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_protocol_never_discards() {
+        let mut sim = NetworkSim::new(
+            small(BufferKind::Fifo)
+                .flow_control(FlowControl::Blocking)
+                .offered_load(0.95),
+        )
+        .unwrap();
+        sim.run(300);
+        assert_eq!(sim.metrics().discarded(), 0);
+    }
+
+    #[test]
+    fn discarding_protocol_drops_under_overload() {
+        let mut sim = NetworkSim::new(
+            small(BufferKind::Fifo)
+                .flow_control(FlowControl::Discarding)
+                .offered_load(0.95),
+        )
+        .unwrap();
+        sim.run(300);
+        assert!(sim.metrics().discarded() > 0);
+    }
+
+    #[test]
+    fn minimum_latency_is_one_cycle_per_stage() {
+        // A single packet in an otherwise idle 2-stage network takes
+        // exactly `stages` cycles from injection to delivery.
+        let mut sim = NetworkSim::new(
+            NetworkConfig::new(16, 4)
+                .offered_load(0.01)
+                .seed(3),
+        )
+        .unwrap();
+        sim.run(500);
+        let m = sim.metrics();
+        assert!(m.delivered() > 0);
+        let floor = sim.topology().stages() as f64 * CLOCKS_PER_CYCLE as f64;
+        assert!(m.mean_network_latency_clocks() >= floor - 1e-9);
+        // At 1% load there is essentially no queueing.
+        assert!(m.mean_network_latency_clocks() < floor * 1.2);
+    }
+
+    #[test]
+    fn same_seed_same_results() {
+        let run = || {
+            let mut sim = NetworkSim::new(small(BufferKind::Damq).seed(99)).unwrap();
+            sim.run(150);
+            (
+                sim.metrics().generated(),
+                sim.metrics().delivered(),
+                sim.metrics().mean_latency_clocks(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut sim = NetworkSim::new(small(BufferKind::Damq).seed(seed)).unwrap();
+            sim.run(150);
+            sim.metrics().generated()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn warm_up_resets_the_window() {
+        let mut sim = NetworkSim::new(small(BufferKind::Damq)).unwrap();
+        sim.warm_up(50);
+        assert_eq!(sim.metrics().cycles(), 0);
+        assert_eq!(sim.metrics().generated(), 0);
+        assert!(sim.cycle() == 50);
+    }
+
+    #[test]
+    fn samq_slots_must_divide_radix() {
+        let err = NetworkSim::new(
+            NetworkConfig::new(16, 4)
+                .buffer_kind(BufferKind::Samq)
+                .slots_per_buffer(3),
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetworkError::Buffer(_)));
+    }
+
+    #[test]
+    fn shifted_traffic_with_zero_offset_is_conflict_free() {
+        // dest = source: in an Omega network the identity permutation is
+        // routable without conflicts, so blocking FIFO at full load still
+        // delivers one packet per sink per cycle.
+        let mut sim = NetworkSim::new(
+            NetworkConfig::new(16, 4)
+                .buffer_kind(BufferKind::Fifo)
+                .traffic(TrafficPattern::Shifted { offset: 0 })
+                .offered_load(1.0)
+                .seed(5),
+        )
+        .unwrap();
+        sim.warm_up(50);
+        sim.run(100);
+        let m = sim.metrics();
+        assert!(
+            m.delivered_throughput() > 0.999,
+            "throughput {}",
+            m.delivered_throughput()
+        );
+    }
+
+    #[test]
+    fn variable_length_packets_flow_too() {
+        let mut sim = NetworkSim::new(
+            NetworkConfig::new(16, 4)
+                .packet_lengths(PacketLengths::Uniform { min: 1, max: 32 })
+                .slots_per_buffer(8)
+                .offered_load(0.2)
+                .seed(21),
+        )
+        .unwrap();
+        sim.run(300);
+        assert!(sim.metrics().delivered() > 0);
+        sim.check_invariants();
+    }
+
+    #[test]
+    fn hot_spot_concentrates_deliveries() {
+        let mut sim = NetworkSim::new(
+            NetworkConfig::new(16, 4)
+                .traffic(TrafficPattern::HotSpot {
+                    fraction: 0.3,
+                    target: NodeId::new(5),
+                })
+                .offered_load(0.2)
+                .seed(8),
+        )
+        .unwrap();
+        sim.run(400);
+        let per_sink = sim.metrics().per_sink_delivered();
+        let hot = per_sink[5];
+        let mean_other: f64 = per_sink
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 5)
+            .map(|(_, &c)| c as f64)
+            .sum::<f64>()
+            / 15.0;
+        assert!(hot as f64 > 3.0 * mean_other);
+    }
+}
+
+#[cfg(test)]
+mod burst_tests {
+    use super::*;
+
+    #[test]
+    fn on_off_preserves_the_mean_rate() {
+        let mut sim = NetworkSim::new(
+            NetworkConfig::new(16, 4)
+                .offered_load(0.3)
+                .arrival_process(ArrivalProcess::OnOff {
+                    mean_burst: 8.0,
+                    duty: 0.4,
+                })
+                .seed(42),
+        )
+        .unwrap();
+        sim.run(20_000);
+        let rate = sim.metrics().offered_throughput();
+        assert!((rate - 0.3).abs() < 0.01, "mean rate drifted: {rate}");
+    }
+
+    #[test]
+    fn bursts_create_burstier_queues_than_bernoulli() {
+        // Same mean load; the on/off process should produce a longer
+        // latency tail (p99) than Bernoulli.
+        let run = |arrivals: ArrivalProcess| {
+            let mut sim = NetworkSim::new(
+                NetworkConfig::new(16, 4)
+                    .buffer_kind(BufferKind::Damq)
+                    .offered_load(0.35)
+                    .arrival_process(arrivals)
+                    .seed(9),
+            )
+            .unwrap();
+            sim.warm_up(500);
+            sim.run(8_000);
+            sim.metrics().latency_percentile_clocks(0.99)
+        };
+        let smooth = run(ArrivalProcess::Bernoulli);
+        let bursty = run(ArrivalProcess::OnOff {
+            mean_burst: 12.0,
+            duty: 0.3,
+        });
+        assert!(
+            bursty > smooth,
+            "bursty p99 {bursty} should exceed smooth p99 {smooth}"
+        );
+    }
+
+    #[test]
+    fn duty_one_degenerates_to_bernoulli_rates() {
+        let mut sim = NetworkSim::new(
+            NetworkConfig::new(16, 4)
+                .offered_load(0.25)
+                .arrival_process(ArrivalProcess::OnOff {
+                    mean_burst: 5.0,
+                    duty: 1.0,
+                })
+                .seed(3),
+        )
+        .unwrap();
+        sim.run(10_000);
+        let rate = sim.metrics().offered_throughput();
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duty is a fraction")]
+    fn invalid_duty_rejected() {
+        let _ = NetworkConfig::new(16, 4)
+            .arrival_process(ArrivalProcess::OnOff {
+                mean_burst: 4.0,
+                duty: 1.5,
+            });
+    }
+}

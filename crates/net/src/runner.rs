@@ -1,0 +1,130 @@
+//! One-shot experiment runs: warm up, measure, summarise.
+
+use crate::network::{NetworkConfig, NetworkError, NetworkSim};
+
+/// Summary of one measurement window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Offered load actually generated (packets/terminal/cycle).
+    pub offered: f64,
+    /// Delivered throughput (packets/terminal/cycle).
+    pub delivered: f64,
+    /// Mean birth-to-delivery latency in clock cycles (includes
+    /// source-queue wait).
+    pub latency_clocks: f64,
+    /// Mean injection-to-delivery latency in clock cycles (in-network
+    /// only).
+    pub network_latency_clocks: f64,
+    /// 95th-percentile birth-to-delivery latency in clock cycles.
+    pub latency_p95_clocks: f64,
+    /// 99th-percentile birth-to-delivery latency in clock cycles.
+    pub latency_p99_clocks: f64,
+    /// Fraction of generated packets discarded (discarding protocol only).
+    pub discard_fraction: f64,
+    /// Packets still queued at the sources when the window closed — a
+    /// growing backlog is the signature of saturation under blocking.
+    pub source_backlog: usize,
+    /// Cycles in the measurement window.
+    pub cycles: u64,
+}
+
+/// Runs `config` for `warm_up` cycles, then measures for `window` cycles.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] from network construction.
+///
+/// # Examples
+///
+/// ```
+/// use damq_core::BufferKind;
+/// use damq_net::{measure, NetworkConfig};
+///
+/// let m = measure(
+///     NetworkConfig::new(16, 4).buffer_kind(BufferKind::Damq).offered_load(0.3),
+///     200,
+///     500,
+/// )?;
+/// assert!(m.delivered > 0.25);
+/// # Ok::<(), damq_net::NetworkError>(())
+/// ```
+pub fn measure(
+    config: NetworkConfig,
+    warm_up: u64,
+    window: u64,
+) -> Result<Measurement, NetworkError> {
+    let mut sim = NetworkSim::new(config)?;
+    sim.warm_up(warm_up);
+    sim.run(window);
+    let m = sim.metrics();
+    Ok(Measurement {
+        offered: m.offered_throughput(),
+        delivered: m.delivered_throughput(),
+        latency_clocks: m.mean_latency_clocks(),
+        network_latency_clocks: m.mean_network_latency_clocks(),
+        latency_p95_clocks: m.latency_percentile_clocks(0.95),
+        latency_p99_clocks: m.latency_percentile_clocks(0.99),
+        discard_fraction: m.discard_fraction(),
+        source_backlog: sim.source_backlog(),
+        cycles: m.cycles(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use damq_core::BufferKind;
+    use damq_switch::FlowControl;
+
+    #[test]
+    fn below_saturation_delivery_tracks_offer() {
+        let m = measure(
+            NetworkConfig::new(16, 4)
+                .buffer_kind(BufferKind::Damq)
+                .offered_load(0.3)
+                .seed(1),
+            300,
+            1000,
+        )
+        .unwrap();
+        assert!((m.delivered - m.offered).abs() < 0.02);
+        assert_eq!(m.discard_fraction, 0.0);
+    }
+
+    #[test]
+    fn overload_leaves_a_backlog_under_blocking() {
+        let m = measure(
+            NetworkConfig::new(16, 4)
+                .buffer_kind(BufferKind::Fifo)
+                .offered_load(1.0)
+                .flow_control(FlowControl::Blocking)
+                .seed(2),
+            200,
+            800,
+        )
+        .unwrap();
+        assert!(m.delivered < 0.95 * m.offered);
+        assert!(m.source_backlog > 0);
+    }
+
+    #[test]
+    fn percentiles_bound_the_mean() {
+        let m = measure(
+            NetworkConfig::new(16, 4)
+                .buffer_kind(BufferKind::Fifo)
+                .offered_load(0.45)
+                .seed(9),
+            300,
+            1_000,
+        )
+        .unwrap();
+        assert!(m.latency_p95_clocks >= m.latency_clocks * 0.9);
+        assert!(m.latency_p99_clocks >= m.latency_p95_clocks);
+    }
+
+    #[test]
+    fn window_length_is_reported() {
+        let m = measure(NetworkConfig::new(16, 4).offered_load(0.1), 10, 42).unwrap();
+        assert_eq!(m.cycles, 42);
+    }
+}

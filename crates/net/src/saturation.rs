@@ -1,0 +1,189 @@
+//! Saturation-throughput search.
+//!
+//! Pfister & Norton's latency/throughput curves (reproduced as the paper's
+//! Figure 3) are flat until the network saturates, then turn nearly
+//! vertical. The *saturation throughput* — where delivered throughput stops
+//! tracking offered load — is the paper's headline comparison metric
+//! (Tables 4–6). This module finds it by bisection on the offered load.
+
+use crate::network::{NetworkConfig, NetworkError};
+use crate::runner::{measure, Measurement};
+
+/// Controls for [`find_saturation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationOptions {
+    /// Warm-up cycles per probe.
+    pub warm_up: u64,
+    /// Measurement cycles per probe.
+    pub window: u64,
+    /// A load is saturated when delivered throughput falls below this
+    /// fraction of offered load (or that fraction of packets is discarded).
+    pub efficiency_threshold: f64,
+    /// Stop when the bracket is narrower than this.
+    pub resolution: f64,
+}
+
+impl Default for SaturationOptions {
+    fn default() -> Self {
+        SaturationOptions {
+            warm_up: 500,
+            window: 2_000,
+            efficiency_threshold: 0.975,
+            resolution: 0.01,
+        }
+    }
+}
+
+/// Result of a saturation search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationResult {
+    /// Highest offered load the network sustains (delivered ≈ offered).
+    pub throughput: f64,
+    /// Mean in-network latency, in clock cycles, measured just **above**
+    /// the saturation point — the paper's "saturated" latency column.
+    pub saturated_latency_clocks: f64,
+    /// Full measurement at the just-above-saturation load.
+    pub at_saturation: Measurement,
+    /// Number of probe simulations run.
+    pub probes: usize,
+}
+
+fn is_saturated(m: &Measurement, threshold: f64) -> bool {
+    if m.offered <= 0.0 {
+        return false;
+    }
+    let efficiency = m.delivered / m.offered;
+    efficiency < threshold
+}
+
+/// Finds the saturation throughput of `config` (its `offered_load` is
+/// ignored) by bisection over offered load.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] from network construction.
+///
+/// # Examples
+///
+/// ```no_run
+/// use damq_core::BufferKind;
+/// use damq_net::{find_saturation, NetworkConfig, SaturationOptions};
+///
+/// let damq = find_saturation(
+///     NetworkConfig::new(64, 4).buffer_kind(BufferKind::Damq),
+///     SaturationOptions::default(),
+/// )?;
+/// let fifo = find_saturation(
+///     NetworkConfig::new(64, 4).buffer_kind(BufferKind::Fifo),
+///     SaturationOptions::default(),
+/// )?;
+/// assert!(damq.throughput > fifo.throughput);
+/// # Ok::<(), damq_net::NetworkError>(())
+/// ```
+pub fn find_saturation(
+    config: NetworkConfig,
+    options: SaturationOptions,
+) -> Result<SaturationResult, NetworkError> {
+    let mut probes = 0usize;
+    let mut probe = |load: f64| -> Result<Measurement, NetworkError> {
+        probes += 1;
+        measure(config.offered_load(load), options.warm_up, options.window)
+    };
+
+    let mut lo = 0.05;
+    let mut hi = 1.0;
+    let top = probe(hi)?;
+    let saturation = if !is_saturated(&top, options.efficiency_threshold) {
+        // Never saturates in the probe range.
+        hi
+    } else {
+        let bottom = probe(lo)?;
+        if is_saturated(&bottom, options.efficiency_threshold) {
+            lo = 0.0; // saturated even at the floor; report ~0
+        }
+        while hi - lo > options.resolution {
+            let mid = 0.5 * (lo + hi);
+            let m = probe(mid)?;
+            if is_saturated(&m, options.efficiency_threshold) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        lo
+    };
+
+    // The paper's "saturated" latency column: latency just past the knee.
+    let above = (saturation + 0.05).min(1.0);
+    let at_saturation = probe(above)?;
+    Ok(SaturationResult {
+        throughput: saturation,
+        saturated_latency_clocks: at_saturation.network_latency_clocks,
+        at_saturation,
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use damq_core::BufferKind;
+    use crate::traffic::TrafficPattern;
+
+    fn quick() -> SaturationOptions {
+        SaturationOptions {
+            warm_up: 150,
+            window: 500,
+            efficiency_threshold: 0.975,
+            resolution: 0.02,
+        }
+    }
+
+    #[test]
+    fn finds_a_knee_between_zero_and_one() {
+        let r = find_saturation(
+            NetworkConfig::new(16, 4).buffer_kind(BufferKind::Fifo).seed(1),
+            quick(),
+        )
+        .unwrap();
+        assert!(r.throughput > 0.2 && r.throughput < 1.0, "{}", r.throughput);
+        assert!(r.probes >= 3);
+    }
+
+    #[test]
+    fn damq_sustains_more_than_fifo() {
+        let sat = |kind| {
+            find_saturation(
+                NetworkConfig::new(16, 4).buffer_kind(kind).seed(1),
+                quick(),
+            )
+            .unwrap()
+            .throughput
+        };
+        assert!(sat(BufferKind::Damq) > sat(BufferKind::Fifo));
+    }
+
+    #[test]
+    fn conflict_free_traffic_never_saturates() {
+        let r = find_saturation(
+            NetworkConfig::new(16, 4)
+                .buffer_kind(BufferKind::Damq)
+                .traffic(TrafficPattern::Shifted { offset: 0 })
+                .seed(2),
+            quick(),
+        )
+        .unwrap();
+        assert!((r.throughput - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturated_latency_exceeds_floor() {
+        let r = find_saturation(
+            NetworkConfig::new(16, 4).buffer_kind(BufferKind::Fifo).seed(3),
+            quick(),
+        )
+        .unwrap();
+        // Two stages * 12 clocks is the floor for a 16-node radix-4 net.
+        assert!(r.saturated_latency_clocks > 24.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Closed-form reference points from switching theory.
+//!
+//! The simulator's numbers should sit in known analytic brackets:
+//!
+//! * **Head-of-line (HOL) saturation** — an input-queued k×k crossbar with
+//!   FIFO buffers saturates below 1 even with *infinite* queues (Karol,
+//!   Hluchyj & Morgan 1986, the paper's reference 5): 0.75 for k = 2 down
+//!   to 2 − √2 ≈ 0.586 as k → ∞. Finite buffers and multiple stages push
+//!   real networks below this ceiling, so it upper-bounds FIFO saturation.
+//! * **Output-queued bound** — a switch that could place every arrival
+//!   directly in an output queue saturates at 1.0; DAMQ approaches (but
+//!   cannot exceed) this.
+//! * **Hot-spot ceiling** (Pfister & Norton 1985, reference 8) — with a
+//!   fraction `h` of all traffic aimed at one of `n` sinks, that sink's
+//!   unit capacity caps the per-source rate at `1 / (h·n + (1 − h))`,
+//!   regardless of the network: the tree-saturation cap of Table 6.
+
+/// Saturation throughput of an infinite-queue, input-queued k×k crossbar
+/// with FIFO buffers under uniform traffic (Karol et al., Table I), for
+/// `radix >= 1`. Values beyond the published table decay toward the
+/// asymptote 2 − √2.
+///
+/// # Examples
+///
+/// ```
+/// use damq_net::theory::hol_saturation;
+///
+/// assert_eq!(hol_saturation(2), 0.75);
+/// assert!((hol_saturation(1_000) - 0.586).abs() < 0.01);
+/// ```
+pub fn hol_saturation(radix: usize) -> f64 {
+    // Karol, Hluchyj & Morgan, "Input vs. Output Queueing on a
+    // Space-Division Packet Switch", Table I.
+    const TABLE: [f64; 8] = [1.0, 0.75, 0.6825, 0.6553, 0.6399, 0.6302, 0.6234, 0.6184];
+    const ASYMPTOTE: f64 = 0.585_786_437_626_905; // 2 - sqrt(2)
+    match radix {
+        0 => 0.0,
+        1..=8 => TABLE[radix - 1],
+        _ => {
+            // Geometric approach to the asymptote; within ~1% of the exact
+            // values for all published radixes.
+            ASYMPTOTE + (TABLE[7] - ASYMPTOTE) * 0.9_f64.powi(radix as i32 - 8)
+        }
+    }
+}
+
+/// The output-queueing saturation bound: 1 packet per terminal per cycle.
+pub const OUTPUT_QUEUED_SATURATION: f64 = 1.0;
+
+/// The hot-spot throughput ceiling: per-source rate at which a single sink
+/// receiving fraction `hot_fraction` of **all** traffic (plus its uniform
+/// share) saturates, in a network of `terminals` sinks.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= hot_fraction <= 1.0` and `terminals > 0`.
+///
+/// # Examples
+///
+/// The paper's Table 6 setting — 5% hot spot, 64 terminals — caps every
+/// buffer design just below 0.25:
+///
+/// ```
+/// use damq_net::theory::hot_spot_ceiling;
+///
+/// let cap = hot_spot_ceiling(0.05, 64);
+/// assert!((cap - 0.241).abs() < 0.001);
+/// ```
+pub fn hot_spot_ceiling(hot_fraction: f64, terminals: usize) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&hot_fraction),
+        "hot fraction must be a probability"
+    );
+    assert!(terminals > 0, "need at least one terminal");
+    1.0 / (hot_fraction * terminals as f64 + (1.0 - hot_fraction))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hol_table_values() {
+        assert_eq!(hol_saturation(1), 1.0);
+        assert_eq!(hol_saturation(2), 0.75);
+        assert!((hol_saturation(4) - 0.6553).abs() < 1e-12);
+        assert!((hol_saturation(8) - 0.6184).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hol_is_monotone_decreasing_to_the_asymptote() {
+        let mut prev = hol_saturation(1);
+        for k in 2..200 {
+            let cur = hol_saturation(k);
+            assert!(cur <= prev + 1e-12, "radix {k}");
+            assert!(cur >= 0.5857, "radix {k}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn uniform_traffic_has_no_hot_ceiling() {
+        // h = 0 degenerates to the output capacity of 1.
+        assert_eq!(hot_spot_ceiling(0.0, 64), 1.0);
+    }
+
+    #[test]
+    fn full_hot_spot_is_one_over_n() {
+        assert!((hot_spot_ceiling(1.0, 64) - 1.0 / 64.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,435 @@
+//! Omega (perfect-shuffle) multistage network topology.
+//!
+//! An Omega network with `N = k^n` terminals is `n` identical stages, each a
+//! perfect `k`-shuffle of the `N` lines followed by a column of `N/k`
+//! `k`×`k` switches (Lawrie 1975). Routing is destination-digit: the switch
+//! at stage `t` sends the packet out of the port named by the `t`-th
+//! base-`k` digit of the destination address, most significant first.
+//!
+//! The paper's evaluation network is `OmegaTopology::new(64, 4)`: three
+//! stages of sixteen 4×4 switches.
+
+use std::error::Error;
+use std::fmt;
+
+use damq_core::{InputPort, NodeId, OutputPort};
+
+/// Error constructing an [`OmegaTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The radix must be at least 2.
+    RadixTooSmall,
+    /// The terminal count must be a power of the radix (and at least one
+    /// stage's worth).
+    SizeNotPowerOfRadix {
+        /// Requested terminal count.
+        size: usize,
+        /// Requested switch radix.
+        radix: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::RadixTooSmall => write!(f, "switch radix must be at least 2"),
+            TopologyError::SizeNotPowerOfRadix { size, radix } => {
+                write!(f, "network size {size} is not a positive power of radix {radix}")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// The wiring of an `N`-terminal Omega network built from `k`×`k` switches.
+///
+/// # Examples
+///
+/// ```
+/// use damq_net::OmegaTopology;
+///
+/// let topo = OmegaTopology::new(64, 4)?;
+/// assert_eq!(topo.stages(), 3);
+/// assert_eq!(topo.switches_per_stage(), 16);
+/// # Ok::<(), damq_net::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OmegaTopology {
+    size: usize,
+    radix: usize,
+    stages: usize,
+}
+
+impl OmegaTopology {
+    /// Creates the topology for `size` terminals and `radix`×`radix`
+    /// switches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] unless `size` is a positive power of
+    /// `radix` and `radix >= 2`.
+    pub fn new(size: usize, radix: usize) -> Result<Self, TopologyError> {
+        if radix < 2 {
+            return Err(TopologyError::RadixTooSmall);
+        }
+        let mut stages = 0;
+        let mut n = 1;
+        while n < size {
+            n *= radix;
+            stages += 1;
+        }
+        if n != size || stages == 0 {
+            return Err(TopologyError::SizeNotPowerOfRadix { size, radix });
+        }
+        Ok(OmegaTopology {
+            size,
+            radix,
+            stages,
+        })
+    }
+
+    /// Number of source/sink terminals.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Switch radix `k`.
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Number of switch stages (`log_k N`).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Switches per stage (`N / k`).
+    pub fn switches_per_stage(&self) -> usize {
+        self.size / self.radix
+    }
+
+    /// The perfect `k`-shuffle applied to the `N` lines before every stage:
+    /// rotate the base-`k` digits of the line number left by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= size`.
+    pub fn shuffle(&self, line: usize) -> usize {
+        assert!(line < self.size, "line {line} out of range");
+        let top = self.size / self.radix;
+        // line = d_{n-1} * (N/k) + rest; rotate: rest * k + d_{n-1}.
+        (line % top) * self.radix + line / top
+    }
+
+    /// Where source terminal `source` enters stage 0: (switch index, input
+    /// port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn source_entry(&self, source: NodeId) -> (usize, InputPort) {
+        let line = self.shuffle(source.index());
+        (line / self.radix, InputPort::new(line % self.radix))
+    }
+
+    /// Where a packet leaving stage `stage` (not the last) through
+    /// (`switch`, `output`) enters stage `stage + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is the last stage or any index is out of range.
+    pub fn next_hop(&self, stage: usize, switch: usize, output: OutputPort) -> (usize, InputPort) {
+        assert!(stage + 1 < self.stages, "no stage after the last");
+        assert!(switch < self.switches_per_stage(), "switch out of range");
+        assert!(output.index() < self.radix, "output out of range");
+        let line = self.shuffle(switch * self.radix + output.index());
+        (line / self.radix, InputPort::new(line % self.radix))
+    }
+
+    /// The output port a packet for `dest` takes at stage `stage`
+    /// (destination-digit routing, most significant digit first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` or `dest` is out of range.
+    pub fn route_output(&self, stage: usize, dest: NodeId) -> OutputPort {
+        assert!(stage < self.stages, "stage out of range");
+        assert!(dest.index() < self.size, "destination out of range");
+        OutputPort::new(dest.route_digit(stage, self.radix, self.stages))
+    }
+
+    /// The sink terminal reached from the last stage's (`switch`, `output`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn sink_of(&self, switch: usize, output: OutputPort) -> NodeId {
+        assert!(switch < self.switches_per_stage(), "switch out of range");
+        assert!(output.index() < self.radix, "output out of range");
+        NodeId::new(switch * self.radix + output.index())
+    }
+
+    /// Walks a packet from `source` to `dest` through the wiring, returning
+    /// the (stage, switch, output) path. Used by tests to verify that
+    /// digit routing and shuffling agree.
+    pub fn trace_route(&self, source: NodeId, dest: NodeId) -> Vec<(usize, usize, OutputPort)> {
+        let mut path = Vec::with_capacity(self.stages);
+        let (mut switch, _port) = self.source_entry(source);
+        for stage in 0..self.stages {
+            let out = self.route_output(stage, dest);
+            path.push((stage, switch, out));
+            if stage + 1 < self.stages {
+                let (next_switch, _next_port) = self.next_hop(stage, switch, out);
+                switch = next_switch;
+            }
+        }
+        path
+    }
+}
+
+/// Which MIN wiring a network uses (the switches and routing are
+/// identical; only the inter-stage permutations differ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TopologyKind {
+    /// Perfect-shuffle Omega network (the paper's evaluation vehicle).
+    #[default]
+    Omega,
+    /// k-ary n-fly butterfly (digit-exchange wiring).
+    Butterfly,
+}
+
+impl TopologyKind {
+    /// Both wirings.
+    pub const ALL: [TopologyKind; 2] = [TopologyKind::Omega, TopologyKind::Butterfly];
+
+    /// Lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Omega => "omega",
+            TopologyKind::Butterfly => "butterfly",
+        }
+    }
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete MIN wiring: either topology behind one interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Perfect-shuffle Omega wiring.
+    Omega(OmegaTopology),
+    /// Butterfly digit-exchange wiring.
+    Butterfly(crate::butterfly::ButterflyTopology),
+}
+
+impl Topology {
+    /// Builds the wiring of the requested kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] for invalid dimensions.
+    pub fn build(kind: TopologyKind, size: usize, radix: usize) -> Result<Self, TopologyError> {
+        Ok(match kind {
+            TopologyKind::Omega => Topology::Omega(OmegaTopology::new(size, radix)?),
+            TopologyKind::Butterfly => {
+                Topology::Butterfly(crate::butterfly::ButterflyTopology::new(size, radix)?)
+            }
+        })
+    }
+
+    /// Which wiring this is.
+    pub fn kind(&self) -> TopologyKind {
+        match self {
+            Topology::Omega(_) => TopologyKind::Omega,
+            Topology::Butterfly(_) => TopologyKind::Butterfly,
+        }
+    }
+
+    /// Number of terminals.
+    pub fn size(&self) -> usize {
+        match self {
+            Topology::Omega(t) => t.size(),
+            Topology::Butterfly(t) => t.size(),
+        }
+    }
+
+    /// Switch radix.
+    pub fn radix(&self) -> usize {
+        match self {
+            Topology::Omega(t) => t.radix(),
+            Topology::Butterfly(t) => t.radix(),
+        }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        match self {
+            Topology::Omega(t) => t.stages(),
+            Topology::Butterfly(t) => t.stages(),
+        }
+    }
+
+    /// Switches per stage.
+    pub fn switches_per_stage(&self) -> usize {
+        match self {
+            Topology::Omega(t) => t.switches_per_stage(),
+            Topology::Butterfly(t) => t.switches_per_stage(),
+        }
+    }
+
+    /// Where a source enters stage 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn source_entry(&self, source: NodeId) -> (usize, InputPort) {
+        match self {
+            Topology::Omega(t) => t.source_entry(source),
+            Topology::Butterfly(t) => t.source_entry(source),
+        }
+    }
+
+    /// Where a stage's (switch, output) feeds the next stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the last stage or out-of-range indices.
+    pub fn next_hop(&self, stage: usize, switch: usize, output: OutputPort) -> (usize, InputPort) {
+        match self {
+            Topology::Omega(t) => t.next_hop(stage, switch, output),
+            Topology::Butterfly(t) => t.next_hop(stage, switch, output),
+        }
+    }
+
+    /// The output port towards `dest` at `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn route_output(&self, stage: usize, dest: NodeId) -> OutputPort {
+        match self {
+            Topology::Omega(t) => t.route_output(stage, dest),
+            Topology::Butterfly(t) => t.route_output(stage, dest),
+        }
+    }
+
+    /// The sink behind the last stage's (switch, output).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn sink_of(&self, switch: usize, output: OutputPort) -> NodeId {
+        match self {
+            Topology::Omega(t) => t.sink_of(switch, output),
+            Topology::Butterfly(t) => t.sink_of(switch, output),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_network_dimensions() {
+        let t = OmegaTopology::new(64, 4).unwrap();
+        assert_eq!(t.stages(), 3);
+        assert_eq!(t.switches_per_stage(), 16);
+    }
+
+    #[test]
+    fn radix_2_eight_nodes() {
+        let t = OmegaTopology::new(8, 2).unwrap();
+        assert_eq!(t.stages(), 3);
+        assert_eq!(t.switches_per_stage(), 4);
+    }
+
+    #[test]
+    fn invalid_sizes_rejected() {
+        assert!(OmegaTopology::new(12, 4).is_err());
+        assert!(OmegaTopology::new(1, 4).is_err());
+        assert!(OmegaTopology::new(8, 1).is_err());
+        assert_eq!(
+            OmegaTopology::new(10, 2).unwrap_err(),
+            TopologyError::SizeNotPowerOfRadix { size: 10, radix: 2 }
+        );
+    }
+
+    #[test]
+    fn shuffle_is_left_digit_rotation() {
+        let t = OmegaTopology::new(8, 2).unwrap();
+        // 8 lines, binary b2 b1 b0 -> b1 b0 b2.
+        assert_eq!(t.shuffle(0b100), 0b001);
+        assert_eq!(t.shuffle(0b011), 0b110);
+        assert_eq!(t.shuffle(0b111), 0b111);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        for (size, radix) in [(8, 2), (16, 4), (64, 4), (27, 3)] {
+            let t = OmegaTopology::new(size, radix).unwrap();
+            let mut seen = vec![false; size];
+            for line in 0..size {
+                let s = t.shuffle(line);
+                assert!(!seen[s], "shuffle not injective at {line}");
+                seen[s] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn every_source_reaches_every_dest() {
+        // The defining property of a full-access MIN: digit routing through
+        // the shuffle wiring lands at the addressed sink.
+        for (size, radix) in [(8, 2), (16, 4), (64, 4)] {
+            let t = OmegaTopology::new(size, radix).unwrap();
+            for s in 0..size {
+                for d in 0..size {
+                    let path = t.trace_route(NodeId::new(s), NodeId::new(d));
+                    assert_eq!(path.len(), t.stages());
+                    let (_, last_switch, last_out) = *path.last().unwrap();
+                    assert_eq!(
+                        t.sink_of(last_switch, last_out),
+                        NodeId::new(d),
+                        "{s} -> {d} misrouted in {size}/{radix}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_ports_are_consistent_with_lines() {
+        let t = OmegaTopology::new(64, 4).unwrap();
+        // Each (switch, output) pair of a non-final stage maps to a distinct
+        // downstream (switch, port).
+        let mut seen = vec![false; 64];
+        for sw in 0..16 {
+            for o in 0..4 {
+                let (nsw, np) = t.next_hop(0, sw, OutputPort::new(o));
+                let line = nsw * 4 + np.index();
+                assert!(!seen[line], "two links share a downstream port");
+                seen[line] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_traffic_spreads_over_middle_stage() {
+        // Sanity: packets from one source to all dests use all 4 outputs of
+        // its first-stage switch equally (16 dests per output).
+        let t = OmegaTopology::new(64, 4).unwrap();
+        let mut counts = [0usize; 4];
+        for d in 0..64 {
+            let out = t.route_output(0, NodeId::new(d));
+            counts[out.index()] += 1;
+        }
+        assert_eq!(counts, [16, 16, 16, 16]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Traffic patterns: how sources pick packet destinations.
+
+use rand::Rng;
+
+use damq_core::NodeId;
+
+/// The spatial distribution of packet destinations.
+///
+/// The paper simulates two patterns: uniformly-distributed traffic and
+/// traffic in which "five percent of the traffic was hot spot (i.e. all
+/// designated for the same destination)" (Pfister & Norton's model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficPattern {
+    /// Every terminal is an equally likely destination.
+    Uniform,
+    /// With probability `fraction` the destination is `target`; otherwise
+    /// uniform over all terminals.
+    HotSpot {
+        /// Fraction of hot-spot packets (the paper uses 0.05).
+        fraction: f64,
+        /// The hot destination.
+        target: NodeId,
+    },
+    /// Destination is a fixed function of the source: `dest = (source +
+    /// offset) mod N`. Conflict-free in an Omega network for offset 0; used
+    /// for latency floors and routing tests.
+    Shifted {
+        /// Offset added to the source address, modulo the network size.
+        offset: usize,
+    },
+}
+
+impl TrafficPattern {
+    /// The paper's hot-spot configuration: 5% of traffic to terminal 0.
+    pub fn paper_hot_spot() -> Self {
+        TrafficPattern::HotSpot {
+            fraction: 0.05,
+            target: NodeId::new(0),
+        }
+    }
+
+    /// Samples a destination for a packet generated at `source` in a
+    /// network of `size` terminals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or a hot-spot fraction is not a
+    /// probability.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, source: NodeId, size: usize) -> NodeId {
+        assert!(size > 0, "network must have terminals");
+        match *self {
+            TrafficPattern::Uniform => NodeId::new(rng.random_range(0..size)),
+            TrafficPattern::HotSpot { fraction, target } => {
+                assert!(
+                    (0.0..=1.0).contains(&fraction),
+                    "hot-spot fraction must be a probability"
+                );
+                if rng.random_bool(fraction) {
+                    target
+                } else {
+                    NodeId::new(rng.random_range(0..size))
+                }
+            }
+            TrafficPattern::Shifted { offset } => {
+                NodeId::new((source.index() + offset) % size)
+            }
+        }
+    }
+
+    /// Short name for report rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficPattern::Uniform => "uniform",
+            TrafficPattern::HotSpot { .. } => "hot-spot",
+            TrafficPattern::Shifted { .. } => "shifted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_all_destinations() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = vec![false; 16];
+        for _ in 0..2000 {
+            let d = TrafficPattern::Uniform.sample(&mut rng, NodeId::new(0), 16);
+            seen[d.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hot_spot_frequency_is_close_to_fraction() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pattern = TrafficPattern::HotSpot {
+            fraction: 0.05,
+            target: NodeId::new(3),
+        };
+        let n = 200_000;
+        let mut hot = 0;
+        for _ in 0..n {
+            if pattern.sample(&mut rng, NodeId::new(7), 64) == NodeId::new(3) {
+                hot += 1;
+            }
+        }
+        // Expected rate: 0.05 + 0.95/64 ≈ 0.0648.
+        let rate = hot as f64 / n as f64;
+        assert!((rate - 0.0648).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn shifted_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = TrafficPattern::Shifted { offset: 5 };
+        assert_eq!(p.sample(&mut rng, NodeId::new(3), 8), NodeId::new(0));
+        assert_eq!(p.sample(&mut rng, NodeId::new(1), 8), NodeId::new(6));
+    }
+
+    #[test]
+    fn paper_hot_spot_targets_node_zero() {
+        match TrafficPattern::paper_hot_spot() {
+            TrafficPattern::HotSpot { fraction, target } => {
+                assert!((fraction - 0.05).abs() < 1e-12);
+                assert_eq!(target, NodeId::new(0));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

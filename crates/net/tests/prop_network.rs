@@ -1,0 +1,149 @@
+//! Property-based tests on the Omega topology and the network simulator.
+
+use proptest::prelude::*;
+
+use damq_core::{BufferKind, NodeId};
+use damq_net::{NetworkConfig, NetworkSim, OmegaTopology, TrafficPattern};
+use damq_switch::FlowControl;
+
+/// (size, radix) pairs that form valid Omega networks.
+fn dimensions() -> impl Strategy<Value = (usize, usize)> {
+    prop::sample::select(vec![
+        (4usize, 2usize),
+        (8, 2),
+        (16, 2),
+        (32, 2),
+        (64, 2),
+        (16, 4),
+        (64, 4),
+        (27, 3),
+        (9, 3),
+        (25, 5),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Digit routing through the shuffle wiring always reaches the
+    /// addressed sink — for every topology and endpoint pair.
+    #[test]
+    fn routing_is_correct_for_random_pairs(
+        (size, radix) in dimensions(),
+        src_seed in any::<u64>(),
+        dst_seed in any::<u64>(),
+    ) {
+        let topo = OmegaTopology::new(size, radix).unwrap();
+        let src = NodeId::new((src_seed % size as u64) as usize);
+        let dst = NodeId::new((dst_seed % size as u64) as usize);
+        let path = topo.trace_route(src, dst);
+        prop_assert_eq!(path.len(), topo.stages());
+        let (_, last_switch, last_out) = *path.last().unwrap();
+        prop_assert_eq!(topo.sink_of(last_switch, last_out), dst);
+    }
+
+    /// The shuffle is a permutation and applying it `stages` times is the
+    /// identity (digit rotation has order `stages`).
+    #[test]
+    fn shuffle_has_full_period((size, radix) in dimensions()) {
+        let topo = OmegaTopology::new(size, radix).unwrap();
+        for line in 0..size {
+            let mut x = line;
+            for _ in 0..topo.stages() {
+                x = topo.shuffle(x);
+            }
+            prop_assert_eq!(x, line, "shuffle^stages must be identity");
+        }
+    }
+
+    /// Packet conservation holds for random configurations and loads.
+    #[test]
+    fn conservation_under_random_configs(
+        (size, radix) in dimensions(),
+        kind_idx in 0usize..4,
+        blocking in any::<bool>(),
+        load in 0.05f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let kind = BufferKind::ALL[kind_idx];
+        let slots = if kind.is_statically_allocated() { radix } else { 3 };
+        let mut sim = NetworkSim::new(
+            NetworkConfig::new(size, radix)
+                .buffer_kind(kind)
+                .slots_per_buffer(slots)
+                .flow_control(if blocking {
+                    FlowControl::Blocking
+                } else {
+                    FlowControl::Discarding
+                })
+                .offered_load(load)
+                .seed(seed),
+        )
+        .unwrap();
+        sim.run(120);
+        let m = sim.metrics();
+        let accounted = m.delivered()
+            + m.discarded()
+            + sim.source_backlog() as u64
+            + sim.packets_in_flight() as u64;
+        prop_assert_eq!(m.generated(), accounted);
+        sim.check_invariants();
+    }
+
+    /// Blocking networks never lose a packet, whatever the configuration.
+    #[test]
+    fn blocking_never_discards(
+        (size, radix) in dimensions(),
+        kind_idx in 0usize..4,
+        load in 0.5f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let kind = BufferKind::ALL[kind_idx];
+        let slots = if kind.is_statically_allocated() { radix } else { 3 };
+        let mut sim = NetworkSim::new(
+            NetworkConfig::new(size, radix)
+                .buffer_kind(kind)
+                .slots_per_buffer(slots)
+                .flow_control(FlowControl::Blocking)
+                .offered_load(load)
+                .seed(seed),
+        )
+        .unwrap();
+        sim.run(200);
+        prop_assert_eq!(sim.metrics().discarded(), 0);
+    }
+
+    /// Every delivered packet arrives at the sink it was addressed to
+    /// (verified inside the simulator by a debug assertion; here we verify
+    /// deliveries only happen to sinks that were actually addressed, via
+    /// the per-sink counters under a fixed permutation).
+    #[test]
+    fn permutation_traffic_reaches_only_its_targets(
+        (size, radix) in dimensions(),
+        offset_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let offset = (offset_seed % size as u64) as usize;
+        let mut sim = NetworkSim::new(
+            NetworkConfig::new(size, radix)
+                .buffer_kind(BufferKind::Damq)
+                .traffic(TrafficPattern::Shifted { offset })
+                .offered_load(0.5)
+                .seed(seed),
+        )
+        .unwrap();
+        sim.run(100);
+        // Every sink is hit by exactly one source under a shift; since all
+        // sources generate at the same rate, deliveries should cover
+        // exactly the set of addressed sinks.
+        let per_sink = sim.metrics().per_sink_delivered();
+        let expected: std::collections::HashSet<usize> =
+            (0..size).map(|s| (s + offset) % size).collect();
+        for (sink, &count) in per_sink.iter().enumerate() {
+            if !expected.contains(&sink) {
+                prop_assert_eq!(count, 0, "sink {} was never addressed", sink);
+            }
+        }
+        prop_assert!(sim.metrics().delivered() > 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Inter-switch flow-control disciplines.
+//!
+//! The paper evaluates both families of switches (§4): *discarding* switches
+//! drop a packet that arrives at a full buffer, and *blocking* switches hold
+//! the transmitter back until the downstream buffer has room (which requires
+//! the upstream node to know about downstream space — and, for the
+//! statically-allocated designs, about space in the specific *queue* the
+//! packet will join, i.e. pre-routing).
+
+use std::fmt;
+
+/// What happens when a packet heads for a buffer that cannot hold it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FlowControl {
+    /// The packet is dropped and counted; the sender proceeds.
+    Discarding,
+    /// The sender keeps the packet and retries later; nothing is lost.
+    #[default]
+    Blocking,
+}
+
+impl FlowControl {
+    /// Both disciplines, discarding first.
+    pub const ALL: [FlowControl; 2] = [FlowControl::Discarding, FlowControl::Blocking];
+
+    /// Lower-case name ("discarding" / "blocking").
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowControl::Discarding => "discarding",
+            FlowControl::Blocking => "blocking",
+        }
+    }
+
+    /// Whether senders must check downstream space before transmitting.
+    pub fn requires_backpressure(self) -> bool {
+        matches!(self, FlowControl::Blocking)
+    }
+}
+
+impl fmt::Display for FlowControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_backpressure() {
+        assert_eq!(FlowControl::Discarding.name(), "discarding");
+        assert_eq!(FlowControl::Blocking.name(), "blocking");
+        assert!(!FlowControl::Discarding.requires_backpressure());
+        assert!(FlowControl::Blocking.requires_backpressure());
+    }
+
+    #[test]
+    fn default_is_blocking() {
+        assert_eq!(FlowControl::default(), FlowControl::Blocking);
+    }
+}

@@ -1,0 +1,46 @@
+//! n×n switch model built on the buffer designs of [`damq_core`].
+//!
+//! A [`Switch`] couples one input buffer per port (any of the four designs:
+//! FIFO, SAMQ, SAFC, DAMQ) with a [`Crossbar`] and a central [`Arbiter`]
+//! implementing the paper's *dumb* and *smart* round-robin policies. The
+//! host (a network simulator, or a test) drives the switch one cycle at a
+//! time: arriving packets go in through [`Switch::receive`], and
+//! [`Switch::transmit_cycle`] performs arbitration and returns the departing
+//! packets.
+//!
+//! Flow control ([`FlowControl`]) is a property of the *network* protocol:
+//! a blocking network only lets a switch transmit into downstream space,
+//! which the host expresses through the `can_send` predicate of
+//! [`Switch::transmit_cycle`]; a discarding network always lets packets fly
+//! and drops those that find a full buffer.
+//!
+//! # Examples
+//!
+//! Two packets for different outputs leave a DAMQ switch in one cycle:
+//!
+//! ```
+//! use damq_core::{BufferKind, InputPort, NodeId, OutputPort, Packet};
+//! use damq_switch::{Switch, SwitchConfig};
+//!
+//! let mut sw = Switch::new(SwitchConfig::new(4).buffer_kind(BufferKind::Damq))?;
+//! let mk = |s| Packet::builder(NodeId::new(s), NodeId::new(0)).build();
+//! sw.receive(InputPort::new(0), OutputPort::new(1), mk(0))?;
+//! sw.receive(InputPort::new(2), OutputPort::new(3), mk(1))?;
+//! assert_eq!(sw.transmit_cycle(|_, _| true).len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arbiter;
+mod config;
+mod crossbar;
+mod flow;
+mod switch;
+
+pub use arbiter::{Arbiter, ArbiterPolicy, Candidate};
+pub use config::SwitchConfig;
+pub use crossbar::Crossbar;
+pub use flow::FlowControl;
+pub use switch::{Departure, Switch};

@@ -1,0 +1,75 @@
+//! Simulate the paper's 64×64 Omega network and watch it run.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example omega_simulation [fifo|samq|safc|damq] [load]
+//! ```
+//!
+//! e.g. `cargo run --release --example omega_simulation damq 0.6`.
+
+use damq::net::CLOCKS_PER_CYCLE;
+use damq::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let kind = match args.next().as_deref() {
+        Some("fifo") => BufferKind::Fifo,
+        Some("samq") => BufferKind::Samq,
+        Some("safc") => BufferKind::Safc,
+        Some("damq") | None => BufferKind::Damq,
+        Some(other) => return Err(format!("unknown buffer kind {other:?}").into()),
+    };
+    let load: f64 = args.next().map_or(Ok(0.5), |s| s.parse())?;
+
+    println!("64x64 Omega network, 4x4 {kind} switches, 4 slots/buffer, blocking protocol");
+    println!("offered load {load:.2} packets/terminal/cycle (1 cycle = {CLOCKS_PER_CYCLE} clocks)");
+    println!();
+
+    let mut sim = NetworkSim::new(
+        NetworkConfig::new(64, 4)
+            .buffer_kind(kind)
+            .slots_per_buffer(4)
+            .offered_load(load)
+            .seed(2024),
+    )?;
+
+    println!(
+        "{:>7} {:>9} {:>9} {:>8} {:>10} {:>9} {:>8}",
+        "cycle", "generated", "delivered", "in-net", "backlog", "thr", "lat(clk)"
+    );
+    for chunk in 1..=10 {
+        sim.run(500);
+        let m = sim.metrics();
+        println!(
+            "{:>7} {:>9} {:>9} {:>8} {:>10} {:>9.3} {:>8.1}",
+            chunk * 500,
+            m.generated(),
+            m.delivered(),
+            sim.packets_in_flight(),
+            sim.source_backlog(),
+            m.delivered_throughput(),
+            m.mean_latency_clocks(),
+        );
+    }
+
+    let m = sim.metrics();
+    println!();
+    if m.delivered_throughput() + 0.01 < m.offered_throughput() {
+        println!(
+            "network is SATURATED: delivering {:.3} of {:.3} offered; {} packets backed up",
+            m.delivered_throughput(),
+            m.offered_throughput(),
+            sim.source_backlog()
+        );
+        println!("(try a lower load, or the DAMQ buffer if you weren't using it)");
+    } else {
+        println!(
+            "network keeps up: {:.3} delivered ≈ {:.3} offered, mean latency {:.1} clocks",
+            m.delivered_throughput(),
+            m.offered_throughput(),
+            m.mean_latency_clocks()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! End-to-end tests of the `damq` command-line interface.
+
+use std::process::Command;
+
+fn damq(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_damq"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = damq(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["sim", "saturation", "sweep", "markov"] {
+        assert!(text.contains(cmd), "help must mention {cmd}");
+    }
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = damq(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_is_a_clean_error() {
+    let out = damq(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn markov_subcommand_reports_a_discard_probability() {
+    let out = damq(&["markov", "--buffer", "damq", "--slots", "2", "--traffic", "0.5"]);
+    assert!(out.status.success(), "{:?}", out);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DAMQ"));
+    assert!(text.contains("discard"));
+    assert!(text.contains("occupancy"));
+}
+
+#[test]
+fn markov_rejects_bad_buffer_kind() {
+    let out = damq(&["markov", "--buffer", "lifo"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown buffer kind"));
+}
+
+#[test]
+fn sim_runs_a_small_network() {
+    let out = damq(&[
+        "sim", "--size", "16", "--radix", "4", "--buffer", "fifo", "--load", "0.2", "--cycles",
+        "200", "--warmup", "50",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FIFO"));
+    assert!(text.contains("latency"));
+}
+
+#[test]
+fn sweep_emits_csv() {
+    let out = damq(&[
+        "sweep", "--size", "16", "--buffer", "damq", "--from", "0.1", "--to", "0.2", "--step",
+        "0.1", "--cycles", "150", "--warmup", "30",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let text = String::from_utf8_lossy(&out.stdout);
+    let mut lines = text.lines();
+    assert!(lines.next().unwrap().starts_with("buffer,offered"));
+    let first = lines.next().unwrap();
+    assert!(first.starts_with("DAMQ,0.100"), "got {first}");
+    assert_eq!(first.split(',').count(), 6);
+}
+
+#[test]
+fn options_without_values_are_rejected() {
+    let out = damq(&["sim", "--load"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+}

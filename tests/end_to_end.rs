@@ -1,0 +1,250 @@
+//! Cross-crate integration tests: whole-network behaviour of the four
+//! buffer designs.
+
+use damq::prelude::*;
+
+fn base() -> NetworkConfig {
+    NetworkConfig::new(64, 4).slots_per_buffer(4).seed(20240624)
+}
+
+#[test]
+fn all_four_designs_run_the_paper_network() {
+    for kind in BufferKind::ALL {
+        let mut sim = NetworkSim::new(base().buffer_kind(kind).offered_load(0.3)).unwrap();
+        sim.warm_up(200);
+        sim.run(500);
+        let m = sim.metrics();
+        assert!(
+            (m.delivered_throughput() - 0.3).abs() < 0.03,
+            "{kind}: delivered {}",
+            m.delivered_throughput()
+        );
+        sim.check_invariants();
+    }
+}
+
+#[test]
+fn packet_conservation_across_designs_and_protocols() {
+    for kind in BufferKind::ALL {
+        for flow in FlowControl::ALL {
+            let mut sim = NetworkSim::new(
+                base()
+                    .buffer_kind(kind)
+                    .flow_control(flow)
+                    .offered_load(0.9),
+            )
+            .unwrap();
+            sim.run(400);
+            let m = sim.metrics();
+            let accounted = m.delivered()
+                + m.discarded()
+                + sim.source_backlog() as u64
+                + sim.packets_in_flight() as u64;
+            assert_eq!(m.generated(), accounted, "{kind}/{flow}");
+        }
+    }
+}
+
+#[test]
+fn damq_saturates_at_least_30_percent_above_fifo() {
+    // The paper's headline: 40% higher maximum throughput at 4 slots.
+    let opts = SaturationOptions {
+        warm_up: 300,
+        window: 1_500,
+        ..SaturationOptions::default()
+    };
+    let fifo = find_saturation(base().buffer_kind(BufferKind::Fifo), opts).unwrap();
+    let damq = find_saturation(base().buffer_kind(BufferKind::Damq), opts).unwrap();
+    assert!(
+        damq.throughput >= 1.3 * fifo.throughput,
+        "DAMQ {} vs FIFO {}",
+        damq.throughput,
+        fifo.throughput
+    );
+}
+
+#[test]
+fn below_saturation_latencies_are_nearly_design_independent() {
+    // Paper §4.2.1: "below the point of saturation, the type of buffer used
+    // is not a significant factor."
+    let mut latencies = Vec::new();
+    for kind in BufferKind::ALL {
+        let m = measure(base().buffer_kind(kind).offered_load(0.25), 300, 1_500).unwrap();
+        latencies.push(m.latency_clocks);
+    }
+    let min = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = latencies.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max - min < 6.0,
+        "latency spread at 0.25 load too wide: {latencies:?}"
+    );
+}
+
+#[test]
+fn discarding_damq_drops_far_fewer_packets_than_fifo() {
+    // Table 3's shape at 0.5 input throughput.
+    let discard = |kind| {
+        let m = measure(
+            base()
+                .buffer_kind(kind)
+                .flow_control(FlowControl::Discarding)
+                .offered_load(0.5),
+            500,
+            3_000,
+        )
+        .unwrap();
+        m.discard_fraction
+    };
+    let fifo = discard(BufferKind::Fifo);
+    let damq = discard(BufferKind::Damq);
+    assert!(fifo > 0.01, "FIFO should discard at 0.5: {fifo}");
+    assert!(
+        damq < fifo / 4.0,
+        "DAMQ {damq} should discard a small fraction of FIFO {fifo}"
+    );
+}
+
+#[test]
+fn hot_spot_equalises_all_designs() {
+    // Table 6: every design tree-saturates just under 0.25.
+    let opts = SaturationOptions {
+        warm_up: 300,
+        window: 1_500,
+        ..SaturationOptions::default()
+    };
+    for kind in BufferKind::ALL {
+        let sat = find_saturation(
+            base()
+                .buffer_kind(kind)
+                .traffic(TrafficPattern::paper_hot_spot()),
+            opts,
+        )
+        .unwrap();
+        assert!(
+            (sat.throughput - 0.24).abs() < 0.05,
+            "{kind}: hot-spot saturation {}",
+            sat.throughput
+        );
+    }
+}
+
+#[test]
+fn extra_fifo_slots_buy_less_than_damq_organisation() {
+    // Table 5's point: DAMQ with 3 slots beats FIFO with 8.
+    let opts = SaturationOptions {
+        warm_up: 300,
+        window: 1_500,
+        ..SaturationOptions::default()
+    };
+    let fifo8 = find_saturation(
+        base().buffer_kind(BufferKind::Fifo).slots_per_buffer(8),
+        opts,
+    )
+    .unwrap();
+    let damq3 = find_saturation(
+        base().buffer_kind(BufferKind::Damq).slots_per_buffer(3),
+        opts,
+    )
+    .unwrap();
+    assert!(
+        damq3.throughput >= fifo8.throughput,
+        "DAMQ(3) {} vs FIFO(8) {}",
+        damq3.throughput,
+        fifo8.throughput
+    );
+}
+
+#[test]
+fn deterministic_across_identical_configs() {
+    let run = || {
+        let mut sim = NetworkSim::new(base().offered_load(0.45)).unwrap();
+        sim.run(300);
+        (
+            sim.metrics().generated(),
+            sim.metrics().delivered(),
+            sim.metrics().mean_latency_clocks().to_bits(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn radix_2_networks_work_end_to_end() {
+    // The Markov crate studies 2x2 switches; the simulator supports them
+    // too (a 6-stage 64-terminal butterfly-width network).
+    let mut sim = NetworkSim::new(
+        NetworkConfig::new(64, 2)
+            .buffer_kind(BufferKind::Damq)
+            .slots_per_buffer(4)
+            .offered_load(0.3)
+            .seed(5),
+    )
+    .unwrap();
+    sim.warm_up(200);
+    sim.run(500);
+    assert!(sim.metrics().delivered() > 5_000);
+}
+
+#[test]
+fn butterfly_wiring_reproduces_the_damq_advantage() {
+    // The DAMQ result is about switches, not the Omega shuffle: the same
+    // experiment on a butterfly gives the same ordering and a comparable
+    // gap.
+    use damq::net::TopologyKind;
+    let opts = SaturationOptions {
+        warm_up: 300,
+        window: 1_500,
+        ..SaturationOptions::default()
+    };
+    let sat = |kind| {
+        find_saturation(
+            base().buffer_kind(kind).topology_kind(TopologyKind::Butterfly),
+            opts,
+        )
+        .unwrap()
+        .throughput
+    };
+    let fifo = sat(BufferKind::Fifo);
+    let damq = sat(BufferKind::Damq);
+    assert!(
+        damq >= 1.3 * fifo,
+        "butterfly: DAMQ {damq} vs FIFO {fifo}"
+    );
+}
+
+#[test]
+fn measured_saturations_respect_theory_brackets() {
+    use damq::net::theory::{hol_saturation, hot_spot_ceiling, OUTPUT_QUEUED_SATURATION};
+    let opts = SaturationOptions {
+        warm_up: 300,
+        window: 1_500,
+        ..SaturationOptions::default()
+    };
+    // FIFO below the infinite-queue HOL ceiling for 4x4 switches; DAMQ
+    // between the HOL ceiling's spirit and the output-queued bound.
+    let fifo = find_saturation(base().buffer_kind(BufferKind::Fifo), opts)
+        .unwrap()
+        .throughput;
+    let damq = find_saturation(base().buffer_kind(BufferKind::Damq), opts)
+        .unwrap()
+        .throughput;
+    assert!(
+        fifo <= hol_saturation(4) + 0.02,
+        "FIFO {fifo} should respect the HOL ceiling {}",
+        hol_saturation(4)
+    );
+    assert!(damq <= OUTPUT_QUEUED_SATURATION);
+    assert!(damq > hol_saturation(4), "DAMQ escapes the HOL ceiling");
+    // Hot spot: every design within a hair of the analytic cap.
+    let hot = find_saturation(
+        base()
+            .buffer_kind(BufferKind::Damq)
+            .traffic(TrafficPattern::paper_hot_spot()),
+        opts,
+    )
+    .unwrap()
+    .throughput;
+    let cap = hot_spot_ceiling(0.05, 64);
+    assert!(hot <= cap + 0.02, "hot-spot sat {hot} vs ceiling {cap}");
+    assert!(hot >= cap - 0.05, "hot-spot sat {hot} vs ceiling {cap}");
+}
