@@ -2,11 +2,12 @@
 //!
 //! These quantify the software cost of the DAMQ's linked-list management
 //! relative to the simpler designs (in the chip this is the area/control
-//! trade-off of paper §3.2.3).
+//! trade-off of paper §3.2.3). Run with `cargo bench -p damq-bench`;
+//! timing comes from the std-only [`damq_bench::timing`] harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use damq_bench::timing::bench;
 use damq_core::{BufferConfig, BufferKind, NodeId, OutputPort, Packet};
 
 fn packet(len: usize) -> Packet {
@@ -16,74 +17,63 @@ fn packet(len: usize) -> Packet {
 }
 
 /// Fill-then-drain cycles: 4 single-slot packets in, 4 out.
-fn bench_fill_drain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fill_drain_4x1slot");
+fn bench_fill_drain() {
+    println!("-- fill_drain_4x1slot --");
     for kind in BufferKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
-            let mut buf = BufferConfig::new(4, 4).build(kind).unwrap();
-            b.iter(|| {
-                for o in 0..4 {
-                    buf.try_enqueue(OutputPort::new(o), black_box(packet(8)))
-                        .unwrap();
-                }
-                for o in 0..4 {
-                    black_box(buf.dequeue(OutputPort::new(o)).unwrap());
-                }
-            });
+        let mut buf = BufferConfig::new(4, 4).build(kind).unwrap();
+        bench(&format!("fill_drain_4x1slot/{kind}"), || {
+            for o in 0..4 {
+                buf.try_enqueue(OutputPort::new(o), black_box(packet(8)))
+                    .unwrap();
+            }
+            for o in 0..4 {
+                black_box(buf.dequeue(OutputPort::new(o)).unwrap());
+            }
         });
     }
-    group.finish();
 }
 
 /// Variable-length packets exercising multi-slot allocation (DAMQ's linked
 /// lists vs FIFO's ring).
-fn bench_variable_length(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fill_drain_variable_length");
+fn bench_variable_length() {
+    println!("-- fill_drain_variable_length --");
     for kind in [BufferKind::Fifo, BufferKind::Damq] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
-            let mut buf = BufferConfig::new(4, 12).build(kind).unwrap();
-            b.iter(|| {
-                // 4+2+1 slots in, then drained (FIFO drains head output).
-                buf.try_enqueue(OutputPort::new(0), black_box(packet(32)))
-                    .unwrap();
-                buf.try_enqueue(OutputPort::new(1), black_box(packet(16)))
-                    .unwrap();
-                buf.try_enqueue(OutputPort::new(2), black_box(packet(8)))
-                    .unwrap();
-                black_box(buf.dequeue(OutputPort::new(0)).unwrap());
-                black_box(buf.dequeue(OutputPort::new(1)).unwrap());
-                black_box(buf.dequeue(OutputPort::new(2)).unwrap());
-            });
+        let mut buf = BufferConfig::new(4, 12).build(kind).unwrap();
+        bench(&format!("fill_drain_variable_length/{kind}"), || {
+            // 4+2+1 slots in, then drained (FIFO drains head output).
+            buf.try_enqueue(OutputPort::new(0), black_box(packet(32)))
+                .unwrap();
+            buf.try_enqueue(OutputPort::new(1), black_box(packet(16)))
+                .unwrap();
+            buf.try_enqueue(OutputPort::new(2), black_box(packet(8)))
+                .unwrap();
+            black_box(buf.dequeue(OutputPort::new(0)).unwrap());
+            black_box(buf.dequeue(OutputPort::new(1)).unwrap());
+            black_box(buf.dequeue(OutputPort::new(2)).unwrap());
         });
     }
-    group.finish();
 }
 
 /// The hot query of arbitration: queue_len across all outputs.
-fn bench_queue_scan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eligible_output_scan");
+fn bench_queue_scan() {
+    println!("-- eligible_output_scan --");
     for kind in BufferKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
-            let mut buf = BufferConfig::new(4, 8).build(kind).unwrap();
+        let mut buf = BufferConfig::new(4, 8).build(kind).unwrap();
+        for o in 0..4 {
+            buf.try_enqueue(OutputPort::new(o), packet(8)).unwrap();
+        }
+        bench(&format!("eligible_output_scan/{kind}"), || {
+            let mut total = 0;
             for o in 0..4 {
-                buf.try_enqueue(OutputPort::new(o), packet(8)).unwrap();
+                total += black_box(&buf).queue_len(OutputPort::new(o));
             }
-            b.iter(|| {
-                let mut total = 0;
-                for o in 0..4 {
-                    total += black_box(&buf).queue_len(OutputPort::new(o));
-                }
-                black_box(total)
-            });
+            total
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fill_drain,
-    bench_variable_length,
-    bench_queue_scan
-);
-criterion_main!(benches);
+fn main() {
+    bench_fill_drain();
+    bench_variable_length();
+    bench_queue_scan();
+}

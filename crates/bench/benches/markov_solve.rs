@@ -1,59 +1,54 @@
 //! Benchmarks of the Markov engine: state-space exploration and
-//! steady-state solving at the sizes Table 2 requires.
+//! steady-state solving at the sizes Table 2 requires. Run with
+//! `cargo bench -p damq-bench`; timing comes from the std-only
+//! [`damq_bench::timing`] harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use damq_bench::timing::bench;
 use damq_markov::{Chain, CycleOrder, DamqModel, FifoModel, SolveOptions, Switch2x2};
 
 /// Exploration cost of the FIFO chain (the largest state space: ordered
 /// destination strings).
-fn bench_explore(c: &mut Criterion) {
-    let mut group = c.benchmark_group("explore_fifo_chain");
+fn bench_explore() {
+    println!("-- explore_fifo_chain --");
     for cap in [3usize, 4, 5, 6] {
-        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
-            b.iter(|| {
-                let chain = Chain::explore(&Switch2x2::new(
-                    FifoModel::new(cap),
-                    0.9,
-                    CycleOrder::ArrivalsFirst,
-                ));
-                black_box(chain.state_count())
-            });
+        bench(&format!("explore_fifo_chain/cap{cap}"), || {
+            let chain = Chain::explore(&Switch2x2::new(
+                FifoModel::new(cap),
+                0.9,
+                CycleOrder::ArrivalsFirst,
+            ));
+            black_box(chain.state_count())
         });
     }
-    group.finish();
 }
 
 /// Full Table-2 cell: explore + solve, FIFO (hard) vs DAMQ (easy) at the
 /// worst-case traffic level.
-fn bench_solve_cell(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_cell");
-    group.sample_size(10);
-    group.bench_function("fifo_cap6_traffic99", |b| {
-        let chain = Chain::explore(&Switch2x2::new(
-            FifoModel::new(6),
-            0.99,
-            CycleOrder::ArrivalsFirst,
-        ));
-        b.iter(|| {
-            let ss = chain.steady_state(SolveOptions::default()).unwrap();
-            black_box(chain.stationary_reward(&ss).discards)
-        });
+fn bench_solve_cell() {
+    println!("-- table2_cell --");
+    let chain = Chain::explore(&Switch2x2::new(
+        FifoModel::new(6),
+        0.99,
+        CycleOrder::ArrivalsFirst,
+    ));
+    bench("table2_cell/fifo_cap6_traffic99", || {
+        let ss = chain.steady_state(SolveOptions::default()).unwrap();
+        black_box(chain.stationary_reward(&ss).discards)
     });
-    group.bench_function("damq_cap6_traffic99", |b| {
-        let chain = Chain::explore(&Switch2x2::new(
-            DamqModel::new(6),
-            0.99,
-            CycleOrder::ArrivalsFirst,
-        ));
-        b.iter(|| {
-            let ss = chain.steady_state(SolveOptions::default()).unwrap();
-            black_box(chain.stationary_reward(&ss).discards)
-        });
+    let chain = Chain::explore(&Switch2x2::new(
+        DamqModel::new(6),
+        0.99,
+        CycleOrder::ArrivalsFirst,
+    ));
+    bench("table2_cell/damq_cap6_traffic99", || {
+        let ss = chain.steady_state(SolveOptions::default()).unwrap();
+        black_box(chain.stationary_reward(&ss).discards)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_explore, bench_solve_cell);
-criterion_main!(benches);
+fn main() {
+    bench_explore();
+    bench_solve_cell();
+}

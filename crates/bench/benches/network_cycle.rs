@@ -1,90 +1,85 @@
 //! Benchmarks of the Omega-network simulator: cost of one network cycle
 //! for each buffer design, and of the microarchitecture model's clock.
+//! Run with `cargo bench -p damq-bench`; timing comes from the std-only
+//! [`damq_bench::timing`] harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use damq_bench::timing::bench;
 use damq_core::BufferKind;
 use damq_microarch::{Chip, ChipConfig, RouteEntry};
 use damq_net::{NetworkConfig, NetworkSim};
 
 /// One 64x64 network cycle at 0.5 offered load, per buffer design.
-fn bench_network_cycle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("omega64_cycle");
+fn bench_network_cycle() {
+    println!("-- omega64_cycle --");
     for kind in BufferKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
-            let mut sim = NetworkSim::new(
-                NetworkConfig::new(64, 4)
-                    .buffer_kind(kind)
-                    .slots_per_buffer(4)
-                    .offered_load(0.5)
-                    .seed(1),
-            )
-            .unwrap();
-            sim.run(500); // steady state
-            b.iter(|| {
-                sim.step();
-                black_box(sim.metrics().delivered())
-            });
+        let mut sim = NetworkSim::new(
+            NetworkConfig::new(64, 4)
+                .buffer_kind(kind)
+                .slots_per_buffer(4)
+                .offered_load(0.5)
+                .seed(1),
+        )
+        .unwrap();
+        sim.run(500); // steady state
+        bench(&format!("omega64_cycle/{kind}"), || {
+            sim.step();
+            black_box(sim.metrics().delivered())
         });
     }
-    group.finish();
 }
 
 /// Whole measurement windows, as the table harnesses run them.
-fn bench_measurement_window(c: &mut Criterion) {
-    c.bench_function("omega64_damq_100cycles", |b| {
-        let mut sim = NetworkSim::new(
-            NetworkConfig::new(64, 4)
-                .buffer_kind(BufferKind::Damq)
-                .offered_load(0.5)
-                .seed(2),
-        )
-        .unwrap();
-        sim.run(500);
-        b.iter(|| {
-            sim.run(100);
-            black_box(sim.metrics().delivered())
-        });
+fn bench_measurement_window() {
+    println!("-- measurement windows --");
+    let mut sim = NetworkSim::new(
+        NetworkConfig::new(64, 4)
+            .buffer_kind(BufferKind::Damq)
+            .offered_load(0.5)
+            .seed(2),
+    )
+    .unwrap();
+    sim.run(500);
+    bench("omega64_damq_100cycles", || {
+        sim.run(100);
+        black_box(sim.metrics().delivered())
     });
 }
 
 /// One ComCoBB clock cycle with all five ports streaming.
-fn bench_chip_tick(c: &mut Criterion) {
-    c.bench_function("comcobb_tick_busy", |b| {
-        let mut chip = Chip::new(ChipConfig::comcobb());
-        for input in 0..5 {
-            let output = (input + 1) % 5;
-            chip.program_route(
-                input,
-                input as u8,
-                RouteEntry {
-                    output,
-                    new_header: input as u8,
-                },
-            )
-            .unwrap();
+fn bench_chip_tick() {
+    println!("-- chip --");
+    let mut chip = Chip::new(ChipConfig::comcobb());
+    for input in 0..5 {
+        let output = (input + 1) % 5;
+        chip.program_route(
+            input,
+            input as u8,
+            RouteEntry {
+                output,
+                new_header: input as u8,
+            },
+        )
+        .unwrap();
+    }
+    // Keep the wires saturated far beyond the benchmark horizon.
+    for input in 0..5usize {
+        let mut at = 0;
+        for _ in 0..20_000 {
+            at = chip
+                .input_wire_mut(input)
+                .drive_packet(at, input as u8, &[0xAB; 32]);
         }
-        // Keep the wires saturated far beyond the benchmark horizon.
-        for input in 0..5usize {
-            let mut at = 0;
-            for _ in 0..20_000 {
-                at = chip
-                    .input_wire_mut(input)
-                    .drive_packet(at, input as u8, &[0xAB; 32]);
-            }
-        }
-        b.iter(|| {
-            chip.tick();
-            black_box(chip.cycle())
-        });
+    }
+    bench("comcobb_tick_busy", || {
+        chip.tick();
+        black_box(chip.cycle())
     });
 }
 
-criterion_group!(
-    benches,
-    bench_network_cycle,
-    bench_measurement_window,
-    bench_chip_tick
-);
-criterion_main!(benches);
+fn main() {
+    bench_network_cycle();
+    bench_measurement_window();
+    bench_chip_tick();
+}

@@ -10,38 +10,90 @@
 //! |---|---|---|
 //! | static | SAMQ | SAFC |
 //! | dynamic | DAMQ | DAFC |
+//!
+//! The Markov grid and the saturation searches are swept in parallel
+//! through [`damq_bench::sweep`]; simulation cells are seeded from their
+//! coordinates. The run also writes `results/json/ablation_dafc.json`.
 
-use damq_bench::{fmt_prob, render_table};
+use damq_bench::json::{discard_point_json, saturation_json, Json, Report};
+use damq_bench::{fmt_prob, render_table, sweep};
 use damq_core::BufferKind;
 use damq_markov::{discard_probability, CycleOrder, SolveOptions};
 use damq_net::{find_saturation, NetworkConfig, SaturationOptions};
 use damq_switch::FlowControl;
 
+const KINDS: [BufferKind; 4] = [
+    BufferKind::Samq,
+    BufferKind::Safc,
+    BufferKind::Damq,
+    BufferKind::Dafc,
+];
+const TRAFFICS: [f64; 4] = [0.50, 0.75, 0.90, 0.99];
+
 fn main() {
     println!("Ablation: allocation policy vs read connectivity");
     println!();
+
+    let markov_cells: Vec<(usize, usize)> = (0..KINDS.len())
+        .flat_map(|k| (0..TRAFFICS.len()).map(move |t| (k, t)))
+        .collect();
+    let mut report = Report::new("ablation_dafc");
+    let points = sweep::run(&markov_cells, |&(k, t)| {
+        discard_probability(
+            KINDS[k],
+            4,
+            TRAFFICS[t],
+            CycleOrder::ArrivalsFirst,
+            SolveOptions::default(),
+        )
+        .expect("analysis runs")
+    });
+
+    let base = NetworkConfig::new(64, 4)
+        .slots_per_buffer(4)
+        .flow_control(FlowControl::Blocking);
+    let sat_cells: Vec<usize> = (0..KINDS.len()).collect();
+    let saturations = sweep::run(&sat_cells, |&k| {
+        find_saturation(
+            base.buffer_kind(KINDS[k])
+                .seed(sweep::cell_seed(sweep::BASE_SEED, &[k as u64])),
+            SaturationOptions::default(),
+        )
+        .expect("search runs")
+    });
+
+    report.meta("markov_switch", Json::from("2x2 discarding, 4 slots"));
+    report.meta("network", Json::from("64x64 Omega, blocking, 4 slots"));
+    for (&(k, t), point) in markov_cells.iter().zip(&points) {
+        report.push_cell(Json::cell(
+            [
+                ("buffer", Json::from(KINDS[k].name())),
+                ("traffic", Json::from(TRAFFICS[t])),
+                ("vehicle", Json::from("markov")),
+            ],
+            discard_point_json(point),
+        ));
+    }
+    for (&k, sat) in sat_cells.iter().zip(&saturations) {
+        report.push_cell(Json::cell(
+            [
+                ("buffer", Json::from(KINDS[k].name())),
+                ("vehicle", Json::from("simulation")),
+            ],
+            saturation_json(sat),
+        ));
+    }
+
     println!("-- Markov discard probability, 2x2 discarding switch, 4 slots --");
-    let traffics = [0.50, 0.75, 0.90, 0.99];
     let mut header: Vec<String> = vec!["Buffer".into()];
-    header.extend(traffics.iter().map(|t| format!("{:.0}%", t * 100.0)));
+    header.extend(TRAFFICS.iter().map(|t| format!("{:.0}%", t * 100.0)));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut rows = Vec::new();
-    for kind in [
-        BufferKind::Samq,
-        BufferKind::Safc,
-        BufferKind::Damq,
-        BufferKind::Dafc,
-    ] {
+    let mut point_iter = points.iter();
+    for kind in KINDS {
         let mut row = vec![kind.name().to_owned()];
-        for &t in &traffics {
-            let p = discard_probability(
-                kind,
-                4,
-                t,
-                CycleOrder::ArrivalsFirst,
-                SolveOptions::default(),
-            )
-            .expect("analysis runs");
+        for _ in &TRAFFICS {
+            let p = point_iter.next().expect("cell");
             row.push(fmt_prob(p.discard_probability));
         }
         rows.push(row);
@@ -50,23 +102,13 @@ fn main() {
 
     println!();
     println!("-- Omega 64x64 saturation throughput, blocking, 4 slots --");
-    let base = NetworkConfig::new(64, 4)
-        .slots_per_buffer(4)
-        .flow_control(FlowControl::Blocking);
     let mut rows = Vec::new();
     let mut sat_of = std::collections::HashMap::new();
-    for kind in [
-        BufferKind::Samq,
-        BufferKind::Safc,
-        BufferKind::Damq,
-        BufferKind::Dafc,
-    ] {
-        let sat = find_saturation(base.buffer_kind(kind), SaturationOptions::default())
-            .expect("search runs");
-        sat_of.insert(kind, sat.throughput);
+    for (k, kind) in KINDS.iter().enumerate() {
+        sat_of.insert(*kind, saturations[k].throughput);
         rows.push(vec![
             kind.name().to_owned(),
-            format!("{:.2}", sat.throughput),
+            format!("{:.2}", saturations[k].throughput),
         ]);
     }
     print!("{}", render_table(&["Buffer", "sat. thr"], &rows));
@@ -81,4 +123,5 @@ fn main() {
     println!();
     println!("conclusion: the allocation policy, not the read fabric, is what matters --");
     println!("which is why the paper's single-read-port DAMQ is the sweet spot in silicon.");
+    report.write_and_announce();
 }

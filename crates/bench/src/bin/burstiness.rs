@@ -7,8 +7,13 @@
 //! mean load fixed and clumps it into dense on/off bursts (12-cycle
 //! bursts, 30% duty — 3.3× the mean rate while ON), then compares means
 //! and p99 tails across the designs.
+//!
+//! The (design, arrival process, load) grid is swept in parallel through
+//! [`damq_bench::sweep`], each cell seeded from its coordinates. The run
+//! also writes `results/json/burstiness.json`.
 
-use damq_bench::render_table;
+use damq_bench::json::{measurement_json, Json, Report};
+use damq_bench::{render_table, sweep};
 use damq_core::BufferKind;
 use damq_net::{measure, ArrivalProcess, NetworkConfig};
 use damq_switch::FlowControl;
@@ -18,6 +23,7 @@ const BURSTY: ArrivalProcess = ArrivalProcess::OnOff {
     mean_burst: 12.0,
     duty: 0.3,
 };
+const LOADS: [f64; 3] = [0.10, 0.20, 0.28];
 
 fn main() {
     println!("Bursty sources: same mean load, clumped into on/off bursts");
@@ -28,9 +34,45 @@ fn main() {
         .slots_per_buffer(4)
         .flow_control(FlowControl::Blocking);
 
-    let loads = [0.10, 0.20, 0.28];
+    let arrivals = [("smooth", SMOOTH), ("bursty", BURSTY)];
+    let cells: Vec<(usize, usize, usize)> = (0..BufferKind::ALL.len())
+        .flat_map(|k| {
+            (0..arrivals.len()).flat_map(move |a| (0..LOADS.len()).map(move |l| (k, a, l)))
+        })
+        .collect();
+    let mut report = Report::new("burstiness");
+    let measurements = sweep::run(&cells, |&(k, a, l)| {
+        measure(
+            base.buffer_kind(BufferKind::ALL[k])
+                .arrival_process(arrivals[a].1)
+                .offered_load(LOADS[l])
+                .seed(sweep::cell_seed(
+                    sweep::BASE_SEED,
+                    &[k as u64, a as u64, l as u64],
+                )),
+            1_000,
+            10_000,
+        )
+        .expect("sim")
+    });
+
+    report.meta("network", Json::from("64x64 Omega, blocking, uniform"));
+    report.meta("slots_per_buffer", Json::from(4usize));
+    report.meta("bursty_mean_burst", Json::from(12.0));
+    report.meta("bursty_duty", Json::from(0.3));
+    for (&(k, a, l), m) in cells.iter().zip(&measurements) {
+        report.push_cell(Json::cell(
+            [
+                ("buffer", Json::from(BufferKind::ALL[k].name())),
+                ("arrivals", Json::from(arrivals[a].0)),
+                ("offered_load", Json::from(LOADS[l])),
+            ],
+            measurement_json(m),
+        ));
+    }
+
     let mut header: Vec<String> = vec!["Buffer".into(), "arrivals".into()];
-    for load in loads {
+    for load in LOADS {
         header.push(format!("lat@{load:.2}"));
         header.push(format!("p99@{load:.2}"));
     }
@@ -38,18 +80,12 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut p99_at_28 = std::collections::HashMap::new();
+    let mut m_iter = measurements.iter();
     for kind in BufferKind::ALL {
-        for (label, arrivals) in [("smooth", SMOOTH), ("bursty", BURSTY)] {
+        for (label, _) in arrivals {
             let mut row = vec![kind.name().to_owned(), label.to_owned()];
-            for load in loads {
-                let m = measure(
-                    base.buffer_kind(kind)
-                        .arrival_process(arrivals)
-                        .offered_load(load),
-                    1_000,
-                    10_000,
-                )
-                .expect("sim");
+            for load in LOADS {
+                let m = m_iter.next().expect("one measurement per cell");
                 row.push(format!("{:.1}", m.latency_clocks));
                 row.push(format!("{:.0}", m.latency_p99_clocks));
                 if load == 0.28 {
@@ -74,4 +110,5 @@ fn main() {
     println!("pool absorbs a burst aimed at one output without freezing the rest, so");
     println!("DAMQ's tail grows least. (saturation throughput itself is a mean-rate");
     println!("property and barely moves; the tail is where burstiness bites.)");
+    report.write_and_announce();
 }

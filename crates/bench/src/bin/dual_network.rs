@@ -13,8 +13,13 @@
 //! where the 5% hot traffic is diverted to a dedicated combining network
 //! (modelled as simply *absent* from the general network, as in RP3 —
 //! the combining network itself is out of scope here and in the paper).
+//!
+//! The (design, traffic) grid is swept in parallel through
+//! [`damq_bench::sweep`], each cell seeded from its coordinates. The run
+//! also writes `results/json/dual_network.json`.
 
-use damq_bench::render_table;
+use damq_bench::json::{saturation_json, Json, Report};
+use damq_bench::{render_table, sweep};
 use damq_core::BufferKind;
 use damq_net::{find_saturation, NetworkConfig, SaturationOptions, TrafficPattern};
 use damq_switch::FlowControl;
@@ -28,6 +33,38 @@ fn main() {
         .slots_per_buffer(4)
         .flow_control(FlowControl::Blocking);
 
+    // Per design: the combined network (5% hot spot) and the dual system's
+    // general network (uniform only — the hot 5% rides the combining net).
+    let traffics = [
+        ("combined_hot_spot", TrafficPattern::paper_hot_spot()),
+        ("dual_general_uniform", TrafficPattern::Uniform),
+    ];
+    let cells: Vec<(usize, usize)> = (0..BufferKind::ALL.len())
+        .flat_map(|k| (0..traffics.len()).map(move |t| (k, t)))
+        .collect();
+    let mut report = Report::new("dual_network");
+    let saturations = sweep::run(&cells, |&(k, t)| {
+        find_saturation(
+            base.buffer_kind(BufferKind::ALL[k])
+                .traffic(traffics[t].1)
+                .seed(sweep::cell_seed(sweep::BASE_SEED, &[k as u64, t as u64])),
+            SaturationOptions::default(),
+        )
+        .expect("search runs")
+    });
+
+    report.meta("network", Json::from("64x64 Omega, blocking"));
+    report.meta("slots_per_buffer", Json::from(4usize));
+    for (&(k, t), sat) in cells.iter().zip(&saturations) {
+        report.push_cell(Json::cell(
+            [
+                ("buffer", Json::from(BufferKind::ALL[k].name())),
+                ("traffic", Json::from(traffics[t].0)),
+            ],
+            saturation_json(sat),
+        ));
+    }
+
     let header = [
         "Buffer",
         "combined sat",
@@ -36,23 +73,13 @@ fn main() {
         "gain",
     ];
     let mut rows = Vec::new();
+    let mut sat_iter = saturations.iter();
     for kind in BufferKind::ALL {
-        // One network carrying everything, 5% of it hot.
-        let combined = find_saturation(
-            base.buffer_kind(kind).traffic(TrafficPattern::paper_hot_spot()),
-            SaturationOptions::default(),
-        )
-        .expect("search runs")
-        .throughput;
+        let combined = sat_iter.next().expect("cell").throughput;
         // Dual networks: the general network sees only the 95% uniform
         // share, so a per-source total load L puts 0.95*L on it. It
         // saturates when 0.95*L = sat_uniform.
-        let general = find_saturation(
-            base.buffer_kind(kind).traffic(TrafficPattern::Uniform),
-            SaturationOptions::default(),
-        )
-        .expect("search runs")
-        .throughput;
+        let general = sat_iter.next().expect("cell").throughput;
         let dual_total = general / 0.95;
         rows.push(vec![
             kind.name().to_owned(),
@@ -68,4 +95,5 @@ fn main() {
     println!("choice is irrelevant. divert the hot 5% to a combining network and the");
     println!("general network is uniform again -- where DAMQ's saturation advantage");
     println!("over FIFO returns in full, exactly the paper's closing argument.");
+    report.write_and_announce();
 }

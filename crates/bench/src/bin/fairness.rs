@@ -7,14 +7,26 @@
 //! source, the mean delivery latency, and reports the spread (max − min
 //! of per-source means) and the p99 tail — where round-robin bookkeeping
 //! should show up.
+//!
+//! The (design, policy) grid is swept in parallel through
+//! [`damq_bench::sweep`], each cell seeded from its coordinates. The run
+//! also writes `results/json/fairness.json`.
 
-use damq_bench::render_table;
+use damq_bench::json::{Json, Report};
+use damq_bench::{render_table, sweep};
 use damq_core::BufferKind;
 use damq_net::{NetworkConfig, NetworkSim};
 use damq_switch::{ArbiterPolicy, FlowControl};
 
 const WARM_UP: u64 = 1_000;
 const WINDOW: u64 = 15_000;
+
+/// The fairness metrics of one (design, policy) cell.
+struct FairnessPoint {
+    mean_latency: f64,
+    p99_latency: f64,
+    source_spread: f64,
+}
 
 fn main() {
     println!("Fairness under load: dumb vs smart arbitration");
@@ -26,6 +38,49 @@ fn main() {
         .flow_control(FlowControl::Blocking)
         .offered_load(0.45);
 
+    let cells: Vec<(usize, usize)> = (0..BufferKind::ALL.len())
+        .flat_map(|k| (0..ArbiterPolicy::ALL.len()).map(move |p| (k, p)))
+        .collect();
+    let mut report = Report::new("fairness");
+    let points = sweep::run(&cells, |&(k, p)| {
+        let mut sim = NetworkSim::new(
+            base.buffer_kind(BufferKind::ALL[k])
+                .arbiter_policy(ArbiterPolicy::ALL[p])
+                .seed(sweep::cell_seed(sweep::BASE_SEED, &[k as u64, p as u64])),
+        )
+        .expect("valid config");
+        sim.warm_up(WARM_UP);
+        sim.run(WINDOW);
+        let m = sim.metrics();
+        FairnessPoint {
+            mean_latency: m.mean_latency_clocks(),
+            p99_latency: m.latency_percentile_clocks(0.99),
+            source_spread: m.source_latency_spread_clocks(),
+        }
+    });
+
+    report.meta("network", Json::from("64x64 Omega, blocking, uniform"));
+    report.meta("slots_per_buffer", Json::from(4usize));
+    report.meta("offered_load", Json::from(0.45));
+    report.meta("warm_up_cycles", Json::from(WARM_UP));
+    report.meta("window_cycles", Json::from(WINDOW));
+    for (&(k, p), point) in cells.iter().zip(&points) {
+        report.push_cell(Json::cell(
+            [
+                ("buffer", Json::from(BufferKind::ALL[k].name())),
+                ("arbiter", Json::from(ArbiterPolicy::ALL[p].name())),
+            ],
+            Json::obj([
+                ("mean_latency_clocks", Json::from(point.mean_latency)),
+                ("latency_p99_clocks", Json::from(point.p99_latency)),
+                (
+                    "source_latency_spread_clocks",
+                    Json::from(point.source_spread),
+                ),
+            ]),
+        ));
+    }
+
     let header = [
         "Buffer",
         "policy",
@@ -34,21 +89,14 @@ fn main() {
         "src spread",
     ];
     let mut rows = Vec::new();
-    for kind in BufferKind::ALL {
-        for policy in ArbiterPolicy::ALL {
-            let mut sim = NetworkSim::new(base.buffer_kind(kind).arbiter_policy(policy))
-                .expect("valid config");
-            sim.warm_up(WARM_UP);
-            sim.run(WINDOW);
-            let m = sim.metrics();
-            rows.push(vec![
-                kind.name().to_owned(),
-                policy.name().to_owned(),
-                format!("{:.1}", m.mean_latency_clocks()),
-                format!("{:.0}", m.latency_percentile_clocks(0.99)),
-                format!("{:.1}", m.source_latency_spread_clocks()),
-            ]);
-        }
+    for (&(k, p), point) in cells.iter().zip(&points) {
+        rows.push(vec![
+            BufferKind::ALL[k].name().to_owned(),
+            ArbiterPolicy::ALL[p].name().to_owned(),
+            format!("{:.1}", point.mean_latency),
+            format!("{:.0}", point.p99_latency),
+            format!("{:.1}", point.source_spread),
+        ]);
     }
     print!("{}", render_table(&header, &rows));
     println!();
@@ -56,4 +104,5 @@ fn main() {
     println!("mean latency (clock cycles). Means barely move between policies (the");
     println!("paper's finding); the spread and tail are where arbitration fairness");
     println!("matters, and where the stale counts earn their silicon.");
+    report.write_and_announce();
 }

@@ -4,8 +4,13 @@
 //! Prints the two curves as aligned series plus an ASCII plot: flat and
 //! nearly identical at low loads, with FIFO turning vertical around 0.5 and
 //! DAMQ around 0.7.
+//!
+//! The (design, load) grid is swept in parallel through
+//! [`damq_bench::sweep`], each cell seeded from its coordinates. The run
+//! also writes `results/json/figure3.json`.
 
-use damq_bench::render_table;
+use damq_bench::json::{measurement_json, Json, Report};
+use damq_bench::{render_table, sweep};
 use damq_core::BufferKind;
 use damq_net::{measure, NetworkConfig};
 use damq_switch::FlowControl;
@@ -22,18 +27,52 @@ fn main() {
         .slots_per_buffer(4)
         .flow_control(FlowControl::Blocking);
 
+    let kinds = [BufferKind::Fifo, BufferKind::Damq];
     let loads: Vec<f64> = (1..=14).map(|i| i as f64 * 0.05).collect();
-    let mut rows = Vec::new();
+
+    let cells: Vec<(usize, usize)> = (0..kinds.len())
+        .flat_map(|k| (0..loads.len()).map(move |l| (k, l)))
+        .collect();
+    let mut report = Report::new("figure3");
+    let measurements = sweep::run(&cells, |&(k, l)| {
+        measure(
+            base.buffer_kind(kinds[k])
+                .offered_load(loads[l])
+                .seed(sweep::cell_seed(sweep::BASE_SEED, &[k as u64, l as u64])),
+            WARM_UP,
+            WINDOW,
+        )
+        .expect("simulation must run")
+    });
+
+    report.meta("network", Json::from("64x64 Omega, blocking, uniform"));
+    report.meta("slots_per_buffer", Json::from(4usize));
+    report.meta("warm_up_cycles", Json::from(WARM_UP));
+    report.meta("window_cycles", Json::from(WINDOW));
+    for (&(k, l), m) in cells.iter().zip(&measurements) {
+        report.push_cell(Json::cell(
+            [
+                ("buffer", Json::from(kinds[k].name())),
+                ("offered_load", Json::from(loads[l])),
+            ],
+            measurement_json(m),
+        ));
+    }
+
     let mut curves: Vec<(BufferKind, Vec<(f64, f64)>)> = Vec::new();
-    for kind in [BufferKind::Fifo, BufferKind::Damq] {
-        let mut curve = Vec::new();
-        for &load in &loads {
-            let m = measure(base.buffer_kind(kind).offered_load(load), WARM_UP, WINDOW)
-                .expect("simulation must run");
-            curve.push((m.delivered, m.network_latency_clocks));
-        }
+    let mut m_iter = measurements.iter();
+    for &kind in &kinds {
+        let curve = loads
+            .iter()
+            .map(|_| {
+                let m = m_iter.next().expect("one measurement per cell");
+                (m.delivered, m.network_latency_clocks)
+            })
+            .collect();
         curves.push((kind, curve));
     }
+
+    let mut rows = Vec::new();
     for (i, &load) in loads.iter().enumerate() {
         rows.push(vec![
             format!("{load:.2}"),
@@ -53,6 +92,7 @@ fn main() {
 
     println!();
     println!("{}", ascii_plot(&curves, 60, 20));
+    report.write_and_announce();
 }
 
 /// Renders latency-vs-throughput curves as a crude ASCII scatter plot.

@@ -9,42 +9,70 @@
 //!
 //! FIFO is excluded (its state is order-dependent); the simulation remains
 //! the reference for it.
+//!
+//! The (design, capacity, traffic) grid is swept in parallel through
+//! [`damq_bench::sweep`]; the run also writes
+//! `results/json/markov_4x4.json`.
 
-use damq_bench::{fmt_prob, render_table};
+use damq_bench::json::{discard_point_json, Json, Report};
+use damq_bench::{fmt_prob, render_table, sweep};
 use damq_core::BufferKind;
 use damq_markov::{discard_probability_kxk, CycleOrder, SolveOptions};
+
+const TRAFFICS: [f64; 5] = [0.25, 0.50, 0.75, 0.90, 0.99];
 
 fn main() {
     println!("Markov analysis of a 4x4 discarding switch (not in the paper)");
     println!("(multi-queue designs; greedy longest-queue arbitration; arrivals-first)");
     println!();
 
-    let traffics = [0.25, 0.50, 0.75, 0.90, 0.99];
+    // Capacities are bounded by state-space size: DAMQ/DAFC at 3+ shared
+    // slots or SAMQ/SAFC at 2+ slots per queue exceed a million states.
+    let sizes: &[(BufferKind, &[usize])] = &[
+        (BufferKind::Damq, &[1, 2]),
+        (BufferKind::Dafc, &[1, 2]),
+        (BufferKind::Samq, &[4]),
+        (BufferKind::Safc, &[4]),
+    ];
+
+    let cells: Vec<(BufferKind, usize, f64)> = sizes
+        .iter()
+        .flat_map(|&(kind, capacities)| {
+            capacities
+                .iter()
+                .flat_map(move |&cap| TRAFFICS.iter().map(move |&t| (kind, cap, t)))
+        })
+        .collect();
+    let mut report = Report::new("markov_4x4");
+    let points = sweep::run(&cells, |&(kind, cap, t)| {
+        discard_probability_kxk(kind, 4, cap, t, CycleOrder::ArrivalsFirst, SolveOptions::default())
+            .unwrap_or_else(|e| panic!("{kind}/{cap}/{t}: {e}"))
+    });
+
+    report.meta("switch", Json::from("4x4 discarding"));
+    report.meta("order", Json::from("ArrivalsFirst"));
+    for ((kind, cap, t), point) in cells.iter().zip(&points) {
+        report.push_cell(Json::cell(
+            [
+                ("buffer", Json::from(kind.name())),
+                ("capacity_slots", Json::from(*cap)),
+                ("traffic", Json::from(*t)),
+            ],
+            discard_point_json(point),
+        ));
+    }
+
     let mut header: Vec<String> = vec!["Switch".into(), "Space".into(), "states".into()];
-    header.extend(traffics.iter().map(|t| format!("{:.0}%", t * 100.0)));
+    header.extend(TRAFFICS.iter().map(|t| format!("{:.0}%", t * 100.0)));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
 
     let mut rows = Vec::new();
-    // Capacities are bounded by state-space size: DAMQ/DAFC at 3+ shared
-    // slots or SAMQ/SAFC at 2+ slots per queue exceed a million states.
-    for (kind, capacities) in [
-        (BufferKind::Damq, vec![1usize, 2]),
-        (BufferKind::Dafc, vec![1, 2]),
-        (BufferKind::Samq, vec![4]),
-        (BufferKind::Safc, vec![4]),
-    ] {
-        for cap in capacities {
+    let mut point_iter = points.iter();
+    for &(kind, capacities) in sizes {
+        for &cap in capacities {
             let mut row = vec![kind.name().to_owned(), cap.to_string(), String::new()];
-            for &t in &traffics {
-                let p = discard_probability_kxk(
-                    kind,
-                    4,
-                    cap,
-                    t,
-                    CycleOrder::ArrivalsFirst,
-                    SolveOptions::default(),
-                )
-                .unwrap_or_else(|e| panic!("{kind}/{cap}/{t}: {e}"));
+            for _ in &TRAFFICS {
+                let p = point_iter.next().expect("one point per cell");
                 row[2] = p.states.to_string();
                 row.push(fmt_prob(p.discard_probability));
             }
@@ -58,4 +86,5 @@ fn main() {
     println!("~90% traffic (half the storage, better service); only at near-total");
     println!("saturation does raw capacity win -- the dynamic-allocation story, now");
     println!("in closed form at the radix the paper's network actually uses.");
+    report.write_and_announce();
 }

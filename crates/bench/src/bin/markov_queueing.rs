@@ -5,10 +5,17 @@
 //! via Little's law — the mean buffering delay of an accepted packet.
 //! This quantifies head-of-line blocking as *delay*, complementing
 //! Table 2's loss numbers.
+//!
+//! The (design, traffic) grid is swept in parallel through
+//! [`damq_bench::sweep`]; the run also writes
+//! `results/json/markov_queueing.json`.
 
-use damq_bench::render_table;
+use damq_bench::json::{discard_point_json, Json, Report};
+use damq_bench::{render_table, sweep};
 use damq_core::BufferKind;
 use damq_markov::{discard_probability, CycleOrder, SolveOptions};
+
+const CAPACITY: usize = 4;
 
 fn main() {
     println!("Queueing delay from the Table-2 chains (2x2 discarding switch, 4 slots)");
@@ -16,27 +23,45 @@ fn main() {
     println!();
 
     let traffics = [0.25, 0.50, 0.75, 0.90, 0.99];
-    let mut header: Vec<String> = vec!["Buffer".into()];
-    header.extend(traffics.iter().map(|t| format!("{:.0}%", t * 100.0)));
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-
-    let mut rows = Vec::new();
-    for kind in [
+    let kinds = [
         BufferKind::Fifo,
         BufferKind::Samq,
         BufferKind::Safc,
         BufferKind::Damq,
-    ] {
+    ];
+
+    let cells: Vec<(BufferKind, f64)> = kinds
+        .iter()
+        .flat_map(|&kind| traffics.iter().map(move |&t| (kind, t)))
+        .collect();
+    let mut report = Report::new("markov_queueing");
+    let points = sweep::run(&cells, |&(kind, t)| {
+        discard_probability(kind, CAPACITY, t, CycleOrder::ArrivalsFirst, SolveOptions::default())
+            .expect("analysis runs")
+    });
+
+    report.meta("switch", Json::from("2x2 discarding"));
+    report.meta("capacity_slots", Json::from(CAPACITY));
+    for ((kind, t), point) in cells.iter().zip(&points) {
+        report.push_cell(Json::cell(
+            [
+                ("buffer", Json::from(kind.name())),
+                ("traffic", Json::from(*t)),
+            ],
+            discard_point_json(point),
+        ));
+    }
+
+    let mut header: Vec<String> = vec!["Buffer".into()];
+    header.extend(traffics.iter().map(|t| format!("{:.0}%", t * 100.0)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut point_iter = points.iter();
+    let mut rows = Vec::new();
+    for kind in kinds {
         let mut row = vec![kind.name().to_owned()];
-        for &t in &traffics {
-            let p = discard_probability(
-                kind,
-                4,
-                t,
-                CycleOrder::ArrivalsFirst,
-                SolveOptions::default(),
-            )
-            .expect("analysis runs");
+        for _ in traffics {
+            let p = point_iter.next().expect("one point per cell");
             row.push(format!("{:.3}", p.mean_wait_cycles));
         }
         rows.push(row);
@@ -46,4 +71,5 @@ fn main() {
     println!("reading: at heavy traffic a FIFO's accepted packets wait several times");
     println!("longer than a DAMQ's -- head-of-line blocking costs latency even when");
     println!("nothing is dropped. (waits below 1 cycle reflect same-cycle cut-through.)");
+    report.write_and_announce();
 }

@@ -6,10 +6,25 @@
 //! arrives at cycle 0 and the output port drives the downstream start bit
 //! at cycle 4, phase 0 — a four-cycle turn-around, independent of packet
 //! length.
+//!
+//! The trace is a single deterministic cell, but it still goes through
+//! [`damq_bench::sweep`] so the run writes `results/json/table1.json`
+//! like every other harness.
 
+use damq_bench::json::{Json, Report};
+use damq_bench::sweep;
 use damq_microarch::{Chip, ChipConfig, ChipEvent, Phase, RouteEntry};
 
-fn main() {
+struct TraceResult {
+    rendered: String,
+    start_in_cycle: u64,
+    start_out_cycle: u64,
+    start_out_phase: Phase,
+    forwarded_header: u8,
+    forwarded_data: Vec<u8>,
+}
+
+fn drive_one_packet() -> TraceResult {
     let mut chip = Chip::new(ChipConfig::comcobb());
     chip.program_route(
         0,
@@ -25,11 +40,6 @@ fn main() {
     chip.input_wire_mut(0).drive_packet(0, 0x20, &[0xA, 0xB, 0xC, 0xD]);
     chip.run_to_quiescence(64);
 
-    println!("Table 1: Virtual Cut Through in Four Clock Cycles");
-    println!("(single packet, idle chip: input port 0 -> output port 2)");
-    println!();
-    println!("{}", chip.trace().render());
-
     let start_in = chip
         .trace()
         .first(|e| matches!(e.event, ChipEvent::StartBitDetected))
@@ -38,18 +48,58 @@ fn main() {
         .trace()
         .first(|e| matches!(e.event, ChipEvent::StartBitSent))
         .expect("packet forwarded");
-    assert_eq!(start_in.cycle, 0);
-    assert_eq!((start_out.cycle, start_out.phase), (4, Phase::Zero));
+    let forwarded = chip.output_log(2).packets();
+    TraceResult {
+        rendered: chip.trace().render(),
+        start_in_cycle: start_in.cycle,
+        start_out_cycle: start_out.cycle,
+        start_out_phase: start_out.phase,
+        forwarded_header: forwarded[0].1,
+        forwarded_data: forwarded[0].2.clone(),
+    }
+}
+
+fn main() {
+    let mut report = Report::new("table1");
+    let traces = sweep::run(&[()], |&()| drive_one_packet());
+    let t = &traces[0];
+
+    println!("Table 1: Virtual Cut Through in Four Clock Cycles");
+    println!("(single packet, idle chip: input port 0 -> output port 2)");
+    println!();
+    println!("{}", t.rendered);
+
+    assert_eq!(t.start_in_cycle, 0);
+    assert_eq!((t.start_out_cycle, t.start_out_phase), (4, Phase::Zero));
     println!(
         "turn-around: start bit in at cycle {}, start bit out at cycle {} phase {} => {} cycles",
-        start_in.cycle,
-        start_out.cycle,
-        start_out.phase,
-        start_out.cycle - start_in.cycle
+        t.start_in_cycle,
+        t.start_out_cycle,
+        t.start_out_phase,
+        t.start_out_cycle - t.start_in_cycle
     );
-    let forwarded = chip.output_log(2).packets();
     println!(
         "forwarded packet: header {:#04x}, data {:?}",
-        forwarded[0].1, forwarded[0].2
+        t.forwarded_header, t.forwarded_data
     );
+
+    report.meta("chip", Json::from("ComCoBB"));
+    report.meta("route", Json::from("input 0 -> output 2"));
+    report.push_cell(Json::cell(
+        [("packet_bytes", Json::from(4usize))],
+        Json::obj([
+            ("start_in_cycle", Json::from(t.start_in_cycle)),
+            ("start_out_cycle", Json::from(t.start_out_cycle)),
+            ("start_out_phase", Json::from(format!("{}", t.start_out_phase))),
+            (
+                "turnaround_cycles",
+                Json::from(t.start_out_cycle - t.start_in_cycle),
+            ),
+            (
+                "forwarded_header",
+                Json::from(format!("{:#04x}", t.forwarded_header)),
+            ),
+        ]),
+    ));
+    report.write_and_announce();
 }

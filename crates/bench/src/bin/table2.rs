@@ -5,8 +5,13 @@
 //! buffer design, buffer size and traffic level. Run with `--order
 //! departures-first` to see the alternative intra-cycle ordering discussed
 //! in DESIGN.md.
+//!
+//! The (design, size, traffic) grid is swept in parallel through
+//! [`damq_bench::sweep`]; alongside the text table the run writes
+//! `results/json/table2.json` with one cell per analysed point.
 
-use damq_bench::{fmt_prob, render_table, TABLE2_TRAFFIC};
+use damq_bench::json::{discard_point_json, Json, Report};
+use damq_bench::{fmt_prob, render_table, sweep, TABLE2_TRAFFIC};
 use damq_core::BufferKind;
 use damq_markov::{discard_probability, CycleOrder, SolveOptions};
 
@@ -26,22 +31,50 @@ fn main() {
         (BufferKind::Safc, &[2, 4, 6]),
     ];
 
+    // One cell per (design, capacity, traffic) grid point, in table order.
+    let cells: Vec<(BufferKind, usize, f64)> = sizes
+        .iter()
+        .flat_map(|&(kind, capacities)| {
+            capacities.iter().flat_map(move |&cap| {
+                TABLE2_TRAFFIC.iter().map(move |&traffic| (kind, cap, traffic))
+            })
+        })
+        .collect();
+    let mut report = Report::new("table2");
+    let points = sweep::run(&cells, |&(kind, cap, traffic)| {
+        discard_probability(kind, cap, traffic, order, SolveOptions::default())
+            .unwrap_or_else(|e| panic!("analysis failed for {kind}/{cap}/{traffic}: {e}"))
+    });
+
+    report.meta("switch", Json::from("2x2 discarding"));
+    report.meta("order", Json::from(format!("{order:?}")));
+    for ((kind, cap, traffic), point) in cells.iter().zip(&points) {
+        report.push_cell(Json::cell(
+            [
+                ("buffer", Json::from(kind.name())),
+                ("capacity_slots", Json::from(*cap)),
+                ("traffic", Json::from(*traffic)),
+            ],
+            discard_point_json(point),
+        ));
+    }
+
     let mut header: Vec<String> = vec!["Switch".into(), "Space".into()];
     header.extend(TABLE2_TRAFFIC.iter().map(|t| format!("{:.0}%", t * 100.0)));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
 
     let mut rows = Vec::new();
+    let mut point_iter = points.iter();
     for &(kind, capacities) in sizes {
         for &cap in capacities {
             let mut row = vec![kind.name().to_owned(), cap.to_string()];
-            for &traffic in &TABLE2_TRAFFIC {
-                let point =
-                    discard_probability(kind, cap, traffic, order, SolveOptions::default())
-                        .unwrap_or_else(|e| panic!("analysis failed for {kind}/{cap}/{traffic}: {e}"));
+            for _ in TABLE2_TRAFFIC {
+                let point = point_iter.next().expect("one point per grid cell");
                 row.push(fmt_prob(point.discard_probability));
             }
             rows.push(row);
         }
     }
     print!("{}", render_table(&header_refs, &rows));
+    report.write_and_announce();
 }

@@ -5,8 +5,13 @@
 //! The paper's "over capacity" column uses an unspecified offered load well
 //! past saturation; we use 0.75, which reproduces the reported output
 //! throughputs' regime (see EXPERIMENTS.md).
+//!
+//! The (design, load, policy) grid is swept in parallel through
+//! [`damq_bench::sweep`], each cell seeded from its coordinates; the run
+//! also writes `results/json/table3.json`.
 
-use damq_bench::render_table;
+use damq_bench::json::{measurement_json, Json, Report};
+use damq_bench::{render_table, sweep};
 use damq_core::BufferKind;
 use damq_net::{measure, NetworkConfig, TrafficPattern};
 use damq_switch::{ArbiterPolicy, FlowControl};
@@ -36,6 +41,55 @@ fn main() {
         .flow_control(FlowControl::Discarding)
         .traffic(TrafficPattern::Uniform);
 
+    let kinds = [
+        BufferKind::Fifo,
+        BufferKind::Samq,
+        BufferKind::Safc,
+        BufferKind::Damq,
+    ];
+    // Column order of the paper's table: smart arbiter at two loads, the
+    // over-capacity point, then the dumb arbiter at half load.
+    let variants: [(f64, ArbiterPolicy); 4] = [
+        (0.25, ArbiterPolicy::Smart),
+        (0.50, ArbiterPolicy::Smart),
+        (OVER_CAPACITY_LOAD, ArbiterPolicy::Smart),
+        (0.50, ArbiterPolicy::Dumb),
+    ];
+
+    let cells: Vec<(usize, usize)> = (0..kinds.len())
+        .flat_map(|k| (0..variants.len()).map(move |v| (k, v)))
+        .collect();
+    let mut report = Report::new("table3");
+    let measurements = sweep::run(&cells, |&(k, v)| {
+        let (load, policy) = variants[v];
+        measure(
+            base.buffer_kind(kinds[k])
+                .arbiter_policy(policy)
+                .offered_load(load)
+                .seed(sweep::cell_seed(sweep::BASE_SEED, &[k as u64, v as u64])),
+            WARM_UP,
+            WINDOW,
+        )
+        .expect("simulation must run")
+    });
+
+    report.meta("network", Json::from("64x64 Omega, 4x4 switches"));
+    report.meta("slots_per_buffer", Json::from(4usize));
+    report.meta("flow_control", Json::from("Discarding"));
+    report.meta("warm_up_cycles", Json::from(WARM_UP));
+    report.meta("window_cycles", Json::from(WINDOW));
+    for (&(k, v), m) in cells.iter().zip(&measurements) {
+        let (load, policy) = variants[v];
+        report.push_cell(Json::cell(
+            [
+                ("buffer", Json::from(kinds[k].name())),
+                ("offered_load", Json::from(load)),
+                ("arbiter", Json::from(format!("{policy:?}"))),
+            ],
+            measurement_json(m),
+        ));
+    }
+
     let header = [
         "Buffer",
         "smart 0.25",
@@ -45,24 +99,12 @@ fn main() {
         "dumb 0.50",
     ];
     let mut rows = Vec::new();
-    for kind in [
-        BufferKind::Fifo,
-        BufferKind::Samq,
-        BufferKind::Safc,
-        BufferKind::Damq,
-    ] {
-        let at = |load: f64, policy: ArbiterPolicy| {
-            measure(
-                base.buffer_kind(kind).arbiter_policy(policy).offered_load(load),
-                WARM_UP,
-                WINDOW,
-            )
-            .expect("simulation must run")
-        };
-        let s25 = at(0.25, ArbiterPolicy::Smart);
-        let s50 = at(0.50, ArbiterPolicy::Smart);
-        let over = at(OVER_CAPACITY_LOAD, ArbiterPolicy::Smart);
-        let d50 = at(0.50, ArbiterPolicy::Dumb);
+    let mut m_iter = measurements.iter();
+    for kind in kinds {
+        let s25 = m_iter.next().expect("cell");
+        let s50 = m_iter.next().expect("cell");
+        let over = m_iter.next().expect("cell");
+        let d50 = m_iter.next().expect("cell");
         rows.push(vec![
             kind.name().to_owned(),
             pct(s25.discard_fraction),
@@ -73,4 +115,5 @@ fn main() {
         ]);
     }
     print!("{}", render_table(&header, &rows));
+    report.write_and_announce();
 }

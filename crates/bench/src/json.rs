@@ -1,0 +1,488 @@
+//! A hand-rolled JSON value type and report writer (std-only — the crates
+//! registry is unreachable from CI, so no serde).
+//!
+//! Every regeneration harness emits, alongside its fixed-width text table,
+//! a machine-readable record of the sweep at `results/json/<name>.json`:
+//! the grid coordinates of every cell, the raw [`Measurement`] fields,
+//! multi-seed aggregates where the harness runs them, and provenance
+//! metadata (worker count, wall-clock, cell count). Downstream tooling —
+//! plots, regression diffs, the perf trajectory the ROADMAP asks for —
+//! consumes these files instead of scraping the text tables.
+//!
+//! Serialization is deterministic: object keys keep insertion order,
+//! floats render through Rust's shortest-roundtrip `Display`, and no
+//! timestamps enter the [`Report::body`] (wall-clock lives in the
+//! non-deterministic envelope that [`Report::write`] adds) — which is what
+//! lets the determinism test compare 1-worker and N-worker runs byte for
+//! byte.
+//!
+//! # Examples
+//!
+//! ```
+//! use damq_bench::json::Json;
+//!
+//! let cell = Json::obj([
+//!     ("buffer", Json::from("DAMQ")),
+//!     ("load", Json::from(0.5)),
+//!     ("delivered", Json::from(0.497)),
+//! ]);
+//! assert_eq!(
+//!     cell.render(),
+//!     r#"{"buffer":"DAMQ","load":0.5,"delivered":0.497}"#
+//! );
+//! ```
+
+use std::io;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use damq_markov::DiscardPoint;
+use damq_net::{Measurement, SaturationResult};
+
+use crate::sweep::Aggregate;
+
+/// A JSON value with deterministic, insertion-ordered serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A double. Non-finite values serialize as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys serialize in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        i64::try_from(v).map_or(Json::Num(v as f64), Json::Int)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::from(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, keeping their order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a sweep cell: grid `coords` first, then the fields of
+    /// `record` flattened in (a non-object `record` lands under
+    /// `"value"`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use damq_bench::json::Json;
+    ///
+    /// let cell = Json::cell(
+    ///     [("buffer", Json::from("FIFO"))],
+    ///     Json::obj([("delivered", Json::from(0.25))]),
+    /// );
+    /// assert_eq!(cell.render(), r#"{"buffer":"FIFO","delivered":0.25}"#);
+    /// ```
+    pub fn cell<K: Into<String>>(
+        coords: impl IntoIterator<Item = (K, Json)>,
+        record: Json,
+    ) -> Json {
+        let mut pairs: Vec<(String, Json)> = coords
+            .into_iter()
+            .map(|(k, v)| (k.into(), v))
+            .collect();
+        match record {
+            Json::Obj(fields) => pairs.extend(fields),
+            other => pairs.push(("value".to_owned(), other)),
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation — the format of the
+    /// checked-in `results/json/` files (readable diffs).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(v) => write_f64(*v, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            _ => self.write_into(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Rust's Display for f64 is shortest-roundtrip and never emits an
+        // exponent, so the output is always a valid JSON number.
+        out.push_str(&v.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One [`Measurement`] as a JSON object, fields in
+/// [`Measurement::FIELD_NAMES`] order.
+pub fn measurement_json(m: &Measurement) -> Json {
+    Json::obj(m.fields().map(|(name, value)| (name, Json::from(value))))
+}
+
+/// One Markov-analysis [`DiscardPoint`] as a JSON object.
+pub fn discard_point_json(p: &DiscardPoint) -> Json {
+    Json::obj([
+        ("discard_probability", Json::from(p.discard_probability)),
+        ("throughput", Json::from(p.throughput)),
+        ("mean_occupancy", Json::from(p.mean_occupancy)),
+        ("mean_wait_cycles", Json::from(p.mean_wait_cycles)),
+        ("states", Json::from(p.states)),
+        ("iterations", Json::from(p.iterations)),
+    ])
+}
+
+/// One [`SaturationResult`] as a JSON object (the full measurement taken
+/// just above the saturation point is nested under `at_saturation`).
+pub fn saturation_json(s: &SaturationResult) -> Json {
+    Json::obj([
+        ("throughput", Json::from(s.throughput)),
+        (
+            "saturated_latency_clocks",
+            Json::from(s.saturated_latency_clocks),
+        ),
+        ("probes", Json::from(s.probes)),
+        ("at_saturation", measurement_json(&s.at_saturation)),
+    ])
+}
+
+/// A set of per-metric [`Aggregate`]s (as produced by
+/// [`crate::sweep::aggregate_measurements`]) as a JSON object:
+/// `{"metric": {"n": .., "mean": .., "stddev": .., "ci95": ..}, ...}`.
+pub fn aggregates_json(aggs: &[(&'static str, Aggregate)]) -> Json {
+    Json::obj(aggs.iter().map(|&(name, a)| {
+        (
+            name,
+            Json::obj([
+                ("n", Json::from(a.n)),
+                ("mean", Json::from(a.mean)),
+                ("stddev", Json::from(a.stddev)),
+                ("ci95", Json::from(a.ci95)),
+            ]),
+        )
+    }))
+}
+
+/// Accumulates one harness run and writes `results/json/<name>.json`.
+///
+/// The deterministic part of the record (experiment name, schema version,
+/// metadata, cells) is available as [`Report::body`]; [`Report::write`]
+/// wraps it in a provenance envelope (worker count, wall-clock seconds)
+/// that is *expected* to vary between runs and is therefore excluded from
+/// determinism comparisons.
+///
+/// # Examples
+///
+/// ```
+/// use damq_bench::json::{Json, Report};
+///
+/// let mut report = Report::new("doc_example");
+/// report.meta("traffic", Json::from("uniform"));
+/// report.push_cell(Json::obj([
+///     ("load", Json::from(0.5)),
+///     ("delivered", Json::from(0.497)),
+/// ]));
+/// let body = report.body().render();
+/// assert!(body.contains(r#""experiment":"doc_example""#));
+/// assert!(body.contains(r#""cells":"#));
+/// ```
+#[derive(Debug)]
+pub struct Report {
+    name: String,
+    meta: Vec<(String, Json)>,
+    cells: Vec<Json>,
+    started: Instant,
+}
+
+/// Schema version stamped into every JSON report; bump on breaking layout
+/// changes so downstream consumers can dispatch.
+pub const SCHEMA_VERSION: u32 = 1;
+
+impl Report {
+    /// Starts an empty report for experiment `name`. The wall clock starts
+    /// now, so construct the report **before** launching the sweep if the
+    /// `run.wall_clock_secs` provenance should cover the experiment itself.
+    pub fn new(name: &str) -> Report {
+        Report {
+            name: name.to_owned(),
+            meta: Vec::new(),
+            cells: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records an experiment-level metadata entry (topology, window
+    /// lengths, …).
+    pub fn meta(&mut self, key: &str, value: Json) {
+        self.meta.push((key.to_owned(), value));
+    }
+
+    /// Appends one grid cell (coordinates + measured fields).
+    pub fn push_cell(&mut self, cell: Json) {
+        self.cells.push(cell);
+    }
+
+    /// Number of cells recorded so far.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The deterministic record: experiment name, schema version,
+    /// metadata and cells — everything except the run-varying provenance
+    /// envelope.
+    pub fn body(&self) -> Json {
+        Json::obj([
+            ("experiment", Json::from(self.name.as_str())),
+            ("schema_version", Json::from(u64::from(SCHEMA_VERSION))),
+            ("meta", Json::Obj(self.meta.clone())),
+            ("cell_count", Json::from(self.cells.len())),
+            ("cells", Json::Arr(self.cells.clone())),
+        ])
+    }
+
+    /// Writes the report to `<results dir>/json/<name>.json` and returns
+    /// the path.
+    ///
+    /// The results directory is `results` relative to the working
+    /// directory, or `$DAMQ_RESULTS_DIR` if set. The file is the
+    /// [`Report::body`] plus a `run` object carrying worker count and
+    /// wall-clock seconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or the file write.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let mut doc = match self.body() {
+            Json::Obj(pairs) => pairs,
+            _ => unreachable!("body is always an object"),
+        };
+        doc.push((
+            "run".to_owned(),
+            Json::obj([
+                ("workers", Json::from(crate::sweep::worker_count())),
+                (
+                    "wall_clock_secs",
+                    Json::from(self.started.elapsed().as_secs_f64()),
+                ),
+            ]),
+        ));
+        let dir = std::env::var("DAMQ_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+        let dir = PathBuf::from(dir).join("json");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, Json::Obj(doc).render_pretty())?;
+        Ok(path)
+    }
+
+    /// [`Report::write`], reporting the destination (or the error) on
+    /// stderr so stdout stays a clean table for `> results/<name>.txt`
+    /// redirection.
+    pub fn write_and_announce(&self) {
+        match self.write() {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write JSON report: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(Json::from(-3i64).render(), "-3");
+        assert_eq!(Json::from(0.25).render(), "0.25");
+        assert_eq!(Json::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::from(f64::NAN).render(), "null");
+        assert_eq!(Json::from(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn object_keys_keep_insertion_order() {
+        let o = Json::obj([("z", Json::from(1i64)), ("a", Json::from(2i64))]);
+        assert_eq!(o.render(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let o = Json::obj([
+            ("name", Json::from("x")),
+            ("cells", Json::Arr(vec![Json::from(1i64), Json::from(2i64)])),
+            ("empty", Json::Arr(Vec::new())),
+        ]);
+        assert_eq!(
+            o.render_pretty(),
+            "{\n  \"name\": \"x\",\n  \"cells\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}\n"
+        );
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        assert_eq!(Json::from(u64::MAX).render(), format!("{}", u64::MAX as f64));
+        assert_eq!(Json::from(42u64).render(), "42");
+    }
+
+    #[test]
+    fn report_body_has_no_wall_clock() {
+        let mut r = Report::new("t");
+        r.push_cell(Json::from(1i64));
+        let body = r.body().render();
+        assert!(!body.contains("wall_clock"));
+        assert!(body.contains(r#""cell_count":1"#));
+    }
+}

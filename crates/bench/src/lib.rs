@@ -1,15 +1,42 @@
-//! Shared helpers for the table/figure regenerators.
+//! Shared infrastructure for the table/figure regeneration harnesses.
 //!
-//! Each binary in `src/bin/` reproduces one table or figure from the paper;
-//! this library holds the bits they share: paper-style number formatting
-//! and simple fixed-width table rendering.
+//! Each binary in `src/bin/` reproduces one table or figure from the
+//! paper (or one extension experiment); this library holds everything
+//! they share:
+//!
+//! - [`sweep`] — the parallel experiment-sweep engine: declarative grids
+//!   of cells fanned out across cores with deterministic, thread-count-
+//!   independent results, plus multi-seed aggregation (mean / stddev /
+//!   95% CI).
+//! - [`json`] — a hand-rolled JSON writer; every harness emits
+//!   `results/json/<experiment>.json` alongside its text table.
+//! - [`timing`] — a std-only micro-benchmark harness for the `benches/`
+//!   targets.
+//! - Paper-style number formatting ([`fmt_prob`]) and fixed-width table
+//!   rendering ([`render_table`]).
+//!
+//! See `docs/EXPERIMENTS_GUIDE.md` for the map from binaries to paper
+//! tables, their grids, their JSON schemas, and regeneration commands.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod sweep;
+pub mod timing;
+
 /// Formats a probability the way the paper's Table 2 does: `0+` for
 /// positive-but-negligible values (rounds to zero at three decimals),
 /// otherwise three decimals.
+///
+/// The accepted domain is `0.0..=1.0` (a probability). Negative inputs
+/// are a caller bug: they trip a debug assertion, and in release builds
+/// they clamp to `"0"` rather than formatting nonsense like `"0+"` or
+/// `"-0.100"`.
+///
+/// # Panics
+///
+/// Debug builds panic on a negative input.
 ///
 /// # Examples
 ///
@@ -21,7 +48,8 @@
 /// assert_eq!(fmt_prob(0.074), "0.074");
 /// ```
 pub fn fmt_prob(p: f64) -> String {
-    if p == 0.0 {
+    debug_assert!(p >= 0.0, "fmt_prob takes a probability, got {p}");
+    if p <= 0.0 {
         "0".to_owned()
     } else if p < 0.0005 {
         "0+".to_owned()
@@ -31,6 +59,10 @@ pub fn fmt_prob(p: f64) -> String {
 }
 
 /// Renders rows as a fixed-width text table with a header row and a rule.
+///
+/// An empty `header` renders as an empty string (there are no columns to
+/// lay out — and no rows can exist, since every row must match the header
+/// width).
 ///
 /// # Panics
 ///
@@ -46,11 +78,15 @@ pub fn fmt_prob(p: f64) -> String {
 ///     &[vec!["FIFO".into(), "0.074".into()]],
 /// );
 /// assert!(t.contains("FIFO"));
+/// assert_eq!(render_table(&[], &[]), "");
 /// ```
 pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let cols = header.len();
     for row in rows {
         assert_eq!(row.len(), cols, "all rows must match the header width");
+    }
+    if cols == 0 {
+        return String::new();
     }
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
@@ -96,6 +132,14 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "probability"))]
+    fn fmt_prob_rejects_negatives_in_debug_and_clamps_in_release() {
+        // Debug: the assertion fires. Release: negative clamps to "0", not
+        // the old nonsense "0+".
+        assert_eq!(fmt_prob(-0.1), "0");
+    }
+
+    #[test]
     fn render_table_aligns_columns() {
         let t = render_table(
             &["a", "bb"],
@@ -110,8 +154,26 @@ mod tests {
     }
 
     #[test]
+    fn empty_header_renders_empty() {
+        // Regression: this used to underflow `2 * (cols - 1)` and panic.
+        assert_eq!(render_table(&[], &[]), "");
+    }
+
+    #[test]
+    fn single_column_has_no_separator_padding() {
+        let t = render_table(&["only"], &[vec!["x".into()]]);
+        assert_eq!(t, "only\n----\n   x\n");
+    }
+
+    #[test]
     #[should_panic(expected = "match the header")]
     fn ragged_rows_panic() {
         let _ = render_table(&["a"], &[vec!["x".into(), "y".into()]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match the header")]
+    fn empty_header_with_nonempty_rows_panics() {
+        let _ = render_table(&[], &[vec!["x".into()]]);
     }
 }

@@ -1,0 +1,105 @@
+//! A minimal std-only micro-benchmark harness (the registry is
+//! unreachable offline, so no criterion).
+//!
+//! The `benches/` targets use this to report nanoseconds per operation.
+//! Methodology: calibrate a batch size that runs for roughly
+//! [`TARGET_BATCH`], run several batches, and report the minimum and
+//! median per-op time — the minimum is the least noisy estimator on a
+//! busy machine, the median shows whether the minimum is representative.
+//!
+//! # Examples
+//!
+//! ```
+//! use damq_bench::timing::bench;
+//!
+//! let mut acc = 0u64;
+//! let stats = bench("wrapping_add", || {
+//!     acc = acc.wrapping_add(1);
+//!     acc
+//! });
+//! assert!(stats.min_ns > 0.0);
+//! assert!(stats.median_ns >= stats.min_ns);
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target duration of one calibrated measurement batch.
+pub const TARGET_BATCH: Duration = Duration::from_millis(20);
+
+/// Number of measured batches per benchmark.
+pub const BATCHES: usize = 9;
+
+/// Per-op timing estimates from one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Fastest observed batch, in nanoseconds per operation.
+    pub min_ns: f64,
+    /// Median batch, in nanoseconds per operation.
+    pub median_ns: f64,
+    /// Operations per measured batch after calibration.
+    pub batch_ops: u64,
+}
+
+/// Times `f`, prints one aligned report line to stdout, and returns the
+/// estimates.
+pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) -> Stats {
+    // Warm up and calibrate: double the batch until it takes long enough
+    // to swamp timer resolution.
+    let mut batch_ops = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch_ops {
+            black_box(f());
+        }
+        let took = start.elapsed();
+        if took >= TARGET_BATCH || batch_ops >= 1 << 30 {
+            break;
+        }
+        // Jump close to the target once we have a usable estimate.
+        batch_ops = if took < Duration::from_micros(50) {
+            batch_ops * 8
+        } else {
+            let scale = TARGET_BATCH.as_secs_f64() / took.as_secs_f64();
+            ((batch_ops as f64 * scale * 1.1) as u64).max(batch_ops + 1)
+        };
+    }
+
+    let mut per_op: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch_ops {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / batch_ops as f64
+        })
+        .collect();
+    per_op.sort_by(f64::total_cmp);
+    let stats = Stats {
+        min_ns: per_op[0],
+        median_ns: per_op[per_op.len() / 2],
+        batch_ops,
+    };
+    println!(
+        "{label:<40} {:>12.1} ns/op min {:>12.1} ns/op median ({} ops/batch)",
+        stats.min_ns, stats.median_ns, stats.batch_ops
+    );
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_ordered_stats() {
+        let mut x = 1u64;
+        let s = bench("spin", || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert!(s.min_ns > 0.0);
+        assert!(s.median_ns >= s.min_ns);
+        assert!(s.batch_ops >= 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Integration tests of the sweep engine: the two properties the
+//! harnesses rely on.
+//!
+//! 1. **Determinism**: the same grid produces byte-identical JSON report
+//!    bodies no matter how many worker threads ran it.
+//! 2. **Aggregation**: multi-seed aggregation reproduces hand-computed
+//!    mean / stddev / 95% CI.
+
+use damq_bench::json::{measurement_json, Json, Report};
+use damq_bench::sweep::{self, Aggregate};
+use damq_core::BufferKind;
+use damq_net::{measure, Measurement, NetworkConfig};
+
+/// Runs a small but real simulation grid and renders the report body.
+fn render_grid(workers: usize) -> String {
+    let kinds = [BufferKind::Fifo, BufferKind::Damq];
+    let loads = [0.2, 0.4];
+    let cells: Vec<(usize, usize)> = (0..kinds.len())
+        .flat_map(|k| (0..loads.len()).map(move |l| (k, l)))
+        .collect();
+    let measurements = sweep::run_with_workers(&cells, workers, |&(k, l)| {
+        measure(
+            NetworkConfig::new(16, 4)
+                .buffer_kind(kinds[k])
+                .offered_load(loads[l])
+                .seed(sweep::cell_seed(sweep::BASE_SEED, &[k as u64, l as u64])),
+            200,
+            1_000,
+        )
+        .expect("simulation runs")
+    });
+    let mut report = Report::new("sweep_engine_test");
+    report.meta("grid", Json::from("2 kinds x 2 loads"));
+    for (&(k, l), m) in cells.iter().zip(&measurements) {
+        report.push_cell(Json::cell(
+            [
+                ("buffer", Json::from(kinds[k].name())),
+                ("offered_load", Json::from(loads[l])),
+            ],
+            measurement_json(m),
+        ));
+    }
+    report.body().render()
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let serial = render_grid(1);
+    for workers in [2, 4, 7] {
+        assert_eq!(
+            serial,
+            render_grid(workers),
+            "report body must not depend on worker count ({workers} workers)"
+        );
+    }
+}
+
+#[test]
+fn cell_seeds_are_distinct_across_coordinates() {
+    let mut seen = std::collections::HashSet::new();
+    for a in 0..8u64 {
+        for b in 0..8u64 {
+            assert!(seen.insert(sweep::cell_seed(sweep::BASE_SEED, &[a, b])));
+        }
+    }
+    // Coordinate order matters: [0, 1] and [1, 0] are different cells.
+    assert_ne!(
+        sweep::cell_seed(sweep::BASE_SEED, &[0, 1]),
+        sweep::cell_seed(sweep::BASE_SEED, &[1, 0])
+    );
+}
+
+#[test]
+fn aggregate_matches_hand_computed_values() {
+    // Samples 2, 4, 4, 4, 5, 5, 7, 9: mean 5, sample variance 32/7.
+    let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+    let a = Aggregate::from_samples(&samples);
+    assert_eq!(a.n, 8);
+    assert!((a.mean - 5.0).abs() < 1e-12);
+    let expected_sd = (32.0f64 / 7.0).sqrt();
+    assert!((a.stddev - expected_sd).abs() < 1e-12);
+    // 95% CI half-width: t(0.975, df=7) * sd / sqrt(n), t = 2.365.
+    let expected_ci = 2.365 * expected_sd / (8.0f64).sqrt();
+    assert!((a.ci95 - expected_ci).abs() < 1e-9, "ci95 = {}", a.ci95);
+}
+
+#[test]
+fn aggregate_measurements_cover_every_field() {
+    let mk = |seed: u64| {
+        measure(
+            NetworkConfig::new(16, 4)
+                .buffer_kind(BufferKind::Damq)
+                .offered_load(0.3)
+                .seed(seed),
+            100,
+            500,
+        )
+        .expect("simulation runs")
+    };
+    let samples: Vec<_> = (1..=4).map(mk).collect();
+    let aggs = sweep::aggregate_measurements(&samples);
+    assert_eq!(aggs.len(), Measurement::FIELD_NAMES.len());
+    for ((name, agg), &expected) in aggs.iter().zip(Measurement::FIELD_NAMES.iter()) {
+        assert_eq!(*name, expected);
+        assert_eq!(agg.n, 4);
+        assert!(agg.stddev >= 0.0);
+    }
+    // Spot-check one field against a direct computation.
+    let delivered: Vec<f64> = samples.iter().map(|m| m.delivered).collect();
+    let direct = Aggregate::from_samples(&delivered);
+    let from_iter = aggs
+        .iter()
+        .find(|(name, _)| *name == "delivered")
+        .expect("delivered aggregated")
+        .1;
+    assert_eq!(direct, from_iter);
+}

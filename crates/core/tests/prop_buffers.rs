@@ -1,11 +1,17 @@
-//! Property-based tests over arbitrary operation sequences on all four
-//! buffer designs.
+//! Randomized property tests over arbitrary operation sequences on all
+//! four buffer designs.
+//!
+//! Formerly written against `proptest`; now driven by the workspace's own
+//! deterministic generator (the registry is unreachable offline), which
+//! keeps the same invariants under the same kind of random exploration —
+//! every case is reproducible from the printed seed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use damq_core::{
-    BufferConfig, BufferKind, NodeId, OutputPort, Packet, PacketId,
-};
+use damq_core::{BufferConfig, BufferKind, NodeId, OutputPort, Packet, PacketId};
+
+const CASES: u64 = 64;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,11 +19,23 @@ enum Op {
     Dequeue { output: usize },
 }
 
-fn op_strategy(fanout: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0..fanout, 1usize..=32).prop_map(|(output, length)| Op::Enqueue { output, length }),
-        2 => (0..fanout).prop_map(|output| Op::Dequeue { output }),
-    ]
+/// Weighted op mix matching the old proptest strategy: 3 enqueues to 2
+/// dequeues, payloads of 1–32 bytes.
+fn random_ops(rng: &mut StdRng, fanout: usize, count: usize) -> Vec<Op> {
+    (0..count)
+        .map(|_| {
+            if rng.random_range(0..5usize) < 3 {
+                Op::Enqueue {
+                    output: rng.random_range(0..fanout),
+                    length: rng.random_range(1..=32usize),
+                }
+            } else {
+                Op::Dequeue {
+                    output: rng.random_range(0..fanout),
+                }
+            }
+        })
+        .collect()
 }
 
 fn packet(serial: u64, length: usize) -> Packet {
@@ -27,14 +45,15 @@ fn packet(serial: u64, length: usize) -> Packet {
         .build()
 }
 
-proptest! {
-    /// Invariants hold and bookkeeping balances under arbitrary op mixes,
-    /// for every design.
-    #[test]
-    fn random_ops_preserve_invariants(
-        ops in prop::collection::vec(op_strategy(4), 1..200),
-        capacity in 1usize..=16,
-    ) {
+/// Invariants hold and bookkeeping balances under arbitrary op mixes, for
+/// every design.
+#[test]
+fn random_ops_preserve_invariants() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = rng.random_range(1..200usize);
+        let ops = random_ops(&mut rng, 4, count);
+        let capacity = rng.random_range(1..=16usize);
         for kind in BufferKind::ALL {
             let capacity = if kind.is_statically_allocated() {
                 capacity.div_ceil(4) * 4 // round up to divisible
@@ -54,23 +73,29 @@ proptest! {
                     }
                 }
                 buf.check_invariants();
-                prop_assert!(buf.used_slots() <= buf.capacity_slots(), "{kind}");
+                assert!(
+                    buf.used_slots() <= buf.capacity_slots(),
+                    "{kind} seed {seed}"
+                );
             }
             let s = buf.stats();
-            prop_assert_eq!(
+            assert_eq!(
                 s.packets_accepted() - s.packets_forwarded(),
                 buf.packet_count() as u64,
-                "{} accounting", kind
+                "{kind} accounting, seed {seed}"
             );
         }
     }
+}
 
-    /// `can_accept` tells the truth: enqueue succeeds iff it said yes.
-    #[test]
-    fn can_accept_is_accurate(
-        ops in prop::collection::vec(op_strategy(4), 1..150),
-        capacity in 1usize..=12,
-    ) {
+/// `can_accept` tells the truth: enqueue succeeds iff it said yes.
+#[test]
+fn can_accept_is_accurate() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1_000 + seed);
+        let count = rng.random_range(1..150usize);
+        let ops = random_ops(&mut rng, 4, count);
+        let capacity = rng.random_range(1..=12usize);
         for kind in BufferKind::ALL {
             let capacity = if kind.is_statically_allocated() {
                 capacity.div_ceil(4) * 4
@@ -87,7 +112,7 @@ proptest! {
                         let slots = p.slots_needed(buf.slot_bytes());
                         let promised = buf.can_accept(OutputPort::new(output), slots);
                         let accepted = buf.try_enqueue(OutputPort::new(output), p).is_ok();
-                        prop_assert_eq!(promised, accepted, "{} lied", kind);
+                        assert_eq!(promised, accepted, "{kind} lied, seed {seed}");
                     }
                     Op::Dequeue { output } => {
                         let _ = buf.dequeue(OutputPort::new(output));
@@ -96,18 +121,20 @@ proptest! {
             }
         }
     }
+}
 
-    /// Per-output dequeue order matches enqueue order (FIFO within queue)
-    /// for the multi-queue designs; global FIFO order for the FIFO design.
-    #[test]
-    fn fifo_order_per_queue(
-        ops in prop::collection::vec(op_strategy(3), 1..150),
-    ) {
+/// Per-output dequeue order matches enqueue order (FIFO within queue) for
+/// the multi-queue designs; global FIFO order for the FIFO design.
+#[test]
+fn fifo_order_per_queue() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2_000 + seed);
+        let count = rng.random_range(1..150usize);
+        let ops = random_ops(&mut rng, 3, count);
         for kind in BufferKind::ALL {
             let mut buf = BufferConfig::new(3, 12).build(kind).unwrap();
             let mut serial = 0u64;
-            let mut expected: Vec<std::collections::VecDeque<u64>> =
-                vec![Default::default(); 3];
+            let mut expected: Vec<std::collections::VecDeque<u64>> = vec![Default::default(); 3];
             let mut global: std::collections::VecDeque<(usize, u64)> = Default::default();
             for op in &ops {
                 match *op {
@@ -124,12 +151,12 @@ proptest! {
                             match kind {
                                 BufferKind::Fifo => {
                                     let (o, s) = global.pop_front().unwrap();
-                                    prop_assert_eq!(o, output);
-                                    prop_assert_eq!(p.id().serial(), s);
+                                    assert_eq!(o, output, "seed {seed}");
+                                    assert_eq!(p.id().serial(), s, "seed {seed}");
                                 }
                                 _ => {
                                     let s = expected[output].pop_front().unwrap();
-                                    prop_assert_eq!(p.id().serial(), s, "{}", kind);
+                                    assert_eq!(p.id().serial(), s, "{kind} seed {seed}");
                                 }
                             }
                         }
@@ -138,13 +165,17 @@ proptest! {
             }
         }
     }
+}
 
-    /// The DAMQ acceptance rule is exactly "enough free slots in the shared
-    /// pool", never per-queue.
-    #[test]
-    fn damq_shares_all_storage(
-        fills in prop::collection::vec((0usize..4, 1usize..=32), 1..40),
-    ) {
+/// The DAMQ acceptance rule is exactly "enough free slots in the shared
+/// pool", never per-queue.
+#[test]
+fn damq_shares_all_storage() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3_000 + seed);
+        let fills: Vec<(usize, usize)> = (0..rng.random_range(1..40usize))
+            .map(|_| (rng.random_range(0..4usize), rng.random_range(1..=32usize)))
+            .collect();
         let mut buf = BufferConfig::new(4, 12).build(BufferKind::Damq).unwrap();
         let mut serial = 0;
         for (output, length) in fills {
@@ -153,15 +184,18 @@ proptest! {
             let need = p.slots_needed(buf.slot_bytes());
             let fits = need <= buf.free_slots();
             let accepted = buf.try_enqueue(OutputPort::new(output), p).is_ok();
-            prop_assert_eq!(fits, accepted);
+            assert_eq!(fits, accepted, "seed {seed}");
         }
     }
+}
 
-    /// SAMQ/SAFC never let one queue exceed its static partition.
-    #[test]
-    fn static_designs_respect_partitions(
-        ops in prop::collection::vec(op_strategy(4), 1..150),
-    ) {
+/// SAMQ/SAFC never let one queue exceed its static partition.
+#[test]
+fn static_designs_respect_partitions() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4_000 + seed);
+        let count = rng.random_range(1..150usize);
+        let ops = random_ops(&mut rng, 4, count);
         for kind in [BufferKind::Samq, BufferKind::Safc] {
             let mut buf = BufferConfig::new(4, 8).build(kind).unwrap();
             let mut serial = 0;
@@ -183,7 +217,7 @@ proptest! {
                     }
                 }
                 for (q, &used) in per_queue_slots.iter().enumerate() {
-                    prop_assert!(used <= 2, "{kind} queue {q} used {used} of 2 slots");
+                    assert!(used <= 2, "{kind} queue {q} used {used} of 2 slots, seed {seed}");
                 }
             }
         }

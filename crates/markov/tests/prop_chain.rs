@@ -1,6 +1,9 @@
-//! Property-based tests on the Markov engine and the 2×2 switch models.
+//! Randomized property tests on the Markov engine and the 2×2 switch
+//! models, driven by the workspace's deterministic generator (formerly
+//! `proptest`; every case reproduces from the printed seed).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use damq_core::BufferKind;
 use damq_markov::{
@@ -8,129 +11,165 @@ use damq_markov::{
     SamqModel, SolveOptions, Switch2x2,
 };
 
-fn kinds() -> impl Strategy<Value = BufferKind> {
-    prop::sample::select(BufferKind::ALL.to_vec())
+fn kind(rng: &mut StdRng) -> BufferKind {
+    BufferKind::ALL[rng.random_range(0..BufferKind::ALL.len())]
 }
 
-fn orders() -> impl Strategy<Value = CycleOrder> {
-    prop::sample::select(vec![CycleOrder::ArrivalsFirst, CycleOrder::DeparturesFirst])
+fn order(rng: &mut StdRng) -> CycleOrder {
+    if rng.random_bool(0.5) {
+        CycleOrder::ArrivalsFirst
+    } else {
+        CycleOrder::DeparturesFirst
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Row-stochasticity of every explored chain (checked by the builder)
-    /// plus: the steady state really is a fixed point of the transition
-    /// matrix, for random parameter points.
-    #[test]
-    fn steady_state_is_a_fixed_point(
-        kind in kinds(),
-        order in orders(),
-        cap in 1usize..=4,
-        traffic in 0.05f64..0.99,
-    ) {
+/// Row-stochasticity of every explored chain (checked by the builder)
+/// plus: the steady state really is a fixed point of the transition
+/// matrix, for random parameter points.
+#[test]
+fn steady_state_is_a_fixed_point() {
+    for seed in 0..48 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kind = kind(&mut rng);
+        let order = order(&mut rng);
+        let cap = rng.random_range(1..=4usize);
+        let traffic = rng.random_range(0.05..0.99f64);
         let cap = if kind.is_statically_allocated() { cap * 2 } else { cap };
         let point = discard_probability(kind, cap, traffic, order, SolveOptions::default());
         let point = point.unwrap();
-        prop_assert!(point.discard_probability >= 0.0);
-        prop_assert!(point.discard_probability <= 1.0);
+        assert!(point.discard_probability >= 0.0, "seed {seed}");
+        assert!(point.discard_probability <= 1.0, "seed {seed}");
         // Throughput cannot exceed the crossbar's 2 packets/cycle.
-        prop_assert!(point.throughput <= 2.0 + 1e-9);
+        assert!(point.throughput <= 2.0 + 1e-9, "seed {seed}");
     }
+}
 
-    /// Flow conservation at every random parameter point: offered traffic
-    /// splits exactly into throughput and discards.
-    #[test]
-    fn flow_conservation(
-        kind in kinds(),
-        order in orders(),
-        cap in 1usize..=3,
-        traffic in 0.05f64..0.99,
-    ) {
+/// Flow conservation at every random parameter point: offered traffic
+/// splits exactly into throughput and discards.
+#[test]
+fn flow_conservation() {
+    for seed in 0..48 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let kind = kind(&mut rng);
+        let order = order(&mut rng);
+        let cap = rng.random_range(1..=3usize);
+        let traffic = rng.random_range(0.05..0.99f64);
         let cap = if kind.is_statically_allocated() { cap * 2 } else { cap };
         let p = discard_probability(kind, cap, traffic, order, SolveOptions::default()).unwrap();
         let arrivals = 2.0 * traffic;
         let lost = arrivals * p.discard_probability;
-        prop_assert!(
+        assert!(
             (p.throughput + lost - arrivals).abs() < 1e-6,
-            "thr {} + lost {} vs arrivals {}", p.throughput, lost, arrivals
+            "thr {} + lost {} vs arrivals {}, seed {seed}",
+            p.throughput,
+            lost,
+            arrivals
         );
     }
+}
 
-    /// Discard probability is monotone in traffic (more offered load never
-    /// reduces the discard fraction) for every design.
-    #[test]
-    fn discards_monotone_in_traffic(
-        kind in kinds(),
-        order in orders(),
-        cap in 1usize..=3,
-        t_low in 0.1f64..0.5,
-        bump in 0.05f64..0.45,
-    ) {
+/// Discard probability is monotone in traffic (more offered load never
+/// reduces the discard fraction) for every design.
+#[test]
+fn discards_monotone_in_traffic() {
+    for seed in 0..48 {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let kind = kind(&mut rng);
+        let order = order(&mut rng);
+        let cap = rng.random_range(1..=3usize);
+        let t_low = rng.random_range(0.1..0.5f64);
+        let bump = rng.random_range(0.05..0.45f64);
         let cap = if kind.is_statically_allocated() { cap * 2 } else { cap };
         let lo = discard_probability(kind, cap, t_low, order, SolveOptions::default()).unwrap();
-        let hi = discard_probability(kind, cap, t_low + bump, order, SolveOptions::default())
-            .unwrap();
-        prop_assert!(
+        let hi =
+            discard_probability(kind, cap, t_low + bump, order, SolveOptions::default()).unwrap();
+        assert!(
             hi.discard_probability >= lo.discard_probability - 1e-7,
-            "{kind}: {} -> {}", lo.discard_probability, hi.discard_probability
+            "{kind}: {} -> {}, seed {seed}",
+            lo.discard_probability,
+            hi.discard_probability
         );
     }
+}
 
-    /// The explored state space never exceeds the combinatorial bound of
-    /// the design's occupancy constraint (exploration visits only states
-    /// reachable *after* a departure round, which is a strict subset for
-    /// small buffers), and it grows with the buffer size.
-    #[test]
-    fn state_space_sizes_respect_combinatorial_bounds(
-        cap in 1usize..=5,
-        traffic in 0.3f64..0.9,
-    ) {
+/// The explored state space never exceeds the combinatorial bound of the
+/// design's occupancy constraint (exploration visits only states reachable
+/// *after* a departure round, which is a strict subset for small buffers),
+/// and it grows with the buffer size.
+#[test]
+fn state_space_sizes_respect_combinatorial_bounds() {
+    for seed in 0..12 {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let cap = rng.random_range(1..=5usize);
+        let traffic = rng.random_range(0.3..0.9f64);
+
         // DAMQ: a + b <= cap per input.
         let per_input = (cap + 1) * (cap + 2) / 2;
         let damq = Chain::explore(&Switch2x2::new(
-            DamqModel::new(cap), traffic, CycleOrder::ArrivalsFirst));
-        prop_assert!(damq.state_count() <= per_input * per_input);
+            DamqModel::new(cap),
+            traffic,
+            CycleOrder::ArrivalsFirst,
+        ));
+        assert!(damq.state_count() <= per_input * per_input);
 
         // SAMQ/SAFC: a <= cap, b <= cap per input (per-queue cap).
         let per_input = (cap + 1) * (cap + 1);
         let samq = Chain::explore(&Switch2x2::new(
-            SamqModel::new(2 * cap), traffic, CycleOrder::ArrivalsFirst));
-        prop_assert!(samq.state_count() <= per_input * per_input);
+            SamqModel::new(2 * cap),
+            traffic,
+            CycleOrder::ArrivalsFirst,
+        ));
+        assert!(samq.state_count() <= per_input * per_input);
         let safc = Chain::explore(&Switch2x2::new(
-            SafcModel::new(2 * cap), traffic, CycleOrder::ArrivalsFirst));
-        prop_assert!(safc.state_count() <= per_input * per_input);
+            SafcModel::new(2 * cap),
+            traffic,
+            CycleOrder::ArrivalsFirst,
+        ));
+        assert!(safc.state_count() <= per_input * per_input);
         // SAFC's fuller service makes its reachable set no larger than
         // SAMQ's.
-        prop_assert!(safc.state_count() <= samq.state_count());
+        assert!(safc.state_count() <= samq.state_count());
 
         // FIFO: ordered destination strings up to length cap.
         let per_input = (1usize << (cap + 1)) - 1; // sum of 2^l for l in 0..=cap
         let fifo = Chain::explore(&Switch2x2::new(
-            FifoModel::new(cap), traffic, CycleOrder::ArrivalsFirst));
-        prop_assert!(fifo.state_count() <= per_input * per_input);
+            FifoModel::new(cap),
+            traffic,
+            CycleOrder::ArrivalsFirst,
+        ));
+        assert!(fifo.state_count() <= per_input * per_input);
 
         // Bigger buffers reach more states.
         if cap >= 2 {
             let smaller = Chain::explore(&Switch2x2::new(
-                DamqModel::new(cap - 1), traffic, CycleOrder::ArrivalsFirst));
-            prop_assert!(smaller.state_count() <= damq.state_count());
+                DamqModel::new(cap - 1),
+                traffic,
+                CycleOrder::ArrivalsFirst,
+            ));
+            assert!(smaller.state_count() <= damq.state_count());
         }
     }
+}
 
-    /// SAMQ is never better than DAMQ with the same storage: the static
-    /// split only removes options.
-    #[test]
-    fn samq_never_beats_damq(
-        cap in 1usize..=3,
-        traffic in 0.1f64..0.99,
-        order in orders(),
-    ) {
-        let damq = discard_probability(
-            BufferKind::Damq, 2 * cap, traffic, order, SolveOptions::default()).unwrap();
-        let samq = discard_probability(
-            BufferKind::Samq, 2 * cap, traffic, order, SolveOptions::default()).unwrap();
-        prop_assert!(damq.discard_probability <= samq.discard_probability + 1e-7);
+/// SAMQ is never better than DAMQ with the same storage: the static split
+/// only removes options.
+#[test]
+fn samq_never_beats_damq() {
+    for seed in 0..48 {
+        let mut rng = StdRng::seed_from_u64(400 + seed);
+        let cap = rng.random_range(1..=3usize);
+        let traffic = rng.random_range(0.1..0.99f64);
+        let order = order(&mut rng);
+        let damq =
+            discard_probability(BufferKind::Damq, 2 * cap, traffic, order, SolveOptions::default())
+                .unwrap();
+        let samq =
+            discard_probability(BufferKind::Samq, 2 * cap, traffic, order, SolveOptions::default())
+                .unwrap();
+        assert!(
+            damq.discard_probability <= samq.discard_probability + 1e-7,
+            "seed {seed}"
+        );
     }
 }
 

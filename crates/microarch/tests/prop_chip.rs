@@ -1,7 +1,9 @@
-//! Property-based tests driving random packet streams through the ComCoBB
-//! chip model.
+//! Randomized property tests driving random packet streams through the
+//! ComCoBB chip model, driven by the workspace's deterministic generator
+//! (formerly `proptest`; every case reproduces from the printed seed).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use damq_microarch::{Chip, ChipConfig, RouteEntry, COMCOBB_PORTS};
 
@@ -13,22 +15,27 @@ struct TestPacket {
     data: Vec<u8>,
 }
 
-fn packets(max: usize) -> impl Strategy<Value = Vec<TestPacket>> {
-    prop::collection::vec(
-        (
-            0..COMCOBB_PORTS,
-            0..COMCOBB_PORTS,
-            prop::collection::vec(any::<u8>(), 1..=32),
-        )
-            .prop_filter_map("no turn-back routes", |(input, output, data)| {
-                (input != output).then_some(TestPacket {
+fn random_bytes(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.random_range(1..=max_len);
+    (0..len).map(|_| rng.random_range(0..256usize) as u8).collect()
+}
+
+fn packets(rng: &mut StdRng, max: usize) -> Vec<TestPacket> {
+    let count = rng.random_range(1..=max);
+    (0..count)
+        .map(|_| loop {
+            let input = rng.random_range(0..COMCOBB_PORTS);
+            let output = rng.random_range(0..COMCOBB_PORTS);
+            if input != output {
+                // No turn-back routes.
+                return TestPacket {
                     input,
                     output,
-                    data,
-                })
-            }),
-        1..=max,
-    )
+                    data: random_bytes(rng, 32),
+                };
+            }
+        })
+        .collect()
 }
 
 /// Programs one circuit per (input, output) pair: header = encoding of the
@@ -55,15 +62,15 @@ fn programmed_chip() -> Chip {
     chip
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every packet driven in (with conservative spacing, so flow control
-    /// is never violated) comes out intact on the right output port, with
-    /// the rewritten header — no loss, duplication or corruption, in any
-    /// interleaving.
-    #[test]
-    fn random_streams_are_delivered_intact(stream in packets(12)) {
+/// Every packet driven in (with conservative spacing, so flow control is
+/// never violated) comes out intact on the right output port, with the
+/// rewritten header — no loss, duplication or corruption, in any
+/// interleaving.
+#[test]
+fn random_streams_are_delivered_intact() {
+    for seed in 0..64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stream = packets(&mut rng, 12);
         let mut chip = programmed_chip();
         // Schedule each input's packets back to back with a generous gap so
         // a buffer (12 slots) can never overflow even if its output is
@@ -94,31 +101,41 @@ proptest! {
             let mut want_sorted = expected[output].clone();
             got_sorted.sort();
             want_sorted.sort();
-            prop_assert_eq!(got_sorted, want_sorted, "output {}", output);
+            assert_eq!(got_sorted, want_sorted, "output {output}, seed {seed}");
         }
     }
+}
 
-    /// Cut-through turn-around is always exactly 4 cycles into an idle
-    /// output, for any single packet.
-    #[test]
-    fn lone_packet_always_cuts_through_in_four_cycles(
-        input in 0..COMCOBB_PORTS,
-        output in 0..COMCOBB_PORTS,
-        data in prop::collection::vec(any::<u8>(), 1..=32),
-        start in 0u64..50,
-    ) {
-        prop_assume!(input != output);
+/// Cut-through turn-around is always exactly 4 cycles into an idle output,
+/// for any single packet.
+#[test]
+fn lone_packet_always_cuts_through_in_four_cycles() {
+    for seed in 0..64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let (input, output) = loop {
+            let input = rng.random_range(0..COMCOBB_PORTS);
+            let output = rng.random_range(0..COMCOBB_PORTS);
+            if input != output {
+                break (input, output);
+            }
+        };
+        let data = random_bytes(&mut rng, 32);
+        let start = rng.random_range(0..50u64);
         let mut chip = programmed_chip();
         let header = (input * COMCOBB_PORTS + output) as u8;
         chip.input_wire_mut(input).drive_packet(start, header, &data);
         chip.run_to_quiescence(start + 200);
         let starts = chip.output_log(output).start_bit_cycles();
-        prop_assert_eq!(starts, vec![start + 4]);
+        assert_eq!(starts, vec![start + 4], "seed {seed}");
     }
+}
 
-    /// The free list is whole again after any quiescent run: no slot leaks.
-    #[test]
-    fn no_slot_leaks(stream in packets(8)) {
+/// The free list is whole again after any quiescent run: no slot leaks.
+#[test]
+fn no_slot_leaks() {
+    for seed in 0..64 {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let stream = packets(&mut rng, 8);
         let mut chip = programmed_chip();
         let mut next_free = [0u64; COMCOBB_PORTS];
         for p in &stream {
@@ -129,43 +146,50 @@ proptest! {
         }
         chip.run_to_quiescence(stream.len() as u64 * 600 + 2_000);
         for port in 0..COMCOBB_PORTS {
-            prop_assert_eq!(chip.buffer(port).free_slots(), chip.buffer(port).capacity());
+            assert_eq!(
+                chip.buffer(port).free_slots(),
+                chip.buffer(port).capacity(),
+                "port {port}, seed {seed}"
+            );
         }
     }
 }
 
-proptest! {
-    /// Message framing round-trips for arbitrary payloads, including
-    /// lengths that are exact multiples of the packet size.
-    #[test]
-    fn message_segmentation_round_trips(
-        messages in prop::collection::vec(
-            prop::collection::vec(any::<u8>(), 1..200),
-            1..8,
-        ),
-    ) {
-        use damq_microarch::{segment_message, MessageReassembler};
+/// Message framing round-trips for arbitrary payloads, including lengths
+/// that are exact multiples of the packet size.
+#[test]
+fn message_segmentation_round_trips() {
+    use damq_microarch::{segment_message, MessageReassembler};
+    for seed in 0..64 {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let messages: Vec<Vec<u8>> = (0..rng.random_range(1..8usize))
+            .map(|_| random_bytes(&mut rng, 199))
+            .collect();
         let mut rx = MessageReassembler::new();
         let mut got = Vec::new();
         for m in &messages {
             for packet in segment_message(m) {
                 // Paper rule: only the last packet of a message is short.
-                prop_assert!(packet.len() <= 32);
+                assert!(packet.len() <= 32, "seed {seed}");
                 got.extend(rx.push(&packet));
             }
         }
-        prop_assert_eq!(got, messages);
-        prop_assert_eq!(rx.pending_bytes(), 0);
+        assert_eq!(got, messages, "seed {seed}");
+        assert_eq!(rx.pending_bytes(), 0, "seed {seed}");
     }
+}
 
-    /// Every non-final packet of a segmented message is exactly 32 bytes.
-    #[test]
-    fn only_the_last_packet_is_short(payload in prop::collection::vec(any::<u8>(), 1..400)) {
-        use damq_microarch::segment_message;
+/// Every non-final packet of a segmented message is exactly 32 bytes.
+#[test]
+fn only_the_last_packet_is_short() {
+    use damq_microarch::segment_message;
+    for seed in 0..64 {
+        let mut rng = StdRng::seed_from_u64(400 + seed);
+        let payload = random_bytes(&mut rng, 399);
         let packets = segment_message(&payload);
         for p in &packets[..packets.len() - 1] {
-            prop_assert_eq!(p.len(), 32);
+            assert_eq!(p.len(), 32, "seed {seed}");
         }
-        prop_assert!(!packets.last().unwrap().is_empty());
+        assert!(!packets.last().unwrap().is_empty(), "seed {seed}");
     }
 }

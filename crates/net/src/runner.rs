@@ -28,6 +28,65 @@ pub struct Measurement {
     pub cycles: u64,
 }
 
+impl Measurement {
+    /// Names of every metric, in declaration order — the serialization
+    /// schema used by the bench harnesses' JSON reports.
+    pub const FIELD_NAMES: [&'static str; 9] = [
+        "offered",
+        "delivered",
+        "latency_clocks",
+        "network_latency_clocks",
+        "latency_p95_clocks",
+        "latency_p99_clocks",
+        "discard_fraction",
+        "source_backlog",
+        "cycles",
+    ];
+
+    /// Every metric as a `(name, value)` pair, in [`Measurement::FIELD_NAMES`]
+    /// order; the integer-valued fields (`source_backlog`, `cycles`) are
+    /// widened to `f64`.
+    ///
+    /// This is the hook serializers and aggregators iterate instead of
+    /// hard-coding the struct layout — adding a metric here extends every
+    /// JSON report and every multi-seed aggregate at once.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use damq_net::Measurement;
+    ///
+    /// let m = Measurement {
+    ///     offered: 0.5,
+    ///     delivered: 0.5,
+    ///     latency_clocks: 30.0,
+    ///     network_latency_clocks: 25.0,
+    ///     latency_p95_clocks: 60.0,
+    ///     latency_p99_clocks: 90.0,
+    ///     discard_fraction: 0.0,
+    ///     source_backlog: 3,
+    ///     cycles: 1_000,
+    /// };
+    /// let fields = m.fields();
+    /// assert_eq!(fields.len(), Measurement::FIELD_NAMES.len());
+    /// assert_eq!(fields[0], ("offered", 0.5));
+    /// assert_eq!(fields[8], ("cycles", 1_000.0));
+    /// ```
+    pub fn fields(&self) -> [(&'static str, f64); 9] {
+        [
+            ("offered", self.offered),
+            ("delivered", self.delivered),
+            ("latency_clocks", self.latency_clocks),
+            ("network_latency_clocks", self.network_latency_clocks),
+            ("latency_p95_clocks", self.latency_p95_clocks),
+            ("latency_p99_clocks", self.latency_p99_clocks),
+            ("discard_fraction", self.discard_fraction),
+            ("source_backlog", self.source_backlog as f64),
+            ("cycles", self.cycles as f64),
+        ]
+    }
+}
+
 /// Runs `config` for `warm_up` cycles, then measures for `window` cycles.
 ///
 /// # Errors
@@ -120,6 +179,18 @@ mod tests {
         .unwrap();
         assert!(m.latency_p95_clocks >= m.latency_clocks * 0.9);
         assert!(m.latency_p99_clocks >= m.latency_p95_clocks);
+    }
+
+    #[test]
+    fn field_names_match_field_values() {
+        let m = measure(NetworkConfig::new(16, 4).offered_load(0.2), 50, 200).unwrap();
+        let fields = m.fields();
+        assert_eq!(fields.len(), Measurement::FIELD_NAMES.len());
+        for ((name, _), &expected) in fields.iter().zip(Measurement::FIELD_NAMES.iter()) {
+            assert_eq!(*name, expected);
+        }
+        assert_eq!(fields[1].1, m.delivered);
+        assert_eq!(fields[8].1, m.cycles as f64);
     }
 
     #[test]

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The repo's offline quality gate: build, full test suite, and rustdoc
+# with warnings denied (`#![warn(missing_docs)]` in the crates turns any
+# missing doc into a hard failure here).
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== rustdoc (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "all checks passed"

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure in results/: the text tables (stdout of
+# each harness) and the structured JSON reports (written by the harnesses
+# to results/json/ as a side effect).
+#
+# Usage: scripts/regen_results.sh [binary...]
+#   With no arguments, runs all 18 harnesses. With arguments, runs only
+#   the named ones (e.g. `scripts/regen_results.sh table2 figure3`).
+#
+# Offline by design: needs only the Rust toolchain already in the tree.
+# DAMQ_SWEEP_THREADS caps the sweep engine's worker threads if set.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALL_BINARIES=(
+  table1 table2 table3 table4 table5 table6 figure3
+  markov_4x4 markov_queueing
+  tree_saturation burstiness fairness seed_stability
+  variable_length dual_network topology_comparison
+  ablation_arbitration ablation_dafc
+)
+BINARIES=("${@:-${ALL_BINARIES[@]}}")
+
+for bin in "${BINARIES[@]}"; do
+  if [[ ! " ${ALL_BINARIES[*]} " == *" $bin "* ]]; then
+    echo "error: unknown harness '$bin' (known: ${ALL_BINARIES[*]})" >&2
+    exit 1
+  fi
+done
+
+cargo build --release -p damq-bench
+
+mkdir -p results/json
+for bin in "${BINARIES[@]}"; do
+  echo "== $bin =="
+  ./target/release/"$bin" > "results/$bin.txt"
+done
+
+echo "done: ${#BINARIES[@]} harnesses -> results/*.txt + results/json/*.json"
