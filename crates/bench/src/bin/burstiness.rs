@@ -97,9 +97,7 @@ fn main() {
     }
     print!("{}", render_table(&header_refs, &rows));
     println!();
-    println!(
-        "at 0.28 mean load (93% of what 30%-duty sources can sustain), bursts push"
-    );
+    println!("at 0.28 mean load (93% of what 30%-duty sources can sustain), bursts push");
     println!(
         "FIFO's p99 from {:.0} to {:.0} clocks; DAMQ's from {:.0} to {:.0} -- the shared",
         p99_at_28[&(BufferKind::Fifo, "smooth")],

@@ -81,13 +81,7 @@ fn main() {
         ));
     }
 
-    let header = [
-        "Buffer",
-        "policy",
-        "mean lat",
-        "p99 lat",
-        "src spread",
-    ];
+    let header = ["Buffer", "policy", "mean lat", "p99 lat", "src spread"];
     let mut rows = Vec::new();
     for (&(k, p), point) in cells.iter().zip(&points) {
         rows.push(vec![

@@ -45,8 +45,15 @@ fn main() {
         .collect();
     let mut report = Report::new("markov_4x4");
     let points = sweep::run(&cells, |&(kind, cap, t)| {
-        discard_probability_kxk(kind, 4, cap, t, CycleOrder::ArrivalsFirst, SolveOptions::default())
-            .unwrap_or_else(|e| panic!("{kind}/{cap}/{t}: {e}"))
+        discard_probability_kxk(
+            kind,
+            4,
+            cap,
+            t,
+            CycleOrder::ArrivalsFirst,
+            SolveOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{kind}/{cap}/{t}: {e}"))
     });
 
     report.meta("switch", Json::from("4x4 discarding"));

@@ -36,8 +36,14 @@ fn main() {
         .collect();
     let mut report = Report::new("markov_queueing");
     let points = sweep::run(&cells, |&(kind, t)| {
-        discard_probability(kind, CAPACITY, t, CycleOrder::ArrivalsFirst, SolveOptions::default())
-            .expect("analysis runs")
+        discard_probability(
+            kind,
+            CAPACITY,
+            t,
+            CycleOrder::ArrivalsFirst,
+            SolveOptions::default(),
+        )
+        .expect("analysis runs")
     });
 
     report.meta("switch", Json::from("2x2 discarding"));

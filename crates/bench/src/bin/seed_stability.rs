@@ -13,8 +13,8 @@
 //! `results/json/seed_stability.json`.
 
 use damq_bench::json::{aggregates_json, Json, Report};
-use damq_bench::{render_table, sweep};
 use damq_bench::sweep::Aggregate;
+use damq_bench::{render_table, sweep};
 use damq_core::BufferKind;
 use damq_net::{find_saturation, measure, NetworkConfig, SaturationOptions};
 use damq_switch::FlowControl;
@@ -22,7 +22,10 @@ use damq_switch::FlowControl;
 const SEEDS: [u64; 5] = [11, 727, 5_309, 90_210, 424_242];
 
 fn main() {
-    println!("Seed stability of the headline results ({} seeds)", SEEDS.len());
+    println!(
+        "Seed stability of the headline results ({} seeds)",
+        SEEDS.len()
+    );
     println!("(64x64 Omega, blocking, uniform traffic, 4 slots per buffer)");
     println!();
 

@@ -37,7 +37,8 @@ fn drive_one_packet() -> TraceResult {
     .expect("valid route");
 
     // A 4-byte packet: start bit at cycle 0, header 0x20, length, data.
-    chip.input_wire_mut(0).drive_packet(0, 0x20, &[0xA, 0xB, 0xC, 0xD]);
+    chip.input_wire_mut(0)
+        .drive_packet(0, 0x20, &[0xA, 0xB, 0xC, 0xD]);
     chip.run_to_quiescence(64);
 
     let start_in = chip
@@ -90,7 +91,10 @@ fn main() {
         Json::obj([
             ("start_in_cycle", Json::from(t.start_in_cycle)),
             ("start_out_cycle", Json::from(t.start_out_cycle)),
-            ("start_out_phase", Json::from(format!("{}", t.start_out_phase))),
+            (
+                "start_out_phase",
+                Json::from(format!("{}", t.start_out_phase)),
+            ),
             (
                 "turnaround_cycles",
                 Json::from(t.start_out_cycle - t.start_in_cycle),

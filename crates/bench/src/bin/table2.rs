@@ -36,7 +36,9 @@ fn main() {
         .iter()
         .flat_map(|&(kind, capacities)| {
             capacities.iter().flat_map(move |&cap| {
-                TABLE2_TRAFFIC.iter().map(move |&traffic| (kind, cap, traffic))
+                TABLE2_TRAFFIC
+                    .iter()
+                    .map(move |&traffic| (kind, cap, traffic))
             })
         })
         .collect();

@@ -30,9 +30,7 @@ fn main() {
     let kinds = [BufferKind::Fifo, BufferKind::Damq];
 
     let cells: Vec<(usize, usize, usize)> = (0..kinds.len())
-        .flat_map(|k| {
-            (0..SLOTS.len()).flat_map(move |s| (0..LOADS.len()).map(move |l| (k, s, l)))
-        })
+        .flat_map(|k| (0..SLOTS.len()).flat_map(move |s| (0..LOADS.len()).map(move |l| (k, s, l))))
         .collect();
     let mut report = Report::new("table5");
     let measurements = sweep::run(&cells, |&(k, s, l)| {

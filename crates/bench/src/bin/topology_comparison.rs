@@ -29,8 +29,7 @@ fn main() {
 
     let cells: Vec<(usize, usize, usize)> = (0..BufferKind::ALL.len())
         .flat_map(|k| {
-            (0..TopologyKind::ALL.len())
-                .flat_map(move |w| (0..LOADS.len()).map(move |l| (k, w, l)))
+            (0..TopologyKind::ALL.len()).flat_map(move |w| (0..LOADS.len()).map(move |l| (k, w, l)))
         })
         .collect();
     let mut report = Report::new("topology_comparison");

@@ -92,7 +92,11 @@ fn main() {
     println!();
 
     let patterns = [
-        ("uniform", TrafficPattern::Uniform, "uniform traffic: buffers stay sparse"),
+        (
+            "uniform",
+            TrafficPattern::Uniform,
+            "uniform traffic: buffers stay sparse",
+        ),
         (
             "hot_spot",
             TrafficPattern::paper_hot_spot(),
@@ -103,7 +107,10 @@ fn main() {
     let mut report = Report::new("tree_saturation");
     let runs = sweep::run(&cells, |&i| run_pattern(patterns[i].1));
 
-    report.meta("network", Json::from("64x64 Omega, DAMQ, 4 slots, blocking"));
+    report.meta(
+        "network",
+        Json::from("64x64 Omega, DAMQ, 4 slots, blocking"),
+    );
     report.meta("offered_load", Json::from(0.30));
     report.meta("seed", Json::from(SEED));
     for (&i, snapshots) in cells.iter().zip(&runs) {

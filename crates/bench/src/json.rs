@@ -126,10 +126,8 @@ impl Json {
         coords: impl IntoIterator<Item = (K, Json)>,
         record: Json,
     ) -> Json {
-        let mut pairs: Vec<(String, Json)> = coords
-            .into_iter()
-            .map(|(k, v)| (k.into(), v))
-            .collect();
+        let mut pairs: Vec<(String, Json)> =
+            coords.into_iter().map(|(k, v)| (k.into(), v)).collect();
         match record {
             Json::Obj(fields) => pairs.extend(fields),
             other => pairs.push(("value".to_owned(), other)),
@@ -473,7 +471,10 @@ mod tests {
 
     #[test]
     fn large_u64_survives() {
-        assert_eq!(Json::from(u64::MAX).render(), format!("{}", u64::MAX as f64));
+        assert_eq!(
+            Json::from(u64::MAX).render(),
+            format!("{}", u64::MAX as f64)
+        );
         assert_eq!(Json::from(42u64).render(), "42");
     }
 

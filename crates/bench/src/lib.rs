@@ -19,7 +19,7 @@
 //! tables, their grids, their JSON schemas, and regeneration commands.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod json;
 pub mod sweep;

@@ -180,9 +180,37 @@ pub struct Aggregate {
 /// Two-sided 95% t-quantiles for `n - 1` degrees of freedom (index 1..=30;
 /// larger samples use the normal 1.96).
 const T95: [f64; 31] = [
-    f64::NAN, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201,
-    2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-    2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    f64::NAN,
+    12.706,
+    4.303,
+    3.182,
+    2.776,
+    2.571,
+    2.447,
+    2.365,
+    2.306,
+    2.262,
+    2.228,
+    2.201,
+    2.179,
+    2.160,
+    2.145,
+    2.131,
+    2.120,
+    2.110,
+    2.101,
+    2.093,
+    2.086,
+    2.080,
+    2.074,
+    2.069,
+    2.064,
+    2.060,
+    2.056,
+    2.052,
+    2.048,
+    2.045,
+    2.042,
 ];
 
 impl Aggregate {

@@ -16,6 +16,7 @@
 
 use std::fmt;
 
+use crate::audit::AuditError;
 use crate::error::{ConfigError, Rejected};
 use crate::packet::{Packet, DEFAULT_SLOT_BYTES};
 use crate::stats::BufferStats;
@@ -153,7 +154,7 @@ impl BufferConfig {
         if self.slot_bytes == 0 {
             return Err(ConfigError::ZeroSlotBytes);
         }
-        if kind.is_statically_allocated() && self.capacity_slots % self.fanout != 0 {
+        if kind.is_statically_allocated() && !self.capacity_slots.is_multiple_of(self.fanout) {
             return Err(ConfigError::CapacityNotDivisible {
                 capacity: self.capacity_slots,
                 fanout: self.fanout,
@@ -269,9 +270,29 @@ pub trait SwitchBuffer: fmt::Debug {
             .collect()
     }
 
-    /// Verifies internal invariants, panicking with a description on
-    /// violation. Heavy; meant for tests and debug assertions.
-    fn check_invariants(&self) {}
+    /// Verifies the design's structural invariants (list partition,
+    /// register/counter sync, queue shape — see [`AuditError`] and
+    /// `docs/VERIFICATION.md`) without panicking.
+    ///
+    /// Heavy — walks the entire structure; meant for tests, the model
+    /// checker and the `strict-audit` feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    fn audit(&self) -> Result<(), AuditError>;
+
+    /// Assert-style wrapper over [`SwitchBuffer::audit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the audit's description on violation.
+    fn check_invariants(&self) {
+        if let Err(e) = self.audit() {
+            // lint: allow — the panicking bridge is this method's contract.
+            panic!("{} buffer {e}", self.kind());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -305,7 +326,9 @@ mod tests {
             Err(ConfigError::ZeroFanout)
         );
         assert_eq!(
-            BufferConfig::new(4, 4).slot_bytes(0).validate(BufferKind::Fifo),
+            BufferConfig::new(4, 4)
+                .slot_bytes(0)
+                .validate(BufferKind::Fifo),
             Err(ConfigError::ZeroSlotBytes)
         );
     }

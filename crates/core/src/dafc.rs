@@ -17,6 +17,7 @@
 //! SAMQ≈SAFC observation) that it is little, and the `ablation_dafc`
 //! harness in `damq-bench` quantifies that claim.
 
+use crate::audit::AuditError;
 use crate::buffer::{BufferConfig, BufferKind, SwitchBuffer};
 use crate::damq::DamqBuffer;
 use crate::error::{ConfigError, Rejected};
@@ -117,8 +118,8 @@ impl SwitchBuffer for DafcBuffer {
         self.inner.reset_stats()
     }
 
-    fn check_invariants(&self) {
-        self.inner.check_invariants()
+    fn audit(&self) -> Result<(), AuditError> {
+        self.inner.audit()
     }
 }
 

@@ -17,6 +17,7 @@
 //!    traffic actually arrives, so a DAMQ buffer with 3 slots discards no
 //!    more than a FIFO with 6 (paper Table 2).
 
+use crate::audit::{audit_ensure, AuditError};
 use crate::buffer::{BufferConfig, BufferKind, SwitchBuffer};
 use crate::error::{ConfigError, RejectReason, Rejected};
 use crate::packet::Packet;
@@ -182,8 +183,18 @@ impl SwitchBuffer for DamqBuffer {
         self.stats.reset();
     }
 
-    fn check_invariants(&self) {
-        self.pool.check_invariants();
+    fn audit(&self) -> Result<(), AuditError> {
+        // The pool enforces strict-audit on its own enqueue/dequeue paths;
+        // here we re-check it plus the buffer-level accounting on top.
+        self.pool.audit()?;
+        audit_ensure!(
+            self.used_slots() <= self.capacity_slots(),
+            "capacity-bound",
+            "pool reports {} used of {} slots",
+            self.used_slots(),
+            self.capacity_slots()
+        );
+        Ok(())
     }
 }
 
@@ -216,7 +227,10 @@ mod tests {
         b.try_enqueue(OutputPort::new(1), pkt(8, 1)).unwrap();
         // out1 is immediately servable even though out3's packet arrived first.
         assert_eq!(b.queue_len(OutputPort::new(1)), 1);
-        assert_eq!(b.dequeue(OutputPort::new(1)).unwrap().source(), NodeId::new(1));
+        assert_eq!(
+            b.dequeue(OutputPort::new(1)).unwrap().source(),
+            NodeId::new(1)
+        );
     }
 
     #[test]

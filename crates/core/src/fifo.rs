@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use crate::audit::{audit_ensure, strict_audit, AuditError};
 use crate::buffer::{BufferConfig, BufferKind, SwitchBuffer};
 use crate::error::{ConfigError, RejectReason, Rejected};
 use crate::packet::Packet;
@@ -139,6 +140,7 @@ impl SwitchBuffer for FifoBuffer {
             slots,
             packet,
         });
+        strict_audit!(self);
         Ok(())
     }
 
@@ -161,9 +163,11 @@ impl SwitchBuffer for FifoBuffer {
         if !self.head_matches(output) {
             return None;
         }
+        // lint: allow — head_matches() proved the queue is non-empty.
         let entry = self.queue.pop_front().expect("head checked above");
         self.used_slots -= entry.slots;
         self.stats.record_forwarded();
+        strict_audit!(self);
         Some(entry.packet)
     }
 
@@ -179,21 +183,36 @@ impl SwitchBuffer for FifoBuffer {
         self.stats.reset();
     }
 
-    fn check_invariants(&self) {
+    fn audit(&self) -> Result<(), AuditError> {
         let sum: usize = self.queue.iter().map(|e| e.slots).sum();
-        assert_eq!(sum, self.used_slots, "FIFO used_slots out of sync");
-        assert!(
+        audit_ensure!(
+            sum == self.used_slots,
+            "register-sync",
+            "FIFO used_slots register says {} but entries sum to {sum}",
+            self.used_slots
+        );
+        audit_ensure!(
             self.used_slots <= self.capacity_slots(),
-            "FIFO over capacity"
+            "capacity-bound",
+            "FIFO holds {} of {} slots",
+            self.used_slots,
+            self.capacity_slots()
         );
         for e in &self.queue {
-            assert!(e.output.index() < self.fanout(), "stored bad output");
-            assert_eq!(
-                e.slots,
-                e.packet.slots_needed(self.slot_bytes()),
-                "stored slot count mismatch"
+            audit_ensure!(
+                e.output.index() < self.fanout(),
+                "queue-shape",
+                "entry routed to nonexistent output {}",
+                e.output
+            );
+            audit_ensure!(
+                e.slots == e.packet.slots_needed(self.slot_bytes()),
+                "queue-shape",
+                "entry slot count {} disagrees with its packet length",
+                e.slots
             );
         }
+        Ok(())
     }
 }
 

@@ -42,8 +42,9 @@
 //! argument about networks, not buffers.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+mod audit;
 mod buffer;
 mod dafc;
 mod damq;
@@ -57,6 +58,7 @@ mod slots;
 mod static_mq;
 mod stats;
 
+pub use audit::AuditError;
 pub use buffer::{BufferConfig, BufferKind, SwitchBuffer};
 pub use dafc::DafcBuffer;
 pub use damq::DamqBuffer;

@@ -15,6 +15,7 @@
 
 use std::fmt;
 
+use crate::audit::{audit_ensure, strict_audit, AuditError};
 use crate::packet::Packet;
 
 /// Index of a slot within a [`SlotPool`] (the value a pointer register
@@ -154,6 +155,9 @@ impl SlotPool {
         let head = self.queues[list].head?;
         match &self.content[head.index()] {
             SlotContent::Head { packet, .. } => Some(packet),
+            // lint: allow — enqueue always links a Head slot first, and
+            // dequeue unlinks whole packets; a non-Head queue head is a
+            // structural corruption that audit() reports precisely.
             _ => unreachable!("queue head register must point at a packet head slot"),
         }
     }
@@ -178,15 +182,19 @@ impl SlotPool {
         if self.free.slot_count < slots {
             return Err(packet);
         }
+        // lint: allow — free.slot_count >= slots was checked just above, so
+        // the free list is provably non-empty for each of the `slots` pops.
         let first = self.pop_free().expect("free count checked");
         self.content[first.index()] = SlotContent::Head { packet, slots };
         self.append_to_queue(list, first);
         for _ in 1..slots {
+            // lint: allow — covered by the same free-count check.
             let s = self.pop_free().expect("free count checked");
             self.content[s.index()] = SlotContent::Continuation;
             self.append_to_queue(list, s);
         }
         self.queues[list].packet_count += 1;
+        strict_audit!(self);
         Ok(())
     }
 
@@ -201,14 +209,17 @@ impl SlotPool {
         let (packet, slots) =
             match std::mem::replace(&mut self.content[first.index()], SlotContent::Free) {
                 SlotContent::Head { packet, slots } => (packet, slots),
+                // lint: allow — a queue head register always names a Head
+                // slot (audited invariant "queue-shape").
                 other => unreachable!("queue head was {other:?}, not a packet head"),
             };
         self.unlink_queue_head(list);
         self.push_free(first);
         for _ in 1..slots {
-            let s = self
-                .queues[list]
+            let s = self.queues[list]
                 .head
+                // lint: allow — enqueue links all `slots` slots of a packet
+                // atomically, so the continuations are provably present.
                 .expect("multi-slot packet must have continuation slots queued");
             debug_assert!(matches!(self.content[s.index()], SlotContent::Continuation));
             self.content[s.index()] = SlotContent::Free;
@@ -216,6 +227,7 @@ impl SlotPool {
             self.push_free(s);
         }
         self.queues[list].packet_count -= 1;
+        strict_audit!(self);
         Some(packet)
     }
 
@@ -235,6 +247,7 @@ impl SlotPool {
     /// Advances a queue's head register past its first slot.
     fn unlink_queue_head(&mut self, list: usize) {
         let regs = &mut self.queues[list];
+        // lint: allow — both callers check the head register first.
         let head = regs.head.expect("unlink from empty queue");
         regs.head = self.next[head.index()];
         if regs.head.is_none() {
@@ -265,81 +278,135 @@ impl SlotPool {
         Some(head)
     }
 
-    /// Verifies every structural invariant of the pool, panicking with a
-    /// description on violation:
-    ///
-    /// * every slot is on exactly one list (free or some queue),
-    /// * no list contains a cycle,
-    /// * head/tail registers and counters agree with the links,
-    /// * queue contents alternate head/continuation slots consistently with
-    ///   the stored packet lengths.
-    pub fn check_invariants(&self) {
-        let mut seen = vec![false; self.capacity()];
-        let walk = |regs: &ListRegs, seen: &mut Vec<bool>, label: &str| -> Vec<SlotId> {
-            let mut out = Vec::new();
-            let mut cur = regs.head;
-            while let Some(id) = cur {
-                assert!(
-                    !seen[id.index()],
-                    "{label}: slot {id} appears on two lists or in a cycle"
-                );
-                seen[id.index()] = true;
-                out.push(id);
-                cur = self.next[id.index()];
-            }
-            assert_eq!(
-                out.len(),
-                regs.slot_count,
-                "{label}: slot_count register disagrees with links"
+    /// Walks one list, marking visited slots in `seen`, and verifies the
+    /// list's registers against its links.
+    fn audit_list(&self, regs: &ListRegs, seen: &mut [bool], label: &str) -> AuditResult {
+        let mut out = Vec::new();
+        let mut cur = regs.head;
+        while let Some(id) = cur {
+            audit_ensure!(
+                !seen[id.index()],
+                "list-partition",
+                "{label}: slot {id} appears on two lists or in a cycle"
             );
-            assert_eq!(
-                out.last().copied(),
-                regs.tail,
-                "{label}: tail register disagrees with links"
-            );
-            out
-        };
+            seen[id.index()] = true;
+            out.push(id);
+            cur = self.next[id.index()];
+        }
+        audit_ensure!(
+            out.len() == regs.slot_count,
+            "register-sync",
+            "{label}: slot_count register says {} but the links hold {} slots",
+            regs.slot_count,
+            out.len()
+        );
+        audit_ensure!(
+            out.last().copied() == regs.tail,
+            "register-sync",
+            "{label}: tail register disagrees with the last linked slot"
+        );
+        Ok(out)
+    }
 
-        let free = walk(&self.free, &mut seen, "free list");
+    /// Verifies every structural invariant of the pool — the audited form of
+    /// the paper's §3.1 register contract:
+    ///
+    /// * every slot is on exactly one list (free or some queue), i.e. the
+    ///   lists exactly partition the storage (`list-partition`),
+    /// * no list contains a cycle (`list-partition`; a cycle revisits a
+    ///   marked slot),
+    /// * head/tail/`slot_count`/`packet_count` registers agree with the
+    ///   links they summarise (`register-sync`),
+    /// * queue contents are contiguous head+continuation runs consistent
+    ///   with the stored packet lengths (`queue-shape`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as an [`AuditError`].
+    pub fn audit(&self) -> Result<(), AuditError> {
+        let mut seen = vec![false; self.capacity()];
+        let free = self.audit_list(&self.free, &mut seen, "free list")?;
+        audit_ensure!(
+            self.free.packet_count == 0,
+            "register-sync",
+            "free list carries a nonzero packet_count register"
+        );
         for id in free {
-            assert!(
+            audit_ensure!(
                 matches!(self.content[id.index()], SlotContent::Free),
+                "queue-shape",
                 "free list holds non-free slot {id}"
             );
         }
         for (qi, regs) in self.queues.iter().enumerate() {
-            let slots = walk(regs, &mut seen, &format!("queue {qi}"));
+            let slots = self.audit_list(regs, &mut seen, &format!("queue {qi}"))?;
             let mut packets = 0;
             let mut i = 0;
             while i < slots.len() {
                 match &self.content[slots[i].index()] {
                     SlotContent::Head { slots: k, .. } => {
+                        audit_ensure!(
+                            i + k <= slots.len(),
+                            "queue-shape",
+                            "queue {qi}: packet at {} claims {k} slots but the list ends",
+                            slots[i]
+                        );
                         for j in 1..*k {
-                            assert!(
+                            audit_ensure!(
                                 matches!(
                                     self.content[slots[i + j].index()],
                                     SlotContent::Continuation
                                 ),
-                                "queue {qi}: packet missing continuation slot"
+                                "queue-shape",
+                                "queue {qi}: packet at {} missing continuation slot",
+                                slots[i]
                             );
                         }
                         packets += 1;
                         i += k;
                     }
-                    other => panic!("queue {qi}: expected packet head, found {other:?}"),
+                    other => {
+                        return Err(AuditError::new(
+                            "queue-shape",
+                            format!(
+                                "queue {qi}: expected packet head at {}, found {other:?}",
+                                slots[i]
+                            ),
+                        ));
+                    }
                 }
             }
-            assert_eq!(
-                packets, regs.packet_count,
-                "queue {qi}: packet_count register disagrees with contents"
+            audit_ensure!(
+                packets == regs.packet_count,
+                "register-sync",
+                "queue {qi}: packet_count register says {} but the list holds {packets}",
+                regs.packet_count
             );
         }
-        assert!(
+        audit_ensure!(
             seen.iter().all(|&s| s),
+            "list-partition",
             "some slot is on no list (leaked slot)"
         );
+        Ok(())
+    }
+
+    /// Assert-style wrapper over [`SlotPool::audit`] for tests and debug
+    /// checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the audit's description on violation.
+    pub fn check_invariants(&self) {
+        if let Err(e) = self.audit() {
+            // lint: allow — the panicking bridge is this method's contract.
+            panic!("slot pool {e}");
+        }
     }
 }
+
+/// Shorthand for the list-walk helper's return type.
+type AuditResult = Result<Vec<SlotId>, AuditError>;
 
 #[cfg(test)]
 mod tests {

@@ -7,6 +7,7 @@
 
 use std::collections::VecDeque;
 
+use crate::audit::{audit_ensure, strict_audit, AuditError};
 use crate::buffer::{BufferConfig, BufferKind};
 use crate::error::{ConfigError, RejectReason, Rejected};
 use crate::packet::Packet;
@@ -97,13 +98,12 @@ impl StaticMultiQueue {
         let used = self.used_slots();
         self.stats.observe_used_slots(used);
         self.queues[output.index()].push_back(Entry { slots, packet });
+        strict_audit!(self);
         Ok(())
     }
 
     pub(crate) fn queue_len(&self, output: OutputPort) -> usize {
-        self.queues
-            .get(output.index())
-            .map_or(0, VecDeque::len)
+        self.queues.get(output.index()).map_or(0, VecDeque::len)
     }
 
     pub(crate) fn front(&self, output: OutputPort) -> Option<&Packet> {
@@ -114,6 +114,7 @@ impl StaticMultiQueue {
         let entry = self.queues.get_mut(output.index())?.pop_front()?;
         self.queue_used[output.index()] -= entry.slots;
         self.stats.record_forwarded();
+        strict_audit!(self);
         Some(entry.packet)
     }
 
@@ -129,22 +130,32 @@ impl StaticMultiQueue {
         self.stats.reset();
     }
 
-    pub(crate) fn check_invariants(&self) {
+    pub(crate) fn audit(&self) -> Result<(), AuditError> {
         for (i, q) in self.queues.iter().enumerate() {
             let sum: usize = q.iter().map(|e| e.slots).sum();
-            assert_eq!(sum, self.queue_used[i], "queue {i} used count out of sync");
-            assert!(
+            audit_ensure!(
+                sum == self.queue_used[i],
+                "register-sync",
+                "queue {i}: used-slot register says {} but entries sum to {sum}",
+                self.queue_used[i]
+            );
+            audit_ensure!(
                 self.queue_used[i] <= self.per_queue_capacity,
-                "queue {i} over its static partition"
+                "capacity-bound",
+                "queue {i} holds {} of its {} statically-partitioned slots",
+                self.queue_used[i],
+                self.per_queue_capacity
             );
             for e in q {
-                assert_eq!(
-                    e.slots,
-                    e.packet.slots_needed(self.config.slot_size()),
-                    "stored slot count mismatch"
+                audit_ensure!(
+                    e.slots == e.packet.slots_needed(self.config.slot_size()),
+                    "queue-shape",
+                    "queue {i}: entry slot count {} disagrees with its packet length",
+                    e.slots
                 );
             }
         }
+        Ok(())
     }
 }
 
@@ -209,8 +220,8 @@ macro_rules! impl_static_switch_buffer {
                 self.inner.reset_stats()
             }
 
-            fn check_invariants(&self) {
-                self.inner.check_invariants()
+            fn audit(&self) -> Result<(), crate::audit::AuditError> {
+                self.inner.audit()
             }
         }
     };

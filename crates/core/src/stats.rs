@@ -117,7 +117,10 @@ impl fmt::Display for BufferStats {
         write!(
             f,
             "accepted {} / rejected {} / forwarded {} (peak {} slots)",
-            self.packets_accepted, self.packets_rejected, self.packets_forwarded, self.peak_used_slots
+            self.packets_accepted,
+            self.packets_rejected,
+            self.packets_forwarded,
+            self.peak_used_slots
         )
     }
 }

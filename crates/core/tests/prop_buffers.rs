@@ -1,5 +1,5 @@
 //! Randomized property tests over arbitrary operation sequences on all
-//! four buffer designs.
+//! five buffer designs, with a full structural audit after every op.
 //!
 //! Formerly written against `proptest`; now driven by the workspace's own
 //! deterministic generator (the registry is unreachable offline), which
@@ -54,7 +54,7 @@ fn random_ops_preserve_invariants() {
         let count = rng.random_range(1..200usize);
         let ops = random_ops(&mut rng, 4, count);
         let capacity = rng.random_range(1..=16usize);
-        for kind in BufferKind::ALL {
+        for kind in BufferKind::EXTENDED {
             let capacity = if kind.is_statically_allocated() {
                 capacity.div_ceil(4) * 4 // round up to divisible
             } else {
@@ -72,7 +72,11 @@ fn random_ops_preserve_invariants() {
                         let _ = buf.dequeue(OutputPort::new(output));
                     }
                 }
-                buf.check_invariants();
+                // The full structural audit (not just the panic bridge), so
+                // the violated invariant is named in the failure message.
+                if let Err(e) = buf.audit() {
+                    panic!("{kind} audit after op, seed {seed}: {e}");
+                }
                 assert!(
                     buf.used_slots() <= buf.capacity_slots(),
                     "{kind} seed {seed}"
@@ -96,7 +100,7 @@ fn can_accept_is_accurate() {
         let count = rng.random_range(1..150usize);
         let ops = random_ops(&mut rng, 4, count);
         let capacity = rng.random_range(1..=12usize);
-        for kind in BufferKind::ALL {
+        for kind in BufferKind::EXTENDED {
             let capacity = if kind.is_statically_allocated() {
                 capacity.div_ceil(4) * 4
             } else {
@@ -131,7 +135,7 @@ fn fifo_order_per_queue() {
         let mut rng = StdRng::seed_from_u64(2_000 + seed);
         let count = rng.random_range(1..150usize);
         let ops = random_ops(&mut rng, 3, count);
-        for kind in BufferKind::ALL {
+        for kind in BufferKind::EXTENDED {
             let mut buf = BufferConfig::new(3, 12).build(kind).unwrap();
             let mut serial = 0u64;
             let mut expected: Vec<std::collections::VecDeque<u64>> = vec![Default::default(); 3];
@@ -177,10 +181,8 @@ fn damq_shares_all_storage() {
             .map(|_| (rng.random_range(0..4usize), rng.random_range(1..=32usize)))
             .collect();
         let mut buf = BufferConfig::new(4, 12).build(BufferKind::Damq).unwrap();
-        let mut serial = 0;
-        for (output, length) in fills {
-            let p = packet(serial, length);
-            serial += 1;
+        for (serial, (output, length)) in fills.into_iter().enumerate() {
+            let p = packet(serial as u64, length);
             let need = p.slots_needed(buf.slot_bytes());
             let fits = need <= buf.free_slots();
             let accepted = buf.try_enqueue(OutputPort::new(output), p).is_ok();
@@ -217,7 +219,10 @@ fn static_designs_respect_partitions() {
                     }
                 }
                 for (q, &used) in per_queue_slots.iter().enumerate() {
-                    assert!(used <= 2, "{kind} queue {q} used {used} of 2 slots, seed {seed}");
+                    assert!(
+                        used <= 2,
+                        "{kind} queue {q} used {used} of 2 slots, seed {seed}"
+                    );
                 }
             }
         }

@@ -146,7 +146,7 @@ pub fn discard_probability(
     order: CycleOrder,
     options: SolveOptions,
 ) -> Result<DiscardPoint, AnalysisError> {
-    if kind.is_statically_allocated() && capacity % 2 != 0 {
+    if kind.is_statically_allocated() && !capacity.is_multiple_of(2) {
         return Err(AnalysisError::OddStaticCapacity { kind, capacity });
     }
     match kind {

@@ -23,7 +23,7 @@ impl SafcModel {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         assert!(
-            capacity % 2 == 0,
+            capacity.is_multiple_of(2),
             "statically-allocated 2x2 buffers need an even capacity, got {capacity}"
         );
         let per_queue = u8::try_from(capacity / 2).expect("capacity fits");

@@ -216,7 +216,11 @@ pub fn steady_state_gauss_seidel(
                 .map(|&(i, v)| pi[i as usize] * v)
                 .sum();
             let denom = 1.0 - self_loop[j];
-            let updated = if denom > 1e-15 { incoming / denom } else { pi[j] };
+            let updated = if denom > 1e-15 {
+                incoming / denom
+            } else {
+                pi[j]
+            };
             diff += (updated - pi[j]).abs();
             pi[j] = updated;
         }
@@ -382,7 +386,10 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, SolveError::NotConverged { iterations: 3, .. }));
+        assert!(matches!(
+            err,
+            SolveError::NotConverged { iterations: 3, .. }
+        ));
     }
 
     #[test]

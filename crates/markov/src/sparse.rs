@@ -116,7 +116,9 @@ impl CsrMatrix {
     /// Sum of each row's stored values (should be 1.0 for a stochastic
     /// matrix).
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.rows).map(|i| self.row(i).map(|(_, v)| v).sum()).collect()
+        (0..self.rows)
+            .map(|i| self.row(i).map(|(_, v)| v).sum())
+            .collect()
     }
 
     /// Converts to compressed-sparse-column form: for each column `j`, the
@@ -159,7 +161,13 @@ impl CsrMatrix {
 
 impl fmt::Display for CsrMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{} sparse matrix, {} nonzeros", self.rows, self.cols, self.nnz())
+        write!(
+            f,
+            "{}x{} sparse matrix, {} nonzeros",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
     }
 }
 
@@ -186,11 +194,8 @@ mod tests {
     #[test]
     fn left_multiply_matches_hand_computation() {
         // P = [[0.9, 0.1], [0.4, 0.6]]
-        let m = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 0.9), (0, 1, 0.1), (1, 0, 0.4), (1, 1, 0.6)],
-        );
+        let m =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 0.9), (0, 1, 0.1), (1, 0, 0.4), (1, 1, 0.6)]);
         let out = m.left_multiply(&[0.5, 0.5]);
         assert!((out[0] - 0.65).abs() < 1e-15);
         assert!((out[1] - 0.35).abs() < 1e-15);
@@ -212,11 +217,7 @@ mod tests {
 
     #[test]
     fn to_columns_transposes_correctly() {
-        let m = CsrMatrix::from_triplets(
-            2,
-            3,
-            &[(0, 0, 0.5), (0, 2, 0.5), (1, 0, 1.0)],
-        );
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 0.5), (0, 2, 0.5), (1, 0, 1.0)]);
         let cols = m.to_columns();
         assert_eq!(cols[0], vec![(0, 0.5), (1, 1.0)]);
         assert!(cols[1].is_empty());

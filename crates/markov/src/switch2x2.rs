@@ -122,8 +122,7 @@ impl<M: BufferModel2x2> MarkovModel for Switch2x2<M> {
                 if prob == 0.0 {
                     continue;
                 }
-                let arrivals =
-                    a0.map_or(0.0, |_| 1.0) + a1.map_or(0.0, |_| 1.0);
+                let arrivals = a0.map_or(0.0, |_| 1.0) + a1.map_or(0.0, |_| 1.0);
                 match self.order {
                     CycleOrder::ArrivalsFirst => {
                         let mut st = state.clone();
@@ -190,10 +189,7 @@ pub(crate) fn single_read_port_moves(counts: &Counts) -> Vec<(Vec<(usize, usize)
     let straight = counts[0][0] > 0 && counts[1][1] > 0;
     let crossed = counts[0][1] > 0 && counts[1][0] > 0;
     match (straight, crossed) {
-        (true, true) => vec![
-            (vec![(0, 0), (1, 1)], 0.5),
-            (vec![(0, 1), (1, 0)], 0.5),
-        ],
+        (true, true) => vec![(vec![(0, 0), (1, 1)], 0.5), (vec![(0, 1), (1, 0)], 0.5)],
         (true, false) => vec![(vec![(0, 0), (1, 1)], 1.0)],
         (false, true) => vec![(vec![(0, 1), (1, 0)], 1.0)],
         (false, false) => {
@@ -201,9 +197,8 @@ pub(crate) fn single_read_port_moves(counts: &Counts) -> Vec<(Vec<(usize, usize)
             // breaking ties uniformly.
             let mut best = 0;
             let mut candidates: Vec<(usize, usize)> = Vec::new();
-            for input in 0..2 {
-                for output in 0..2 {
-                    let c = counts[input][output];
+            for (input, row) in counts.iter().enumerate() {
+                for (output, &c) in row.iter().enumerate() {
                     if c == 0 {
                         continue;
                     }

@@ -78,7 +78,7 @@ impl SwitchKxK {
         );
         assert!(capacity > 0 && capacity <= 255, "capacity out of range");
         assert!((0.0..=1.0).contains(&traffic), "traffic is a probability");
-        if kind.is_statically_allocated() && capacity % radix != 0 {
+        if kind.is_statically_allocated() && !capacity.is_multiple_of(radix) {
             return Err(AnalysisError::OddStaticCapacity { kind, capacity });
         }
         Ok(SwitchKxK {
@@ -150,9 +150,7 @@ impl SwitchKxK {
                     // max_by on (count, Reverse(idx)) done manually.
                     let better = match best {
                         None => true,
-                        Some((bc, bi, bo)) => {
-                            c > bc || (c == bc && (input, output) < (bi, bo))
-                        }
+                        Some((bc, bi, bo)) => c > bc || (c == bc && (input, output) < (bi, bo)),
                     };
                     if better {
                         best = Some((c, input, output));
@@ -319,9 +317,7 @@ pub fn discard_probability_kxk(
         .pi
         .iter()
         .enumerate()
-        .map(|(i, p)| {
-            p * chain.state(i).iter().map(|&c| f64::from(c)).sum::<f64>()
-        })
+        .map(|(i, p)| p * chain.state(i).iter().map(|&c| f64::from(c)).sum::<f64>())
         .sum();
     let mean_wait_cycles = if reward.departures > 0.0 {
         mean_occupancy / reward.departures
@@ -394,7 +390,13 @@ mod tests {
         for kind in [BufferKind::Damq, BufferKind::Samq] {
             let traffic = 0.8;
             let p = discard_probability_kxk(
-                kind, 3, 3, traffic, CycleOrder::ArrivalsFirst, SolveOptions::default())
+                kind,
+                3,
+                3,
+                traffic,
+                CycleOrder::ArrivalsFirst,
+                SolveOptions::default(),
+            )
             .unwrap();
             let arrivals = 3.0 * traffic;
             let lost = arrivals * p.discard_probability;
@@ -410,10 +412,22 @@ mod tests {
     fn damq_dominates_at_radix_3() {
         let traffic = 0.9;
         let damq = discard_probability_kxk(
-            BufferKind::Damq, 3, 3, traffic, CycleOrder::ArrivalsFirst, SolveOptions::default())
+            BufferKind::Damq,
+            3,
+            3,
+            traffic,
+            CycleOrder::ArrivalsFirst,
+            SolveOptions::default(),
+        )
         .unwrap();
         let samq = discard_probability_kxk(
-            BufferKind::Samq, 3, 3, traffic, CycleOrder::ArrivalsFirst, SolveOptions::default())
+            BufferKind::Samq,
+            3,
+            3,
+            traffic,
+            CycleOrder::ArrivalsFirst,
+            SolveOptions::default(),
+        )
         .unwrap();
         assert!(damq.discard_probability < samq.discard_probability);
     }
@@ -437,14 +451,13 @@ mod tests {
     fn greedy_matching_is_maximal_on_small_cases() {
         // No (input, output) pair with packets remains grantable after the
         // greedy pass: the matching is maximal (not necessarily maximum).
-        let model =
-            SwitchKxK::new(BufferKind::Damq, 3, 3, 0.5, CycleOrder::ArrivalsFirst).unwrap();
+        let model = SwitchKxK::new(BufferKind::Damq, 3, 3, 0.5, CycleOrder::ArrivalsFirst).unwrap();
         let mut state: KState = [0; 16];
         state[..9].copy_from_slice(&[1, 0, 0, 1, 1, 0, 0, 0, 1]);
         let grants = model.departures(&state);
         let mut rem = state;
-        let mut outputs = vec![false; 3];
-        let mut inputs = vec![false; 3];
+        let mut outputs = [false; 3];
+        let mut inputs = [false; 3];
         for &(i, o) in &grants {
             rem[i * 3 + o] -= 1;
             outputs[o] = true;
@@ -464,10 +477,8 @@ mod tests {
     fn fully_connected_designs_send_more() {
         // One input holding packets for all outputs: DAFC drains radix per
         // cycle, DAMQ one.
-        let dafc =
-            SwitchKxK::new(BufferKind::Dafc, 3, 3, 0.5, CycleOrder::ArrivalsFirst).unwrap();
-        let damq =
-            SwitchKxK::new(BufferKind::Damq, 3, 3, 0.5, CycleOrder::ArrivalsFirst).unwrap();
+        let dafc = SwitchKxK::new(BufferKind::Dafc, 3, 3, 0.5, CycleOrder::ArrivalsFirst).unwrap();
+        let damq = SwitchKxK::new(BufferKind::Damq, 3, 3, 0.5, CycleOrder::ArrivalsFirst).unwrap();
         let mut state: KState = [0; 16];
         state[..9].copy_from_slice(&[1, 1, 1, 0, 0, 0, 0, 0, 0]);
         assert_eq!(dafc.departures(&state).len(), 3);

@@ -34,7 +34,11 @@ fn steady_state_is_a_fixed_point() {
         let order = order(&mut rng);
         let cap = rng.random_range(1..=4usize);
         let traffic = rng.random_range(0.05..0.99f64);
-        let cap = if kind.is_statically_allocated() { cap * 2 } else { cap };
+        let cap = if kind.is_statically_allocated() {
+            cap * 2
+        } else {
+            cap
+        };
         let point = discard_probability(kind, cap, traffic, order, SolveOptions::default());
         let point = point.unwrap();
         assert!(point.discard_probability >= 0.0, "seed {seed}");
@@ -54,7 +58,11 @@ fn flow_conservation() {
         let order = order(&mut rng);
         let cap = rng.random_range(1..=3usize);
         let traffic = rng.random_range(0.05..0.99f64);
-        let cap = if kind.is_statically_allocated() { cap * 2 } else { cap };
+        let cap = if kind.is_statically_allocated() {
+            cap * 2
+        } else {
+            cap
+        };
         let p = discard_probability(kind, cap, traffic, order, SolveOptions::default()).unwrap();
         let arrivals = 2.0 * traffic;
         let lost = arrivals * p.discard_probability;
@@ -79,7 +87,11 @@ fn discards_monotone_in_traffic() {
         let cap = rng.random_range(1..=3usize);
         let t_low = rng.random_range(0.1..0.5f64);
         let bump = rng.random_range(0.05..0.45f64);
-        let cap = if kind.is_statically_allocated() { cap * 2 } else { cap };
+        let cap = if kind.is_statically_allocated() {
+            cap * 2
+        } else {
+            cap
+        };
         let lo = discard_probability(kind, cap, t_low, order, SolveOptions::default()).unwrap();
         let hi =
             discard_probability(kind, cap, t_low + bump, order, SolveOptions::default()).unwrap();
@@ -160,12 +172,22 @@ fn samq_never_beats_damq() {
         let cap = rng.random_range(1..=3usize);
         let traffic = rng.random_range(0.1..0.99f64);
         let order = order(&mut rng);
-        let damq =
-            discard_probability(BufferKind::Damq, 2 * cap, traffic, order, SolveOptions::default())
-                .unwrap();
-        let samq =
-            discard_probability(BufferKind::Samq, 2 * cap, traffic, order, SolveOptions::default())
-                .unwrap();
+        let damq = discard_probability(
+            BufferKind::Damq,
+            2 * cap,
+            traffic,
+            order,
+            SolveOptions::default(),
+        )
+        .unwrap();
+        let samq = discard_probability(
+            BufferKind::Samq,
+            2 * cap,
+            traffic,
+            order,
+            SolveOptions::default(),
+        )
+        .unwrap();
         assert!(
             damq.discard_probability <= samq.discard_probability + 1e-7,
             "seed {seed}"

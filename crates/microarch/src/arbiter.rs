@@ -54,8 +54,8 @@ impl CentralArbiter {
                 continue;
             }
             // Connect this buffer to the first idle output it has data for.
-            for output in 0..self.ports {
-                if output_idle[output]
+            for (output, &idle) in output_idle.iter().enumerate().take(self.ports) {
+                if idle
                     && !grants.iter().any(|g: &Grant| g.output == output)
                     && has_data(input, output)
                 {
@@ -99,7 +99,13 @@ mod tests {
         let mut arb = CentralArbiter::new(2);
         let mut free = vec![false, true];
         let grants = arb.arbitrate(&[false, true], &mut free, |_, _| true);
-        assert_eq!(grants, vec![Grant { input: 1, output: 1 }]);
+        assert_eq!(
+            grants,
+            vec![Grant {
+                input: 1,
+                output: 1
+            }]
+        );
     }
 
     #[test]

@@ -277,9 +277,11 @@ impl Chip {
             .map(|o| self.transmitters[o].is_idle() && self.downstream_ready[o])
             .collect();
         let buffers = &self.buffers;
-        let grants = self.arbiter.arbitrate(&output_idle, &mut self.input_bus_free, |i, o| {
-            buffers[i].queue_packets(o) > 0 && !buffers[i].transmitting(o)
-        });
+        let grants = self
+            .arbiter
+            .arbitrate(&output_idle, &mut self.input_bus_free, |i, o| {
+                buffers[i].queue_packets(o) > 0 && !buffers[i].transmitting(o)
+            });
         for grant in grants {
             let header = self.buffers[grant.input]
                 .begin_transmit(grant.output)
@@ -329,9 +331,8 @@ impl Chip {
             let receiving = self.receivers.iter().any(|r| !r.is_idle());
             let transmitting = self.transmitters.iter().any(|t| !t.is_idle());
             let queued = (0..self.config.ports()).any(|i| {
-                (0..self.config.ports()).any(|o| {
-                    self.buffers[i].queue_packets(o) > 0 && self.downstream_ready[o]
-                })
+                (0..self.config.ports())
+                    .any(|o| self.buffers[i].queue_packets(o) > 0 && self.downstream_ready[o])
             });
             if !stimulus_pending && !receiving && !transmitting && !queued {
                 return self.cycle;
@@ -342,6 +343,18 @@ impl Chip {
             );
             self.tick();
         }
+    }
+
+    /// Verifies every buffer's linked-list invariants without panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn audit(&self) -> Result<(), damq_core::AuditError> {
+        for buffer in &self.buffers {
+            buffer.audit()?;
+        }
+        Ok(())
     }
 
     /// Verifies every buffer's linked-list invariants.
@@ -419,9 +432,15 @@ mod tests {
             at(|e| matches!(e, ChipEvent::HeaderReleased)),
             (2, Phase::Zero)
         );
-        assert_eq!(at(|e| matches!(e, ChipEvent::Routed { .. })), (2, Phase::One));
+        assert_eq!(
+            at(|e| matches!(e, ChipEvent::Routed { .. })),
+            (2, Phase::One)
+        );
         // Cycle 3 phase 1: arbitration latched, length latched.
-        assert_eq!(at(|e| matches!(e, ChipEvent::Granted { .. })), (3, Phase::One));
+        assert_eq!(
+            at(|e| matches!(e, ChipEvent::Granted { .. })),
+            (3, Phase::One)
+        );
         assert_eq!(
             at(|e| matches!(e, ChipEvent::LengthLatched)),
             (3, Phase::One)
@@ -431,7 +450,10 @@ mod tests {
             at(|e| matches!(e, ChipEvent::ByteWritten { .. })),
             (4, Phase::Zero)
         );
-        assert_eq!(at(|e| matches!(e, ChipEvent::StartBitSent)), (4, Phase::Zero));
+        assert_eq!(
+            at(|e| matches!(e, ChipEvent::StartBitSent)),
+            (4, Phase::Zero)
+        );
         // Cycle 5 phase 0: header byte on the downstream link.
         assert_eq!(at(|e| matches!(e, ChipEvent::HeaderSent)), (5, Phase::Zero));
         // Cycle 6 phase 0: length byte on the downstream link.
@@ -559,7 +581,14 @@ mod tests {
     fn route_turning_back_is_rejected_at_programming_time() {
         let mut chip = chip();
         let err = chip
-            .program_route(1, 0x00, RouteEntry { output: 1, new_header: 0 })
+            .program_route(
+                1,
+                0x00,
+                RouteEntry {
+                    output: 1,
+                    new_header: 0,
+                },
+            )
             .unwrap_err();
         assert_eq!(err, MicroarchError::RouteTurnsBack { port: 1 });
     }

@@ -144,7 +144,11 @@ impl OutputLog {
         let mut i = 0;
         while i < self.events.len() {
             let (start_cycle, sym) = self.events[i];
-            assert_eq!(sym, LinkSymbol::StartBit, "packet must begin with start bit");
+            assert_eq!(
+                sym,
+                LinkSymbol::StartBit,
+                "packet must begin with start bit"
+            );
             let header = match self.events.get(i + 1) {
                 Some(&(c, LinkSymbol::Byte(h))) if c == start_cycle + 1 => h,
                 None => break, // header still in flight

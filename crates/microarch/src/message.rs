@@ -44,10 +44,7 @@ pub fn segment_message(message: &[u8]) -> Vec<Vec<u8>> {
     let mut framed = Vec::with_capacity(message.len() + 2);
     framed.extend_from_slice(&(message.len() as u16).to_le_bytes());
     framed.extend_from_slice(message);
-    framed
-        .chunks(MAX_PACKET_DATA)
-        .map(<[u8]>::to_vec)
-        .collect()
+    framed.chunks(MAX_PACKET_DATA).map(<[u8]>::to_vec).collect()
 }
 
 /// Reassembles messages from an in-order packet stream (one virtual

@@ -65,9 +65,7 @@ impl Receiver {
         trace: &mut Trace,
     ) {
         // The synchronizer releases last cycle's wire symbol at phase 0.
-        let released = cycle
-            .checked_sub(1)
-            .and_then(|prev| wire.symbol_at(prev));
+        let released = cycle.checked_sub(1).and_then(|prev| wire.symbol_at(prev));
         match (self.state, released) {
             (RxState::Arming, Some(LinkSymbol::Byte(header))) => {
                 trace.record(cycle, Phase::Zero, self.port, ChipEvent::HeaderReleased);
@@ -129,9 +127,7 @@ impl Receiver {
                 self.state = if length == 0 {
                     RxState::Idle
                 } else {
-                    RxState::Dropping {
-                        left: Some(length),
-                    }
+                    RxState::Dropping { left: Some(length) }
                 };
             }
             (RxState::Dropping { left: Some(n) }, Some(LinkSymbol::Byte(_))) => {
@@ -280,9 +276,7 @@ impl Transmitter {
         log: &mut OutputLog,
         trace: &mut Trace,
     ) -> Option<usize> {
-        let Some(active) = self.active.as_mut() else {
-            return None;
-        };
+        let active = self.active.as_mut()?;
         if let Some((symbol, kind)) = active.latch.take() {
             log.record(cycle, symbol);
             let event = match kind {

@@ -85,10 +85,20 @@ mod tests {
     #[test]
     fn set_and_lookup() {
         let mut t = RoutingTable::new(5);
-        t.set(7, RouteEntry { output: 4, new_header: 8 }).unwrap();
+        t.set(
+            7,
+            RouteEntry {
+                output: 4,
+                new_header: 8,
+            },
+        )
+        .unwrap();
         assert_eq!(
             t.lookup(7).unwrap(),
-            RouteEntry { output: 4, new_header: 8 }
+            RouteEntry {
+                output: 4,
+                new_header: 8
+            }
         );
         assert_eq!(t.programmed(), 1);
     }
@@ -102,6 +112,14 @@ mod tests {
     #[test]
     fn out_of_range_output_rejected() {
         let mut t = RoutingTable::new(2);
-        assert!(t.set(0, RouteEntry { output: 2, new_header: 0 }).is_err());
+        assert!(t
+            .set(
+                0,
+                RouteEntry {
+                    output: 2,
+                    new_header: 0
+                }
+            )
+            .is_err());
     }
 }

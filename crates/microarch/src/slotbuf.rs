@@ -18,6 +18,8 @@
 
 use std::fmt;
 
+use damq_core::AuditError;
+
 use crate::error::MicroarchError;
 
 /// Bytes per slot (the chip's choice; see the slot-size trade-off
@@ -300,7 +302,10 @@ impl LinkedSlotBuffer {
             return None;
         }
         let slot = self.queues[output].head.expect("packets imply a head slot");
-        debug_assert!(self.is_head[slot as usize], "queue head must start a packet");
+        debug_assert!(
+            self.is_head[slot as usize],
+            "queue head must start a packet"
+        );
         self.reads[output] = Some(ReadCursor {
             slot,
             offset: 0,
@@ -443,33 +448,69 @@ impl LinkedSlotBuffer {
         Some(head)
     }
 
-    /// Verifies the linked-list invariants: every slot on exactly one list,
-    /// no cycles, counters consistent.
+    /// Verifies the linked-list invariants without panicking: every slot on
+    /// exactly one list, no cycles, counters consistent with the links.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a description on violation.
-    pub fn check_invariants(&self) {
+    /// Returns the first violated invariant as an [`AuditError`].
+    pub fn audit(&self) -> Result<(), AuditError> {
         let mut seen = vec![false; self.capacity()];
-        let walk = |regs: &ListRegs, label: &str, seen: &mut Vec<bool>| {
+        let mut walk = |regs: &ListRegs, label: &str| -> Result<(), AuditError> {
             let mut count = 0;
             let mut cur = regs.head;
             let mut last = None;
             while let Some(s) = cur {
-                assert!(!seen[s as usize], "{label}: slot {s} on two lists");
+                if seen[s as usize] {
+                    return Err(AuditError::new(
+                        "list-partition",
+                        format!("{label}: slot {s} on two lists or in a cycle"),
+                    ));
+                }
                 seen[s as usize] = true;
                 count += 1;
                 last = Some(s);
                 cur = self.next[s as usize];
             }
-            assert_eq!(count, regs.slots, "{label}: slot counter mismatch");
-            assert_eq!(last, regs.tail, "{label}: tail register mismatch");
+            if count != regs.slots {
+                return Err(AuditError::new(
+                    "register-sync",
+                    format!(
+                        "{label}: slot counter says {} but the links hold {count}",
+                        regs.slots
+                    ),
+                ));
+            }
+            if last != regs.tail {
+                return Err(AuditError::new(
+                    "register-sync",
+                    format!("{label}: tail register disagrees with the last linked slot"),
+                ));
+            }
+            Ok(())
         };
-        walk(&self.free, "free list", &mut seen);
+        walk(&self.free, "free list")?;
         for (q, regs) in self.queues.iter().enumerate() {
-            walk(regs, &format!("queue {q}"), &mut seen);
+            walk(regs, &format!("queue {q}"))?;
         }
-        assert!(seen.iter().all(|&s| s), "leaked slot (on no list)");
+        if let Some(slot) = seen.iter().position(|&s| !s) {
+            return Err(AuditError::new(
+                "list-partition",
+                format!("slot {slot} is on no list (leaked slot)"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Assert-style wrapper over [`LinkedSlotBuffer::audit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description on violation.
+    pub fn check_invariants(&self) {
+        if let Err(e) = self.audit() {
+            panic!("slot buffer {e}");
+        }
     }
 }
 

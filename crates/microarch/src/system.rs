@@ -180,7 +180,9 @@ impl System {
         to_port: usize,
     ) -> Result<(), MicroarchError> {
         if from_port == PROCESSOR_PORT || to_port == PROCESSOR_PORT {
-            return Err(MicroarchError::RouteTurnsBack { port: PROCESSOR_PORT });
+            return Err(MicroarchError::RouteTurnsBack {
+                port: PROCESSOR_PORT,
+            });
         }
         assert!(from.0 < self.chips.len() && to.0 < self.chips.len());
         assert!(from_port < self.chips[from.0].config().ports());
@@ -275,9 +277,9 @@ impl System {
                 continue; // buffer too full; retry next cycle
             }
             let data = host.segments.pop_front().expect("segments checked");
-            let wire_end = chip
-                .input_wire_mut(PROCESSOR_PORT)
-                .drive_packet(cycle, host.header, &data);
+            let wire_end =
+                chip.input_wire_mut(PROCESSOR_PORT)
+                    .drive_packet(cycle, host.header, &data);
             // +6: synchronizer + routing pipeline, so the packet's slots
             // are fully claimed before the next ready() check.
             host.next_free_cycle = wire_end + 6;
@@ -291,7 +293,10 @@ impl System {
         // Propagate link symbols: what an output drove during `cycle`
         // arrives at the connected input during `cycle + 1`.
         for w in &self.wires {
-            if let Some(sym) = self.chips[w.from_chip].output_log(w.from_port).at_cycle(cycle) {
+            if let Some(sym) = self.chips[w.from_chip]
+                .output_log(w.from_port)
+                .at_cycle(cycle)
+            {
                 self.chips[w.to_chip]
                     .input_wire_mut(w.to_port)
                     .drive(cycle + 1, sym);
@@ -309,6 +314,10 @@ impl System {
         }
 
         self.cycle += 1;
+        #[cfg(feature = "strict-audit")]
+        if let Err(e) = self.audit() {
+            panic!("strict-audit at cycle {}: {e}", self.cycle);
+        }
     }
 
     /// Runs until no work remains (all outboxes empty, chips quiescent) or
@@ -336,9 +345,8 @@ impl System {
                 })
             });
             let buffers_empty = self.chips.iter().all(|c| {
-                (0..c.config().ports()).all(|i| {
-                    (0..c.config().ports()).all(|o| c.buffer(i).queue_packets(o) == 0)
-                })
+                (0..c.config().ports())
+                    .all(|i| (0..c.config().ports()).all(|o| c.buffer(i).queue_packets(o) == 0))
             });
             if hosts_done && wires_idle && buffers_empty {
                 return self.cycle;
@@ -348,6 +356,18 @@ impl System {
                 "system still busy at cycle {max_cycle}"
             );
         }
+    }
+
+    /// Verifies every chip's buffer invariants without panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn audit(&self) -> Result<(), damq_core::AuditError> {
+        for chip in &self.chips {
+            chip.audit()?;
+        }
+        Ok(())
     }
 
     /// Checks every chip's buffer invariants.
@@ -371,7 +391,9 @@ mod tests {
     /// port 1 westward, with the paired wiring of the ComCoBB.
     fn chain(n: usize) -> (System, Vec<NodeIndex>) {
         let mut sys = System::new();
-        let nodes: Vec<NodeIndex> = (0..n).map(|_| sys.add_node(ChipConfig::comcobb())).collect();
+        let nodes: Vec<NodeIndex> = (0..n)
+            .map(|_| sys.add_node(ChipConfig::comcobb()))
+            .collect();
         for i in 0..n - 1 {
             sys.connect(nodes[i], 0, nodes[i + 1], 1).unwrap();
             sys.connect(nodes[i + 1], 1, nodes[i], 0).unwrap();
@@ -453,14 +475,20 @@ mod tests {
             nodes[1],
             PROCESSOR_PORT,
             0x44,
-            RouteEntry { output: 1, new_header: 0x44 },
+            RouteEntry {
+                output: 1,
+                new_header: 0x44,
+            },
         )
         .unwrap();
         sys.program_route(
             nodes[0],
             0,
             0x44,
-            RouteEntry { output: PROCESSOR_PORT, new_header: 0x44 },
+            RouteEntry {
+                output: PROCESSOR_PORT,
+                new_header: 0x44,
+            },
         )
         .unwrap();
         sys.host_send(nodes[0], 0x11, b"eastbound".to_vec());
@@ -481,16 +509,30 @@ mod tests {
             nodes[1],
             PROCESSOR_PORT,
             0x66,
-            RouteEntry { output: 0, new_header: 0x66 },
+            RouteEntry {
+                output: 0,
+                new_header: 0x66,
+            },
         )
         .unwrap();
-        sys.program_route(nodes[2], 1, 0x66, RouteEntry { output: 0, new_header: 0x66 })
-            .unwrap();
+        sys.program_route(
+            nodes[2],
+            1,
+            0x66,
+            RouteEntry {
+                output: 0,
+                new_header: 0x66,
+            },
+        )
+        .unwrap();
         sys.program_route(
             nodes[3],
             1,
             0x66,
-            RouteEntry { output: PROCESSOR_PORT, new_header: 0x66 },
+            RouteEntry {
+                output: PROCESSOR_PORT,
+                new_header: 0x66,
+            },
         )
         .unwrap();
         sys.host_send(nodes[0], 0x55, vec![0xAA; 90]);

@@ -177,7 +177,15 @@ mod tests {
     fn records_and_queries() {
         let mut t = Trace::new();
         t.record(0, Phase::Zero, 1, ChipEvent::StartBitDetected);
-        t.record(2, Phase::One, 1, ChipEvent::Routed { output: 3, new_header: 9 });
+        t.record(
+            2,
+            Phase::One,
+            1,
+            ChipEvent::Routed {
+                output: 3,
+                new_header: 9,
+            },
+        );
         assert_eq!(t.events().len(), 2);
         let routed = t
             .first(|e| matches!(e.event, ChipEvent::Routed { .. }))

@@ -20,7 +20,9 @@ const CCW: usize = 1;
 
 fn ring() -> (System, Vec<damq_microarch::NodeIndex>) {
     let mut sys = System::new();
-    let nodes: Vec<_> = (0..4).map(|_| sys.add_node(ChipConfig::comcobb())).collect();
+    let nodes: Vec<_> = (0..4)
+        .map(|_| sys.add_node(ChipConfig::comcobb()))
+        .collect();
     for i in 0..4 {
         let next = (i + 1) % 4;
         sys.connect(nodes[i], CW, nodes[next], CCW).unwrap();
@@ -36,20 +38,35 @@ fn all_clockwise_circuits_deadlock_without_losing_packets() {
         let header = 0x80 + i as u8;
         let hop1 = (i + 1) % 4;
         let hop2 = (i + 2) % 4;
-        sys.program_route(nodes[i], PROCESSOR_PORT, header, RouteEntry {
-            output: CW,
-            new_header: header,
-        })
+        sys.program_route(
+            nodes[i],
+            PROCESSOR_PORT,
+            header,
+            RouteEntry {
+                output: CW,
+                new_header: header,
+            },
+        )
         .unwrap();
-        sys.program_route(nodes[hop1], CCW, header, RouteEntry {
-            output: CW,
-            new_header: header,
-        })
+        sys.program_route(
+            nodes[hop1],
+            CCW,
+            header,
+            RouteEntry {
+                output: CW,
+                new_header: header,
+            },
+        )
         .unwrap();
-        sys.program_route(nodes[hop2], CCW, header, RouteEntry {
-            output: PROCESSOR_PORT,
-            new_header: header,
-        })
+        sys.program_route(
+            nodes[hop2],
+            CCW,
+            header,
+            RouteEntry {
+                output: PROCESSOR_PORT,
+                new_header: header,
+            },
+        )
         .unwrap();
     }
     // 100-byte messages segment into four packets (13 slots) — more than
@@ -100,20 +117,35 @@ fn direction_split_circuits_drain_completely() {
         let (out, inp) = if i < 2 { (CW, CCW) } else { (CCW, CW) };
         let hop1 = if i < 2 { (i + 1) % 4 } else { (i + 3) % 4 };
         let dest = (i + 2) % 4;
-        sys.program_route(nodes[i], PROCESSOR_PORT, header, RouteEntry {
-            output: out,
-            new_header: header,
-        })
+        sys.program_route(
+            nodes[i],
+            PROCESSOR_PORT,
+            header,
+            RouteEntry {
+                output: out,
+                new_header: header,
+            },
+        )
         .unwrap();
-        sys.program_route(nodes[hop1], inp, header, RouteEntry {
-            output: out,
-            new_header: header,
-        })
+        sys.program_route(
+            nodes[hop1],
+            inp,
+            header,
+            RouteEntry {
+                output: out,
+                new_header: header,
+            },
+        )
         .unwrap();
-        sys.program_route(nodes[dest], inp, header, RouteEntry {
-            output: PROCESSOR_PORT,
-            new_header: header,
-        })
+        sys.program_route(
+            nodes[dest],
+            inp,
+            header,
+            RouteEntry {
+                output: PROCESSOR_PORT,
+                new_header: header,
+            },
+        )
         .unwrap();
     }
     let messages: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 100]).collect();

@@ -197,7 +197,7 @@ mod tests {
     fn inter_stage_wiring_is_a_permutation() {
         let topo = ButterflyTopology::new(64, 4).unwrap();
         for stage in 0..2 {
-            let mut seen = vec![false; 64];
+            let mut seen = [false; 64];
             for sw in 0..16 {
                 for o in 0..4 {
                     let (nsw, np) = topo.next_hop(stage, sw, OutputPort::new(o));

@@ -33,7 +33,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod butterfly;
 mod metrics;
@@ -44,10 +44,10 @@ pub mod theory;
 mod topology;
 mod traffic;
 
+pub use butterfly::ButterflyTopology;
 pub use metrics::{Accumulator, Histogram, NetMetrics, CLOCKS_PER_CYCLE};
 pub use network::{ArrivalProcess, NetworkConfig, NetworkError, NetworkSim, PacketLengths};
 pub use runner::{measure, Measurement};
 pub use saturation::{find_saturation, SaturationOptions, SaturationResult};
-pub use butterfly::ButterflyTopology;
 pub use topology::{OmegaTopology, Topology, TopologyError, TopologyKind};
 pub use traffic::TrafficPattern;

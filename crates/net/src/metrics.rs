@@ -253,7 +253,12 @@ impl NetMetrics {
     ///
     /// Panics if `sink` is out of range.
     pub fn record_delivery(&mut self, sink: usize, total_cycles: u64, network_cycles: u64) {
-        self.record_delivery_from(sink % self.terminals.max(1), sink, total_cycles, network_cycles);
+        self.record_delivery_from(
+            sink % self.terminals.max(1),
+            sink,
+            total_cycles,
+            network_cycles,
+        );
     }
 
     /// Per-source mean latency accumulators (fairness analysis).

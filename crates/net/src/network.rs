@@ -25,7 +25,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use damq_core::{
-    BufferKind, ConfigError, NodeId, Packet, PacketIdSource, DEFAULT_SLOT_BYTES,
+    AuditError, BufferKind, ConfigError, NodeId, Packet, PacketIdSource, DEFAULT_SLOT_BYTES,
 };
 use damq_switch::{ArbiterPolicy, FlowControl, Switch, SwitchConfig};
 
@@ -306,6 +306,25 @@ impl NetworkConfig {
     }
 }
 
+/// Lifetime packet ledger for the conservation audit.
+///
+/// [`NetMetrics`] counters are zeroed by [`NetworkSim::warm_up`], so they
+/// cannot back a whole-run balance check. This ledger counts from
+/// construction and is never reset: at the end of every cycle,
+///
+/// ```text
+/// generated = delivered + discarded + source backlog + in flight
+/// ```
+///
+/// must hold exactly — the network-level analogue of the slot-partition
+/// invariant (a packet is always in exactly one place).
+#[derive(Debug, Clone, Copy, Default)]
+struct ConservationLedger {
+    generated: u64,
+    delivered: u64,
+    discarded: u64,
+}
+
 /// The simulator: a grid of switches, source queues and sinks.
 #[derive(Debug)]
 pub struct NetworkSim {
@@ -320,6 +339,7 @@ pub struct NetworkSim {
     rng: StdRng,
     cycle: u64,
     metrics: NetMetrics,
+    ledger: ConservationLedger,
 }
 
 impl NetworkSim {
@@ -355,6 +375,7 @@ impl NetworkSim {
             rng: StdRng::seed_from_u64(config.seed),
             cycle: 0,
             metrics: NetMetrics::new(config.size),
+            ledger: ConservationLedger::default(),
         })
     }
 
@@ -409,19 +430,30 @@ impl NetworkSim {
     pub fn occupancy_by_stage(&self) -> Vec<f64> {
         self.switches
             .iter()
-            .map(|row| {
-                row.iter().map(Switch::occupancy_fraction).sum::<f64>() / row.len() as f64
-            })
+            .map(|row| row.iter().map(Switch::occupancy_fraction).sum::<f64>() / row.len() as f64)
             .collect()
     }
 
     /// Simulates one network cycle (12 clock cycles).
+    ///
+    /// With the `strict-audit` feature on, every cycle ends with a full
+    /// audit: buffer structure in every switch plus the packet-conservation
+    /// balance.
+    ///
+    /// # Panics
+    ///
+    /// Panics under `strict-audit` if the audit fails.
     pub fn step(&mut self) {
         self.cycle += 1;
         self.metrics.record_cycle();
         self.generate();
         self.advance_stages();
         self.inject();
+        #[cfg(feature = "strict-audit")]
+        if let Err(e) = self.audit() {
+            // lint: allow — strict-audit must stop at the offending cycle.
+            panic!("strict-audit at cycle {}: {e}", self.cycle);
+        }
     }
 
     /// Simulates `cycles` network cycles.
@@ -453,7 +485,11 @@ impl NetworkSim {
                     // fraction equal the duty cycle.
                     let exit_on = 1.0 / mean_burst;
                     let enter_on = (duty * exit_on / (1.0 - duty)).min(1.0);
-                    let flip = if self.source_on[src] { exit_on } else { enter_on };
+                    let flip = if self.source_on[src] {
+                        exit_on
+                    } else {
+                        enter_on
+                    };
                     if self.rng.random_bool(flip) {
                         self.source_on[src] = !self.source_on[src];
                     }
@@ -477,6 +513,7 @@ impl NetworkSim {
                 .build();
             self.source_queues[src].push_back(packet);
             self.metrics.record_generated();
+            self.ledger.generated += 1;
         }
     }
 
@@ -502,6 +539,7 @@ impl NetworkSim {
                     total,
                     network,
                 );
+                self.ledger.delivered += 1;
             }
         }
 
@@ -510,8 +548,8 @@ impl NetworkSim {
             let (current_stages, later_stages) = self.switches.split_at_mut(stage + 1);
             let current = &mut current_stages[stage];
             let downstream = &mut later_stages[0];
-            for sw in 0..per_stage {
-                let departures = current[sw].transmit_cycle(|out, pkt| {
+            for (sw, switch) in current.iter_mut().enumerate().take(per_stage) {
+                let departures = switch.transmit_cycle(|out, pkt| {
                     if !blocking {
                         return true;
                     }
@@ -528,6 +566,7 @@ impl NetworkSim {
                         Err(_rejected) => {
                             debug_assert!(!blocking, "blocking transmit was pre-checked");
                             self.metrics.record_network_discard();
+                            self.ledger.discarded += 1;
                         }
                     }
                 }
@@ -547,6 +586,7 @@ impl NetworkSim {
             if blocking && !self.switches[0][sw].can_accept(port, out, slots) {
                 continue; // hold the packet; try again next cycle
             }
+            // lint: allow — the queue front was checked non-empty above.
             let mut packet = self.source_queues[src].pop_front().expect("front checked");
             packet.mark_injected(self.cycle);
             match self.switches[0][sw].receive(port, out, packet) {
@@ -554,12 +594,62 @@ impl NetworkSim {
                 Err(_rejected) => {
                     debug_assert!(!blocking, "blocking inject was pre-checked");
                     self.metrics.record_entry_discard();
+                    self.ledger.discarded += 1;
                 }
             }
         }
     }
 
+    /// Verifies end-of-cycle packet conservation against the lifetime
+    /// ledger (which, unlike [`NetworkSim::metrics`], survives
+    /// [`NetworkSim::warm_up`]): every packet ever generated is delivered,
+    /// discarded, waiting at a source, or resident in a buffer — exactly
+    /// one of the four.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AuditError`] naming the imbalance.
+    pub fn audit_conservation(&self) -> Result<(), AuditError> {
+        let accounted = self.ledger.delivered
+            + self.ledger.discarded
+            + self.source_backlog() as u64
+            + self.packets_in_flight() as u64;
+        if self.ledger.generated != accounted {
+            return Err(AuditError::new(
+                "packet-conservation",
+                format!(
+                    "generated {} but delivered {} + discarded {} + backlog {} + in-flight {} = {accounted}",
+                    self.ledger.generated,
+                    self.ledger.delivered,
+                    self.ledger.discarded,
+                    self.source_backlog(),
+                    self.packets_in_flight(),
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Full network audit: buffer structure in every switch plus packet
+    /// conservation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn audit(&self) -> Result<(), AuditError> {
+        for row in &self.switches {
+            for sw in row {
+                sw.audit()?;
+            }
+        }
+        self.audit_conservation()
+    }
+
     /// Verifies buffer invariants in every switch (testing aid).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description on violation.
     pub fn check_invariants(&self) {
         for row in &self.switches {
             for sw in row {
@@ -594,10 +684,8 @@ mod tests {
     fn conservation_generated_equals_everything_else() {
         for kind in BufferKind::ALL {
             for flow in FlowControl::ALL {
-                let mut sim = NetworkSim::new(
-                    small(kind).flow_control(flow).offered_load(0.8),
-                )
-                .unwrap();
+                let mut sim =
+                    NetworkSim::new(small(kind).flow_control(flow).offered_load(0.8)).unwrap();
                 sim.run(300);
                 let m = sim.metrics();
                 let accounted = m.delivered()
@@ -637,12 +725,8 @@ mod tests {
     fn minimum_latency_is_one_cycle_per_stage() {
         // A single packet in an otherwise idle 2-stage network takes
         // exactly `stages` cycles from injection to delivery.
-        let mut sim = NetworkSim::new(
-            NetworkConfig::new(16, 4)
-                .offered_load(0.01)
-                .seed(3),
-        )
-        .unwrap();
+        let mut sim =
+            NetworkSim::new(NetworkConfig::new(16, 4).offered_load(0.01).seed(3)).unwrap();
         sim.run(500);
         let m = sim.metrics();
         assert!(m.delivered() > 0);
@@ -829,10 +913,9 @@ mod burst_tests {
     #[test]
     #[should_panic(expected = "duty is a fraction")]
     fn invalid_duty_rejected() {
-        let _ = NetworkConfig::new(16, 4)
-            .arrival_process(ArrivalProcess::OnOff {
-                mean_burst: 4.0,
-                duty: 1.5,
-            });
+        let _ = NetworkConfig::new(16, 4).arrival_process(ArrivalProcess::OnOff {
+            mean_burst: 4.0,
+            duty: 1.5,
+        });
     }
 }

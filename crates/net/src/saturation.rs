@@ -127,8 +127,8 @@ pub fn find_saturation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use damq_core::BufferKind;
     use crate::traffic::TrafficPattern;
+    use damq_core::BufferKind;
 
     fn quick() -> SaturationOptions {
         SaturationOptions {
@@ -142,7 +142,9 @@ mod tests {
     #[test]
     fn finds_a_knee_between_zero_and_one() {
         let r = find_saturation(
-            NetworkConfig::new(16, 4).buffer_kind(BufferKind::Fifo).seed(1),
+            NetworkConfig::new(16, 4)
+                .buffer_kind(BufferKind::Fifo)
+                .seed(1),
             quick(),
         )
         .unwrap();
@@ -153,12 +155,9 @@ mod tests {
     #[test]
     fn damq_sustains_more_than_fifo() {
         let sat = |kind| {
-            find_saturation(
-                NetworkConfig::new(16, 4).buffer_kind(kind).seed(1),
-                quick(),
-            )
-            .unwrap()
-            .throughput
+            find_saturation(NetworkConfig::new(16, 4).buffer_kind(kind).seed(1), quick())
+                .unwrap()
+                .throughput
         };
         assert!(sat(BufferKind::Damq) > sat(BufferKind::Fifo));
     }
@@ -179,7 +178,9 @@ mod tests {
     #[test]
     fn saturated_latency_exceeds_floor() {
         let r = find_saturation(
-            NetworkConfig::new(16, 4).buffer_kind(BufferKind::Fifo).seed(3),
+            NetworkConfig::new(16, 4)
+                .buffer_kind(BufferKind::Fifo)
+                .seed(3),
             quick(),
         )
         .unwrap();

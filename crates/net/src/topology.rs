@@ -35,7 +35,10 @@ impl fmt::Display for TopologyError {
         match self {
             TopologyError::RadixTooSmall => write!(f, "switch radix must be at least 2"),
             TopologyError::SizeNotPowerOfRadix { size, radix } => {
-                write!(f, "network size {size} is not a positive power of radix {radix}")
+                write!(
+                    f,
+                    "network size {size} is not a positive power of radix {radix}"
+                )
             }
         }
     }
@@ -409,7 +412,7 @@ mod tests {
         let t = OmegaTopology::new(64, 4).unwrap();
         // Each (switch, output) pair of a non-final stage maps to a distinct
         // downstream (switch, port).
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for sw in 0..16 {
             for o in 0..4 {
                 let (nsw, np) = t.next_hop(0, sw, OutputPort::new(o));

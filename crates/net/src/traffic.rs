@@ -61,9 +61,7 @@ impl TrafficPattern {
                     NodeId::new(rng.random_range(0..size))
                 }
             }
-            TrafficPattern::Shifted { offset } => {
-                NodeId::new((source.index() + offset) % size)
-            }
+            TrafficPattern::Shifted { offset } => NodeId::new((source.index() + offset) % size),
         }
     }
 
@@ -86,7 +84,7 @@ mod tests {
     #[test]
     fn uniform_covers_all_destinations() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for _ in 0..2000 {
             let d = TrafficPattern::Uniform.sample(&mut rng, NodeId::new(0), 16);
             seen[d.index()] = true;

@@ -70,7 +70,11 @@ fn conservation_under_random_configs() {
         let blocking = rng.random_bool(0.5);
         let load = rng.random_range(0.05..1.0f64);
         let sim_seed = rng.next_u64();
-        let slots = if kind.is_statically_allocated() { radix } else { 3 };
+        let slots = if kind.is_statically_allocated() {
+            radix
+        } else {
+            3
+        };
         let mut sim = NetworkSim::new(
             NetworkConfig::new(size, radix)
                 .buffer_kind(kind)
@@ -95,6 +99,72 @@ fn conservation_under_random_configs() {
     }
 }
 
+/// Packet conservation balances after *every* cycle — not just at the end
+/// of a run — and the full structural audit (every buffer of every switch,
+/// plus the lifetime ledger) passes alongside it, for all five designs.
+#[test]
+fn per_cycle_conservation_and_audit() {
+    for seed in 0..24 {
+        let mut rng = StdRng::seed_from_u64(400 + seed);
+        let (size, radix) = dims(&mut rng);
+        let kind = BufferKind::EXTENDED[rng.random_range(0..5usize)];
+        let blocking = rng.random_bool(0.5);
+        let load = rng.random_range(0.05..1.0f64);
+        let sim_seed = rng.next_u64();
+        let slots = if kind.is_statically_allocated() {
+            radix
+        } else {
+            3
+        };
+        let mut sim = NetworkSim::new(
+            NetworkConfig::new(size, radix)
+                .buffer_kind(kind)
+                .slots_per_buffer(slots)
+                .flow_control(if blocking {
+                    FlowControl::Blocking
+                } else {
+                    FlowControl::Discarding
+                })
+                .offered_load(load)
+                .seed(sim_seed),
+        )
+        .unwrap();
+        for cycle in 0..80 {
+            sim.step();
+            if let Err(e) = sim.audit() {
+                panic!("{kind} cycle {cycle}, seed {seed}: {e}");
+            }
+        }
+    }
+}
+
+/// The conservation ledger counts over the simulation's whole lifetime, so
+/// it must keep balancing after `warm_up` zeroes the window metrics while
+/// packets are still resident in the network.
+#[test]
+fn conservation_ledger_survives_metric_resets() {
+    for seed in 0..12 {
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        let (size, radix) = dims(&mut rng);
+        let sim_seed = rng.next_u64();
+        let mut sim = NetworkSim::new(
+            NetworkConfig::new(size, radix)
+                .buffer_kind(BufferKind::Damq)
+                .slots_per_buffer(3)
+                .offered_load(0.9)
+                .seed(sim_seed),
+        )
+        .unwrap();
+        sim.warm_up(40);
+        for cycle in 0..40 {
+            sim.step();
+            if let Err(e) = sim.audit_conservation() {
+                panic!("cycle {cycle} after warm-up, seed {seed}: {e}");
+            }
+        }
+    }
+}
+
 /// Blocking networks never lose a packet, whatever the configuration.
 #[test]
 fn blocking_never_discards() {
@@ -104,7 +174,11 @@ fn blocking_never_discards() {
         let kind = BufferKind::ALL[rng.random_range(0..4usize)];
         let load = rng.random_range(0.5..1.0f64);
         let sim_seed = rng.next_u64();
-        let slots = if kind.is_statically_allocated() { radix } else { 3 };
+        let slots = if kind.is_statically_allocated() {
+            radix
+        } else {
+            3
+        };
         let mut sim = NetworkSim::new(
             NetworkConfig::new(size, radix)
                 .buffer_kind(kind)

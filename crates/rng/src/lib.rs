@@ -30,7 +30,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// Seeding interface: construct a generator from a `u64`.
 ///
@@ -167,10 +167,7 @@ pub mod rngs {
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256** by Blackman & Vigna (public domain).
-            let result = self.s[1]
-                .wrapping_mul(5)
-                .rotate_left(7)
-                .wrapping_mul(9);
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];

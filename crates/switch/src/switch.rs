@@ -1,8 +1,6 @@
 //! The n×n switch: input buffers + crossbar + central arbiter.
 
-use damq_core::{
-    BufferStats, InputPort, OutputPort, Packet, Rejected, SwitchBuffer,
-};
+use damq_core::{BufferStats, InputPort, OutputPort, Packet, Rejected, SwitchBuffer};
 
 use crate::arbiter::{Arbiter, Candidate};
 use crate::config::SwitchConfig;
@@ -186,11 +184,7 @@ impl Switch {
         let occupied: Vec<Vec<bool>> = self
             .buffers
             .iter()
-            .map(|b| {
-                OutputPort::all(ports)
-                    .map(|o| b.queue_len(o) > 0)
-                    .collect()
-            })
+            .map(|b| OutputPort::all(ports).map(|o| b.queue_len(o) > 0).collect())
             .collect();
         self.arbiter.complete_cycle(&served, &occupied);
         self.crossbar.release_all();
@@ -243,7 +237,24 @@ impl Switch {
         self.crossbar.utilization()
     }
 
+    /// Verifies every buffer's structural invariants without panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant (see
+    /// [`AuditError`](damq_core::AuditError)).
+    pub fn audit(&self) -> Result<(), damq_core::AuditError> {
+        for b in &self.buffers {
+            b.audit()?;
+        }
+        Ok(())
+    }
+
     /// Checks every buffer's internal invariants (testing aid).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description on violation.
     pub fn check_invariants(&self) {
         for b in &self.buffers {
             b.check_invariants();

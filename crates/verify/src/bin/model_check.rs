@@ -1,0 +1,53 @@
+//! Exhaustive model check of every buffer design in a 2×2 discarding
+//! switch.
+//!
+//! Runs the full matrix — FIFO/DAMQ/DAFC at 2 and 3 slots, SAMQ/SAFC at 2
+//! and 4 (static splitting needs even sizes) — and exits nonzero if any
+//! configuration diverges from the reference spec or trips a structural
+//! invariant. Pass `--quick` to check only the smallest size per kind
+//! (used by `scripts/check.sh`).
+
+use damq_core::BufferKind;
+
+fn capacities(kind: BufferKind, quick: bool) -> &'static [usize] {
+    match (kind.is_statically_allocated(), quick) {
+        (_, true) => &[2],
+        (false, false) => &[2, 3],
+        (true, false) => &[2, 4],
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!("usage: model_check [--quick]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut failed = false;
+    for kind in BufferKind::EXTENDED {
+        for &capacity in capacities(kind, quick) {
+            match damq_verify::check(kind, capacity) {
+                Ok(report) => println!("ok   {report}"),
+                Err(violation) => {
+                    eprintln!("FAIL {violation}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        eprintln!("model check FAILED: at least one implementation diverges from the spec");
+        std::process::exit(1);
+    }
+    println!("model check passed: every reachable state of every design matches the spec");
+}

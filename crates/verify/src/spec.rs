@@ -1,0 +1,402 @@
+//! Trivially-correct reference specification of a 2×2 input buffer.
+//!
+//! The model checker ([`crate::check`]) compares every concrete
+//! [`SwitchBuffer`](damq_core::SwitchBuffer) implementation against this
+//! spec, so the spec must be simple enough to be obviously right:
+//!
+//! * A FIFO is literally the sequence of destination outputs, head first.
+//!   Only the head is transmittable (head-of-line blocking by definition).
+//! * Every multi-queue design is a pair of per-output packet counts, because
+//!   with fixed-length single-destination packets any two packets queued for
+//!   the same output are interchangeable.
+//!
+//! Acceptance rules follow the paper directly: dynamic designs (DAMQ/DAFC)
+//! accept while the *shared pool* has a free slot, static designs
+//! (SAMQ/SAFC) accept while the *target output's partition* has one, and a
+//! FIFO accepts while the single queue is short of capacity.
+//!
+//! Crossbar arbitration mirrors `damq-markov`'s 2×2 models move for move
+//! (single read port vs. fully connected, longest-queue tie-breaks), which
+//! is what lets the checker's reachable state space be cross-validated
+//! against the Markov chain's.
+
+use std::cmp::Ordering;
+
+use damq_core::{BufferKind, ConfigError};
+
+/// Abstract state of one input buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RefInput {
+    /// FIFO contents: destination output of each packet, head first.
+    Fifo(Vec<u8>),
+    /// Multi-queue contents: number of packets held for each output.
+    Counts([u8; 2]),
+}
+
+impl RefInput {
+    /// Packets resident in this input buffer.
+    pub fn packets(&self) -> usize {
+        match self {
+            RefInput::Fifo(seq) => seq.len(),
+            RefInput::Counts(c) => usize::from(c[0]) + usize::from(c[1]),
+        }
+    }
+
+    /// Destinations of the resident packets in canonical enqueue order.
+    ///
+    /// Replaying these through an empty concrete buffer reproduces the
+    /// abstract state (order within a multi-queue is immaterial, so counts
+    /// are emitted output 0 first).
+    pub fn dests(&self) -> Vec<u8> {
+        match self {
+            RefInput::Fifo(seq) => seq.clone(),
+            RefInput::Counts(c) => {
+                let mut dests = vec![0u8; usize::from(c[0])];
+                dests.extend(std::iter::repeat_n(1u8, usize::from(c[1])));
+                dests
+            }
+        }
+    }
+}
+
+/// Joint abstract state of the two input buffers of a 2×2 switch.
+pub type SpecState = [RefInput; 2];
+
+/// One crossbar assignment: the `(input, output)` pairs that transmit a
+/// packet this cycle. Outputs within a move set are always distinct.
+pub type MoveSet = Vec<(usize, usize)>;
+
+/// Reference model of a 2×2 switch input buffer of a given kind and size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Spec {
+    kind: BufferKind,
+    capacity: u8,
+}
+
+impl Spec {
+    /// Creates the reference model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for a zero capacity, a capacity above 255
+    /// (the count representation's limit), or an odd capacity with a
+    /// statically-allocated kind.
+    pub fn new(kind: BufferKind, capacity: usize) -> Result<Self, ConfigError> {
+        if capacity == 0 {
+            return Err(ConfigError::ZeroCapacity);
+        }
+        if kind.is_statically_allocated() && !capacity.is_multiple_of(2) {
+            return Err(ConfigError::CapacityNotDivisible {
+                capacity,
+                fanout: 2,
+            });
+        }
+        let capacity = u8::try_from(capacity).map_err(|_| ConfigError::ZeroCapacity)?;
+        Ok(Spec { kind, capacity })
+    }
+
+    /// The buffer design being modelled.
+    pub fn kind(&self) -> BufferKind {
+        self.kind
+    }
+
+    /// Packet slots per input buffer.
+    pub fn capacity(&self) -> usize {
+        usize::from(self.capacity)
+    }
+
+    /// The all-empty joint state.
+    pub fn empty(&self) -> SpecState {
+        match self.kind {
+            BufferKind::Fifo => [RefInput::Fifo(Vec::new()), RefInput::Fifo(Vec::new())],
+            _ => [RefInput::Counts([0, 0]), RefInput::Counts([0, 0])],
+        }
+    }
+
+    /// Total packets resident across both input buffers.
+    pub fn occupancy(&self, state: &SpecState) -> usize {
+        state.iter().map(RefInput::packets).sum()
+    }
+
+    /// Whether `input` would accept one more packet routed to `output`,
+    /// without mutating the state.
+    pub fn would_accept(&self, state: &SpecState, input: usize, output: usize) -> bool {
+        match (&state[input], self.kind) {
+            (RefInput::Fifo(seq), _) => seq.len() < self.capacity(),
+            (RefInput::Counts(c), BufferKind::Damq | BufferKind::Dafc) => {
+                usize::from(c[0]) + usize::from(c[1]) < self.capacity()
+            }
+            (RefInput::Counts(c), BufferKind::Samq | BufferKind::Safc) => {
+                usize::from(c[output]) < self.capacity() / 2
+            }
+            (RefInput::Counts(_), BufferKind::Fifo) => unreachable!("FIFO uses Fifo state"),
+        }
+    }
+
+    /// Offers one packet routed to `output` to `input`; returns whether it
+    /// was accepted (and stored) or discarded.
+    pub fn accept(&self, state: &mut SpecState, input: usize, output: usize) -> bool {
+        if !self.would_accept(state, input, output) {
+            return false;
+        }
+        match &mut state[input] {
+            RefInput::Fifo(seq) => seq.push(output as u8),
+            RefInput::Counts(c) => c[output] += 1,
+        }
+        true
+    }
+
+    /// Packets transmittable from `input` to `output` *right now*.
+    ///
+    /// For a FIFO only the head packet is transmittable — the count is 1
+    /// for the head's output and 0 elsewhere, however long the queue is.
+    pub fn queue_len(&self, state: &SpecState, input: usize, output: usize) -> usize {
+        match &state[input] {
+            RefInput::Fifo(seq) => match seq.first() {
+                Some(&h) if usize::from(h) == output => 1,
+                _ => 0,
+            },
+            RefInput::Counts(c) => usize::from(c[output]),
+        }
+    }
+
+    /// Enumerates the crossbar arbitration branches for one cycle.
+    ///
+    /// Each branch is a move set plus its probability; probabilities sum
+    /// to 1. The branch structure mirrors `damq-markov` exactly:
+    /// single-read-port designs (FIFO/SAMQ/DAMQ) send two packets only when
+    /// the inputs cover distinct outputs, fully-connected designs
+    /// (SAFC/DAFC) let each output independently serve the input with the
+    /// longer queue for it.
+    pub fn moves(&self, state: &SpecState) -> Vec<(MoveSet, f64)> {
+        match self.kind {
+            BufferKind::Fifo => fifo_moves(state),
+            BufferKind::Samq | BufferKind::Damq => {
+                single_read_port_moves(&self.transmit_counts(state))
+            }
+            BufferKind::Safc | BufferKind::Dafc => {
+                fully_connected_moves(&self.transmit_counts(state))
+            }
+        }
+    }
+
+    /// Removes the moved packets from the state, returning the next state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a move names an empty queue or (for FIFO) an output that
+    /// does not match the head packet — move sets must come from
+    /// [`Spec::moves`] on the same state.
+    pub fn apply_moves(&self, state: &SpecState, moves: &MoveSet) -> SpecState {
+        let mut next = state.clone();
+        for &(input, output) in moves {
+            match &mut next[input] {
+                RefInput::Fifo(seq) => {
+                    let head = seq.first().copied();
+                    assert_eq!(
+                        head,
+                        Some(output as u8),
+                        "FIFO move must transmit the head packet"
+                    );
+                    seq.remove(0);
+                }
+                RefInput::Counts(c) => {
+                    assert!(c[output] > 0, "move from empty queue");
+                    c[output] -= 1;
+                }
+            }
+        }
+        next
+    }
+
+    /// Per-(input, output) transmittable counts, for the count-based
+    /// arbiters.
+    fn transmit_counts(&self, state: &SpecState) -> [[u8; 2]; 2] {
+        let mut counts = [[0u8; 2]; 2];
+        for (input, row) in counts.iter_mut().enumerate() {
+            for (output, cell) in row.iter_mut().enumerate() {
+                *cell = self.queue_len(state, input, output) as u8;
+            }
+        }
+        counts
+    }
+}
+
+/// FIFO arbitration: each input offers only its head packet; a head-of-line
+/// conflict sends one head from the longest queue, ties split evenly.
+fn fifo_moves(state: &SpecState) -> Vec<(MoveSet, f64)> {
+    let seq = |input: usize| -> &Vec<u8> {
+        match &state[input] {
+            RefInput::Fifo(seq) => seq,
+            RefInput::Counts(_) => unreachable!("FIFO spec uses Fifo state"),
+        }
+    };
+    let (s0, s1) = (seq(0), seq(1));
+    let head = |s: &Vec<u8>| s.first().map(|&h| usize::from(h));
+    match (head(s0), head(s1)) {
+        (None, None) => vec![(Vec::new(), 1.0)],
+        (Some(h0), None) => vec![(vec![(0, h0)], 1.0)],
+        (None, Some(h1)) => vec![(vec![(1, h1)], 1.0)],
+        (Some(h0), Some(h1)) if h0 != h1 => vec![(vec![(0, h0), (1, h1)], 1.0)],
+        (Some(h0), Some(h1)) => match s0.len().cmp(&s1.len()) {
+            Ordering::Greater => vec![(vec![(0, h0)], 1.0)],
+            Ordering::Less => vec![(vec![(1, h1)], 1.0)],
+            Ordering::Equal => vec![(vec![(0, h0)], 0.5), (vec![(1, h1)], 0.5)],
+        },
+    }
+}
+
+/// Single-read-port arbitration over transmittable counts (SAMQ/DAMQ).
+fn single_read_port_moves(counts: &[[u8; 2]; 2]) -> Vec<(MoveSet, f64)> {
+    let straight = counts[0][0] > 0 && counts[1][1] > 0;
+    let crossed = counts[0][1] > 0 && counts[1][0] > 0;
+    match (straight, crossed) {
+        (true, true) => vec![(vec![(0, 0), (1, 1)], 0.5), (vec![(0, 1), (1, 0)], 0.5)],
+        (true, false) => vec![(vec![(0, 0), (1, 1)], 1.0)],
+        (false, true) => vec![(vec![(0, 1), (1, 0)], 1.0)],
+        (false, false) => {
+            // At most one packet can go: longest queue wins, ties uniform.
+            let mut best = 0;
+            let mut candidates: MoveSet = Vec::new();
+            for (input, row) in counts.iter().enumerate() {
+                for (output, &c) in row.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    match c.cmp(&best) {
+                        Ordering::Greater => {
+                            best = c;
+                            candidates = vec![(input, output)];
+                        }
+                        Ordering::Equal => candidates.push((input, output)),
+                        Ordering::Less => {}
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                vec![(Vec::new(), 1.0)]
+            } else {
+                let p = 1.0 / candidates.len() as f64;
+                candidates.into_iter().map(|m| (vec![m], p)).collect()
+            }
+        }
+    }
+}
+
+/// Fully-connected arbitration (SAFC/DAFC): outputs choose independently.
+fn fully_connected_moves(counts: &[[u8; 2]; 2]) -> Vec<(MoveSet, f64)> {
+    let choose = |output: usize| -> Vec<(Option<usize>, f64)> {
+        let (c0, c1) = (counts[0][output], counts[1][output]);
+        match (c0 > 0, c1 > 0) {
+            (false, false) => vec![(None, 1.0)],
+            (true, false) => vec![(Some(0), 1.0)],
+            (false, true) => vec![(Some(1), 1.0)],
+            (true, true) => match c0.cmp(&c1) {
+                Ordering::Greater => vec![(Some(0), 1.0)],
+                Ordering::Less => vec![(Some(1), 1.0)],
+                Ordering::Equal => vec![(Some(0), 0.5), (Some(1), 0.5)],
+            },
+        }
+    };
+    let mut out = Vec::new();
+    for (i0, p0) in choose(0) {
+        for (i1, p1) in choose(1) {
+            let mut moves = MoveSet::new();
+            if let Some(i) = i0 {
+                moves.push((i, 0));
+            }
+            if let Some(i) = i1 {
+                moves.push((i, 1));
+            }
+            out.push((moves, p0 * p1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(a: [u8; 2], b: [u8; 2]) -> SpecState {
+        [RefInput::Counts(a), RefInput::Counts(b)]
+    }
+
+    #[test]
+    fn damq_accepts_any_mix_up_to_capacity() {
+        let spec = Spec::new(BufferKind::Damq, 3).unwrap();
+        let mut st = spec.empty();
+        assert!(spec.accept(&mut st, 0, 0));
+        assert!(spec.accept(&mut st, 0, 0));
+        assert!(spec.accept(&mut st, 0, 1));
+        assert!(!spec.accept(&mut st, 0, 1), "shared pool exhausted");
+        assert!(spec.accept(&mut st, 1, 1), "other input unaffected");
+    }
+
+    #[test]
+    fn samq_partitions_statically() {
+        let spec = Spec::new(BufferKind::Samq, 4).unwrap();
+        let mut st = spec.empty();
+        assert!(spec.accept(&mut st, 0, 1));
+        assert!(spec.accept(&mut st, 0, 1));
+        assert!(!spec.accept(&mut st, 0, 1), "out1 partition full");
+        assert!(spec.accept(&mut st, 0, 0), "out0 partition still free");
+    }
+
+    #[test]
+    fn odd_static_capacity_rejected() {
+        assert!(Spec::new(BufferKind::Samq, 3).is_err());
+        assert!(Spec::new(BufferKind::Safc, 5).is_err());
+        assert!(Spec::new(BufferKind::Damq, 3).is_ok());
+    }
+
+    #[test]
+    fn fifo_head_of_line_blocks() {
+        let spec = Spec::new(BufferKind::Fifo, 3).unwrap();
+        let st = [RefInput::Fifo(vec![0, 1]), RefInput::Fifo(vec![0])];
+        // Input 0's second packet wants idle out1, but only heads compete.
+        let branches = spec.moves(&st);
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].0.len(), 1, "HOL conflict sends one packet");
+    }
+
+    #[test]
+    fn damq_has_no_head_of_line_blocking() {
+        let spec = Spec::new(BufferKind::Damq, 4).unwrap();
+        let st = counts([1, 1], [1, 0]);
+        let branches = spec.moves(&st);
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].0, vec![(0, 1), (1, 0)], "crossed pair goes");
+    }
+
+    #[test]
+    fn fully_connected_feeds_both_outputs_from_one_input() {
+        for kind in [BufferKind::Safc, BufferKind::Dafc] {
+            let spec = Spec::new(kind, 4).unwrap();
+            let st = counts([1, 1], [0, 0]);
+            let branches = spec.moves(&st);
+            assert_eq!(branches.len(), 1);
+            assert_eq!(branches[0].0.len(), 2, "{kind} sends both");
+        }
+    }
+
+    #[test]
+    fn move_probabilities_sum_to_one() {
+        let spec = Spec::new(BufferKind::Damq, 4).unwrap();
+        let st = counts([2, 0], [2, 0]);
+        let branches = spec.moves(&st);
+        assert_eq!(branches.len(), 2, "tied conflict splits");
+        let total: f64 = branches.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_moves_round_trips_occupancy() {
+        let spec = Spec::new(BufferKind::Safc, 4).unwrap();
+        let st = counts([2, 1], [1, 2]);
+        for (moves, _) in spec.moves(&st) {
+            let next = spec.apply_moves(&st, &moves);
+            assert_eq!(spec.occupancy(&next), spec.occupancy(&st) - moves.len());
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Workspace lint driver: `cargo xtask lint`.
+//!
+//! Three custom lints that `clippy` cannot express for this workspace,
+//! plus the standard `cargo clippy` / `cargo fmt --check` gates:
+//!
+//! 1. **No panics in simulator library code** — `unwrap()`, `expect(…)`,
+//!    `panic!`, `unreachable!`, `todo!` and `unimplemented!` are forbidden
+//!    in the non-test library code of `crates/core` and `crates/net` (the
+//!    crates every experiment depends on). Fallible paths must propagate
+//!    `Result`; provably-infallible sites carry a `// lint: allow — why`
+//!    comment on the same or preceding line.
+//! 2. **No unseeded randomness outside `crates/rng`** — `from_entropy`,
+//!    `thread_rng` and `rand::random` would make experiments
+//!    irreproducible; every RNG must be seeded through `damq-rng`.
+//! 3. **Documentation is mandatory** — every library crate root must carry
+//!    `#![deny(missing_docs)]`.
+//!
+//! Run `cargo xtask lint` for everything, or `cargo xtask lint --no-cargo`
+//! for just the custom lints (fast, no compilation).
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+/// Panic-family calls forbidden in simulator library code.
+const PANIC_PATTERNS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Crates whose `src/` must be panic-free (the simulator data path).
+const PANIC_FREE_CRATES: [&str; 2] = ["crates/core", "crates/net"];
+
+/// Unseeded entropy sources forbidden outside `crates/rng`.
+const RNG_PATTERNS: [&str; 3] = ["from_entropy", "thread_rng", "rand::random"];
+
+/// The comment marker that waives the panic lint for one line.
+const ALLOW_MARKER: &str = "lint: allow";
+
+/// Clippy invocation pinned here so CI and dev runs agree.
+const CLIPPY_ARGS: [&str; 7] = [
+    "clippy",
+    "--workspace",
+    "--all-targets",
+    "--quiet",
+    "--",
+    "-D",
+    "warnings",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--no-cargo")),
+        Some("--help" | "-h") | None => {
+            eprintln!("usage: cargo xtask lint [--no-cargo]");
+            ExitCode::from(2)
+        }
+        Some(other) => {
+            eprintln!("unknown task '{other}' (usage: cargo xtask lint [--no-cargo])");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// One lint finding, printed `path:line: message`.
+struct Finding {
+    path: PathBuf,
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.path.display(), self.line, self.message)
+    }
+}
+
+fn lint(no_cargo: bool) -> ExitCode {
+    let root = workspace_root();
+    let mut findings = Vec::new();
+
+    panic_lint(&root, &mut findings);
+    rng_lint(&root, &mut findings);
+    docs_lint(&root, &mut findings);
+
+    for finding in &findings {
+        eprintln!("error: {finding}");
+    }
+    let mut failed = !findings.is_empty();
+    eprintln!(
+        "xtask lint: custom lints {} ({} finding(s))",
+        if failed { "FAILED" } else { "passed" },
+        findings.len()
+    );
+
+    if !no_cargo {
+        failed |= !run_cargo(&root, &CLIPPY_ARGS);
+        failed |= !run_cargo(&root, &["fmt", "--all", "--check"]);
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("xtask lint: all checks passed");
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root, resolved relative to this crate's manifest so the
+/// driver works from any working directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn run_cargo(root: &Path, args: &[&str]) -> bool {
+    eprintln!("xtask lint: running cargo {}", args.join(" "));
+    match Command::new("cargo").args(args).current_dir(root).status() {
+        Ok(status) if status.success() => true,
+        Ok(status) => {
+            eprintln!("error: cargo {} exited with {status}", args.join(" "));
+            false
+        }
+        Err(e) => {
+            eprintln!("error: failed to spawn cargo: {e}");
+            false
+        }
+    }
+}
+
+/// Lint 1: panic-family calls in non-test library code.
+fn panic_lint(root: &Path, findings: &mut Vec<Finding>) {
+    for krate in PANIC_FREE_CRATES {
+        for file in rust_files(&root.join(krate).join("src")) {
+            scan_panic_file(&file, findings);
+        }
+    }
+}
+
+fn scan_panic_file(path: &Path, findings: &mut Vec<Finding>) {
+    let Ok(source) = fs::read_to_string(path) else {
+        findings.push(Finding {
+            path: path.to_path_buf(),
+            line: 0,
+            message: "unreadable file".into(),
+        });
+        return;
+    };
+    let code_lines = strip_comments_and_strings(&source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+
+    let mut in_test_mod = false;
+    let mut test_depth: i32 = 0;
+    let mut pending_cfg_test = false;
+
+    for (idx, code) in code_lines.iter().enumerate() {
+        let raw = raw_lines.get(idx).copied().unwrap_or_default();
+
+        if in_test_mod {
+            test_depth += brace_delta(code);
+            if test_depth <= 0 {
+                in_test_mod = false;
+            }
+            continue;
+        }
+
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            // `#[cfg(test)]` gates the next item; only a `mod` opens a
+            // whole block to skip. Anything else (a gated fn/use) is a
+            // single item we conservatively keep linting.
+            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                in_test_mod = true;
+                test_depth = brace_delta(code);
+                if test_depth <= 0 && code.contains('{') {
+                    in_test_mod = false;
+                }
+                pending_cfg_test = false;
+                continue;
+            }
+            if !trimmed.starts_with("#[") {
+                pending_cfg_test = false;
+            }
+        }
+
+        for pattern in PANIC_PATTERNS {
+            if !code.contains(pattern) {
+                continue;
+            }
+            if !allowed_by_comment(&raw_lines, idx) {
+                findings.push(Finding {
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    message: format!(
+                        "'{pattern}' in simulator library code — propagate a Result or \
+                         justify with a '// {ALLOW_MARKER} — why' comment"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Whether line `idx` carries the allow marker — on the line itself or
+/// anywhere in the contiguous `//` comment block directly above it (allow
+/// justifications are encouraged to be multi-line).
+fn allowed_by_comment(raw_lines: &[&str], idx: usize) -> bool {
+    if raw_lines.get(idx).is_some_and(|l| l.contains(ALLOW_MARKER)) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let trimmed = raw_lines[i].trim_start();
+        if !trimmed.starts_with("//") {
+            return false;
+        }
+        if trimmed.contains(ALLOW_MARKER) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lint 2: unseeded entropy sources outside the RNG crate.
+fn rng_lint(root: &Path, findings: &mut Vec<Finding>) {
+    let Ok(entries) = fs::read_dir(root.join("crates")) else {
+        return;
+    };
+    let mut dirs: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "rng"))
+        .collect();
+    dirs.push(root.join("src")); // the root `damq` package
+    dirs.sort();
+
+    for dir in dirs {
+        for file in rust_files(&dir) {
+            let Ok(source) = fs::read_to_string(&file) else {
+                continue;
+            };
+            let code_lines = strip_comments_and_strings(&source);
+            let raw_lines: Vec<&str> = source.lines().collect();
+            for (idx, code) in code_lines.iter().enumerate() {
+                for pattern in RNG_PATTERNS {
+                    if code.contains(pattern) && !allowed_by_comment(&raw_lines, idx) {
+                        findings.push(Finding {
+                            path: file.clone(),
+                            line: idx + 1,
+                            message: format!(
+                                "'{pattern}' outside crates/rng — all randomness must be \
+                                 seeded for reproducible experiments"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lint 3: every library crate root must deny missing docs.
+fn docs_lint(root: &Path, findings: &mut Vec<Finding>) {
+    let mut lib_roots: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let lib = entry.path().join("src").join("lib.rs");
+            if lib.is_file() {
+                lib_roots.push(lib);
+            }
+        }
+    }
+    let root_lib = root.join("src").join("lib.rs");
+    if root_lib.is_file() {
+        lib_roots.push(root_lib);
+    }
+    lib_roots.sort();
+
+    for lib in lib_roots {
+        let Ok(source) = fs::read_to_string(&lib) else {
+            continue;
+        };
+        if !source.contains("#![deny(missing_docs)]") {
+            findings.push(Finding {
+                path: lib,
+                line: 1,
+                message: "crate root must carry #![deny(missing_docs)]".into(),
+            });
+        }
+    }
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Net `{`/`}` count of a code line (comments and strings pre-stripped).
+fn brace_delta(code: &str) -> i32 {
+    code.chars().fold(0, |acc, c| match c {
+        '{' => acc + 1,
+        '}' => acc - 1,
+        _ => acc,
+    })
+}
+
+/// Replaces comments, string literals and char literals with spaces so
+/// pattern matching only sees real code. Line structure is preserved.
+fn strip_comments_and_strings(source: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+    }
+
+    let mut state = State::Code;
+    let mut lines = Vec::new();
+    for line in source.lines() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(chars.len());
+        let mut i = 0;
+        if state == State::LineComment {
+            state = State::Code; // line comments end at the newline
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        out.push_str("  ");
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        out.push_str("  ");
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        out.push(' ');
+                        i += 1;
+                    }
+                    'r' if next == Some('"') || next == Some('#') => {
+                        // Possible raw string: r"..." or r#"..."#.
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            state = State::RawStr(hashes);
+                            for _ in i..=j {
+                                out.push(' ');
+                            }
+                            i = j + 1;
+                        } else {
+                            out.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal or lifetime. A literal closes with a
+                        // quote one or two chars away; a lifetime does not.
+                        if next == Some('\\') {
+                            let close = chars.iter().skip(i + 2).position(|&c| c == '\'');
+                            let end = close.map_or(chars.len(), |o| i + 2 + o);
+                            for _ in i..=end.min(chars.len() - 1) {
+                                out.push(' ');
+                            }
+                            i = end + 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            out.push_str("   ");
+                            i += 3;
+                        } else {
+                            out.push(c); // lifetime tick
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        out.push(c);
+                        i += 1;
+                    }
+                },
+                State::LineComment => {
+                    out.push(' ');
+                    i += 1;
+                }
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        out.push_str("  ");
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        if c == '"' {
+                            state = State::Code;
+                        }
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"'
+                        && chars[i + 1..].iter().take_while(|&&h| h == '#').count() >= hashes
+                    {
+                        for _ in 0..=hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes;
+                        state = State::Code;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        lines.push(out);
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripper_removes_comments_and_strings() {
+        let src = "let x = 1; // a.unwrap() in a comment\nlet s = \".expect(\"; panic!(\"msg\");";
+        let lines = strip_comments_and_strings(src);
+        assert!(!lines[0].contains(".unwrap()"));
+        assert!(!lines[1].contains(".expect("));
+        assert!(lines[1].contains("panic!("), "real code survives");
+    }
+
+    #[test]
+    fn stripper_handles_block_comments_across_lines() {
+        let src = "/* a\n.unwrap()\n*/ let y = 2;";
+        let lines = strip_comments_and_strings(src);
+        assert!(!lines[1].contains(".unwrap()"));
+        assert!(lines[2].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn stripper_keeps_lifetimes_intact() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lines = strip_comments_and_strings(src);
+        assert!(lines[0].contains("fn f<'a>"));
+        assert!(lines[0].contains("{ x }"));
+    }
+
+    #[test]
+    fn brace_delta_counts_net_braces() {
+        assert_eq!(brace_delta("mod tests {"), 1);
+        assert_eq!(brace_delta("} } {"), -1);
+    }
+}

@@ -22,13 +22,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("== 5% hot spot, same load: tree saturation ==");
-    report(base.traffic(TrafficPattern::paper_hot_spot()).offered_load(0.5))?;
+    report(
+        base.traffic(TrafficPattern::paper_hot_spot())
+            .offered_load(0.5),
+    )?;
 
     println!();
     println!("== buffer design does not matter under a hot spot ==");
     for kind in BufferKind::ALL {
         let sat = find_saturation(
-            base.traffic(TrafficPattern::paper_hot_spot()).buffer_kind(kind),
+            base.traffic(TrafficPattern::paper_hot_spot())
+                .buffer_kind(kind),
             SaturationOptions::default(),
         )?;
         println!(

@@ -21,7 +21,9 @@ const CCW: usize = 1;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sys = System::new();
-    let nodes: Vec<_> = (0..4).map(|_| sys.add_node(ChipConfig::comcobb())).collect();
+    let nodes: Vec<_> = (0..4)
+        .map(|_| sys.add_node(ChipConfig::comcobb()))
+        .collect();
 
     // Bidirectional ring: node i's CW port pairs with node (i+1)'s CCW port.
     for i in 0..4 {
@@ -43,27 +45,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (out, inp) = if i < 2 { (CW, CCW) } else { (CCW, CW) };
         let hop1 = if i < 2 { (i + 1) % 4 } else { (i + 3) % 4 };
         let dest = (i + 2) % 4;
-        sys.program_route(nodes[i], PROCESSOR_PORT, header, RouteEntry {
-            output: out,
-            new_header: header,
-        })?;
-        sys.program_route(nodes[hop1], inp, header, RouteEntry {
-            output: out,
-            new_header: header,
-        })?;
-        sys.program_route(nodes[dest], inp, header, RouteEntry {
-            output: PROCESSOR_PORT,
-            new_header: header,
-        })?;
+        sys.program_route(
+            nodes[i],
+            PROCESSOR_PORT,
+            header,
+            RouteEntry {
+                output: out,
+                new_header: header,
+            },
+        )?;
+        sys.program_route(
+            nodes[hop1],
+            inp,
+            header,
+            RouteEntry {
+                output: out,
+                new_header: header,
+            },
+        )?;
+        sys.program_route(
+            nodes[dest],
+            inp,
+            header,
+            RouteEntry {
+                output: PROCESSOR_PORT,
+                new_header: header,
+            },
+        )?;
     }
 
     // Every host sends a 100-byte message (4 packets) at once: the ring
     // carries four crossing multi-packet transfers simultaneously.
     for (i, &node) in nodes.iter().enumerate() {
-        let message = format!(
-            "greetings from node {i}! {}",
-            "x".repeat(75)
-        );
+        let message = format!("greetings from node {i}! {}", "x".repeat(75));
         sys.host_send(node, 0x80 + i as u8, message.into_bytes());
     }
 

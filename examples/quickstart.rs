@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let damq_ok = damq.try_enqueue(OutputPort::new(2), p()).is_ok();
         println!(
             "burst packet {i}: SAMQ {} | DAMQ {}",
-            if samq_ok { "accepted" } else { "REJECTED (static queue full)" },
+            if samq_ok {
+                "accepted"
+            } else {
+                "REJECTED (static queue full)"
+            },
             if damq_ok { "accepted" } else { "rejected" },
         );
     }

@@ -15,8 +15,16 @@ use damq::microarch::{Chip, ChipConfig, ChipEvent, RouteEntry};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== case 1: idle output -> virtual cut-through ==");
     let mut chip = Chip::new(ChipConfig::comcobb());
-    chip.program_route(0, 0x20, RouteEntry { output: 2, new_header: 0x21 })?;
-    chip.input_wire_mut(0).drive_packet(0, 0x20, &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    chip.program_route(
+        0,
+        0x20,
+        RouteEntry {
+            output: 2,
+            new_header: 0x21,
+        },
+    )?;
+    chip.input_wire_mut(0)
+        .drive_packet(0, 0x20, &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
     chip.run_to_quiescence(64);
     print!("{}", chip.trace().render());
     let turnaround = chip
@@ -30,8 +38,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("== case 2: busy output -> store, then forward ==");
     let mut chip = Chip::new(ChipConfig::comcobb());
-    chip.program_route(0, 0x20, RouteEntry { output: 2, new_header: 0x21 })?;
-    chip.program_route(1, 0x20, RouteEntry { output: 2, new_header: 0x2A })?;
+    chip.program_route(
+        0,
+        0x20,
+        RouteEntry {
+            output: 2,
+            new_header: 0x21,
+        },
+    )?;
+    chip.program_route(
+        1,
+        0x20,
+        RouteEntry {
+            output: 2,
+            new_header: 0x2A,
+        },
+    )?;
     // Port 1's long packet wins output 2 first; port 0's packet must wait.
     chip.input_wire_mut(1).drive_packet(0, 0x20, &[0xEE; 32]);
     chip.input_wire_mut(0).drive_packet(2, 0x20, &[1, 2, 3]);

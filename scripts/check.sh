@@ -1,17 +1,29 @@
 #!/usr/bin/env bash
-# The repo's offline quality gate: build, full test suite, and rustdoc
-# with warnings denied (`#![warn(missing_docs)]` in the crates turns any
-# missing doc into a hard failure here).
+# The repo's offline quality gate: lints, build, the full test suite (with
+# and without per-operation invariant audits), the exhaustive 2x2 model
+# checker, and rustdoc with warnings denied (`#![deny(missing_docs)]` in
+# the crates turns any missing doc into a hard failure here).
 #
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== lint (custom lints + clippy + rustfmt) =="
+cargo xtask lint
 
 echo "== build (release) =="
 cargo build --release --workspace
 
 echo "== tests =="
 cargo test --workspace -q
+
+echo "== tests under strict-audit (audit every buffer op) =="
+cargo test -q -p damq-core --features strict-audit
+cargo test -q -p damq-net --features strict-audit
+cargo test -q -p damq-microarch --features strict-audit
+
+echo "== model checker (2x2 exhaustive, small bound) =="
+cargo run -q -p damq-verify --bin model_check -- --quick
 
 echo "== rustdoc (warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -49,7 +49,7 @@
 //! see the repository README and EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// Buffer structures: FIFO, SAMQ, SAFC and DAMQ (re-export of `damq-core`).
 pub mod buffers {

@@ -35,7 +35,15 @@ fn unknown_command_is_a_clean_error() {
 
 #[test]
 fn markov_subcommand_reports_a_discard_probability() {
-    let out = damq(&["markov", "--buffer", "damq", "--slots", "2", "--traffic", "0.5"]);
+    let out = damq(&[
+        "markov",
+        "--buffer",
+        "damq",
+        "--slots",
+        "2",
+        "--traffic",
+        "0.5",
+    ]);
     assert!(out.status.success(), "{:?}", out);
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("DAMQ"));

@@ -198,7 +198,9 @@ fn butterfly_wiring_reproduces_the_damq_advantage() {
     };
     let sat = |kind| {
         find_saturation(
-            base().buffer_kind(kind).topology_kind(TopologyKind::Butterfly),
+            base()
+                .buffer_kind(kind)
+                .topology_kind(TopologyKind::Butterfly),
             opts,
         )
         .unwrap()
@@ -206,10 +208,7 @@ fn butterfly_wiring_reproduces_the_damq_advantage() {
     };
     let fifo = sat(BufferKind::Fifo);
     let damq = sat(BufferKind::Damq);
-    assert!(
-        damq >= 1.3 * fifo,
-        "butterfly: DAMQ {damq} vs FIFO {fifo}"
-    );
+    assert!(damq >= 1.3 * fifo, "butterfly: DAMQ {damq} vs FIFO {fifo}");
 }
 
 #[test]

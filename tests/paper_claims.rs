@@ -108,8 +108,15 @@ fn claim_virtual_cut_through_takes_four_cycles_regardless_of_length() {
     // depend on the packet's length.
     for len in [1usize, 8, 17, 32] {
         let mut chip = Chip::new(ChipConfig::comcobb());
-        chip.program_route(1, 0x05, RouteEntry { output: 3, new_header: 0x06 })
-            .unwrap();
+        chip.program_route(
+            1,
+            0x05,
+            RouteEntry {
+                output: 3,
+                new_header: 0x06,
+            },
+        )
+        .unwrap();
         let data = vec![0x5A; len];
         chip.input_wire_mut(1).drive_packet(0, 0x05, &data);
         chip.run_to_quiescence(200);
@@ -132,8 +139,15 @@ fn claim_one_byte_per_cycle_at_full_rate() {
     // the rate of one byte per clock cycle" — the forwarded packet's bytes
     // occupy consecutive cycles with no stalls.
     let mut chip = Chip::new(ChipConfig::comcobb());
-    chip.program_route(0, 0x01, RouteEntry { output: 1, new_header: 0x02 })
-        .unwrap();
+    chip.program_route(
+        0,
+        0x01,
+        RouteEntry {
+            output: 1,
+            new_header: 0x02,
+        },
+    )
+    .unwrap();
     chip.input_wire_mut(0).drive_packet(0, 0x01, &[7; 32]);
     chip.run_to_quiescence(100);
     let events = chip.output_log(1).events();
