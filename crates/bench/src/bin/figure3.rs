@@ -7,13 +7,15 @@
 //!
 //! The (design, load) grid is swept in parallel through
 //! [`damq_bench::sweep`], each cell seeded from its coordinates. The run
-//! also writes `results/json/figure3.json`.
+//! also writes `results/json/figure3.json`, whose `telemetry` section
+//! profiles the sweep (per-cell wall time, phases, parallel speed-up).
 
 use damq_bench::json::{measurement_json, Json, Report};
 use damq_bench::{render_table, sweep};
 use damq_core::BufferKind;
 use damq_net::{measure, NetworkConfig};
 use damq_switch::FlowControl;
+use damq_telemetry::Profiler;
 
 const WARM_UP: u64 = 1_000;
 const WINDOW: u64 = 8_000;
@@ -34,7 +36,9 @@ fn main() {
         .flat_map(|k| (0..loads.len()).map(move |l| (k, l)))
         .collect();
     let mut report = Report::new("figure3");
-    let measurements = sweep::run(&cells, |&(k, l)| {
+    let mut profiler = Profiler::new();
+    let sweep_phase = profiler.phase("sweep");
+    let (measurements, profile) = sweep::run_profiled(&cells, |&(k, l)| {
         measure(
             base.buffer_kind(kinds[k])
                 .offered_load(loads[l])
@@ -44,6 +48,8 @@ fn main() {
         )
         .expect("simulation must run")
     });
+    drop(sweep_phase);
+    let render_phase = profiler.phase("render");
 
     report.meta("network", Json::from("64x64 Omega, blocking, uniform"));
     report.meta("slots_per_buffer", Json::from(4usize));
@@ -92,6 +98,8 @@ fn main() {
 
     println!();
     println!("{}", ascii_plot(&curves, 60, 20));
+    drop(render_phase);
+    report.telemetry_from_profile(&profile, &profiler);
     report.write_and_announce();
 }
 

@@ -20,6 +20,7 @@ use damq_bench::sweep;
 use damq_core::BufferKind;
 use damq_net::{NetworkConfig, NetworkSim, TrafficPattern};
 use damq_switch::FlowControl;
+use damq_telemetry::Profiler;
 
 const SHADES: &[u8] = b" .:-=+*#%@";
 const CHECKPOINTS: [u64; 4] = [10, 50, 200, 1000];
@@ -105,7 +106,11 @@ fn main() {
     ];
     let cells: Vec<usize> = (0..patterns.len()).collect();
     let mut report = Report::new("tree_saturation");
-    let runs = sweep::run(&cells, |&i| run_pattern(patterns[i].1));
+    let mut profiler = Profiler::new();
+    let sweep_phase = profiler.phase("sweep");
+    let (runs, profile) = sweep::run_profiled(&cells, |&i| run_pattern(patterns[i].1));
+    drop(sweep_phase);
+    let render_phase = profiler.phase("render");
 
     report.meta(
         "network",
@@ -148,5 +153,7 @@ fn main() {
     println!("the hot spot's tree: 1 last-stage switch -> 4 middle -> 16 first-stage;");
     println!("once it is full, backpressure reaches every source and the whole");
     println!("network is capped at ~0.24 offered load no matter which buffer is used.");
+    drop(render_phase);
+    report.telemetry_from_profile(&profile, &profiler);
     report.write_and_announce();
 }

@@ -38,8 +38,9 @@ use std::time::Instant;
 
 use damq_markov::DiscardPoint;
 use damq_net::{Measurement, SaturationResult};
+use damq_telemetry::Profiler;
 
-use crate::sweep::Aggregate;
+use crate::sweep::{Aggregate, SweepProfile};
 
 /// A JSON value with deterministic, insertion-ordered serialization.
 #[derive(Debug, Clone, PartialEq)]
@@ -329,6 +330,7 @@ pub struct Report {
     name: String,
     meta: Vec<(String, Json)>,
     cells: Vec<Json>,
+    telemetry: Option<Json>,
     started: Instant,
 }
 
@@ -345,6 +347,7 @@ impl Report {
             name: name.to_owned(),
             meta: Vec::new(),
             cells: Vec::new(),
+            telemetry: None,
             started: Instant::now(),
         }
     }
@@ -363,6 +366,62 @@ impl Report {
     /// Number of cells recorded so far.
     pub fn cell_count(&self) -> usize {
         self.cells.len()
+    }
+
+    /// Attaches a profiling `telemetry` section to the report.
+    ///
+    /// Timings vary run to run, so the section is emitted by
+    /// [`Report::write`] next to the `run` envelope and stays out of the
+    /// deterministic [`Report::body`].
+    pub fn set_telemetry(&mut self, telemetry: Json) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Builds the `telemetry` section from a sweep's wall-clock profile
+    /// and an optional phase [`Profiler`], then attaches it with
+    /// [`Report::set_telemetry`].
+    ///
+    /// The section records where the time went: worker count, sweep wall
+    /// time, summed per-cell time and the implied parallel speed-up, the
+    /// slowest cell, the full per-cell timing vector (cell order — the
+    /// same order as `cells` in the body), and per-phase seconds from the
+    /// profiler.
+    pub fn telemetry_from_profile(&mut self, profile: &SweepProfile, profiler: &Profiler) {
+        let slowest = profile.slowest_cell().map_or(Json::Null, |(i, secs)| {
+            Json::obj([("index", Json::from(i)), ("secs", Json::from(secs))])
+        });
+        let mut section = vec![
+            ("workers".to_owned(), Json::from(profile.workers)),
+            ("sweep_secs".to_owned(), Json::from(profile.total_secs)),
+            (
+                "cell_secs_sum".to_owned(),
+                Json::from(profile.cell_secs_sum()),
+            ),
+            ("speedup".to_owned(), Json::from(profile.speedup())),
+            ("slowest_cell".to_owned(), slowest),
+            (
+                "per_cell_secs".to_owned(),
+                Json::Arr(
+                    profile
+                        .per_cell_secs
+                        .iter()
+                        .map(|&s| Json::from(s))
+                        .collect(),
+                ),
+            ),
+        ];
+        if !profiler.phases().is_empty() {
+            section.push((
+                "phases".to_owned(),
+                Json::obj(
+                    profiler
+                        .phases()
+                        .iter()
+                        .map(|(name, d)| (*name, Json::from(d.as_secs_f64()))),
+                ),
+            ));
+        }
+        self.set_telemetry(Json::Obj(section));
     }
 
     /// The deterministic record: experiment name, schema version,
@@ -404,6 +463,9 @@ impl Report {
                 ),
             ]),
         ));
+        if let Some(telemetry) = &self.telemetry {
+            doc.push(("telemetry".to_owned(), telemetry.clone()));
+        }
         let dir = std::env::var("DAMQ_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
         let dir = PathBuf::from(dir).join("json");
         std::fs::create_dir_all(&dir)?;
@@ -417,8 +479,8 @@ impl Report {
     /// redirection.
     pub fn write_and_announce(&self) {
         match self.write() {
-            Ok(path) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("warning: could not write JSON report: {e}"),
+            Ok(path) => eprintln!("wrote {}", path.display()), // lint: allow — harness status channel
+            Err(e) => eprintln!("warning: could not write JSON report: {e}"), // lint: allow — harness status channel
         }
     }
 }
@@ -485,5 +547,42 @@ mod tests {
         let body = r.body().render();
         assert!(!body.contains("wall_clock"));
         assert!(body.contains(r#""cell_count":1"#));
+    }
+
+    #[test]
+    fn telemetry_section_stays_out_of_the_body() {
+        let mut r = Report::new("t");
+        let profile = SweepProfile {
+            per_cell_secs: vec![0.25, 1.5],
+            total_secs: 1.75,
+            workers: 2,
+        };
+        let mut profiler = Profiler::new();
+        profiler.add("sweep", std::time::Duration::from_millis(1750));
+        r.telemetry_from_profile(&profile, &profiler);
+        // Deterministic body is untouched...
+        assert!(!r.body().render().contains("telemetry"));
+        // ...but the section itself records the profile faithfully.
+        let section = r.telemetry.as_ref().expect("telemetry attached").render();
+        assert!(section.contains(r#""workers":2"#));
+        assert!(section.contains(r#""sweep_secs":1.75"#));
+        assert!(section.contains(r#""cell_secs_sum":1.75"#));
+        assert!(section.contains(r#""slowest_cell":{"index":1,"secs":1.5}"#));
+        assert!(section.contains(r#""per_cell_secs":[0.25,1.5]"#));
+        assert!(section.contains(r#""phases":{"sweep":1.75}"#));
+    }
+
+    #[test]
+    fn empty_profile_yields_null_slowest_cell() {
+        let mut r = Report::new("t");
+        let profile = SweepProfile {
+            per_cell_secs: Vec::new(),
+            total_secs: 0.0,
+            workers: 1,
+        };
+        r.telemetry_from_profile(&profile, &Profiler::new());
+        let section = r.telemetry.as_ref().expect("telemetry attached").render();
+        assert!(section.contains(r#""slowest_cell":null"#));
+        assert!(!section.contains("phases"));
     }
 }

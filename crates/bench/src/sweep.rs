@@ -47,6 +47,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use damq_net::Measurement;
 
@@ -124,6 +125,85 @@ where
                 .expect("every cell produced a result")
         })
         .collect()
+}
+
+/// Wall-clock profile of one sweep: where the time went, cell by cell.
+///
+/// Produced by [`run_profiled`]; rendered into the JSON report's
+/// `telemetry` section by
+/// [`Report::telemetry_from_profile`](crate::json::Report::telemetry_from_profile).
+/// Timings are observational (they vary run to run) and are therefore
+/// kept out of the deterministic report body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepProfile {
+    /// Wall-clock seconds each cell took, in cell order.
+    pub per_cell_secs: Vec<f64>,
+    /// Wall-clock seconds for the whole sweep (parallel, so typically far
+    /// less than the sum of the per-cell times).
+    pub total_secs: f64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl SweepProfile {
+    /// Sum of per-cell wall-clock seconds (total CPU-ish time).
+    pub fn cell_secs_sum(&self) -> f64 {
+        self.per_cell_secs.iter().sum()
+    }
+
+    /// Index and duration of the slowest cell, if any cells ran.
+    pub fn slowest_cell(&self) -> Option<(usize, f64)> {
+        self.per_cell_secs
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Parallel speed-up achieved: summed cell time over sweep wall time
+    /// (0 when the sweep was instantaneous).
+    pub fn speedup(&self) -> f64 {
+        if self.total_secs <= 0.0 {
+            0.0
+        } else {
+            self.cell_secs_sum() / self.total_secs
+        }
+    }
+}
+
+/// Like [`run`], but also times every cell, returning the results
+/// together with a [`SweepProfile`].
+///
+/// Results are identical to [`run`]'s (the timing wrapper does not touch
+/// the cell function); only the profile is scheduling-dependent.
+pub fn run_profiled<C, R, F>(cells: &[C], f: F) -> (Vec<R>, SweepProfile)
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&C) -> R + Sync,
+{
+    let workers = worker_count();
+    let start = Instant::now();
+    let timed = run_with_workers(cells, workers, |cell| {
+        let cell_start = Instant::now();
+        let result = f(cell);
+        (result, cell_start.elapsed().as_secs_f64())
+    });
+    let total_secs = start.elapsed().as_secs_f64();
+    let mut results = Vec::with_capacity(timed.len());
+    let mut per_cell_secs = Vec::with_capacity(timed.len());
+    for (result, secs) in timed {
+        results.push(result);
+        per_cell_secs.push(secs);
+    }
+    (
+        results,
+        SweepProfile {
+            per_cell_secs,
+            total_secs,
+            workers,
+        },
+    )
 }
 
 /// Derives a deterministic per-cell RNG seed from an experiment's base
@@ -318,6 +398,28 @@ mod tests {
         assert!((a.mean - 10.0).abs() < 1e-12);
         assert!((a.stddev - 2.5f64.sqrt()).abs() < 1e-12);
         assert!((a.ci95 - 2.776 * 2.5f64.sqrt() / 5f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_profiled_matches_run_and_times_every_cell() {
+        let cells: Vec<u64> = (0..9).collect();
+        let plain = run(&cells, |&c| c + 1);
+        let (results, profile) = run_profiled(&cells, |&c| c + 1);
+        assert_eq!(results, plain);
+        assert_eq!(profile.per_cell_secs.len(), cells.len());
+        assert!(profile.per_cell_secs.iter().all(|&s| s >= 0.0));
+        assert!(profile.total_secs >= 0.0);
+        assert!(profile.workers >= 1);
+        assert!(profile.slowest_cell().is_some());
+        assert!(profile.cell_secs_sum() >= 0.0);
+    }
+
+    #[test]
+    fn empty_profile_has_no_slowest_cell() {
+        let (results, profile) = run_profiled(&[] as &[u32], |&c| c);
+        assert!(results.is_empty());
+        assert_eq!(profile.slowest_cell(), None);
+        assert_eq!(profile.cell_secs_sum(), 0.0);
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) -> Stats {
         median_ns: per_op[per_op.len() / 2],
         batch_ops,
     };
+    // lint: allow — the aligned report line IS this harness's output.
     println!(
         "{label:<40} {:>12.1} ns/op min {:>12.1} ns/op median ({} ops/batch)",
         stats.min_ns, stats.median_ns, stats.batch_ops

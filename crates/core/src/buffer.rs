@@ -270,6 +270,18 @@ pub trait SwitchBuffer: fmt::Debug {
             .collect()
     }
 
+    /// Records one cycle's head-of-line blocking into
+    /// [`stats`](SwitchBuffer::stats) and returns the number of blocked
+    /// packets: residents that cannot even be considered for transmission
+    /// because a packet bound for a *different* output sits ahead of them.
+    ///
+    /// Per-output designs (SAMQ, SAFC, DAMQ, DAFC) never structurally
+    /// block and keep the default, which records and returns zero; the
+    /// FIFO baseline overrides it. Call once per simulated cycle.
+    fn note_hol_blocked(&mut self) -> u64 {
+        0
+    }
+
     /// Verifies the design's structural invariants (list partition,
     /// register/counter sync, queue shape — see [`AuditError`] and
     /// `docs/VERIFICATION.md`) without panicking.

@@ -183,6 +183,20 @@ impl SwitchBuffer for FifoBuffer {
         self.stats.reset();
     }
 
+    fn note_hol_blocked(&mut self) -> u64 {
+        let Some(head) = self.head_output() else {
+            return 0;
+        };
+        let blocked = self
+            .queue
+            .iter()
+            .skip(1)
+            .filter(|e| e.output != head)
+            .count() as u64;
+        self.stats.record_hol_blocked(blocked);
+        blocked
+    }
+
     fn audit(&self) -> Result<(), AuditError> {
         let sum: usize = self.queue.iter().map(|e| e.slots).sum();
         audit_ensure!(
@@ -274,6 +288,23 @@ mod tests {
         assert_eq!(b.queue_len(OutputPort::new(1)), 1);
         assert!(b.dequeue(OutputPort::new(1)).is_some());
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn hol_blocking_counts_foreign_output_residents() {
+        let mut b = buf(4);
+        assert_eq!(b.note_hol_blocked(), 0); // empty buffer
+        b.try_enqueue(OutputPort::new(3), pkt(8)).unwrap();
+        b.try_enqueue(OutputPort::new(1), pkt(8)).unwrap();
+        b.try_enqueue(OutputPort::new(3), pkt(8)).unwrap();
+        // Head is for out3; the out1 packet is blocked, the second out3
+        // packet merely queues behind its own output.
+        assert_eq!(b.note_hol_blocked(), 1);
+        assert_eq!(b.stats().hol_blocked(), 1);
+        b.dequeue(OutputPort::new(3)).unwrap();
+        // New head is the out1 packet: the trailing out3 packet is blocked.
+        assert_eq!(b.note_hol_blocked(), 1);
+        assert_eq!(b.stats().hol_blocked(), 2);
     }
 
     #[test]

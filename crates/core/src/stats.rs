@@ -26,6 +26,7 @@ pub struct BufferStats {
     packets_forwarded: u64,
     slots_accepted: u64,
     peak_used_slots: usize,
+    hol_blocked: u64,
 }
 
 impl BufferStats {
@@ -48,6 +49,15 @@ impl BufferStats {
     /// Records a packet leaving through the crossbar.
     pub fn record_forwarded(&mut self) {
         self.packets_forwarded += 1;
+    }
+
+    /// Records `n` packet-cycles of head-of-line blocking: resident
+    /// packets that could not even be considered for transmission this
+    /// cycle because a packet bound for a *different* output sat ahead of
+    /// them. Only FIFO buffers exhibit this; per-output designs always
+    /// record zero.
+    pub fn record_hol_blocked(&mut self, n: u64) {
+        self.hol_blocked += n;
     }
 
     /// Tracks the high-water mark of slot occupancy.
@@ -82,6 +92,11 @@ impl BufferStats {
         self.peak_used_slots
     }
 
+    /// Accumulated packet-cycles of head-of-line blocking.
+    pub fn hol_blocked(&self) -> u64 {
+        self.hol_blocked
+    }
+
     /// Packets that arrived at this buffer (accepted + rejected).
     pub fn offered(&self) -> u64 {
         self.packets_accepted + self.packets_rejected
@@ -109,6 +124,7 @@ impl BufferStats {
         self.packets_forwarded += other.packets_forwarded;
         self.slots_accepted += other.slots_accepted;
         self.peak_used_slots = self.peak_used_slots.max(other.peak_used_slots);
+        self.hol_blocked += other.hol_blocked;
     }
 }
 
@@ -116,11 +132,12 @@ impl fmt::Display for BufferStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "accepted {} / rejected {} / forwarded {} (peak {} slots)",
+            "accepted {} / rejected {} / forwarded {} (peak {} slots, hol {})",
             self.packets_accepted,
             self.packets_rejected,
             self.packets_forwarded,
-            self.peak_used_slots
+            self.peak_used_slots,
+            self.hol_blocked
         )
     }
 }
@@ -161,12 +178,26 @@ mod tests {
         let mut a = BufferStats::new();
         a.record_accepted(2);
         a.observe_used_slots(2);
+        a.record_hol_blocked(3);
         let mut b = BufferStats::new();
         b.record_rejected();
         b.observe_used_slots(5);
+        b.record_hol_blocked(1);
         a.merge(&b);
         assert_eq!(a.offered(), 2);
         assert_eq!(a.peak_used_slots(), 5);
+        assert_eq!(a.hol_blocked(), 4);
+    }
+
+    #[test]
+    fn hol_blocking_accumulates() {
+        let mut s = BufferStats::new();
+        s.record_hol_blocked(2);
+        s.record_hol_blocked(0);
+        s.record_hol_blocked(1);
+        assert_eq!(s.hol_blocked(), 3);
+        s.reset();
+        assert_eq!(s.hol_blocked(), 0);
     }
 
     #[test]

@@ -191,6 +191,81 @@ fn damq_shares_all_storage() {
     }
 }
 
+/// `peak_used_slots` is exactly the high-water mark of `used_slots`
+/// across arbitrary op sequences, for every design.
+#[test]
+fn peak_used_slots_is_the_high_water_mark() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5_000 + seed);
+        let count = rng.random_range(1..200usize);
+        let ops = random_ops(&mut rng, 4, count);
+        for kind in BufferKind::EXTENDED {
+            let mut buf = BufferConfig::new(4, 12).build(kind).unwrap();
+            let mut serial = 0u64;
+            let mut high_water = 0usize;
+            for op in &ops {
+                match *op {
+                    Op::Enqueue { output, length } => {
+                        let _ = buf.try_enqueue(OutputPort::new(output), packet(serial, length));
+                        serial += 1;
+                    }
+                    Op::Dequeue { output } => {
+                        let _ = buf.dequeue(OutputPort::new(output));
+                    }
+                }
+                high_water = high_water.max(buf.used_slots());
+                assert_eq!(
+                    buf.stats().peak_used_slots(),
+                    high_water,
+                    "{kind} peak drifted from the observed maximum, seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+/// `packets_forwarded` counts packets (not slots), including multi-slot
+/// packets, for every design; accepted − forwarded always equals the
+/// resident packet count.
+#[test]
+fn forwarded_counts_multislot_packets_once() {
+    for kind in BufferKind::EXTENDED {
+        let mut buf = BufferConfig::new(4, 16).build(kind).unwrap();
+        // Packets spanning 1, 2 and 3 slots (slot size is DEFAULT_SLOT_BYTES
+        // bytes), one per queue so the static partitions (4 slots each)
+        // also fit, and so FIFO's global dequeue order matches.
+        let slot = buf.slot_bytes();
+        let lengths = [1, slot + 1, 2 * slot + 1, 1];
+        for (queue, &len) in lengths.iter().enumerate() {
+            buf.try_enqueue(OutputPort::new(queue), packet(queue as u64, len))
+                .unwrap_or_else(|_| panic!("{kind} must accept within capacity"));
+        }
+        assert_eq!(buf.stats().packets_accepted(), lengths.len() as u64);
+        assert_eq!(
+            buf.stats().slots_accepted(),
+            1 + 2 + 3 + 1,
+            "{kind} slot accounting"
+        );
+        for (queue, _) in lengths.iter().enumerate() {
+            let p = buf
+                .dequeue(OutputPort::new(queue))
+                .unwrap_or_else(|| panic!("{kind} queue {queue} holds a packet"));
+            assert_eq!(p.id().serial(), queue as u64, "{kind} dequeue order");
+            assert_eq!(
+                buf.stats().packets_forwarded(),
+                queue as u64 + 1,
+                "{kind} forwarded a multi-slot packet more or less than once"
+            );
+            assert_eq!(
+                buf.stats().packets_accepted() - buf.stats().packets_forwarded(),
+                buf.packet_count() as u64,
+                "{kind} resident-count balance"
+            );
+        }
+        assert_eq!(buf.used_slots(), 0, "{kind} released all slots");
+    }
+}
+
 /// SAMQ/SAFC never let one queue exceed its static partition.
 #[test]
 fn static_designs_respect_partitions() {

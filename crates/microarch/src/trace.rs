@@ -1,7 +1,15 @@
 //! Cycle/phase event tracing — how the model reproduces the paper's
 //! Table 1.
+//!
+//! [`Trace`] is an adapter over the workspace telemetry layer: it wraps a
+//! [`MemorySink`] of [`TraceEvent`]s and itself implements
+//! [`TelemetrySink<TraceEvent>`], so chip-level traces plug into the same
+//! sink machinery the network simulator uses (see `docs/OBSERVABILITY.md`)
+//! while keeping the Table-1-oriented query helpers.
 
 use std::fmt;
+
+use damq_telemetry::{MemorySink, TelemetrySink};
 
 /// The two phases of the ComCoBB's 20 MHz clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -92,22 +100,25 @@ pub struct TraceEvent {
     pub event: ChipEvent,
 }
 
-/// An append-only event log with query helpers.
+/// An append-only event log with query helpers, backed by a telemetry
+/// [`MemorySink`].
 ///
 /// Tracing is on by default; long-running simulations that do not need
 /// the event log should [`Trace::set_enabled`]`(false)` to keep memory
 /// flat (the log otherwise grows by a few events per byte moved).
+///
+/// `Trace` implements [`TelemetrySink<TraceEvent>`], so chip models can
+/// be handed any other sink (counting, JSONL, …) wherever a `Trace` was
+/// accepted generically.
 #[derive(Debug, Clone)]
 pub struct Trace {
-    events: Vec<TraceEvent>,
-    enabled: bool,
+    sink: MemorySink<TraceEvent>,
 }
 
 impl Default for Trace {
     fn default() -> Self {
         Trace {
-            events: Vec::new(),
-            enabled: true,
+            sink: MemorySink::new(),
         }
     }
 }
@@ -120,20 +131,17 @@ impl Trace {
 
     /// Turns event recording on or off (existing events are kept).
     pub fn set_enabled(&mut self, enabled: bool) {
-        self.enabled = enabled;
+        self.sink.set_enabled(enabled);
     }
 
     /// Whether events are currently being recorded.
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        TelemetrySink::<TraceEvent>::enabled(&self.sink)
     }
 
     /// Appends an event (no-op while disabled).
     pub fn record(&mut self, cycle: u64, phase: Phase, port: usize, event: ChipEvent) {
-        if !self.enabled {
-            return;
-        }
-        self.events.push(TraceEvent {
+        self.sink.record(TraceEvent {
             cycle,
             phase,
             port,
@@ -143,29 +151,39 @@ impl Trace {
 
     /// All events in record order.
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        self.sink.events()
     }
 
     /// The first event matching `predicate`.
     pub fn first<F: Fn(&TraceEvent) -> bool>(&self, predicate: F) -> Option<&TraceEvent> {
-        self.events.iter().find(|e| predicate(e))
+        self.events().iter().find(|e| predicate(e))
     }
 
     /// All events on `port`.
     pub fn for_port(&self, port: usize) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| e.port == port)
+        self.events().iter().filter(move |e| e.port == port)
     }
 
     /// Renders the trace as a cycle/phase table (a Table-1-style listing).
     pub fn render(&self) -> String {
         let mut out = String::from("cycle  phase  port  event\n");
-        for e in &self.events {
+        for e in self.events() {
             out.push_str(&format!(
                 "{:>5}  {:>5}  {:>4}  {:?}\n",
                 e.cycle, e.phase, e.port, e.event
             ));
         }
         out
+    }
+}
+
+impl TelemetrySink<TraceEvent> for Trace {
+    fn enabled(&self) -> bool {
+        self.is_enabled()
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.sink.record(event);
     }
 }
 
@@ -203,6 +221,28 @@ mod tests {
         t.record(2, Phase::Zero, 0, ChipEvent::StartBitDetected);
         assert_eq!(t.events().len(), 1);
         assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn trace_is_a_telemetry_sink() {
+        // Chip code that is generic over TelemetrySink<TraceEvent> accepts
+        // a Trace directly.
+        fn feed<S: TelemetrySink<TraceEvent>>(sink: &mut S) {
+            sink.record(TraceEvent {
+                cycle: 3,
+                phase: Phase::One,
+                port: 2,
+                event: ChipEvent::HeaderSent,
+            });
+        }
+        let mut t = Trace::new();
+        feed(&mut t);
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].port, 2);
+
+        let mut counter = damq_telemetry::CountingSink::new();
+        feed(&mut counter);
+        assert_eq!(counter.count(), 1);
     }
 
     #[test]

@@ -7,11 +7,19 @@ use std::fmt;
 /// route), and report latency in clock cycles.
 pub const CLOCKS_PER_CYCLE: u64 = 12;
 
-/// Streaming mean/min/max accumulator.
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// The running mean and the centred second moment `m2` are updated per
+/// observation, which is numerically stable where a naive sum-of-squares
+/// would catastrophically cancel. Two accumulators — e.g. from parallel
+/// sweep workers — combine exactly with [`Accumulator::merge`] (Chan et
+/// al.'s parallel update).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Accumulator {
     count: u64,
-    sum: f64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean.
+    m2: f64,
     min: f64,
     max: f64,
 }
@@ -32,7 +40,29 @@ impl Accumulator {
             self.max = self.max.max(value);
         }
         self.count += 1;
-        self.sum += value;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Combines another accumulator's observations into this one, as if
+    /// every value had been [`record`](Accumulator::record)ed here.
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Number of observations.
@@ -45,8 +75,23 @@ impl Accumulator {
         if self.count == 0 {
             0.0
         } else {
-            self.sum / self.count as f64
+            self.mean
         }
+    }
+
+    /// Sample variance (`n − 1` denominator); 0 with fewer than two
+    /// observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation; 0 with fewer than two observations.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
     }
 
     /// Smallest observation; 0 when empty.
@@ -430,6 +475,83 @@ mod tests {
         assert_eq!(a.mean(), 0.0);
         assert_eq!(a.min(), 0.0);
         assert_eq!(a.max(), 0.0);
+        assert_eq!(a.variance(), 0.0);
+        assert_eq!(a.stddev(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_has_zero_variance() {
+        let mut a = Accumulator::new();
+        a.record(5.0);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 5.0);
+        assert_eq!(a.variance(), 0.0);
+        assert_eq!(a.stddev(), 0.0);
+        assert_eq!(a.min(), 5.0);
+        assert_eq!(a.max(), 5.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass_variance() {
+        let values = [3.0, 7.0, 7.0, 19.0, 24.0, 1.5, -4.0];
+        let mut a = Accumulator::new();
+        for v in values {
+            a.record(v);
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var =
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+        assert!((a.mean() - mean).abs() < 1e-12);
+        assert!((a.variance() - var).abs() < 1e-12);
+        assert!((a.stddev() - var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        let left = [1.0, 2.0, 3.0, 10.0];
+        let right = [4.0, -8.0, 0.5];
+        let mut a = Accumulator::new();
+        for v in left {
+            a.record(v);
+        }
+        let mut b = Accumulator::new();
+        for v in right {
+            b.record(v);
+        }
+        let mut whole = Accumulator::new();
+        for v in left.iter().chain(&right) {
+            whole.record(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_edge_cases_with_empty_sides() {
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        b.record(2.0);
+        b.record(4.0);
+        // empty ← populated adopts the other side entirely.
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 3.0).abs() < 1e-12);
+        assert!((a.variance() - 2.0).abs() < 1e-12);
+        // populated ← empty is a no-op.
+        let before = a;
+        a.merge(&Accumulator::new());
+        assert_eq!(a, before);
+        // merging two singletons yields a two-sample variance.
+        let mut x = Accumulator::new();
+        x.record(1.0);
+        let mut y = Accumulator::new();
+        y.record(3.0);
+        x.merge(&y);
+        assert!((x.variance() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use damq_core::{
     AuditError, BufferKind, ConfigError, NodeId, Packet, PacketIdSource, DEFAULT_SLOT_BYTES,
 };
 use damq_switch::{ArbiterPolicy, FlowControl, Switch, SwitchConfig};
+use damq_telemetry::{Event, EventKind, NullSink, TelemetrySink};
 
 use crate::metrics::NetMetrics;
 use crate::topology::{Topology, TopologyError, TopologyKind};
@@ -326,8 +327,14 @@ struct ConservationLedger {
 }
 
 /// The simulator: a grid of switches, source queues and sinks.
+///
+/// `NetworkSim` is generic over a [`TelemetrySink`]; the default
+/// [`NullSink`] compiles every instrumentation point away, so
+/// [`NetworkSim::new`] behaves exactly as before telemetry existed. Pass
+/// a real sink to [`NetworkSim::with_sink`] to stream cycle-stamped
+/// lifecycle events (see `docs/OBSERVABILITY.md`).
 #[derive(Debug)]
-pub struct NetworkSim {
+pub struct NetworkSim<S: TelemetrySink<Event> = NullSink> {
     config: NetworkConfig,
     topology: Topology,
     /// `switches[stage][index]`.
@@ -340,10 +347,11 @@ pub struct NetworkSim {
     cycle: u64,
     metrics: NetMetrics,
     ledger: ConservationLedger,
+    sink: S,
 }
 
-impl NetworkSim {
-    /// Builds the network.
+impl NetworkSim<NullSink> {
+    /// Builds the network without telemetry.
     ///
     /// # Errors
     ///
@@ -351,6 +359,19 @@ impl NetworkSim {
     /// the buffer configuration is rejected (e.g. SAMQ slots not divisible
     /// by the radix).
     pub fn new(config: NetworkConfig) -> Result<Self, NetworkError> {
+        Self::with_sink(config, NullSink)
+    }
+}
+
+impl<S: TelemetrySink<Event>> NetworkSim<S> {
+    /// Builds the network with a telemetry sink attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if the topology dimensions are invalid or
+    /// the buffer configuration is rejected (e.g. SAMQ slots not divisible
+    /// by the radix).
+    pub fn with_sink(config: NetworkConfig, sink: S) -> Result<Self, NetworkError> {
         let topology = Topology::build(config.topology_kind, config.size, config.radix)?;
         let switch_config = SwitchConfig::new(config.radix)
             .buffer_kind(config.buffer_kind)
@@ -376,7 +397,46 @@ impl NetworkSim {
             cycle: 0,
             metrics: NetMetrics::new(config.size),
             ledger: ConservationLedger::default(),
+            sink,
         })
+    }
+
+    /// Read access to the telemetry sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the telemetry sink (e.g. to pause a
+    /// [`MemorySink`](damq_telemetry::MemorySink) during warm-up).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the simulator, flushing and returning the sink.
+    pub fn into_sink(mut self) -> S {
+        self.sink.flush();
+        self.sink
+    }
+
+    /// Emits a [`RunMeta`](EventKind::RunMeta) event describing this run.
+    ///
+    /// Call once before stepping so trace consumers can tell runs apart;
+    /// `note` is free-form (traffic pattern, load, seed).
+    pub fn emit_run_meta(&mut self, note: &str) {
+        if !self.sink.enabled() {
+            return;
+        }
+        self.sink.record(Event::new(
+            self.cycle,
+            EventKind::RunMeta {
+                design: self.config.buffer_kind.name().to_string(),
+                terminals: self.config.size as u32,
+                radix: self.config.radix as u32,
+                stages: self.topology.stages() as u32,
+                slots: self.config.slots_per_buffer as u32,
+                note: note.to_string(),
+            },
+        ));
     }
 
     /// The experiment configuration.
@@ -447,8 +507,11 @@ impl NetworkSim {
         self.cycle += 1;
         self.metrics.record_cycle();
         self.generate();
-        self.advance_stages();
+        let forwarded = self.advance_stages();
         self.inject();
+        if self.sink.enabled() {
+            self.emit_cycle_sample(forwarded);
+        }
         #[cfg(feature = "strict-audit")]
         if let Err(e) = self.audit() {
             // lint: allow — strict-audit must stop at the offending cycle.
@@ -511,17 +574,35 @@ impl NetworkSim {
                 .length_bytes(length)
                 .birth_cycle(self.cycle)
                 .build();
+            if self.sink.enabled() {
+                self.sink.record(Event::new(
+                    self.cycle,
+                    EventKind::Generated {
+                        packet: packet.id().serial(),
+                        source: src as u32,
+                        dest: packet.dest().index() as u32,
+                    },
+                ));
+            }
             self.source_queues[src].push_back(packet);
             self.metrics.record_generated();
             self.ledger.generated += 1;
         }
     }
 
-    fn advance_stages(&mut self) {
+    /// Returns per-stage forwarded-packet counts for the cycle sample
+    /// (empty, allocation-free, while the sink is disabled).
+    fn advance_stages(&mut self) -> Vec<u32> {
         let stages = self.topology.stages();
         let per_stage = self.topology.switches_per_stage();
         let blocking = self.config.flow_control.requires_backpressure();
         let topology = self.topology;
+        let tracing = self.sink.enabled();
+        let mut forwarded = if tracing {
+            vec![0u32; stages]
+        } else {
+            Vec::new()
+        };
 
         // Last stage delivers straight to the (always-ready) sinks.
         let last = stages - 1;
@@ -533,6 +614,26 @@ impl NetworkSim {
                 let total = self.cycle.saturating_sub(d.packet.birth_cycle());
                 let injected = d.packet.injected_cycle().unwrap_or(d.packet.birth_cycle());
                 let network = self.cycle.saturating_sub(injected);
+                if tracing {
+                    forwarded[last] += 1;
+                    let serial = d.packet.id().serial();
+                    self.sink.record(Event::new(
+                        self.cycle,
+                        EventKind::Forwarded {
+                            packet: serial,
+                            stage: last as u32,
+                            switch: sw as u32,
+                            output: d.output.index() as u32,
+                        },
+                    ));
+                    self.sink.record(Event::new(
+                        self.cycle,
+                        EventKind::Delivered {
+                            packet: serial,
+                            sink: sink.index() as u32,
+                        },
+                    ));
+                }
                 self.metrics.record_delivery_from(
                     d.packet.source().index(),
                     sink.index(),
@@ -561,10 +662,33 @@ impl NetworkSim {
                 for d in departures {
                     let (next_switch, next_port) = topology.next_hop(stage, sw, d.output);
                     let next_out = topology.route_output(stage + 1, d.packet.dest());
+                    if tracing {
+                        forwarded[stage] += 1;
+                        self.sink.record(Event::new(
+                            self.cycle,
+                            EventKind::Forwarded {
+                                packet: d.packet.id().serial(),
+                                stage: stage as u32,
+                                switch: sw as u32,
+                                output: d.output.index() as u32,
+                            },
+                        ));
+                    }
+                    let serial = d.packet.id().serial();
                     match downstream[next_switch].receive(next_port, next_out, d.packet) {
                         Ok(()) => {}
                         Err(_rejected) => {
                             debug_assert!(!blocking, "blocking transmit was pre-checked");
+                            if tracing {
+                                self.sink.record(Event::new(
+                                    self.cycle,
+                                    EventKind::NetworkDiscarded {
+                                        packet: serial,
+                                        stage: stage as u32,
+                                        switch: sw as u32,
+                                    },
+                                ));
+                            }
                             self.metrics.record_network_discard();
                             self.ledger.discarded += 1;
                         }
@@ -572,6 +696,7 @@ impl NetworkSim {
                 }
             }
         }
+        forwarded
     }
 
     fn inject(&mut self) {
@@ -589,15 +714,83 @@ impl NetworkSim {
             // lint: allow — the queue front was checked non-empty above.
             let mut packet = self.source_queues[src].pop_front().expect("front checked");
             packet.mark_injected(self.cycle);
+            let serial = packet.id().serial();
             match self.switches[0][sw].receive(port, out, packet) {
-                Ok(()) => self.metrics.record_injected(),
+                Ok(()) => {
+                    if self.sink.enabled() {
+                        self.sink.record(Event::new(
+                            self.cycle,
+                            EventKind::Injected {
+                                packet: serial,
+                                source: src as u32,
+                            },
+                        ));
+                    }
+                    self.metrics.record_injected();
+                }
                 Err(_rejected) => {
                     debug_assert!(!blocking, "blocking inject was pre-checked");
+                    if self.sink.enabled() {
+                        self.sink.record(Event::new(
+                            self.cycle,
+                            EventKind::EntryDiscarded {
+                                packet: serial,
+                                source: src as u32,
+                            },
+                        ));
+                    }
                     self.metrics.record_entry_discard();
                     self.ledger.discarded += 1;
                 }
             }
         }
+    }
+
+    /// Emits end-of-cycle aggregate events: one
+    /// [`HolBlocked`](EventKind::HolBlocked) per switch that blocked this
+    /// cycle, then one [`CycleSample`](EventKind::CycleSample). Only
+    /// called while the sink is enabled.
+    fn emit_cycle_sample(&mut self, forwarded: Vec<u32>) {
+        let stages = self.topology.stages();
+        let mut occupied = vec![0u32; stages];
+        let mut buffer_occupancy = vec![0u32; self.config.slots_per_buffer + 1];
+        let mut hol_total = 0u32;
+        for (stage, row) in self.switches.iter().enumerate() {
+            for (sw, switch) in row.iter().enumerate() {
+                occupied[stage] += switch.occupied_slots() as u32;
+                for port in 0..switch.ports() {
+                    let used = switch.buffer(damq_core::InputPort::new(port)).used_slots();
+                    buffer_occupancy[used.min(self.config.slots_per_buffer)] += 1;
+                }
+                let blocked = switch.hol_blocked_last_cycle() as u32;
+                if blocked > 0 {
+                    hol_total += blocked;
+                    self.sink.record(Event::new(
+                        self.cycle,
+                        EventKind::HolBlocked {
+                            stage: stage as u32,
+                            switch: sw as u32,
+                            blocked,
+                        },
+                    ));
+                }
+            }
+        }
+        let forwarded = if forwarded.is_empty() {
+            vec![0u32; stages]
+        } else {
+            forwarded
+        };
+        self.sink.record(Event::new(
+            self.cycle,
+            EventKind::CycleSample {
+                occupied,
+                forwarded,
+                buffer_occupancy,
+                backlog: self.source_backlog() as u32,
+                hol_blocked: hol_total,
+            },
+        ));
     }
 
     /// Verifies end-of-cycle packet conservation against the lifetime

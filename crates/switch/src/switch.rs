@@ -52,6 +52,8 @@ pub struct Switch {
     buffers: Vec<Box<dyn SwitchBuffer>>,
     arbiter: Arbiter,
     crossbar: Crossbar,
+    hol_blocked_last_cycle: u64,
+    hol_blocked_total: u64,
 }
 
 impl Switch {
@@ -73,6 +75,8 @@ impl Switch {
             buffers,
             arbiter: Arbiter::new(config.policy(), ports, ports),
             crossbar: Crossbar::new(ports, ports),
+            hol_blocked_last_cycle: 0,
+            hol_blocked_total: 0,
         })
     }
 
@@ -188,7 +192,25 @@ impl Switch {
             .collect();
         self.arbiter.complete_cycle(&served, &occupied);
         self.crossbar.release_all();
+
+        // End-of-cycle head-of-line accounting: packets still resident that
+        // a per-output design could have offered but this design could not.
+        self.hol_blocked_last_cycle = self.buffers.iter_mut().map(|b| b.note_hol_blocked()).sum();
+        self.hol_blocked_total += self.hol_blocked_last_cycle;
         departures
+    }
+
+    /// Packets head-of-line blocked at the end of the most recent
+    /// [`transmit_cycle`](Switch::transmit_cycle) (always 0 for per-output
+    /// buffer designs).
+    pub fn hol_blocked_last_cycle(&self) -> u64 {
+        self.hol_blocked_last_cycle
+    }
+
+    /// Accumulated packet-cycles of head-of-line blocking since
+    /// construction.
+    pub fn hol_blocked_total(&self) -> u64 {
+        self.hol_blocked_total
     }
 
     /// Total packets resident in all input buffers.
@@ -325,6 +347,39 @@ mod tests {
         let sent = sw.transmit_cycle(|_, _| true);
         assert_eq!(sent.len(), 1, "HOL blocking limits this cycle to 1");
         assert_eq!(sent[0].output, OutputPort::new(0));
+    }
+
+    #[test]
+    fn hol_accounting_tracks_fifo_blocking() {
+        let mut sw = switch(BufferKind::Fifo);
+        sw.receive(InputPort::new(0), OutputPort::new(0), pkt(0))
+            .unwrap();
+        sw.receive(InputPort::new(0), OutputPort::new(1), pkt(1))
+            .unwrap();
+        // Stall out0: the head cannot leave, so the out1 packet behind it
+        // is head-of-line blocked this cycle.
+        let sent = sw.transmit_cycle(|out, _| out.index() != 0);
+        assert!(sent.is_empty());
+        assert_eq!(sw.hol_blocked_last_cycle(), 1);
+        // Unstall: the head departs, the out1 packet becomes the head and
+        // is no longer blocked.
+        let sent = sw.transmit_cycle(|_, _| true);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sw.hol_blocked_last_cycle(), 0);
+        assert_eq!(sw.hol_blocked_total(), 1);
+        assert_eq!(sw.aggregate_stats().hol_blocked(), 1);
+
+        let mut dsw = switch(BufferKind::Damq);
+        dsw.receive(InputPort::new(0), OutputPort::new(0), pkt(0))
+            .unwrap();
+        dsw.receive(InputPort::new(0), OutputPort::new(1), pkt(1))
+            .unwrap();
+        let _ = dsw.transmit_cycle(|out, _| out.index() != 0);
+        assert_eq!(
+            dsw.hol_blocked_total(),
+            0,
+            "per-output designs never HOL-block"
+        );
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Unified telemetry layer for the DAMQ reproduction.
+//!
+//! The simulators in this workspace historically reported *end-of-run
+//! scalars* — counters in [`BufferStats`](../damq_core/struct.BufferStats.html),
+//! one latency accumulator per run. The paper's central claims, however,
+//! are **dynamic**: DAMQ beats the statically-partitioned designs because
+//! queue occupancy shifts across outputs *over time*, and hot-spot traffic
+//! saturates trees of switches stage by stage. This crate provides the
+//! instrumentation to observe those dynamics:
+//!
+//! * [`TelemetrySink`] — a generic, zero-overhead-when-disabled event sink.
+//!   Simulators are generic over the sink type; with the default
+//!   [`NullSink`] every `record` call is a no-op the optimiser removes, so
+//!   uninstrumented runs pay nothing.
+//! * [`Event`] — a cycle-stamped packet-lifecycle event model
+//!   (generate → inject → forward-per-stage → deliver, plus discards and
+//!   head-of-line blocking) with a deterministic JSONL encoding and a
+//!   matching parser, so one trace file yields per-hop latency breakdowns.
+//! * [`Downsampler`] / [`OccupancyHistogram`] — bounded-memory per-cycle
+//!   time-series collectors. A million-cycle run folds into a fixed number
+//!   of bins by repeatedly halving resolution.
+//! * [`TraceSummary`] — replays a trace into lifecycles, occupancy series,
+//!   HOL-blocking and discard timelines; the `trace_report` harness renders
+//!   these as a text dashboard.
+//! * [`Profiler`] — named-phase wall-clock accumulation for the sweep
+//!   engine's JSON `telemetry` section.
+//!
+//! See `docs/OBSERVABILITY.md` for the event model, the JSONL schema and
+//! worked examples.
+//!
+//! # Examples
+//!
+//! Record a tiny lifecycle into a memory sink and summarise it:
+//!
+//! ```
+//! use damq_telemetry::{Event, EventKind, MemorySink, TelemetrySink, TraceSummary};
+//!
+//! let mut sink = MemorySink::new();
+//! sink.record(Event::new(1, EventKind::Generated { packet: 0, source: 2, dest: 1 }));
+//! sink.record(Event::new(1, EventKind::Injected { packet: 0, source: 2 }));
+//! sink.record(Event::new(2, EventKind::Forwarded { packet: 0, stage: 0, switch: 1, output: 0 }));
+//! sink.record(Event::new(2, EventKind::Delivered { packet: 0, sink: 1 }));
+//!
+//! let summary = TraceSummary::from_events(sink.events());
+//! let life = &summary.lifecycles[&0];
+//! assert_eq!(life.network_latency(), Some(1));
+//! assert_eq!(life.hop_waits(), Some(vec![1]));
+//! ```
+
+#![deny(missing_docs)]
+
+mod collect;
+mod event;
+mod profile;
+mod series;
+mod sink;
+
+pub use collect::{Hop, Lifecycle, TraceSummary};
+pub use event::{Event, EventKind, ParseError};
+pub use profile::Profiler;
+pub use series::{sparkline, Bin, Downsampler, OccupancyHistogram};
+pub use sink::{CountingSink, JsonlRecord, JsonlSink, MemorySink, NullSink, TelemetrySink};

@@ -1,0 +1,117 @@
+//! Wall-clock profiling for the sweep engine.
+//!
+//! [`Profiler`] accumulates elapsed time under named phases so a sweep
+//! can report where its wall-clock went (simulation vs aggregation vs
+//! report writing) in the JSON `telemetry` section.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates wall-clock time under named phases.
+///
+/// Phases are identified by `&'static str` and accumulate across
+/// repeated visits; insertion order is preserved for reporting.
+///
+/// ```
+/// use damq_telemetry::Profiler;
+///
+/// let mut prof = Profiler::new();
+/// {
+///     let _guard = prof.phase("simulate");
+///     // ... work ...
+/// }
+/// prof.add("aggregate", std::time::Duration::from_millis(2));
+/// assert_eq!(prof.phases().len(), 2);
+/// assert!(prof.total().as_nanos() > 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Profiler {
+    phases: Vec<(&'static str, Duration)>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Starts timing `name`; the elapsed time is added when the returned
+    /// guard drops.
+    pub fn phase(&mut self, name: &'static str) -> PhaseGuard<'_> {
+        PhaseGuard {
+            profiler: self,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Adds `elapsed` to phase `name` directly (for durations measured
+    /// elsewhere, e.g. per-worker timings).
+    pub fn add(&mut self, name: &'static str, elapsed: Duration) {
+        if let Some((_, total)) = self.phases.iter_mut().find(|(n, _)| *n == name) {
+            *total += elapsed;
+        } else {
+            self.phases.push((name, elapsed));
+        }
+    }
+
+    /// Accumulated `(phase, duration)` pairs in first-seen order.
+    pub fn phases(&self) -> &[(&'static str, Duration)] {
+        &self.phases
+    }
+
+    /// Accumulated time for `name`, if the phase was ever recorded.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| *d)
+    }
+
+    /// Sum of all phase durations.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+/// Drop guard returned by [`Profiler::phase`].
+#[derive(Debug)]
+pub struct PhaseGuard<'a> {
+    profiler: &'a mut Profiler,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.profiler.add(self.name, elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_order() {
+        let mut prof = Profiler::new();
+        prof.add("b", Duration::from_millis(1));
+        prof.add("a", Duration::from_millis(2));
+        prof.add("b", Duration::from_millis(3));
+        let names: Vec<&str> = prof.phases().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["b", "a"]);
+        assert_eq!(prof.get("b"), Some(Duration::from_millis(4)));
+        assert_eq!(prof.get("missing"), None);
+        assert_eq!(prof.total(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn guard_records_on_drop() {
+        let mut prof = Profiler::new();
+        {
+            let _guard = prof.phase("work");
+            std::hint::black_box(0_u64);
+        }
+        assert!(prof.get("work").is_some());
+    }
+}

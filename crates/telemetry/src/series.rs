@@ -1,0 +1,339 @@
+//! Bounded-memory per-cycle time-series collectors.
+//!
+//! A simulation may run for millions of cycles; storing one sample per
+//! cycle is out of the question for routine sweeps. [`Downsampler`]
+//! keeps a fixed number of bins: when the bin budget is exhausted it
+//! merges adjacent bin pairs and doubles its stride, halving time
+//! resolution while preserving per-bin sum/min/max/count exactly. Memory
+//! is O(`max_bins`) regardless of run length.
+
+/// Aggregate of the samples that fell into one time bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bin {
+    /// Sum of samples in the bin.
+    pub sum: f64,
+    /// Smallest sample in the bin.
+    pub min: f64,
+    /// Largest sample in the bin.
+    pub max: f64,
+    /// Number of samples in the bin.
+    pub count: u64,
+}
+
+impl Bin {
+    fn single(value: f64) -> Self {
+        Bin {
+            sum: value,
+            min: value,
+            max: value,
+            count: 1,
+        }
+    }
+
+    fn absorb(&mut self, other: &Bin) {
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+
+    /// Mean of the samples in the bin.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A fixed-memory time series: one sample in, at most `max_bins` bins out.
+///
+/// Feed it one value per cycle with [`record`](Downsampler::record).
+/// Resolution starts at one cycle per bin and halves (stride doubles)
+/// each time the series fills up.
+///
+/// ```
+/// use damq_telemetry::Downsampler;
+///
+/// let mut d = Downsampler::new(4);
+/// for cycle in 0..16 {
+///     d.record(cycle as f64);
+/// }
+/// assert_eq!(d.stride(), 4);            // 16 samples / 4 bins
+/// assert_eq!(d.bins().len(), 4);
+/// assert_eq!(d.bins()[0].min, 0.0);
+/// assert_eq!(d.bins()[0].max, 3.0);
+/// assert_eq!(d.samples(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Downsampler {
+    max_bins: usize,
+    stride: u64,
+    bins: Vec<Bin>,
+    /// Partially-filled trailing bin, completed after `stride` samples.
+    pending: Option<Bin>,
+    pending_count: u64,
+    samples: u64,
+}
+
+impl Downsampler {
+    /// Creates a series holding at most `max_bins` bins (minimum 2,
+    /// rounded down to an even number so pair-merging is exact).
+    pub fn new(max_bins: usize) -> Self {
+        let max_bins = (max_bins.max(2)) & !1;
+        Downsampler {
+            max_bins,
+            stride: 1,
+            bins: Vec::new(),
+            pending: None,
+            pending_count: 0,
+            samples: 0,
+        }
+    }
+
+    /// Appends the next cycle's sample.
+    pub fn record(&mut self, value: f64) {
+        self.samples += 1;
+        match &mut self.pending {
+            Some(bin) => bin.absorb(&Bin::single(value)),
+            None => self.pending = Some(Bin::single(value)),
+        }
+        self.pending_count += 1;
+        if self.pending_count < self.stride {
+            return;
+        }
+        if self.bins.len() == self.max_bins {
+            // No room for the completed bin: halve resolution instead and
+            // let the pending bin keep filling to the doubled stride.
+            self.halve_resolution();
+            return;
+        }
+        let bin = self.pending.take().expect("pending bin exists");
+        self.pending_count = 0;
+        self.bins.push(bin);
+    }
+
+    /// Merges adjacent bin pairs and doubles the stride.
+    fn halve_resolution(&mut self) {
+        let mut merged = Vec::with_capacity(self.bins.len() / 2 + 1);
+        for pair in self.bins.chunks(2) {
+            let mut bin = pair[0];
+            if let Some(second) = pair.get(1) {
+                bin.absorb(second);
+            }
+            merged.push(bin);
+        }
+        self.bins = merged;
+        self.stride *= 2;
+    }
+
+    /// Completed bins, oldest first. The in-progress trailing bin is not
+    /// included; see [`bins_with_pending`](Downsampler::bins_with_pending).
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// Completed bins plus the partial trailing bin, if any.
+    pub fn bins_with_pending(&self) -> Vec<Bin> {
+        let mut out = self.bins.clone();
+        if let Some(bin) = self.pending {
+            out.push(bin);
+        }
+        out
+    }
+
+    /// Cycles per completed bin.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Per-bin means (including the partial trailing bin), for plotting.
+    pub fn means(&self) -> Vec<f64> {
+        self.bins_with_pending().iter().map(Bin::mean).collect()
+    }
+
+    /// Per-bin maxima (including the partial trailing bin).
+    pub fn maxes(&self) -> Vec<f64> {
+        self.bins_with_pending().iter().map(|b| b.max).collect()
+    }
+
+    /// Largest sample ever recorded, or 0.0 when empty.
+    pub fn peak(&self) -> f64 {
+        self.bins_with_pending()
+            .iter()
+            .map(|b| b.max)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Histogram of an occupancy-like quantity observed once per cycle.
+///
+/// Level `k` counts the cycles (or buffer-cycles) during which the
+/// observed value was exactly `k` — e.g. how often a buffer held 0, 1,
+/// … `capacity` slots. Levels grow on demand.
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyHistogram {
+    counts: Vec<u64>,
+    observations: u64,
+}
+
+impl OccupancyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        OccupancyHistogram::default()
+    }
+
+    /// Records one observation of occupancy `level`.
+    pub fn observe(&mut self, level: usize) {
+        if level >= self.counts.len() {
+            self.counts.resize(level + 1, 0);
+        }
+        self.counts[level] += 1;
+        self.observations += 1;
+    }
+
+    /// Records `n` simultaneous observations of occupancy `level`
+    /// (e.g. "40 buffers currently hold 0 slots").
+    pub fn observe_many(&mut self, level: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if level >= self.counts.len() {
+            self.counts.resize(level + 1, 0);
+        }
+        self.counts[level] += n;
+        self.observations += n;
+    }
+
+    /// Observation counts indexed by level.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Fraction of observations at or above `level` (0.0 when empty).
+    pub fn fraction_at_or_above(&self, level: usize) -> f64 {
+        if self.observations == 0 {
+            return 0.0;
+        }
+        let above: u64 = self.counts.iter().skip(level).sum();
+        above as f64 / self.observations as f64
+    }
+
+    /// Mean observed level (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.observations == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(level, &n)| level as f64 * n as f64)
+            .sum();
+        weighted / self.observations as f64
+    }
+}
+
+/// Block characters from one-eighth to full, for terminal sparklines.
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a unicode sparkline, scaled to the series' own
+/// maximum. Zero and empty series render as flat baselines.
+///
+/// ```
+/// use damq_telemetry::sparkline;
+/// assert_eq!(sparkline(&[0.0, 1.0, 2.0, 4.0]), "▁▂▄█");
+/// assert_eq!(sparkline(&[]), "");
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().copied().fold(0.0_f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 || v <= 0.0 {
+                SPARK_LEVELS[0]
+            } else {
+                let idx = ((v / max) * 8.0).ceil() as usize;
+                SPARK_LEVELS[idx.clamp(1, 8) - 1]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsampler_preserves_sum_and_extremes() {
+        let mut d = Downsampler::new(8);
+        let n = 10_000_u64;
+        for i in 0..n {
+            d.record(i as f64);
+        }
+        assert!(d.bins_with_pending().len() <= 9);
+        assert_eq!(d.samples(), n);
+        let total: f64 = d.bins_with_pending().iter().map(|b| b.sum).sum();
+        assert_eq!(total, (n * (n - 1) / 2) as f64);
+        let count: u64 = d.bins_with_pending().iter().map(|b| b.count).sum();
+        assert_eq!(count, n);
+        assert_eq!(d.peak(), (n - 1) as f64);
+        assert_eq!(d.bins()[0].min, 0.0);
+    }
+
+    #[test]
+    fn downsampler_stride_doubles() {
+        let mut d = Downsampler::new(4);
+        for _ in 0..4 {
+            d.record(1.0);
+        }
+        assert_eq!(d.stride(), 1);
+        assert_eq!(d.bins().len(), 4);
+        for _ in 0..12 {
+            d.record(1.0);
+        }
+        assert_eq!(d.stride(), 4);
+        assert_eq!(d.bins().len(), 4);
+    }
+
+    #[test]
+    fn downsampler_minimum_bins_is_even() {
+        let d = Downsampler::new(0);
+        assert_eq!(d.max_bins, 2);
+        let d = Downsampler::new(7);
+        assert_eq!(d.max_bins, 6);
+    }
+
+    #[test]
+    fn histogram_counts_and_fractions() {
+        let mut h = OccupancyHistogram::new();
+        h.observe_many(0, 3);
+        h.observe(2);
+        h.observe(2);
+        h.observe_many(4, 0);
+        assert_eq!(h.counts(), &[3, 0, 2]);
+        assert_eq!(h.observations(), 5);
+        assert!((h.fraction_at_or_above(1) - 0.4).abs() < 1e-12);
+        assert!((h.mean() - 0.8).abs() < 1e-12);
+        assert_eq!(OccupancyHistogram::new().fraction_at_or_above(0), 0.0);
+        assert_eq!(OccupancyHistogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn sparkline_scales_to_own_max() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        assert_eq!(sparkline(&[8.0]), "█");
+        assert_eq!(sparkline(&[1.0, 8.0]), "▁█");
+    }
+}

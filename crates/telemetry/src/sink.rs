@@ -1,0 +1,322 @@
+//! Event sinks: where simulators send telemetry.
+//!
+//! Simulators are generic over a [`TelemetrySink`], defaulting to
+//! [`NullSink`]. Because the sink type is a monomorphized generic (not a
+//! trait object), the `NullSink` implementation — `enabled()` returning
+//! `false` and an empty `record` — is inlined and removed by the
+//! optimiser, so uninstrumented runs pay nothing for the instrumentation
+//! points. The `no_op_sink_overhead` bench asserts this stays true.
+
+use std::io::{self, Write};
+
+/// A destination for cycle-stamped telemetry events.
+///
+/// The trait is generic over the event type `E`, so the same machinery
+/// serves both the network layer (`damq_telemetry::Event`) and the
+/// chip microarchitecture model (`damq_microarch::TraceEvent`).
+///
+/// Instrumentation sites with non-trivial event-construction cost should
+/// guard on [`enabled`](TelemetrySink::enabled):
+///
+/// ```
+/// # use damq_telemetry::{Event, EventKind, TelemetrySink, MemorySink};
+/// # fn expensive_scan() -> Vec<u32> { vec![] }
+/// # let mut sink: MemorySink<Event> = MemorySink::new();
+/// # let cycle = 0;
+/// if sink.enabled() {
+///     let occupied = expensive_scan();
+///     sink.record(Event::new(cycle, EventKind::CycleSample {
+///         occupied,
+///         forwarded: vec![],
+///         buffer_occupancy: vec![],
+///         backlog: 0,
+///         hol_blocked: 0,
+///     }));
+/// }
+/// ```
+pub trait TelemetrySink<E> {
+    /// Whether this sink currently wants events. Sites may skip building
+    /// events entirely when this returns `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Accepts one event.
+    fn record(&mut self, event: E);
+
+    /// Flushes any buffered output (no-op for in-memory sinks).
+    fn flush(&mut self) {}
+}
+
+/// The default sink: discards everything, reports itself disabled.
+///
+/// With this sink every instrumentation site compiles to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl<E> TelemetrySink<E> for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: E) {}
+}
+
+/// Collects events into a `Vec`, for tests and in-process analysis.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink<E> {
+    events: Vec<E>,
+    enabled: bool,
+}
+
+impl<E> MemorySink<E> {
+    /// Creates an enabled, empty sink.
+    pub fn new() -> Self {
+        MemorySink {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// The events recorded so far, in arrival order.
+    pub fn events(&self) -> &[E] {
+        &self.events
+    }
+
+    /// Consumes the sink, yielding its events.
+    pub fn into_events(self) -> Vec<E> {
+        self.events
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Pauses (`false`) or resumes (`true`) recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Discards all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl<E> TelemetrySink<E> for MemorySink<E> {
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn record(&mut self, event: E) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+}
+
+/// An event that knows how to serialise itself as one JSONL line.
+///
+/// Implemented by [`Event`](crate::Event); implement it for other event
+/// types to stream them through a [`JsonlSink`].
+pub trait JsonlRecord {
+    /// One line of JSON, without the trailing newline.
+    fn to_jsonl(&self) -> String;
+}
+
+impl JsonlRecord for crate::Event {
+    fn to_jsonl(&self) -> String {
+        crate::Event::to_jsonl(self)
+    }
+}
+
+/// Streams events to a writer as JSON-lines, one event per line.
+///
+/// Writes are buffered by whatever `W` does; call
+/// [`flush`](TelemetrySink::flush) (or drop the sink) before reading the
+/// output. I/O errors are sticky: the first error disables the sink and
+/// is surfaced by [`JsonlSink::take_error`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps `writer` in a JSONL sink.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Number of events successfully written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Takes the first I/O error, if any occurred.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    /// Flushes and returns the inner writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sticky write error or the flush error, if any.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<E: JsonlRecord, W: Write> TelemetrySink<E> for JsonlSink<W> {
+    fn enabled(&self) -> bool {
+        self.error.is_none()
+    }
+
+    fn record(&mut self, event: E) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_jsonl();
+        line.push('\n');
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Counts events without storing them.
+///
+/// Reports itself enabled, so instrumentation sites take the same code
+/// path as a real sink — used by the overhead benchmark to measure the
+/// enabled-path cost, and handy as a cheap smoke check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    count: u64,
+}
+
+impl CountingSink {
+    /// Creates a sink with a zero count.
+    pub fn new() -> Self {
+        CountingSink { count: 0 }
+    }
+
+    /// Number of events recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl<E> TelemetrySink<E> for CountingSink {
+    fn record(&mut self, _event: E) {
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, EventKind};
+
+    fn sample(cycle: u64) -> Event {
+        Event::new(
+            cycle,
+            EventKind::Injected {
+                packet: cycle,
+                source: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_silent() {
+        let mut sink = NullSink;
+        assert!(!TelemetrySink::<Event>::enabled(&sink));
+        sink.record(sample(1));
+        TelemetrySink::<Event>::flush(&mut sink);
+    }
+
+    #[test]
+    fn memory_sink_respects_enabled_flag() {
+        let mut sink = MemorySink::new();
+        sink.record(sample(1));
+        sink.set_enabled(false);
+        assert!(!TelemetrySink::<Event>::enabled(&sink));
+        sink.record(sample(2));
+        sink.set_enabled(true);
+        sink.record(sample(3));
+        let cycles: Vec<u64> = sink.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![1, 3]);
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(sample(1));
+        sink.record(sample(2));
+        assert_eq!(sink.written(), 2);
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let events = Event::parse_trace(&text).unwrap();
+        assert_eq!(events, vec![sample(1), sample(2)]);
+    }
+
+    #[test]
+    fn jsonl_sink_errors_are_sticky() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("boom"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing);
+        sink.record(sample(1));
+        assert!(!TelemetrySink::<Event>::enabled(&sink));
+        sink.record(sample(2));
+        assert_eq!(sink.written(), 0);
+        assert!(sink.take_error().is_some());
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::new();
+        assert!(TelemetrySink::<Event>::enabled(&sink));
+        sink.record(sample(1));
+        sink.record(sample(2));
+        assert_eq!(sink.count(), 2);
+    }
+}

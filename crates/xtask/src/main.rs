@@ -14,6 +14,12 @@
 //!    irreproducible; every RNG must be seeded through `damq-rng`.
 //! 3. **Documentation is mandatory** — every library crate root must carry
 //!    `#![deny(missing_docs)]`.
+//! 4. **No stdout/stderr printing in library code** — `println!` and
+//!    `eprintln!` are forbidden in every library crate's `src/` (harness
+//!    binaries under `src/bin/`, the `benches/` targets and `crates/xtask`
+//!    own their output and are exempt). Libraries report through return
+//!    values or the telemetry layer; justified exceptions carry a
+//!    `// lint: allow — why` comment.
 //!
 //! Run `cargo xtask lint` for everything, or `cargo xtask lint --no-cargo`
 //! for just the custom lints (fast, no compilation).
@@ -38,6 +44,9 @@ const PANIC_FREE_CRATES: [&str; 2] = ["crates/core", "crates/net"];
 
 /// Unseeded entropy sources forbidden outside `crates/rng`.
 const RNG_PATTERNS: [&str; 3] = ["from_entropy", "thread_rng", "rand::random"];
+
+/// Console printing forbidden in library (non-binary) code.
+const PRINT_PATTERNS: [&str; 2] = ["println!(", "eprintln!("];
 
 /// The comment marker that waives the panic lint for one line.
 const ALLOW_MARKER: &str = "lint: allow";
@@ -88,6 +97,7 @@ fn lint(no_cargo: bool) -> ExitCode {
     panic_lint(&root, &mut findings);
     rng_lint(&root, &mut findings);
     docs_lint(&root, &mut findings);
+    print_lint(&root, &mut findings);
 
     for finding in &findings {
         eprintln!("error: {finding}");
@@ -148,6 +158,23 @@ fn panic_lint(root: &Path, findings: &mut Vec<Finding>) {
 }
 
 fn scan_panic_file(path: &Path, findings: &mut Vec<Finding>) {
+    scan_forbidden(path, &PANIC_PATTERNS, findings, |pattern| {
+        format!(
+            "'{pattern}' in simulator library code — propagate a Result or \
+             justify with a '// {ALLOW_MARKER} — why' comment"
+        )
+    });
+}
+
+/// Scans one file for forbidden `patterns` in non-test code, skipping
+/// `#[cfg(test)] mod` blocks and `// lint: allow`-waived lines; each hit
+/// becomes a [`Finding`] with the message built by `describe`.
+fn scan_forbidden(
+    path: &Path,
+    patterns: &[&str],
+    findings: &mut Vec<Finding>,
+    describe: impl Fn(&str) -> String,
+) {
     let Ok(source) = fs::read_to_string(path) else {
         findings.push(Finding {
             path: path.to_path_buf(),
@@ -197,7 +224,7 @@ fn scan_panic_file(path: &Path, findings: &mut Vec<Finding>) {
             }
         }
 
-        for pattern in PANIC_PATTERNS {
+        for pattern in patterns {
             if !code.contains(pattern) {
                 continue;
             }
@@ -205,10 +232,7 @@ fn scan_panic_file(path: &Path, findings: &mut Vec<Finding>) {
                 findings.push(Finding {
                     path: path.to_path_buf(),
                     line: idx + 1,
-                    message: format!(
-                        "'{pattern}' in simulator library code — propagate a Result or \
-                         justify with a '// {ALLOW_MARKER} — why' comment"
-                    ),
+                    message: describe(pattern),
                 });
             }
         }
@@ -270,6 +294,36 @@ fn rng_lint(root: &Path, findings: &mut Vec<Finding>) {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Lint 4: console printing in library code. Harness binaries
+/// (`src/bin/`), `benches/` targets and `crates/xtask` itself print by
+/// design; every other `crates/*/src` file must stay silent.
+fn print_lint(root: &Path, findings: &mut Vec<Finding>) {
+    let Ok(entries) = fs::read_dir(root.join("crates")) else {
+        return;
+    };
+    let mut dirs: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "xtask"))
+        .collect();
+    dirs.sort();
+
+    for dir in dirs {
+        for file in rust_files(&dir.join("src")) {
+            if file.components().any(|c| c.as_os_str() == "bin") {
+                continue;
+            }
+            scan_forbidden(&file, &PRINT_PATTERNS, findings, |pattern| {
+                format!(
+                    "'{pattern}' in library code — return data or use the telemetry \
+                     layer; binaries own stdout/stderr, or justify with a \
+                     '// {ALLOW_MARKER} — why' comment"
+                )
+            });
         }
     }
 }

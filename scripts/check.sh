@@ -25,6 +25,12 @@ cargo test -q -p damq-microarch --features strict-audit
 echo "== model checker (2x2 exhaustive, small bound) =="
 cargo run -q -p damq-verify --bin model_check -- --quick
 
+echo "== telemetry: golden 2x2 trace is byte-stable =="
+cargo test -q -p damq-net --test telemetry
+
+echo "== telemetry: disabled instrumentation compiles away =="
+cargo bench -p damq-bench --bench no_op_sink_overhead
+
 echo "== rustdoc (warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
