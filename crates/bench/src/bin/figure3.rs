@@ -48,6 +48,7 @@ fn main() {
         )
         .expect("simulation must run")
     });
+    let profile = profile.with_cycles(vec![WARM_UP + WINDOW; cells.len()]);
     drop(sweep_phase);
     let render_phase = profiler.phase("render");
 

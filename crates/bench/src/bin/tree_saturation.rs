@@ -109,6 +109,7 @@ fn main() {
     let mut profiler = Profiler::new();
     let sweep_phase = profiler.phase("sweep");
     let (runs, profile) = sweep::run_profiled(&cells, |&i| run_pattern(patterns[i].1));
+    let profile = profile.with_cycles(vec![CHECKPOINTS[CHECKPOINTS.len() - 1]; cells.len()]);
     drop(sweep_phase);
     let render_phase = profiler.phase("render");
 

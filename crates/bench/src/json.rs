@@ -102,10 +102,84 @@ impl From<Vec<Json>> for Json {
     }
 }
 
+/// Error from [`Json::parse`]: byte offset and a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
 impl Json {
     /// Builds an object from `(key, value)` pairs, keeping their order.
     pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Parses a JSON document (the inverse of [`Json::render`] /
+    /// [`Json::render_pretty`]); object key order is preserved.
+    ///
+    /// Numbers without a fraction or exponent that fit an `i64` parse as
+    /// [`Json::Int`]; everything else numeric parses as [`Json::Num`] —
+    /// matching what the writer emits, so `parse(render(v)) == v` for
+    /// finite values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonParseError`] on malformed input or trailing garbage.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use damq_bench::json::Json;
+    ///
+    /// let v = Json::parse(r#"{"a":[1,2.5,"x"],"b":null}"#).unwrap();
+    /// assert_eq!(v.render(), r#"{"a":[1,2.5,"x"],"b":null}"#);
+    /// ```
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` in an object (`None` for non-objects or missing
+    /// keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of an [`Json::Int`] or [`Json::Num`], widened to
+    /// `f64` (`None` otherwise).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
     }
 
     /// Builds a sweep cell: grid `coords` first, then the fields of
@@ -216,6 +290,210 @@ impl Json {
             }
             _ => self.write_into(out),
         }
+    }
+}
+
+/// Recursive-descent parser over the raw bytes (JSON structure is ASCII;
+/// string contents pass through as UTF-8).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates (emitted only for astral chars,
+                            // which the writer never escapes) map to the
+                            // replacement character rather than failing.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 character starting here.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("empty string tail"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if integral {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
     }
 }
 
@@ -410,6 +688,22 @@ impl Report {
                 ),
             ),
         ];
+        if !profile.per_cell_cycles.is_empty() {
+            section.push((
+                "cycles_per_sec".to_owned(),
+                Json::from(profile.cycles_per_sec()),
+            ));
+            section.push((
+                "per_cell_cycles_per_sec".to_owned(),
+                Json::Arr(
+                    profile
+                        .per_cell_cycles_per_sec()
+                        .into_iter()
+                        .map(Json::from)
+                        .collect(),
+                ),
+            ));
+        }
         if !profiler.phases().is_empty() {
             section.push((
                 "phases".to_owned(),
@@ -554,9 +848,11 @@ mod tests {
         let mut r = Report::new("t");
         let profile = SweepProfile {
             per_cell_secs: vec![0.25, 1.5],
+            per_cell_cycles: Vec::new(),
             total_secs: 1.75,
             workers: 2,
-        };
+        }
+        .with_cycles(vec![1_000, 12_000]);
         let mut profiler = Profiler::new();
         profiler.add("sweep", std::time::Duration::from_millis(1750));
         r.telemetry_from_profile(&profile, &profiler);
@@ -569,7 +865,55 @@ mod tests {
         assert!(section.contains(r#""cell_secs_sum":1.75"#));
         assert!(section.contains(r#""slowest_cell":{"index":1,"secs":1.5}"#));
         assert!(section.contains(r#""per_cell_secs":[0.25,1.5]"#));
+        // 13k cycles over 1.75 summed seconds; 1k/0.25 and 12k/1.5 per cell.
+        assert!(section.contains(r#""cycles_per_sec":7428.5714"#));
+        assert!(section.contains(r#""per_cell_cycles_per_sec":[4000,8000]"#));
         assert!(section.contains(r#""phases":{"sweep":1.75}"#));
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let doc = Json::obj([
+            ("name", Json::from("sim_throughput")),
+            ("ok", Json::from(true)),
+            ("n", Json::from(42i64)),
+            ("rate", Json::from(1234.5)),
+            (
+                "cells",
+                Json::Arr(vec![Json::Null, Json::from(-7i64), Json::from("x\"y")]),
+            ),
+            ("empty_obj", Json::obj::<&str>([])),
+            ("empty_arr", Json::Arr(Vec::new())),
+        ]);
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.render_pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn parse_reports_errors_with_offsets() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":1} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        let e = Json::parse("nul").unwrap_err();
+        assert_eq!(e.offset, 0);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_exponents() {
+        let v = Json::parse(r#"{"s":"a\nA\\","e":2.5e3,"neg":-0.125}"#).unwrap();
+        assert_eq!(v.get("s"), Some(&Json::Str("a\nA\\".to_owned())));
+        assert_eq!(v.get("e").and_then(Json::as_f64), Some(2500.0));
+        assert_eq!(v.get("neg").and_then(Json::as_f64), Some(-0.125));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn get_and_as_f64_cover_non_matching_shapes() {
+        assert_eq!(Json::Null.get("k"), None);
+        assert_eq!(Json::from("s").as_f64(), None);
+        assert_eq!(Json::from(3i64).as_f64(), Some(3.0));
     }
 
     #[test]
@@ -577,6 +921,7 @@ mod tests {
         let mut r = Report::new("t");
         let profile = SweepProfile {
             per_cell_secs: Vec::new(),
+            per_cell_cycles: Vec::new(),
             total_secs: 0.0,
             workers: 1,
         };
@@ -584,5 +929,7 @@ mod tests {
         let section = r.telemetry.as_ref().expect("telemetry attached").render();
         assert!(section.contains(r#""slowest_cell":null"#));
         assert!(!section.contains("phases"));
+        // No cycle counts declared: the throughput keys stay out entirely.
+        assert!(!section.contains("cycles_per_sec"));
     }
 }

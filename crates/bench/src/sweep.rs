@@ -138,6 +138,10 @@ where
 pub struct SweepProfile {
     /// Wall-clock seconds each cell took, in cell order.
     pub per_cell_secs: Vec<f64>,
+    /// Network cycles each cell simulated, in cell order. Empty when the
+    /// harness did not declare its cycle counts (see
+    /// [`SweepProfile::with_cycles`]).
+    pub per_cell_cycles: Vec<u64>,
     /// Wall-clock seconds for the whole sweep (parallel, so typically far
     /// less than the sum of the per-cell times).
     pub total_secs: f64,
@@ -149,6 +153,55 @@ impl SweepProfile {
     /// Sum of per-cell wall-clock seconds (total CPU-ish time).
     pub fn cell_secs_sum(&self) -> f64 {
         self.per_cell_secs.iter().sum()
+    }
+
+    /// Attaches the number of simulated cycles behind each cell (cell
+    /// order, same length as the grid), enabling the cycles-per-second
+    /// telemetry. The engine cannot observe this itself — cells are
+    /// opaque closures — so harnesses that know their warm-up + window
+    /// budget declare it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match `per_cell_secs`.
+    pub fn with_cycles(mut self, per_cell_cycles: Vec<u64>) -> Self {
+        assert_eq!(
+            per_cell_cycles.len(),
+            self.per_cell_secs.len(),
+            "one cycle count per cell"
+        );
+        self.per_cell_cycles = per_cell_cycles;
+        self
+    }
+
+    /// Simulation throughput of each cell in network cycles per
+    /// wall-clock second (cell order). Empty unless cycle counts were
+    /// attached with [`SweepProfile::with_cycles`]; instantaneous cells
+    /// report 0.
+    pub fn per_cell_cycles_per_sec(&self) -> Vec<f64> {
+        self.per_cell_cycles
+            .iter()
+            .zip(&self.per_cell_secs)
+            .map(|(&cycles, &secs)| {
+                if secs > 0.0 {
+                    cycles as f64 / secs
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate simulation throughput: total cycles simulated across all
+    /// cells over the summed per-cell wall time. 0 when cycle counts are
+    /// absent or no time was observed.
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.cell_secs_sum();
+        if self.per_cell_cycles.is_empty() || secs <= 0.0 {
+            0.0
+        } else {
+            self.per_cell_cycles.iter().sum::<u64>() as f64 / secs
+        }
     }
 
     /// Index and duration of the slowest cell, if any cells ran.
@@ -200,6 +253,7 @@ where
         results,
         SweepProfile {
             per_cell_secs,
+            per_cell_cycles: Vec::new(),
             total_secs,
             workers,
         },
@@ -412,6 +466,30 @@ mod tests {
         assert!(profile.workers >= 1);
         assert!(profile.slowest_cell().is_some());
         assert!(profile.cell_secs_sum() >= 0.0);
+    }
+
+    #[test]
+    fn cycle_counts_turn_the_profile_into_throughput() {
+        let (_, profile) = run_profiled(&[1u32, 2, 3], |&c| {
+            // Busy the cell long enough for a nonzero timer reading.
+            (0..50_000u64).fold(c as u64, |a, b| a.wrapping_add(b))
+        });
+        assert!(profile.per_cell_cycles_per_sec().is_empty());
+        assert_eq!(profile.cycles_per_sec(), 0.0);
+        let profile = profile.with_cycles(vec![1_000, 2_000, 3_000]);
+        let per_cell = profile.per_cell_cycles_per_sec();
+        assert_eq!(per_cell.len(), 3);
+        assert!(per_cell.iter().all(|&cps| cps >= 0.0));
+        if profile.cell_secs_sum() > 0.0 {
+            assert!(profile.cycles_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one cycle count per cell")]
+    fn mismatched_cycle_counts_rejected() {
+        let (_, profile) = run_profiled(&[1u32, 2], |&c| c);
+        let _ = profile.with_cycles(vec![10]);
     }
 
     #[test]

@@ -182,6 +182,25 @@ impl BufferConfig {
             BufferKind::Dafc => Box::new(crate::DafcBuffer::new(*self)?),
         })
     }
+
+    /// Builds an [`AnyBuffer`](crate::AnyBuffer) of the requested kind —
+    /// like [`BufferConfig::build`] but with enum dispatch instead of a
+    /// heap-allocated trait object, so the simulation hot path stays
+    /// visible to the inliner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from [`BufferConfig::validate`].
+    pub fn build_any(&self, kind: BufferKind) -> Result<crate::AnyBuffer, ConfigError> {
+        use crate::AnyBuffer;
+        Ok(match kind {
+            BufferKind::Fifo => AnyBuffer::Fifo(crate::FifoBuffer::new(*self)?),
+            BufferKind::Samq => AnyBuffer::Samq(crate::SamqBuffer::new(*self)?),
+            BufferKind::Safc => AnyBuffer::Safc(crate::SafcBuffer::new(*self)?),
+            BufferKind::Damq => AnyBuffer::Damq(crate::DamqBuffer::new(*self)?),
+            BufferKind::Dafc => AnyBuffer::Dafc(crate::DafcBuffer::new(*self)?),
+        })
+    }
 }
 
 /// Common interface of the four input-port buffer designs.

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod any;
 mod audit;
 mod buffer;
 mod dafc;
@@ -58,6 +59,7 @@ mod slots;
 mod static_mq;
 mod stats;
 
+pub use any::{AnyBuffer, BuildBuffer};
 pub use audit::AuditError;
 pub use buffer::{BufferConfig, BufferKind, SwitchBuffer};
 pub use dafc::DafcBuffer;

@@ -49,5 +49,5 @@ pub use metrics::{Accumulator, Histogram, NetMetrics, CLOCKS_PER_CYCLE};
 pub use network::{ArrivalProcess, NetworkConfig, NetworkError, NetworkSim, PacketLengths};
 pub use runner::{measure, Measurement};
 pub use saturation::{find_saturation, SaturationOptions, SaturationResult};
-pub use topology::{OmegaTopology, Topology, TopologyError, TopologyKind};
+pub use topology::{HopRoute, OmegaTopology, RoutePlan, Topology, TopologyError, TopologyKind};
 pub use traffic::TrafficPattern;

@@ -25,13 +25,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use damq_core::{
-    AuditError, BufferKind, ConfigError, NodeId, Packet, PacketIdSource, DEFAULT_SLOT_BYTES,
+    AnyBuffer, AuditError, BufferKind, BuildBuffer, ConfigError, NodeId, Packet, PacketIdSource,
+    SwitchBuffer, DEFAULT_SLOT_BYTES,
 };
 use damq_switch::{ArbiterPolicy, FlowControl, Switch, SwitchConfig};
 use damq_telemetry::{Event, EventKind, NullSink, TelemetrySink};
 
 use crate::metrics::NetMetrics;
-use crate::topology::{Topology, TopologyError, TopologyKind};
+use crate::topology::{HopRoute, RoutePlan, Topology, TopologyError, TopologyKind};
 use crate::traffic::TrafficPattern;
 
 /// How packet arrivals are timed at each source.
@@ -328,20 +329,35 @@ struct ConservationLedger {
 
 /// The simulator: a grid of switches, source queues and sinks.
 ///
-/// `NetworkSim` is generic over a [`TelemetrySink`]; the default
-/// [`NullSink`] compiles every instrumentation point away, so
-/// [`NetworkSim::new`] behaves exactly as before telemetry existed. Pass
-/// a real sink to [`NetworkSim::with_sink`] to stream cycle-stamped
-/// lifecycle events (see `docs/OBSERVABILITY.md`).
+/// `NetworkSim` is generic over two axes:
+///
+/// * the **buffer type** `B` of every switch. The default, [`AnyBuffer`],
+///   selects the design at run time from the configuration's
+///   [`BufferKind`] through enum dispatch; instantiate with a concrete
+///   design (`NetworkSim::<DamqBuffer>::typed(..)`) to monomorphize the
+///   whole data path for that design.
+/// * the [`TelemetrySink`] `S`. The default [`NullSink`] compiles every
+///   instrumentation point away, so [`NetworkSim::new`] behaves exactly
+///   as before telemetry existed. Pass a real sink to
+///   [`NetworkSim::with_sink`] to stream cycle-stamped lifecycle events
+///   (see `docs/OBSERVABILITY.md`).
+///
+/// Routing is resolved through a [`RoutePlan`] precomputed at
+/// construction: the per-packet path performs indexed loads instead of
+/// shuffle/digit arithmetic, and each departure is routed exactly once.
 #[derive(Debug)]
-pub struct NetworkSim<S: TelemetrySink<Event> = NullSink> {
+pub struct NetworkSim<B: SwitchBuffer = AnyBuffer, S: TelemetrySink<Event> = NullSink> {
     config: NetworkConfig,
     topology: Topology,
+    plan: RoutePlan,
     /// `switches[stage][index]`.
-    switches: Vec<Vec<Switch>>,
+    switches: Vec<Vec<Switch<B>>>,
     source_queues: Vec<VecDeque<Packet>>,
     /// On/off state per source (always `true` under Bernoulli arrivals).
     source_on: Vec<bool>,
+    /// Per-output scratch carrying each backpressure probe's route to the
+    /// departure that follows it (reset per switch per cycle).
+    route_scratch: Vec<Option<HopRoute>>,
     ids: PacketIdSource,
     rng: StdRng,
     cycle: u64,
@@ -350,8 +366,9 @@ pub struct NetworkSim<S: TelemetrySink<Event> = NullSink> {
     sink: S,
 }
 
-impl NetworkSim<NullSink> {
-    /// Builds the network without telemetry.
+impl NetworkSim {
+    /// Builds the network without telemetry, with run-time buffer-design
+    /// selection (the [`AnyBuffer`] default).
     ///
     /// # Errors
     ///
@@ -363,7 +380,7 @@ impl NetworkSim<NullSink> {
     }
 }
 
-impl<S: TelemetrySink<Event>> NetworkSim<S> {
+impl<S: TelemetrySink<Event>> NetworkSim<AnyBuffer, S> {
     /// Builds the network with a telemetry sink attached.
     ///
     /// # Errors
@@ -372,7 +389,34 @@ impl<S: TelemetrySink<Event>> NetworkSim<S> {
     /// the buffer configuration is rejected (e.g. SAMQ slots not divisible
     /// by the radix).
     pub fn with_sink(config: NetworkConfig, sink: S) -> Result<Self, NetworkError> {
+        Self::typed_with_sink(config, sink)
+    }
+}
+
+impl<B: BuildBuffer> NetworkSim<B> {
+    /// Builds the network without telemetry, with the buffer type fixed
+    /// by the caller (`NetworkSim::<DamqBuffer>::typed(..)`). Concrete
+    /// designs ignore the configuration's `buffer_kind`; kind-erased
+    /// types ([`AnyBuffer`], `Box<dyn SwitchBuffer>`) honour it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] as [`NetworkSim::new`] does.
+    pub fn typed(config: NetworkConfig) -> Result<Self, NetworkError> {
+        Self::typed_with_sink(config, NullSink)
+    }
+}
+
+impl<B: BuildBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
+    /// Builds the network with both the buffer type and the telemetry
+    /// sink chosen by the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] as [`NetworkSim::new`] does.
+    pub fn typed_with_sink(config: NetworkConfig, sink: S) -> Result<Self, NetworkError> {
         let topology = Topology::build(config.topology_kind, config.size, config.radix)?;
+        let plan = RoutePlan::new(&topology);
         let switch_config = SwitchConfig::new(config.radix)
             .buffer_kind(config.buffer_kind)
             .slots_per_buffer(config.slots_per_buffer)
@@ -382,16 +426,18 @@ impl<S: TelemetrySink<Event>> NetworkSim<S> {
         for _stage in 0..topology.stages() {
             let mut row = Vec::with_capacity(topology.switches_per_stage());
             for _ in 0..topology.switches_per_stage() {
-                row.push(Switch::new(switch_config)?);
+                row.push(Switch::typed(switch_config)?);
             }
             switches.push(row);
         }
         Ok(NetworkSim {
             config,
             topology,
+            plan,
             switches,
             source_queues: vec![VecDeque::new(); config.size],
             source_on: vec![true; config.size],
+            route_scratch: vec![None; config.radix],
             ids: PacketIdSource::new(),
             rng: StdRng::seed_from_u64(config.seed),
             cycle: 0,
@@ -400,7 +446,9 @@ impl<S: TelemetrySink<Event>> NetworkSim<S> {
             sink,
         })
     }
+}
 
+impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
     /// Read access to the telemetry sink.
     pub fn sink(&self) -> &S {
         &self.sink
@@ -449,6 +497,11 @@ impl<S: TelemetrySink<Event>> NetworkSim<S> {
         &self.topology
     }
 
+    /// The precomputed routing tables (and their query counter).
+    pub fn route_plan(&self) -> &RoutePlan {
+        &self.plan
+    }
+
     /// The current cycle number.
     pub fn cycle(&self) -> u64 {
         self.cycle
@@ -464,12 +517,25 @@ impl<S: TelemetrySink<Event>> NetworkSim<S> {
         self.source_queues.iter().map(VecDeque::len).sum()
     }
 
+    /// Aggregated buffer operation counters over every switch in the
+    /// network (used by the dispatch-equivalence tests to compare
+    /// simulation paths operation-for-operation).
+    pub fn aggregate_buffer_stats(&self) -> damq_core::BufferStats {
+        let mut total = damq_core::BufferStats::new();
+        for row in &self.switches {
+            for sw in row {
+                total.merge(&sw.aggregate_stats());
+            }
+        }
+        total
+    }
+
     /// Packets resident in switch buffers.
     pub fn packets_in_flight(&self) -> usize {
         self.switches
             .iter()
             .flatten()
-            .map(Switch::packets_resident)
+            .map(|sw| sw.packets_resident())
             .sum()
     }
 
@@ -482,7 +548,7 @@ impl<S: TelemetrySink<Event>> NetworkSim<S> {
     pub fn stage_occupancy(&self, stage: usize) -> Vec<f64> {
         self.switches[stage]
             .iter()
-            .map(Switch::occupancy_fraction)
+            .map(|sw| sw.occupancy_fraction())
             .collect()
     }
 
@@ -490,7 +556,7 @@ impl<S: TelemetrySink<Event>> NetworkSim<S> {
     pub fn occupancy_by_stage(&self) -> Vec<f64> {
         self.switches
             .iter()
-            .map(|row| row.iter().map(Switch::occupancy_fraction).sum::<f64>() / row.len() as f64)
+            .map(|row| row.iter().map(|sw| sw.occupancy_fraction()).sum::<f64>() / row.len() as f64)
             .collect()
     }
 
@@ -596,7 +662,6 @@ impl<S: TelemetrySink<Event>> NetworkSim<S> {
         let stages = self.topology.stages();
         let per_stage = self.topology.switches_per_stage();
         let blocking = self.config.flow_control.requires_backpressure();
-        let topology = self.topology;
         let tracing = self.sink.enabled();
         let mut forwarded = if tracing {
             vec![0u32; stages]
@@ -609,7 +674,7 @@ impl<S: TelemetrySink<Event>> NetworkSim<S> {
         for sw in 0..per_stage {
             let departures = self.switches[last][sw].transmit_cycle(|_, _| true);
             for d in departures {
-                let sink = topology.sink_of(sw, d.output);
+                let sink = self.plan.sink_of(sw, d.output);
                 debug_assert_eq!(sink, d.packet.dest(), "misrouted packet at sink");
                 let total = self.cycle.saturating_sub(d.packet.birth_cycle());
                 let injected = d.packet.injected_cycle().unwrap_or(d.packet.birth_cycle());
@@ -649,19 +714,37 @@ impl<S: TelemetrySink<Event>> NetworkSim<S> {
             let (current_stages, later_stages) = self.switches.split_at_mut(stage + 1);
             let current = &mut current_stages[stage];
             let downstream = &mut later_stages[0];
+            let plan = &self.plan;
+            let scratch = &mut self.route_scratch;
             for (sw, switch) in current.iter_mut().enumerate().take(per_stage) {
+                scratch.fill(None);
                 let departures = switch.transmit_cycle(|out, pkt| {
                     if !blocking {
                         return true;
                     }
-                    let (next_switch, next_port) = topology.next_hop(stage, sw, out);
-                    let next_out = topology.route_output(stage + 1, pkt.dest());
+                    // A departure through `out` is always the packet the
+                    // crossbar granted last, i.e. the one probed here most
+                    // recently — park its route for the departure loop.
+                    let route = plan.departure_route(stage, sw, out, pkt.dest());
+                    scratch[out.index()] = Some(route);
                     let slots = pkt.slots_needed(DEFAULT_SLOT_BYTES);
-                    downstream[next_switch].can_accept(next_port, next_out, slots)
+                    downstream[route.next_switch].can_accept(
+                        route.next_port,
+                        route.next_output,
+                        slots,
+                    )
                 });
                 for d in departures {
-                    let (next_switch, next_port) = topology.next_hop(stage, sw, d.output);
-                    let next_out = topology.route_output(stage + 1, d.packet.dest());
+                    // Blocking probes parked the route; the discarding
+                    // path routes here — either way exactly one query per
+                    // departure.
+                    let HopRoute {
+                        next_switch,
+                        next_port,
+                        next_output: next_out,
+                    } = scratch[d.output.index()].take().unwrap_or_else(|| {
+                        plan.departure_route(stage, sw, d.output, d.packet.dest())
+                    });
                     if tracing {
                         forwarded[stage] += 1;
                         self.sink.record(Event::new(
@@ -705,8 +788,8 @@ impl<S: TelemetrySink<Event>> NetworkSim<S> {
             let Some(front) = self.source_queues[src].front() else {
                 continue;
             };
-            let (sw, port) = self.topology.source_entry(NodeId::new(src));
-            let out = self.topology.route_output(0, front.dest());
+            let (sw, port) = self.plan.entry(NodeId::new(src));
+            let out = self.plan.route_output(0, front.dest());
             let slots = front.slots_needed(DEFAULT_SLOT_BYTES);
             if blocking && !self.switches[0][sw].can_accept(port, out, slots) {
                 continue; // hold the packet; try again next cycle
@@ -1009,6 +1092,60 @@ mod tests {
         sim.run(300);
         assert!(sim.metrics().delivered() > 0);
         sim.check_invariants();
+    }
+
+    /// Counts `Forwarded` events emitted by non-final stages — exactly
+    /// the departures that need a route to the next stage.
+    fn non_final_forwards(
+        sim: &NetworkSim<damq_core::AnyBuffer, damq_telemetry::MemorySink<Event>>,
+    ) -> u64 {
+        let last = (sim.topology().stages() - 1) as u32;
+        sim.sink()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Forwarded { stage, .. } if stage < last))
+            .count() as u64
+    }
+
+    #[test]
+    fn discarding_routes_each_departure_exactly_once() {
+        // Without backpressure the probe closure never routes, so the
+        // departure loop must account for every query: one per forwarded
+        // packet leaving a non-final stage.
+        let mut sim = NetworkSim::with_sink(
+            small(BufferKind::Damq)
+                .flow_control(FlowControl::Discarding)
+                .offered_load(0.6),
+            damq_telemetry::MemorySink::new(),
+        )
+        .unwrap();
+        sim.run(300);
+        let forwards = non_final_forwards(&sim);
+        assert!(forwards > 0);
+        assert_eq!(sim.route_plan().route_queries(), forwards);
+    }
+
+    #[test]
+    fn blocking_departures_reuse_the_probe_route() {
+        // The identity permutation is conflict-free in an Omega network
+        // and the downstream buffers drain every cycle, so every
+        // backpressure probe leads to a departure. Routing must therefore
+        // be queried exactly once per non-final forward; recomputing the
+        // route in the departure loop would double the count.
+        let mut sim = NetworkSim::with_sink(
+            NetworkConfig::new(16, 4)
+                .buffer_kind(BufferKind::Damq)
+                .traffic(TrafficPattern::Shifted { offset: 0 })
+                .flow_control(FlowControl::Blocking)
+                .offered_load(1.0)
+                .seed(5),
+            damq_telemetry::MemorySink::new(),
+        )
+        .unwrap();
+        sim.run(100);
+        let forwards = non_final_forwards(&sim);
+        assert!(forwards > 0);
+        assert_eq!(sim.route_plan().route_queries(), forwards);
     }
 
     #[test]

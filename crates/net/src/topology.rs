@@ -9,6 +9,7 @@
 //! The paper's evaluation network is `OmegaTopology::new(64, 4)`: three
 //! stages of sixteen 4×4 switches.
 
+use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
 
@@ -335,6 +336,156 @@ impl Topology {
     }
 }
 
+/// The full route of a packet departing a non-final stage: where it
+/// enters the next stage and which output it will take there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopRoute {
+    /// Switch index within the next stage.
+    pub next_switch: usize,
+    /// Input port of that switch.
+    pub next_port: InputPort,
+    /// Output port the packet will request at the next stage.
+    pub next_output: OutputPort,
+}
+
+/// Precomputed routing tables for one wiring.
+///
+/// [`Topology`] answers routing queries by recomputing shuffles and
+/// destination digits per call; fine for construction and tests, but the
+/// simulator asks on every backpressure probe and every departure. A
+/// `RoutePlan` flattens every answer into lookup tables at construction
+/// — `O(stages x size)` space — so the per-packet path is one indexed
+/// load, and [`RoutePlan::departure_route`] combines the next-hop and
+/// next-output queries the simulator always makes together.
+///
+/// The plan counts [`RoutePlan::departure_route`] calls
+/// ([`RoutePlan::route_queries`]), which lets tests pin down exactly how
+/// often the simulator routes each departing packet.
+#[derive(Debug, Clone)]
+pub struct RoutePlan {
+    radix: usize,
+    stages: usize,
+    size: usize,
+    /// `(switch, port)` entered by each source, indexed by source.
+    entries: Vec<(usize, InputPort)>,
+    /// `(next switch, next port)` per (stage, switch, output), row-major
+    /// over the non-final stages.
+    next_hops: Vec<(usize, InputPort)>,
+    /// Output port per (stage, dest), row-major.
+    outputs: Vec<OutputPort>,
+    /// Sink terminal per (switch, output) of the final stage.
+    sinks: Vec<NodeId>,
+    /// Departure-route queries served so far.
+    queries: Cell<u64>,
+}
+
+impl RoutePlan {
+    /// Precomputes every routing answer for `topology`.
+    pub fn new(topology: &Topology) -> Self {
+        let size = topology.size();
+        let radix = topology.radix();
+        let stages = topology.stages();
+        let per_stage = topology.switches_per_stage();
+        let entries = (0..size)
+            .map(|s| topology.source_entry(NodeId::new(s)))
+            .collect();
+        let mut next_hops = Vec::with_capacity(stages.saturating_sub(1) * per_stage * radix);
+        for stage in 0..stages.saturating_sub(1) {
+            for sw in 0..per_stage {
+                for o in OutputPort::all(radix) {
+                    next_hops.push(topology.next_hop(stage, sw, o));
+                }
+            }
+        }
+        let mut outputs = Vec::with_capacity(stages * size);
+        for stage in 0..stages {
+            for d in 0..size {
+                outputs.push(topology.route_output(stage, NodeId::new(d)));
+            }
+        }
+        let mut sinks = Vec::with_capacity(per_stage * radix);
+        for sw in 0..per_stage {
+            for o in OutputPort::all(radix) {
+                sinks.push(topology.sink_of(sw, o));
+            }
+        }
+        RoutePlan {
+            radix,
+            stages,
+            size,
+            entries,
+            next_hops,
+            outputs,
+            sinks,
+            queries: Cell::new(0),
+        }
+    }
+
+    /// Where source terminal `source` enters stage 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn entry(&self, source: NodeId) -> (usize, InputPort) {
+        self.entries[source.index()]
+    }
+
+    /// The output port a packet for `dest` takes at `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` or `dest` is out of range.
+    pub fn route_output(&self, stage: usize, dest: NodeId) -> OutputPort {
+        self.outputs[stage * self.size + dest.index()]
+    }
+
+    /// The complete route of a packet for `dest` leaving stage `stage`
+    /// (not the last) through (`switch`, `output`): where it enters the
+    /// next stage and the output it takes there. Counted by
+    /// [`RoutePlan::route_queries`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is the last stage or any index is out of range.
+    pub fn departure_route(
+        &self,
+        stage: usize,
+        switch: usize,
+        output: OutputPort,
+        dest: NodeId,
+    ) -> HopRoute {
+        self.queries.set(self.queries.get() + 1);
+        let per_stage = self.size / self.radix;
+        let (next_switch, next_port) =
+            self.next_hops[(stage * per_stage + switch) * self.radix + output.index()];
+        HopRoute {
+            next_switch,
+            next_port,
+            next_output: self.route_output(stage + 1, dest),
+        }
+    }
+
+    /// The sink terminal reached from the last stage's (`switch`,
+    /// `output`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn sink_of(&self, switch: usize, output: OutputPort) -> NodeId {
+        self.sinks[switch * self.radix + output.index()]
+    }
+
+    /// How many times [`RoutePlan::departure_route`] has been called.
+    pub fn route_queries(&self) -> u64 {
+        self.queries.get()
+    }
+
+    /// Number of stages the plan covers.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +572,64 @@ mod tests {
                 seen[line] = true;
             }
         }
+    }
+
+    #[test]
+    fn route_plan_agrees_with_both_wirings() {
+        for kind in TopologyKind::ALL {
+            let topo = Topology::build(kind, 64, 4).unwrap();
+            let plan = RoutePlan::new(&topo);
+            for s in 0..64 {
+                assert_eq!(
+                    plan.entry(NodeId::new(s)),
+                    topo.source_entry(NodeId::new(s))
+                );
+            }
+            for stage in 0..topo.stages() {
+                for d in 0..64 {
+                    assert_eq!(
+                        plan.route_output(stage, NodeId::new(d)),
+                        topo.route_output(stage, NodeId::new(d)),
+                        "{kind} stage {stage} dest {d}"
+                    );
+                }
+            }
+            for stage in 0..topo.stages() - 1 {
+                for sw in 0..topo.switches_per_stage() {
+                    for o in OutputPort::all(4) {
+                        for d in 0..64 {
+                            let r = plan.departure_route(stage, sw, o, NodeId::new(d));
+                            let (nsw, np) = topo.next_hop(stage, sw, o);
+                            assert_eq!((r.next_switch, r.next_port), (nsw, np), "{kind}");
+                            assert_eq!(r.next_output, topo.route_output(stage + 1, NodeId::new(d)));
+                        }
+                    }
+                }
+            }
+            for sw in 0..topo.switches_per_stage() {
+                for o in OutputPort::all(4) {
+                    assert_eq!(plan.sink_of(sw, o), topo.sink_of(sw, o), "{kind}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_plan_counts_departure_queries_only() {
+        let topo = Topology::build(TopologyKind::Omega, 16, 4).unwrap();
+        let plan = RoutePlan::new(&topo);
+        assert_eq!(plan.route_queries(), 0);
+        let _ = plan.entry(NodeId::new(3));
+        let _ = plan.route_output(0, NodeId::new(9));
+        let _ = plan.sink_of(2, OutputPort::new(1));
+        assert_eq!(
+            plan.route_queries(),
+            0,
+            "lookups other than departures are free"
+        );
+        let _ = plan.departure_route(0, 0, OutputPort::new(0), NodeId::new(5));
+        let _ = plan.departure_route(0, 3, OutputPort::new(2), NodeId::new(8));
+        assert_eq!(plan.route_queries(), 2);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The n×n switch: input buffers + crossbar + central arbiter.
 
-use damq_core::{BufferStats, InputPort, OutputPort, Packet, Rejected, SwitchBuffer};
+use damq_core::{
+    AnyBuffer, BufferStats, BuildBuffer, InputPort, OutputPort, Packet, Rejected, SwitchBuffer,
+};
 
 use crate::arbiter::{Arbiter, Candidate};
 use crate::config::SwitchConfig;
@@ -19,6 +21,13 @@ pub struct Departure {
 
 /// An n×n switch with per-input buffers of a configurable design, a
 /// crossbar, and a central arbiter.
+///
+/// The buffer type is a compile-time parameter. The default,
+/// [`AnyBuffer`], picks the design at run time from the configuration's
+/// [`BufferKind`](damq_core::BufferKind) through enum dispatch — no heap
+/// indirection, and the per-design fast paths stay visible to the
+/// inliner. Instantiate with a concrete design
+/// (`Switch::<DamqBuffer>::typed(..)`) to monomorphize the switch fully.
 ///
 /// The switch is driven externally in two phases per network cycle:
 ///
@@ -47,17 +56,25 @@ pub struct Departure {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct Switch {
+pub struct Switch<B: SwitchBuffer = AnyBuffer> {
     config: SwitchConfig,
-    buffers: Vec<Box<dyn SwitchBuffer>>,
+    buffers: Vec<B>,
     arbiter: Arbiter,
     crossbar: Crossbar,
     hol_blocked_last_cycle: u64,
     hol_blocked_total: u64,
+    // Per-cycle scratch, hoisted out of `transmit_cycle` so steady-state
+    // stepping performs no allocations beyond the departure list.
+    served: Vec<Vec<bool>>,
+    occupied: Vec<Vec<bool>>,
+    candidates: Vec<Candidate>,
 }
 
 impl Switch {
-    /// Builds a switch from its configuration.
+    /// Builds a switch from its configuration, selecting the buffer design
+    /// named by the configuration's
+    /// [`BufferKind`](damq_core::BufferKind) at run time (the
+    /// [`AnyBuffer`] default).
     ///
     /// # Errors
     ///
@@ -65,10 +82,27 @@ impl Switch {
     /// configuration is invalid for the chosen design (zero dimensions, or a
     /// capacity that does not divide among static partitions).
     pub fn new(config: SwitchConfig) -> Result<Self, damq_core::ConfigError> {
+        Switch::typed(config)
+    }
+}
+
+impl<B: BuildBuffer> Switch<B> {
+    /// Builds a switch whose buffer type is fixed by the caller.
+    ///
+    /// Concrete designs ignore the configuration's `buffer_kind`
+    /// (`Switch::<DamqBuffer>::typed(..)` holds DAMQ buffers regardless);
+    /// kind-erased types ([`AnyBuffer`], `Box<dyn SwitchBuffer>`) honour
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`](damq_core::ConfigError) as
+    /// [`Switch::new`] does.
+    pub fn typed(config: SwitchConfig) -> Result<Self, damq_core::ConfigError> {
         let ports = config.ports();
         let buffer_config = config.buffer_config();
         let buffers = (0..ports)
-            .map(|_| buffer_config.build(config.kind()))
+            .map(|_| B::build_buffer(buffer_config, config.kind()))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Switch {
             config,
@@ -77,9 +111,14 @@ impl Switch {
             crossbar: Crossbar::new(ports, ports),
             hol_blocked_last_cycle: 0,
             hol_blocked_total: 0,
+            served: vec![vec![false; ports]; ports],
+            occupied: vec![vec![false; ports]; ports],
+            candidates: Vec::with_capacity(ports),
         })
     }
+}
 
+impl<B: SwitchBuffer> Switch<B> {
     /// Number of input (and output) ports.
     pub fn ports(&self) -> usize {
         self.config.ports()
@@ -95,8 +134,8 @@ impl Switch {
     /// # Panics
     ///
     /// Panics if `input` is out of range.
-    pub fn buffer(&self, input: InputPort) -> &dyn SwitchBuffer {
-        self.buffers[input.index()].as_ref()
+    pub fn buffer(&self, input: InputPort) -> &B {
+        &self.buffers[input.index()]
     }
 
     /// The arbiter (for inspecting priority/stale state in tests).
@@ -146,28 +185,36 @@ impl Switch {
     {
         let ports = self.ports();
         let mut departures = Vec::new();
-        let mut served = vec![vec![false; ports]; ports];
+        for row in &mut self.served {
+            row.fill(false);
+        }
 
-        let order: Vec<InputPort> = self.arbiter.examination_order().collect();
-        for input in order {
+        // Inline modulo walk instead of collecting `examination_order()`:
+        // the arbiter's priority pointer is stable for the whole cycle.
+        let start = self.arbiter.priority_port().index();
+        for offset in 0..ports {
+            let input = InputPort::new((start + offset) % ports);
             let reads = self.buffers[input.index()].read_ports();
             for _ in 0..reads {
+                self.candidates.clear();
                 let buffer = &self.buffers[input.index()];
-                let candidates: Vec<Candidate> = OutputPort::all(ports)
-                    .filter(|&o| self.crossbar.is_free(o))
-                    .filter_map(|o| {
-                        let queue_len = buffer.queue_len(o);
-                        if queue_len == 0 {
-                            return None;
-                        }
-                        let front = buffer.front(o).expect("nonempty queue has a front");
-                        can_send(o, front).then_some(Candidate {
+                for o in OutputPort::all(ports) {
+                    if !self.crossbar.is_free(o) {
+                        continue;
+                    }
+                    let queue_len = buffer.queue_len(o);
+                    if queue_len == 0 {
+                        continue;
+                    }
+                    let front = buffer.front(o).expect("nonempty queue has a front");
+                    if can_send(o, front) {
+                        self.candidates.push(Candidate {
                             output: o,
                             queue_len,
-                        })
-                    })
-                    .collect();
-                let Some(pick) = self.arbiter.select_queue(input, &candidates) else {
+                        });
+                    }
+                }
+                let Some(pick) = self.arbiter.select_queue(input, &self.candidates) else {
                     break;
                 };
                 let connected = self.crossbar.try_connect(input, pick.output);
@@ -176,7 +223,7 @@ impl Switch {
                     .dequeue(pick.output)
                     .expect("candidate queue was nonempty");
                 packet.record_hop();
-                served[input.index()][pick.output.index()] = true;
+                self.served[input.index()][pick.output.index()] = true;
                 departures.push(Departure {
                     input,
                     output: pick.output,
@@ -185,12 +232,12 @@ impl Switch {
             }
         }
 
-        let occupied: Vec<Vec<bool>> = self
-            .buffers
-            .iter()
-            .map(|b| OutputPort::all(ports).map(|o| b.queue_len(o) > 0).collect())
-            .collect();
-        self.arbiter.complete_cycle(&served, &occupied);
+        for (row, b) in self.occupied.iter_mut().zip(&self.buffers) {
+            for o in OutputPort::all(ports) {
+                row[o.index()] = b.queue_len(o) > 0;
+            }
+        }
+        self.arbiter.complete_cycle(&self.served, &self.occupied);
         self.crossbar.release_all();
 
         // End-of-cycle head-of-line accounting: packets still resident that

@@ -20,6 +20,14 @@
 //!    own their output and are exempt). Libraries report through return
 //!    values or the telemetry layer; justified exceptions carry a
 //!    `// lint: allow — why` comment.
+//! 5. **No trait objects on the simulation data path** — `Box<dyn
+//!    SwitchBuffer>` is forbidden in `crates/switch/src` and
+//!    `crates/net/src`. The data path is monomorphized: generic code takes
+//!    `B: SwitchBuffer` and kind-selected configs go through the
+//!    enum-dispatched `AnyBuffer`. The boxed compatibility facade lives in
+//!    `crates/core` (exempt), and integration tests under `tests/` may
+//!    still instantiate it; a deliberate exception in library code carries
+//!    a `// lint: allow — why` comment.
 //!
 //! Run `cargo xtask lint` for everything, or `cargo xtask lint --no-cargo`
 //! for just the custom lints (fast, no compilation).
@@ -47,6 +55,12 @@ const RNG_PATTERNS: [&str; 3] = ["from_entropy", "thread_rng", "rand::random"];
 
 /// Console printing forbidden in library (non-binary) code.
 const PRINT_PATTERNS: [&str; 2] = ["println!(", "eprintln!("];
+
+/// Trait-object buffer dispatch forbidden on the simulation data path.
+const BOXED_BUFFER_PATTERNS: [&str; 2] = ["Box<dyn SwitchBuffer>", "Box < dyn SwitchBuffer >"];
+
+/// Crates whose `src/` must stay monomorphized (the per-cycle hot path).
+const MONOMORPHIC_CRATES: [&str; 2] = ["crates/switch", "crates/net"];
 
 /// The comment marker that waives the panic lint for one line.
 const ALLOW_MARKER: &str = "lint: allow";
@@ -98,6 +112,7 @@ fn lint(no_cargo: bool) -> ExitCode {
     rng_lint(&root, &mut findings);
     docs_lint(&root, &mut findings);
     print_lint(&root, &mut findings);
+    boxed_buffer_lint(&root, &mut findings);
 
     for finding in &findings {
         eprintln!("error: {finding}");
@@ -321,6 +336,27 @@ fn print_lint(root: &Path, findings: &mut Vec<Finding>) {
                 format!(
                     "'{pattern}' in library code — return data or use the telemetry \
                      layer; binaries own stdout/stderr, or justify with a \
+                     '// {ALLOW_MARKER} — why' comment"
+                )
+            });
+        }
+    }
+}
+
+/// Lint 5: trait-object buffer dispatch on the per-cycle hot path. The
+/// switch and network crates are generic over `B: SwitchBuffer` with the
+/// enum-dispatched `AnyBuffer` default; reintroducing `Box<dyn
+/// SwitchBuffer>` there silently re-adds a virtual call per buffer
+/// operation. The compatibility facade in `crates/core` and integration
+/// tests under `tests/` stay exempt.
+fn boxed_buffer_lint(root: &Path, findings: &mut Vec<Finding>) {
+    for krate in MONOMORPHIC_CRATES {
+        for file in rust_files(&root.join(krate).join("src")) {
+            scan_forbidden(&file, &BOXED_BUFFER_PATTERNS, findings, |_| {
+                format!(
+                    "'Box<dyn SwitchBuffer>' on the simulation data path — use the \
+                     generic parameter `B: SwitchBuffer` (enum-dispatched `AnyBuffer` \
+                     for kind-selected configs), or justify with a \
                      '// {ALLOW_MARKER} — why' comment"
                 )
             });
@@ -554,6 +590,20 @@ mod tests {
         let lines = strip_comments_and_strings(src);
         assert!(lines[0].contains("fn f<'a>"));
         assert!(lines[0].contains("{ x }"));
+    }
+
+    #[test]
+    fn boxed_buffer_pattern_ignores_doc_comments() {
+        let src = "/// Compare with `Box<dyn SwitchBuffer>` for context.\nbuffers: Vec<Box<dyn SwitchBuffer>>,";
+        let lines = strip_comments_and_strings(src);
+        assert!(
+            !lines[0].contains(BOXED_BUFFER_PATTERNS[0]),
+            "doc text is exempt"
+        );
+        assert!(
+            lines[1].contains(BOXED_BUFFER_PATTERNS[0]),
+            "real code is caught"
+        );
     }
 
     #[test]

@@ -31,6 +31,9 @@ cargo test -q -p damq-net --test telemetry
 echo "== telemetry: disabled instrumentation compiles away =="
 cargo bench -p damq-bench --bench no_op_sink_overhead
 
+echo "== dispatch smoke: all three dispatch paths agree =="
+cargo bench -p damq-bench --bench sim_throughput -- --smoke
+
 echo "== rustdoc (warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
