@@ -40,7 +40,7 @@ use damq_markov::DiscardPoint;
 use damq_net::{Measurement, SaturationResult};
 use damq_telemetry::Profiler;
 
-use crate::sweep::{Aggregate, SweepProfile};
+use crate::sweep::{Aggregate, CellOutcome, SweepProfile};
 
 /// A JSON value with deterministic, insertion-ordered serialization.
 #[derive(Debug, Clone, PartialEq)]
@@ -580,6 +580,59 @@ pub fn aggregates_json(aggs: &[(&'static str, Aggregate)]) -> Json {
     }))
 }
 
+/// Summarises a batch of [`CellOutcome`]s into the `robustness` report
+/// section: outcome counts plus one `incidents` entry per non-`ok` cell
+/// (index into the batch, outcome tag, panic message / attempt count).
+///
+/// The section is deterministic — outcomes derive from seeded simulation
+/// work, not wall-clock — so [`Report::body`] includes it when attached
+/// via [`Report::set_robustness`].
+///
+/// # Examples
+///
+/// ```
+/// use damq_bench::json::robustness_json;
+/// use damq_bench::sweep::CellOutcome;
+///
+/// let section = robustness_json(&[
+///     CellOutcome::Ok,
+///     CellOutcome::TimedOut,
+/// ]);
+/// assert!(section.render().contains(r#""timed_out":1"#));
+/// ```
+pub fn robustness_json(outcomes: &[CellOutcome]) -> Json {
+    let count = |label: &str| -> usize { outcomes.iter().filter(|o| o.label() == label).count() };
+    let incidents: Vec<Json> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| *o != &CellOutcome::Ok)
+        .map(|(i, o)| {
+            let mut fields = vec![
+                ("index".to_owned(), Json::from(i)),
+                ("outcome".to_owned(), Json::from(o.label())),
+            ];
+            match o {
+                CellOutcome::Retried { attempts } => {
+                    fields.push(("attempts".to_owned(), Json::from(u64::from(*attempts))));
+                }
+                CellOutcome::Panicked { message } => {
+                    fields.push(("message".to_owned(), Json::from(message.as_str())));
+                }
+                CellOutcome::Ok | CellOutcome::TimedOut => {}
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::obj([
+        ("cells", Json::from(outcomes.len())),
+        ("ok", Json::from(count("ok"))),
+        ("retried", Json::from(count("retried"))),
+        ("panicked", Json::from(count("panicked"))),
+        ("timed_out", Json::from(count("timed_out"))),
+        ("incidents", Json::Arr(incidents)),
+    ])
+}
+
 /// Accumulates one harness run and writes `results/json/<name>.json`.
 ///
 /// The deterministic part of the record (experiment name, schema version,
@@ -608,6 +661,7 @@ pub struct Report {
     name: String,
     meta: Vec<(String, Json)>,
     cells: Vec<Json>,
+    robustness: Option<Json>,
     telemetry: Option<Json>,
     started: Instant,
 }
@@ -625,6 +679,7 @@ impl Report {
             name: name.to_owned(),
             meta: Vec::new(),
             cells: Vec::new(),
+            robustness: None,
             telemetry: None,
             started: Instant::now(),
         }
@@ -644,6 +699,16 @@ impl Report {
     /// Number of cells recorded so far.
     pub fn cell_count(&self) -> usize {
         self.cells.len()
+    }
+
+    /// Attaches a `robustness` section (see [`robustness_json`]) recording
+    /// how the sweep's cells fared under the self-healing harness.
+    ///
+    /// Cell outcomes are deterministic (panics and cycle-budget timeouts
+    /// reproduce from the seeds), so the section lives in the
+    /// deterministic [`Report::body`], unlike the timing telemetry.
+    pub fn set_robustness(&mut self, robustness: Json) {
+        self.robustness = Some(robustness);
     }
 
     /// Attaches a profiling `telemetry` section to the report.
@@ -722,13 +787,20 @@ impl Report {
     /// metadata and cells — everything except the run-varying provenance
     /// envelope.
     pub fn body(&self) -> Json {
-        Json::obj([
-            ("experiment", Json::from(self.name.as_str())),
-            ("schema_version", Json::from(u64::from(SCHEMA_VERSION))),
-            ("meta", Json::Obj(self.meta.clone())),
-            ("cell_count", Json::from(self.cells.len())),
-            ("cells", Json::Arr(self.cells.clone())),
-        ])
+        let mut pairs = vec![
+            ("experiment".to_owned(), Json::from(self.name.as_str())),
+            (
+                "schema_version".to_owned(),
+                Json::from(u64::from(SCHEMA_VERSION)),
+            ),
+            ("meta".to_owned(), Json::Obj(self.meta.clone())),
+            ("cell_count".to_owned(), Json::from(self.cells.len())),
+            ("cells".to_owned(), Json::Arr(self.cells.clone())),
+        ];
+        if let Some(robustness) = &self.robustness {
+            pairs.push(("robustness".to_owned(), robustness.clone()));
+        }
+        Json::Obj(pairs)
     }
 
     /// Writes the report to `<results dir>/json/<name>.json` and returns
@@ -869,6 +941,36 @@ mod tests {
         assert!(section.contains(r#""cycles_per_sec":7428.5714"#));
         assert!(section.contains(r#""per_cell_cycles_per_sec":[4000,8000]"#));
         assert!(section.contains(r#""phases":{"sweep":1.75}"#));
+    }
+
+    #[test]
+    fn robustness_section_lands_in_the_deterministic_body() {
+        let mut r = Report::new("t");
+        r.push_cell(Json::from(1i64));
+        let outcomes = [
+            CellOutcome::Ok,
+            CellOutcome::Retried { attempts: 3 },
+            CellOutcome::Panicked {
+                message: "boom".to_owned(),
+            },
+            CellOutcome::TimedOut,
+        ];
+        r.set_robustness(robustness_json(&outcomes));
+        let body = r.body().render();
+        assert!(body
+            .contains(r#""robustness":{"cells":4,"ok":1,"retried":1,"panicked":1,"timed_out":1"#));
+        assert!(body.contains(r#"{"index":1,"outcome":"retried","attempts":3}"#));
+        assert!(body.contains(r#"{"index":2,"outcome":"panicked","message":"boom"}"#));
+        assert!(body.contains(r#"{"index":3,"outcome":"timed_out"}"#));
+    }
+
+    #[test]
+    fn all_ok_robustness_has_no_incidents() {
+        let section = robustness_json(&[CellOutcome::Ok, CellOutcome::Ok]);
+        assert_eq!(
+            section.render(),
+            r#"{"cells":2,"ok":2,"retried":0,"panicked":0,"timed_out":0,"incidents":[]}"#
+        );
     }
 
     #[test]

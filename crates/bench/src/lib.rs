@@ -7,9 +7,13 @@
 //! - [`sweep`] — the parallel experiment-sweep engine: declarative grids
 //!   of cells fanned out across cores with deterministic, thread-count-
 //!   independent results, plus multi-seed aggregation (mean / stddev /
-//!   95% CI).
+//!   95% CI) and the self-healing isolation layer
+//!   ([`sweep::run_isolated`]) that contains panics, enforces cycle
+//!   budgets and retries flaky cells.
 //! - [`json`] — a hand-rolled JSON writer; every harness emits
 //!   `results/json/<experiment>.json` alongside its text table.
+//! - [`resume`] — per-cell checkpointing to an append-only sidecar so an
+//!   interrupted sweep resumes from its last completed cell.
 //! - [`timing`] — a std-only micro-benchmark harness for the `benches/`
 //!   targets.
 //! - Paper-style number formatting ([`fmt_prob`]) and fixed-width table
@@ -22,6 +26,7 @@
 #![deny(missing_docs)]
 
 pub mod json;
+pub mod resume;
 pub mod sweep;
 pub mod timing;
 

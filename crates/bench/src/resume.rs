@@ -1,0 +1,238 @@
+//! Checkpoint/resume for sweep harnesses: never lose a finished cell.
+//!
+//! Long fault-degradation sweeps record every completed cell to a sidecar
+//! file — `results/json/<name>.cells.jsonl`, one `{"key": .., "cell": ..}`
+//! object per line — *as the cell finishes*, under a mutex, so a crash or
+//! interrupt loses at most the cells still in flight. A harness launched
+//! with `--resume` reloads the sidecar and re-runs only the missing cells;
+//! a fresh launch truncates it.
+//!
+//! The sidecar is append-only JSONL precisely because appends are the only
+//! write that survives being interrupted halfway: on reload, a torn final
+//! line fails to parse and is dropped, and every complete line before it
+//! is kept.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// The set of already-completed sweep cells, backed by an append-only
+/// JSONL sidecar file.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    done: Mutex<BTreeMap<String, Json>>,
+}
+
+/// The results directory honoured by the JSON reports (`$DAMQ_RESULTS_DIR`
+/// or `results`), with the `json` subdirectory appended.
+fn results_json_dir() -> PathBuf {
+    let dir = std::env::var("DAMQ_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+    PathBuf::from(dir).join("json")
+}
+
+impl Checkpoint {
+    /// Loads the sidecar for experiment `name` from the standard results
+    /// directory, keeping every parseable line. Use for `--resume` runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the file not existing (an absent
+    /// sidecar is an empty checkpoint).
+    pub fn load(name: &str) -> io::Result<Checkpoint> {
+        Checkpoint::load_in(results_json_dir(), name)
+    }
+
+    /// Truncates any existing sidecar for `name` in the standard results
+    /// directory and starts empty. Use for fresh (non-resume) runs so
+    /// stale cells from an earlier grid cannot leak in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or file removal.
+    pub fn fresh(name: &str) -> io::Result<Checkpoint> {
+        Checkpoint::fresh_in(results_json_dir(), name)
+    }
+
+    /// [`Checkpoint::load`] against an explicit directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the file not existing.
+    pub fn load_in(dir: impl Into<PathBuf>, name: &str) -> io::Result<Checkpoint> {
+        let path = sidecar_path(dir, name);
+        let mut done = BTreeMap::new();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    // A torn tail line (crash mid-append) fails to parse:
+                    // drop it and everything after — those cells re-run.
+                    let Ok(entry) = Json::parse(line) else { break };
+                    let (Some(Json::Str(key)), Some(cell)) = (entry.get("key"), entry.get("cell"))
+                    else {
+                        break;
+                    };
+                    done.insert(key.clone(), cell.clone());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Checkpoint {
+            path,
+            done: Mutex::new(done),
+        })
+    }
+
+    /// [`Checkpoint::fresh`] against an explicit directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or file removal.
+    pub fn fresh_in(dir: impl Into<PathBuf>, name: &str) -> io::Result<Checkpoint> {
+        let path = sidecar_path(dir, name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        match std::fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Checkpoint {
+            path,
+            done: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The sidecar file backing this checkpoint.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether `key`'s cell is already recorded.
+    pub fn contains(&self, key: &str) -> bool {
+        self.done
+            .lock()
+            .expect("checkpoint poisoned")
+            .contains_key(key)
+    }
+
+    /// The recorded cell for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<Json> {
+        self.done
+            .lock()
+            .expect("checkpoint poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Completed cells recorded so far.
+    pub fn len(&self) -> usize {
+        self.done.lock().expect("checkpoint poisoned").len()
+    }
+
+    /// Whether no cells are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records one completed cell, appending it to the sidecar before
+    /// updating the in-memory set. Safe to call from parallel sweep
+    /// workers; recording an already-present key is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the append. The in-memory set is only
+    /// updated on a successful write, so a failed append leaves the cell
+    /// eligible to re-run.
+    pub fn record(&self, key: &str, cell: &Json) -> io::Result<()> {
+        let mut done = self.done.lock().expect("checkpoint poisoned");
+        if done.contains_key(key) {
+            return Ok(());
+        }
+        if let Some(parent) = self.path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let entry = Json::obj([("key", Json::from(key)), ("cell", cell.clone())]);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        writeln!(file, "{}", entry.render())?;
+        done.insert(key.to_owned(), cell.clone());
+        Ok(())
+    }
+}
+
+fn sidecar_path(dir: impl Into<PathBuf>, name: &str) -> PathBuf {
+    dir.into().join(format!("{name}.cells.jsonl"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("damq_checkpoint_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn record_and_reload_round_trip() {
+        let dir = temp_dir("round_trip");
+        let ck = Checkpoint::fresh_in(&dir, "exp").unwrap();
+        assert!(ck.is_empty());
+        let cell = Json::obj([("delivered", Json::from(0.5))]);
+        ck.record("DAMQ|0.1", &cell).unwrap();
+        ck.record("DAMQ|0.1", &cell).unwrap(); // idempotent
+        ck.record("SAMQ|0.1", &Json::from(7i64)).unwrap();
+        assert_eq!(ck.len(), 2);
+
+        let reloaded = Checkpoint::load_in(&dir, "exp").unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert!(reloaded.contains("DAMQ|0.1"));
+        assert_eq!(reloaded.get("DAMQ|0.1"), Some(cell));
+        assert_eq!(reloaded.get("missing"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_truncates_and_missing_file_loads_empty() {
+        let dir = temp_dir("fresh");
+        let ck = Checkpoint::fresh_in(&dir, "exp").unwrap();
+        ck.record("k", &Json::Null).unwrap();
+        let ck = Checkpoint::fresh_in(&dir, "exp").unwrap();
+        assert!(ck.is_empty());
+        assert!(Checkpoint::load_in(&dir, "never_written")
+            .unwrap()
+            .is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_line_is_dropped_on_reload() {
+        let dir = temp_dir("torn");
+        let path = sidecar_path(&dir, "exp");
+        std::fs::write(
+            &path,
+            "{\"key\":\"good\",\"cell\":{\"v\":1}}\n{\"key\":\"torn\",\"ce",
+        )
+        .unwrap();
+        let ck = Checkpoint::load_in(&dir, "exp").unwrap();
+        assert_eq!(ck.len(), 1);
+        assert!(ck.contains("good"));
+        assert!(!ck.contains("torn"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -45,7 +45,8 @@
 //! assert_eq!(results[5], 0.50 * 2.0);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -258,6 +259,192 @@ where
             workers,
         },
     )
+}
+
+// ----------------------------------------------------------------------
+// Self-healing isolation: panic containment, cycle-budget watchdogs and
+// bounded retry, so one bad cell degrades one report entry instead of
+// losing the whole sweep.
+
+/// Sentinel panic payload thrown by [`Watchdog::tick`]; [`run_isolated`]
+/// recognises it and reports the cell as [`CellOutcome::TimedOut`] instead
+/// of panicked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogExpired;
+
+/// A deterministic cycle-budget watchdog handed to every isolated cell.
+///
+/// Cells call [`Watchdog::tick`] once per unit of forward progress
+/// (typically one simulated network cycle). A cell that exceeds its budget
+/// is unwound and reported as timed out — the budget counts *work*, not
+/// wall-clock time, so the verdict is identical on a fast and a loaded
+/// machine.
+#[derive(Debug)]
+pub struct Watchdog {
+    budget: u64,
+    ticks: AtomicU64,
+}
+
+impl Watchdog {
+    fn new(budget: u64) -> Watchdog {
+        Watchdog {
+            budget,
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one unit of progress.
+    ///
+    /// # Panics
+    ///
+    /// Unwinds with [`WatchdogExpired`] once the budget is exhausted;
+    /// [`run_isolated`] catches it and marks the cell
+    /// [`CellOutcome::TimedOut`].
+    pub fn tick(&self) {
+        let ticks = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        if ticks > self.budget {
+            std::panic::panic_any(WatchdogExpired);
+        }
+    }
+
+    /// Progress recorded so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}
+
+/// What happened to one isolated cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// The cell completed on its first attempt.
+    Ok,
+    /// The cell panicked and then completed on a retry (`attempts` counts
+    /// every attempt, including the successful one).
+    Retried {
+        /// Total attempts made, including the one that succeeded.
+        attempts: u32,
+    },
+    /// The cell panicked on every attempt; the last panic message is kept.
+    Panicked {
+        /// Rendered payload of the final panic.
+        message: String,
+    },
+    /// The cell exhausted its cycle budget. Timeouts are deterministic
+    /// (the budget counts simulated work), so they are not retried.
+    TimedOut,
+}
+
+impl CellOutcome {
+    /// Short machine-readable tag (`ok`, `retried`, `panicked`,
+    /// `timed_out`) used by the JSON reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellOutcome::Ok => "ok",
+            CellOutcome::Retried { .. } => "retried",
+            CellOutcome::Panicked { .. } => "panicked",
+            CellOutcome::TimedOut => "timed_out",
+        }
+    }
+
+    /// Whether the cell produced a usable result.
+    pub fn is_usable(&self) -> bool {
+        matches!(self, CellOutcome::Ok | CellOutcome::Retried { .. })
+    }
+}
+
+/// One isolated cell's verdict and (if usable) its result.
+#[derive(Debug, Clone)]
+pub struct CellReport<R> {
+    /// How the cell ended.
+    pub outcome: CellOutcome,
+    /// The result, present exactly when `outcome.is_usable()`.
+    pub result: Option<R>,
+}
+
+/// Tuning for [`run_isolated`].
+#[derive(Debug, Clone, Copy)]
+pub struct IsolationOptions {
+    /// Watchdog budget per attempt, in [`Watchdog::tick`] units.
+    pub cycle_budget: u64,
+    /// Panicking cells are re-run up to this many extra times (each
+    /// attempt sees its attempt index, so it can reseed). Timeouts are
+    /// never retried.
+    pub max_retries: u32,
+}
+
+impl Default for IsolationOptions {
+    fn default() -> IsolationOptions {
+        IsolationOptions {
+            cycle_budget: 10_000_000,
+            max_retries: 2,
+        }
+    }
+}
+
+/// Like [`run`], but each cell runs inside a panic boundary with a
+/// cycle-budget watchdog and bounded retry: the sweep always completes and
+/// every cell reports a [`CellOutcome`] instead of taking the process down.
+///
+/// `f` receives the cell, a fresh [`Watchdog`] per attempt, and the
+/// 0-based attempt index (fold it into the cell's seed so retries explore
+/// a different stream). Results come back in cell order.
+///
+/// Panic payloads are contained per attempt; the default panic hook still
+/// prints them to stderr, which doubles as the incident log.
+pub fn run_isolated<C, R, F>(cells: &[C], opts: IsolationOptions, f: F) -> Vec<CellReport<R>>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&C, &Watchdog, u32) -> R + Sync,
+{
+    run_with_workers(cells, worker_count(), |cell| {
+        let mut attempt = 0;
+        loop {
+            let watchdog = Watchdog::new(opts.cycle_budget);
+            match catch_unwind(AssertUnwindSafe(|| f(cell, &watchdog, attempt))) {
+                Ok(result) => {
+                    let outcome = if attempt == 0 {
+                        CellOutcome::Ok
+                    } else {
+                        CellOutcome::Retried {
+                            attempts: attempt + 1,
+                        }
+                    };
+                    return CellReport {
+                        outcome,
+                        result: Some(result),
+                    };
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<WatchdogExpired>().is_some() {
+                        return CellReport {
+                            outcome: CellOutcome::TimedOut,
+                            result: None,
+                        };
+                    }
+                    if attempt >= opts.max_retries {
+                        return CellReport {
+                            outcome: CellOutcome::Panicked {
+                                message: panic_message(payload.as_ref()),
+                            },
+                            result: None,
+                        };
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 /// Derives a deterministic per-cell RNG seed from an experiment's base
@@ -498,6 +685,71 @@ mod tests {
         assert!(results.is_empty());
         assert_eq!(profile.slowest_cell(), None);
         assert_eq!(profile.cell_secs_sum(), 0.0);
+    }
+
+    #[test]
+    fn isolated_cells_contain_panics_timeouts_and_retries() {
+        let cells: Vec<u32> = (0..6).collect();
+        let opts = IsolationOptions {
+            cycle_budget: 500,
+            max_retries: 2,
+        };
+        let reports = run_isolated(&cells, opts, |&c, watchdog, attempt| match c {
+            2 => panic!("injected fault in cell 2"),
+            3 => loop {
+                watchdog.tick();
+            },
+            4 if attempt == 0 => panic!("flaky once"),
+            _ => c * 10,
+        });
+        assert_eq!(reports.len(), 6);
+        for i in [0usize, 1, 5] {
+            assert_eq!(reports[i].outcome, CellOutcome::Ok);
+            assert_eq!(reports[i].result, Some(i as u32 * 10));
+        }
+        match &reports[2].outcome {
+            CellOutcome::Panicked { message } => {
+                assert!(message.contains("injected fault in cell 2"));
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(reports[2].result, None);
+        assert_eq!(reports[3].outcome, CellOutcome::TimedOut);
+        assert_eq!(reports[3].result, None);
+        assert_eq!(reports[4].outcome, CellOutcome::Retried { attempts: 2 });
+        assert_eq!(reports[4].result, Some(40));
+    }
+
+    #[test]
+    fn outcome_labels_and_usability() {
+        assert_eq!(CellOutcome::Ok.label(), "ok");
+        assert_eq!(CellOutcome::Retried { attempts: 2 }.label(), "retried");
+        assert!(CellOutcome::Retried { attempts: 2 }.is_usable());
+        assert!(!CellOutcome::TimedOut.is_usable());
+        assert!(!CellOutcome::Panicked {
+            message: String::new()
+        }
+        .is_usable());
+    }
+
+    #[test]
+    fn watchdog_budget_is_deterministic_progress_not_wall_clock() {
+        let reports = run_isolated(
+            &[100u64, 99],
+            IsolationOptions {
+                cycle_budget: 99,
+                max_retries: 0,
+            },
+            |&n, watchdog, _| {
+                for _ in 0..n {
+                    watchdog.tick();
+                }
+                n
+            },
+        );
+        // 100 ticks over a 99-tick budget: out. Exactly 99: fine.
+        assert_eq!(reports[0].outcome, CellOutcome::TimedOut);
+        assert_eq!(reports[1].outcome, CellOutcome::Ok);
     }
 
     #[test]

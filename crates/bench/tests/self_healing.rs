@@ -1,0 +1,158 @@
+//! Integration test for the self-healing sweep harness: a grid with a
+//! deliberately panicking cell and a wedged (watchdog-tripping) cell still
+//! completes, both incidents land in the report's `robustness` section,
+//! and a resumed sweep re-runs only the cells missing from the checkpoint.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use damq_bench::json::{robustness_json, Json, Report};
+use damq_bench::resume::Checkpoint;
+use damq_bench::sweep::{run_isolated, CellOutcome, IsolationOptions};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("damq_self_healing_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn sweep_with_panicking_and_wedged_cells_completes_and_reports_both() {
+    let cells: Vec<u64> = (0..8).collect();
+    let opts = IsolationOptions {
+        cycle_budget: 1_000,
+        max_retries: 2,
+    };
+    let reports = run_isolated(&cells, opts, |&c, watchdog, attempt| {
+        match c {
+            // A cell whose simulation panics on every attempt.
+            3 => panic!("injected: buffer invariant violated in cell 3"),
+            // A wedged cell: spins forever, making "progress" ticks only.
+            5 => loop {
+                watchdog.tick();
+            },
+            // A flaky cell: the first seed panics, the retry's seed works.
+            6 if attempt == 0 => panic!("injected: flaky seed"),
+            _ => c * 100 + u64::from(attempt),
+        }
+    });
+
+    // The sweep completed: every cell has a verdict, in grid order.
+    assert_eq!(reports.len(), cells.len());
+    let outcomes: Vec<CellOutcome> = reports.iter().map(|r| r.outcome.clone()).collect();
+    assert!(matches!(&outcomes[3], CellOutcome::Panicked { message }
+        if message.contains("cell 3")));
+    assert_eq!(outcomes[5], CellOutcome::TimedOut);
+    assert_eq!(outcomes[6], CellOutcome::Retried { attempts: 2 });
+    assert_eq!(reports[6].result, Some(601), "retry ran with attempt 1");
+    for i in [0usize, 1, 2, 4, 7] {
+        assert_eq!(outcomes[i], CellOutcome::Ok, "cell {i}");
+        assert_eq!(reports[i].result, Some(i as u64 * 100));
+    }
+
+    // Both incident kinds surface in the report's robustness section.
+    let mut report = Report::new("self_healing_test");
+    for r in &reports {
+        report.push_cell(r.result.map_or(Json::Null, Json::from));
+    }
+    report.set_robustness(robustness_json(&outcomes));
+    let body = report.body().render();
+    assert!(body.contains(r#""panicked":1"#));
+    assert!(body.contains(r#""timed_out":1"#));
+    assert!(body.contains(r#""retried":1"#));
+    assert!(body.contains(r#""ok":5"#));
+    assert!(body.contains(r#""outcome":"panicked""#));
+    assert!(body.contains(r#""outcome":"timed_out""#));
+    assert!(body.contains("buffer invariant violated"));
+}
+
+#[test]
+fn resume_reruns_only_the_missing_cells() {
+    let dir = temp_dir("resume");
+    let cells: Vec<u64> = (0..5).collect();
+    let key = |c: &u64| format!("cell{c}");
+    let executions = AtomicUsize::new(0);
+    let opts = IsolationOptions {
+        cycle_budget: 1_000,
+        max_retries: 0,
+    };
+
+    let run_sweep = |checkpoint: &Checkpoint| {
+        let pending: Vec<u64> = cells
+            .iter()
+            .filter(|c| !checkpoint.contains(&key(c)))
+            .copied()
+            .collect();
+        let reports = run_isolated(&pending, opts, |&c, _watchdog, _attempt| {
+            executions.fetch_add(1, Ordering::SeqCst);
+            let cell = Json::obj([("value", Json::from(c * 2))]);
+            checkpoint.record(&key(&c), &cell).unwrap();
+            cell
+        });
+        (pending, reports)
+    };
+
+    // First sweep: all five cells execute and checkpoint.
+    let checkpoint = Checkpoint::fresh_in(&dir, "resume_exp").unwrap();
+    let (pending, _) = run_sweep(&checkpoint);
+    assert_eq!(pending.len(), 5);
+    assert_eq!(executions.load(Ordering::SeqCst), 5);
+    assert_eq!(checkpoint.len(), 5);
+
+    // Simulate a lost cell (e.g. the process died before finishing it) by
+    // rewriting the sidecar without cell 2's line.
+    let sidecar = checkpoint.path().to_path_buf();
+    let kept: String = std::fs::read_to_string(&sidecar)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.contains("\"cell2\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(&sidecar, kept).unwrap();
+
+    // Resumed sweep: exactly one cell (the missing one) re-runs.
+    let checkpoint = Checkpoint::load_in(&dir, "resume_exp").unwrap();
+    assert_eq!(checkpoint.len(), 4);
+    let (pending, reports) = run_sweep(&checkpoint);
+    assert_eq!(pending, vec![2]);
+    assert_eq!(executions.load(Ordering::SeqCst), 6, "5 + the 1 missing");
+    assert_eq!(reports.len(), 1);
+    assert_eq!(checkpoint.len(), 5);
+
+    // Every cell is recoverable in grid order after the resume.
+    for c in &cells {
+        let cell = checkpoint.get(&key(c)).unwrap();
+        assert_eq!(
+            cell.get("value").and_then(Json::as_f64),
+            Some(*c as f64 * 2.0)
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_cells_never_reach_the_checkpoint() {
+    let dir = temp_dir("failures");
+    let checkpoint = Checkpoint::fresh_in(&dir, "fail_exp").unwrap();
+    let cells: Vec<u64> = (0..3).collect();
+    let opts = IsolationOptions {
+        cycle_budget: 100,
+        max_retries: 1,
+    };
+    let reports = run_isolated(&cells, opts, |&c, watchdog, _| {
+        if c == 1 {
+            panic!("injected failure");
+        }
+        watchdog.tick();
+        checkpoint
+            .record(&format!("cell{c}"), &Json::from(c))
+            .unwrap();
+        c
+    });
+    assert!(matches!(reports[1].outcome, CellOutcome::Panicked { .. }));
+    assert_eq!(checkpoint.len(), 2, "only completed cells checkpoint");
+    assert!(!checkpoint.contains("cell1"));
+    // The panicked cell stays eligible: a resume would re-run exactly it.
+    let _ = std::fs::remove_dir_all(&dir);
+}

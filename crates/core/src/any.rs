@@ -163,6 +163,16 @@ impl SwitchBuffer for AnyBuffer {
         dispatch!(self, b => b.note_hol_blocked())
     }
 
+    #[inline]
+    fn kill_slot(&mut self, hint: OutputPort) -> bool {
+        dispatch!(self, b => b.kill_slot(hint))
+    }
+
+    #[inline]
+    fn dead_slots(&self) -> usize {
+        dispatch!(self, b => b.dead_slots())
+    }
+
     fn audit(&self) -> Result<(), AuditError> {
         dispatch!(self, b => b.audit())
     }
@@ -304,6 +314,14 @@ impl SwitchBuffer for Box<dyn SwitchBuffer> {
 
     fn note_hol_blocked(&mut self) -> u64 {
         (**self).note_hol_blocked()
+    }
+
+    fn kill_slot(&mut self, hint: OutputPort) -> bool {
+        (**self).kill_slot(hint)
+    }
+
+    fn dead_slots(&self) -> usize {
+        (**self).dead_slots()
     }
 
     fn audit(&self) -> Result<(), AuditError> {

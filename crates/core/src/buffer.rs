@@ -118,6 +118,7 @@ impl BufferConfig {
     }
 
     /// Overrides the slot size in bytes.
+    #[must_use]
     pub fn slot_bytes(mut self, slot_bytes: usize) -> Self {
         self.slot_bytes = slot_bytes;
         self
@@ -272,9 +273,31 @@ pub trait SwitchBuffer: fmt::Debug {
     fn reset_stats(&mut self);
 
     /// Free slots available to *some* queue (not necessarily to every queue —
-    /// static designs partition them).
+    /// static designs partition them). Dead slots are not free.
     fn free_slots(&self) -> usize {
-        self.capacity_slots() - self.used_slots()
+        (self.capacity_slots() - self.used_slots()).saturating_sub(self.dead_slots())
+    }
+
+    /// Permanently removes one slot from service (fault injection).
+    ///
+    /// `hint` names the output partition the slot is carved from in
+    /// statically-allocated designs (SAMQ/SAFC); designs with shared
+    /// storage ignore it. A kill must degrade the buffer *gracefully*:
+    /// capacity shrinks, resident packets drain intact, and no linked
+    /// list is ever corrupted. Returns `false` when nothing further can
+    /// be killed (every slot already dead or doomed).
+    ///
+    /// The default declines every kill, so designs without fault support
+    /// simply never degrade.
+    fn kill_slot(&mut self, hint: OutputPort) -> bool {
+        let _ = hint;
+        false
+    }
+
+    /// Slots removed from service by [`SwitchBuffer::kill_slot`],
+    /// including kills deferred until a busy slot drains.
+    fn dead_slots(&self) -> usize {
+        0
     }
 
     /// Whether no packets are resident.

@@ -118,6 +118,14 @@ impl SwitchBuffer for DafcBuffer {
         self.inner.reset_stats()
     }
 
+    fn kill_slot(&mut self, hint: OutputPort) -> bool {
+        self.inner.kill_slot(hint)
+    }
+
+    fn dead_slots(&self) -> usize {
+        self.inner.dead_slots()
+    }
+
     fn audit(&self) -> Result<(), AuditError> {
         self.inner.audit()
     }

@@ -129,6 +129,15 @@ impl SwitchBuffer for DamqBuffer {
                 reason: RejectReason::PacketTooLarge,
             });
         }
+        if slots > self.pool.effective_capacity() {
+            // Fits a healthy pool but not what the faults have left of it.
+            self.stats.record_rejected();
+            return Err(Rejected {
+                packet,
+                output,
+                reason: RejectReason::Faulted,
+            });
+        }
         match self.pool.enqueue(output.index(), packet, slots) {
             Ok(()) => {
                 self.stats.record_accepted(slots);
@@ -181,6 +190,17 @@ impl SwitchBuffer for DamqBuffer {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    fn kill_slot(&mut self, hint: OutputPort) -> bool {
+        // The pool is shared: a dead slot hurts every queue equally, so the
+        // hinted output carries no information here.
+        let _ = hint;
+        self.pool.kill_slot()
+    }
+
+    fn dead_slots(&self) -> usize {
+        self.pool.dead_count()
     }
 
     fn audit(&self) -> Result<(), AuditError> {

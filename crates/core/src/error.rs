@@ -57,6 +57,10 @@ pub enum RejectReason {
     PacketTooLarge,
     /// The requested output port does not exist on this buffer.
     NoSuchOutput,
+    /// Injected faults have shrunk the buffer (or the packet's static
+    /// partition) below the packet's size: it could never be accepted
+    /// until the fault is repaired, even with every live slot free.
+    Faulted,
 }
 
 impl fmt::Display for RejectReason {
@@ -68,6 +72,9 @@ impl fmt::Display for RejectReason {
                 write!(f, "packet does not fit in the buffer even when empty")
             }
             RejectReason::NoSuchOutput => write!(f, "output port index out of range"),
+            RejectReason::Faulted => {
+                write!(f, "dead slots leave too little capacity for this packet")
+            }
         }
     }
 }
@@ -145,6 +152,7 @@ mod tests {
             RejectReason::QueueFull,
             RejectReason::PacketTooLarge,
             RejectReason::NoSuchOutput,
+            RejectReason::Faulted,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

@@ -49,6 +49,10 @@ pub struct FifoBuffer {
     config: BufferConfig,
     queue: VecDeque<Entry>,
     used_slots: usize,
+    /// Ring slots permanently removed by fault injection.
+    dead: usize,
+    /// Kills issued while the ring was full; consumed by later dequeues.
+    pending_kills: usize,
     stats: BufferStats,
 }
 
@@ -64,6 +68,8 @@ impl FifoBuffer {
             config,
             queue: VecDeque::new(),
             used_slots: 0,
+            dead: 0,
+            pending_kills: 0,
             stats: BufferStats::new(),
         })
     }
@@ -104,7 +110,8 @@ impl SwitchBuffer for FifoBuffer {
     }
 
     fn can_accept(&self, output: OutputPort, slots: usize) -> bool {
-        output.index() < self.fanout() && self.used_slots + slots <= self.capacity_slots()
+        output.index() < self.fanout()
+            && self.used_slots + slots + self.dead_slots() <= self.capacity_slots()
     }
 
     fn try_enqueue(&mut self, output: OutputPort, packet: Packet) -> Result<(), Rejected> {
@@ -124,7 +131,16 @@ impl SwitchBuffer for FifoBuffer {
                 reason: RejectReason::PacketTooLarge,
             });
         }
-        if self.used_slots + slots > self.capacity_slots() {
+        if slots + self.dead_slots() > self.capacity_slots() {
+            // Fits a healthy ring but not what the faults have left of it.
+            self.stats.record_rejected();
+            return Err(Rejected {
+                packet,
+                output,
+                reason: RejectReason::Faulted,
+            });
+        }
+        if self.used_slots + slots + self.dead_slots() > self.capacity_slots() {
             self.stats.record_rejected();
             return Err(Rejected {
                 packet,
@@ -166,6 +182,10 @@ impl SwitchBuffer for FifoBuffer {
         // lint: allow — head_matches() proved the queue is non-empty.
         let entry = self.queue.pop_front().expect("head checked above");
         self.used_slots -= entry.slots;
+        // Freed slots feed deferred kills before returning to service.
+        let consumed = self.pending_kills.min(entry.slots);
+        self.pending_kills -= consumed;
+        self.dead += consumed;
         self.stats.record_forwarded();
         strict_audit!(self);
         Some(entry.packet)
@@ -181,6 +201,25 @@ impl SwitchBuffer for FifoBuffer {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    fn kill_slot(&mut self, hint: OutputPort) -> bool {
+        // A FIFO ring has no per-output partitions; the hint is irrelevant.
+        let _ = hint;
+        if self.dead_slots() >= self.capacity_slots() {
+            return false;
+        }
+        if self.used_slots + self.dead < self.capacity_slots() {
+            self.dead += 1;
+        } else {
+            self.pending_kills += 1;
+        }
+        strict_audit!(self);
+        true
+    }
+
+    fn dead_slots(&self) -> usize {
+        self.dead + self.pending_kills
     }
 
     fn note_hol_blocked(&mut self) -> u64 {
@@ -206,11 +245,26 @@ impl SwitchBuffer for FifoBuffer {
             self.used_slots
         );
         audit_ensure!(
-            self.used_slots <= self.capacity_slots(),
+            self.used_slots + self.dead <= self.capacity_slots(),
             "capacity-bound",
-            "FIFO holds {} of {} slots",
+            "FIFO holds {} live + {} dead of {} slots",
             self.used_slots,
+            self.dead,
             self.capacity_slots()
+        );
+        audit_ensure!(
+            self.dead + self.pending_kills <= self.capacity_slots(),
+            "fault-ledger",
+            "FIFO records {} dead + {} pending kills over {} slots",
+            self.dead,
+            self.pending_kills,
+            self.capacity_slots()
+        );
+        audit_ensure!(
+            self.pending_kills == 0 || self.used_slots + self.dead == self.capacity_slots(),
+            "fault-ledger",
+            "FIFO defers {} kills while slots are free",
+            self.pending_kills
         );
         for e in &self.queue {
             audit_ensure!(

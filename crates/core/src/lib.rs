@@ -50,6 +50,7 @@ mod buffer;
 mod dafc;
 mod damq;
 mod error;
+mod faults;
 mod fifo;
 mod ids;
 mod packet;
@@ -65,6 +66,7 @@ pub use buffer::{BufferConfig, BufferKind, SwitchBuffer};
 pub use dafc::DafcBuffer;
 pub use damq::DamqBuffer;
 pub use error::{ConfigError, RejectReason, Rejected};
+pub use faults::{FaultEvent, FaultLedger, FaultPlan, FaultSite, FaultSpec};
 pub use fifo::FifoBuffer;
 pub use ids::{InputPort, NodeId, OutputPort, PacketId};
 pub use packet::{Packet, PacketBuilder, PacketIdSource, DEFAULT_SLOT_BYTES, MAX_PACKET_BYTES};

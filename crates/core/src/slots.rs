@@ -51,6 +51,9 @@ enum SlotContent {
     Head { packet: Packet, slots: usize },
     /// A continuation slot of a multi-slot packet.
     Continuation,
+    /// Permanently out of service (fault injection): on no list, never
+    /// allocated again.
+    Dead,
 }
 
 /// Head/tail registers and counters for one linked list.
@@ -83,6 +86,11 @@ pub struct SlotPool {
     content: Vec<SlotContent>,
     free: ListRegs,
     queues: Vec<ListRegs>,
+    /// Slots marked [`SlotContent::Dead`] (fault injection).
+    dead: usize,
+    /// Kills registered while no slot was free; the next slots returned to
+    /// the free list die instead of rejoining it.
+    pending_kills: usize,
 }
 
 impl SlotPool {
@@ -100,6 +108,8 @@ impl SlotPool {
             content: vec![SlotContent::Free; capacity],
             free: ListRegs::default(),
             queues: vec![ListRegs::default(); lists],
+            dead: 0,
+            pending_kills: 0,
         };
         // Thread all slots onto the free list in address order.
         for i in 0..capacity {
@@ -125,7 +135,44 @@ impl SlotPool {
 
     /// Slots currently holding packet data.
     pub fn used_count(&self) -> usize {
-        self.capacity() - self.free_count()
+        self.capacity() - self.free_count() - self.dead
+    }
+
+    /// Slots removed from service by [`SlotPool::kill_slot`], including
+    /// kills still deferred until a busy slot drains.
+    pub fn dead_count(&self) -> usize {
+        self.dead + self.pending_kills
+    }
+
+    /// Slots the pool can still ever hold: capacity minus registered
+    /// kills.
+    pub fn effective_capacity(&self) -> usize {
+        self.capacity() - self.dead_count()
+    }
+
+    /// Permanently removes one slot from service (fault injection).
+    ///
+    /// A free slot dies immediately: it is popped off the free list and
+    /// marked dead, never to be allocated again. If every
+    /// slot is busy holding packet data, the kill is *deferred*: the next
+    /// slot returned by a dequeue dies instead of rejoining the free list,
+    /// so resident packets always drain intact. Returns `false` (and
+    /// registers nothing) once every slot is already dead or doomed —
+    /// killing never panics and never touches the linked lists of live
+    /// queues.
+    pub fn kill_slot(&mut self) -> bool {
+        if self.dead_count() >= self.capacity() {
+            return false;
+        }
+        match self.pop_free() {
+            Some(id) => {
+                self.content[id.index()] = SlotContent::Dead;
+                self.dead += 1;
+            }
+            None => self.pending_kills += 1,
+        }
+        strict_audit!(self);
+        true
     }
 
     /// Packets waiting on queue `list`.
@@ -258,6 +305,15 @@ impl SlotPool {
     }
 
     fn push_free(&mut self, id: SlotId) {
+        if self.pending_kills > 0 {
+            // A deferred kill claims this slot: it dies instead of
+            // rejoining the free list.
+            self.pending_kills -= 1;
+            self.dead += 1;
+            self.next[id.index()] = None;
+            self.content[id.index()] = SlotContent::Dead;
+            return;
+        }
         self.next[id.index()] = None;
         match self.free.tail {
             Some(tail) => self.next[tail.index()] = Some(id),
@@ -383,10 +439,39 @@ impl SlotPool {
                 regs.packet_count
             );
         }
+        // Fault-aware partition: the lists plus the declared dead slots
+        // must exactly cover the storage. A slot off every list is legal
+        // only if it is marked Dead, and every Dead slot is off-list.
+        let mut dead_found = 0;
+        for (i, &s) in seen.iter().enumerate() {
+            let is_dead = matches!(self.content[i], SlotContent::Dead);
+            if !s {
+                audit_ensure!(
+                    is_dead,
+                    "list-partition",
+                    "slot slot{i} is on no list (leaked slot)"
+                );
+                dead_found += 1;
+            } else {
+                audit_ensure!(
+                    !is_dead,
+                    "fault-ledger",
+                    "dead slot slot{i} is still linked on a list"
+                );
+            }
+        }
         audit_ensure!(
-            seen.iter().all(|&s| s),
-            "list-partition",
-            "some slot is on no list (leaked slot)"
+            dead_found == self.dead,
+            "fault-ledger",
+            "dead register says {} but {dead_found} slots are marked dead",
+            self.dead
+        );
+        audit_ensure!(
+            self.dead + self.pending_kills <= self.capacity(),
+            "fault-ledger",
+            "{} kills registered against {} slots",
+            self.dead + self.pending_kills,
+            self.capacity()
         );
         Ok(())
     }
@@ -520,5 +605,74 @@ mod tests {
     fn enqueue_bad_list_panics() {
         let mut pool = SlotPool::new(2, 1);
         let _ = pool.enqueue(1, pkt(0), 1);
+    }
+
+    #[test]
+    fn killing_a_free_slot_shrinks_capacity_immediately() {
+        let mut pool = SlotPool::new(4, 2);
+        assert!(pool.kill_slot());
+        assert_eq!(pool.free_count(), 3);
+        assert_eq!(pool.dead_count(), 1);
+        assert_eq!(pool.effective_capacity(), 3);
+        assert_eq!(pool.used_count(), 0);
+        pool.check_invariants();
+        // The remaining slots still work.
+        for i in 0..3 {
+            pool.enqueue(0, pkt(i), 1).unwrap();
+        }
+        assert!(pool.enqueue(0, pkt(9), 1).is_err());
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn kill_on_a_full_pool_defers_until_a_dequeue() {
+        let mut pool = SlotPool::new(2, 1);
+        pool.enqueue(0, pkt(0), 1).unwrap();
+        pool.enqueue(0, pkt(1), 1).unwrap();
+        assert!(pool.kill_slot());
+        // The resident packets are untouched; capacity already reports
+        // the doomed slot.
+        assert_eq!(pool.queue_packets(0), 2);
+        assert_eq!(pool.dead_count(), 1);
+        assert_eq!(pool.effective_capacity(), 1);
+        pool.check_invariants();
+        // The freed slot dies instead of rejoining the free list.
+        assert_eq!(pool.dequeue(0).unwrap().source(), NodeId::new(0));
+        assert_eq!(pool.free_count(), 0);
+        pool.check_invariants();
+        assert_eq!(pool.dequeue(0).unwrap().source(), NodeId::new(1));
+        assert_eq!(pool.free_count(), 1);
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn kills_beyond_capacity_are_refused_without_panicking() {
+        let mut pool = SlotPool::new(3, 1);
+        assert!(pool.kill_slot());
+        assert!(pool.kill_slot());
+        assert!(pool.kill_slot());
+        assert!(!pool.kill_slot(), "no fourth slot to kill");
+        assert_eq!(pool.dead_count(), 3);
+        assert_eq!(pool.effective_capacity(), 0);
+        // A fully-faulted pool rejects every enqueue but stays sound.
+        assert!(pool.enqueue(0, pkt(0), 1).is_err());
+        assert_eq!(pool.dequeue(0), None);
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn multi_slot_dequeue_feeds_deferred_kills() {
+        let mut pool = SlotPool::new(3, 1);
+        pool.enqueue(0, pkt(0), 3).unwrap();
+        assert!(pool.kill_slot());
+        assert!(pool.kill_slot());
+        assert_eq!(pool.dead_count(), 2);
+        pool.check_invariants();
+        assert!(pool.dequeue(0).is_some());
+        // Two of the three freed slots died; one survived.
+        assert_eq!(pool.free_count(), 1);
+        assert_eq!(pool.dead_count(), 2);
+        assert_eq!(pool.effective_capacity(), 1);
+        pool.check_invariants();
     }
 }

@@ -29,6 +29,11 @@ pub(crate) struct StaticMultiQueue {
     per_queue_capacity: usize,
     queues: Vec<VecDeque<Entry>>,
     queue_used: Vec<usize>,
+    /// Per-queue slots permanently removed by fault injection.
+    dead: Vec<usize>,
+    /// Per-queue kills issued while the partition was full; converted to
+    /// `dead` slots as dequeues free storage.
+    pending_kills: Vec<usize>,
     stats: BufferStats,
 }
 
@@ -42,6 +47,8 @@ impl StaticMultiQueue {
             per_queue_capacity: config.capacity() / fanout,
             queues: (0..fanout).map(|_| VecDeque::new()).collect(),
             queue_used: vec![0; fanout],
+            dead: vec![0; fanout],
+            pending_kills: vec![0; fanout],
             stats: BufferStats::new(),
         })
     }
@@ -59,9 +66,51 @@ impl StaticMultiQueue {
         self.queue_used.iter().sum()
     }
 
+    /// Slots removed by fault injection, including kills still pending on
+    /// full partitions.
+    pub(crate) fn dead_slots(&self) -> usize {
+        self.dead.iter().sum::<usize>() + self.pending_kills.iter().sum::<usize>()
+    }
+
+    /// Permanently disables one slot, preferring the partition for `hint`.
+    ///
+    /// If the hinted partition is already fully dead the kill falls over to
+    /// the first partition with a live slot left; `false` means every slot
+    /// in the buffer is already dead. A kill on a full partition is
+    /// deferred: the next dequeue donates a freed slot instead of returning
+    /// it to service.
+    pub(crate) fn kill_slot(&mut self, hint: OutputPort) -> bool {
+        let fanout = self.queues.len();
+        let start = if hint.index() < fanout {
+            hint.index()
+        } else {
+            0
+        };
+        let target = (0..fanout)
+            .map(|off| (start + off) % fanout)
+            .find(|&q| self.dead[q] + self.pending_kills[q] < self.per_queue_capacity);
+        let Some(q) = target else {
+            return false;
+        };
+        if self.queue_used[q] + self.dead[q] < self.per_queue_capacity {
+            self.dead[q] += 1;
+        } else {
+            self.pending_kills[q] += 1;
+        }
+        strict_audit!(self);
+        true
+    }
+
+    /// Slots of `output`'s partition unavailable to packets: killed plus
+    /// kill-pending.
+    fn faulted_slots(&self, q: usize) -> usize {
+        self.dead[q] + self.pending_kills[q]
+    }
+
     pub(crate) fn can_accept(&self, output: OutputPort, slots: usize) -> bool {
         output.index() < self.queues.len()
-            && self.queue_used[output.index()] + slots <= self.per_queue_capacity
+            && self.queue_used[output.index()] + slots + self.faulted_slots(output.index())
+                <= self.per_queue_capacity
     }
 
     pub(crate) fn try_enqueue(
@@ -85,7 +134,19 @@ impl StaticMultiQueue {
                 reason: RejectReason::PacketTooLarge,
             });
         }
-        if self.queue_used[output.index()] + slots > self.per_queue_capacity {
+        if slots + self.faulted_slots(output.index()) > self.per_queue_capacity {
+            // The packet fits a healthy partition but dead slots have shrunk
+            // this one below its size: it can never be accepted here.
+            self.stats.record_rejected();
+            return Err(Rejected {
+                packet,
+                output,
+                reason: RejectReason::Faulted,
+            });
+        }
+        if self.queue_used[output.index()] + slots + self.faulted_slots(output.index())
+            > self.per_queue_capacity
+        {
             self.stats.record_rejected();
             return Err(Rejected {
                 packet,
@@ -112,7 +173,12 @@ impl StaticMultiQueue {
 
     pub(crate) fn dequeue(&mut self, output: OutputPort) -> Option<Packet> {
         let entry = self.queues.get_mut(output.index())?.pop_front()?;
-        self.queue_used[output.index()] -= entry.slots;
+        let q = output.index();
+        self.queue_used[q] -= entry.slots;
+        // Freed slots feed deferred kills before returning to service.
+        let consumed = self.pending_kills[q].min(entry.slots);
+        self.pending_kills[q] -= consumed;
+        self.dead[q] += consumed;
         self.stats.record_forwarded();
         strict_audit!(self);
         Some(entry.packet)
@@ -140,10 +206,28 @@ impl StaticMultiQueue {
                 self.queue_used[i]
             );
             audit_ensure!(
-                self.queue_used[i] <= self.per_queue_capacity,
+                self.queue_used[i] + self.dead[i] <= self.per_queue_capacity,
                 "capacity-bound",
-                "queue {i} holds {} of its {} statically-partitioned slots",
+                "queue {i} holds {} live + {} dead of its {} statically-partitioned slots",
                 self.queue_used[i],
+                self.dead[i],
+                self.per_queue_capacity
+            );
+            audit_ensure!(
+                self.dead[i] + self.pending_kills[i] <= self.per_queue_capacity,
+                "fault-ledger",
+                "queue {i} records {} dead + {} pending kills over {} slots",
+                self.dead[i],
+                self.pending_kills[i],
+                self.per_queue_capacity
+            );
+            audit_ensure!(
+                self.pending_kills[i] == 0
+                    || self.queue_used[i] + self.dead[i] == self.per_queue_capacity,
+                "fault-ledger",
+                "queue {i} defers {} kills while {} of {} slots are free",
+                self.pending_kills[i],
+                self.per_queue_capacity - self.queue_used[i] - self.dead[i],
                 self.per_queue_capacity
             );
             for e in q {
@@ -218,6 +302,14 @@ macro_rules! impl_static_switch_buffer {
 
             fn reset_stats(&mut self) {
                 self.inner.reset_stats()
+            }
+
+            fn kill_slot(&mut self, hint: OutputPort) -> bool {
+                self.inner.kill_slot(hint)
+            }
+
+            fn dead_slots(&self) -> usize {
+                self.inner.dead_slots()
             }
 
             fn audit(&self) -> Result<(), crate::audit::AuditError> {

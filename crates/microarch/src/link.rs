@@ -32,6 +32,9 @@ pub enum LinkSymbol {
 #[derive(Debug, Clone, Default)]
 pub struct InputWire {
     schedule: BTreeMap<u64, LinkSymbol>,
+    /// Fault-injection outage windows `[from, until)`: symbols driven in a
+    /// window are lost on the wire.
+    outages: Vec<(u64, u64)>,
 }
 
 impl InputWire {
@@ -72,8 +75,31 @@ impl InputWire {
         cycle + 3 + data.len() as u64
     }
 
-    /// What the wire carries during `cycle` (`None` = idle).
+    /// Injects a link outage: symbols driven in `[from, until)` never reach
+    /// the receiver, modelling a flapping or severed wire. Windows may
+    /// overlap; the wire is down when any window covers the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty (`until <= from`).
+    pub fn fail_between(&mut self, from: u64, until: u64) {
+        assert!(until > from, "outage window must cover at least one cycle");
+        self.outages.push((from, until));
+    }
+
+    /// Whether an injected outage covers `cycle`.
+    pub fn is_down(&self, cycle: u64) -> bool {
+        self.outages
+            .iter()
+            .any(|&(from, until)| (from..until).contains(&cycle))
+    }
+
+    /// What the wire carries during `cycle` (`None` = idle, or the symbol
+    /// was swallowed by an injected outage).
     pub fn symbol_at(&self, cycle: u64) -> Option<LinkSymbol> {
+        if self.is_down(cycle) {
+            return None;
+        }
         self.schedule.get(&cycle).copied()
     }
 
@@ -206,6 +232,27 @@ mod tests {
         let mut w = InputWire::new();
         w.drive(5, LinkSymbol::StartBit);
         w.drive(5, LinkSymbol::Byte(1));
+    }
+
+    #[test]
+    fn outage_swallows_symbols_inside_the_window_only() {
+        let mut w = InputWire::new();
+        w.drive_packet(10, 0x42, &[7, 8]);
+        w.fail_between(11, 13);
+        assert_eq!(w.symbol_at(10), Some(LinkSymbol::StartBit));
+        assert!(w.is_down(11));
+        assert_eq!(w.symbol_at(11), None, "header lost in the outage");
+        assert_eq!(w.symbol_at(12), None, "length lost in the outage");
+        assert!(!w.is_down(13));
+        assert_eq!(w.symbol_at(13), Some(LinkSymbol::Byte(7)));
+        assert_eq!(w.symbol_at(14), Some(LinkSymbol::Byte(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn empty_outage_window_is_rejected() {
+        let mut w = InputWire::new();
+        w.fail_between(5, 5);
     }
 
     #[test]

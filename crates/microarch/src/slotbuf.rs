@@ -101,6 +101,9 @@ pub struct LinkedSlotBuffer {
     queues: Vec<ListRegs>,
     write: Option<WriteCursor>,
     reads: Vec<Option<ReadCursor>>,
+    /// Slots fenced off by fault injection: on no list, never reallocated.
+    dead: Vec<bool>,
+    dead_count: usize,
 }
 
 impl LinkedSlotBuffer {
@@ -123,6 +126,8 @@ impl LinkedSlotBuffer {
             queues: vec![ListRegs::default(); outputs],
             write: None,
             reads: vec![None; outputs],
+            dead: vec![false; slots],
+            dead_count: 0,
         };
         for s in 0..slots {
             buf.push_free(s as SlotIdx);
@@ -138,6 +143,27 @@ impl LinkedSlotBuffer {
     /// Slots currently on the free list.
     pub fn free_slots(&self) -> usize {
         self.free.slots
+    }
+
+    /// Slots fenced off by [`LinkedSlotBuffer::kill_slot`].
+    pub fn dead_slots(&self) -> usize {
+        self.dead_count
+    }
+
+    /// Models a manufacturing or wear-out fault in one static cell: takes a
+    /// slot off the free list and fences it so it is never reallocated. The
+    /// buffer keeps operating with one slot less.
+    ///
+    /// Returns `false` (refusing the kill) when the free list is empty — at
+    /// byte level an occupied cell cannot be retired without corrupting an
+    /// in-flight packet, so the fault is dropped rather than deferred.
+    pub fn kill_slot(&mut self) -> bool {
+        let Some(slot) = self.pop_free() else {
+            return false;
+        };
+        self.dead[slot as usize] = true;
+        self.dead_count += 1;
+        true
     }
 
     /// Packets queued (complete or arriving) for `output`.
@@ -493,10 +519,28 @@ impl LinkedSlotBuffer {
         for (q, regs) in self.queues.iter().enumerate() {
             walk(regs, &format!("queue {q}"))?;
         }
-        if let Some(slot) = seen.iter().position(|&s| !s) {
+        for (slot, &on_list) in seen.iter().enumerate() {
+            if on_list && self.dead[slot] {
+                return Err(AuditError::new(
+                    "fault-ledger",
+                    format!("dead slot {slot} is still linked on a list"),
+                ));
+            }
+            if !on_list && !self.dead[slot] {
+                return Err(AuditError::new(
+                    "list-partition",
+                    format!("slot {slot} is on no list (leaked slot)"),
+                ));
+            }
+        }
+        let marked = self.dead.iter().filter(|&&d| d).count();
+        if marked != self.dead_count {
             return Err(AuditError::new(
-                "list-partition",
-                format!("slot {slot} is on no list (leaked slot)"),
+                "fault-ledger",
+                format!(
+                    "dead counter says {} but {marked} slots are marked dead",
+                    self.dead_count
+                ),
             ));
         }
         Ok(())
@@ -698,5 +742,45 @@ mod tests {
     fn transmit_from_empty_queue_is_none() {
         let mut buf = LinkedSlotBuffer::new(4, 2);
         assert_eq!(buf.begin_transmit(0), None);
+    }
+
+    #[test]
+    fn killed_slots_shrink_the_free_list_but_the_buffer_keeps_working() {
+        let mut buf = LinkedSlotBuffer::new(4, 2);
+        assert!(buf.kill_slot());
+        assert!(buf.kill_slot());
+        assert_eq!(buf.dead_slots(), 2);
+        assert_eq!(buf.free_slots(), 2);
+        buf.check_invariants();
+        // Two live slots still carry a 2-slot packet end to end.
+        let data: Vec<u8> = (0..12).collect();
+        full_reception(&mut buf, 0, 0x31, &data);
+        assert_eq!(buf.free_slots(), 0);
+        let (_, _, d) = full_transmission(&mut buf, 0);
+        assert_eq!(d, data);
+        assert_eq!(buf.free_slots(), 2);
+        buf.check_invariants();
+    }
+
+    #[test]
+    fn kill_is_refused_when_no_slot_is_free() {
+        let mut buf = LinkedSlotBuffer::new(1, 1);
+        full_reception(&mut buf, 0, 1, &[9]);
+        assert!(!buf.kill_slot(), "occupied cells cannot be retired");
+        assert_eq!(buf.dead_slots(), 0);
+        buf.check_invariants();
+    }
+
+    #[test]
+    fn fully_killed_buffer_rejects_receptions_without_panicking() {
+        let mut buf = LinkedSlotBuffer::new(2, 2);
+        assert!(buf.kill_slot());
+        assert!(buf.kill_slot());
+        assert!(!buf.kill_slot(), "nothing left to kill");
+        assert_eq!(
+            buf.begin_packet(0, 1).unwrap_err(),
+            MicroarchError::BufferFull
+        );
+        buf.check_invariants();
     }
 }

@@ -47,7 +47,7 @@ mod traffic;
 pub use butterfly::ButterflyTopology;
 pub use metrics::{Accumulator, Histogram, NetMetrics, CLOCKS_PER_CYCLE};
 pub use network::{ArrivalProcess, NetworkConfig, NetworkError, NetworkSim, PacketLengths};
-pub use runner::{measure, Measurement};
+pub use runner::{measure, measure_with_faults, Measurement};
 pub use saturation::{find_saturation, SaturationOptions, SaturationResult};
 pub use topology::{HopRoute, OmegaTopology, RoutePlan, Topology, TopologyError, TopologyKind};
 pub use traffic::TrafficPattern;

@@ -25,8 +25,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use damq_core::{
-    AnyBuffer, AuditError, BufferKind, BuildBuffer, ConfigError, NodeId, Packet, PacketIdSource,
-    SwitchBuffer, DEFAULT_SLOT_BYTES,
+    AnyBuffer, AuditError, BufferKind, BuildBuffer, ConfigError, FaultEvent, FaultLedger,
+    FaultPlan, InputPort, NodeId, OutputPort, Packet, PacketIdSource, SwitchBuffer,
+    DEFAULT_SLOT_BYTES,
 };
 use damq_switch::{ArbiterPolicy, FlowControl, Switch, SwitchConfig};
 use damq_telemetry::{Event, EventKind, NullSink, TelemetrySink};
@@ -178,6 +179,7 @@ impl NetworkConfig {
     }
 
     /// Selects the MIN wiring (Omega by default; the paper's network).
+    #[must_use]
     pub fn topology_kind(mut self, kind: TopologyKind) -> Self {
         self.topology_kind = kind;
         self
@@ -189,30 +191,35 @@ impl NetworkConfig {
     }
 
     /// Selects the input-buffer design used by every switch.
+    #[must_use]
     pub fn buffer_kind(mut self, kind: BufferKind) -> Self {
         self.buffer_kind = kind;
         self
     }
 
     /// Sets the storage per input buffer, in slots.
+    #[must_use]
     pub fn slots_per_buffer(mut self, slots: usize) -> Self {
         self.slots_per_buffer = slots;
         self
     }
 
     /// Selects the crossbar arbitration policy.
+    #[must_use]
     pub fn arbiter_policy(mut self, policy: ArbiterPolicy) -> Self {
         self.arbiter_policy = policy;
         self
     }
 
     /// Selects the flow-control protocol.
+    #[must_use]
     pub fn flow_control(mut self, flow: FlowControl) -> Self {
         self.flow_control = flow;
         self
     }
 
     /// Selects the traffic pattern.
+    #[must_use]
     pub fn traffic(mut self, pattern: TrafficPattern) -> Self {
         self.pattern = pattern;
         self
@@ -224,6 +231,7 @@ impl NetworkConfig {
     /// # Panics
     ///
     /// Panics unless `0.0 <= load <= 1.0`.
+    #[must_use]
     pub fn offered_load(mut self, load: f64) -> Self {
         assert!((0.0..=1.0).contains(&load), "load must be a probability");
         self.offered_load = load;
@@ -231,6 +239,7 @@ impl NetworkConfig {
     }
 
     /// Selects the packet-length distribution.
+    #[must_use]
     pub fn packet_lengths(mut self, lengths: PacketLengths) -> Self {
         self.packet_lengths = lengths;
         self
@@ -242,6 +251,7 @@ impl NetworkConfig {
     ///
     /// Panics if an on/off process has `mean_burst < 1` or `duty` outside
     /// `(0, 1]`.
+    #[must_use]
     pub fn arrival_process(mut self, arrivals: ArrivalProcess) -> Self {
         if let ArrivalProcess::OnOff { mean_burst, duty } = arrivals {
             assert!(mean_burst >= 1.0, "bursts last at least one cycle");
@@ -257,6 +267,7 @@ impl NetworkConfig {
     }
 
     /// Seeds the traffic generator (same seed ⇒ identical run).
+    #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -327,6 +338,82 @@ struct ConservationLedger {
     discarded: u64,
 }
 
+/// Run-time fault machinery: the installed [`FaultPlan`] plus the mutable
+/// state its application needs, sized against the topology at install
+/// time.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    /// Index of the first plan event not yet applied.
+    next_event: usize,
+    /// Per-link outage end cycle (exclusive), indexed
+    /// `(stage * per_stage + switch) * radix + input`.
+    link_down_until: Vec<u64>,
+    /// Payload corruptions waiting to strike, per source terminal.
+    corrupt_pending: Vec<u32>,
+    /// Transient misroutes waiting to strike, per `(stage, switch)`
+    /// flattened stage-major.
+    misroute_pending: Vec<u32>,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, stages: usize, per_stage: usize, radix: usize, size: usize) -> Self {
+        FaultState {
+            plan,
+            next_event: 0,
+            link_down_until: vec![0; stages * per_stage * radix],
+            corrupt_pending: vec![0; size],
+            misroute_pending: vec![0; stages * per_stage],
+        }
+    }
+
+    fn link_index(
+        &self,
+        per_stage: usize,
+        radix: usize,
+        stage: usize,
+        sw: usize,
+        input: usize,
+    ) -> usize {
+        (stage * per_stage + sw) * radix + input
+    }
+
+    /// Whether the link into (`stage`, `sw`, `input`) is out of service at
+    /// `cycle`.
+    fn link_down(
+        &self,
+        per_stage: usize,
+        radix: usize,
+        stage: usize,
+        sw: usize,
+        input: usize,
+        cycle: u64,
+    ) -> bool {
+        self.link_down_until[self.link_index(per_stage, radix, stage, sw, input)] > cycle
+    }
+
+    /// Consumes one pending misroute at (`stage`, `sw`) if any is armed.
+    fn take_misroute(&mut self, per_stage: usize, stage: usize, sw: usize) -> bool {
+        let idx = stage * per_stage + sw;
+        if self.misroute_pending[idx] > 0 {
+            self.misroute_pending[idx] -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes one pending corruption for terminal `src` if any is armed.
+    fn take_corruption(&mut self, src: usize) -> bool {
+        if self.corrupt_pending[src] > 0 {
+            self.corrupt_pending[src] -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// The simulator: a grid of switches, source queues and sinks.
 ///
 /// `NetworkSim` is generic over two axes:
@@ -363,6 +450,8 @@ pub struct NetworkSim<B: SwitchBuffer = AnyBuffer, S: TelemetrySink<Event> = Nul
     cycle: u64,
     metrics: NetMetrics,
     ledger: ConservationLedger,
+    faults: Option<FaultState>,
+    fault_ledger: FaultLedger,
     sink: S,
 }
 
@@ -377,6 +466,18 @@ impl NetworkSim {
     /// by the radix).
     pub fn new(config: NetworkConfig) -> Result<Self, NetworkError> {
         Self::with_sink(config, NullSink)
+    }
+
+    /// Builds the network with a fault plan installed (see
+    /// [`NetworkSim::install_fault_plan`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] as [`NetworkSim::new`] does.
+    pub fn with_faults(config: NetworkConfig, plan: FaultPlan) -> Result<Self, NetworkError> {
+        let mut sim = Self::new(config)?;
+        sim.install_fault_plan(plan);
+        Ok(sim)
     }
 }
 
@@ -443,6 +544,8 @@ impl<B: BuildBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             cycle: 0,
             metrics: NetMetrics::new(config.size),
             ledger: ConservationLedger::default(),
+            faults: None,
+            fault_ledger: FaultLedger::default(),
             sink,
         })
     }
@@ -517,6 +620,110 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
         self.source_queues.iter().map(VecDeque::len).sum()
     }
 
+    /// Installs a fault plan, replacing any previous one.
+    ///
+    /// Events already due are applied at the start of the next
+    /// [`step`](NetworkSim::step); sites that fall outside this topology
+    /// are skipped (plans are topology-agnostic index schedules). The
+    /// same configuration and plan always replay the identical faulted
+    /// run.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultState::new(
+            plan,
+            self.topology.stages(),
+            self.topology.switches_per_stage(),
+            self.config.radix,
+            self.config.size,
+        ));
+    }
+
+    /// Tally of every fault actually applied so far.
+    pub fn fault_ledger(&self) -> FaultLedger {
+        self.fault_ledger
+    }
+
+    /// Buffer slots lost to fault injection across the whole network.
+    pub fn dead_slots(&self) -> usize {
+        self.switches
+            .iter()
+            .flatten()
+            .map(|sw| sw.dead_slots())
+            .sum()
+    }
+
+    /// Applies every plan event due at the current cycle: dead slots and
+    /// link outages take effect immediately; corruptions and misroutes arm
+    /// and strike on the next matching packet.
+    fn apply_due_faults(&mut self) {
+        let Some(mut faults) = self.faults.take() else {
+            return;
+        };
+        let per_stage = self.topology.switches_per_stage();
+        let radix = self.config.radix;
+        let stages = self.topology.stages();
+        while let Some(&event) = faults.plan.events().get(faults.next_event) {
+            if event.cycle() > self.cycle {
+                break;
+            }
+            faults.next_event += 1;
+            match event {
+                FaultEvent::DeadSlot {
+                    site, queue_hint, ..
+                } => {
+                    if site.stage >= stages || site.switch >= per_stage || site.input >= radix {
+                        continue;
+                    }
+                    let killed = self.switches[site.stage][site.switch]
+                        .kill_buffer_slot(InputPort::new(site.input), OutputPort::new(queue_hint));
+                    if killed {
+                        self.fault_ledger.slots_killed += 1;
+                        if self.sink.enabled() {
+                            self.sink.record(Event::new(
+                                self.cycle,
+                                EventKind::SlotKilled {
+                                    stage: site.stage as u32,
+                                    switch: site.switch as u32,
+                                    input: site.input as u32,
+                                },
+                            ));
+                        }
+                    }
+                }
+                FaultEvent::LinkDown { site, until, .. } => {
+                    if site.stage >= stages || site.switch >= per_stage || site.input >= radix {
+                        continue;
+                    }
+                    let idx =
+                        faults.link_index(per_stage, radix, site.stage, site.switch, site.input);
+                    faults.link_down_until[idx] = faults.link_down_until[idx].max(until);
+                    if self.sink.enabled() {
+                        self.sink.record(Event::new(
+                            self.cycle,
+                            EventKind::LinkDown {
+                                stage: site.stage as u32,
+                                switch: site.switch as u32,
+                                input: site.input as u32,
+                                until,
+                            },
+                        ));
+                    }
+                }
+                FaultEvent::CorruptPayload { source, .. } if source < self.config.size => {
+                    faults.corrupt_pending[source] += 1;
+                }
+                FaultEvent::Misroute { stage, switch, .. }
+                    if stage < stages && switch < per_stage =>
+                {
+                    faults.misroute_pending[stage * per_stage + switch] += 1;
+                }
+                // `FaultEvent` is non-exhaustive: fault classes this
+                // simulator does not model are skipped, not errors.
+                _ => {}
+            }
+        }
+        self.faults = Some(faults);
+    }
+
     /// Aggregated buffer operation counters over every switch in the
     /// network (used by the dispatch-equivalence tests to compare
     /// simulation paths operation-for-operation).
@@ -572,6 +779,9 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
     pub fn step(&mut self) {
         self.cycle += 1;
         self.metrics.record_cycle();
+        if self.faults.is_some() {
+            self.apply_due_faults();
+        }
         self.generate();
         let forwarded = self.advance_stages();
         self.inject();
@@ -635,11 +845,16 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             let source = NodeId::new(src);
             let dest = self.config.pattern.sample(&mut self.rng, source, size);
             let length = self.config.packet_lengths.sample(&mut self.rng);
-            let packet = Packet::builder(source, dest)
+            let mut packet = Packet::builder(source, dest)
                 .id(self.ids.next_id())
                 .length_bytes(length)
                 .birth_cycle(self.cycle)
                 .build();
+            if let Some(faults) = self.faults.as_mut() {
+                if faults.take_corruption(src) {
+                    packet.corrupt_payload();
+                }
+            }
             if self.sink.enabled() {
                 self.sink.record(Event::new(
                     self.cycle,
@@ -669,28 +884,77 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             Vec::new()
         };
 
+        // Fault state leaves `self` for the stage loops so the probe
+        // closures can read it while the switch grid is mutably borrowed.
+        let mut faults = self.faults.take();
+        let radix = self.config.radix;
+        let cycle = self.cycle;
+
         // Last stage delivers straight to the (always-ready) sinks.
         let last = stages - 1;
         for sw in 0..per_stage {
             let departures = self.switches[last][sw].transmit_cycle(|_, _| true);
             for d in departures {
-                let sink = self.plan.sink_of(sw, d.output);
-                debug_assert_eq!(sink, d.packet.dest(), "misrouted packet at sink");
-                let total = self.cycle.saturating_sub(d.packet.birth_cycle());
-                let injected = d.packet.injected_cycle().unwrap_or(d.packet.birth_cycle());
-                let network = self.cycle.saturating_sub(injected);
+                let misrouted_here = faults
+                    .as_mut()
+                    .is_some_and(|f| f.take_misroute(per_stage, last, sw));
+                let out = if misrouted_here {
+                    OutputPort::new((d.output.index() + 1) % radix)
+                } else {
+                    d.output
+                };
+                let sink = self.plan.sink_of(sw, out);
+                let serial = d.packet.id().serial();
                 if tracing {
                     forwarded[last] += 1;
-                    let serial = d.packet.id().serial();
                     self.sink.record(Event::new(
                         self.cycle,
                         EventKind::Forwarded {
                             packet: serial,
                             stage: last as u32,
                             switch: sw as u32,
-                            output: d.output.index() as u32,
+                            output: out.index() as u32,
                         },
                     ));
+                }
+                if sink != d.packet.dest() {
+                    // A transient misroute (here or upstream) carried the
+                    // packet to the wrong terminal: it is dropped there.
+                    debug_assert!(faults.is_some(), "misrouted packet without faults");
+                    if tracing {
+                        self.sink.record(Event::new(
+                            self.cycle,
+                            EventKind::Misrouted {
+                                packet: serial,
+                                sink: sink.index() as u32,
+                            },
+                        ));
+                    }
+                    self.metrics.record_network_discard();
+                    self.ledger.discarded += 1;
+                    self.fault_ledger.misrouted += 1;
+                    continue;
+                }
+                if !d.packet.verify_checksum() {
+                    // Payload damaged in flight: the sink refuses delivery.
+                    if tracing {
+                        self.sink.record(Event::new(
+                            self.cycle,
+                            EventKind::CorruptDropped {
+                                packet: serial,
+                                sink: sink.index() as u32,
+                            },
+                        ));
+                    }
+                    self.metrics.record_network_discard();
+                    self.ledger.discarded += 1;
+                    self.fault_ledger.corrupt_dropped += 1;
+                    continue;
+                }
+                let total = self.cycle.saturating_sub(d.packet.birth_cycle());
+                let injected = d.packet.injected_cycle().unwrap_or(d.packet.birth_cycle());
+                let network = self.cycle.saturating_sub(injected);
+                if tracing {
                     self.sink.record(Event::new(
                         self.cycle,
                         EventKind::Delivered {
@@ -718,6 +982,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             let scratch = &mut self.route_scratch;
             for (sw, switch) in current.iter_mut().enumerate().take(per_stage) {
                 scratch.fill(None);
+                let probe_faults = faults.as_ref();
                 let departures = switch.transmit_cycle(|out, pkt| {
                     if !blocking {
                         return true;
@@ -727,6 +992,18 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                     // recently — park its route for the departure loop.
                     let route = plan.departure_route(stage, sw, out, pkt.dest());
                     scratch[out.index()] = Some(route);
+                    if probe_faults.is_some_and(|f| {
+                        f.link_down(
+                            per_stage,
+                            radix,
+                            stage + 1,
+                            route.next_switch,
+                            route.next_port.index(),
+                            cycle,
+                        )
+                    }) {
+                        return false; // hold: the link downstream is out
+                    }
                     let slots = pkt.slots_needed(DEFAULT_SLOT_BYTES);
                     downstream[route.next_switch].can_accept(
                         route.next_port,
@@ -737,14 +1014,28 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                 for d in departures {
                     // Blocking probes parked the route; the discarding
                     // path routes here — either way exactly one query per
-                    // departure.
+                    // departure (misroutes pay one extra for the flip).
+                    let misrouted_here = faults
+                        .as_mut()
+                        .is_some_and(|f| f.take_misroute(per_stage, stage, sw));
+                    let (out, route) = if misrouted_here {
+                        scratch[d.output.index()] = None;
+                        let wrong = OutputPort::new((d.output.index() + 1) % radix);
+                        (
+                            wrong,
+                            plan.departure_route(stage, sw, wrong, d.packet.dest()),
+                        )
+                    } else {
+                        let route = scratch[d.output.index()].take().unwrap_or_else(|| {
+                            plan.departure_route(stage, sw, d.output, d.packet.dest())
+                        });
+                        (d.output, route)
+                    };
                     let HopRoute {
                         next_switch,
                         next_port,
                         next_output: next_out,
-                    } = scratch[d.output.index()].take().unwrap_or_else(|| {
-                        plan.departure_route(stage, sw, d.output, d.packet.dest())
-                    });
+                    } = route;
                     if tracing {
                         forwarded[stage] += 1;
                         self.sink.record(Event::new(
@@ -753,15 +1044,47 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                                 packet: d.packet.id().serial(),
                                 stage: stage as u32,
                                 switch: sw as u32,
-                                output: d.output.index() as u32,
+                                output: out.index() as u32,
                             },
                         ));
                     }
                     let serial = d.packet.id().serial();
+                    let link_dead = faults.as_ref().is_some_and(|f| {
+                        f.link_down(
+                            per_stage,
+                            radix,
+                            stage + 1,
+                            next_switch,
+                            next_port.index(),
+                            cycle,
+                        )
+                    });
+                    if link_dead {
+                        // Discarding protocol (or a misroute onto a dead
+                        // wire): the packet flies into the outage and is
+                        // lost.
+                        if tracing {
+                            self.sink.record(Event::new(
+                                self.cycle,
+                                EventKind::NetworkDiscarded {
+                                    packet: serial,
+                                    stage: stage as u32,
+                                    switch: sw as u32,
+                                },
+                            ));
+                        }
+                        self.metrics.record_network_discard();
+                        self.ledger.discarded += 1;
+                        self.fault_ledger.link_dropped += 1;
+                        continue;
+                    }
                     match downstream[next_switch].receive(next_port, next_out, d.packet) {
                         Ok(()) => {}
                         Err(_rejected) => {
-                            debug_assert!(!blocking, "blocking transmit was pre-checked");
+                            debug_assert!(
+                                !blocking || misrouted_here,
+                                "blocking transmit was pre-checked"
+                            );
                             if tracing {
                                 self.sink.record(Event::new(
                                     self.cycle,
@@ -774,21 +1097,34 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                             }
                             self.metrics.record_network_discard();
                             self.ledger.discarded += 1;
+                            if misrouted_here {
+                                self.fault_ledger.misrouted += 1;
+                            }
                         }
                     }
                 }
             }
         }
+        self.faults = faults;
         forwarded
     }
 
     fn inject(&mut self) {
         let blocking = self.config.flow_control.requires_backpressure();
+        let per_stage = self.topology.switches_per_stage();
+        let radix = self.config.radix;
         for src in 0..self.config.size {
             let Some(front) = self.source_queues[src].front() else {
                 continue;
             };
             let (sw, port) = self.plan.entry(NodeId::new(src));
+            let link_dead = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.link_down(per_stage, radix, 0, sw, port.index(), self.cycle));
+            if blocking && link_dead {
+                continue; // hold at the source until the link recovers
+            }
             let out = self.plan.route_output(0, front.dest());
             let slots = front.slots_needed(DEFAULT_SLOT_BYTES);
             if blocking && !self.switches[0][sw].can_accept(port, out, slots) {
@@ -798,6 +1134,23 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             let mut packet = self.source_queues[src].pop_front().expect("front checked");
             packet.mark_injected(self.cycle);
             let serial = packet.id().serial();
+            if link_dead {
+                // Discarding protocol: the packet is launched into the
+                // outage and lost at the network's edge.
+                if self.sink.enabled() {
+                    self.sink.record(Event::new(
+                        self.cycle,
+                        EventKind::EntryDiscarded {
+                            packet: serial,
+                            source: src as u32,
+                        },
+                    ));
+                }
+                self.metrics.record_entry_discard();
+                self.ledger.discarded += 1;
+                self.fault_ledger.link_dropped += 1;
+                continue;
+            }
             match self.switches[0][sw].receive(port, out, packet) {
                 Ok(()) => {
                     if self.sink.enabled() {
@@ -906,8 +1259,40 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
         Ok(())
     }
 
-    /// Full network audit: buffer structure in every switch plus packet
-    /// conservation.
+    /// Verifies the fault ledger against observable state: the drops the
+    /// ledger declares never exceed the total discards of the base
+    /// conservation ledger (faults lose packets only in admitted ways),
+    /// and every slot kill is visible as a dead slot in some buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AuditError`] naming the mismatch.
+    pub fn audit_fault_ledger(&self) -> Result<(), AuditError> {
+        if self.fault_ledger.dropped() > self.ledger.discarded {
+            return Err(AuditError::new(
+                "fault-ledger",
+                format!(
+                    "fault ledger admits to {} drops but only {} packets were discarded",
+                    self.fault_ledger.dropped(),
+                    self.ledger.discarded,
+                ),
+            ));
+        }
+        let dead = self.dead_slots() as u64;
+        if self.fault_ledger.slots_killed != dead {
+            return Err(AuditError::new(
+                "fault-ledger",
+                format!(
+                    "ledger counts {} slot kills but the buffers report {dead} dead slots",
+                    self.fault_ledger.slots_killed,
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Full network audit: buffer structure in every switch, packet
+    /// conservation, and the fault ledger.
     ///
     /// # Errors
     ///
@@ -918,7 +1303,8 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                 sw.audit()?;
             }
         }
-        self.audit_conservation()
+        self.audit_conservation()?;
+        self.audit_fault_ledger()
     }
 
     /// Verifies buffer invariants in every switch (testing aid).
@@ -1171,6 +1557,134 @@ mod tests {
             .sum::<f64>()
             / 15.0;
         assert!(hot as f64 > 3.0 * mean_other);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use damq_core::{FaultSite, FaultSpec};
+
+    fn base(kind: BufferKind) -> NetworkConfig {
+        NetworkConfig::new(16, 4)
+            .buffer_kind(kind)
+            .offered_load(0.5)
+            .seed(17)
+    }
+
+    fn spec(dead_fraction: f64) -> FaultSpec {
+        FaultSpec {
+            dead_slot_fraction: dead_fraction,
+            link_flaps: 2,
+            flap_duration: 15,
+            corrupt_packets: 3,
+            misroutes: 3,
+            ..FaultSpec::fault_free(2, 4, 4, 16, 4, 150)
+        }
+    }
+
+    #[test]
+    fn dead_slots_shrink_capacity_without_breaking_the_run() {
+        let plan = FaultPlan::generate(5, &spec(0.25));
+        let mut sim = NetworkSim::with_faults(base(BufferKind::Damq), plan).unwrap();
+        sim.run(300);
+        let ledger = sim.fault_ledger();
+        assert!(ledger.slots_killed > 0);
+        assert_eq!(ledger.slots_killed, sim.dead_slots() as u64);
+        assert!(sim.metrics().delivered() > 0, "network still delivers");
+        sim.audit().expect("faulted run stays consistent");
+    }
+
+    #[test]
+    fn corruption_is_caught_at_the_sink() {
+        let plan = FaultPlan::new()
+            .with_corruption(1, 0)
+            .with_corruption(1, 3)
+            .with_corruption(2, 7);
+        let mut sim = NetworkSim::with_faults(
+            base(BufferKind::Damq).flow_control(FlowControl::Blocking),
+            plan,
+        )
+        .unwrap();
+        sim.run(300);
+        // Blocking flow control never drops, so all three corrupted
+        // packets reach a sink and fail the checksum there.
+        assert_eq!(sim.fault_ledger().corrupt_dropped, 3);
+        sim.audit().expect("conservation holds modulo the ledger");
+    }
+
+    #[test]
+    fn link_outage_holds_under_blocking_and_drops_under_discarding() {
+        let flap = |flow| {
+            let site = FaultSite {
+                stage: 0,
+                switch: 0,
+                input: 0,
+            };
+            let plan = FaultPlan::new().with_link_down(10, site, 200);
+            let mut sim =
+                NetworkSim::with_faults(base(BufferKind::Damq).flow_control(flow), plan).unwrap();
+            sim.run(150);
+            sim.audit().expect("faulted run stays consistent");
+            sim.fault_ledger().link_dropped
+        };
+        assert_eq!(flap(FlowControl::Blocking), 0, "blocking holds upstream");
+        assert!(
+            flap(FlowControl::Discarding) > 0,
+            "discarding loses packets"
+        );
+    }
+
+    #[test]
+    fn misroutes_are_dropped_and_declared() {
+        let plan = FaultPlan::new()
+            .with_misroute(5, 0, 0)
+            .with_misroute(5, 0, 1)
+            .with_misroute(10, 1, 0);
+        let mut sim = NetworkSim::with_faults(base(BufferKind::Damq), plan).unwrap();
+        sim.run(200);
+        assert!(sim.fault_ledger().misrouted > 0);
+        sim.audit().expect("faulted run stays consistent");
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_to_the_byte() {
+        let run = || {
+            let plan = FaultPlan::generate(9, &spec(0.1));
+            let mut sim = NetworkSim::with_sink(
+                base(BufferKind::Samq).flow_control(FlowControl::Discarding),
+                damq_telemetry::MemorySink::new(),
+            )
+            .unwrap();
+            sim.install_fault_plan(plan);
+            sim.run(200);
+            let ledger = sim.fault_ledger();
+            let trace: String = sim
+                .into_sink()
+                .events()
+                .iter()
+                .map(|e| e.to_jsonl() + "\n")
+                .collect();
+            (ledger, trace)
+        };
+        let (ledger_a, trace_a) = run();
+        let (ledger_b, trace_b) = run();
+        assert_eq!(ledger_a, ledger_b);
+        assert_eq!(trace_a, trace_b, "fault JSONL must be byte-identical");
+        assert!(trace_a.contains("slot_killed"), "fault events in the trace");
+    }
+
+    #[test]
+    fn all_designs_and_protocols_audit_clean_with_faults_active() {
+        for kind in BufferKind::ALL {
+            for flow in FlowControl::ALL {
+                let plan = FaultPlan::generate(3, &spec(0.2));
+                let mut sim = NetworkSim::with_faults(base(kind).flow_control(flow), plan).unwrap();
+                sim.run(250);
+                assert!(sim.fault_ledger().slots_killed > 0, "{kind}/{flow}");
+                sim.audit().unwrap_or_else(|e| panic!("{kind}/{flow}: {e}"));
+            }
+        }
     }
 }
 

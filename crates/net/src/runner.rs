@@ -1,5 +1,7 @@
 //! One-shot experiment runs: warm up, measure, summarise.
 
+use damq_core::{FaultLedger, FaultPlan};
+
 use crate::network::{NetworkConfig, NetworkError, NetworkSim};
 
 /// Summary of one measurement window.
@@ -115,8 +117,52 @@ pub fn measure(
     let mut sim = NetworkSim::new(config)?;
     sim.warm_up(warm_up);
     sim.run(window);
+    Ok(summarise(&sim))
+}
+
+/// Like [`measure`], but with a [`FaultPlan`] installed for the whole run
+/// (warm-up included — faults do not wait for the measurement window) and
+/// an `on_cycle` callback invoked after every simulated cycle, which sweep
+/// harnesses use as a watchdog heartbeat.
+///
+/// Returns the measurement together with the run's [`FaultLedger`] so
+/// callers can report how much damage the plan actually inflicted.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] from network construction.
+///
+/// # Panics
+///
+/// Panics if the post-run consistency audit fails — under fault injection
+/// a silently-wrong result is worse than a loud one, and the self-healing
+/// sweep harness turns the panic into a reported cell outcome.
+pub fn measure_with_faults(
+    config: NetworkConfig,
+    plan: FaultPlan,
+    warm_up: u64,
+    window: u64,
+    mut on_cycle: impl FnMut(),
+) -> Result<(Measurement, FaultLedger), NetworkError> {
+    let mut sim = NetworkSim::with_faults(config, plan)?;
+    for _ in 0..warm_up {
+        sim.step();
+        on_cycle();
+    }
+    sim.warm_up(0); // zero the metrics; the faults stay armed
+    for _ in 0..window {
+        sim.step();
+        on_cycle();
+    }
+    // lint: allow — documented above: an audit failure under faults must
+    // be loud; the isolation harness reports the panic as a cell outcome.
+    sim.audit().expect("fault-injected run failed its audit");
+    Ok((summarise(&sim), sim.fault_ledger()))
+}
+
+fn summarise(sim: &NetworkSim) -> Measurement {
     let m = sim.metrics();
-    Ok(Measurement {
+    Measurement {
         offered: m.offered_throughput(),
         delivered: m.delivered_throughput(),
         latency_clocks: m.mean_latency_clocks(),
@@ -126,7 +172,7 @@ pub fn measure(
         discard_fraction: m.discard_fraction(),
         source_backlog: sim.source_backlog(),
         cycles: m.cycles(),
-    })
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +237,28 @@ mod tests {
         }
         assert_eq!(fields[1].1, m.delivered);
         assert_eq!(fields[8].1, m.cycles as f64);
+    }
+
+    #[test]
+    fn faulted_measure_reports_the_ledger_and_ticks_every_cycle() {
+        let spec = damq_core::FaultSpec {
+            dead_slot_fraction: 0.2,
+            ..damq_core::FaultSpec::fault_free(2, 4, 4, 16, 4, 100)
+        };
+        let plan = FaultPlan::generate(7, &spec);
+        let mut ticks = 0u64;
+        let (m, ledger) = measure_with_faults(
+            NetworkConfig::new(16, 4).offered_load(0.3).seed(11),
+            plan,
+            100,
+            400,
+            || ticks += 1,
+        )
+        .unwrap();
+        assert_eq!(ticks, 500, "one heartbeat per simulated cycle");
+        assert_eq!(m.cycles, 400, "warm-up stays out of the window");
+        assert!(ledger.slots_killed > 0);
+        assert!(m.delivered > 0.0);
     }
 
     #[test]

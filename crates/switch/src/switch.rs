@@ -275,6 +275,25 @@ impl<B: SwitchBuffer> Switch<B> {
         self.buffers.iter().map(|b| b.capacity_slots()).sum()
     }
 
+    /// Permanently disables one slot in the buffer at `input` (fault
+    /// injection), hinting the partition for `hint` on statically-allocated
+    /// designs.
+    ///
+    /// Returns `false` if `input` is out of range or every slot of that
+    /// buffer is already dead — never panics, so fault plans may name
+    /// arbitrary sites.
+    pub fn kill_buffer_slot(&mut self, input: InputPort, hint: OutputPort) -> bool {
+        match self.buffers.get_mut(input.index()) {
+            Some(buffer) => buffer.kill_slot(hint),
+            None => false,
+        }
+    }
+
+    /// Slots lost to fault injection across all input buffers.
+    pub fn dead_slots(&self) -> usize {
+        self.buffers.iter().map(|b| b.dead_slots()).sum()
+    }
+
     /// Fraction of buffer storage in use (0.0 = empty, 1.0 = full).
     pub fn occupancy_fraction(&self) -> f64 {
         let total = self.total_slots();

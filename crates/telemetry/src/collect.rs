@@ -118,6 +118,14 @@ pub struct TraceSummary {
     pub network_discards: u64,
     /// Sum over cycles of HOL-blocked packet counts.
     pub hol_blocked_cycles: u64,
+    /// Buffer slots disabled by fault injection.
+    pub slot_kills: u64,
+    /// Link-outage windows opened by fault injection.
+    pub link_downs: u64,
+    /// Packets dropped at a sink with a failed checksum.
+    pub corrupt_drops: u64,
+    /// Packets dropped after arriving at the wrong sink.
+    pub misroutes: u64,
     /// Last cycle stamp seen.
     pub last_cycle: u64,
     /// Per-cycle discard counter, flushed into `discard_series` when the
@@ -167,6 +175,10 @@ impl TraceSummary {
             entry_discards: 0,
             network_discards: 0,
             hol_blocked_cycles: 0,
+            slot_kills: 0,
+            link_downs: 0,
+            corrupt_drops: 0,
+            misroutes: 0,
             last_cycle: 0,
             pending_discards: 0,
             pending_cycle: None,
@@ -261,6 +273,22 @@ impl TraceSummary {
             }
             EventKind::HolBlocked { blocked, .. } => {
                 self.hol_blocked_cycles += u64::from(*blocked);
+            }
+            EventKind::SlotKilled { .. } => {
+                self.slot_kills += 1;
+            }
+            EventKind::LinkDown { .. } => {
+                self.link_downs += 1;
+            }
+            EventKind::CorruptDropped { packet, .. } => {
+                self.corrupt_drops += 1;
+                self.pending_discards += 1;
+                self.lifecycle(*packet).discarded = Some(event.cycle);
+            }
+            EventKind::Misrouted { packet, .. } => {
+                self.misroutes += 1;
+                self.pending_discards += 1;
+                self.lifecycle(*packet).discarded = Some(event.cycle);
             }
             EventKind::CycleSample {
                 occupied,

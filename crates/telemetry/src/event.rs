@@ -116,6 +116,42 @@ pub enum EventKind {
         /// Packets blocked behind a foreign-output head.
         blocked: u32,
     },
+    /// Fault injection permanently disabled one buffer slot.
+    SlotKilled {
+        /// Stage of the affected switch.
+        stage: u32,
+        /// Switch index within its stage.
+        switch: u32,
+        /// Input port whose buffer lost the slot.
+        input: u32,
+    },
+    /// Fault injection took a link out of service for a window of cycles.
+    LinkDown {
+        /// Stage of the affected switch.
+        stage: u32,
+        /// Switch index within its stage.
+        switch: u32,
+        /// Input port fed by the flapping link.
+        input: u32,
+        /// First cycle at which the link carries traffic again.
+        until: u64,
+    },
+    /// A packet arrived at its sink with a failed checksum (payload
+    /// corrupted in flight by fault injection) and was dropped.
+    CorruptDropped {
+        /// Packet serial number.
+        packet: u64,
+        /// Terminal that rejected the delivery.
+        sink: u32,
+    },
+    /// A packet arrived at the wrong sink (a transient misroute flipped an
+    /// output decision upstream) and was dropped there.
+    Misrouted {
+        /// Packet serial number.
+        packet: u64,
+        /// Terminal the packet wrongly arrived at.
+        sink: u32,
+    },
     /// Per-cycle aggregate state, recorded once per cycle while the sink
     /// is enabled.
     CycleSample {
@@ -145,6 +181,10 @@ impl EventKind {
             EventKind::NetworkDiscarded { .. } => "network_discarded",
             EventKind::Delivered { .. } => "delivered",
             EventKind::HolBlocked { .. } => "hol_blocked",
+            EventKind::SlotKilled { .. } => "slot_killed",
+            EventKind::LinkDown { .. } => "link_down",
+            EventKind::CorruptDropped { .. } => "corrupt_dropped",
+            EventKind::Misrouted { .. } => "misrouted",
             EventKind::CycleSample { .. } => "cycle_sample",
         }
     }
@@ -157,7 +197,9 @@ impl EventKind {
             | EventKind::EntryDiscarded { packet, .. }
             | EventKind::Forwarded { packet, .. }
             | EventKind::NetworkDiscarded { packet, .. }
-            | EventKind::Delivered { packet, .. } => Some(packet),
+            | EventKind::Delivered { packet, .. }
+            | EventKind::CorruptDropped { packet, .. }
+            | EventKind::Misrouted { packet, .. } => Some(packet),
             _ => None,
         }
     }
@@ -276,6 +318,30 @@ impl Event {
                 push_u64_field(&mut out, "switch", u64::from(*switch));
                 push_u64_field(&mut out, "blocked", u64::from(*blocked));
             }
+            EventKind::SlotKilled {
+                stage,
+                switch,
+                input,
+            } => {
+                push_u64_field(&mut out, "stage", u64::from(*stage));
+                push_u64_field(&mut out, "switch", u64::from(*switch));
+                push_u64_field(&mut out, "input", u64::from(*input));
+            }
+            EventKind::LinkDown {
+                stage,
+                switch,
+                input,
+                until,
+            } => {
+                push_u64_field(&mut out, "stage", u64::from(*stage));
+                push_u64_field(&mut out, "switch", u64::from(*switch));
+                push_u64_field(&mut out, "input", u64::from(*input));
+                push_u64_field(&mut out, "until", *until);
+            }
+            EventKind::CorruptDropped { packet, sink } | EventKind::Misrouted { packet, sink } => {
+                push_u64_field(&mut out, "packet", *packet);
+                push_u64_field(&mut out, "sink", u64::from(*sink));
+            }
             EventKind::CycleSample {
                 occupied,
                 forwarded,
@@ -381,6 +447,25 @@ impl Event {
                 stage: get_u32("stage")?,
                 switch: get_u32("switch")?,
                 blocked: get_u32("blocked")?,
+            },
+            "slot_killed" => EventKind::SlotKilled {
+                stage: get_u32("stage")?,
+                switch: get_u32("switch")?,
+                input: get_u32("input")?,
+            },
+            "link_down" => EventKind::LinkDown {
+                stage: get_u32("stage")?,
+                switch: get_u32("switch")?,
+                input: get_u32("input")?,
+                until: get_u64("until")?,
+            },
+            "corrupt_dropped" => EventKind::CorruptDropped {
+                packet: get_u64("packet")?,
+                sink: get_u32("sink")?,
+            },
+            "misrouted" => EventKind::Misrouted {
+                packet: get_u64("packet")?,
+                sink: get_u32("sink")?,
             },
             "cycle_sample" => EventKind::CycleSample {
                 occupied: get_arr("occupied")?,
@@ -621,6 +706,37 @@ mod tests {
                 stage: 0,
                 switch: 3,
                 blocked: 2,
+            },
+        ));
+        round_trip(Event::new(
+            13,
+            EventKind::SlotKilled {
+                stage: 1,
+                switch: 2,
+                input: 3,
+            },
+        ));
+        round_trip(Event::new(
+            14,
+            EventKind::LinkDown {
+                stage: 0,
+                switch: 1,
+                input: 2,
+                until: 40,
+            },
+        ));
+        round_trip(Event::new(
+            15,
+            EventKind::CorruptDropped {
+                packet: 45,
+                sink: 12,
+            },
+        ));
+        round_trip(Event::new(
+            16,
+            EventKind::Misrouted {
+                packet: 46,
+                sink: 13,
             },
         ));
         round_trip(Event::new(

@@ -1,6 +1,6 @@
 //! Workspace lint driver: `cargo xtask lint`.
 //!
-//! Three custom lints that `clippy` cannot express for this workspace,
+//! Six custom lints that `clippy` cannot express for this workspace,
 //! plus the standard `cargo clippy` / `cargo fmt --check` gates:
 //!
 //! 1. **No panics in simulator library code** — `unwrap()`, `expect(…)`,
@@ -28,6 +28,13 @@
 //!    `crates/core` (exempt), and integration tests under `tests/` may
 //!    still instantiate it; a deliberate exception in library code carries
 //!    a `// lint: allow — why` comment.
+//! 6. **Builder methods must be `#[must_use]`** — in `crates/core` and
+//!    `crates/net`, a `pub fn` that consumes `self` and returns `Self` is
+//!    a builder step; dropping its return value silently discards the
+//!    configuration (`config.seed(7);` does nothing). Every such method
+//!    carries `#[must_use]` (directly — a type-level attribute also works
+//!    but the lint wants the local marker), or a `// lint: allow — why`
+//!    comment.
 //!
 //! Run `cargo xtask lint` for everything, or `cargo xtask lint --no-cargo`
 //! for just the custom lints (fast, no compilation).
@@ -61,6 +68,9 @@ const BOXED_BUFFER_PATTERNS: [&str; 2] = ["Box<dyn SwitchBuffer>", "Box < dyn Sw
 
 /// Crates whose `src/` must stay monomorphized (the per-cycle hot path).
 const MONOMORPHIC_CRATES: [&str; 2] = ["crates/switch", "crates/net"];
+
+/// Crates whose consuming-builder methods must carry `#[must_use]`.
+const MUST_USE_CRATES: [&str; 2] = ["crates/core", "crates/net"];
 
 /// The comment marker that waives the panic lint for one line.
 const ALLOW_MARKER: &str = "lint: allow";
@@ -113,6 +123,7 @@ fn lint(no_cargo: bool) -> ExitCode {
     docs_lint(&root, &mut findings);
     print_lint(&root, &mut findings);
     boxed_buffer_lint(&root, &mut findings);
+    must_use_lint(&root, &mut findings);
 
     for finding in &findings {
         eprintln!("error: {finding}");
@@ -364,6 +375,97 @@ fn boxed_buffer_lint(root: &Path, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Lint 6: consuming-builder methods must be `#[must_use]`. A `pub fn`
+/// in `crates/core` or `crates/net` that takes `self` by value and
+/// returns `Self` is a builder step; calling it without using the result
+/// silently drops the new configuration. The lint requires a local
+/// `#[must_use]` attribute in the contiguous attribute/doc block directly
+/// above the signature (type-level `#[must_use]` also protects callers,
+/// but the local marker keeps the intent visible at every site), or a
+/// `// lint: allow — why` waiver.
+fn must_use_lint(root: &Path, findings: &mut Vec<Finding>) {
+    for krate in MUST_USE_CRATES {
+        for file in rust_files(&root.join(krate).join("src")) {
+            scan_must_use_file(&file, findings);
+        }
+    }
+}
+
+fn scan_must_use_file(path: &Path, findings: &mut Vec<Finding>) {
+    let Ok(source) = fs::read_to_string(path) else {
+        findings.push(Finding {
+            path: path.to_path_buf(),
+            line: 0,
+            message: "unreadable file".into(),
+        });
+        return;
+    };
+    let code_lines = strip_comments_and_strings(&source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+
+    for (idx, code) in code_lines.iter().enumerate() {
+        let trimmed = code.trim_start();
+        if !(trimmed.starts_with("pub fn ") || trimmed.starts_with("pub const fn ")) {
+            continue;
+        }
+        // Gather the signature, which may span lines, up to its body or
+        // terminating semicolon (trait declarations).
+        let mut signature = String::new();
+        for sig_line in code_lines.iter().skip(idx).take(8) {
+            signature.push_str(sig_line.trim());
+            signature.push(' ');
+            if sig_line.contains('{') || sig_line.contains(';') {
+                break;
+            }
+        }
+        if !is_consuming_builder(&signature) {
+            continue;
+        }
+        if has_must_use_above(&raw_lines, idx) || allowed_by_comment(&raw_lines, idx) {
+            continue;
+        }
+        findings.push(Finding {
+            path: path.to_path_buf(),
+            line: idx + 1,
+            message: format!(
+                "consuming builder method without #[must_use] — dropping the \
+                 return value discards the configuration; add #[must_use] or \
+                 justify with a '// {ALLOW_MARKER} — why' comment"
+            ),
+        });
+    }
+}
+
+/// Whether a (single-line, stripped) signature takes `self` by value and
+/// returns `Self` — the shape of a chainable builder step.
+fn is_consuming_builder(signature: &str) -> bool {
+    let by_value_self = signature.contains("(mut self")
+        || signature.contains("(self,")
+        || signature.contains("(self)");
+    let returns_self = signature
+        .split("->")
+        .nth(1)
+        .is_some_and(|ret| ret.trim_start().starts_with("Self"));
+    by_value_self && returns_self
+}
+
+/// Whether the contiguous attribute/doc block directly above line `idx`
+/// contains `#[must_use]` (with or without a reason string).
+fn has_must_use_above(raw_lines: &[&str], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let trimmed = raw_lines[i].trim_start();
+        if trimmed.contains("#[must_use") {
+            return true;
+        }
+        if trimmed.is_empty() || !(trimmed.starts_with("#[") || trimmed.starts_with("//")) {
+            return false;
+        }
+    }
+    false
+}
+
 /// Lint 3: every library crate root must deny missing docs.
 fn docs_lint(root: &Path, findings: &mut Vec<Finding>) {
     let mut lib_roots: Vec<PathBuf> = Vec::new();
@@ -604,6 +706,43 @@ mod tests {
             lines[1].contains(BOXED_BUFFER_PATTERNS[0]),
             "real code is caught"
         );
+    }
+
+    #[test]
+    fn consuming_builder_detection() {
+        assert!(is_consuming_builder(
+            "pub fn seed(mut self, s: u64) -> Self {"
+        ));
+        assert!(is_consuming_builder("pub const fn with_x(self) -> Self {"));
+        assert!(is_consuming_builder(
+            "pub fn with_y(self, y: u64) -> Self {"
+        ));
+        assert!(!is_consuming_builder("pub fn len(&self) -> usize {"));
+        assert!(!is_consuming_builder(
+            "pub fn set(&mut self, x: u64) -> Self {"
+        ));
+        assert!(!is_consuming_builder(
+            "pub fn build(self) -> Result<Buffer, Error> {"
+        ));
+    }
+
+    #[test]
+    fn must_use_block_walks_attributes_and_docs() {
+        let lines = [
+            "#[must_use]",
+            "/// Docs between.",
+            "pub fn f(self) -> Self {",
+        ];
+        assert!(has_must_use_above(&lines, 2));
+        let with_reason = ["#[must_use = \"why\"]", "pub fn f(self) -> Self {"];
+        assert!(has_must_use_above(&with_reason, 1));
+        let gap = ["#[must_use]", "", "pub fn f(self) -> Self {"];
+        assert!(
+            !has_must_use_above(&gap, 2),
+            "a blank line breaks the block"
+        );
+        let none = ["fn other() {}", "pub fn f(self) -> Self {"];
+        assert!(!has_must_use_above(&none, 1));
     }
 
     #[test]

@@ -1,40 +1,104 @@
 #!/usr/bin/env bash
 # The repo's offline quality gate: lints, build, the full test suite (with
 # and without per-operation invariant audits), the exhaustive 2x2 model
-# checker, and rustdoc with warnings denied (`#![deny(missing_docs)]` in
-# the crates turns any missing doc into a hard failure here).
+# checker, the fault-injection smoke (self-healing harness + resume), and
+# rustdoc with warnings denied (`#![deny(missing_docs)]` in the crates
+# turns any missing doc into a hard failure here).
 #
-# Usage: scripts/check.sh
-set -euo pipefail
+# Every gate propagates its exit code: `set -euo pipefail` aborts on the
+# first failing command (including inside pipelines), and the ERR trap
+# names the gate that failed so CI logs point at the culprit.
+#
+# Usage: scripts/check.sh            # run every gate
+#        scripts/check.sh fault-smoke  # just the fault-injection smoke
+set -Eeuo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== lint (custom lints + clippy + rustfmt) =="
+CURRENT_GATE="startup"
+trap 'echo "check.sh: FAILED in gate: $CURRENT_GATE" >&2' ERR
+
+gate() {
+    CURRENT_GATE="$1"
+    echo "== $1 =="
+}
+
+# Satellite gate: the tiny fault sweep through the self-healing harness.
+# Asserts (1) a forced-panic and a wedged cell are isolated, not fatal
+# (the damq-bench integration test); (2) the smoke grid completes end to
+# end through the real binary; (3) `--resume` on a truncated checkpoint
+# replays only the missing cell and still reports every cell.
+fault_smoke() {
+    gate "fault-smoke: forced-panic + wedged cells stay isolated"
+    cargo test -q -p damq-bench --test self_healing
+
+    gate "fault-smoke: tiny fault sweep completes"
+    local tmp
+    tmp="$(mktemp -d)"
+    DAMQ_RESULTS_DIR="$tmp" \
+        cargo run -q -p damq-bench --bin fault_degradation -- --smoke \
+        > /dev/null
+
+    gate "fault-smoke: resume replays only the missing cell"
+    local sidecar="$tmp/json/fault_degradation_smoke.cells.jsonl"
+    local total
+    total="$(wc -l < "$sidecar")"
+    # Drop the last completed cell, as if the sweep died mid-run.
+    head -n "$((total - 1))" "$sidecar" > "$sidecar.tmp"
+    mv "$sidecar.tmp" "$sidecar"
+    DAMQ_RESULTS_DIR="$tmp" \
+        cargo run -q -p damq-bench --bin fault_degradation -- --smoke --resume \
+        > /dev/null
+    local report="$tmp/json/fault_degradation_smoke.json"
+    grep -q "\"resumed\": $((total - 1))" "$report"
+    grep -q '"cells": 1' "$report"
+    grep -q '"ok": 1' "$report"
+    # The assembled report still carries every cell of the grid.
+    [ "$(grep -c '"buffer":' "$report")" -eq "$total" ]
+    rm -rf "$tmp"
+}
+
+case "${1:-all}" in
+fault-smoke)
+    fault_smoke
+    echo "fault-smoke passed"
+    exit 0
+    ;;
+all) ;;
+*)
+    echo "usage: scripts/check.sh [fault-smoke]" >&2
+    exit 2
+    ;;
+esac
+
+gate "lint (custom lints + clippy + rustfmt)"
 cargo xtask lint
 
-echo "== build (release) =="
+gate "build (release)"
 cargo build --release --workspace
 
-echo "== tests =="
+gate "tests"
 cargo test --workspace -q
 
-echo "== tests under strict-audit (audit every buffer op) =="
+gate "tests under strict-audit (audit every buffer op)"
 cargo test -q -p damq-core --features strict-audit
 cargo test -q -p damq-net --features strict-audit
 cargo test -q -p damq-microarch --features strict-audit
 
-echo "== model checker (2x2 exhaustive, small bound) =="
+gate "model checker (2x2 exhaustive, small bound)"
 cargo run -q -p damq-verify --bin model_check -- --quick
 
-echo "== telemetry: golden 2x2 trace is byte-stable =="
+gate "telemetry: golden 2x2 trace is byte-stable"
 cargo test -q -p damq-net --test telemetry
 
-echo "== telemetry: disabled instrumentation compiles away =="
+gate "telemetry: disabled instrumentation compiles away"
 cargo bench -p damq-bench --bench no_op_sink_overhead
 
-echo "== dispatch smoke: all three dispatch paths agree =="
+gate "dispatch smoke: all three dispatch paths agree"
 cargo bench -p damq-bench --bench sim_throughput -- --smoke
 
-echo "== rustdoc (warnings denied) =="
+fault_smoke
+
+gate "rustdoc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "all checks passed"
