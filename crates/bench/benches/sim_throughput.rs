@@ -162,15 +162,22 @@ fn cells_json(cells: &[(&'static str, f64)]) -> Json {
 fn write_report(cells: &[(&'static str, f64)], rebaseline: bool) {
     let path = report_path();
     let current = cells_json(cells);
+    let existing = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok());
     let baseline = if rebaseline {
         None
     } else {
-        std::fs::read_to_string(&path)
-            .ok()
-            .and_then(|text| Json::parse(&text).ok())
+        existing
+            .as_ref()
             .and_then(|doc| doc.get("baseline").cloned())
     };
     let baseline = baseline.unwrap_or_else(|| current.clone());
+    // The threads × network-size curves belong to the parallel_scaling
+    // harness; carry its section through untouched.
+    let scaling = existing
+        .as_ref()
+        .and_then(|doc| doc.get("scaling").cloned());
 
     let speedup = Json::obj(cells.iter().filter_map(|&(name, cps)| {
         let base = baseline
@@ -180,18 +187,22 @@ fn write_report(cells: &[(&'static str, f64)], rebaseline: bool) {
         (base > 0.0).then(|| (name, Json::from(cps / base)))
     }));
 
-    let doc = Json::obj([
-        ("bench", Json::from("sim_throughput")),
+    let mut pairs = vec![
+        ("bench".to_owned(), Json::from("sim_throughput")),
         (
-            "network",
+            "network".to_owned(),
             Json::from("64-terminal Omega of 4x4 switches, blocking, smart arbitration"),
         ),
-        ("headline", Json::from("hotspot_damq")),
-        ("warm_up_cycles", Json::from(WARM_UP)),
-        ("baseline", baseline),
-        ("current", current),
-        ("speedup", speedup),
-    ]);
+        ("headline".to_owned(), Json::from("hotspot_damq")),
+        ("warm_up_cycles".to_owned(), Json::from(WARM_UP)),
+        ("baseline".to_owned(), baseline),
+        ("current".to_owned(), current),
+        ("speedup".to_owned(), speedup),
+    ];
+    if let Some(scaling) = scaling {
+        pairs.push(("scaling".to_owned(), scaling));
+    }
+    let doc = Json::Obj(pairs);
     match std::fs::write(&path, doc.render_pretty()) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),

@@ -11,7 +11,10 @@
 //!   routing for any `k^n` configuration.
 //! * [`TrafficPattern`] — uniform, hot-spot (Pfister & Norton) and
 //!   permutation workloads.
-//! * [`NetworkSim`] / [`NetworkConfig`] — the cycle-driven simulator.
+//! * [`NetworkSim`] / [`NetworkConfig`] — the cycle-driven simulator;
+//!   [`NetworkSim::with_threads`] steps stage islands concurrently with
+//!   byte-identical results (see [`IslandPartition`] and
+//!   `docs/ARCHITECTURE.md`).
 //! * [`measure`] — warm-up + measurement-window runs.
 //! * [`find_saturation`] — bisection search for the saturation throughput
 //!   (the paper's headline metric).
@@ -38,6 +41,7 @@
 mod butterfly;
 mod metrics;
 mod network;
+mod parallel;
 mod runner;
 mod saturation;
 pub mod theory;
@@ -47,6 +51,7 @@ mod traffic;
 pub use butterfly::ButterflyTopology;
 pub use metrics::{Accumulator, Histogram, NetMetrics, CLOCKS_PER_CYCLE};
 pub use network::{ArrivalProcess, NetworkConfig, NetworkError, NetworkSim, PacketLengths};
+pub use parallel::IslandPartition;
 pub use runner::{measure, measure_with_faults, Measurement};
 pub use saturation::{find_saturation, SaturationOptions, SaturationResult};
 pub use topology::{HopRoute, OmegaTopology, RoutePlan, Topology, TopologyError, TopologyKind};

@@ -33,6 +33,7 @@ use damq_switch::{ArbiterPolicy, FlowControl, Switch, SwitchConfig};
 use damq_telemetry::{Event, EventKind, NullSink, TelemetrySink};
 
 use crate::metrics::NetMetrics;
+use crate::parallel::{DepartRecord, ParallelEngine, StageLane};
 use crate::topology::{HopRoute, RoutePlan, Topology, TopologyError, TopologyKind};
 use crate::traffic::TrafficPattern;
 
@@ -414,6 +415,24 @@ impl FaultState {
     }
 }
 
+/// Read-only context shared by one stage's phase-A transmit probes:
+/// everything a switch needs to route a candidate departure and test
+/// downstream space. Every field is behind a shared reference (or
+/// `Copy`), so islands can probe concurrently — the route plan's query
+/// counter is atomic, fault state is only read (`link_down`), and
+/// downstream switches are only queried through `&self`
+/// ([`Switch::can_accept`]).
+struct ProbeCtx<'a, B: SwitchBuffer> {
+    stage: usize,
+    per_stage: usize,
+    radix: usize,
+    cycle: u64,
+    blocking: bool,
+    plan: &'a RoutePlan,
+    faults: Option<&'a FaultState>,
+    downstream: &'a [Switch<B>],
+}
+
 /// The simulator: a grid of switches, source queues and sinks.
 ///
 /// `NetworkSim` is generic over two axes:
@@ -442,9 +461,11 @@ pub struct NetworkSim<B: SwitchBuffer = AnyBuffer, S: TelemetrySink<Event> = Nul
     source_queues: Vec<VecDeque<Packet>>,
     /// On/off state per source (always `true` under Bernoulli arrivals).
     source_on: Vec<bool>,
-    /// Per-output scratch carrying each backpressure probe's route to the
-    /// departure that follows it (reset per switch per cycle).
-    route_scratch: Vec<Option<HopRoute>>,
+    /// The sharded stage engine: island partition, phase pool, and the
+    /// per-island lanes carrying probe scratch and departure records.
+    /// One island on one thread by default; see
+    /// [`NetworkSim::with_threads`].
+    engine: ParallelEngine,
     ids: PacketIdSource,
     rng: StdRng,
     cycle: u64,
@@ -523,10 +544,11 @@ impl<B: BuildBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             .slots_per_buffer(config.slots_per_buffer)
             .arbiter_policy(config.arbiter_policy)
             .flow_control(config.flow_control);
+        let per_stage = topology.switches_per_stage();
         let mut switches = Vec::with_capacity(topology.stages());
         for _stage in 0..topology.stages() {
-            let mut row = Vec::with_capacity(topology.switches_per_stage());
-            for _ in 0..topology.switches_per_stage() {
+            let mut row = Vec::with_capacity(per_stage);
+            for _ in 0..per_stage {
                 row.push(Switch::typed(switch_config)?);
             }
             switches.push(row);
@@ -538,7 +560,7 @@ impl<B: BuildBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             switches,
             source_queues: vec![VecDeque::new(); config.size],
             source_on: vec![true; config.size],
-            route_scratch: vec![None; config.radix],
+            engine: ParallelEngine::new(1, per_stage, config.radix),
             ids: PacketIdSource::new(),
             rng: StdRng::seed_from_u64(config.seed),
             cycle: 0,
@@ -767,11 +789,61 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             .collect()
     }
 
+    /// Shards the cycle loop over `threads` simulation lanes: every
+    /// pipeline stage is split into contiguous switch islands
+    /// ([`IslandPartition`](crate::IslandPartition), one per lane) that
+    /// arbitrate and probe concurrently, then merge their departures
+    /// serially in a fixed order. The default is 1 (no worker threads;
+    /// phases run inline).
+    ///
+    /// `threads` is clamped to at least 1; asking for more lanes than a
+    /// stage has switches caps the island count at one switch per
+    /// island.
+    ///
+    /// # Determinism
+    ///
+    /// Thread count is **not** part of the experiment: a serial run and
+    /// an N-thread run of the same configuration produce byte-identical
+    /// metrics, telemetry traces and fault ledgers. Island phases only
+    /// touch pairwise-disjoint switch state, and everything
+    /// order-sensitive (receives, metrics, events) happens in the
+    /// serial merge — see `docs/ARCHITECTURE.md` for the argument and
+    /// `crates/net/tests/parallel_equivalence.rs` for the proof by
+    /// fingerprint.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.engine = ParallelEngine::new(
+            threads.max(1),
+            self.topology.switches_per_stage(),
+            self.config.radix,
+        );
+        self
+    }
+
+    /// Number of simulation lanes stage phases run on (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
+    }
+
+    /// The stage partition in use: which contiguous switch island each
+    /// lane steps.
+    pub fn island_partition(&self) -> &crate::IslandPartition {
+        self.engine.partition()
+    }
+
     /// Simulates one network cycle (12 clock cycles).
     ///
     /// With the `strict-audit` feature on, every cycle ends with a full
     /// audit: buffer structure in every switch plus the packet-conservation
     /// balance.
+    ///
+    /// # Determinism
+    ///
+    /// One cycle is: generate (serial), advance stages last-to-first
+    /// (phase A per stage runs islands concurrently when
+    /// [`NetworkSim::with_threads`] raised the lane count; phase B
+    /// merges serially), inject (serial). The same configuration and
+    /// seed replay the identical cycle regardless of the lane count.
     ///
     /// # Panics
     ///
@@ -873,6 +945,16 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
 
     /// Returns per-stage forwarded-packet counts for the cycle sample
     /// (empty, allocation-free, while the sink is disabled).
+    ///
+    /// Each stage is stepped in two phases. **Phase A** arbitrates every
+    /// switch — islands concurrently when [`NetworkSim::with_threads`]
+    /// raised the lane count — and collects each departure (with the
+    /// backpressure probe's parked route) into its island's lane.
+    /// **Phase B** drains the lanes in ascending switch order and
+    /// replays the serial departure loop: misroute faults, routing
+    /// fallback, telemetry, downstream receives, metrics. Only phase B
+    /// mutates shared state, so the phased loop is byte-identical to a
+    /// serial sweep at any lane count (see `docs/ARCHITECTURE.md`).
     fn advance_stages(&mut self) -> Vec<u32> {
         let stages = self.topology.stages();
         let per_stage = self.topology.switches_per_stage();
@@ -884,27 +966,44 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             Vec::new()
         };
 
-        // Fault state leaves `self` for the stage loops so the probe
-        // closures can read it while the switch grid is mutably borrowed.
+        // Fault state leaves `self` for the stage loops so the phase-A
+        // probes can read it while the switch grid is mutably borrowed.
         let mut faults = self.faults.take();
         let radix = self.config.radix;
         let cycle = self.cycle;
+        let islands = self.engine.islands();
 
         // Last stage delivers straight to the (always-ready) sinks.
+        // Phase A: every switch arbitrates; no probing needed.
         let last = stages - 1;
-        for sw in 0..per_stage {
-            let departures = self.switches[last][sw].transmit_cycle(|_, _| true);
-            for d in departures {
+        self.engine.collect(
+            &mut self.switches[last],
+            &(),
+            &|sw, switch: &mut Switch<B>, lane: &mut StageLane, _: &()| {
+                for d in switch.transmit_cycle(|_, _| true) {
+                    lane.records.push(DepartRecord {
+                        sw,
+                        output: d.output,
+                        route: None,
+                        packet: d.packet,
+                    });
+                }
+            },
+        );
+        // Phase B: deliver in ascending switch order.
+        for island in 0..islands {
+            for rec in self.engine.lane_records(island) {
+                let sw = rec.sw;
                 let misrouted_here = faults
                     .as_mut()
                     .is_some_and(|f| f.take_misroute(per_stage, last, sw));
                 let out = if misrouted_here {
-                    OutputPort::new((d.output.index() + 1) % radix)
+                    OutputPort::new((rec.output.index() + 1) % radix)
                 } else {
-                    d.output
+                    rec.output
                 };
                 let sink = self.plan.sink_of(sw, out);
-                let serial = d.packet.id().serial();
+                let serial = rec.packet.id().serial();
                 if tracing {
                     forwarded[last] += 1;
                     self.sink.record(Event::new(
@@ -917,7 +1016,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                         },
                     ));
                 }
-                if sink != d.packet.dest() {
+                if sink != rec.packet.dest() {
                     // A transient misroute (here or upstream) carried the
                     // packet to the wrong terminal: it is dropped there.
                     debug_assert!(faults.is_some(), "misrouted packet without faults");
@@ -935,7 +1034,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                     self.fault_ledger.misrouted += 1;
                     continue;
                 }
-                if !d.packet.verify_checksum() {
+                if !rec.packet.verify_checksum() {
                     // Payload damaged in flight: the sink refuses delivery.
                     if tracing {
                         self.sink.record(Event::new(
@@ -951,8 +1050,11 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                     self.fault_ledger.corrupt_dropped += 1;
                     continue;
                 }
-                let total = self.cycle.saturating_sub(d.packet.birth_cycle());
-                let injected = d.packet.injected_cycle().unwrap_or(d.packet.birth_cycle());
+                let total = self.cycle.saturating_sub(rec.packet.birth_cycle());
+                let injected = rec
+                    .packet
+                    .injected_cycle()
+                    .unwrap_or(rec.packet.birth_cycle());
                 let network = self.cycle.saturating_sub(injected);
                 if tracing {
                     self.sink.record(Event::new(
@@ -964,7 +1066,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                     ));
                 }
                 self.metrics.record_delivery_from(
-                    d.packet.source().index(),
+                    rec.packet.source().index(),
                     sink.index(),
                     total,
                     network,
@@ -978,58 +1080,93 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             let (current_stages, later_stages) = self.switches.split_at_mut(stage + 1);
             let current = &mut current_stages[stage];
             let downstream = &mut later_stages[0];
-            let plan = &self.plan;
-            let scratch = &mut self.route_scratch;
-            for (sw, switch) in current.iter_mut().enumerate().take(per_stage) {
-                scratch.fill(None);
-                let probe_faults = faults.as_ref();
-                let departures = switch.transmit_cycle(|out, pkt| {
-                    if !blocking {
-                        return true;
-                    }
-                    // A departure through `out` is always the packet the
-                    // crossbar granted last, i.e. the one probed here most
-                    // recently — park its route for the departure loop.
-                    let route = plan.departure_route(stage, sw, out, pkt.dest());
-                    scratch[out.index()] = Some(route);
-                    if probe_faults.is_some_and(|f| {
-                        f.link_down(
-                            per_stage,
-                            radix,
-                            stage + 1,
-                            route.next_switch,
-                            route.next_port.index(),
-                            cycle,
+            // Phase A: every island arbitrates its switches. Blocking
+            // probes route, check the downstream link and read downstream
+            // space; each departure leaves with the probe's parked route.
+            let ctx = ProbeCtx {
+                stage,
+                per_stage,
+                radix,
+                cycle,
+                blocking,
+                plan: &self.plan,
+                faults: faults.as_ref(),
+                downstream: &downstream[..],
+            };
+            self.engine.collect(
+                current,
+                &ctx,
+                &|sw, switch: &mut Switch<B>, lane: &mut StageLane, ctx: &ProbeCtx<'_, B>| {
+                    let StageLane { scratch, records } = lane;
+                    scratch.fill(None);
+                    let departures = switch.transmit_cycle(|out, pkt| {
+                        if !ctx.blocking {
+                            return true;
+                        }
+                        // A departure through `out` is always the packet the
+                        // crossbar granted last, i.e. the one probed here most
+                        // recently — park its route for the merge phase.
+                        let route = ctx.plan.departure_route(ctx.stage, sw, out, pkt.dest());
+                        scratch[out.index()] = Some(route);
+                        if ctx.faults.is_some_and(|f| {
+                            f.link_down(
+                                ctx.per_stage,
+                                ctx.radix,
+                                ctx.stage + 1,
+                                route.next_switch,
+                                route.next_port.index(),
+                                ctx.cycle,
+                            )
+                        }) {
+                            return false; // hold: the link downstream is out
+                        }
+                        let slots = pkt.slots_needed(DEFAULT_SLOT_BYTES);
+                        ctx.downstream[route.next_switch].can_accept(
+                            route.next_port,
+                            route.next_output,
+                            slots,
                         )
-                    }) {
-                        return false; // hold: the link downstream is out
+                    });
+                    for d in departures {
+                        let route = if ctx.blocking {
+                            scratch[d.output.index()].take()
+                        } else {
+                            None
+                        };
+                        records.push(DepartRecord {
+                            sw,
+                            output: d.output,
+                            route,
+                            packet: d.packet,
+                        });
                     }
-                    let slots = pkt.slots_needed(DEFAULT_SLOT_BYTES);
-                    downstream[route.next_switch].can_accept(
-                        route.next_port,
-                        route.next_output,
-                        slots,
-                    )
-                });
-                for d in departures {
-                    // Blocking probes parked the route; the discarding
-                    // path routes here — either way exactly one query per
-                    // departure (misroutes pay one extra for the flip).
+                },
+            );
+            // Phase B: merge departures in ascending switch order,
+            // replaying the serial departure loop.
+            for island in 0..islands {
+                for rec in self.engine.lane_records(island) {
+                    let sw = rec.sw;
+                    // Blocking probes parked the route on the record; the
+                    // discarding path routes here — either way exactly one
+                    // query per departure (misroutes pay one extra for the
+                    // flip).
                     let misrouted_here = faults
                         .as_mut()
                         .is_some_and(|f| f.take_misroute(per_stage, stage, sw));
                     let (out, route) = if misrouted_here {
-                        scratch[d.output.index()] = None;
-                        let wrong = OutputPort::new((d.output.index() + 1) % radix);
+                        let wrong = OutputPort::new((rec.output.index() + 1) % radix);
                         (
                             wrong,
-                            plan.departure_route(stage, sw, wrong, d.packet.dest()),
+                            self.plan
+                                .departure_route(stage, sw, wrong, rec.packet.dest()),
                         )
                     } else {
-                        let route = scratch[d.output.index()].take().unwrap_or_else(|| {
-                            plan.departure_route(stage, sw, d.output, d.packet.dest())
+                        let route = rec.route.unwrap_or_else(|| {
+                            self.plan
+                                .departure_route(stage, sw, rec.output, rec.packet.dest())
                         });
-                        (d.output, route)
+                        (rec.output, route)
                     };
                     let HopRoute {
                         next_switch,
@@ -1041,14 +1178,14 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                         self.sink.record(Event::new(
                             self.cycle,
                             EventKind::Forwarded {
-                                packet: d.packet.id().serial(),
+                                packet: rec.packet.id().serial(),
                                 stage: stage as u32,
                                 switch: sw as u32,
                                 output: out.index() as u32,
                             },
                         ));
                     }
-                    let serial = d.packet.id().serial();
+                    let serial = rec.packet.id().serial();
                     let link_dead = faults.as_ref().is_some_and(|f| {
                         f.link_down(
                             per_stage,
@@ -1078,11 +1215,18 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                         self.fault_ledger.link_dropped += 1;
                         continue;
                     }
-                    match downstream[next_switch].receive(next_port, next_out, d.packet) {
+                    match downstream[next_switch].receive(next_port, next_out, rec.packet) {
                         Ok(()) => {}
                         Err(_rejected) => {
+                            // Probed blocking departures only bounce when a
+                            // fault interferes: a misroute (this switch's or
+                            // another's, landing on this port between the
+                            // probe and the merge) can consume the space the
+                            // probe saw. With faults active the blocking
+                            // protocol's lossless guarantee is already
+                            // forfeited, so the collided packet is discarded.
                             debug_assert!(
-                                !blocking || misrouted_here,
+                                !blocking || misrouted_here || faults.is_some(),
                                 "blocking transmit was pre-checked"
                             );
                             if tracing {

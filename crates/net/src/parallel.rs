@@ -1,0 +1,245 @@
+//! Sharded stepping: stage islands, the phase engine, and the
+//! deterministic departure merge.
+//!
+//! [`NetworkSim::with_threads`](crate::NetworkSim::with_threads) splits
+//! every pipeline stage into contiguous **islands** of switches
+//! ([`IslandPartition`]) and steps each stage in two phases:
+//!
+//! * **Phase A (parallel)** — every island arbitrates its switches with
+//!   [`Switch::transmit_cycle`], probing downstream space through
+//!   `&self` reads, and parks each departure in its island's
+//!   [`StageLane`] as a [`DepartRecord`].
+//! * **Phase B (serial merge)** — the lanes drain in ascending island
+//!   (and therefore switch) order, replaying the exact serial departure
+//!   loop: misroute faults, route fallback, telemetry events, receives,
+//!   metrics.
+//!
+//! # Determinism
+//!
+//! Phase A touches pairwise-disjoint state: each switch's buffers are
+//! its own, and in these banyan-class topologies every downstream
+//! `(switch, input port)` is wired to exactly one upstream
+//! `(switch, output)` (pinned by the topology tests), so no island's
+//! probes can observe another island's work — a stage's probes read only
+//! *downstream* buffers, which no phase-A transmit mutates. Phase B is
+//! the only writer of shared state (downstream buffers, metrics,
+//! telemetry, fault counters) and always runs in the same order, so a
+//! serial run and an N-thread run produce byte-identical traces and
+//! metrics. See `docs/ARCHITECTURE.md` for the full argument.
+
+use damq_core::{OutputPort, Packet, SwitchBuffer};
+use damq_shard::PhasePool;
+use damq_switch::Switch;
+
+use crate::topology::HopRoute;
+
+/// A contiguous split of one stage's switches into islands, one per
+/// simulation lane.
+///
+/// Islands are as even as possible: `switches` mod `islands` leading
+/// islands get one extra switch. The island count is clamped to
+/// `1..=switches`, so both degenerate shapes — one island holding the
+/// whole stage, and one island per switch — are valid partitions.
+///
+/// # Examples
+///
+/// ```
+/// use damq_net::IslandPartition;
+///
+/// let p = IslandPartition::new(16, 4);
+/// assert_eq!(p.islands(), 4);
+/// assert_eq!(p.bounds(), &[0, 4, 8, 12, 16]);
+/// assert_eq!(IslandPartition::new(5, 3).bounds(), &[0, 2, 4, 5]);
+/// assert_eq!(IslandPartition::new(4, 99).islands(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IslandPartition {
+    bounds: Vec<usize>,
+}
+
+impl IslandPartition {
+    /// Partitions `switches` switches into at most `islands` contiguous
+    /// islands (at least one; never more than there are switches).
+    pub fn new(switches: usize, islands: usize) -> Self {
+        let switches = switches.max(1);
+        let islands = islands.clamp(1, switches);
+        let base = switches / islands;
+        let rem = switches % islands;
+        let mut bounds = Vec::with_capacity(islands + 1);
+        bounds.push(0);
+        let mut at = 0;
+        for i in 0..islands {
+            at += base + usize::from(i < rem);
+            bounds.push(at);
+        }
+        IslandPartition { bounds }
+    }
+
+    /// Number of islands.
+    pub fn islands(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Island edges: island `i` owns switches
+    /// `bounds()[i]..bounds()[i + 1]`.
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// The island that owns `switch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch` is outside the partitioned range.
+    pub fn island_of(&self, switch: usize) -> usize {
+        self.bounds
+            .windows(2)
+            .position(|w| (w[0]..w[1]).contains(&switch))
+            // lint: allow — contract documented above; bounds cover the range.
+            .unwrap_or_else(|| panic!("switch {switch} outside partition"))
+    }
+}
+
+/// One departure collected by phase A, applied by phase B.
+///
+/// `route` carries the backpressure probe's parked [`HopRoute`] under
+/// the blocking protocol (so phase B routes each departure exactly once,
+/// same as the serial loop); it is `None` under discarding flow control,
+/// where only phase B routes.
+#[derive(Debug)]
+pub(crate) struct DepartRecord {
+    /// Absolute switch index within the stage.
+    pub(crate) sw: usize,
+    /// The crossbar output the packet left through.
+    pub(crate) output: OutputPort,
+    /// The probe's parked route (blocking protocol only).
+    pub(crate) route: Option<HopRoute>,
+    /// The departing packet.
+    pub(crate) packet: Packet,
+}
+
+/// Per-island working memory: the probe's route scratch and the
+/// departure records the island collected this phase. Reused every
+/// cycle, so steady-state stepping stays allocation-free.
+#[derive(Debug)]
+pub(crate) struct StageLane {
+    /// Per-output parked probe routes (reset per switch).
+    pub(crate) scratch: Vec<Option<HopRoute>>,
+    /// Departures collected by this island, in switch order.
+    pub(crate) records: Vec<DepartRecord>,
+}
+
+/// The sharded stage engine owned by a
+/// [`NetworkSim`](crate::NetworkSim): a [`PhasePool`], the island
+/// partition (identical for every stage), and one [`StageLane`] per
+/// island.
+#[derive(Debug)]
+pub(crate) struct ParallelEngine {
+    pool: PhasePool,
+    partition: IslandPartition,
+    lanes: Vec<StageLane>,
+}
+
+impl ParallelEngine {
+    pub(crate) fn new(threads: usize, per_stage: usize, radix: usize) -> Self {
+        let partition = IslandPartition::new(per_stage, threads.max(1));
+        let lanes = (0..partition.islands())
+            .map(|_| StageLane {
+                scratch: vec![None; radix],
+                records: Vec::new(),
+            })
+            .collect();
+        ParallelEngine {
+            pool: PhasePool::new(threads.max(1)),
+            partition,
+            lanes,
+        }
+    }
+
+    /// Number of simulation lanes (threads) phases run on.
+    pub(crate) fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    pub(crate) fn islands(&self) -> usize {
+        self.partition.islands()
+    }
+
+    pub(crate) fn partition(&self) -> &IslandPartition {
+        &self.partition
+    }
+
+    /// Phase A: runs `per_switch` over every switch of `row`, islands in
+    /// parallel, collecting into each island's [`StageLane`]. Lanes are
+    /// cleared first; the call returns only after every island finishes.
+    pub(crate) fn collect<B, C, F>(&mut self, row: &mut [Switch<B>], ctx: &C, per_switch: &F)
+    where
+        B: SwitchBuffer,
+        C: Sync,
+        F: Fn(usize, &mut Switch<B>, &mut StageLane, &C) + Sync,
+    {
+        for lane in &mut self.lanes {
+            lane.records.clear();
+        }
+        self.pool.run_phase(
+            row,
+            self.partition.bounds(),
+            &mut self.lanes,
+            ctx,
+            &|_, start, chunk, lane, ctx| {
+                for (i, switch) in chunk.iter_mut().enumerate() {
+                    per_switch(start + i, switch, lane, ctx);
+                }
+            },
+        );
+    }
+
+    /// Phase B: drains island `island`'s records, in the order phase A
+    /// collected them (ascending switch, then crossbar grant order).
+    pub(crate) fn lane_records(&mut self, island: usize) -> std::vec::Drain<'_, DepartRecord> {
+        self.lanes[island].records.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_partition_single_island_holds_everything() {
+        let p = IslandPartition::new(16, 1);
+        assert_eq!(p.islands(), 1);
+        assert_eq!(p.bounds(), &[0, 16]);
+        assert_eq!(p.island_of(0), 0);
+        assert_eq!(p.island_of(15), 0);
+    }
+
+    #[test]
+    fn degenerate_partition_one_island_per_switch() {
+        let p = IslandPartition::new(16, 16);
+        assert_eq!(p.islands(), 16);
+        for sw in 0..16 {
+            assert_eq!(p.island_of(sw), sw);
+            assert_eq!(p.bounds()[sw + 1] - p.bounds()[sw], 1);
+        }
+        // More islands than switches clamps to one per switch.
+        assert_eq!(IslandPartition::new(16, 64), p);
+    }
+
+    #[test]
+    fn partition_is_contiguous_even_and_exhaustive() {
+        for switches in [1usize, 3, 5, 16, 256] {
+            for islands in [1usize, 2, 3, 4, 8, 300] {
+                let p = IslandPartition::new(switches, islands);
+                let b = p.bounds();
+                assert_eq!(b[0], 0);
+                assert_eq!(*b.last().expect("nonempty"), switches);
+                let sizes: Vec<usize> = b.windows(2).map(|w| w[1] - w[0]).collect();
+                let min = sizes.iter().min().expect("nonempty");
+                let max = sizes.iter().max().expect("nonempty");
+                assert!(max - min <= 1, "{switches}/{islands}: uneven {sizes:?}");
+                assert!(sizes.iter().all(|&s| s >= 1), "no empty islands");
+            }
+        }
+    }
+}

@@ -9,9 +9,9 @@
 //! The paper's evaluation network is `OmegaTopology::new(64, 4)`: three
 //! stages of sixteen 4×4 switches.
 
-use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use damq_core::{InputPort, NodeId, OutputPort};
 
@@ -361,7 +361,7 @@ pub struct HopRoute {
 /// The plan counts [`RoutePlan::departure_route`] calls
 /// ([`RoutePlan::route_queries`]), which lets tests pin down exactly how
 /// often the simulator routes each departing packet.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RoutePlan {
     radix: usize,
     stages: usize,
@@ -375,8 +375,25 @@ pub struct RoutePlan {
     outputs: Vec<OutputPort>,
     /// Sink terminal per (switch, output) of the final stage.
     sinks: Vec<NodeId>,
-    /// Departure-route queries served so far.
-    queries: Cell<u64>,
+    /// Departure-route queries served so far. Atomic (relaxed) so
+    /// concurrent backpressure probes from sharded stage islands can
+    /// count without synchronization; the total stays deterministic.
+    queries: AtomicU64,
+}
+
+impl Clone for RoutePlan {
+    fn clone(&self) -> Self {
+        RoutePlan {
+            radix: self.radix,
+            stages: self.stages,
+            size: self.size,
+            entries: self.entries.clone(),
+            next_hops: self.next_hops.clone(),
+            outputs: self.outputs.clone(),
+            sinks: self.sinks.clone(),
+            queries: AtomicU64::new(self.queries.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl RoutePlan {
@@ -417,7 +434,7 @@ impl RoutePlan {
             next_hops,
             outputs,
             sinks,
-            queries: Cell::new(0),
+            queries: AtomicU64::new(0),
         }
     }
 
@@ -454,7 +471,7 @@ impl RoutePlan {
         output: OutputPort,
         dest: NodeId,
     ) -> HopRoute {
-        self.queries.set(self.queries.get() + 1);
+        self.queries.fetch_add(1, Ordering::Relaxed);
         let per_stage = self.size / self.radix;
         let (next_switch, next_port) =
             self.next_hops[(stage * per_stage + switch) * self.radix + output.index()];
@@ -477,7 +494,7 @@ impl RoutePlan {
 
     /// How many times [`RoutePlan::departure_route`] has been called.
     pub fn route_queries(&self) -> u64 {
-        self.queries.get()
+        self.queries.load(Ordering::Relaxed)
     }
 
     /// Number of stages the plan covers.

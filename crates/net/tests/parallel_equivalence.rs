@@ -1,0 +1,201 @@
+//! Sharded-stepping equivalence: an N-thread run must be byte-identical
+//! to the serial run.
+//!
+//! `NetworkSim::with_threads(n)` splits every stage into islands and
+//! runs phase A (arbitration + backpressure probes) concurrently, then
+//! merges departures serially in ascending switch order (phase B). The
+//! design argument (`docs/ARCHITECTURE.md`, `crates/net/src/parallel.rs`)
+//! says this is *exactly* the serial simulation — same RNG draws, same
+//! arbiter decisions, same telemetry byte stream. These tests pin that
+//! claim: every observable — metrics, residual state, buffer counters,
+//! fault ledgers, and the full JSONL trace — must be equal across
+//! thread counts, on uniform, hot-spot and fault-injected workloads,
+//! for all five buffer designs, under both flow-control protocols.
+
+use damq_core::{BufferKind, BufferStats, FaultPlan, FaultSpec};
+use damq_net::{NetworkConfig, NetworkSim, TrafficPattern};
+use damq_switch::FlowControl;
+use damq_telemetry::MemorySink;
+
+/// Everything observable about a finished run, including the raw trace.
+#[derive(Debug, PartialEq)]
+struct Run {
+    generated: u64,
+    delivered: u64,
+    discarded: u64,
+    mean_latency: u64,
+    p99_latency: u64,
+    mean_network_latency: u64,
+    per_sink: Vec<u64>,
+    backlog: usize,
+    in_flight: usize,
+    buffer_stats: BufferStats,
+    occupancy: Vec<f64>,
+    route_queries: u64,
+    misrouted: u64,
+    link_dropped: u64,
+    corrupt_dropped: u64,
+    trace: String,
+}
+
+fn run(config: NetworkConfig, faults: Option<&FaultPlan>, threads: usize, cycles: u64) -> Run {
+    let mut sim = NetworkSim::with_sink(config, MemorySink::new())
+        .expect("valid config")
+        .with_threads(threads);
+    assert_eq!(sim.threads(), threads.max(1));
+    if let Some(plan) = faults {
+        sim.install_fault_plan(plan.clone());
+    }
+    sim.run(cycles);
+    sim.audit().expect("post-run audit");
+    let m = sim.metrics();
+    let ledger = sim.fault_ledger();
+    Run {
+        generated: m.generated(),
+        delivered: m.delivered(),
+        discarded: m.discarded(),
+        // Scale float summaries to integers so equality is exact.
+        mean_latency: (m.mean_latency_clocks() * 1e6) as u64,
+        p99_latency: (m.latency_percentile_clocks(0.99) * 1e6) as u64,
+        mean_network_latency: (m.mean_network_latency_clocks() * 1e6) as u64,
+        per_sink: m.per_sink_delivered().to_vec(),
+        backlog: sim.source_backlog(),
+        in_flight: sim.packets_in_flight(),
+        buffer_stats: sim.aggregate_buffer_stats(),
+        occupancy: sim.occupancy_by_stage(),
+        route_queries: sim.route_plan().route_queries(),
+        misrouted: ledger.misrouted,
+        link_dropped: ledger.link_dropped,
+        corrupt_dropped: ledger.corrupt_dropped,
+        trace: sim
+            .into_sink()
+            .events()
+            .iter()
+            .map(|e| e.to_jsonl() + "\n")
+            .collect(),
+    }
+}
+
+fn assert_threads_agree(
+    config: NetworkConfig,
+    faults: Option<&FaultPlan>,
+    cycles: u64,
+    threads: &[usize],
+    label: &str,
+) {
+    let serial = run(config, faults, 1, cycles);
+    assert!(serial.generated > 0, "{label}: degenerate run");
+    for &n in threads {
+        let sharded = run(config, faults, n, cycles);
+        assert_eq!(
+            serial.trace, sharded.trace,
+            "{label}: {n}-thread JSONL trace differs from serial"
+        );
+        assert_eq!(serial, sharded, "{label}: {n}-thread run differs");
+    }
+}
+
+fn uniform(size: usize, radix: usize) -> NetworkConfig {
+    NetworkConfig::new(size, radix)
+        .buffer_kind(BufferKind::Damq)
+        .slots_per_buffer(4)
+        .offered_load(0.6)
+        .seed(0xDA3B)
+}
+
+fn hot_spot(size: usize, radix: usize) -> NetworkConfig {
+    uniform(size, radix)
+        .traffic(TrafficPattern::paper_hot_spot())
+        .offered_load(0.5)
+        .seed(0xBEEF)
+}
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan::generate(
+        11,
+        &FaultSpec {
+            dead_slot_fraction: 0.1,
+            link_flaps: 2,
+            flap_duration: 15,
+            corrupt_packets: 3,
+            misroutes: 3,
+            ..FaultSpec::fault_free(2, 4, 4, 16, 4, 150)
+        },
+    )
+}
+
+/// The gate `scripts/check.sh parallel-smoke` runs: two threads must
+/// reproduce the serial bytes on the paper-shaped hot-spot workload.
+#[test]
+fn two_thread_fingerprints_match_serial() {
+    assert_threads_agree(hot_spot(16, 4), None, 250, &[2], "16x4 hot-spot");
+}
+
+#[test]
+fn uniform_traffic_matches_across_thread_counts() {
+    for flow in FlowControl::ALL {
+        let config = uniform(16, 4).flow_control(flow);
+        assert_threads_agree(config, None, 300, &[2, 4, 8], &format!("uniform/{flow}"));
+    }
+}
+
+#[test]
+fn hot_spot_traffic_matches_across_thread_counts() {
+    for flow in FlowControl::ALL {
+        let config = hot_spot(16, 4).flow_control(flow);
+        assert_threads_agree(config, None, 300, &[2, 4, 8], &format!("hot-spot/{flow}"));
+    }
+}
+
+#[test]
+fn fault_injected_runs_match_across_thread_counts() {
+    let plan = fault_plan();
+    for flow in FlowControl::ALL {
+        let config = uniform(16, 4).flow_control(flow).seed(17);
+        assert_threads_agree(
+            config,
+            Some(&plan),
+            300,
+            &[2, 4, 8],
+            &format!("faulted/{flow}"),
+        );
+    }
+}
+
+#[test]
+fn all_five_designs_match_at_four_threads() {
+    for kind in BufferKind::EXTENDED {
+        for flow in FlowControl::ALL {
+            let config = hot_spot(16, 4).buffer_kind(kind).flow_control(flow);
+            assert_threads_agree(config, None, 250, &[4], &format!("{kind}/{flow}"));
+        }
+    }
+}
+
+#[test]
+fn degenerate_thread_counts_are_valid_partitions() {
+    // threads=1 (one island holds the stage), threads=per_stage (one
+    // island per switch), and threads beyond per_stage (clamped).
+    let config = uniform(16, 4);
+    let per_stage = 4; // 16 terminals of 4x4 switches → 4 per stage
+    for threads in [1usize, per_stage, per_stage * 4] {
+        let sim = NetworkSim::with_sink(config, MemorySink::new())
+            .expect("valid config")
+            .with_threads(threads);
+        let islands = sim.island_partition().islands();
+        assert!(islands >= 1 && islands <= per_stage, "islands {islands}");
+        assert_eq!(sim.island_partition().bounds()[0], 0);
+        assert_eq!(*sim.island_partition().bounds().last().unwrap(), per_stage);
+    }
+    assert_threads_agree(config, None, 200, &[per_stage, per_stage * 4], "degenerate");
+}
+
+#[test]
+fn larger_network_matches_at_four_threads() {
+    // 64 terminals (the paper's shape): 16 switches per stage, split 4
+    // ways — every island holds several switches.
+    for flow in FlowControl::ALL {
+        let config = hot_spot(64, 4).flow_control(flow);
+        assert_threads_agree(config, None, 200, &[4], &format!("64x4/{flow}"));
+    }
+}

@@ -1,0 +1,491 @@
+//! Barrier-synchronized phase pool for the sharded network simulator.
+//!
+//! `damq-net` steps one pipeline stage per *phase*: every switch in the
+//! stage arbitrates and probes independently (phase A), then a serial
+//! merge applies the departures in a fixed order (phase B). This crate
+//! provides the one concurrency primitive that phase structure needs —
+//! [`PhasePool`], a set of persistent worker threads that execute a
+//! *chunked phase* over disjoint slices of a buffer and then rejoin at a
+//! barrier before the caller continues.
+//!
+//! The pool is the only place in the workspace that touches `unsafe`:
+//! the network crate is `#![forbid(unsafe_code)]`, so the raw-pointer
+//! chunk distribution lives here behind the safe [`PhasePool::run_phase`]
+//! API. The safety argument is local and small:
+//!
+//! * items are split by caller-supplied ascending chunk bounds, and each
+//!   chunk index is claimed by exactly one thread, so every `&mut [T]`
+//!   chunk and every `&mut L` lane handed to the phase closure is
+//!   pairwise disjoint;
+//! * the submitting thread blocks until every worker has finished the
+//!   phase (a mutex/condvar barrier establishes the happens-before), so
+//!   no borrow outlives the call.
+//!
+//! A pool built with one thread spawns no workers and runs phases
+//! inline, making the single-threaded path identical to a plain loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use damq_shard::PhasePool;
+//!
+//! let pool = PhasePool::new(4);
+//! let mut items = vec![1u64; 100];
+//! let mut sums = vec![0u64; 4];
+//! let bounds = [0, 25, 50, 75, 100];
+//! pool.run_phase(&mut items, &bounds, &mut sums, &2u64, &|_, start, chunk, sum, mul| {
+//!     for (i, item) in chunk.iter_mut().enumerate() {
+//!         *item *= mul + (start + i) as u64 * 0; // touch the chunk
+//!         *sum += *item;
+//!     }
+//! });
+//! assert_eq!(sums.iter().sum::<u64>(), 200);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased pointer to the phase job shared with the workers.
+///
+/// The raw pointer is only dereferenced between job submission and the
+/// completion barrier in [`PhasePool::run_erased`], while the referent —
+/// a closure on the submitting thread's stack — is guaranteed alive.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared execution from many threads is
+// its contract) and the pool's barrier keeps it alive for as long as any
+// worker can observe the pointer.
+unsafe impl Send for Job {}
+
+/// Dispatch state shared between the submitting thread and the workers.
+struct PoolState {
+    /// Incremented per submitted phase; workers run each epoch once.
+    epoch: u64,
+    /// The current phase job, `Some` only while a phase is in flight.
+    job: Option<Job>,
+    /// Workers that have not yet finished the current phase.
+    remaining: usize,
+    /// Set when a worker's job panicked; re-raised by the caller.
+    panicked: bool,
+    /// Set by `Drop` to shut the workers down.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signalled when a new phase is published (or on shutdown).
+    work: Condvar,
+    /// Signalled when the last worker finishes the current phase.
+    done: Condvar,
+}
+
+/// A persistent pool of `threads - 1` workers plus the calling thread,
+/// executing barrier-synchronized phases over disjoint chunks.
+///
+/// Workers park on a condition variable between phases (no spinning: the
+/// pool stays well-behaved on oversubscribed or single-core hosts). The
+/// submitting thread always executes as thread 0, so `PhasePool::new(1)`
+/// spawns nothing and runs every phase inline.
+pub struct PhasePool {
+    threads: usize,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PhasePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhasePool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PhasePool {
+    /// Builds a pool that executes phases on `threads` lanes (clamped to
+    /// at least 1). The calling thread is lane 0; `threads - 1` workers
+    /// are spawned for the rest.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("damq-shard-{tid}"))
+                    .spawn(move || worker_loop(&shared, tid))
+                    .expect("spawning a phase worker")
+            })
+            .collect();
+        PhasePool {
+            threads,
+            shared,
+            workers,
+        }
+    }
+
+    /// Number of lanes (caller + workers) phases execute on.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one phase: `items` is split at `bounds` into
+    /// `lanes.len()` chunks, and `f(chunk_index, chunk_start, chunk,
+    /// lane, ctx)` runs once per chunk — concurrently when the pool has
+    /// workers — with chunk `i` paired with `lanes[i]`. Returns after
+    /// every chunk completes (the phase barrier).
+    ///
+    /// Chunks are assigned to threads round-robin by index, so any
+    /// number of chunks works on any pool size; with one thread (or one
+    /// chunk) everything runs inline on the caller.
+    ///
+    /// Chunk `i` covers `items[bounds[i]..bounds[i + 1]]`; `f` also
+    /// receives `bounds[i]` so it can recover absolute item indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not an ascending sequence of
+    /// `lanes.len() + 1` offsets starting at 0 and ending at
+    /// `items.len()`, or (propagated) if `f` panics on any lane.
+    pub fn run_phase<T, L, C, F>(
+        &self,
+        items: &mut [T],
+        bounds: &[usize],
+        lanes: &mut [L],
+        ctx: &C,
+        f: &F,
+    ) where
+        T: Send,
+        L: Send,
+        C: Sync,
+        F: Fn(usize, usize, &mut [T], &mut L, &C) + Sync,
+    {
+        let chunks = lanes.len();
+        assert_eq!(bounds.len(), chunks + 1, "one bound per chunk edge");
+        assert_eq!(bounds[0], 0, "chunks start at the first item");
+        assert_eq!(bounds[chunks], items.len(), "chunks cover every item");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "chunk bounds must ascend"
+        );
+
+        if self.workers.is_empty() || chunks == 1 {
+            let mut rest = items;
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                let (chunk, tail) = rest.split_at_mut(bounds[i + 1] - bounds[i]);
+                f(i, bounds[i], chunk, lane, ctx);
+                rest = tail;
+            }
+            return;
+        }
+
+        let items_ptr = SendPtr(items.as_mut_ptr());
+        let lanes_ptr = SendPtr(lanes.as_mut_ptr());
+        let threads = self.threads;
+        let job = move |tid: usize| {
+            let mut index = tid;
+            while index < chunks {
+                let start = bounds[index];
+                let len = bounds[index + 1] - start;
+                // SAFETY: `bounds` was validated ascending and in range,
+                // and each chunk index is claimed by exactly one thread
+                // (round-robin by `tid`), so this chunk and lane do not
+                // overlap any other thread's. The caller blocks at the
+                // phase barrier before the borrows behind the raw
+                // pointers expire.
+                let chunk =
+                    unsafe { std::slice::from_raw_parts_mut(items_ptr.get().add(start), len) };
+                let lane = unsafe { &mut *lanes_ptr.get().add(index) };
+                f(index, start, chunk, lane, ctx);
+                index += threads;
+            }
+        };
+        self.run_erased(&job);
+    }
+
+    /// Publishes `job` to the workers, runs lane 0 on the calling
+    /// thread, and blocks until every worker has finished this epoch.
+    fn run_erased(&self, job: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: only the lifetime is erased. The pointer is dropped
+        // from the shared state before this function returns, and the
+        // barrier below guarantees no worker still holds it.
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
+        {
+            let mut state = self.shared.state.lock().expect("phase pool poisoned");
+            state.epoch += 1;
+            state.job = Some(Job(erased as *const _));
+            state.remaining = self.workers.len();
+            self.shared.work.notify_all();
+        }
+
+        // Lane 0 runs here. A panic must still wait for the workers
+        // (they hold borrows into the caller's frame) before unwinding.
+        let lane0 = catch_unwind(AssertUnwindSafe(|| job(0)));
+
+        let mut state = self.shared.state.lock().expect("phase pool poisoned");
+        while state.remaining > 0 {
+            state = self.shared.done.wait(state).expect("phase pool poisoned");
+        }
+        state.job = None;
+        let worker_panicked = std::mem::replace(&mut state.panicked, false);
+        drop(state);
+
+        if let Err(payload) = lane0 {
+            resume_unwind(payload);
+        }
+        assert!(!worker_panicked, "a phase worker panicked");
+    }
+}
+
+impl Drop for PhasePool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("phase pool poisoned");
+            state.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, tid: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("phase pool poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen_epoch {
+                    if let Some(job) = state.job {
+                        seen_epoch = state.epoch;
+                        break job;
+                    }
+                }
+                state = shared.work.wait(state).expect("phase pool poisoned");
+            }
+        };
+        // SAFETY: the submitter keeps the job alive until `remaining`
+        // hits 0, which happens only after this call returns.
+        let outcome = catch_unwind(AssertUnwindSafe(|| (unsafe { &*job.0 })(tid)));
+        let mut state = shared.state.lock().expect("phase pool poisoned");
+        if outcome.is_err() {
+            state.panicked = true;
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// A raw pointer that may cross threads. Disjointness of the accesses
+/// derived from it is argued at each use site.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// wrapper — edition-2021 disjoint field capture would otherwise
+    /// capture the raw pointer itself and lose the `Send`/`Sync` impls.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: `T: Send` makes handing `&mut T` to another thread sound; the
+// pool's chunk assignment guarantees exclusivity, and its barrier
+// guarantees the pointee outlives every access.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn even_bounds(len: usize, chunks: usize) -> Vec<usize> {
+        let base = len / chunks;
+        let rem = len % chunks;
+        let mut bounds = vec![0];
+        let mut at = 0;
+        for i in 0..chunks {
+            at += base + usize::from(i < rem);
+            bounds.push(at);
+        }
+        bounds
+    }
+
+    #[test]
+    fn parallel_phase_matches_serial() {
+        let serial = PhasePool::new(1);
+        let parallel = PhasePool::new(4);
+        let make = || (0..1000u64).collect::<Vec<_>>();
+
+        let run = |pool: &PhasePool, chunks: usize| {
+            let mut items = make();
+            let mut sums = vec![0u64; chunks];
+            let bounds = even_bounds(items.len(), chunks);
+            pool.run_phase(
+                &mut items,
+                &bounds,
+                &mut sums,
+                &3u64,
+                &|_, _, chunk, sum, mul| {
+                    for item in chunk.iter_mut() {
+                        *item *= mul;
+                        *sum += *item;
+                    }
+                },
+            );
+            (items, sums.iter().sum::<u64>())
+        };
+
+        let (items_a, sum_a) = run(&serial, 4);
+        let (items_b, sum_b) = run(&parallel, 4);
+        assert_eq!(items_a, items_b);
+        assert_eq!(sum_a, sum_b);
+        assert_eq!(sum_a, 3 * 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn chunk_starts_recover_absolute_indices() {
+        let pool = PhasePool::new(3);
+        let mut items = vec![0usize; 31];
+        let bounds = even_bounds(items.len(), 3);
+        let mut lanes = vec![(); 3];
+        pool.run_phase(
+            &mut items,
+            &bounds,
+            &mut lanes,
+            &(),
+            &|_, start, chunk, _, _| {
+                for (i, item) in chunk.iter_mut().enumerate() {
+                    *item = start + i;
+                }
+            },
+        );
+        let expect: Vec<usize> = (0..31).collect();
+        assert_eq!(items, expect);
+    }
+
+    #[test]
+    fn more_chunks_than_threads_round_robins() {
+        let pool = PhasePool::new(2);
+        let mut items = vec![1u32; 64];
+        let bounds = even_bounds(items.len(), 16);
+        let mut counts = vec![0u32; 16];
+        pool.run_phase(
+            &mut items,
+            &bounds,
+            &mut counts,
+            &(),
+            &|_, _, chunk, count, _| {
+                *count = chunk.iter().sum();
+            },
+        );
+        assert!(counts.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_phases() {
+        let pool = PhasePool::new(4);
+        let mut items = vec![0u64; 100];
+        let bounds = even_bounds(items.len(), 4);
+        let mut lanes = vec![(); 4];
+        for _ in 0..500 {
+            pool.run_phase(
+                &mut items,
+                &bounds,
+                &mut lanes,
+                &(),
+                &|_, _, chunk, _, _| {
+                    for item in chunk.iter_mut() {
+                        *item += 1;
+                    }
+                },
+            );
+        }
+        assert!(items.iter().all(|&v| v == 500));
+    }
+
+    #[test]
+    fn empty_chunks_are_fine() {
+        let pool = PhasePool::new(4);
+        let mut items: Vec<u8> = Vec::new();
+        let bounds = [0, 0, 0, 0, 0];
+        let mut lanes = vec![0u8; 4];
+        pool.run_phase(
+            &mut items,
+            &bounds,
+            &mut lanes,
+            &(),
+            &|_, _, chunk, lane, _| {
+                *lane = chunk.len() as u8;
+            },
+        );
+        assert_eq!(lanes, vec![0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunks cover every item")]
+    fn bounds_must_cover_items() {
+        let pool = PhasePool::new(1);
+        let mut items = vec![0u8; 10];
+        let mut lanes = vec![(); 2];
+        pool.run_phase(&mut items, &[0, 5, 9], &mut lanes, &(), &|_, _, _, _, _| {});
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let pool = PhasePool::new(2);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut items = vec![0u8; 8];
+            let mut lanes = vec![(); 2];
+            pool.run_phase(
+                &mut items,
+                &[0, 4, 8],
+                &mut lanes,
+                &(),
+                &|index, _, _, _, _| {
+                    assert_ne!(index, 1, "boom");
+                },
+            );
+        }));
+        assert!(outcome.is_err());
+        // The pool survives a panicked phase and keeps working.
+        let mut items = vec![1u8; 8];
+        let mut sums = vec![0u8; 2];
+        pool.run_phase(
+            &mut items,
+            &[0, 4, 8],
+            &mut sums,
+            &(),
+            &|_, _, chunk, sum, _| {
+                *sum = chunk.iter().sum();
+            },
+        );
+        assert_eq!(sums, vec![4, 4]);
+    }
+}

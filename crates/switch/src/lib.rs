@@ -14,6 +14,13 @@
 //! [`Switch::transmit_cycle`]; a discarding network always lets packets fly
 //! and drops those that find a full buffer.
 //!
+//! Because one cycle of a switch is a pure function of its own state and
+//! the `can_send` answers (see the determinism note on
+//! [`Switch::transmit_cycle`]), hosts may arbitrate many switches
+//! concurrently — `damq-net`'s sharded stepping
+//! (`NetworkSim::with_threads`) does exactly that, with all shared-state
+//! mutation deferred to a serial merge phase.
+//!
 //! # Examples
 //!
 //! Two packets for different outputs leave a DAMQ switch in one cycle:

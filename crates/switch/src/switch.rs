@@ -179,6 +179,19 @@ impl<B: SwitchBuffer> Switch<B> {
     /// to block that packet this cycle (e.g. no space downstream).
     ///
     /// Departing packets have their hop count incremented.
+    ///
+    /// # Determinism
+    ///
+    /// The cycle is a pure function of the switch's own state and the
+    /// `can_send` answers: the examination order comes from the arbiter's
+    /// priority pointer (stable for the whole cycle), candidates are
+    /// walked in ascending output order, and no global or ambient state
+    /// is consulted. This is what lets the sharded network simulator
+    /// (`damq-net`'s `NetworkSim::with_threads`) arbitrate many switches
+    /// concurrently — each call observes only its own switch plus
+    /// read-only downstream probes — and still produce byte-identical
+    /// results at any thread count. Mutation of *shared* state (the
+    /// downstream `receive`) is the caller's job, after arbitration.
     pub fn transmit_cycle<F>(&mut self, mut can_send: F) -> Vec<Departure>
     where
         F: FnMut(OutputPort, &Packet) -> bool,

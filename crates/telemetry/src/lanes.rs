@@ -1,0 +1,232 @@
+//! Per-island event lanes with a deterministic merge.
+//!
+//! The sharded network simulator (`damq-net`'s parallel module) steps
+//! each pipeline stage as phase-A islands feeding a serial phase-B
+//! merge. Today every telemetry event is emitted *in* phase B, so trace
+//! order is already serial and byte-stable. [`EventLanes`] is the
+//! primitive for the other collection shape: islands record into
+//! private lanes — no sharing, no locks — and the lanes merge into one
+//! stream in an order that depends only on lane index and per-lane
+//! arrival order, never on thread timing. The trace tools use it to
+//! recombine per-island captures, and it is the documented path should
+//! event emission ever move into phase A.
+//!
+//! Two merge orders are provided:
+//!
+//! * [`EventLanes::merge_into`] — **lane-major**: lane 0's events in
+//!   arrival order, then lane 1's, and so on. Deterministic and cheap;
+//!   right when lanes partition disjoint key ranges (e.g. one lane per
+//!   island of switches) and downstream analysis sorts anyway.
+//! * [`EventLanes::merge_by_key`] — **key-ordered**: a stable k-way
+//!   merge by a caller-supplied key (typically the cycle stamp). Among
+//!   equal keys, the lower lane wins, and within a lane arrival order
+//!   is kept — the exact interleave a serial simulator visiting islands
+//!   in ascending order would have produced.
+
+use crate::TelemetrySink;
+
+/// Per-lane event buffers that merge deterministically.
+///
+/// # Determinism
+///
+/// Merge order is a pure function of `(lane index, arrival order within
+/// the lane, merge key)`. Threads may fill distinct lanes concurrently
+/// and in any real-time order; the merged stream is identical to a
+/// serial fill.
+///
+/// # Examples
+///
+/// ```
+/// use damq_telemetry::EventLanes;
+///
+/// let mut lanes: EventLanes<(u64, &str)> = EventLanes::new(2);
+/// lanes.record(1, (1, "b"));
+/// lanes.record(0, (1, "a"));
+/// lanes.record(0, (2, "c"));
+/// // Key-ordered: ties resolve to the lower lane.
+/// let merged = lanes.merge_by_key(|e| e.0);
+/// assert_eq!(merged, vec![(1, "a"), (1, "b"), (2, "c")]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventLanes<E> {
+    lanes: Vec<Vec<E>>,
+}
+
+impl<E> EventLanes<E> {
+    /// Creates `lanes` empty lanes (at least one).
+    pub fn new(lanes: usize) -> Self {
+        EventLanes {
+            lanes: (0..lanes.max(1)).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Records `event` into `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn record(&mut self, lane: usize, event: E) {
+        self.lanes[lane].push(event);
+    }
+
+    /// The events lane `lane` holds, in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane(&self, lane: usize) -> &[E] {
+        &self.lanes[lane]
+    }
+
+    /// Total events buffered across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(Vec::len).sum()
+    }
+
+    /// Whether every lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(Vec::is_empty)
+    }
+
+    /// Empties every lane, keeping their capacity for the next phase.
+    pub fn clear(&mut self) {
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+    }
+
+    /// Drains every lane into `sink`, lane-major: all of lane 0 in
+    /// arrival order, then lane 1, and so on. Lanes keep their capacity.
+    pub fn merge_into<S: TelemetrySink<E>>(&mut self, sink: &mut S) {
+        for lane in &mut self.lanes {
+            for event in lane.drain(..) {
+                sink.record(event);
+            }
+        }
+    }
+
+    /// Drains every lane into one stream ordered by `key` — a stable
+    /// k-way merge. Among events with equal keys, the lower lane comes
+    /// first; within a lane, arrival order is kept. With per-lane keys
+    /// already non-decreasing (cycle stamps are), the result is the
+    /// serial ascending-island visit order.
+    pub fn merge_by_key<K: Ord, F: Fn(&E) -> K>(&mut self, key: F) -> Vec<E> {
+        let total = self.len();
+        let mut out = Vec::with_capacity(total);
+        let mut iters: Vec<_> = self
+            .lanes
+            .iter_mut()
+            .map(|l| l.drain(..).peekable())
+            .collect();
+        for _ in 0..total {
+            let mut best: Option<(usize, K)> = None;
+            for (lane, iter) in iters.iter_mut().enumerate() {
+                if let Some(event) = iter.peek() {
+                    let k = key(event);
+                    // Strict `<` keeps ties on the earliest (lowest) lane.
+                    if best.as_ref().is_none_or(|(_, bk)| k < *bk) {
+                        best = Some((lane, k));
+                    }
+                }
+            }
+            let (lane, _) = best.expect("`total` events remain across lanes");
+            out.push(iters[lane].next().expect("peek saw an event"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemorySink;
+
+    #[test]
+    fn lane_major_merge_preserves_lane_then_arrival_order() {
+        let mut lanes: EventLanes<u32> = EventLanes::new(3);
+        lanes.record(1, 10);
+        lanes.record(0, 1);
+        lanes.record(2, 20);
+        lanes.record(0, 2);
+        assert_eq!(lanes.len(), 4);
+        let mut sink = MemorySink::new();
+        lanes.merge_into(&mut sink);
+        assert_eq!(sink.events(), &[1, 2, 10, 20]);
+        assert!(lanes.is_empty());
+        assert_eq!(lanes.lanes(), 3);
+    }
+
+    #[test]
+    fn key_merge_is_stable_across_lanes_and_within_a_lane() {
+        let mut lanes: EventLanes<(u64, char)> = EventLanes::new(3);
+        // Same cycle from every lane: lower lane must win the tie.
+        lanes.record(2, (5, 'z'));
+        lanes.record(0, (5, 'a'));
+        lanes.record(1, (5, 'm'));
+        // Within lane 0, arrival order must hold for equal keys.
+        lanes.record(0, (5, 'b'));
+        lanes.record(1, (7, 'n'));
+        lanes.record(0, (6, 'c'));
+        let merged = lanes.merge_by_key(|e| e.0);
+        assert_eq!(
+            merged,
+            vec![(5, 'a'), (5, 'b'), (5, 'm'), (5, 'z'), (6, 'c'), (7, 'n')]
+        );
+        assert!(lanes.is_empty());
+    }
+
+    #[test]
+    fn key_merge_matches_a_serial_ascending_island_sweep() {
+        // Simulate three islands recording cycle-stamped events over a
+        // few phases, then check the merge equals the serial visit order:
+        // for each cycle, island 0's events, then island 1's, island 2's.
+        let mut lanes: EventLanes<(u64, usize, u32)> = EventLanes::new(3);
+        let mut serial = Vec::new();
+        for cycle in 0..4u64 {
+            for island in 0..3usize {
+                for ev in 0..(island as u32 + 1) {
+                    serial.push((cycle, island, ev));
+                }
+            }
+        }
+        // Fill lanes in a scrambled island order — real threads race.
+        for &(cycle, island, ev) in serial.iter().rev() {
+            let _ = (cycle, island, ev);
+        }
+        for island in [2usize, 0, 1] {
+            for &(cycle, isl, ev) in serial.iter().filter(|e| e.1 == island) {
+                lanes.record(isl, (cycle, isl, ev));
+            }
+        }
+        let merged = lanes.merge_by_key(|e| e.0);
+        assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn lanes_are_reusable_after_clear_and_merge() {
+        let mut lanes: EventLanes<u32> = EventLanes::new(2);
+        lanes.record(0, 1);
+        lanes.clear();
+        assert!(lanes.is_empty());
+        lanes.record(1, 2);
+        let merged = lanes.merge_by_key(|&e| e);
+        assert_eq!(merged, vec![2]);
+        // And again after a draining merge.
+        lanes.record(0, 3);
+        let mut sink = MemorySink::new();
+        lanes.merge_into(&mut sink);
+        assert_eq!(sink.events(), &[3]);
+    }
+
+    #[test]
+    fn zero_lane_request_still_yields_one_lane() {
+        let lanes: EventLanes<u32> = EventLanes::new(0);
+        assert_eq!(lanes.lanes(), 1);
+        assert!(lanes.lane(0).is_empty());
+    }
+}

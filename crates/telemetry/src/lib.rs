@@ -24,6 +24,8 @@
 //!   these as a text dashboard.
 //! * [`Profiler`] — named-phase wall-clock accumulation for the sweep
 //!   engine's JSON `telemetry` section.
+//! * [`EventLanes`] — per-island event buffers for the sharded simulator,
+//!   merging into one stream in a thread-timing-independent order.
 //!
 //! See `docs/OBSERVABILITY.md` for the event model, the JSONL schema and
 //! worked examples.
@@ -51,12 +53,14 @@
 
 mod collect;
 mod event;
+mod lanes;
 mod profile;
 mod series;
 mod sink;
 
 pub use collect::{Hop, Lifecycle, TraceSummary};
 pub use event::{Event, EventKind, ParseError};
+pub use lanes::EventLanes;
 pub use profile::Profiler;
 pub use series::{sparkline, Bin, Downsampler, OccupancyHistogram};
 pub use sink::{CountingSink, JsonlRecord, JsonlSink, MemorySink, NullSink, TelemetrySink};

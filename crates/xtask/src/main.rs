@@ -1,6 +1,6 @@
 //! Workspace lint driver: `cargo xtask lint`.
 //!
-//! Six custom lints that `clippy` cannot express for this workspace,
+//! Seven custom lints that `clippy` cannot express for this workspace,
 //! plus the standard `cargo clippy` / `cargo fmt --check` gates:
 //!
 //! 1. **No panics in simulator library code** — `unwrap()`, `expect(…)`,
@@ -13,7 +13,9 @@
 //!    `thread_rng` and `rand::random` would make experiments
 //!    irreproducible; every RNG must be seeded through `damq-rng`.
 //! 3. **Documentation is mandatory** — every library crate root must carry
-//!    `#![deny(missing_docs)]`.
+//!    `#![deny(missing_docs)]`, and every module of `crates/net` and
+//!    `crates/shard` (the sharded simulation core, where design intent is
+//!    easiest to lose) must open with a `//!` overview.
 //! 4. **No stdout/stderr printing in library code** — `println!` and
 //!    `eprintln!` are forbidden in every library crate's `src/` (harness
 //!    binaries under `src/bin/`, the `benches/` targets and `crates/xtask`
@@ -35,6 +37,10 @@
 //!    carries `#[must_use]` (directly — a type-level attribute also works
 //!    but the lint wants the local marker), or a `// lint: allow — why`
 //!    comment.
+//! 7. **No dead intra-repo markdown links** — every relative link in the
+//!    root `*.md` files and `docs/*.md` must resolve to an existing file
+//!    or directory. External (`http…`/`mailto:`) and same-file anchor
+//!    links are exempt; fenced code blocks are skipped.
 //!
 //! Run `cargo xtask lint` for everything, or `cargo xtask lint --no-cargo`
 //! for just the custom lints (fast, no compilation).
@@ -124,6 +130,7 @@ fn lint(no_cargo: bool) -> ExitCode {
     print_lint(&root, &mut findings);
     boxed_buffer_lint(&root, &mut findings);
     must_use_lint(&root, &mut findings);
+    doc_link_lint(&root, &mut findings);
 
     for finding in &findings {
         eprintln!("error: {finding}");
@@ -466,7 +473,13 @@ fn has_must_use_above(raw_lines: &[&str], idx: usize) -> bool {
     false
 }
 
-/// Lint 3: every library crate root must deny missing docs.
+/// Crates whose every `src/` module must open with a `//!` overview —
+/// the sharded simulation core, where a file without a stated design
+/// intent (phases, islands, determinism) is a maintenance hazard.
+const MODULE_DOC_CRATES: [&str; 2] = ["crates/net", "crates/shard"];
+
+/// Lint 3: every library crate root must deny missing docs, and every
+/// module of [`MODULE_DOC_CRATES`] must carry a `//!` overview.
 fn docs_lint(root: &Path, findings: &mut Vec<Finding>) {
     let mut lib_roots: Vec<PathBuf> = Vec::new();
     if let Ok(entries) = fs::read_dir(root.join("crates")) {
@@ -495,6 +508,120 @@ fn docs_lint(root: &Path, findings: &mut Vec<Finding>) {
             });
         }
     }
+
+    for krate in MODULE_DOC_CRATES {
+        for file in rust_files(&root.join(krate).join("src")) {
+            let Ok(source) = fs::read_to_string(&file) else {
+                continue;
+            };
+            if !source.lines().any(|l| l.trim_start().starts_with("//!")) {
+                findings.push(Finding {
+                    path: file,
+                    line: 1,
+                    message: format!(
+                        "modules of {krate} must open with a //! overview \
+                         (what the module is and how it fits the sharded core)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Lint 7: relative markdown links must resolve. Scans the root-level
+/// `*.md` files and everything under `docs/`, skipping fenced code
+/// blocks; a link target is the text between `](` and `)`, minus any
+/// `#fragment` and quoted title, resolved against the file's directory.
+fn doc_link_lint(root: &Path, findings: &mut Vec<Finding>) {
+    for file in markdown_files(root) {
+        let Ok(source) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let dir = file.parent().unwrap_or(root).to_path_buf();
+        let mut in_fence = false;
+        for (idx, line) in source.lines().enumerate() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+                in_fence = !in_fence;
+                continue;
+            }
+            if in_fence {
+                continue;
+            }
+            for target in markdown_link_targets(line) {
+                if target.starts_with("http://")
+                    || target.starts_with("https://")
+                    || target.starts_with("mailto:")
+                    || target.starts_with('#')
+                    || target.is_empty()
+                {
+                    continue;
+                }
+                let path_part = target.split('#').next().unwrap_or("");
+                if path_part.is_empty() {
+                    continue;
+                }
+                if !dir.join(path_part).exists() {
+                    findings.push(Finding {
+                        path: file.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "dead relative link '{target}' — the target does not exist"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The markdown files lint 7 covers: `*.md` at the workspace root plus
+/// everything under `docs/`, recursively, in sorted order.
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    if let Ok(entries) = fs::read_dir(root) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_file() && path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    let mut stack = vec![root.join("docs")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Extracts inline-link targets from one markdown line: the text between
+/// every `](` and its closing `)`, with any ` "title"` suffix dropped.
+fn markdown_link_targets(line: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find("](") {
+        let tail = &rest[open + 2..];
+        let Some(close) = tail.find(')') else {
+            break;
+        };
+        let target = tail[..close].trim();
+        // Drop an optional quoted title: [text](path "title").
+        let target = target.split_whitespace().next().unwrap_or("");
+        targets.push(target.to_owned());
+        rest = &tail[close + 1..];
+    }
+    targets
 }
 
 /// All `.rs` files under `dir`, recursively, in sorted order.
@@ -749,5 +876,22 @@ mod tests {
     fn brace_delta_counts_net_braces() {
         assert_eq!(brace_delta("mod tests {"), 1);
         assert_eq!(brace_delta("} } {"), -1);
+    }
+
+    #[test]
+    fn markdown_link_targets_extracts_paths() {
+        assert_eq!(
+            markdown_link_targets("see [a](docs/A.md) and [b](B.md#sec)"),
+            vec!["docs/A.md".to_owned(), "B.md#sec".to_owned()]
+        );
+        assert_eq!(
+            markdown_link_targets(r#"[t](path.md "a title")"#),
+            vec!["path.md".to_owned()]
+        );
+        assert_eq!(
+            markdown_link_targets("[x](https://example.com) plain ] ( text"),
+            vec!["https://example.com".to_owned()]
+        );
+        assert!(markdown_link_targets("no links here").is_empty());
     }
 }

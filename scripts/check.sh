@@ -9,8 +9,9 @@
 # first failing command (including inside pipelines), and the ERR trap
 # names the gate that failed so CI logs point at the culprit.
 #
-# Usage: scripts/check.sh            # run every gate
-#        scripts/check.sh fault-smoke  # just the fault-injection smoke
+# Usage: scripts/check.sh                 # run every gate
+#        scripts/check.sh fault-smoke     # just the fault-injection smoke
+#        scripts/check.sh parallel-smoke  # just the sharded-stepping smoke
 set -Eeuo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,15 +58,34 @@ fault_smoke() {
     rm -rf "$tmp"
 }
 
+# Satellite gate: the sharded simulation core must be byte-identical to
+# serial stepping. Asserts (1) the 2-thread fingerprint test (metrics,
+# residual state and the full JSONL trace equal the serial run); (2) the
+# parallel_scaling harness's own smoke cross-check through the release
+# binary, exercising the real phase pool.
+parallel_smoke() {
+    gate "parallel-smoke: 2-thread run is byte-identical to serial"
+    cargo test -q -p damq-net --test parallel_equivalence -- two_thread
+
+    gate "parallel-smoke: scaling harness smoke agrees"
+    cargo run -q --release -p damq-bench --bin parallel_scaling -- --smoke \
+        > /dev/null
+}
+
 case "${1:-all}" in
 fault-smoke)
     fault_smoke
     echo "fault-smoke passed"
     exit 0
     ;;
+parallel-smoke)
+    parallel_smoke
+    echo "parallel-smoke passed"
+    exit 0
+    ;;
 all) ;;
 *)
-    echo "usage: scripts/check.sh [fault-smoke]" >&2
+    echo "usage: scripts/check.sh [fault-smoke|parallel-smoke]" >&2
     exit 2
     ;;
 esac
@@ -97,6 +117,8 @@ gate "dispatch smoke: all three dispatch paths agree"
 cargo bench -p damq-bench --bench sim_throughput -- --smoke
 
 fault_smoke
+
+parallel_smoke
 
 gate "rustdoc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
