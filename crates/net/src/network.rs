@@ -1143,7 +1143,11 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                 },
             );
             // Phase B: merge departures in ascending switch order,
-            // replaying the serial departure loop.
+            // replaying the serial departure loop. Misroutes applied so
+            // far in *this stage's* merge — the only mechanism that can
+            // invalidate a phase-A probe (see the invariant at the
+            // receive below).
+            let mut stage_misroutes = 0u64;
             for island in 0..islands {
                 for rec in self.engine.lane_records(island) {
                     let sw = rec.sw;
@@ -1154,6 +1158,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                     let misrouted_here = faults
                         .as_mut()
                         .is_some_and(|f| f.take_misroute(per_stage, stage, sw));
+                    stage_misroutes += u64::from(misrouted_here);
                     let (out, route) = if misrouted_here {
                         let wrong = OutputPort::new((rec.output.index() + 1) % radix);
                         (
@@ -1218,16 +1223,26 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                     match downstream[next_switch].receive(next_port, next_out, rec.packet) {
                         Ok(()) => {}
                         Err(_rejected) => {
-                            // Probed blocking departures only bounce when a
-                            // fault interferes: a misroute (this switch's or
-                            // another's, landing on this port between the
-                            // probe and the merge) can consume the space the
-                            // probe saw. With faults active the blocking
-                            // protocol's lossless guarantee is already
-                            // forfeited, so the collided packet is discarded.
-                            debug_assert!(
-                                !blocking || misrouted_here || faults.is_some(),
-                                "blocking transmit was pre-checked"
+                            // Invariant: a probed blocking departure can only
+                            // bounce after a misroute in this same stage's
+                            // merge. The banyan wiring maps each upstream
+                            // (switch, output) to a *unique* downstream
+                            // (switch, input), and the crossbar grants at
+                            // most one departure per output per cycle, so
+                            // every in-order departure in this merge owns a
+                            // private downstream input whose space its probe
+                            // reserved. Earlier in-order receives therefore
+                            // cannot consume it; only a misroute — which
+                            // flips a packet onto an output it never probed,
+                            // landing on an input port that belongs to
+                            // another departure — can. With misroute faults
+                            // active the blocking protocol's lossless
+                            // guarantee is already forfeited, so the collided
+                            // packet is discarded and tallied below.
+                            assert!(
+                                !blocking || stage_misroutes > 0,
+                                "blocking probe invalidated with no misroute in \
+                                 this stage's merge (stage {stage}, switch {sw})"
                             );
                             if tracing {
                                 self.sink.record(Event::new(
@@ -1243,6 +1258,10 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                             self.ledger.discarded += 1;
                             if misrouted_here {
                                 self.fault_ledger.misrouted += 1;
+                            } else if blocking {
+                                // An in-order departure whose probe a
+                                // misroute invalidated (the invariant above).
+                                self.fault_ledger.probe_invalidated += 1;
                             }
                         }
                     }

@@ -230,16 +230,84 @@ mod tests {
     fn partition_is_contiguous_even_and_exhaustive() {
         for switches in [1usize, 3, 5, 16, 256] {
             for islands in [1usize, 2, 3, 4, 8, 300] {
-                let p = IslandPartition::new(switches, islands);
-                let b = p.bounds();
-                assert_eq!(b[0], 0);
-                assert_eq!(*b.last().expect("nonempty"), switches);
-                let sizes: Vec<usize> = b.windows(2).map(|w| w[1] - w[0]).collect();
-                let min = sizes.iter().min().expect("nonempty");
-                let max = sizes.iter().max().expect("nonempty");
-                assert!(max - min <= 1, "{switches}/{islands}: uneven {sizes:?}");
-                assert!(sizes.iter().all(|&s| s >= 1), "no empty islands");
+                check_partition_invariants(switches, islands);
             }
         }
+    }
+
+    /// The full partition contract, checked for one `(switches, islands)`
+    /// request: bounds cover `0..switches` contiguously, no island is
+    /// empty, sizes differ by at most one, the island count is the
+    /// clamped request, and `island_of` agrees with `bounds`.
+    fn check_partition_invariants(switches: usize, islands: usize) {
+        let p = IslandPartition::new(switches, islands);
+        let b = p.bounds();
+        let effective_switches = switches.max(1);
+        assert_eq!(
+            p.islands(),
+            islands.clamp(1, effective_switches),
+            "{switches}/{islands}: island count is the clamped request"
+        );
+        assert_eq!(b[0], 0);
+        assert_eq!(*b.last().expect("nonempty"), effective_switches);
+        let sizes: Vec<usize> = b.windows(2).map(|w| w[1] - w[0]).collect();
+        let min = sizes.iter().min().expect("nonempty");
+        let max = sizes.iter().max().expect("nonempty");
+        assert!(max - min <= 1, "{switches}/{islands}: uneven {sizes:?}");
+        assert!(
+            sizes.iter().all(|&s| s >= 1),
+            "{switches}/{islands}: empty island in {sizes:?}"
+        );
+        for sw in 0..effective_switches {
+            let island = p.island_of(sw);
+            assert!(
+                (b[island]..b[island + 1]).contains(&sw),
+                "{switches}/{islands}: island_of({sw}) = {island} disagrees with bounds"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_property_random_shapes() {
+        // Seeded property sweep over arbitrary shapes, weighted toward
+        // the degenerate corners the satellite task names: requests with
+        // more islands than switches (clamped, one switch each),
+        // single-switch stages, and tiny stages split many ways.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x0151_A4D5);
+        for _ in 0..500 {
+            let switches = rng.random_range(1..=300usize);
+            let islands = rng.random_range(1..=64usize);
+            check_partition_invariants(switches, islands);
+        }
+        for _ in 0..250 {
+            // threads > switches: always clamps to one island per switch.
+            let switches = rng.random_range(1..=8usize);
+            let islands = switches + rng.random_range(1..=64usize);
+            let p = IslandPartition::new(switches, islands);
+            assert_eq!(p.islands(), switches);
+            assert!(p.bounds().windows(2).all(|w| w[1] - w[0] == 1));
+            check_partition_invariants(switches, islands);
+        }
+        for _ in 0..100 {
+            // Single-switch stages swallow any thread count whole.
+            let islands = rng.random_range(1..=1024usize);
+            let p = IslandPartition::new(1, islands);
+            assert_eq!(p.islands(), 1);
+            assert_eq!(p.bounds(), &[0, 1]);
+        }
+    }
+
+    #[test]
+    fn partition_zero_requests_are_clamped_not_empty() {
+        // `new` clamps a zero-switch stage to one switch and a
+        // zero-island request to one island — an *empty* partition (or
+        // an empty island) can never be constructed.
+        check_partition_invariants(0, 0);
+        check_partition_invariants(0, 7);
+        check_partition_invariants(9, 0);
+        assert_eq!(IslandPartition::new(0, 0).bounds(), &[0, 1]);
+        assert_eq!(IslandPartition::new(5, 0).islands(), 1);
     }
 }

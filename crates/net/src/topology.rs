@@ -391,6 +391,9 @@ impl Clone for RoutePlan {
             next_hops: self.next_hops.clone(),
             outputs: self.outputs.clone(),
             sinks: self.sinks.clone(),
+            // ordering: Relaxed — clone takes a point-in-time snapshot of
+            // a pure statistics counter; no other memory is published
+            // through it, so no acquire/release pairing is needed.
             queries: AtomicU64::new(self.queries.load(Ordering::Relaxed)),
         }
     }
@@ -471,6 +474,11 @@ impl RoutePlan {
         output: OutputPort,
         dest: NodeId,
     ) -> HopRoute {
+        // ordering: Relaxed — a pure event count with no dependent data.
+        // Atomic RMW keeps the total exact under concurrent phase-A
+        // island probes; the pool's phase barrier (mutex + condvar)
+        // orders it before any cross-thread read, so the deterministic
+        // total needs no stronger ordering here.
         self.queries.fetch_add(1, Ordering::Relaxed);
         let per_stage = self.size / self.radix;
         let (next_switch, next_port) =
@@ -494,6 +502,9 @@ impl RoutePlan {
 
     /// How many times [`RoutePlan::departure_route`] has been called.
     pub fn route_queries(&self) -> u64 {
+        // ordering: Relaxed — readers call this between cycles or after a
+        // run, past the pool's phase barrier; the barrier's mutex already
+        // ordered every increment before this load.
         self.queries.load(Ordering::Relaxed)
     }
 

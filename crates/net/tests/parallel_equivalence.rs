@@ -35,6 +35,7 @@ struct Run {
     misrouted: u64,
     link_dropped: u64,
     corrupt_dropped: u64,
+    probe_invalidated: u64,
     trace: String,
 }
 
@@ -67,6 +68,7 @@ fn run(config: NetworkConfig, faults: Option<&FaultPlan>, threads: usize, cycles
         misrouted: ledger.misrouted,
         link_dropped: ledger.link_dropped,
         corrupt_dropped: ledger.corrupt_dropped,
+        probe_invalidated: ledger.probe_invalidated,
         trace: sim
             .into_sink()
             .events()
@@ -188,6 +190,42 @@ fn degenerate_thread_counts_are_valid_partitions() {
         assert_eq!(*sim.island_partition().bounds().last().unwrap(), per_stage);
     }
     assert_threads_agree(config, None, 200, &[per_stage, per_stage * 4], "degenerate");
+}
+
+/// Regression for the PR 6 caveat: under the blocking protocol, a
+/// phase-A probe can be invalidated *only* by a misroute landing on the
+/// probed input port earlier in the same stage's serial merge (the
+/// banyan wiring gives every in-order departure a private downstream
+/// input, so nothing else can consume its reserved space). The merge now
+/// enforces that invariant with a hard assert and tallies each
+/// invalidated probe in `FaultLedger::probe_invalidated`. The seeds are
+/// pinned to a schedule that actually hits the misroute-during-probe
+/// window, so this test fails if either the assert or the tally drifts.
+#[test]
+fn blocking_misroute_probe_invalidation_window() {
+    let plan = FaultPlan::generate(
+        37,
+        &FaultSpec {
+            misroutes: 8,
+            ..FaultSpec::fault_free(2, 4, 4, 16, 4, 300)
+        },
+    );
+    let config = uniform(16, 4)
+        .offered_load(0.9)
+        .flow_control(FlowControl::Blocking);
+    let serial = run(config, Some(&plan), 1, 300);
+    assert_eq!(
+        serial.probe_invalidated, 3,
+        "pinned seed must hit the probe-invalidation window"
+    );
+    assert_eq!(serial.misrouted, 8, "all seeded misroutes fire");
+    assert_threads_agree(config, Some(&plan), 300, &[2, 4], "probe-invalidation");
+
+    // Without misroute faults the blocking protocol never bounces a
+    // probed departure — the strict assert in the merge would fire
+    // otherwise, and the tally must stay zero.
+    let clean = run(config, None, 1, 300);
+    assert_eq!(clean.probe_invalidated, 0);
 }
 
 #[test]

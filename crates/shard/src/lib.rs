@@ -44,6 +44,8 @@
 
 #![deny(missing_docs)]
 
+pub mod model;
+
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -202,12 +204,15 @@ impl PhasePool {
                 let len = bounds[index + 1] - start;
                 // SAFETY: `bounds` was validated ascending and in range,
                 // and each chunk index is claimed by exactly one thread
-                // (round-robin by `tid`), so this chunk and lane do not
-                // overlap any other thread's. The caller blocks at the
+                // (round-robin by `tid`), so this chunk does not overlap
+                // any other thread's slice. The caller blocks at the
                 // phase barrier before the borrows behind the raw
                 // pointers expire.
                 let chunk =
                     unsafe { std::slice::from_raw_parts_mut(items_ptr.get().add(start), len) };
+                // SAFETY: `lanes` has one element per chunk and `index <
+                // chunks`; the same round-robin claim makes this lane
+                // exclusive to this thread until the phase barrier.
                 let lane = unsafe { &mut *lanes_ptr.get().add(index) };
                 f(index, start, chunk, lane, ctx);
                 index += threads;
@@ -319,6 +324,9 @@ impl<T> Copy for SendPtr<T> {}
 // pool's chunk assignment guarantees exclusivity, and its barrier
 // guarantees the pointee outlives every access.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr<T>` across threads only exposes the pointer
+// *value* (`get` copies it, never dereferences); every dereference site
+// is separately justified by the chunk-exclusivity argument above.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 #[cfg(test)]

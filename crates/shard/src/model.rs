@@ -1,0 +1,507 @@
+//! A loom-lite schedule-exploring model checker for the phase pool.
+//!
+//! The `// SAFETY:` comments in this crate assert protocol claims —
+//! *jobs never outlive their submitter*, *barrier epochs never skip or
+//! double-fire*, *phase-A chunk slices are disjoint*, *panics propagate
+//! exactly once* — that the fingerprint test suite can only falsify if
+//! the OS scheduler happens to exhibit the bad interleaving. This module
+//! machine-checks them instead: it rebuilds the pool's mutex/condvar
+//! protocol as a small-step state machine (one step per critical
+//! section) and exhaustively enumerates every thread interleaving of a
+//! miniature pool, checking ghost-state invariants on each transition.
+//!
+//! The abstraction is the standard one for mutex-based protocols:
+//!
+//! * every critical section of `run_erased` / `worker_loop` becomes one
+//!   atomic step, since the pool mutex serializes them anyway;
+//! * a condvar wait is modeled as *blocked until the predicate holds* —
+//!   with notification under the same lock and a recheck loop, wake
+//!   order and spurious wakeups add no behaviors beyond the choice of
+//!   which runnable thread steps next, which the explorer enumerates;
+//! * the phase closure's memory accesses are replaced by ghost state: a
+//!   generation tag on the published job (dangling-pointer detection)
+//!   and a claim table over chunks (disjointness detection).
+//!
+//! Exploration is a memoized depth-first search over the state graph —
+//! every distinct reachable state is expanded once, so termination is
+//! structural, not bounded by a step budget. [`Violation`]s surface
+//! protocol bugs; [`Mutation`]s reintroduce two historical near-misses
+//! (dropping the barrier wait, forgetting the epoch increment) to prove
+//! the checker actually fails on broken protocols.
+
+use std::collections::BTreeSet;
+
+/// Shape of the miniature pool to explore: thread count, phase count,
+/// chunk count, an optional injected panic, and an optional protocol
+/// mutation.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Worker threads (excluding the submitter, which runs lane 0).
+    pub workers: usize,
+    /// Phases the submitter runs back to back.
+    pub phases: u64,
+    /// Chunks per phase, claimed round-robin by `tid` stride.
+    pub chunks: usize,
+    /// Inject a panic: worker index (0-based) and the chunk at which its
+    /// phase closure panics. The run must propagate it exactly once.
+    pub panic_at: Option<(usize, usize)>,
+    /// Protocol mutation under test, if any.
+    pub mutation: Option<Mutation>,
+}
+
+impl ModelConfig {
+    /// A well-formed miniature pool: `workers` workers, `phases` phases,
+    /// `chunks` chunks, no panic, no mutation.
+    pub fn new(workers: usize, phases: u64, chunks: usize) -> Self {
+        ModelConfig {
+            workers,
+            phases,
+            chunks,
+            panic_at: None,
+            mutation: None,
+        }
+    }
+}
+
+/// A seeded protocol bug. Each mutation re-creates a plausible
+/// mis-implementation of `run_erased`; the checker must return a
+/// [`Violation`] for every one of them, otherwise it has no teeth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The submitter does not wait for `remaining == 0` before tearing
+    /// the job down and moving on — the barrier that makes the
+    /// lifetime-erasing `transmute` sound is gone.
+    DropBarrierWait,
+    /// The submitter forgets `epoch += 1` on every phase after the
+    /// first, so workers (who run each epoch once) never pick the next
+    /// phase up.
+    SkipEpochIncrement,
+}
+
+/// A checked claim that some interleaving falsified, with the schedule
+/// position it was detected at folded into the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A worker dereferenced the job after the submitter invalidated it
+    /// (the backing closure may be gone: use after free).
+    JobOutlivedSubmitter {
+        /// Worker that touched the dead job (0-based).
+        worker: usize,
+        /// Generation the worker was still executing.
+        generation: u64,
+    },
+    /// A worker observed an epoch that is not exactly its last epoch
+    /// plus one — a phase was skipped or run twice.
+    EpochSkippedOrRepeated {
+        /// Worker that observed the bad epoch (0-based).
+        worker: usize,
+        /// Epoch the worker had last completed.
+        seen: u64,
+        /// Epoch it observed next.
+        observed: u64,
+    },
+    /// More completion signals arrived than workers exist — the barrier
+    /// double-fired.
+    BarrierDoubleFire,
+    /// Two threads claimed the same chunk in one phase.
+    OverlappingChunks {
+        /// The doubly-claimed chunk index.
+        chunk: usize,
+    },
+    /// A phase ended with unclaimed chunks.
+    UnclaimedChunk {
+        /// The never-claimed chunk index.
+        chunk: usize,
+    },
+    /// An injected panic propagated `count` times instead of once.
+    PanicPropagation {
+        /// How many times the panic reached the submitter.
+        count: u32,
+    },
+    /// No thread can step but the run has not finished.
+    Deadlock {
+        /// Phase the submitter was on when the schedule wedged.
+        phase: u64,
+    },
+}
+
+/// What an exhaustive exploration visited, when no claim was falsified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exploration {
+    /// Distinct reachable states expanded.
+    pub states: usize,
+    /// Transitions (thread steps) taken across all of them.
+    pub transitions: usize,
+    /// Terminal states reached (complete schedules, post-memoization).
+    pub terminals: usize,
+}
+
+/// Submitter program counter, mirroring `run_erased` + `Drop`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum SubmitterPc {
+    /// About to publish phase `p`: `epoch += 1`, set job, reset barrier.
+    Publish(u64),
+    /// Running lane 0 of phase `p`: claiming chunks with stride.
+    RunLane0(u64, usize),
+    /// Blocked on the `done` condvar until `remaining == 0`, then tears
+    /// the phase down.
+    AwaitBarrier(u64),
+    /// Setting `shutdown` and notifying workers (the `Drop` impl).
+    Teardown,
+    /// Joined; nothing left to do.
+    Finished,
+}
+
+/// One worker's program counter, mirroring `worker_loop`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum WorkerPc {
+    /// Parked on the `work` condvar: runnable when shutdown is set or a
+    /// fresh-epoch job is published.
+    Idle,
+    /// Executing the phase closure: claiming chunk `.0` next.
+    Exec(usize),
+    /// About to take the completion critical section (`remaining -= 1`),
+    /// carrying whether the closure panicked.
+    Complete(bool),
+    /// Saw shutdown and returned.
+    Exited,
+}
+
+/// One worker's model state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Worker {
+    pc: WorkerPc,
+    /// Last epoch this worker completed (the `seen_epoch` local).
+    seen_epoch: u64,
+    /// Generation of the job this worker is executing.
+    generation: u64,
+}
+
+/// The full model state: shared pool state, ghost state, every thread's
+/// program counter. `Ord` is derived so visited-set memoization can use
+/// a `BTreeSet` (deterministic iteration, per workspace lint 9).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct State {
+    // Shared pool state (everything `PoolState` holds, under the mutex).
+    epoch: u64,
+    job: Option<u64>,
+    remaining: usize,
+    panicked: bool,
+    shutdown: bool,
+    // Ghost state.
+    /// Generation whose backing closure is still alive on the
+    /// submitter's stack; `None` once torn down.
+    alive_generation: Option<u64>,
+    /// Which thread (worker index + 1, or 0 for the submitter) claimed
+    /// each chunk this phase.
+    chunk_owner: Vec<Option<usize>>,
+    /// Times the injected panic reached the submitter.
+    panics_propagated: u32,
+    // Threads.
+    submitter: SubmitterPc,
+    workers: Vec<Worker>,
+}
+
+impl State {
+    fn initial(config: &ModelConfig) -> State {
+        State {
+            epoch: 0,
+            job: None,
+            remaining: 0,
+            panicked: false,
+            shutdown: false,
+            alive_generation: None,
+            chunk_owner: vec![None; config.chunks],
+            panics_propagated: 0,
+            submitter: SubmitterPc::Publish(0),
+            workers: vec![
+                Worker {
+                    pc: WorkerPc::Idle,
+                    seen_epoch: 0,
+                    generation: 0,
+                };
+                config.workers
+            ],
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.submitter == SubmitterPc::Finished
+            && self.workers.iter().all(|w| w.pc == WorkerPc::Exited)
+    }
+
+    /// Whether the submitter can take its next step.
+    fn submitter_runnable(&self, config: &ModelConfig) -> bool {
+        match self.submitter {
+            SubmitterPc::AwaitBarrier(_) => {
+                self.remaining == 0 || config.mutation == Some(Mutation::DropBarrierWait)
+            }
+            SubmitterPc::Finished => false,
+            _ => true,
+        }
+    }
+
+    /// Whether worker `i` can take its next step. An idle worker parked
+    /// on the condvar is runnable exactly when its wake predicate holds.
+    fn worker_runnable(&self, i: usize) -> bool {
+        match self.workers[i].pc {
+            WorkerPc::Idle => {
+                self.shutdown || (self.job.is_some() && self.epoch != self.workers[i].seen_epoch)
+            }
+            WorkerPc::Exited => false,
+            _ => true,
+        }
+    }
+
+    /// Advances the submitter by one atomic step.
+    fn step_submitter(&mut self, config: &ModelConfig) -> Result<(), Violation> {
+        let stride = config.workers + 1;
+        match self.submitter {
+            SubmitterPc::Publish(p) => {
+                // `run_erased`'s publish critical section.
+                let skip = config.mutation == Some(Mutation::SkipEpochIncrement) && p > 0;
+                if !skip {
+                    self.epoch += 1;
+                }
+                self.job = Some(self.epoch);
+                self.alive_generation = Some(self.epoch);
+                self.remaining = config.workers;
+                self.chunk_owner = vec![None; config.chunks];
+                self.submitter = SubmitterPc::RunLane0(p, 0);
+                Ok(())
+            }
+            SubmitterPc::RunLane0(p, chunk) => {
+                // Lane 0 claims chunks 0, stride, 2*stride, … — one claim
+                // per step so claims interleave with the workers'.
+                if chunk < config.chunks {
+                    claim(&mut self.chunk_owner, chunk, 0)?;
+                    self.submitter = SubmitterPc::RunLane0(p, chunk + stride);
+                } else {
+                    self.submitter = SubmitterPc::AwaitBarrier(p);
+                }
+                Ok(())
+            }
+            SubmitterPc::AwaitBarrier(p) => {
+                // Barrier passed (or mutated away): tear the phase down.
+                self.job = None;
+                self.alive_generation = None;
+                let worker_panicked = std::mem::replace(&mut self.panicked, false);
+                if worker_panicked {
+                    // `run_erased` asserts and unwinds: the panic reaches
+                    // the caller now, and no further phase runs.
+                    self.panics_propagated += 1;
+                    if self.panics_propagated > 1 {
+                        return Err(Violation::PanicPropagation {
+                            count: self.panics_propagated,
+                        });
+                    }
+                    self.submitter = SubmitterPc::Teardown;
+                    return Ok(());
+                }
+                for (c, owner) in self.chunk_owner.iter().enumerate() {
+                    if owner.is_none() {
+                        return Err(Violation::UnclaimedChunk { chunk: c });
+                    }
+                }
+                self.submitter = if p + 1 < config.phases {
+                    SubmitterPc::Publish(p + 1)
+                } else {
+                    SubmitterPc::Teardown
+                };
+                Ok(())
+            }
+            SubmitterPc::Teardown => {
+                self.shutdown = true;
+                self.submitter = SubmitterPc::Finished;
+                Ok(())
+            }
+            SubmitterPc::Finished => Ok(()),
+        }
+    }
+
+    /// Advances worker `i` by one atomic step.
+    fn step_worker(&mut self, i: usize, config: &ModelConfig) -> Result<(), Violation> {
+        let tid = i + 1;
+        let stride = config.workers + 1;
+        match self.workers[i].pc {
+            WorkerPc::Idle => {
+                // `worker_loop`'s wake critical section.
+                if self.shutdown {
+                    self.workers[i].pc = WorkerPc::Exited;
+                    return Ok(());
+                }
+                let generation = self.job.expect("runnable idle worker has a job");
+                let seen = self.workers[i].seen_epoch;
+                if self.epoch != seen + 1 {
+                    return Err(Violation::EpochSkippedOrRepeated {
+                        worker: i,
+                        seen,
+                        observed: self.epoch,
+                    });
+                }
+                self.workers[i].seen_epoch = self.epoch;
+                self.workers[i].generation = generation;
+                self.workers[i].pc = WorkerPc::Exec(tid);
+                Ok(())
+            }
+            WorkerPc::Exec(chunk) => {
+                // Outside the lock: the closure dereferences the erased
+                // job pointer — ghost-check it is still alive.
+                if self.alive_generation != Some(self.workers[i].generation) {
+                    return Err(Violation::JobOutlivedSubmitter {
+                        worker: i,
+                        generation: self.workers[i].generation,
+                    });
+                }
+                if chunk < config.chunks {
+                    if config.panic_at == Some((i, chunk)) {
+                        self.workers[i].pc = WorkerPc::Complete(true);
+                        return Ok(());
+                    }
+                    claim(&mut self.chunk_owner, chunk, tid)?;
+                    self.workers[i].pc = WorkerPc::Exec(chunk + stride);
+                } else {
+                    self.workers[i].pc = WorkerPc::Complete(false);
+                }
+                Ok(())
+            }
+            WorkerPc::Complete(did_panic) => {
+                // `worker_loop`'s completion critical section.
+                if did_panic {
+                    self.panicked = true;
+                }
+                if self.remaining == 0 {
+                    return Err(Violation::BarrierDoubleFire);
+                }
+                self.remaining -= 1;
+                self.workers[i].pc = WorkerPc::Idle;
+                Ok(())
+            }
+            WorkerPc::Exited => Ok(()),
+        }
+    }
+}
+
+/// Records a chunk claim, failing on overlap.
+fn claim(owners: &mut [Option<usize>], chunk: usize, tid: usize) -> Result<(), Violation> {
+    if owners[chunk].is_some() {
+        return Err(Violation::OverlappingChunks { chunk });
+    }
+    owners[chunk] = Some(tid);
+    Ok(())
+}
+
+/// Exhaustively explores every interleaving of the miniature pool
+/// described by `config`, checking all four protocol claims on every
+/// transition. Returns the exploration size, or the first [`Violation`]
+/// any schedule exhibits.
+pub fn explore(config: &ModelConfig) -> Result<Exploration, Violation> {
+    let initial = State::initial(config);
+    let mut visited: BTreeSet<State> = BTreeSet::new();
+    let mut stack: Vec<State> = vec![initial];
+    let mut transitions = 0usize;
+    let mut terminals = 0usize;
+
+    while let Some(state) = stack.pop() {
+        if !visited.insert(state.clone()) {
+            continue;
+        }
+        if state.finished() {
+            terminals += 1;
+            if config.panic_at.is_some() {
+                let expected = u32::from(config.mutation.is_none());
+                if state.panics_propagated != expected {
+                    return Err(Violation::PanicPropagation {
+                        count: state.panics_propagated,
+                    });
+                }
+            }
+            continue;
+        }
+
+        let mut stepped = false;
+        if state.submitter_runnable(config) {
+            stepped = true;
+            transitions += 1;
+            let mut next = state.clone();
+            next.step_submitter(config)?;
+            stack.push(next);
+        }
+        for i in 0..config.workers {
+            if state.worker_runnable(i) {
+                stepped = true;
+                transitions += 1;
+                let mut next = state.clone();
+                next.step_worker(i, config)?;
+                stack.push(next);
+            }
+        }
+        if !stepped {
+            let phase = match state.submitter {
+                SubmitterPc::Publish(p)
+                | SubmitterPc::RunLane0(p, _)
+                | SubmitterPc::AwaitBarrier(p) => p,
+                _ => config.phases,
+            };
+            return Err(Violation::Deadlock { phase });
+        }
+    }
+
+    Ok(Exploration {
+        states: visited.len(),
+        transitions,
+        terminals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_workers_two_phases_explore_clean() {
+        let report = explore(&ModelConfig::new(2, 2, 5)).expect("protocol is sound");
+        assert!(report.states > 100, "exploration is nontrivial: {report:?}");
+        assert!(report.terminals >= 1);
+    }
+
+    #[test]
+    fn single_worker_many_phases_explore_clean() {
+        explore(&ModelConfig::new(1, 3, 4)).expect("protocol is sound");
+    }
+
+    #[test]
+    fn dropped_barrier_wait_is_caught() {
+        let mut config = ModelConfig::new(2, 2, 4);
+        config.mutation = Some(Mutation::DropBarrierWait);
+        let violation = explore(&config).expect_err("mutation must be caught");
+        assert!(
+            matches!(
+                violation,
+                Violation::JobOutlivedSubmitter { .. }
+                    | Violation::EpochSkippedOrRepeated { .. }
+                    | Violation::OverlappingChunks { .. }
+                    | Violation::UnclaimedChunk { .. }
+            ),
+            "unexpected violation: {violation:?}"
+        );
+    }
+
+    #[test]
+    fn skipped_epoch_increment_is_caught() {
+        let mut config = ModelConfig::new(2, 2, 4);
+        config.mutation = Some(Mutation::SkipEpochIncrement);
+        let violation = explore(&config).expect_err("mutation must be caught");
+        assert!(
+            matches!(violation, Violation::Deadlock { .. }),
+            "workers never wake for the unincremented epoch: {violation:?}"
+        );
+    }
+
+    #[test]
+    fn injected_panic_propagates_exactly_once() {
+        let mut config = ModelConfig::new(2, 2, 4);
+        config.panic_at = Some((1, 2));
+        explore(&config).expect("panic must propagate exactly once");
+    }
+}

@@ -1,0 +1,723 @@
+//! The nine workspace lints, implemented over the structural scanner.
+//!
+//! Lints 1–7 are the historical regex-era lints migrated onto token
+//! sequences and the brace tree (same semantics, fewer loopholes —
+//! `Box < dyn SwitchBuffer >` and friends no longer slip through
+//! whitespace). Lints 8 and 9 are new:
+//!
+//! 8. **unsafe-audit** — every `unsafe` block/impl/fn/trait carries a
+//!    `// SAFETY:` justification; every workspace crate except
+//!    `damq-shard` declares `#![forbid(unsafe_code)]`; every atomic
+//!    `Ordering::…` choice on the simulation path carries an
+//!    `// ordering:` justification; and the generated
+//!    `docs/UNSAFE_LEDGER.md` inventory is current.
+//! 9. **determinism** — the simulation-path crates (core, switch, net,
+//!    shard, telemetry) must not use `HashMap`/`HashSet` (iteration
+//!    order is nondeterministic), `Instant`/`SystemTime` (wall-clock),
+//!    or thread identity (`thread::current`, `ThreadId`); waivers carry
+//!    `// lint: allow — why`.
+//!
+//! Every lint takes the parsed [`Workspace`] and appends [`Finding`]s;
+//! the driver times each entry of [`ALL`] so scan-speed regressions are
+//! visible run to run.
+
+use std::fs;
+use std::path::PathBuf;
+
+use super::ledger;
+use super::lexer::Token;
+use super::tree;
+use super::{Finding, SourceFile, Workspace};
+
+/// The comment marker that waives a lint for one site.
+pub const ALLOW_MARKER: &str = "lint: allow";
+
+/// The comment marker lint 8 requires on every `unsafe` site.
+pub const SAFETY_MARKER: &str = "SAFETY:";
+
+/// The comment marker lint 8 requires on every atomic-ordering site.
+pub const ORDERING_MARKER: &str = "ordering:";
+
+/// Crates whose `src/` must be panic-free (the simulator data path).
+const PANIC_FREE_CRATES: [&str; 2] = ["crates/core/src/", "crates/net/src/"];
+
+/// Crates whose `src/` must stay monomorphized (the per-cycle hot path).
+const MONOMORPHIC_CRATES: [&str; 2] = ["crates/switch/src/", "crates/net/src/"];
+
+/// Crates whose consuming-builder methods must carry `#[must_use]`.
+const MUST_USE_CRATES: [&str; 2] = ["crates/core/src/", "crates/net/src/"];
+
+/// Crates whose every `src/` module must open with a `//!` overview.
+const MODULE_DOC_CRATES: [&str; 2] = ["crates/net/src/", "crates/shard/src/"];
+
+/// The simulation-path crates lints 8 (orderings) and 9 (determinism)
+/// guard: everything a deterministic run's bytes flow through.
+pub const SIM_PATH_CRATES: [&str; 5] = [
+    "crates/core/src/",
+    "crates/switch/src/",
+    "crates/net/src/",
+    "crates/shard/src/",
+    "crates/telemetry/src/",
+];
+
+/// The one crate allowed to contain `unsafe` (the phase pool).
+pub const UNSAFE_CRATE_DIR: &str = "crates/shard";
+
+/// A lint pass: appends findings for one structural rule.
+pub type LintFn = fn(&Workspace, &mut Vec<Finding>);
+
+/// The nine lints, in order, with their display names. The driver times
+/// each entry individually.
+pub const ALL: [(&str, LintFn); 9] = [
+    ("1 no-panic", no_panic),
+    ("2 no-unseeded-rng", no_unseeded_rng),
+    ("3 docs-mandatory", docs_mandatory),
+    ("4 no-print", no_print),
+    ("5 no-boxed-buffer", no_boxed_buffer),
+    ("6 must-use-builders", must_use_builders),
+    ("7 doc-links", doc_links),
+    ("8 unsafe-audit", unsafe_audit),
+    ("9 determinism", determinism),
+];
+
+fn finding(file: &SourceFile, line: usize, message: String) -> Finding {
+    Finding {
+        path: file.path.clone(),
+        line,
+        message,
+    }
+}
+
+/// Whether a site at `line` in non-test code lacks an allow waiver.
+fn unwaived(file: &SourceFile, line: usize) -> bool {
+    !file.in_test_code(line) && !file.comment_marker_at(line, ALLOW_MARKER)
+}
+
+/// Lint 1: panic-family calls in non-test simulator library code —
+/// `.unwrap(`, `.expect(`, and the `panic!`/`unreachable!`/`todo!`/
+/// `unimplemented!` macros.
+fn no_panic(ws: &Workspace, findings: &mut Vec<Finding>) {
+    const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+    const METHODS: [&str; 2] = ["unwrap", "expect"];
+    for prefix in PANIC_FREE_CRATES {
+        for file in ws.files_under(prefix) {
+            for (i, tok) in file.code.iter().enumerate() {
+                let hit = if METHODS.iter().any(|m| tok.is_ident(m)) {
+                    i > 0
+                        && file.code[i - 1].is_punct('.')
+                        && file.code.get(i + 1).is_some_and(|t| t.is_punct('('))
+                } else if MACROS.iter().any(|m| tok.is_ident(m)) {
+                    file.code.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                } else {
+                    false
+                };
+                if hit && unwaived(file, tok.line) {
+                    findings.push(finding(
+                        file,
+                        tok.line,
+                        format!(
+                            "'{}' in simulator library code — propagate a Result or \
+                             justify with a '// {ALLOW_MARKER} — why' comment",
+                            tok.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Lint 2: unseeded entropy sources outside the RNG crate —
+/// `from_entropy`, `thread_rng`, `rand::random`. Applies to test code
+/// too: experiments and their tests must both be reproducible.
+fn no_unseeded_rng(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for file in &ws.files {
+        if file.rel.starts_with("crates/rng/") {
+            continue;
+        }
+        for (i, tok) in file.code.iter().enumerate() {
+            let hit = tok.is_ident("from_entropy")
+                || tok.is_ident("thread_rng")
+                || (tok.is_ident("rand")
+                    && file.code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && file.code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && file.code.get(i + 3).is_some_and(|t| t.is_ident("random")));
+            if hit && !file.comment_marker_at(tok.line, ALLOW_MARKER) {
+                findings.push(finding(
+                    file,
+                    tok.line,
+                    format!(
+                        "'{}' outside crates/rng — all randomness must be seeded \
+                         for reproducible experiments",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Whether `code` contains the inner attribute `#![name(arg)]`.
+fn has_inner_attr(code: &[Token], name: &str, arg: &str) -> bool {
+    code.windows(7).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident(name)
+            && w[4].is_punct('(')
+            && w[5].is_ident(arg)
+            && w[6].is_punct(')')
+    })
+}
+
+/// Lint 3: every library crate root carries `#![deny(missing_docs)]`,
+/// and every module of the sharded simulation core opens with a `//!`
+/// overview.
+fn docs_mandatory(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for (dir, _name) in &ws.crates {
+        let rel = if dir == "." {
+            "src/lib.rs".to_owned()
+        } else {
+            format!("{dir}/src/lib.rs")
+        };
+        let Some(file) = ws.file(&rel) else {
+            continue; // binary-only crate (xtask)
+        };
+        if !has_inner_attr(&file.code, "deny", "missing_docs") {
+            findings.push(finding(
+                file,
+                1,
+                "crate root must carry #![deny(missing_docs)]".into(),
+            ));
+        }
+    }
+    for prefix in MODULE_DOC_CRATES {
+        for file in ws.files_under(prefix) {
+            if !file.tokens.iter().any(|t| t.is_inner_doc()) {
+                findings.push(finding(
+                    file,
+                    1,
+                    format!(
+                        "modules under {prefix} must open with a //! overview \
+                         (what the module is and how it fits the sharded core)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Lint 4: no `println!`/`eprintln!` in library code. Harness binaries
+/// (`src/bin/`), `benches/`, `tests/` and `crates/xtask` own their
+/// output and are exempt.
+fn no_print(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for file in ws.files_under("crates/") {
+        if file.rel.starts_with("crates/xtask/")
+            || !file.rel.contains("/src/")
+            || file.rel.contains("/bin/")
+        {
+            continue;
+        }
+        for (i, tok) in file.code.iter().enumerate() {
+            let hit = (tok.is_ident("println") || tok.is_ident("eprintln"))
+                && file.code.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if hit && unwaived(file, tok.line) {
+                findings.push(finding(
+                    file,
+                    tok.line,
+                    format!(
+                        "'{}!' in library code — return data or use the telemetry \
+                         layer; binaries own stdout/stderr, or justify with a \
+                         '// {ALLOW_MARKER} — why' comment",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Lint 5: no `Box<dyn SwitchBuffer>` on the simulation data path. The
+/// token-sequence match is whitespace-immune (the regex era needed two
+/// spellings).
+fn no_boxed_buffer(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for prefix in MONOMORPHIC_CRATES {
+        for file in ws.files_under(prefix) {
+            for (i, tok) in file.code.iter().enumerate() {
+                let hit = tok.is_ident("Box")
+                    && file.code.get(i + 1).is_some_and(|t| t.is_punct('<'))
+                    && file.code.get(i + 2).is_some_and(|t| t.is_ident("dyn"))
+                    && file
+                        .code
+                        .get(i + 3)
+                        .is_some_and(|t| t.is_ident("SwitchBuffer"));
+                if hit && unwaived(file, tok.line) {
+                    findings.push(finding(
+                        file,
+                        tok.line,
+                        format!(
+                            "'Box<dyn SwitchBuffer>' on the simulation data path — use \
+                             the generic parameter `B: SwitchBuffer` (enum-dispatched \
+                             `AnyBuffer` for kind-selected configs), or justify with a \
+                             '// {ALLOW_MARKER} — why' comment"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Lint 6: consuming-builder methods must be `#[must_use]`. Signatures
+/// are extracted structurally (multi-line signatures, generics with
+/// `Fn(..) -> ..` bounds, and `pub(crate)` visibility all parse).
+fn must_use_builders(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for prefix in MUST_USE_CRATES {
+        for file in ws.files_under(prefix) {
+            for sig in tree::fn_signatures(&file.code) {
+                if !(sig.consumes_self && sig.returns_self) {
+                    continue;
+                }
+                if file.in_test_code(sig.line)
+                    || file.comment_marker_at(sig.line, "#[must_use")
+                    || file.comment_marker_at(sig.line, ALLOW_MARKER)
+                {
+                    continue;
+                }
+                findings.push(finding(
+                    file,
+                    sig.line,
+                    format!(
+                        "consuming builder method without #[must_use] — dropping the \
+                         return value discards the configuration; add #[must_use] or \
+                         justify with a '// {ALLOW_MARKER} — why' comment"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Lint 7: relative markdown links must resolve. Scans the root-level
+/// `*.md` files and everything under `docs/`, skipping fenced code
+/// blocks; a link target is the text between `](` and `)`, minus any
+/// `#fragment` and quoted title, resolved against the file's directory.
+fn doc_links(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for file in markdown_files(ws) {
+        let Ok(source) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let dir = file.parent().unwrap_or(&ws.root).to_path_buf();
+        let mut in_fence = false;
+        for (idx, line) in source.lines().enumerate() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+                in_fence = !in_fence;
+                continue;
+            }
+            if in_fence {
+                continue;
+            }
+            for target in markdown_link_targets(line) {
+                if target.starts_with("http://")
+                    || target.starts_with("https://")
+                    || target.starts_with("mailto:")
+                    || target.starts_with('#')
+                    || target.is_empty()
+                {
+                    continue;
+                }
+                let path_part = target.split('#').next().unwrap_or("");
+                if path_part.is_empty() {
+                    continue;
+                }
+                if !dir.join(path_part).exists() {
+                    findings.push(Finding {
+                        path: file.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "dead relative link '{target}' — the target does not exist"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The markdown files lint 7 covers: `*.md` at the workspace root plus
+/// everything under `docs/`, recursively, in sorted order.
+fn markdown_files(ws: &Workspace) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    if let Ok(entries) = fs::read_dir(&ws.root) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_file() && path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    let mut stack = vec![ws.root.join("docs")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Extracts inline-link targets from one markdown line: the text between
+/// every `](` and its closing `)`, with any ` "title"` suffix dropped.
+fn markdown_link_targets(line: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find("](") {
+        let tail = &rest[open + 2..];
+        let Some(close) = tail.find(')') else {
+            break;
+        };
+        let target = tail[..close].trim();
+        // Drop an optional quoted title: [text](path "title").
+        let target = target.split_whitespace().next().unwrap_or("");
+        targets.push(target.to_owned());
+        rest = &tail[close + 1..];
+    }
+    targets
+}
+
+/// The atomic-ordering variant names (`std::sync::atomic::Ordering`).
+/// `std::cmp::Ordering`'s `Less`/`Equal`/`Greater` never match, so sort
+/// code is untouched.
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Every `Ordering::<variant>` site in `file`, as `(line, variant)`.
+pub fn atomic_ordering_sites(file: &SourceFile) -> Vec<(usize, &'static str)> {
+    let mut sites = Vec::new();
+    for (i, tok) in file.code.iter().enumerate() {
+        if !tok.is_ident("Ordering") {
+            continue;
+        }
+        let path_sep = file.code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && file.code.get(i + 2).is_some_and(|t| t.is_punct(':'));
+        if !path_sep {
+            continue;
+        }
+        if let Some(next) = file.code.get(i + 3) {
+            if let Some(variant) = ATOMIC_ORDERINGS.iter().find(|v| next.is_ident(v)) {
+                sites.push((tok.line, *variant));
+            }
+        }
+    }
+    sites
+}
+
+/// Lint 8: the unsafe audit.
+///
+/// * Every `unsafe` block / `unsafe impl` / `unsafe fn` / `unsafe trait`
+///   anywhere in the workspace carries a `// SAFETY:` justification on
+///   the same line or in the contiguous comment block directly above.
+/// * Every workspace crate root except `damq-shard`'s declares
+///   `#![forbid(unsafe_code)]` — the compiler, not the lint, then
+///   guarantees the inventory below cannot silently grow.
+/// * Every atomic `Ordering::…` use in the simulation-path crates
+///   carries an `// ordering:` justification (Relaxed vs Acquire/Release
+///   is an invariant-bearing choice; see `docs/UNSAFE_LEDGER.md`).
+/// * The committed `docs/UNSAFE_LEDGER.md` equals the freshly generated
+///   inventory — run `cargo xtask unsafe-ledger` after any change.
+fn unsafe_audit(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for file in &ws.files {
+        for site in tree::unsafe_sites(&file.code) {
+            if !file.comment_marker_at(site.line, SAFETY_MARKER) {
+                findings.push(finding(
+                    file,
+                    site.line,
+                    format!(
+                        "{} without a '// {SAFETY_MARKER} …' justification on the \
+                         same line or directly above (`{}`)",
+                        site.kind.label(),
+                        site.summary
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (dir, name) in &ws.crates {
+        if dir == UNSAFE_CRATE_DIR {
+            continue;
+        }
+        let src = if dir == "." {
+            "src".to_owned()
+        } else {
+            format!("{dir}/src")
+        };
+        let root_file = [format!("{src}/lib.rs"), format!("{src}/main.rs")]
+            .into_iter()
+            .find_map(|rel| ws.file(&rel));
+        let Some(file) = root_file else {
+            continue;
+        };
+        if !has_inner_attr(&file.code, "forbid", "unsafe_code") {
+            findings.push(finding(
+                file,
+                1,
+                format!(
+                    "crate root of `{name}` must carry #![forbid(unsafe_code)] — \
+                     only crates/shard (the phase pool) may contain unsafe"
+                ),
+            ));
+        }
+    }
+
+    for prefix in SIM_PATH_CRATES {
+        for file in ws.files_under(prefix) {
+            for (line, variant) in atomic_ordering_sites(file) {
+                if !file.comment_marker_at(line, ORDERING_MARKER) {
+                    findings.push(finding(
+                        file,
+                        line,
+                        format!(
+                            "atomic Ordering::{variant} without a \
+                             '// {ORDERING_MARKER} …' justification — say why this \
+                             ordering is strong enough (see docs/UNSAFE_LEDGER.md)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    let expected = ledger::generate(ws);
+    let ledger_path = ws.root.join(ledger::LEDGER_REL);
+    match fs::read_to_string(&ledger_path) {
+        Ok(actual) if actual == expected => {}
+        Ok(_) => findings.push(Finding {
+            path: ledger_path,
+            line: 1,
+            message: "stale unsafe ledger — regenerate with `cargo xtask unsafe-ledger`".into(),
+        }),
+        Err(_) => findings.push(Finding {
+            path: ledger_path,
+            line: 0,
+            message: "missing unsafe ledger — generate with `cargo xtask unsafe-ledger`".into(),
+        }),
+    }
+}
+
+/// Lint 9: determinism on the simulation path. Serial and N-thread runs
+/// must be byte-identical, so the crates the simulation's bytes flow
+/// through must not consult nondeterministic sources: hash-order
+/// iteration (`HashMap`/`HashSet` — use `BTreeMap`/`BTreeSet` or index
+/// vectors), wall-clock time (`Instant`/`SystemTime`), or thread
+/// identity (`thread::current`, `ThreadId`). Justified exceptions carry
+/// `// lint: allow — why` (e.g. the telemetry profiler, which measures
+/// the harness, never simulation state).
+fn determinism(ws: &Workspace, findings: &mut Vec<Finding>) {
+    const BANNED_IDENTS: [(&str, &str); 5] = [
+        (
+            "HashMap",
+            "hash iteration order is nondeterministic — use BTreeMap or an index vector",
+        ),
+        (
+            "HashSet",
+            "hash iteration order is nondeterministic — use BTreeSet or a sorted Vec",
+        ),
+        (
+            "Instant",
+            "wall-clock time must not influence simulation state",
+        ),
+        (
+            "SystemTime",
+            "wall-clock time must not influence simulation state",
+        ),
+        (
+            "ThreadId",
+            "thread identity must not influence simulation state",
+        ),
+    ];
+    for prefix in SIM_PATH_CRATES {
+        for file in ws.files_under(prefix) {
+            for (i, tok) in file.code.iter().enumerate() {
+                let mut reason = None;
+                for (ident, why) in BANNED_IDENTS {
+                    if tok.is_ident(ident) {
+                        reason = Some((ident, why));
+                        break;
+                    }
+                }
+                if reason.is_none()
+                    && tok.is_ident("thread")
+                    && file.code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && file.code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && file.code.get(i + 3).is_some_and(|t| t.is_ident("current"))
+                {
+                    reason = Some((
+                        "thread::current",
+                        "thread identity must not influence simulation state",
+                    ));
+                }
+                if let Some((what, why)) = reason {
+                    if unwaived(file, tok.line) {
+                        findings.push(finding(
+                            file,
+                            tok.line,
+                            format!(
+                                "'{what}' in a simulation-path crate — {why}; or \
+                                 justify with a '// {ALLOW_MARKER} — why' comment"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn ws_with(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace {
+            root: PathBuf::from("/nonexistent-test-root"),
+            files: files
+                .into_iter()
+                .map(|(rel, src)| SourceFile::from_source(PathBuf::from(rel), rel.to_owned(), src))
+                .collect(),
+            crates: vec![],
+        }
+    }
+
+    fn run(lint: fn(&Workspace, &mut Vec<Finding>), ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        lint(ws, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn no_panic_catches_and_waives() {
+        let ws = ws_with(vec![(
+            "crates/net/src/x.rs",
+            "fn f() { x.unwrap(); }\n\
+             // lint: allow — provably infallible\n\
+             fn g() { y.unwrap(); }\n\
+             #[cfg(test)]\nmod tests { fn t() { z.unwrap(); } }\n",
+        )]);
+        let findings = run(no_panic, &ws);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn no_panic_ignores_strings_and_comments() {
+        let ws = ws_with(vec![(
+            "crates/core/src/x.rs",
+            "// .unwrap() in a comment\nfn f() { let s = \".unwrap()\"; }\n",
+        )]);
+        assert!(run(no_panic, &ws).is_empty());
+    }
+
+    #[test]
+    fn boxed_buffer_is_whitespace_immune() {
+        let ws = ws_with(vec![(
+            "crates/switch/src/x.rs",
+            "type A = Box<dyn SwitchBuffer>;\ntype B = Box < dyn\n    SwitchBuffer >;\n",
+        )]);
+        let findings = run(no_boxed_buffer, &ws);
+        assert_eq!(findings.len(), 2, "both spellings and the line-split one");
+    }
+
+    #[test]
+    fn rng_lint_spans_tests_too() {
+        let ws = ws_with(vec![(
+            "crates/bench/src/x.rs",
+            "#[cfg(test)]\nmod tests { fn t() { let r = thread_rng(); } }\n",
+        )]);
+        assert_eq!(run(no_unseeded_rng, &ws).len(), 1);
+    }
+
+    #[test]
+    fn must_use_accepts_attribute_and_flags_bare() {
+        let ws = ws_with(vec![(
+            "crates/core/src/x.rs",
+            "#[must_use]\npub fn a(mut self) -> Self { self }\n\
+             pub fn b(mut self) -> Self { self }\n\
+             pub fn c(&self) -> usize { 0 }\n",
+        )]);
+        let findings = run(must_use_builders, &ws);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn unsafe_audit_requires_safety_comment() {
+        let ws = ws_with(vec![(
+            "crates/shard/src/x.rs",
+            "// SAFETY: justified.\nunsafe impl Send for A {}\nunsafe impl Sync for A {}\n",
+        )]);
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            for site in tree::unsafe_sites(&file.code) {
+                if !file.comment_marker_at(site.line, SAFETY_MARKER) {
+                    findings.push((site.line, site.summary));
+                }
+            }
+        }
+        assert_eq!(findings.len(), 1, "the Sync impl has no SAFETY above it");
+        assert_eq!(findings[0].0, 3);
+    }
+
+    #[test]
+    fn ordering_sites_need_justification() {
+        let ws = ws_with(vec![(
+            "crates/net/src/x.rs",
+            "// ordering: relaxed — statistics only.\n\
+             let a = c.load(Ordering::Relaxed);\n\
+             let b = c.load(Ordering::Acquire);\n\
+             let cmp = std::cmp::Ordering::Less;\n",
+        )]);
+        let file = &ws.files[0];
+        let sites = atomic_ordering_sites(file);
+        assert_eq!(sites.len(), 2, "cmp::Ordering::Less is not atomic");
+        assert!(file.comment_marker_at(sites[0].0, ORDERING_MARKER));
+        assert!(!file.comment_marker_at(sites[1].0, ORDERING_MARKER));
+    }
+
+    #[test]
+    fn determinism_catches_hash_and_clock() {
+        let ws = ws_with(vec![(
+            "crates/telemetry/src/x.rs",
+            "use std::collections::HashMap;\n\
+             // lint: allow — membership only, never iterated\n\
+             use std::collections::HashSet;\n\
+             fn t() { let now = Instant::now(); }\n\
+             fn id() { let me = std::thread::current(); }\n",
+        )]);
+        let findings = run(determinism, &ws);
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 4, 5], "waived HashSet is skipped");
+    }
+
+    #[test]
+    fn markdown_link_targets_extracts_paths() {
+        assert_eq!(
+            markdown_link_targets("see [a](docs/A.md) and [b](B.md#sec)"),
+            vec!["docs/A.md".to_owned(), "B.md#sec".to_owned()]
+        );
+        assert_eq!(
+            markdown_link_targets(r#"[t](path.md "a title")"#),
+            vec!["path.md".to_owned()]
+        );
+        assert!(markdown_link_targets("no links here").is_empty());
+    }
+}

@@ -1,85 +1,48 @@
-//! Workspace lint driver: `cargo xtask lint`.
+//! Workspace task driver: `cargo xtask lint` and `cargo xtask
+//! unsafe-ledger`.
 //!
-//! Seven custom lints that `clippy` cannot express for this workspace,
-//! plus the standard `cargo clippy` / `cargo fmt --check` gates:
+//! The analysis itself lives in the [`analyze`] module — a hand-rolled
+//! lexer, a brace tree, nine structural lints and the generated
+//! `docs/UNSAFE_LEDGER.md` inventory. The nine lints (details in
+//! `docs/VERIFICATION.md` § Static analysis):
 //!
-//! 1. **No panics in simulator library code** — `unwrap()`, `expect(…)`,
-//!    `panic!`, `unreachable!`, `todo!` and `unimplemented!` are forbidden
-//!    in the non-test library code of `crates/core` and `crates/net` (the
-//!    crates every experiment depends on). Fallible paths must propagate
-//!    `Result`; provably-infallible sites carry a `// lint: allow — why`
-//!    comment on the same or preceding line.
+//! 1. **No panics in simulator library code** (`crates/core`,
+//!    `crates/net`) — propagate `Result`; waivable.
 //! 2. **No unseeded randomness outside `crates/rng`** — `from_entropy`,
-//!    `thread_rng` and `rand::random` would make experiments
-//!    irreproducible; every RNG must be seeded through `damq-rng`.
-//! 3. **Documentation is mandatory** — every library crate root must carry
-//!    `#![deny(missing_docs)]`, and every module of `crates/net` and
-//!    `crates/shard` (the sharded simulation core, where design intent is
-//!    easiest to lose) must open with a `//!` overview.
-//! 4. **No stdout/stderr printing in library code** — `println!` and
-//!    `eprintln!` are forbidden in every library crate's `src/` (harness
-//!    binaries under `src/bin/`, the `benches/` targets and `crates/xtask`
-//!    own their output and are exempt). Libraries report through return
-//!    values or the telemetry layer; justified exceptions carry a
-//!    `// lint: allow — why` comment.
-//! 5. **No trait objects on the simulation data path** — `Box<dyn
-//!    SwitchBuffer>` is forbidden in `crates/switch/src` and
-//!    `crates/net/src`. The data path is monomorphized: generic code takes
-//!    `B: SwitchBuffer` and kind-selected configs go through the
-//!    enum-dispatched `AnyBuffer`. The boxed compatibility facade lives in
-//!    `crates/core` (exempt), and integration tests under `tests/` may
-//!    still instantiate it; a deliberate exception in library code carries
-//!    a `// lint: allow — why` comment.
-//! 6. **Builder methods must be `#[must_use]`** — in `crates/core` and
-//!    `crates/net`, a `pub fn` that consumes `self` and returns `Self` is
-//!    a builder step; dropping its return value silently discards the
-//!    configuration (`config.seed(7);` does nothing). Every such method
-//!    carries `#[must_use]` (directly — a type-level attribute also works
-//!    but the lint wants the local marker), or a `// lint: allow — why`
-//!    comment.
-//! 7. **No dead intra-repo markdown links** — every relative link in the
-//!    root `*.md` files and `docs/*.md` must resolve to an existing file
-//!    or directory. External (`http…`/`mailto:`) and same-file anchor
-//!    links are exempt; fenced code blocks are skipped.
+//!    `thread_rng`, `rand::random` make experiments irreproducible.
+//! 3. **Documentation is mandatory** — `#![deny(missing_docs)]` on every
+//!    library crate root; `//!` overviews on every module of the sharded
+//!    core (`crates/net`, `crates/shard`).
+//! 4. **No stdout/stderr printing in library code** — binaries,
+//!    benches and xtask are exempt.
+//! 5. **No `Box<dyn SwitchBuffer>` on the simulation data path**
+//!    (`crates/switch`, `crates/net`) — the hot path stays
+//!    monomorphized.
+//! 6. **Consuming builder methods carry `#[must_use]`** (`crates/core`,
+//!    `crates/net`).
+//! 7. **No dead intra-repo markdown links** (root `*.md` and `docs/`).
+//! 8. **Unsafe audit** — every `unsafe` site carries `// SAFETY:`; every
+//!    crate except `crates/shard` forbids unsafe at the root; atomic
+//!    `Ordering` choices on the sim path carry `// ordering:`; the
+//!    generated `docs/UNSAFE_LEDGER.md` is current.
+//! 9. **Determinism** — no `HashMap`/`HashSet`, wall-clock time, or
+//!    thread identity in the sim-path crates; waivable.
 //!
-//! Run `cargo xtask lint` for everything, or `cargo xtask lint --no-cargo`
-//! for just the custom lints (fast, no compilation).
+//! `cargo xtask lint` runs all nine plus the `cargo clippy` / `cargo fmt
+//! --check` gates; `--no-cargo` skips the cargo gates (fast, no
+//! compilation — the check.sh `analyze` gate budget is ~2s). Per-lint
+//! wall-times are printed so scan-speed regressions are visible.
 
-use std::fmt;
+#![forbid(unsafe_code)]
+
+mod analyze;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
+use std::time::Instant;
 
-/// Panic-family calls forbidden in simulator library code.
-const PANIC_PATTERNS: [&str; 6] = [
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
-];
-
-/// Crates whose `src/` must be panic-free (the simulator data path).
-const PANIC_FREE_CRATES: [&str; 2] = ["crates/core", "crates/net"];
-
-/// Unseeded entropy sources forbidden outside `crates/rng`.
-const RNG_PATTERNS: [&str; 3] = ["from_entropy", "thread_rng", "rand::random"];
-
-/// Console printing forbidden in library (non-binary) code.
-const PRINT_PATTERNS: [&str; 2] = ["println!(", "eprintln!("];
-
-/// Trait-object buffer dispatch forbidden on the simulation data path.
-const BOXED_BUFFER_PATTERNS: [&str; 2] = ["Box<dyn SwitchBuffer>", "Box < dyn SwitchBuffer >"];
-
-/// Crates whose `src/` must stay monomorphized (the per-cycle hot path).
-const MONOMORPHIC_CRATES: [&str; 2] = ["crates/switch", "crates/net"];
-
-/// Crates whose consuming-builder methods must carry `#[must_use]`.
-const MUST_USE_CRATES: [&str; 2] = ["crates/core", "crates/net"];
-
-/// The comment marker that waives the panic lint for one line.
-const ALLOW_MARKER: &str = "lint: allow";
+use analyze::{ledger, lints, Workspace};
 
 /// Clippy invocation pinned here so CI and dev runs agree.
 const CLIPPY_ARGS: [&str; 7] = [
@@ -96,48 +59,50 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(args.iter().any(|a| a == "--no-cargo")),
+        Some("unsafe-ledger") => unsafe_ledger(),
         Some("--help" | "-h") | None => {
-            eprintln!("usage: cargo xtask lint [--no-cargo]");
+            eprintln!("usage: cargo xtask <lint [--no-cargo] | unsafe-ledger>");
             ExitCode::from(2)
         }
         Some(other) => {
-            eprintln!("unknown task '{other}' (usage: cargo xtask lint [--no-cargo])");
+            eprintln!(
+                "unknown task '{other}' (usage: cargo xtask <lint [--no-cargo] | unsafe-ledger>)"
+            );
             ExitCode::from(2)
         }
-    }
-}
-
-/// One lint finding, printed `path:line: message`.
-struct Finding {
-    path: PathBuf,
-    line: usize,
-    message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: {}", self.path.display(), self.line, self.message)
     }
 }
 
 fn lint(no_cargo: bool) -> ExitCode {
     let root = workspace_root();
-    let mut findings = Vec::new();
+    let total_start = Instant::now();
 
-    panic_lint(&root, &mut findings);
-    rng_lint(&root, &mut findings);
-    docs_lint(&root, &mut findings);
-    print_lint(&root, &mut findings);
-    boxed_buffer_lint(&root, &mut findings);
-    must_use_lint(&root, &mut findings);
-    doc_link_lint(&root, &mut findings);
+    let parse_start = Instant::now();
+    let ws = Workspace::load(&root);
+    let parse_ms = parse_start.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "xtask lint: parsed {} files in {} crates {parse_ms:>24.1}ms",
+        ws.files.len(),
+        ws.crates.len()
+    );
+
+    let mut findings = Vec::new();
+    for (name, run) in lints::ALL {
+        let start = Instant::now();
+        let before = findings.len();
+        run(&ws, &mut findings);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let new = findings.len() - before;
+        eprintln!("xtask lint: lint {name:<22} {new:>3} finding(s) {ms:>10.1}ms");
+    }
 
     for finding in &findings {
         eprintln!("error: {finding}");
     }
     let mut failed = !findings.is_empty();
+    let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
     eprintln!(
-        "xtask lint: custom lints {} ({} finding(s))",
+        "xtask lint: custom lints {} ({} finding(s), {total_ms:.1}ms total)",
         if failed { "FAILED" } else { "passed" },
         findings.len()
     );
@@ -152,6 +117,24 @@ fn lint(no_cargo: bool) -> ExitCode {
     } else {
         eprintln!("xtask lint: all checks passed");
         ExitCode::SUCCESS
+    }
+}
+
+/// Regenerates `docs/UNSAFE_LEDGER.md` from the current tree.
+fn unsafe_ledger() -> ExitCode {
+    let root = workspace_root();
+    let ws = Workspace::load(&root);
+    let rendered = ledger::generate(&ws);
+    let path = root.join(ledger::LEDGER_REL);
+    match fs::write(&path, &rendered) {
+        Ok(()) => {
+            eprintln!("xtask unsafe-ledger: wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -178,720 +161,5 @@ fn run_cargo(root: &Path, args: &[&str]) -> bool {
             eprintln!("error: failed to spawn cargo: {e}");
             false
         }
-    }
-}
-
-/// Lint 1: panic-family calls in non-test library code.
-fn panic_lint(root: &Path, findings: &mut Vec<Finding>) {
-    for krate in PANIC_FREE_CRATES {
-        for file in rust_files(&root.join(krate).join("src")) {
-            scan_panic_file(&file, findings);
-        }
-    }
-}
-
-fn scan_panic_file(path: &Path, findings: &mut Vec<Finding>) {
-    scan_forbidden(path, &PANIC_PATTERNS, findings, |pattern| {
-        format!(
-            "'{pattern}' in simulator library code — propagate a Result or \
-             justify with a '// {ALLOW_MARKER} — why' comment"
-        )
-    });
-}
-
-/// Scans one file for forbidden `patterns` in non-test code, skipping
-/// `#[cfg(test)] mod` blocks and `// lint: allow`-waived lines; each hit
-/// becomes a [`Finding`] with the message built by `describe`.
-fn scan_forbidden(
-    path: &Path,
-    patterns: &[&str],
-    findings: &mut Vec<Finding>,
-    describe: impl Fn(&str) -> String,
-) {
-    let Ok(source) = fs::read_to_string(path) else {
-        findings.push(Finding {
-            path: path.to_path_buf(),
-            line: 0,
-            message: "unreadable file".into(),
-        });
-        return;
-    };
-    let code_lines = strip_comments_and_strings(&source);
-    let raw_lines: Vec<&str> = source.lines().collect();
-
-    let mut in_test_mod = false;
-    let mut test_depth: i32 = 0;
-    let mut pending_cfg_test = false;
-
-    for (idx, code) in code_lines.iter().enumerate() {
-        let raw = raw_lines.get(idx).copied().unwrap_or_default();
-
-        if in_test_mod {
-            test_depth += brace_delta(code);
-            if test_depth <= 0 {
-                in_test_mod = false;
-            }
-            continue;
-        }
-
-        let trimmed = raw.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") {
-            pending_cfg_test = true;
-            continue;
-        }
-        if pending_cfg_test {
-            // `#[cfg(test)]` gates the next item; only a `mod` opens a
-            // whole block to skip. Anything else (a gated fn/use) is a
-            // single item we conservatively keep linting.
-            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
-                in_test_mod = true;
-                test_depth = brace_delta(code);
-                if test_depth <= 0 && code.contains('{') {
-                    in_test_mod = false;
-                }
-                pending_cfg_test = false;
-                continue;
-            }
-            if !trimmed.starts_with("#[") {
-                pending_cfg_test = false;
-            }
-        }
-
-        for pattern in patterns {
-            if !code.contains(pattern) {
-                continue;
-            }
-            if !allowed_by_comment(&raw_lines, idx) {
-                findings.push(Finding {
-                    path: path.to_path_buf(),
-                    line: idx + 1,
-                    message: describe(pattern),
-                });
-            }
-        }
-    }
-}
-
-/// Whether line `idx` carries the allow marker — on the line itself or
-/// anywhere in the contiguous `//` comment block directly above it (allow
-/// justifications are encouraged to be multi-line).
-fn allowed_by_comment(raw_lines: &[&str], idx: usize) -> bool {
-    if raw_lines.get(idx).is_some_and(|l| l.contains(ALLOW_MARKER)) {
-        return true;
-    }
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let trimmed = raw_lines[i].trim_start();
-        if !trimmed.starts_with("//") {
-            return false;
-        }
-        if trimmed.contains(ALLOW_MARKER) {
-            return true;
-        }
-    }
-    false
-}
-
-/// Lint 2: unseeded entropy sources outside the RNG crate.
-fn rng_lint(root: &Path, findings: &mut Vec<Finding>) {
-    let Ok(entries) = fs::read_dir(root.join("crates")) else {
-        return;
-    };
-    let mut dirs: Vec<PathBuf> = entries
-        .flatten()
-        .map(|e| e.path())
-        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "rng"))
-        .collect();
-    dirs.push(root.join("src")); // the root `damq` package
-    dirs.sort();
-
-    for dir in dirs {
-        for file in rust_files(&dir) {
-            let Ok(source) = fs::read_to_string(&file) else {
-                continue;
-            };
-            let code_lines = strip_comments_and_strings(&source);
-            let raw_lines: Vec<&str> = source.lines().collect();
-            for (idx, code) in code_lines.iter().enumerate() {
-                for pattern in RNG_PATTERNS {
-                    if code.contains(pattern) && !allowed_by_comment(&raw_lines, idx) {
-                        findings.push(Finding {
-                            path: file.clone(),
-                            line: idx + 1,
-                            message: format!(
-                                "'{pattern}' outside crates/rng — all randomness must be \
-                                 seeded for reproducible experiments"
-                            ),
-                        });
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Lint 4: console printing in library code. Harness binaries
-/// (`src/bin/`), `benches/` targets and `crates/xtask` itself print by
-/// design; every other `crates/*/src` file must stay silent.
-fn print_lint(root: &Path, findings: &mut Vec<Finding>) {
-    let Ok(entries) = fs::read_dir(root.join("crates")) else {
-        return;
-    };
-    let mut dirs: Vec<PathBuf> = entries
-        .flatten()
-        .map(|e| e.path())
-        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "xtask"))
-        .collect();
-    dirs.sort();
-
-    for dir in dirs {
-        for file in rust_files(&dir.join("src")) {
-            if file.components().any(|c| c.as_os_str() == "bin") {
-                continue;
-            }
-            scan_forbidden(&file, &PRINT_PATTERNS, findings, |pattern| {
-                format!(
-                    "'{pattern}' in library code — return data or use the telemetry \
-                     layer; binaries own stdout/stderr, or justify with a \
-                     '// {ALLOW_MARKER} — why' comment"
-                )
-            });
-        }
-    }
-}
-
-/// Lint 5: trait-object buffer dispatch on the per-cycle hot path. The
-/// switch and network crates are generic over `B: SwitchBuffer` with the
-/// enum-dispatched `AnyBuffer` default; reintroducing `Box<dyn
-/// SwitchBuffer>` there silently re-adds a virtual call per buffer
-/// operation. The compatibility facade in `crates/core` and integration
-/// tests under `tests/` stay exempt.
-fn boxed_buffer_lint(root: &Path, findings: &mut Vec<Finding>) {
-    for krate in MONOMORPHIC_CRATES {
-        for file in rust_files(&root.join(krate).join("src")) {
-            scan_forbidden(&file, &BOXED_BUFFER_PATTERNS, findings, |_| {
-                format!(
-                    "'Box<dyn SwitchBuffer>' on the simulation data path — use the \
-                     generic parameter `B: SwitchBuffer` (enum-dispatched `AnyBuffer` \
-                     for kind-selected configs), or justify with a \
-                     '// {ALLOW_MARKER} — why' comment"
-                )
-            });
-        }
-    }
-}
-
-/// Lint 6: consuming-builder methods must be `#[must_use]`. A `pub fn`
-/// in `crates/core` or `crates/net` that takes `self` by value and
-/// returns `Self` is a builder step; calling it without using the result
-/// silently drops the new configuration. The lint requires a local
-/// `#[must_use]` attribute in the contiguous attribute/doc block directly
-/// above the signature (type-level `#[must_use]` also protects callers,
-/// but the local marker keeps the intent visible at every site), or a
-/// `// lint: allow — why` waiver.
-fn must_use_lint(root: &Path, findings: &mut Vec<Finding>) {
-    for krate in MUST_USE_CRATES {
-        for file in rust_files(&root.join(krate).join("src")) {
-            scan_must_use_file(&file, findings);
-        }
-    }
-}
-
-fn scan_must_use_file(path: &Path, findings: &mut Vec<Finding>) {
-    let Ok(source) = fs::read_to_string(path) else {
-        findings.push(Finding {
-            path: path.to_path_buf(),
-            line: 0,
-            message: "unreadable file".into(),
-        });
-        return;
-    };
-    let code_lines = strip_comments_and_strings(&source);
-    let raw_lines: Vec<&str> = source.lines().collect();
-
-    for (idx, code) in code_lines.iter().enumerate() {
-        let trimmed = code.trim_start();
-        if !(trimmed.starts_with("pub fn ") || trimmed.starts_with("pub const fn ")) {
-            continue;
-        }
-        // Gather the signature, which may span lines, up to its body or
-        // terminating semicolon (trait declarations).
-        let mut signature = String::new();
-        for sig_line in code_lines.iter().skip(idx).take(8) {
-            signature.push_str(sig_line.trim());
-            signature.push(' ');
-            if sig_line.contains('{') || sig_line.contains(';') {
-                break;
-            }
-        }
-        if !is_consuming_builder(&signature) {
-            continue;
-        }
-        if has_must_use_above(&raw_lines, idx) || allowed_by_comment(&raw_lines, idx) {
-            continue;
-        }
-        findings.push(Finding {
-            path: path.to_path_buf(),
-            line: idx + 1,
-            message: format!(
-                "consuming builder method without #[must_use] — dropping the \
-                 return value discards the configuration; add #[must_use] or \
-                 justify with a '// {ALLOW_MARKER} — why' comment"
-            ),
-        });
-    }
-}
-
-/// Whether a (single-line, stripped) signature takes `self` by value and
-/// returns `Self` — the shape of a chainable builder step.
-fn is_consuming_builder(signature: &str) -> bool {
-    let by_value_self = signature.contains("(mut self")
-        || signature.contains("(self,")
-        || signature.contains("(self)");
-    let returns_self = signature
-        .split("->")
-        .nth(1)
-        .is_some_and(|ret| ret.trim_start().starts_with("Self"));
-    by_value_self && returns_self
-}
-
-/// Whether the contiguous attribute/doc block directly above line `idx`
-/// contains `#[must_use]` (with or without a reason string).
-fn has_must_use_above(raw_lines: &[&str], idx: usize) -> bool {
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let trimmed = raw_lines[i].trim_start();
-        if trimmed.contains("#[must_use") {
-            return true;
-        }
-        if trimmed.is_empty() || !(trimmed.starts_with("#[") || trimmed.starts_with("//")) {
-            return false;
-        }
-    }
-    false
-}
-
-/// Crates whose every `src/` module must open with a `//!` overview —
-/// the sharded simulation core, where a file without a stated design
-/// intent (phases, islands, determinism) is a maintenance hazard.
-const MODULE_DOC_CRATES: [&str; 2] = ["crates/net", "crates/shard"];
-
-/// Lint 3: every library crate root must deny missing docs, and every
-/// module of [`MODULE_DOC_CRATES`] must carry a `//!` overview.
-fn docs_lint(root: &Path, findings: &mut Vec<Finding>) {
-    let mut lib_roots: Vec<PathBuf> = Vec::new();
-    if let Ok(entries) = fs::read_dir(root.join("crates")) {
-        for entry in entries.flatten() {
-            let lib = entry.path().join("src").join("lib.rs");
-            if lib.is_file() {
-                lib_roots.push(lib);
-            }
-        }
-    }
-    let root_lib = root.join("src").join("lib.rs");
-    if root_lib.is_file() {
-        lib_roots.push(root_lib);
-    }
-    lib_roots.sort();
-
-    for lib in lib_roots {
-        let Ok(source) = fs::read_to_string(&lib) else {
-            continue;
-        };
-        if !source.contains("#![deny(missing_docs)]") {
-            findings.push(Finding {
-                path: lib,
-                line: 1,
-                message: "crate root must carry #![deny(missing_docs)]".into(),
-            });
-        }
-    }
-
-    for krate in MODULE_DOC_CRATES {
-        for file in rust_files(&root.join(krate).join("src")) {
-            let Ok(source) = fs::read_to_string(&file) else {
-                continue;
-            };
-            if !source.lines().any(|l| l.trim_start().starts_with("//!")) {
-                findings.push(Finding {
-                    path: file,
-                    line: 1,
-                    message: format!(
-                        "modules of {krate} must open with a //! overview \
-                         (what the module is and how it fits the sharded core)"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// Lint 7: relative markdown links must resolve. Scans the root-level
-/// `*.md` files and everything under `docs/`, skipping fenced code
-/// blocks; a link target is the text between `](` and `)`, minus any
-/// `#fragment` and quoted title, resolved against the file's directory.
-fn doc_link_lint(root: &Path, findings: &mut Vec<Finding>) {
-    for file in markdown_files(root) {
-        let Ok(source) = fs::read_to_string(&file) else {
-            continue;
-        };
-        let dir = file.parent().unwrap_or(root).to_path_buf();
-        let mut in_fence = false;
-        for (idx, line) in source.lines().enumerate() {
-            let trimmed = line.trim_start();
-            if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
-                in_fence = !in_fence;
-                continue;
-            }
-            if in_fence {
-                continue;
-            }
-            for target in markdown_link_targets(line) {
-                if target.starts_with("http://")
-                    || target.starts_with("https://")
-                    || target.starts_with("mailto:")
-                    || target.starts_with('#')
-                    || target.is_empty()
-                {
-                    continue;
-                }
-                let path_part = target.split('#').next().unwrap_or("");
-                if path_part.is_empty() {
-                    continue;
-                }
-                if !dir.join(path_part).exists() {
-                    findings.push(Finding {
-                        path: file.clone(),
-                        line: idx + 1,
-                        message: format!(
-                            "dead relative link '{target}' — the target does not exist"
-                        ),
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// The markdown files lint 7 covers: `*.md` at the workspace root plus
-/// everything under `docs/`, recursively, in sorted order.
-fn markdown_files(root: &Path) -> Vec<PathBuf> {
-    let mut files = Vec::new();
-    if let Ok(entries) = fs::read_dir(root) {
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_file() && path.extension().is_some_and(|e| e == "md") {
-                files.push(path);
-            }
-        }
-    }
-    let mut stack = vec![root.join("docs")];
-    while let Some(dir) = stack.pop() {
-        let Ok(entries) = fs::read_dir(&dir) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "md") {
-                files.push(path);
-            }
-        }
-    }
-    files.sort();
-    files
-}
-
-/// Extracts inline-link targets from one markdown line: the text between
-/// every `](` and its closing `)`, with any ` "title"` suffix dropped.
-fn markdown_link_targets(line: &str) -> Vec<String> {
-    let mut targets = Vec::new();
-    let mut rest = line;
-    while let Some(open) = rest.find("](") {
-        let tail = &rest[open + 2..];
-        let Some(close) = tail.find(')') else {
-            break;
-        };
-        let target = tail[..close].trim();
-        // Drop an optional quoted title: [text](path "title").
-        let target = target.split_whitespace().next().unwrap_or("");
-        targets.push(target.to_owned());
-        rest = &tail[close + 1..];
-    }
-    targets
-}
-
-/// All `.rs` files under `dir`, recursively, in sorted order.
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut files = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(dir) = stack.pop() {
-        let Ok(entries) = fs::read_dir(&dir) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                files.push(path);
-            }
-        }
-    }
-    files.sort();
-    files
-}
-
-/// Net `{`/`}` count of a code line (comments and strings pre-stripped).
-fn brace_delta(code: &str) -> i32 {
-    code.chars().fold(0, |acc, c| match c {
-        '{' => acc + 1,
-        '}' => acc - 1,
-        _ => acc,
-    })
-}
-
-/// Replaces comments, string literals and char literals with spaces so
-/// pattern matching only sees real code. Line structure is preserved.
-fn strip_comments_and_strings(source: &str) -> Vec<String> {
-    #[derive(PartialEq)]
-    enum State {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(usize),
-    }
-
-    let mut state = State::Code;
-    let mut lines = Vec::new();
-    for line in source.lines() {
-        let chars: Vec<char> = line.chars().collect();
-        let mut out = String::with_capacity(chars.len());
-        let mut i = 0;
-        if state == State::LineComment {
-            state = State::Code; // line comments end at the newline
-        }
-        while i < chars.len() {
-            let c = chars[i];
-            let next = chars.get(i + 1).copied();
-            match state {
-                State::Code => match c {
-                    '/' if next == Some('/') => {
-                        state = State::LineComment;
-                        out.push_str("  ");
-                        i += 2;
-                    }
-                    '/' if next == Some('*') => {
-                        state = State::BlockComment(1);
-                        out.push_str("  ");
-                        i += 2;
-                    }
-                    '"' => {
-                        state = State::Str;
-                        out.push(' ');
-                        i += 1;
-                    }
-                    'r' if next == Some('"') || next == Some('#') => {
-                        // Possible raw string: r"..." or r#"..."#.
-                        let mut hashes = 0;
-                        let mut j = i + 1;
-                        while chars.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if chars.get(j) == Some(&'"') {
-                            state = State::RawStr(hashes);
-                            for _ in i..=j {
-                                out.push(' ');
-                            }
-                            i = j + 1;
-                        } else {
-                            out.push(c);
-                            i += 1;
-                        }
-                    }
-                    '\'' => {
-                        // Char literal or lifetime. A literal closes with a
-                        // quote one or two chars away; a lifetime does not.
-                        if next == Some('\\') {
-                            let close = chars.iter().skip(i + 2).position(|&c| c == '\'');
-                            let end = close.map_or(chars.len(), |o| i + 2 + o);
-                            for _ in i..=end.min(chars.len() - 1) {
-                                out.push(' ');
-                            }
-                            i = end + 1;
-                        } else if chars.get(i + 2) == Some(&'\'') {
-                            out.push_str("   ");
-                            i += 3;
-                        } else {
-                            out.push(c); // lifetime tick
-                            i += 1;
-                        }
-                    }
-                    _ => {
-                        out.push(c);
-                        i += 1;
-                    }
-                },
-                State::LineComment => {
-                    out.push(' ');
-                    i += 1;
-                }
-                State::BlockComment(depth) => {
-                    if c == '*' && next == Some('/') {
-                        state = if depth == 1 {
-                            State::Code
-                        } else {
-                            State::BlockComment(depth - 1)
-                        };
-                        out.push_str("  ");
-                        i += 2;
-                    } else if c == '/' && next == Some('*') {
-                        state = State::BlockComment(depth + 1);
-                        out.push_str("  ");
-                        i += 2;
-                    } else {
-                        out.push(' ');
-                        i += 1;
-                    }
-                }
-                State::Str => {
-                    if c == '\\' {
-                        out.push_str("  ");
-                        i += 2;
-                    } else {
-                        if c == '"' {
-                            state = State::Code;
-                        }
-                        out.push(' ');
-                        i += 1;
-                    }
-                }
-                State::RawStr(hashes) => {
-                    if c == '"'
-                        && chars[i + 1..].iter().take_while(|&&h| h == '#').count() >= hashes
-                    {
-                        for _ in 0..=hashes {
-                            out.push(' ');
-                        }
-                        i += 1 + hashes;
-                        state = State::Code;
-                    } else {
-                        out.push(' ');
-                        i += 1;
-                    }
-                }
-            }
-        }
-        lines.push(out);
-    }
-    lines
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn stripper_removes_comments_and_strings() {
-        let src = "let x = 1; // a.unwrap() in a comment\nlet s = \".expect(\"; panic!(\"msg\");";
-        let lines = strip_comments_and_strings(src);
-        assert!(!lines[0].contains(".unwrap()"));
-        assert!(!lines[1].contains(".expect("));
-        assert!(lines[1].contains("panic!("), "real code survives");
-    }
-
-    #[test]
-    fn stripper_handles_block_comments_across_lines() {
-        let src = "/* a\n.unwrap()\n*/ let y = 2;";
-        let lines = strip_comments_and_strings(src);
-        assert!(!lines[1].contains(".unwrap()"));
-        assert!(lines[2].contains("let y = 2;"));
-    }
-
-    #[test]
-    fn stripper_keeps_lifetimes_intact() {
-        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
-        let lines = strip_comments_and_strings(src);
-        assert!(lines[0].contains("fn f<'a>"));
-        assert!(lines[0].contains("{ x }"));
-    }
-
-    #[test]
-    fn boxed_buffer_pattern_ignores_doc_comments() {
-        let src = "/// Compare with `Box<dyn SwitchBuffer>` for context.\nbuffers: Vec<Box<dyn SwitchBuffer>>,";
-        let lines = strip_comments_and_strings(src);
-        assert!(
-            !lines[0].contains(BOXED_BUFFER_PATTERNS[0]),
-            "doc text is exempt"
-        );
-        assert!(
-            lines[1].contains(BOXED_BUFFER_PATTERNS[0]),
-            "real code is caught"
-        );
-    }
-
-    #[test]
-    fn consuming_builder_detection() {
-        assert!(is_consuming_builder(
-            "pub fn seed(mut self, s: u64) -> Self {"
-        ));
-        assert!(is_consuming_builder("pub const fn with_x(self) -> Self {"));
-        assert!(is_consuming_builder(
-            "pub fn with_y(self, y: u64) -> Self {"
-        ));
-        assert!(!is_consuming_builder("pub fn len(&self) -> usize {"));
-        assert!(!is_consuming_builder(
-            "pub fn set(&mut self, x: u64) -> Self {"
-        ));
-        assert!(!is_consuming_builder(
-            "pub fn build(self) -> Result<Buffer, Error> {"
-        ));
-    }
-
-    #[test]
-    fn must_use_block_walks_attributes_and_docs() {
-        let lines = [
-            "#[must_use]",
-            "/// Docs between.",
-            "pub fn f(self) -> Self {",
-        ];
-        assert!(has_must_use_above(&lines, 2));
-        let with_reason = ["#[must_use = \"why\"]", "pub fn f(self) -> Self {"];
-        assert!(has_must_use_above(&with_reason, 1));
-        let gap = ["#[must_use]", "", "pub fn f(self) -> Self {"];
-        assert!(
-            !has_must_use_above(&gap, 2),
-            "a blank line breaks the block"
-        );
-        let none = ["fn other() {}", "pub fn f(self) -> Self {"];
-        assert!(!has_must_use_above(&none, 1));
-    }
-
-    #[test]
-    fn brace_delta_counts_net_braces() {
-        assert_eq!(brace_delta("mod tests {"), 1);
-        assert_eq!(brace_delta("} } {"), -1);
-    }
-
-    #[test]
-    fn markdown_link_targets_extracts_paths() {
-        assert_eq!(
-            markdown_link_targets("see [a](docs/A.md) and [b](B.md#sec)"),
-            vec!["docs/A.md".to_owned(), "B.md#sec".to_owned()]
-        );
-        assert_eq!(
-            markdown_link_targets(r#"[t](path.md "a title")"#),
-            vec!["path.md".to_owned()]
-        );
-        assert_eq!(
-            markdown_link_targets("[x](https://example.com) plain ] ( text"),
-            vec!["https://example.com".to_owned()]
-        );
-        assert!(markdown_link_targets("no links here").is_empty());
     }
 }

@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
-# The repo's offline quality gate: lints, build, the full test suite (with
-# and without per-operation invariant audits), the exhaustive 2x2 model
-# checker, the fault-injection smoke (self-healing harness + resume), and
-# rustdoc with warnings denied (`#![deny(missing_docs)]` in the crates
-# turns any missing doc into a hard failure here).
+# The repo's offline quality gate: static analysis (nine structural
+# lints + unsafe ledger + clippy + rustfmt), build, the full test suite
+# (with and without per-operation invariant audits), the exhaustive 2x2
+# model checker, the fault-injection smoke (self-healing harness +
+# resume), sanitizer smokes (miri + TSan, probed and skipped with a note
+# where the toolchain lacks them), and rustdoc with warnings denied
+# (`#![deny(missing_docs)]` in the crates turns any missing doc into a
+# hard failure here).
 #
 # Every gate propagates its exit code: `set -euo pipefail` aborts on the
 # first failing command (including inside pipelines), and the ERR trap
 # names the gate that failed so CI logs point at the culprit.
 #
-# Usage: scripts/check.sh                 # run every gate
-#        scripts/check.sh fault-smoke     # just the fault-injection smoke
-#        scripts/check.sh parallel-smoke  # just the sharded-stepping smoke
+# Usage: scripts/check.sh                  # run every gate
+#        scripts/check.sh analyze          # just the static-analysis gate
+#        scripts/check.sh fault-smoke      # just the fault-injection smoke
+#        scripts/check.sh parallel-smoke   # just the sharded-stepping smoke
+#        scripts/check.sh sanitizer-smoke  # miri + TSan, skip when unsupported
 set -Eeuo pipefail
 cd "$(dirname "$0")/.."
 
@@ -72,7 +77,65 @@ parallel_smoke() {
         > /dev/null
 }
 
+# Tentpole gate: the in-tree static analyzer. The nine structural lints
+# (lexer-backed, no regex) must report zero findings, the generated
+# unsafe ledger must be fresh, and — in the full run — clippy and
+# rustfmt must agree. The bare-lint pass is budgeted at ~2s so it stays
+# cheap enough to run on every edit; the xtask prints per-lint timings.
+analyze() {
+    gate "analyze: nine structural lints + unsafe-ledger freshness"
+    cargo xtask lint --no-cargo
+
+    gate "analyze: clippy + rustfmt"
+    cargo xtask lint
+}
+
+# Satellite gate: dynamic race detectors over the one crate that holds
+# unsafe code (damq-shard) and the sharded fingerprint test. Both
+# tools need toolchain components this offline image may not carry, so
+# each leg probes first and skips with a note instead of failing —
+# the loom-lite model checker (`crates/shard/src/model.rs`, run by the
+# ordinary test gate) carries the schedule-interleaving claims either
+# way.
+sanitizer_smoke() {
+    gate "sanitizer-smoke: miri over damq-shard"
+    if cargo +nightly miri --version > /dev/null 2>&1; then
+        cargo +nightly miri test -q -p damq-shard
+    elif cargo miri --version > /dev/null 2>&1; then
+        cargo miri test -q -p damq-shard
+    else
+        echo "  SKIPPED: miri component not installed (offline host)."
+        echo "  The exhaustive model checker in crates/shard/src/model.rs"
+        echo "  covers the pool's interleaving claims in its place."
+    fi
+
+    gate "sanitizer-smoke: ThreadSanitizer over the 2-thread fingerprint"
+    # TSan is only sound with an instrumented libstd (-Zbuild-std, which
+    # needs the nightly rust-src component): Rust's futex-based Mutex
+    # and Condvar live inside libstd, so an uninstrumented build hides
+    # every lock-ordering edge from TSan and each mutex-guarded handoff
+    # is reported as a false-positive race (measured: ~100 warnings on
+    # this suite).
+    if rustup component list --toolchain nightly 2> /dev/null \
+        | grep -q 'rust-src.*(installed)'; then
+        local host
+        host="$(rustc -vV | awk '/^host:/ { print $2 }')"
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -q -Zbuild-std --target "$host" \
+            -p damq-net --test parallel_equivalence -- two_thread
+    else
+        echo "  SKIPPED: nightly rust-src not installed; TSan without"
+        echo "  -Zbuild-std cannot see libstd's futex-based lock edges"
+        echo "  and reports false positives on every Mutex handoff."
+    fi
+}
+
 case "${1:-all}" in
+analyze)
+    analyze
+    echo "analyze passed"
+    exit 0
+    ;;
 fault-smoke)
     fault_smoke
     echo "fault-smoke passed"
@@ -83,15 +146,19 @@ parallel-smoke)
     echo "parallel-smoke passed"
     exit 0
     ;;
+sanitizer-smoke)
+    sanitizer_smoke
+    echo "sanitizer-smoke passed"
+    exit 0
+    ;;
 all) ;;
 *)
-    echo "usage: scripts/check.sh [fault-smoke|parallel-smoke]" >&2
+    echo "usage: scripts/check.sh [analyze|fault-smoke|parallel-smoke|sanitizer-smoke]" >&2
     exit 2
     ;;
 esac
 
-gate "lint (custom lints + clippy + rustfmt)"
-cargo xtask lint
+analyze
 
 gate "build (release)"
 cargo build --release --workspace
@@ -119,6 +186,8 @@ cargo bench -p damq-bench --bench sim_throughput -- --smoke
 fault_smoke
 
 parallel_smoke
+
+sanitizer_smoke
 
 gate "rustdoc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
