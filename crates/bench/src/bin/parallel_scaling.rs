@@ -10,6 +10,13 @@
 //! workspace root, alongside the serial perf trajectory that
 //! `benches/sim_throughput.rs` maintains.
 //!
+//! A second pass re-runs every cell with the shard-phase timer on
+//! (`NetworkSim::with_phase_timing`, see `docs/OBSERVABILITY.md`) and
+//! records the idle-share breakdown — per-lane phase-A busy time,
+//! barrier wait, serial phase-B merge — as the `phase_profile` section,
+//! so the scaling table carries its own explanation of where the
+//! non-ideal speedup goes.
+//!
 //! Usage:
 //!
 //! ```text
@@ -28,7 +35,7 @@ use std::hint::black_box;
 use damq_bench::json::Json;
 use damq_bench::timing::{bench, Stats};
 use damq_core::BufferKind;
-use damq_net::{NetworkConfig, NetworkSim, TrafficPattern};
+use damq_net::{NetworkConfig, NetworkSim, PhaseProfile, TrafficPattern};
 use damq_switch::FlowControl;
 
 /// Cycles simulated before timing starts: enough for the hot-spot tree
@@ -41,6 +48,9 @@ const SIZES: [usize; 3] = [64, 256, 1024];
 /// Thread counts swept; 1 is the serial baseline every cell is
 /// normalized against.
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Timed cycles per cell of the phase-profile pass (after `WARM_UP`).
+const PROFILE_CYCLES: u64 = 200;
 
 /// The same headline workload as `sim_throughput`: hot-spot traffic
 /// against DAMQ buffers under blocking flow control, past saturation, so
@@ -66,6 +76,35 @@ fn bench_cell(terminals: usize, threads: usize) -> f64 {
         black_box(sim.cycle())
     });
     1e9 / stats.min_ns
+}
+
+/// One phase-profile cell: warm the sim, then time `PROFILE_CYCLES`
+/// cycles with the shard-phase timer on and drain the profile.
+fn profile_cell(terminals: usize, threads: usize) -> PhaseProfile {
+    let mut sim = NetworkSim::new(config(terminals))
+        .expect("valid config")
+        .with_threads(threads);
+    sim.run(WARM_UP);
+    sim = sim.with_phase_timing();
+    sim.run(PROFILE_CYCLES);
+    sim.phase_profile()
+}
+
+/// Renders one drained profile as its JSON cell.
+fn profile_json(profile: &PhaseProfile) -> Json {
+    let lanes: Vec<Json> = profile
+        .lane_busy_ns
+        .iter()
+        .map(|&ns| Json::from(ns))
+        .collect();
+    Json::obj([
+        ("lane_busy_ns", Json::Arr(lanes)),
+        ("barrier_wait_ns", Json::from(profile.barrier_wait_ns)),
+        ("merge_ns", Json::from(profile.merge_ns)),
+        ("phases", Json::from(profile.phases)),
+        ("barrier_share", Json::from(profile.barrier_share())),
+        ("merge_share", Json::from(profile.merge_share())),
+    ])
 }
 
 fn smoke() {
@@ -161,7 +200,38 @@ fn main() {
         ("speedup_vs_serial", Json::Obj(speedups)),
     ]);
 
-    write_scaling(scaling);
+    println!("phase profile ({PROFILE_CYCLES} timed cycles per cell, after warm-up)");
+    let mut profile_cells: Vec<(String, Json)> = Vec::new();
+    for terminals in SIZES {
+        let mut per_threads: Vec<(String, Json)> = Vec::new();
+        for threads in THREADS {
+            let profile = profile_cell(terminals, threads);
+            println!(
+                "  {terminals}t x {threads}thr: busy {} ns, barrier {:.1}%, merge {:.1}%",
+                profile.busy_ns(),
+                profile.barrier_share() * 100.0,
+                profile.merge_share() * 100.0
+            );
+            per_threads.push((format!("threads_{threads}"), profile_json(&profile)));
+        }
+        profile_cells.push((format!("terminals_{terminals}"), Json::Obj(per_threads)));
+    }
+    let phase_profile = Json::obj([
+        ("bench", Json::from("parallel_scaling")),
+        ("profile_cycles", Json::from(PROFILE_CYCLES)),
+        ("host_cpus", Json::from(host_cpus)),
+        (
+            "_note",
+            Json::from(
+                "wall-clock decomposition of the phased engine per (terminals, threads) \
+                 cell: per-lane phase-A busy ns, submitting thread's barrier-wait ns, \
+                 serial phase-B merge ns; shares are fractions of busy+barrier+merge",
+            ),
+        ),
+        ("cells", Json::Obj(profile_cells)),
+    ]);
+
+    write_sections(vec![("scaling", scaling), ("phase_profile", phase_profile)]);
 }
 
 /// Path of the committed throughput record, resolved from this crate's
@@ -170,9 +240,10 @@ fn report_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_throughput.json")
 }
 
-/// Replaces (or appends) the `scaling` section of `BENCH_throughput.json`,
-/// leaving every other section exactly as `sim_throughput` wrote it.
-fn write_scaling(scaling: Json) {
+/// Replaces (or appends) this harness's sections of
+/// `BENCH_throughput.json`, leaving every other section exactly as
+/// `sim_throughput` wrote it.
+fn write_sections(sections: Vec<(&str, Json)>) {
     let path = report_path();
     let doc = std::fs::read_to_string(&path)
         .ok()
@@ -181,9 +252,11 @@ fn write_scaling(scaling: Json) {
         Some(Json::Obj(pairs)) => pairs,
         _ => vec![("bench".to_owned(), Json::from("sim_throughput"))],
     };
-    match pairs.iter_mut().find(|(k, _)| k == "scaling") {
-        Some((_, slot)) => *slot = scaling,
-        None => pairs.push(("scaling".to_owned(), scaling)),
+    for (key, value) in sections {
+        match pairs.iter_mut().find(|(k, _)| k == key) {
+            Some((_, slot)) => *slot = value,
+            None => pairs.push((key.to_owned(), value)),
+        }
     }
     match std::fs::write(&path, Json::Obj(pairs).render_pretty()) {
         Ok(()) => eprintln!("wrote {}", path.display()),

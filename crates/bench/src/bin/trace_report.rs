@@ -66,8 +66,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let events = match Event::parse_trace(&text) {
-        Ok(events) => events,
+    // Tolerate a torn tail (a writer killed mid-append leaves one
+    // malformed final line): render the intact prefix and warn. Mid-file
+    // corruption is still a hard error.
+    let events = match Event::parse_trace_tolerant(&text) {
+        Ok((events, None)) => events,
+        Ok((events, Some(torn))) => {
+            eprintln!(
+                "warning: {}: dropped torn trailing line ({torn})",
+                path.display()
+            );
+            events
+        }
         Err(e) => {
             eprintln!("error: {}: {e}", path.display());
             return ExitCode::FAILURE;

@@ -46,11 +46,15 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use damq_net::Measurement;
+use damq_telemetry::{JsonlRecord, SharedRecorder};
+
+use crate::json::Json;
 
 /// The base seed shared by the regeneration harnesses (the historical
 /// default seed of [`damq_net::NetworkConfig`]).
@@ -435,6 +439,142 @@ where
             }
         }
     })
+}
+
+/// One isolated cell's verdict plus the crash-dump sidecars its failing
+/// attempts produced (empty when every attempt succeeded cleanly).
+#[derive(Debug, Clone)]
+pub struct RecordedCell<R> {
+    /// The cell's outcome and (if usable) result, exactly as
+    /// [`run_isolated`] would report them.
+    pub report: CellReport<R>,
+    /// Flight-recorder dump files written for this cell, one per failed
+    /// attempt, in attempt order.
+    pub dumps: Vec<PathBuf>,
+}
+
+/// Like [`run_isolated`], but every attempt records telemetry into a
+/// fresh fixed-capacity [`SharedRecorder`] ring, and any attempt that
+/// panics, trips the [`Watchdog`], or exhausts its retries dumps the
+/// ring to a JSONL sidecar in `dump_dir` — turning a "panicked isolated"
+/// verdict into a post-mortem.
+///
+/// `f` receives the cell, the attempt's watchdog, the 0-based attempt
+/// index, and a [`SharedRecorder`] handle to attach as the simulation's
+/// telemetry sink (clone it freely; the harness keeps its own handle
+/// outside the panic boundary). Each dump file is named
+/// `cell{index:04}_attempt{n}.jsonl` and starts with one
+/// `flight_recorder` meta line (cell, attempt, outcome, panic message,
+/// ring occupancy) followed by the ring's events, oldest first.
+///
+/// Dump-file I/O errors are swallowed — a failing disk must not turn a
+/// contained cell panic into a sweep abort — so a dump path is only
+/// returned for files that were actually written.
+pub fn run_isolated_recorded<C, R, E, F>(
+    cells: &[C],
+    opts: IsolationOptions,
+    capacity: usize,
+    dump_dir: &Path,
+    f: F,
+) -> Vec<RecordedCell<R>>
+where
+    C: Sync,
+    R: Send,
+    E: JsonlRecord,
+    F: Fn(&C, &Watchdog, u32, SharedRecorder<E>) -> R + Sync,
+{
+    let indexed: Vec<(usize, &C)> = cells.iter().enumerate().collect();
+    run_with_workers(&indexed, worker_count(), |&(index, cell)| {
+        let mut attempt = 0;
+        let mut dumps = Vec::new();
+        loop {
+            let watchdog = Watchdog::new(opts.cycle_budget);
+            let recorder = SharedRecorder::new(capacity.max(1));
+            let inside = recorder.clone();
+            match catch_unwind(AssertUnwindSafe(|| f(cell, &watchdog, attempt, inside))) {
+                Ok(result) => {
+                    let outcome = if attempt == 0 {
+                        CellOutcome::Ok
+                    } else {
+                        CellOutcome::Retried {
+                            attempts: attempt + 1,
+                        }
+                    };
+                    return RecordedCell {
+                        report: CellReport {
+                            outcome,
+                            result: Some(result),
+                        },
+                        dumps,
+                    };
+                }
+                Err(payload) => {
+                    let timed_out = payload.downcast_ref::<WatchdogExpired>().is_some();
+                    let message = if timed_out {
+                        format!("watchdog expired after {} ticks", watchdog.ticks())
+                    } else {
+                        panic_message(payload.as_ref())
+                    };
+                    let label = if timed_out {
+                        CellOutcome::TimedOut.label()
+                    } else {
+                        "panicked"
+                    };
+                    if let Some(path) =
+                        write_flight_dump(dump_dir, index, attempt, label, &message, &recorder)
+                    {
+                        dumps.push(path);
+                    }
+                    if timed_out {
+                        return RecordedCell {
+                            report: CellReport {
+                                outcome: CellOutcome::TimedOut,
+                                result: None,
+                            },
+                            dumps,
+                        };
+                    }
+                    if attempt >= opts.max_retries {
+                        return RecordedCell {
+                            report: CellReport {
+                                outcome: CellOutcome::Panicked { message },
+                                result: None,
+                            },
+                            dumps,
+                        };
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    })
+}
+
+/// Writes one flight-recorder sidecar: a meta line describing the failed
+/// attempt, then the ring's retained events as JSONL. Returns `None` on
+/// any I/O failure (dumping is best-effort by design).
+fn write_flight_dump<E: JsonlRecord>(
+    dir: &Path,
+    cell: usize,
+    attempt: u32,
+    outcome: &str,
+    message: &str,
+    recorder: &SharedRecorder<E>,
+) -> Option<PathBuf> {
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("cell{cell:04}_attempt{attempt}.jsonl"));
+    let meta = Json::obj([
+        ("type", Json::from("flight_recorder")),
+        ("cell", Json::from(cell)),
+        ("attempt", Json::from(u64::from(attempt))),
+        ("outcome", Json::from(outcome)),
+        ("message", Json::from(message)),
+        ("retained", Json::from(recorder.len())),
+        ("seen", Json::from(recorder.seen())),
+    ]);
+    let body = format!("{}\n{}", meta.render(), recorder.dump_jsonl());
+    std::fs::write(&path, body).ok()?;
+    Some(path)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

@@ -555,6 +555,38 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_variance_is_zero_and_survives_merging() {
+        // A lone observation has no spread: variance and stddev report
+        // 0 (n − 1 denominator would divide by zero otherwise).
+        let mut one = Accumulator::new();
+        one.record(7.5);
+        assert_eq!(one.count(), 1);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.stddev(), 0.0);
+        assert_eq!(one.mean(), 7.5);
+        assert_eq!(one.min(), 7.5);
+        assert_eq!(one.max(), 7.5);
+        // Merging an empty side keeps the singleton's zero variance.
+        one.merge(&Accumulator::new());
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.count(), 1);
+        // An empty accumulator merged *with* a singleton adopts it whole.
+        let mut empty = Accumulator::new();
+        empty.merge(&one);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.variance(), 0.0);
+        assert_eq!(empty.mean(), 7.5);
+        // Merging two empties stays a well-defined zero state.
+        let mut a = Accumulator::new();
+        a.merge(&Accumulator::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.variance(), 0.0);
+        assert_eq!(a.min(), 0.0);
+        assert_eq!(a.max(), 0.0);
+    }
+
+    #[test]
     fn throughput_is_per_terminal_per_cycle() {
         let mut m = NetMetrics::new(4);
         for _ in 0..10 {

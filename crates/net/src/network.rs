@@ -20,6 +20,10 @@
 //! packets always fly and are dropped at full buffers.
 
 use std::collections::VecDeque;
+// lint: allow — the phase profiler measures *harness* wall-clock (the
+// serial phase-B merge), never simulation state; cycle time in the
+// simulator is the logical `cycle` counter, not `Instant`.
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,10 +34,12 @@ use damq_core::{
     DEFAULT_SLOT_BYTES,
 };
 use damq_switch::{ArbiterPolicy, FlowControl, Switch, SwitchConfig};
-use damq_telemetry::{Event, EventKind, NullSink, TelemetrySink};
+use damq_telemetry::{
+    CounterId, Event, EventKind, HistogramId, MetricsRegistry, NullSink, TelemetrySink,
+};
 
 use crate::metrics::NetMetrics;
-use crate::parallel::{DepartRecord, ParallelEngine, StageLane};
+use crate::parallel::{DepartRecord, ParallelEngine, PhaseProfile, StageLane};
 use crate::topology::{HopRoute, RoutePlan, Topology, TopologyError, TopologyKind};
 use crate::traffic::TrafficPattern;
 
@@ -470,10 +476,64 @@ pub struct NetworkSim<B: SwitchBuffer = AnyBuffer, S: TelemetrySink<Event> = Nul
     rng: StdRng,
     cycle: u64,
     metrics: NetMetrics,
+    /// Named-metric registry (disabled by default; see
+    /// [`NetworkSim::with_metrics`]). Updated only in the serial
+    /// sections of the cycle, so snapshots are lane-count-independent.
+    registry: MetricsRegistry,
+    /// Static registry ids, resolved once at construction.
+    metric_ids: MetricIds,
+    /// Whether the wall-clock phase profiler is on (see
+    /// [`NetworkSim::with_phase_timing`]).
+    phase_timing: bool,
+    /// Accumulated serial phase-B merge nanoseconds (profiler only).
+    merge_ns: u64,
     ledger: ConservationLedger,
     faults: Option<FaultState>,
     fault_ledger: FaultLedger,
     sink: S,
+}
+
+/// Registry ids for the simulator's built-in metrics, resolved once at
+/// construction so the hot path never does a name lookup.
+///
+/// Every name registered here must be listed in the metrics reference
+/// table of `docs/OBSERVABILITY.md` (workspace lint 10).
+#[derive(Debug)]
+struct MetricIds {
+    /// Network cycles stepped.
+    cycles: CounterId,
+    /// Packets generated at the sources.
+    generated: CounterId,
+    /// Packets injected into stage 0.
+    injected: CounterId,
+    /// Packets delivered to their destination terminal.
+    delivered: CounterId,
+    /// Packets discarded at the network entry.
+    discarded_entry: CounterId,
+    /// Packets discarded inside the network.
+    discarded_network: CounterId,
+    /// Source-to-sink latency per delivered packet.
+    latency: HistogramId,
+    /// Injection-to-sink latency per delivered packet.
+    network_latency: HistogramId,
+    /// Per-buffer occupied slots, sampled every cycle.
+    occupancy: HistogramId,
+}
+
+impl MetricIds {
+    fn register(reg: &mut MetricsRegistry) -> Self {
+        MetricIds {
+            cycles: reg.counter("net.cycles"),
+            generated: reg.counter("net.generated"),
+            injected: reg.counter("net.injected"),
+            delivered: reg.counter("net.delivered"),
+            discarded_entry: reg.counter("net.discarded_entry"),
+            discarded_network: reg.counter("net.discarded_network"),
+            latency: reg.histogram("net.latency_cycles"),
+            network_latency: reg.histogram("net.network_latency_cycles"),
+            occupancy: reg.histogram("net.occupancy_slots"),
+        }
+    }
 }
 
 impl NetworkSim {
@@ -553,6 +613,8 @@ impl<B: BuildBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             }
             switches.push(row);
         }
+        let mut registry = MetricsRegistry::disabled();
+        let metric_ids = MetricIds::register(&mut registry);
         Ok(NetworkSim {
             config,
             topology,
@@ -565,6 +627,10 @@ impl<B: BuildBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             rng: StdRng::seed_from_u64(config.seed),
             cycle: 0,
             metrics: NetMetrics::new(config.size),
+            registry,
+            metric_ids,
+            phase_timing: false,
+            merge_ns: 0,
             ledger: ConservationLedger::default(),
             faults: None,
             fault_ledger: FaultLedger::default(),
@@ -817,7 +883,62 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             self.topology.switches_per_stage(),
             self.config.radix,
         );
+        self.engine.set_timing(self.phase_timing);
         self
+    }
+
+    /// Enables the named-metric registry: cycle-domain counters and
+    /// log-scale latency/occupancy histograms, readable as a
+    /// deterministic JSON snapshot via
+    /// [`metrics_snapshot`](NetworkSim::metrics_snapshot).
+    ///
+    /// Off by default; while off, every registry update is a single
+    /// branch on a cold flag (pinned by the `no_op_registry_overhead`
+    /// bench). All registry updates happen in the serial sections of
+    /// the cycle, so snapshots are byte-identical at any lane count
+    /// (pinned by `parallel_equivalence.rs`).
+    #[must_use]
+    pub fn with_metrics(mut self) -> Self {
+        self.registry.set_enabled(true);
+        self
+    }
+
+    /// The named-metric registry (disabled unless
+    /// [`with_metrics`](NetworkSim::with_metrics) was called).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The registry snapshot as deterministic JSON — counters and
+    /// histogram percentiles in registration order, integers only.
+    pub fn metrics_snapshot(&self) -> String {
+        self.registry.snapshot_json()
+    }
+
+    /// Enables the wall-clock phase profiler: per-lane phase-A busy
+    /// time, barrier waits, and serial phase-B merge time, drained via
+    /// [`phase_profile`](NetworkSim::phase_profile).
+    ///
+    /// Profiling measures *harness* wall-clock only — it never touches
+    /// simulation state, so enabling it cannot change any result.
+    #[must_use]
+    pub fn with_phase_timing(mut self) -> Self {
+        self.phase_timing = true;
+        self.engine.set_timing(true);
+        self
+    }
+
+    /// Drains the accumulated phase profile (zeroing the counters).
+    /// Empty unless [`with_phase_timing`](NetworkSim::with_phase_timing)
+    /// was called.
+    pub fn phase_profile(&mut self) -> PhaseProfile {
+        let times = self.engine.take_times();
+        PhaseProfile {
+            lane_busy_ns: times.lane_busy_ns,
+            barrier_wait_ns: times.barrier_wait_ns,
+            merge_ns: std::mem::take(&mut self.merge_ns),
+            phases: times.phases,
+        }
     }
 
     /// Number of simulation lanes stage phases run on (1 = serial).
@@ -851,12 +972,16 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
     pub fn step(&mut self) {
         self.cycle += 1;
         self.metrics.record_cycle();
+        self.registry.add(self.metric_ids.cycles, 1);
         if self.faults.is_some() {
             self.apply_due_faults();
         }
         self.generate();
         let forwarded = self.advance_stages();
         self.inject();
+        if self.registry.enabled() {
+            self.observe_occupancy();
+        }
         if self.sink.enabled() {
             self.emit_cycle_sample(forwarded);
         }
@@ -939,6 +1064,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             }
             self.source_queues[src].push_back(packet);
             self.metrics.record_generated();
+            self.registry.add(self.metric_ids.generated, 1);
             self.ledger.generated += 1;
         }
     }
@@ -991,6 +1117,8 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             },
         );
         // Phase B: deliver in ascending switch order.
+        // lint: allow — harness wall-clock, never simulation state.
+        let merge_start = self.phase_timing.then(Instant::now);
         for island in 0..islands {
             for rec in self.engine.lane_records(island) {
                 let sw = rec.sw;
@@ -1030,6 +1158,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                         ));
                     }
                     self.metrics.record_network_discard();
+                    self.registry.add(self.metric_ids.discarded_network, 1);
                     self.ledger.discarded += 1;
                     self.fault_ledger.misrouted += 1;
                     continue;
@@ -1046,6 +1175,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                         ));
                     }
                     self.metrics.record_network_discard();
+                    self.registry.add(self.metric_ids.discarded_network, 1);
                     self.ledger.discarded += 1;
                     self.fault_ledger.corrupt_dropped += 1;
                     continue;
@@ -1071,8 +1201,15 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                     total,
                     network,
                 );
+                self.registry.add(self.metric_ids.delivered, 1);
+                self.registry.observe(self.metric_ids.latency, total);
+                self.registry
+                    .observe(self.metric_ids.network_latency, network);
                 self.ledger.delivered += 1;
             }
+        }
+        if let Some(start) = merge_start {
+            self.merge_ns += start.elapsed().as_nanos() as u64;
         }
 
         // Earlier stages, last to first, feed their successor stage.
@@ -1148,6 +1285,8 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             // invalidate a phase-A probe (see the invariant at the
             // receive below).
             let mut stage_misroutes = 0u64;
+            // lint: allow — harness wall-clock, never simulation state.
+            let merge_start = self.phase_timing.then(Instant::now);
             for island in 0..islands {
                 for rec in self.engine.lane_records(island) {
                     let sw = rec.sw;
@@ -1216,6 +1355,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                             ));
                         }
                         self.metrics.record_network_discard();
+                        self.registry.add(self.metric_ids.discarded_network, 1);
                         self.ledger.discarded += 1;
                         self.fault_ledger.link_dropped += 1;
                         continue;
@@ -1255,6 +1395,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                                 ));
                             }
                             self.metrics.record_network_discard();
+                            self.registry.add(self.metric_ids.discarded_network, 1);
                             self.ledger.discarded += 1;
                             if misrouted_here {
                                 self.fault_ledger.misrouted += 1;
@@ -1266,6 +1407,9 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                         }
                     }
                 }
+            }
+            if let Some(start) = merge_start {
+                self.merge_ns += start.elapsed().as_nanos() as u64;
             }
         }
         self.faults = faults;
@@ -1310,6 +1454,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                     ));
                 }
                 self.metrics.record_entry_discard();
+                self.registry.add(self.metric_ids.discarded_entry, 1);
                 self.ledger.discarded += 1;
                 self.fault_ledger.link_dropped += 1;
                 continue;
@@ -1326,6 +1471,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                         ));
                     }
                     self.metrics.record_injected();
+                    self.registry.add(self.metric_ids.injected, 1);
                 }
                 Err(_rejected) => {
                     debug_assert!(!blocking, "blocking inject was pre-checked");
@@ -1339,7 +1485,23 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                         ));
                     }
                     self.metrics.record_entry_discard();
+                    self.registry.add(self.metric_ids.discarded_entry, 1);
                     self.ledger.discarded += 1;
+                }
+            }
+        }
+    }
+
+    /// Samples every input buffer's occupied slots into the
+    /// `net.occupancy_slots` histogram. Only called while the registry
+    /// is enabled (one scan per cycle, serial, after injection).
+    fn observe_occupancy(&mut self) {
+        for row in &self.switches {
+            for switch in row {
+                for port in 0..switch.ports() {
+                    let used = switch.buffer(InputPort::new(port)).used_slots();
+                    self.registry
+                        .observe(self.metric_ids.occupancy, used as u64);
                 }
             }
         }
@@ -1494,6 +1656,69 @@ mod tests {
             .buffer_kind(kind)
             .offered_load(0.3)
             .seed(11)
+    }
+
+    #[test]
+    fn registry_disabled_by_default_and_mirrors_metrics_when_enabled() {
+        let mut plain = NetworkSim::new(small(BufferKind::Damq)).unwrap();
+        plain.run(100);
+        assert!(!plain.metrics_registry().enabled());
+        assert_eq!(
+            plain.metrics_registry().counter_value("net.cycles"),
+            Some(0)
+        );
+
+        let mut sim = NetworkSim::new(small(BufferKind::Damq))
+            .unwrap()
+            .with_metrics();
+        sim.run(100);
+        let reg = sim.metrics_registry();
+        assert_eq!(reg.counter_value("net.cycles"), Some(100));
+        assert_eq!(
+            reg.counter_value("net.delivered"),
+            Some(sim.metrics().delivered())
+        );
+        assert_eq!(
+            reg.counter_value("net.generated"),
+            Some(sim.metrics().generated())
+        );
+        let latency = reg.histogram_named("net.latency_cycles").unwrap();
+        assert_eq!(latency.count(), sim.metrics().delivered());
+        assert!(latency.p50() <= latency.p99());
+        assert!(latency.p99() <= latency.p999());
+        // Occupancy was sampled once per buffer per cycle.
+        let occupancy = reg.histogram_named("net.occupancy_slots").unwrap();
+        let buffers: u64 = 16 / 4 * 2 * 4; // per-stage switches × stages × ports
+        assert_eq!(occupancy.count(), 100 * buffers);
+        // The snapshot is non-trivial JSON.
+        let snap = sim.metrics_snapshot();
+        assert!(snap.starts_with("{\"counters\":{\"net.cycles\":100,"));
+    }
+
+    #[test]
+    fn phase_profile_is_empty_until_enabled() {
+        let mut sim = NetworkSim::new(small(BufferKind::Damq)).unwrap();
+        sim.run(20);
+        let off = sim.phase_profile();
+        assert_eq!(off.phases, 0);
+        assert_eq!(off.total_ns(), 0);
+        assert_eq!(off.barrier_share(), 0.0);
+
+        let mut sim = NetworkSim::new(small(BufferKind::Damq))
+            .unwrap()
+            .with_threads(2)
+            .with_phase_timing();
+        sim.run(20);
+        let profile = sim.phase_profile();
+        // 2 stages × 20 cycles, one phase-A per stage per cycle.
+        assert_eq!(profile.phases, 40);
+        assert_eq!(profile.lane_busy_ns.len(), 2);
+        assert!(profile.lane_busy_ns[0] > 0);
+        assert!(profile.merge_ns > 0);
+        let share = profile.barrier_share() + profile.merge_share();
+        assert!((0.0..=1.0).contains(&share));
+        // Drained on read.
+        assert_eq!(sim.phase_profile().phases, 0);
     }
 
     #[test]

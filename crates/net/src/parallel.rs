@@ -100,6 +100,58 @@ impl IslandPartition {
     }
 }
 
+/// Wall-clock phase breakdown drained from a sharded
+/// [`NetworkSim`](crate::NetworkSim) by
+/// [`NetworkSim::phase_profile`](crate::NetworkSim::phase_profile).
+///
+/// All values are nanoseconds of *harness* wall-clock — where the
+/// stepping loop spends real time, never simulated cycles. The three
+/// buckets decompose a sharded run: phase-A busy time per lane,
+/// the submitting thread's barrier wait (its idle share while
+/// stragglers finish), and the serial phase-B merge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Per-lane phase-A busy time (lane 0 is the stepping thread).
+    pub lane_busy_ns: Vec<u64>,
+    /// Stepping thread's time blocked at the phase-A barrier.
+    pub barrier_wait_ns: u64,
+    /// Serial phase-B merge time (departure apply, in switch order).
+    pub merge_ns: u64,
+    /// Phases executed while profiling was enabled.
+    pub phases: u64,
+}
+
+impl PhaseProfile {
+    /// Total phase-A busy nanoseconds across all lanes.
+    pub fn busy_ns(&self) -> u64 {
+        self.lane_busy_ns.iter().sum()
+    }
+
+    /// Total accounted wall-clock: busy + barrier wait + merge.
+    pub fn total_ns(&self) -> u64 {
+        self.busy_ns() + self.barrier_wait_ns + self.merge_ns
+    }
+
+    /// Barrier-wait share of the accounted total, in `0.0..=1.0`
+    /// (0 when nothing was profiled).
+    pub fn barrier_share(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        self.barrier_wait_ns as f64 / total as f64
+    }
+
+    /// Serial-merge share of the accounted total, in `0.0..=1.0`.
+    pub fn merge_share(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        self.merge_ns as f64 / total as f64
+    }
+}
+
 /// One departure collected by phase A, applied by phase B.
 ///
 /// `route` carries the backpressure probe's parked [`HopRoute`] under
@@ -198,6 +250,16 @@ impl ParallelEngine {
     /// collected them (ascending switch, then crossbar grant order).
     pub(crate) fn lane_records(&mut self, island: usize) -> std::vec::Drain<'_, DepartRecord> {
         self.lanes[island].records.drain(..)
+    }
+
+    /// Turns the pool's wall-clock phase timer on or off.
+    pub(crate) fn set_timing(&self, enabled: bool) {
+        self.pool.set_timing(enabled);
+    }
+
+    /// Drains the pool's accumulated phase-timer totals.
+    pub(crate) fn take_times(&self) -> damq_shard::PhaseTimes {
+        self.pool.take_times()
     }
 }
 

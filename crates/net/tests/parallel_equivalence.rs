@@ -36,13 +36,17 @@ struct Run {
     link_dropped: u64,
     corrupt_dropped: u64,
     probe_invalidated: u64,
+    /// The metrics registry's deterministic JSON snapshot (counters plus
+    /// histogram p50/p99/p999) — must be byte-identical too.
+    metrics_snapshot: String,
     trace: String,
 }
 
 fn run(config: NetworkConfig, faults: Option<&FaultPlan>, threads: usize, cycles: u64) -> Run {
     let mut sim = NetworkSim::with_sink(config, MemorySink::new())
         .expect("valid config")
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_metrics();
     assert_eq!(sim.threads(), threads.max(1));
     if let Some(plan) = faults {
         sim.install_fault_plan(plan.clone());
@@ -69,6 +73,7 @@ fn run(config: NetworkConfig, faults: Option<&FaultPlan>, threads: usize, cycles
         link_dropped: ledger.link_dropped,
         corrupt_dropped: ledger.corrupt_dropped,
         probe_invalidated: ledger.probe_invalidated,
+        metrics_snapshot: sim.metrics_snapshot(),
         trace: sim
             .into_sink()
             .events()
@@ -226,6 +231,48 @@ fn blocking_misroute_probe_invalidation_window() {
     // otherwise, and the tally must stay zero.
     let clean = run(config, None, 1, 300);
     assert_eq!(clean.probe_invalidated, 0);
+}
+
+/// The observability acceptance gate: named-metric snapshots — counters
+/// *and* log-histogram percentiles — must be byte-identical between the
+/// serial run and 2/4/8-thread runs. Registry updates happen only in
+/// the serial sections of the cycle (generate, phase-B merge, inject,
+/// the post-inject occupancy scan), so any divergence here means a
+/// registry update leaked into phase A.
+#[test]
+fn metrics_registry_snapshot_matches_across_thread_counts() {
+    for flow in FlowControl::ALL {
+        let config = hot_spot(16, 4).flow_control(flow);
+        let serial = run(config, None, 1, 300);
+        assert!(
+            serial.metrics_snapshot.contains("\"net.latency_cycles\""),
+            "snapshot carries the latency histogram"
+        );
+        assert!(
+            serial.metrics_snapshot.contains("\"p999\""),
+            "snapshot carries tail percentiles"
+        );
+        for threads in [2usize, 4, 8] {
+            let sharded = run(config, None, threads, 300);
+            assert_eq!(
+                serial.metrics_snapshot, sharded.metrics_snapshot,
+                "hot-spot/{flow}: {threads}-thread metrics snapshot differs from serial"
+            );
+        }
+    }
+    // Histogram percentiles are ordered and live inside the observed
+    // range on a real workload.
+    let mut sim = NetworkSim::new(hot_spot(16, 4))
+        .expect("valid config")
+        .with_metrics();
+    sim.run(300);
+    let reg = sim.metrics_registry();
+    let latency = reg
+        .histogram_named("net.latency_cycles")
+        .expect("registered");
+    assert!(latency.count() > 0, "hot-spot run delivers packets");
+    assert!(latency.p50() <= latency.p99() && latency.p99() <= latency.p999());
+    assert!(latency.p999() <= latency.max());
 }
 
 #[test]

@@ -47,8 +47,13 @@
 pub mod model;
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+// lint: allow — the phase timer measures the *pool's* wall-clock (lane
+// busy time, barrier waits), never simulation state; cycle time in the
+// simulators is the logical `cycle` counter, not `Instant`.
+use std::time::Instant;
 
 /// A lifetime-erased pointer to the phase job shared with the workers.
 ///
@@ -83,6 +88,73 @@ struct Shared {
     work: Condvar,
     /// Signalled when the last worker finishes the current phase.
     done: Condvar,
+    /// Opt-in wall-clock phase timer (off by default).
+    timing: Timing,
+}
+
+/// Wall-clock accumulators for the opt-in phase timer. All counters are
+/// harness-side observability: they never feed back into simulation
+/// state, so `Relaxed` ordering everywhere is sufficient — each counter
+/// is an independent statistic with no dependent data.
+struct Timing {
+    /// Whether lanes should time their phase-closure execution.
+    enabled: AtomicBool,
+    /// Per-lane nanoseconds spent executing phase closures.
+    lane_busy_ns: Vec<AtomicU64>,
+    /// Submitting thread's nanoseconds blocked at the completion barrier.
+    barrier_wait_ns: AtomicU64,
+    /// Phases executed while the timer was enabled.
+    phases: AtomicU64,
+}
+
+impl Timing {
+    fn new(threads: usize) -> Self {
+        Timing {
+            enabled: AtomicBool::new(false),
+            lane_busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            barrier_wait_ns: AtomicU64::new(0),
+            phases: AtomicU64::new(0),
+        }
+    }
+
+    /// `Some(start)` when the timer is on, for a `stop`-paired sample.
+    // lint: allow — harness wall-clock, never simulation state.
+    #[inline]
+    fn start(&self) -> Option<Instant> {
+        // ordering: Relaxed — a stale read only delays the timer taking
+        // effect by one phase; no data depends on the flag.
+        self.enabled
+            .load(Ordering::Relaxed)
+            // lint: allow — harness wall-clock, never simulation state.
+            .then(Instant::now)
+    }
+
+    /// Adds the elapsed time since `start` to lane `tid`'s busy total.
+    // lint: allow — harness wall-clock, never simulation state.
+    #[inline]
+    fn stop_lane(&self, tid: usize, start: Option<Instant>) {
+        if let Some(start) = start {
+            let ns = start.elapsed().as_nanos() as u64;
+            // ordering: Relaxed — a pure statistic with no dependent data.
+            self.lane_busy_ns[tid].fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Wall-clock totals drained from a [`PhasePool`]'s phase timer by
+/// [`PhasePool::take_times`]. All values are nanoseconds of *harness*
+/// wall-clock — they describe where the pool spent real time, never
+/// simulated cycles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Per-lane time spent executing phase closures (index = lane id;
+    /// lane 0 is the submitting thread).
+    pub lane_busy_ns: Vec<u64>,
+    /// Time the submitting thread spent blocked at the completion
+    /// barrier after finishing its own lane — the idle share.
+    pub barrier_wait_ns: u64,
+    /// Phases executed while the timer was enabled.
+    pub phases: u64,
 }
 
 /// A persistent pool of `threads - 1` workers plus the calling thread,
@@ -122,6 +194,7 @@ impl PhasePool {
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            timing: Timing::new(threads),
         });
         let workers = (1..threads)
             .map(|tid| {
@@ -142,6 +215,40 @@ impl PhasePool {
     /// Number of lanes (caller + workers) phases execute on.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Turns the wall-clock phase timer on or off. Off by default;
+    /// while off, phases pay only one relaxed flag load.
+    pub fn set_timing(&self, enabled: bool) {
+        // ordering: Relaxed — an observability flag; lanes may see the
+        // change one phase late, which only shifts a statistic.
+        self.shared.timing.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the phase timer is currently enabled.
+    pub fn timing_enabled(&self) -> bool {
+        // ordering: Relaxed — see `set_timing`.
+        self.shared.timing.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drains the accumulated phase-timer totals, resetting them to
+    /// zero. Call between phases (never concurrently with `run_phase`)
+    /// for a consistent snapshot.
+    pub fn take_times(&self) -> PhaseTimes {
+        let timing = &self.shared.timing;
+        PhaseTimes {
+            lane_busy_ns: timing
+                .lane_busy_ns
+                .iter()
+                // ordering: Relaxed — drained between phases; the phase
+                // barrier already ordered every worker's accumulation.
+                .map(|ns| ns.swap(0, Ordering::Relaxed))
+                .collect(),
+            // ordering: Relaxed — same between-phases drain.
+            barrier_wait_ns: timing.barrier_wait_ns.swap(0, Ordering::Relaxed),
+            // ordering: Relaxed — same between-phases drain.
+            phases: timing.phases.swap(0, Ordering::Relaxed),
+        }
     }
 
     /// Runs one phase: `items` is split at `bounds` into
@@ -185,11 +292,18 @@ impl PhasePool {
         );
 
         if self.workers.is_empty() || chunks == 1 {
+            let timer = self.shared.timing.start();
             let mut rest = items;
             for (i, lane) in lanes.iter_mut().enumerate() {
                 let (chunk, tail) = rest.split_at_mut(bounds[i + 1] - bounds[i]);
                 f(i, bounds[i], chunk, lane, ctx);
                 rest = tail;
+            }
+            // The inline path is all lane 0 and has no barrier.
+            self.shared.timing.stop_lane(0, timer);
+            if timer.is_some() {
+                // ordering: Relaxed — a pure phase count, no dependent data.
+                self.shared.timing.phases.fetch_add(1, Ordering::Relaxed);
             }
             return;
         }
@@ -238,11 +352,24 @@ impl PhasePool {
 
         // Lane 0 runs here. A panic must still wait for the workers
         // (they hold borrows into the caller's frame) before unwinding.
+        let timer = self.shared.timing.start();
         let lane0 = catch_unwind(AssertUnwindSafe(|| job(0)));
+        self.shared.timing.stop_lane(0, timer);
 
+        // Time blocked at the barrier is the submitter's idle share:
+        // lane 0 is done, the stragglers are not.
+        let barrier = self.shared.timing.start();
         let mut state = self.shared.state.lock().expect("phase pool poisoned");
         while state.remaining > 0 {
             state = self.shared.done.wait(state).expect("phase pool poisoned");
+        }
+        if let Some(start) = barrier {
+            let ns = start.elapsed().as_nanos() as u64;
+            let timing = &self.shared.timing;
+            // ordering: Relaxed — pure statistics with no dependent data.
+            timing.barrier_wait_ns.fetch_add(ns, Ordering::Relaxed);
+            // ordering: Relaxed — same.
+            timing.phases.fetch_add(1, Ordering::Relaxed);
         }
         state.job = None;
         let worker_panicked = std::mem::replace(&mut state.panicked, false);
@@ -286,9 +413,11 @@ fn worker_loop(shared: &Shared, tid: usize) {
                 state = shared.work.wait(state).expect("phase pool poisoned");
             }
         };
+        let timer = shared.timing.start();
         // SAFETY: the submitter keeps the job alive until `remaining`
         // hits 0, which happens only after this call returns.
         let outcome = catch_unwind(AssertUnwindSafe(|| (unsafe { &*job.0 })(tid)));
+        shared.timing.stop_lane(tid, timer);
         let mut state = shared.state.lock().expect("phase pool poisoned");
         if outcome.is_err() {
             state.panicked = true;
@@ -463,6 +592,42 @@ mod tests {
         let mut items = vec![0u8; 10];
         let mut lanes = vec![(); 2];
         pool.run_phase(&mut items, &[0, 5, 9], &mut lanes, &(), &|_, _, _, _, _| {});
+    }
+
+    #[test]
+    fn phase_timer_accumulates_and_drains() {
+        for threads in [1, 3] {
+            let pool = PhasePool::new(threads);
+            let mut items = vec![0u64; 300];
+            let bounds = even_bounds(items.len(), threads);
+            let mut lanes = vec![(); threads];
+            let bump = |_: usize, _: usize, chunk: &mut [u64], _: &mut (), _: &()| {
+                for item in chunk.iter_mut() {
+                    *item += 1;
+                }
+            };
+
+            // Timer off by default: phases run untimed.
+            assert!(!pool.timing_enabled());
+            pool.run_phase(&mut items, &bounds, &mut lanes, &(), &bump);
+            let off = pool.take_times();
+            assert_eq!(off.phases, 0);
+            assert!(off.lane_busy_ns.iter().all(|&ns| ns == 0));
+
+            pool.set_timing(true);
+            for _ in 0..10 {
+                pool.run_phase(&mut items, &bounds, &mut lanes, &(), &bump);
+            }
+            let on = pool.take_times();
+            assert_eq!(on.phases, 10);
+            assert_eq!(on.lane_busy_ns.len(), threads);
+            assert!(on.lane_busy_ns[0] > 0, "lane 0 always runs");
+            // Drained: a second take reads zeros.
+            let drained = pool.take_times();
+            assert_eq!(drained.phases, 0);
+            assert_eq!(drained.barrier_wait_ns, 0);
+            assert!(drained.lane_busy_ns.iter().all(|&ns| ns == 0));
+        }
     }
 
     #[test]

@@ -494,6 +494,40 @@ impl Event {
             })
             .collect()
     }
+
+    /// Like [`parse_trace`](Event::parse_trace), but tolerates a **torn
+    /// tail**: a malformed *final* non-empty line — the signature of a
+    /// writer killed mid-append — is dropped, and its [`ParseError`] is
+    /// returned alongside the well-formed prefix so callers can report
+    /// the truncation. Empty input parses as an empty trace.
+    ///
+    /// # Errors
+    ///
+    /// A malformed line anywhere *before* the final one is still a hard
+    /// error: that is corruption, not truncation.
+    pub fn parse_trace_tolerant(
+        text: &str,
+    ) -> Result<(Vec<Event>, Option<ParseError>), ParseError> {
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, line)| !line.trim().is_empty())
+            .collect();
+        let mut events = Vec::with_capacity(lines.len());
+        for (at, &(i, line)) in lines.iter().enumerate() {
+            match Event::parse_jsonl(line) {
+                Ok(event) => events.push(event),
+                Err(e) => {
+                    let err = ParseError::new(format!("line {}: {}", i + 1, e.message));
+                    if at + 1 == lines.len() {
+                        return Ok((events, Some(err)));
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        Ok((events, None))
+    }
 }
 
 /// Error from [`Event::parse_jsonl`] / [`Event::parse_trace`].
@@ -775,6 +809,36 @@ mod tests {
         assert_eq!(events.len(), 1);
         let err = Event::parse_trace("{\"type\":\"nope\",\"cycle\":1}").unwrap_err();
         assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn tolerant_parse_drops_a_truncated_final_line() {
+        // A writer killed mid-append leaves a torn tail: a valid prefix
+        // followed by one malformed final line.
+        let torn =
+            "{\"type\":\"injected\",\"cycle\":1,\"packet\":0,\"source\":0}\n{\"type\":\"inje";
+        let (events, tail) = Event::parse_trace_tolerant(torn).unwrap();
+        assert_eq!(events.len(), 1);
+        let tail = tail.expect("torn tail reported");
+        assert!(tail.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn tolerant_parse_still_rejects_mid_trace_corruption() {
+        let corrupt = "garbage\n{\"type\":\"injected\",\"cycle\":1,\"packet\":0,\"source\":0}";
+        let err = Event::parse_trace_tolerant(corrupt).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn tolerant_parse_accepts_empty_and_clean_traces() {
+        let (events, tail) = Event::parse_trace_tolerant("").unwrap();
+        assert!(events.is_empty());
+        assert!(tail.is_none());
+        let clean = "{\"type\":\"injected\",\"cycle\":1,\"packet\":0,\"source\":0}\n";
+        let (events, tail) = Event::parse_trace_tolerant(clean).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(tail.is_none());
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //!   engine's JSON `telemetry` section.
 //! * [`EventLanes`] — per-island event buffers for the sharded simulator,
 //!   merging into one stream in a thread-timing-independent order.
+//! * [`MetricsRegistry`] / [`LogHistogram`] — named cycle-domain counters
+//!   and bounded log-scale histograms with p50/p99/p999 readout and a
+//!   byte-deterministic JSON snapshot; free when disabled.
+//! * [`FlightRecorder`] / [`SharedRecorder`] — a bounded ring of recent
+//!   events that survives a cell's panic, dumped as a crash sidecar by
+//!   the sweep harness.
 //!
 //! See `docs/OBSERVABILITY.md` for the event model, the JSONL schema and
 //! worked examples.
@@ -56,6 +62,8 @@ mod collect;
 mod event;
 mod lanes;
 mod profile;
+mod recorder;
+mod registry;
 mod series;
 mod sink;
 
@@ -63,5 +71,7 @@ pub use collect::{Hop, Lifecycle, TraceSummary};
 pub use event::{Event, EventKind, ParseError};
 pub use lanes::EventLanes;
 pub use profile::Profiler;
+pub use recorder::{FlightRecorder, SharedRecorder};
+pub use registry::{CounterId, HistogramId, LogHistogram, MetricsRegistry};
 pub use series::{sparkline, Bin, Downsampler, OccupancyHistogram};
 pub use sink::{CountingSink, JsonlRecord, JsonlSink, MemorySink, NullSink, TelemetrySink};

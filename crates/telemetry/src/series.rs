@@ -308,6 +308,35 @@ mod tests {
     }
 
     #[test]
+    fn downsampler_series_shorter_than_bucket_width() {
+        // No samples at all: every readout is a well-defined empty.
+        let empty = Downsampler::new(8);
+        assert_eq!(empty.samples(), 0);
+        assert!(empty.bins().is_empty());
+        assert!(empty.bins_with_pending().is_empty());
+        assert!(empty.means().is_empty());
+        assert_eq!(empty.peak(), 0.0);
+
+        // Force the stride to 2, then stop with one trailing sample —
+        // a tail shorter than the bucket width. It must survive in the
+        // pending bin, not vanish and not complete a bin early.
+        let mut d = Downsampler::new(2);
+        d.record(1.0);
+        d.record(2.0);
+        d.record(5.0); // triggers halve_resolution: stride 1 → 2
+        assert_eq!(d.stride(), 2);
+        assert_eq!(d.bins().len(), 1, "the tail bin is incomplete");
+        let with_pending = d.bins_with_pending();
+        assert_eq!(with_pending.len(), 2);
+        assert_eq!(with_pending[1].count, 1);
+        assert_eq!(with_pending[1].sum, 5.0);
+        let total: f64 = with_pending.iter().map(|b| b.sum).sum();
+        assert_eq!(total, 8.0, "no sample lost to the short tail");
+        assert_eq!(d.samples(), 3);
+        assert_eq!(d.peak(), 5.0);
+    }
+
+    #[test]
     fn downsampler_minimum_bins_is_even() {
         let d = Downsampler::new(0);
         assert_eq!(d.max_bins, 2);

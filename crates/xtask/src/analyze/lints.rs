@@ -1,9 +1,9 @@
-//! The nine workspace lints, implemented over the structural scanner.
+//! The ten workspace lints, implemented over the structural scanner.
 //!
 //! Lints 1–7 are the historical regex-era lints migrated onto token
 //! sequences and the brace tree (same semantics, fewer loopholes —
 //! `Box < dyn SwitchBuffer >` and friends no longer slip through
-//! whitespace). Lints 8 and 9 are new:
+//! whitespace). Lints 8–10 are new:
 //!
 //! 8. **unsafe-audit** — every `unsafe` block/impl/fn/trait carries a
 //!    `// SAFETY:` justification; every workspace crate except
@@ -16,6 +16,11 @@
 //!    order is nondeterministic), `Instant`/`SystemTime` (wall-clock),
 //!    or thread identity (`thread::current`, `ThreadId`); waivers carry
 //!    `// lint: allow — why`.
+//! 10. **metric-docs** — every metric name registered on the telemetry
+//!     `MetricsRegistry` (a `.counter("…")` / `.histogram("…")` call
+//!     with a literal name, outside test code) appears in the metrics
+//!     reference table of `docs/OBSERVABILITY.md`, so the always-on
+//!     registry's namespace stays documented as it grows.
 //!
 //! Every lint takes the parsed [`Workspace`] and appends [`Finding`]s;
 //! the driver times each entry of [`ALL`] so scan-speed regressions are
@@ -25,7 +30,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use super::ledger;
-use super::lexer::Token;
+use super::lexer::{Token, TokenKind};
 use super::tree;
 use super::{Finding, SourceFile, Workspace};
 
@@ -66,9 +71,9 @@ pub const UNSAFE_CRATE_DIR: &str = "crates/shard";
 /// A lint pass: appends findings for one structural rule.
 pub type LintFn = fn(&Workspace, &mut Vec<Finding>);
 
-/// The nine lints, in order, with their display names. The driver times
+/// The ten lints, in order, with their display names. The driver times
 /// each entry individually.
-pub const ALL: [(&str, LintFn); 9] = [
+pub const ALL: [(&str, LintFn); 10] = [
     ("1 no-panic", no_panic),
     ("2 no-unseeded-rng", no_unseeded_rng),
     ("3 docs-mandatory", docs_mandatory),
@@ -78,6 +83,7 @@ pub const ALL: [(&str, LintFn); 9] = [
     ("7 doc-links", doc_links),
     ("8 unsafe-audit", unsafe_audit),
     ("9 determinism", determinism),
+    ("10 metric-docs", metric_docs),
 ];
 
 fn finding(file: &SourceFile, line: usize, message: String) -> Finding {
@@ -582,6 +588,71 @@ fn determinism(ws: &Workspace, findings: &mut Vec<Finding>) {
     }
 }
 
+/// The document lint 10 checks registered metric names against.
+const METRICS_DOC_REL: &str = "docs/OBSERVABILITY.md";
+
+/// Every statically registered metric name in `file`, as `(line, name)`:
+/// call sites of the shape `.counter("…")` / `.histogram("…")` whose
+/// first argument is a string literal. The lexer drops literal text, so
+/// the name is read back from the literal's raw source line (metric
+/// registrations are one-per-line in practice).
+pub fn registered_metric_names(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut names = Vec::new();
+    for (i, tok) in file.code.iter().enumerate() {
+        let is_site = (tok.is_ident("counter") || tok.is_ident("histogram"))
+            && i > 0
+            && file.code[i - 1].is_punct('.')
+            && file.code.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && file
+                .code
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokenKind::Literal);
+        if !is_site {
+            continue;
+        }
+        let lit_line = file.code[i + 2].line;
+        let Some(raw) = file.raw_lines.get(lit_line - 1) else {
+            continue;
+        };
+        if let Some(name) = first_quoted(raw) {
+            names.push((tok.line, name.to_owned()));
+        }
+    }
+    names
+}
+
+/// The contents of the first double-quoted string on `line`, if any.
+fn first_quoted(line: &str) -> Option<&str> {
+    let open = line.find('"')?;
+    let rest = &line[open + 1..];
+    let close = rest.find('"')?;
+    Some(&rest[..close])
+}
+
+/// Lint 10: metric documentation. Every metric name registered outside
+/// test code must appear — in backticks — in the metrics reference table
+/// of `docs/OBSERVABILITY.md`. The registry is always-on and its
+/// snapshot is part of the committed goldens, so an undocumented name is
+/// an undocumented public surface.
+fn metric_docs(ws: &Workspace, findings: &mut Vec<Finding>) {
+    let doc = fs::read_to_string(ws.root.join(METRICS_DOC_REL)).unwrap_or_default();
+    for file in ws.files_under("crates/") {
+        for (line, name) in registered_metric_names(file) {
+            if unwaived(file, line) && !doc.contains(&format!("`{name}`")) {
+                findings.push(finding(
+                    file,
+                    line,
+                    format!(
+                        "metric '{name}' is registered here but missing from the \
+                         metrics reference in {METRICS_DOC_REL} — document it (or \
+                         justify with a '// {ALLOW_MARKER} — why' comment)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -706,6 +777,35 @@ mod tests {
         let findings = run(determinism, &ws);
         let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
         assert_eq!(lines, vec![1, 4, 5], "waived HashSet is skipped");
+    }
+
+    #[test]
+    fn metric_docs_extracts_names_and_skips_tests() {
+        let ws = ws_with(vec![(
+            "crates/net/src/x.rs",
+            "fn r(reg: &mut MetricsRegistry) {\n\
+             let c = reg.counter(\"net.cycles\");\n\
+             let h = reg.histogram(\"net.latency_cycles\");\n\
+             let d = reg.counter(dynamic_name);\n\
+             }\n\
+             #[cfg(test)]\nmod tests { fn t(reg: &mut MetricsRegistry) { reg.counter(\"test.x\"); } }\n",
+        )]);
+        let names = registered_metric_names(&ws.files[0]);
+        assert_eq!(
+            names,
+            vec![
+                (2, "net.cycles".to_owned()),
+                (3, "net.latency_cycles".to_owned()),
+                (7, "test.x".to_owned()),
+            ],
+            "literal names only; the dynamic-name site is skipped"
+        );
+        // The workspace root points nowhere, so the reference doc reads
+        // as empty and both non-test names are flagged; the test-code
+        // registration is not.
+        let findings = run(metric_docs, &ws);
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3]);
     }
 
     #[test]

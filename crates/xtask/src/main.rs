@@ -2,8 +2,8 @@
 //! unsafe-ledger`.
 //!
 //! The analysis itself lives in the [`analyze`] module — a hand-rolled
-//! lexer, a brace tree, nine structural lints and the generated
-//! `docs/UNSAFE_LEDGER.md` inventory. The nine lints (details in
+//! lexer, a brace tree, ten structural lints and the generated
+//! `docs/UNSAFE_LEDGER.md` inventory. The ten lints (details in
 //! `docs/VERIFICATION.md` § Static analysis):
 //!
 //! 1. **No panics in simulator library code** (`crates/core`,
@@ -27,8 +27,11 @@
 //!    generated `docs/UNSAFE_LEDGER.md` is current.
 //! 9. **Determinism** — no `HashMap`/`HashSet`, wall-clock time, or
 //!    thread identity in the sim-path crates; waivable.
+//! 10. **Metric docs** — every metric name registered on the telemetry
+//!     `MetricsRegistry` appears in the metrics reference table of
+//!     `docs/OBSERVABILITY.md`; waivable.
 //!
-//! `cargo xtask lint` runs all nine plus the `cargo clippy` / `cargo fmt
+//! `cargo xtask lint` runs all ten plus the `cargo clippy` / `cargo fmt
 //! --check` gates; `--no-cargo` skips the cargo gates (fast, no
 //! compilation — the check.sh `analyze` gate budget is ~2s). Per-lint
 //! wall-times are printed so scan-speed regressions are visible.

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# The repo's offline quality gate: static analysis (nine structural
+# The repo's offline quality gate: static analysis (ten structural
 # lints + unsafe ledger + clippy + rustfmt), build, the full test suite
 # (with and without per-operation invariant audits), the exhaustive 2x2
 # model checker, the fault-injection smoke (self-healing harness +
-# resume), sanitizer smokes (miri + TSan, probed and skipped with a note
+# resume), the observability smoke (metrics-registry golden + disabled
+# overhead), sanitizer smokes (miri + TSan, probed and skipped with a note
 # where the toolchain lacks them), and rustdoc with warnings denied
 # (`#![deny(missing_docs)]` in the crates turns any missing doc into a
 # hard failure here).
@@ -16,6 +17,7 @@
 #        scripts/check.sh analyze          # just the static-analysis gate
 #        scripts/check.sh fault-smoke      # just the fault-injection smoke
 #        scripts/check.sh parallel-smoke   # just the sharded-stepping smoke
+#        scripts/check.sh obs-smoke        # just the observability smoke
 #        scripts/check.sh sanitizer-smoke  # miri + TSan, skip when unsupported
 set -Eeuo pipefail
 cd "$(dirname "$0")/.."
@@ -77,13 +79,32 @@ parallel_smoke() {
         > /dev/null
 }
 
-# Tentpole gate: the in-tree static analyzer. The nine structural lints
+# Satellite gate: the observability layer. Asserts (1) the obs_report
+# metrics-registry snapshot on the golden 2x2 run is byte-identical to
+# the committed golden (regenerate an intentional change with
+# `cargo run --release -p damq-bench --bin obs_report`); (2) the
+# always-on registry really is free when disabled (the
+# no_op_registry_overhead bench fails past a 25% overhead ratio).
+obs_smoke() {
+    gate "obs-smoke: registry snapshot matches the committed golden"
+    local tmp
+    tmp="$(mktemp -d)"
+    cargo run -q --release -p damq-bench --bin obs_report -- \
+        --out "$tmp/obs_report.json" > /dev/null
+    diff -u results/json/obs_report.json "$tmp/obs_report.json"
+    rm -rf "$tmp"
+
+    gate "obs-smoke: disabled metrics registry is free"
+    cargo bench -p damq-bench --bench no_op_registry_overhead
+}
+
+# Tentpole gate: the in-tree static analyzer. The ten structural lints
 # (lexer-backed, no regex) must report zero findings, the generated
 # unsafe ledger must be fresh, and — in the full run — clippy and
 # rustfmt must agree. The bare-lint pass is budgeted at ~2s so it stays
 # cheap enough to run on every edit; the xtask prints per-lint timings.
 analyze() {
-    gate "analyze: nine structural lints + unsafe-ledger freshness"
+    gate "analyze: ten structural lints + unsafe-ledger freshness"
     cargo xtask lint --no-cargo
 
     gate "analyze: clippy + rustfmt"
@@ -146,6 +167,11 @@ parallel-smoke)
     echo "parallel-smoke passed"
     exit 0
     ;;
+obs-smoke)
+    obs_smoke
+    echo "obs-smoke passed"
+    exit 0
+    ;;
 sanitizer-smoke)
     sanitizer_smoke
     echo "sanitizer-smoke passed"
@@ -153,7 +179,7 @@ sanitizer-smoke)
     ;;
 all) ;;
 *)
-    echo "usage: scripts/check.sh [analyze|fault-smoke|parallel-smoke|sanitizer-smoke]" >&2
+    echo "usage: scripts/check.sh [analyze|fault-smoke|parallel-smoke|obs-smoke|sanitizer-smoke]" >&2
     exit 2
     ;;
 esac
@@ -186,6 +212,8 @@ cargo bench -p damq-bench --bench sim_throughput -- --smoke
 fault_smoke
 
 parallel_smoke
+
+obs_smoke
 
 sanitizer_smoke
 
