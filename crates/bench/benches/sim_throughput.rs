@@ -110,6 +110,12 @@ fn main() {
         NetworkSim::new(c).expect("valid config")
     });
     cells.push(("hotspot_damq", cps));
+    let cps = bench_steps("hotspot_damq_noskip", hot_spot_config(), WARM_UP, |c| {
+        NetworkSim::new(c)
+            .expect("valid config")
+            .with_idle_skip(false)
+    });
+    cells.push(("hotspot_damq_noskip", cps));
     let cps = bench_steps::<DamqBuffer, _>("hotspot_damq_typed", hot_spot_config(), WARM_UP, |c| {
         NetworkSim::typed(c).expect("valid config")
     });
@@ -156,9 +162,29 @@ fn cells_json(cells: &[(&'static str, f64)]) -> Json {
     }))
 }
 
-/// Rewrites `BENCH_throughput.json`: `current` always reflects this run;
-/// `baseline` is preserved from the existing file unless `--rebaseline`
-/// (or no file exists yet). Per-cell `speedup` is current/baseline.
+/// Per-cell `current[cell] / reference[cell]` ratios, skipping cells the
+/// reference does not carry.
+fn speedup_vs(cells: &[(&'static str, f64)], reference: &Json) -> Json {
+    Json::obj(cells.iter().filter_map(|&(name, cps)| {
+        let base = reference
+            .get(name)
+            .and_then(|cell| cell.get("cycles_per_sec"))
+            .and_then(Json::as_f64)?;
+        (base > 0.0).then(|| (name, Json::from(cps / base)))
+    }))
+}
+
+/// Rewrites this harness's sections of `BENCH_throughput.json`:
+/// `current` always reflects this run; `baseline` is preserved from the
+/// existing file unless `--rebaseline` (or no file exists yet); the `soa`
+/// section pins the structure-of-arrays refactor against the last
+/// pre-SoA run. Per-cell `speedup` is current/baseline.
+///
+/// Sections this harness does not own (`scaling` and `phase_profile`
+/// from `parallel_scaling`, anything future) are merged through
+/// untouched — running `sim_throughput` then `parallel_scaling` once
+/// regenerates every section of the file; neither order leaves a stale
+/// cell behind.
 fn write_report(cells: &[(&'static str, f64)], rebaseline: bool) {
     let path = report_path();
     let current = cells_json(cells);
@@ -173,34 +199,58 @@ fn write_report(cells: &[(&'static str, f64)], rebaseline: bool) {
             .and_then(|doc| doc.get("baseline").cloned())
     };
     let baseline = baseline.unwrap_or_else(|| current.clone());
-    // The threads × network-size curves belong to the parallel_scaling
-    // harness; carry its section through untouched.
-    let scaling = existing
+
+    // The SoA reference: the `current` section the pre-SoA tree
+    // committed (PR 8). Snapshotted into the `soa` section on the first
+    // post-refactor run and preserved afterwards, so the layout
+    // refactor's effect stays readable even after rebaselines.
+    let pr8_reference = existing
         .as_ref()
-        .and_then(|doc| doc.get("scaling").cloned());
-
-    let speedup = Json::obj(cells.iter().filter_map(|&(name, cps)| {
-        let base = baseline
-            .get(name)
-            .and_then(|cell| cell.get("cycles_per_sec"))
-            .and_then(Json::as_f64)?;
-        (base > 0.0).then(|| (name, Json::from(cps / base)))
-    }));
-
-    let mut pairs = vec![
-        ("bench".to_owned(), Json::from("sim_throughput")),
+        .and_then(|doc| doc.get("soa"))
+        .and_then(|soa| soa.get("pr8_reference"))
+        .or_else(|| existing.as_ref().and_then(|doc| doc.get("current")))
+        .cloned()
+        .unwrap_or_else(|| current.clone());
+    let soa = Json::obj([
         (
-            "network".to_owned(),
+            "_note",
+            Json::from(
+                "structure-of-arrays slot storage + batched cycle kernels + idle-skip \
+                 vs the committed pre-SoA (PR 8, monomorphized per-packet-struct) run \
+                 on the same cells; hotspot_damq_noskip is this tree with the \
+                 quiescence fast path disabled. The reference was measured on the \
+                 PR 8 host: compare ratios, not absolute cycles/sec, across machines \
+                 (docs/PERFORMANCE.md) — EXPERIMENTS.md records a same-host \
+                 re-measurement of the PR 8 tree next to this run",
+            ),
+        ),
+        ("pr8_reference", pr8_reference.clone()),
+        ("speedup_vs_pr8", speedup_vs(cells, &pr8_reference)),
+    ]);
+
+    let speedup = speedup_vs(cells, &baseline);
+    let own_sections: Vec<(&str, Json)> = vec![
+        ("bench", Json::from("sim_throughput")),
+        (
+            "network",
             Json::from("64-terminal Omega of 4x4 switches, blocking, smart arbitration"),
         ),
-        ("headline".to_owned(), Json::from("hotspot_damq")),
-        ("warm_up_cycles".to_owned(), Json::from(WARM_UP)),
-        ("baseline".to_owned(), baseline),
-        ("current".to_owned(), current),
-        ("speedup".to_owned(), speedup),
+        ("headline", Json::from("hotspot_damq")),
+        ("warm_up_cycles", Json::from(WARM_UP)),
+        ("baseline", baseline),
+        ("current", current),
+        ("speedup", speedup),
+        ("soa", soa),
     ];
-    if let Some(scaling) = scaling {
-        pairs.push(("scaling".to_owned(), scaling));
+    let mut pairs = match existing {
+        Some(Json::Obj(pairs)) => pairs,
+        _ => Vec::new(),
+    };
+    for (key, value) in own_sections {
+        match pairs.iter_mut().find(|(k, _)| k == key) {
+            Some((_, slot)) => *slot = value,
+            None => pairs.push((key.to_owned(), value)),
+        }
     }
     let doc = Json::Obj(pairs);
     match std::fs::write(&path, doc.render_pretty()) {
@@ -213,6 +263,13 @@ fn write_report(cells: &[(&'static str, f64)], rebaseline: bool) {
         .and_then(|s| s.get("hotspot_damq"))
         .and_then(Json::as_f64)
         .unwrap_or(1.0);
+    let vs_pr8 = doc
+        .get("soa")
+        .and_then(|s| s.get("speedup_vs_pr8"))
+        .and_then(|s| s.get("hotspot_damq"))
+        .and_then(Json::as_f64)
+        .unwrap_or(1.0);
     println!();
     println!("headline speedup vs baseline (hotspot_damq): {headline:.2}x");
+    println!("headline speedup vs pre-SoA tree (hotspot_damq): {vs_pr8:.2}x");
 }

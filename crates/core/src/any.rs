@@ -16,7 +16,7 @@
 //! designs, which *are* their kind.
 
 use crate::audit::AuditError;
-use crate::buffer::{BufferConfig, BufferKind, SwitchBuffer};
+use crate::buffer::{BufferConfig, BufferKind, FrontMeta, SwitchBuffer};
 use crate::error::{ConfigError, Rejected};
 use crate::packet::Packet;
 use crate::stats::BufferStats;
@@ -108,6 +108,16 @@ impl SwitchBuffer for AnyBuffer {
     }
 
     #[inline]
+    fn accept_capacity(&self, output: OutputPort) -> usize {
+        dispatch!(self, b => b.accept_capacity(output))
+    }
+
+    #[inline]
+    fn front_meta(&self, output: OutputPort) -> Option<FrontMeta> {
+        dispatch!(self, b => b.front_meta(output))
+    }
+
+    #[inline]
     fn try_enqueue(&mut self, output: OutputPort, packet: Packet) -> Result<(), Rejected> {
         dispatch!(self, b => b.try_enqueue(output, packet))
     }
@@ -115,6 +125,11 @@ impl SwitchBuffer for AnyBuffer {
     #[inline]
     fn queue_len(&self, output: OutputPort) -> usize {
         dispatch!(self, b => b.queue_len(output))
+    }
+
+    #[inline]
+    fn queue_lens_into(&self, lens: &mut [u16]) {
+        dispatch!(self, b => b.queue_lens_into(lens))
     }
 
     #[inline]
@@ -272,12 +287,24 @@ impl SwitchBuffer for Box<dyn SwitchBuffer> {
         (**self).can_accept(output, slots)
     }
 
+    fn accept_capacity(&self, output: OutputPort) -> usize {
+        (**self).accept_capacity(output)
+    }
+
+    fn front_meta(&self, output: OutputPort) -> Option<FrontMeta> {
+        (**self).front_meta(output)
+    }
+
     fn try_enqueue(&mut self, output: OutputPort, packet: Packet) -> Result<(), Rejected> {
         (**self).try_enqueue(output, packet)
     }
 
     fn queue_len(&self, output: OutputPort) -> usize {
         (**self).queue_len(output)
+    }
+
+    fn queue_lens_into(&self, lens: &mut [u16]) {
+        (**self).queue_lens_into(lens)
     }
 
     fn front(&self, output: OutputPort) -> Option<&Packet> {

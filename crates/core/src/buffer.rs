@@ -18,9 +18,42 @@ use std::fmt;
 
 use crate::audit::AuditError;
 use crate::error::{ConfigError, Rejected};
+use crate::ids::NodeId;
 use crate::packet::{Packet, DEFAULT_SLOT_BYTES};
 use crate::stats::BufferStats;
 use crate::OutputPort;
+
+/// Compact descriptor of the packet at the head of a queue: exactly the
+/// two facts a flow-control probe needs — where the packet is going and
+/// how much room it takes — without handing out the packet itself.
+///
+/// The cycle kernel examines up to `ports x fanout` queue heads per cycle
+/// just to answer "can this candidate move?". Returning `FrontMeta`
+/// (16 bytes, by value) from the buffer's index registers keeps that
+/// examination walk inside the dense SoA columns; the out-of-line
+/// [`Packet`] payload is only dereferenced for the one winner per read
+/// port that actually dequeues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontMeta {
+    /// Final destination of the head packet.
+    pub dest: NodeId,
+    /// Payload length of the head packet in bytes.
+    pub length_bytes: u32,
+}
+
+impl FrontMeta {
+    /// Slots the head packet would occupy in a buffer with
+    /// `slot_bytes`-byte slots — same formula as
+    /// [`Packet::slots_needed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_bytes` is zero.
+    pub fn slots_needed(&self, slot_bytes: usize) -> usize {
+        assert!(slot_bytes > 0, "slot size must be nonzero");
+        (self.length_bytes as usize).div_ceil(slot_bytes).max(1)
+    }
+}
 
 /// Which buffer design a buffer instance implements.
 ///
@@ -247,6 +280,24 @@ pub trait SwitchBuffer: fmt::Debug + Send + Sync {
     /// accepted right now.
     fn can_accept(&self, output: OutputPort, slots: usize) -> bool;
 
+    /// The largest `slots` for which [`can_accept`](SwitchBuffer::can_accept)
+    /// of `output` answers `true` right now — the batched form of the
+    /// backpressure probe. The network simulator snapshots these
+    /// capacities per stage so its probe loop reads one flat array entry
+    /// instead of re-deriving admission per candidate packet.
+    ///
+    /// Admission is room-based in every design, hence monotone in
+    /// `slots`; the default derives the capacity from `can_accept`
+    /// directly (and is therefore exact for any conforming design), the
+    /// designs override it with their admission register.
+    fn accept_capacity(&self, output: OutputPort) -> usize {
+        let mut slots = 0;
+        while self.can_accept(output, slots + 1) {
+            slots += 1;
+        }
+        slots
+    }
+
     /// Stores a packet routed to `output`.
     ///
     /// # Errors
@@ -260,8 +311,37 @@ pub trait SwitchBuffer: fmt::Debug + Send + Sync {
     /// the FIFO caveat).
     fn queue_len(&self, output: OutputPort) -> usize;
 
+    /// Writes every per-output queue length into `lens` in one batched read.
+    ///
+    /// `lens.len()` must equal [`fanout`](SwitchBuffer::fanout); element `o`
+    /// receives `queue_len(OutputPort::new(o))`. The default loops over
+    /// `queue_len`; SoA-backed designs override it with a contiguous copy of
+    /// their packet-count registers so the switch's cycle kernel reads one
+    /// cache line per buffer instead of making `fanout` virtual calls.
+    fn queue_lens_into(&self, lens: &mut [u16]) {
+        debug_assert_eq!(lens.len(), self.fanout());
+        for (o, len) in lens.iter_mut().enumerate() {
+            *len = self.queue_len(OutputPort::new(o)) as u16;
+        }
+    }
+
     /// The packet that would be returned by `dequeue(output)`, if any.
     fn front(&self, output: OutputPort) -> Option<&Packet>;
+
+    /// Routing metadata of the packet [`front`](SwitchBuffer::front) would
+    /// return, if any, without touching out-of-line packet storage.
+    ///
+    /// The default derives the answer from `front` and is therefore
+    /// always exact; SoA-backed designs override it to read their
+    /// destination/length registers so the switch's examination walk
+    /// never dereferences the packet arena (see `docs/PERFORMANCE.md`
+    /// §4-§5).
+    fn front_meta(&self, output: OutputPort) -> Option<FrontMeta> {
+        self.front(output).map(|p| FrontMeta {
+            dest: p.dest(),
+            length_bytes: p.length_bytes() as u32,
+        })
+    }
 
     /// Removes and returns the next packet for `output`, freeing its slots.
     ///

@@ -18,7 +18,7 @@
 //! harness in `damq-bench` quantifies that claim.
 
 use crate::audit::AuditError;
-use crate::buffer::{BufferConfig, BufferKind, SwitchBuffer};
+use crate::buffer::{BufferConfig, BufferKind, FrontMeta, SwitchBuffer};
 use crate::damq::DamqBuffer;
 use crate::error::{ConfigError, Rejected};
 use crate::packet::Packet;
@@ -90,12 +90,24 @@ impl SwitchBuffer for DafcBuffer {
         self.inner.can_accept(output, slots)
     }
 
+    fn accept_capacity(&self, output: OutputPort) -> usize {
+        self.inner.accept_capacity(output)
+    }
+
+    fn front_meta(&self, output: OutputPort) -> Option<FrontMeta> {
+        self.inner.front_meta(output)
+    }
+
     fn try_enqueue(&mut self, output: OutputPort, packet: Packet) -> Result<(), Rejected> {
         self.inner.try_enqueue(output, packet)
     }
 
     fn queue_len(&self, output: OutputPort) -> usize {
         self.inner.queue_len(output)
+    }
+
+    fn queue_lens_into(&self, lens: &mut [u16]) {
+        self.inner.queue_lens_into(lens)
     }
 
     fn front(&self, output: OutputPort) -> Option<&Packet> {

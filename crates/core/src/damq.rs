@@ -5,8 +5,11 @@
 //! like SAMQ/SAFC it never suffers head-of-line blocking — but its storage is
 //! **not** statically partitioned. All slots live in one pool threaded onto
 //! a free list; a packet for any output may claim any free slot. The queues
-//! are linked lists through per-slot pointer registers (see
-//! [`SlotPool`]), managed in the chip by a simple hardwired controller.
+//! are linked lists through per-slot pointer registers, stored here as
+//! structure-of-arrays index registers (see [`SoaSlots`]) exactly as the
+//! chip's hardwired controller would lay them out. The pre-SoA linked-node
+//! implementation survives as [`SlotPool`](crate::SlotPool) /
+//! [`AosDamqBuffer`](crate::AosDamqBuffer) for differential testing.
 //!
 //! The combination gives DAMQ both of the properties the paper identifies as
 //! essential:
@@ -18,10 +21,10 @@
 //!    more than a FIFO with 6 (paper Table 2).
 
 use crate::audit::{audit_ensure, AuditError};
-use crate::buffer::{BufferConfig, BufferKind, SwitchBuffer};
+use crate::buffer::{BufferConfig, BufferKind, FrontMeta, SwitchBuffer};
 use crate::error::{ConfigError, RejectReason, Rejected};
 use crate::packet::Packet;
-use crate::slots::SlotPool;
+use crate::soa::SoaSlots;
 use crate::stats::BufferStats;
 use crate::OutputPort;
 
@@ -46,7 +49,7 @@ use crate::OutputPort;
 #[derive(Debug)]
 pub struct DamqBuffer {
     config: BufferConfig,
-    pool: SlotPool,
+    pool: SoaSlots,
     stats: BufferStats,
 }
 
@@ -62,14 +65,14 @@ impl DamqBuffer {
         config.validate(BufferKind::Damq)?;
         Ok(DamqBuffer {
             config,
-            pool: SlotPool::new(config.capacity(), config.fanout_count()),
+            pool: SoaSlots::new(config.capacity(), config.fanout_count()),
             stats: BufferStats::new(),
         })
     }
 
     /// Direct read access to the underlying slot pool (for inspection and
     /// the micro-architecture model).
-    pub fn pool(&self) -> &SlotPool {
+    pub fn pool(&self) -> &SoaSlots {
         &self.pool
     }
 
@@ -110,6 +113,14 @@ impl SwitchBuffer for DamqBuffer {
 
     fn can_accept(&self, output: OutputPort, slots: usize) -> bool {
         output.index() < self.fanout() && slots <= self.pool.free_count()
+    }
+
+    fn accept_capacity(&self, output: OutputPort) -> usize {
+        if output.index() < self.fanout() {
+            self.pool.free_count()
+        } else {
+            0
+        }
     }
 
     fn try_enqueue(&mut self, output: OutputPort, packet: Packet) -> Result<(), Rejected> {
@@ -163,9 +174,21 @@ impl SwitchBuffer for DamqBuffer {
         }
     }
 
+    fn queue_lens_into(&self, lens: &mut [u16]) {
+        self.pool.queue_lens_into(lens);
+    }
+
     fn front(&self, output: OutputPort) -> Option<&Packet> {
         if output.index() < self.fanout() {
             self.pool.front(output.index())
+        } else {
+            None
+        }
+    }
+
+    fn front_meta(&self, output: OutputPort) -> Option<FrontMeta> {
+        if output.index() < self.fanout() {
+            self.pool.front_meta(output.index())
         } else {
             None
         }

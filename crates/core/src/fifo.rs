@@ -5,8 +5,17 @@
 //! of slots), but it suffers **head-of-line blocking**: when the packet at
 //! the head waits for a busy output, every packet behind it waits too, even
 //! if their outputs are idle.
-
-use std::collections::VecDeque;
+//!
+//! # Storage layout
+//!
+//! The queue is structure-of-arrays like [`SoaSlots`](crate::SoaSlots): one
+//! ring of `capacity` entry positions described by three parallel arrays —
+//! `outs` (output-port index), `entry_slots` (slot count) and the
+//! out-of-line payload `arena` — addressed by `head`/`len` ring registers.
+//! A packet occupies at least one slot, so resident entries can never
+//! exceed `capacity` and the ring cannot overflow. The pre-SoA `VecDeque`
+//! implementation survives verbatim in `aos.rs` as the differential
+//! reference.
 
 use crate::audit::{audit_ensure, strict_audit, AuditError};
 use crate::buffer::{BufferConfig, BufferKind, SwitchBuffer};
@@ -14,13 +23,6 @@ use crate::error::{ConfigError, RejectReason, Rejected};
 use crate::packet::Packet;
 use crate::stats::BufferStats;
 use crate::OutputPort;
-
-#[derive(Debug, Clone)]
-struct Entry {
-    output: OutputPort,
-    slots: usize,
-    packet: Packet,
-}
 
 /// Single-queue first-in first-out input buffer.
 ///
@@ -47,7 +49,17 @@ struct Entry {
 #[derive(Debug)]
 pub struct FifoBuffer {
     config: BufferConfig,
-    queue: VecDeque<Entry>,
+    /// Output-port index of the entry at each ring position (parallel to
+    /// `arena`; stale outside the live window).
+    outs: Vec<u16>,
+    /// Slot count of the entry at each ring position.
+    entry_slots: Vec<u16>,
+    /// Out-of-line payloads; `Some` exactly inside the live window.
+    arena: Vec<Option<Packet>>,
+    /// Ring head offset.
+    head: u16,
+    /// Resident-entry count.
+    len: u16,
     used_slots: usize,
     /// Ring slots permanently removed by fault injection.
     dead: usize,
@@ -64,9 +76,17 @@ impl FifoBuffer {
     /// Returns [`ConfigError`] if the configuration has a zero dimension.
     pub fn new(config: BufferConfig) -> Result<Self, ConfigError> {
         config.validate(BufferKind::Fifo)?;
+        assert!(
+            config.capacity() < u16::MAX as usize,
+            "u16 ring registers cap the capacity"
+        );
         Ok(FifoBuffer {
             config,
-            queue: VecDeque::new(),
+            outs: vec![0; config.capacity()],
+            entry_slots: vec![0; config.capacity()],
+            arena: (0..config.capacity()).map(|_| None).collect(),
+            head: 0,
+            len: 0,
             used_slots: 0,
             dead: 0,
             pending_kills: 0,
@@ -74,9 +94,18 @@ impl FifoBuffer {
         })
     }
 
+    /// Ring position of entry `i` (0 = head).
+    fn pos(&self, i: usize) -> usize {
+        (self.head as usize + i) % self.arena.len()
+    }
+
     /// The output port of the head packet, if any.
     pub fn head_output(&self) -> Option<OutputPort> {
-        self.queue.front().map(|e| e.output)
+        if self.len == 0 {
+            None
+        } else {
+            Some(OutputPort::new(self.outs[self.head as usize] as usize))
+        }
     }
 
     fn head_matches(&self, output: OutputPort) -> bool {
@@ -112,6 +141,15 @@ impl SwitchBuffer for FifoBuffer {
     fn can_accept(&self, output: OutputPort, slots: usize) -> bool {
         output.index() < self.fanout()
             && self.used_slots + slots + self.dead_slots() <= self.capacity_slots()
+    }
+
+    fn accept_capacity(&self, output: OutputPort) -> usize {
+        if output.index() < self.fanout() {
+            self.capacity_slots()
+                .saturating_sub(self.used_slots + self.dead_slots())
+        } else {
+            0
+        }
     }
 
     fn try_enqueue(&mut self, output: OutputPort, packet: Packet) -> Result<(), Rejected> {
@@ -151,48 +189,59 @@ impl SwitchBuffer for FifoBuffer {
         self.used_slots += slots;
         self.stats.record_accepted(slots);
         self.stats.observe_used_slots(self.used_slots);
-        self.queue.push_back(Entry {
-            output,
-            slots,
-            packet,
-        });
+        let tail = self.pos(self.len as usize);
+        self.outs[tail] = output.index() as u16;
+        self.entry_slots[tail] = slots as u16;
+        self.arena[tail] = Some(packet);
+        self.len += 1;
         strict_audit!(self);
         Ok(())
     }
 
     fn queue_len(&self, output: OutputPort) -> usize {
         if self.head_matches(output) {
-            self.queue.len()
+            self.len as usize
         } else {
             0
         }
     }
 
+    fn queue_lens_into(&self, lens: &mut [u16]) {
+        lens.fill(0);
+        if self.len > 0 {
+            lens[self.outs[self.head as usize] as usize] = self.len;
+        }
+    }
+
     fn front(&self, output: OutputPort) -> Option<&Packet> {
-        self.queue
-            .front()
-            .filter(|e| e.output == output)
-            .map(|e| &e.packet)
+        if !self.head_matches(output) {
+            return None;
+        }
+        self.arena[self.head as usize].as_ref()
     }
 
     fn dequeue(&mut self, output: OutputPort) -> Option<Packet> {
         if !self.head_matches(output) {
             return None;
         }
-        // lint: allow — head_matches() proved the queue is non-empty.
-        let entry = self.queue.pop_front().expect("head checked above");
-        self.used_slots -= entry.slots;
+        let head = self.head as usize;
+        let slots = self.entry_slots[head] as usize;
+        // lint: allow — head_matches() proved the head cell holds a payload.
+        let packet = self.arena[head].take().expect("head checked above");
+        self.head = ((head + 1) % self.arena.len()) as u16;
+        self.len -= 1;
+        self.used_slots -= slots;
         // Freed slots feed deferred kills before returning to service.
-        let consumed = self.pending_kills.min(entry.slots);
+        let consumed = self.pending_kills.min(slots);
         self.pending_kills -= consumed;
         self.dead += consumed;
         self.stats.record_forwarded();
         strict_audit!(self);
-        Some(entry.packet)
+        Some(packet)
     }
 
     fn packet_count(&self) -> usize {
-        self.queue.len()
+        self.len as usize
     }
 
     fn stats(&self) -> &BufferStats {
@@ -223,27 +272,65 @@ impl SwitchBuffer for FifoBuffer {
     }
 
     fn note_hol_blocked(&mut self) -> u64 {
-        let Some(head) = self.head_output() else {
+        if self.len == 0 {
             return 0;
-        };
-        let blocked = self
-            .queue
-            .iter()
-            .skip(1)
-            .filter(|e| e.output != head)
-            .count() as u64;
+        }
+        let head_out = self.outs[self.head as usize];
+        let mut blocked = 0u64;
+        for i in 1..self.len as usize {
+            if self.outs[self.pos(i)] != head_out {
+                blocked += 1;
+            }
+        }
         self.stats.record_hol_blocked(blocked);
         blocked
     }
 
     fn audit(&self) -> Result<(), AuditError> {
-        let sum: usize = self.queue.iter().map(|e| e.slots).sum();
+        let cap = self.arena.len();
+        audit_ensure!(
+            (self.len as usize) <= cap,
+            "register-sync",
+            "FIFO length register {} exceeds the {cap}-entry ring",
+            self.len
+        );
+        let mut sum = 0usize;
+        for i in 0..self.len as usize {
+            let p = self.pos(i);
+            let Some(packet) = self.arena[p].as_ref() else {
+                return Err(AuditError::new(
+                    "queue-shape",
+                    format!("live ring position {p} has no payload"),
+                ));
+            };
+            audit_ensure!(
+                (self.outs[p] as usize) < self.fanout(),
+                "queue-shape",
+                "entry routed to nonexistent output {}",
+                self.outs[p]
+            );
+            audit_ensure!(
+                self.entry_slots[p] as usize == packet.slots_needed(self.slot_bytes()),
+                "queue-shape",
+                "entry slot count {} disagrees with its packet length",
+                self.entry_slots[p]
+            );
+            sum += self.entry_slots[p] as usize;
+        }
         audit_ensure!(
             sum == self.used_slots,
             "register-sync",
             "FIFO used_slots register says {} but entries sum to {sum}",
             self.used_slots
         );
+        for i in self.len as usize..cap {
+            let p = self.pos(i);
+            audit_ensure!(
+                self.arena[p].is_none(),
+                "list-partition",
+                "ring position {p} outside the live window holds a payload"
+            );
+        }
         audit_ensure!(
             self.used_slots + self.dead <= self.capacity_slots(),
             "capacity-bound",
@@ -266,20 +353,6 @@ impl SwitchBuffer for FifoBuffer {
             "FIFO defers {} kills while slots are free",
             self.pending_kills
         );
-        for e in &self.queue {
-            audit_ensure!(
-                e.output.index() < self.fanout(),
-                "queue-shape",
-                "entry routed to nonexistent output {}",
-                e.output
-            );
-            audit_ensure!(
-                e.slots == e.packet.slots_needed(self.slot_bytes()),
-                "queue-shape",
-                "entry slot count {} disagrees with its packet length",
-                e.slots
-            );
-        }
         Ok(())
     }
 }
@@ -375,6 +448,23 @@ mod tests {
     }
 
     #[test]
+    fn ring_wraps_through_many_cycles() {
+        let mut b = buf(3);
+        for i in 0..40 {
+            let p = Packet::builder(NodeId::new(i), NodeId::new(9)).build();
+            b.try_enqueue(OutputPort::new(i % 4), p).unwrap();
+            if i % 2 == 1 {
+                let out = b.head_output().unwrap();
+                assert_eq!(b.dequeue(out).unwrap().source(), NodeId::new(i - 1));
+                let out = b.head_output().unwrap();
+                assert_eq!(b.dequeue(out).unwrap().source(), NodeId::new(i));
+            }
+            b.check_invariants();
+        }
+        assert!(b.is_empty());
+    }
+
+    #[test]
     fn bad_output_port_is_rejected_without_counting() {
         let mut b = buf(2);
         let err = b.try_enqueue(OutputPort::new(4), pkt(8)).unwrap_err();
@@ -388,6 +478,18 @@ mod tests {
         b.try_enqueue(OutputPort::new(2), pkt(8)).unwrap();
         b.try_enqueue(OutputPort::new(0), pkt(8)).unwrap();
         assert_eq!(b.eligible_outputs(), vec![OutputPort::new(2)]);
+    }
+
+    #[test]
+    fn queue_lens_into_reports_only_the_head_output() {
+        let mut b = buf(4);
+        let mut lens = [9u16; 4];
+        b.queue_lens_into(&mut lens);
+        assert_eq!(lens, [0; 4]);
+        b.try_enqueue(OutputPort::new(2), pkt(8)).unwrap();
+        b.try_enqueue(OutputPort::new(0), pkt(8)).unwrap();
+        b.queue_lens_into(&mut lens);
+        assert_eq!(lens, [0, 0, 2, 0]);
     }
 
     #[test]

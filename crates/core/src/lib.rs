@@ -45,6 +45,7 @@
 #![deny(missing_docs)]
 
 mod any;
+mod aos;
 mod audit;
 mod buffer;
 mod dafc;
@@ -57,12 +58,14 @@ mod packet;
 mod safc;
 mod samq;
 mod slots;
+mod soa;
 mod static_mq;
 mod stats;
 
 pub use any::{AnyBuffer, BuildBuffer};
+pub use aos::{AosDafcBuffer, AosDamqBuffer, AosFifoBuffer, AosSafcBuffer, AosSamqBuffer};
 pub use audit::AuditError;
-pub use buffer::{BufferConfig, BufferKind, SwitchBuffer};
+pub use buffer::{BufferConfig, BufferKind, FrontMeta, SwitchBuffer};
 pub use dafc::DafcBuffer;
 pub use damq::DamqBuffer;
 pub use error::{ConfigError, RejectReason, Rejected};
@@ -73,6 +76,7 @@ pub use packet::{Packet, PacketBuilder, PacketIdSource, DEFAULT_SLOT_BYTES, MAX_
 pub use safc::SafcBuffer;
 pub use samq::SamqBuffer;
 pub use slots::{SlotId, SlotPool};
+pub use soa::SoaSlots;
 pub use stats::BufferStats;
 
 #[cfg(test)]

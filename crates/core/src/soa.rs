@@ -1,0 +1,716 @@
+//! Structure-of-arrays slot storage — the §3.1 register file laid out
+//! for the simulator's hot path.
+//!
+//! [`SlotPool`](crate::SlotPool) models the paper's linked-slot buffer
+//! with per-slot `enum` content: the packet payload lives *inside* the
+//! slot it heads, so walking a list drags every payload through the
+//! cache and each pointer step is an `Option<SlotId>` branch.
+//! [`SoaSlots`] keeps the identical register semantics but splits the
+//! state into parallel arrays, exactly as the hardware does:
+//!
+//! ```text
+//!  slot      0     1     2     3     4     5          (u16 indices)
+//!  next   [  1 ][ NIL ][  4 ][ NIL ][ NIL ][  3 ]     pointer registers
+//!  span   [  0 ][  2  ][  0 ][  0  ][  1  ][  2 ]     length registers
+//!  dest   [  0 ][ 17  ][  0 ][  0  ][  3  ][ 42 ]     destination registers
+//!  state  [ FREE][ HEAD][CONT][CONT ][HEAD ][HEAD]    tag bytes
+//!  arena  [  -  ][ pkt ][  - ][  -  ][ pkt ][ pkt]    out-of-line payloads
+//!
+//!  list registers (list 0 = free list, list 1+q = queue q):
+//!  head  [ 0 ][ 5 ][ 4 ]   tail [ 0 ][ 2 ][ 4 ]
+//!  slots [ 1 ][ 4 ][ 1 ]   pkts [ 0 ][ 2 ][ 1 ]
+//! ```
+//!
+//! `NIL` (`u16::MAX`) plays the role of the null pointer register, so
+//! every free-list operation is index arithmetic on `u16` words with a
+//! single predictable branch (list empty / not empty). Payloads sit in
+//! the `arena` column — `Option<Packet>` boxes-by-value, populated only
+//! at packet-head slots — so the link-walking loops never touch packet
+//! bytes. The public API mirrors [`SlotPool`](crate::SlotPool) method
+//! for method and [`SoaSlots::audit`] re-derives the same named
+//! invariants (`list-partition`, `register-sync`, `queue-shape`,
+//! `fault-ledger`) over the new layout; the seeded differential sweep in
+//! `tests/soa_equivalence.rs` pins the two implementations against each
+//! other across fills, drains, kills and free-list wraparound.
+
+use crate::audit::{audit_ensure, strict_audit, AuditError};
+use crate::buffer::FrontMeta;
+use crate::ids::NodeId;
+use crate::packet::Packet;
+
+/// The null pointer register: no successor / empty list.
+const NIL: u16 = u16::MAX;
+
+/// Slot tag values (one byte per slot, kept for audit and debugging).
+const FREE: u8 = 0;
+/// First slot of a packet; its `span` register holds the slot count and
+/// its arena cell holds the payload.
+const HEAD: u8 = 1;
+/// Continuation slot of a multi-slot packet.
+const CONT: u8 = 2;
+/// Permanently out of service (fault injection): on no list.
+const DEAD: u8 = 3;
+
+/// Structure-of-arrays slot pool: the storage engine of
+/// [`DamqBuffer`](crate::DamqBuffer) (and, through it,
+/// [`DafcBuffer`](crate::DafcBuffer)).
+///
+/// Semantically identical to [`SlotPool`](crate::SlotPool) — same FIFO
+/// free-list discipline, same deferred-kill fault model, same audited
+/// register contract — but stored as contiguous `u16` index arrays with
+/// payloads out-of-line.
+///
+/// # Examples
+///
+/// ```
+/// use damq_core::{NodeId, Packet, SoaSlots};
+///
+/// let mut pool = SoaSlots::new(4, 2); // 4 slots, 2 queues
+/// let p = Packet::builder(NodeId::new(0), NodeId::new(1)).build();
+/// pool.enqueue(1, p.clone(), 1).unwrap();
+/// assert_eq!(pool.queue_packets(1), 1);
+/// assert_eq!(pool.dequeue(1), Some(p));
+/// assert_eq!(pool.free_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoaSlots {
+    /// Pointer registers: `next[s]` names `s`'s successor on its list.
+    next: Vec<u16>,
+    /// Length registers: slot count of the packet headed at `s`, else 0.
+    span: Vec<u16>,
+    /// Destination registers: dest node address of the packet headed at
+    /// `s`, else 0. Together with `length` these let the switch's
+    /// examination walk answer flow-control probes from the columns
+    /// alone, never dereferencing the arena (see
+    /// [`SoaSlots::front_meta`]).
+    dest: Vec<u32>,
+    /// Payload-length registers: length in bytes of the packet headed at
+    /// `s`, else 0.
+    length: Vec<u32>,
+    /// Tag byte per slot (`FREE`/`HEAD`/`CONT`/`DEAD`).
+    state: Vec<u8>,
+    /// Out-of-line payload arena, populated exactly at `HEAD` slots.
+    arena: Vec<Option<Packet>>,
+    /// Per-list head registers; index 0 is the free list, `1 + q` is
+    /// queue `q`.
+    head: Vec<u16>,
+    /// Per-list tail registers (same indexing).
+    tail: Vec<u16>,
+    /// Per-list slot-count registers.
+    slot_count: Vec<u16>,
+    /// Per-list packet-count registers (always 0 for the free list).
+    packet_count: Vec<u16>,
+    /// Slots marked `DEAD` (fault injection).
+    dead: u16,
+    /// Kills registered while no slot was free; the next slots returned
+    /// to the free list die instead of rejoining it.
+    pending_kills: u16,
+}
+
+impl SoaSlots {
+    /// Creates a pool of `capacity` slots and `lists` empty packet
+    /// queues; every slot starts on the free list, threaded in address
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or does not fit the `u16` index space
+    /// (`NIL` is reserved).
+    pub fn new(capacity: usize, lists: usize) -> Self {
+        assert!(capacity > 0, "slot pool needs at least one slot");
+        assert!(capacity < NIL as usize, "slot pool too large");
+        let regs = lists + 1;
+        let mut pool = SoaSlots {
+            next: vec![NIL; capacity],
+            span: vec![0; capacity],
+            dest: vec![0; capacity],
+            length: vec![0; capacity],
+            state: vec![FREE; capacity],
+            arena: (0..capacity).map(|_| None).collect(),
+            head: vec![NIL; regs],
+            tail: vec![NIL; regs],
+            slot_count: vec![0; regs],
+            packet_count: vec![0; regs],
+            dead: 0,
+            pending_kills: 0,
+        };
+        for s in 0..capacity as u16 {
+            pool.push_free(s);
+        }
+        pool
+    }
+
+    /// Total slots in the pool.
+    pub fn capacity(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Number of packet queues.
+    pub fn list_count(&self) -> usize {
+        self.head.len() - 1
+    }
+
+    /// Slots currently on the free list.
+    pub fn free_count(&self) -> usize {
+        self.slot_count[0] as usize
+    }
+
+    /// Slots currently holding packet data.
+    pub fn used_count(&self) -> usize {
+        self.capacity() - self.free_count() - self.dead as usize
+    }
+
+    /// Slots removed from service by [`SoaSlots::kill_slot`], including
+    /// kills still deferred until a busy slot drains.
+    pub fn dead_count(&self) -> usize {
+        (self.dead + self.pending_kills) as usize
+    }
+
+    /// Slots the pool can still ever hold: capacity minus registered
+    /// kills.
+    pub fn effective_capacity(&self) -> usize {
+        self.capacity() - self.dead_count()
+    }
+
+    /// Permanently removes one slot from service (fault injection).
+    ///
+    /// Same contract as [`SlotPool::kill_slot`](crate::SlotPool::kill_slot):
+    /// a free slot dies immediately, a fully-busy pool defers the kill to
+    /// the next dequeue, and `false` means every slot is already dead or
+    /// doomed.
+    pub fn kill_slot(&mut self) -> bool {
+        if self.dead_count() >= self.capacity() {
+            return false;
+        }
+        if self.slot_count[0] > 0 {
+            let s = self.pop_free();
+            self.state[s as usize] = DEAD;
+            self.dead += 1;
+        } else {
+            self.pending_kills += 1;
+        }
+        strict_audit!(self);
+        true
+    }
+
+    /// Packets waiting on queue `list`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn queue_packets(&self, list: usize) -> usize {
+        self.packet_count[1 + list] as usize
+    }
+
+    /// Slots consumed by queue `list`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn queue_slots(&self, list: usize) -> usize {
+        self.slot_count[1 + list] as usize
+    }
+
+    /// Copies the packet-count register of every queue into `lens`
+    /// (`lens.len() == list_count()`), one contiguous register read —
+    /// the batched form the switch kernel prefetches each cycle.
+    pub fn queue_lens_into(&self, lens: &mut [u16]) {
+        lens.copy_from_slice(&self.packet_count[1..]);
+    }
+
+    /// Routing metadata of the packet at the front of queue `list`,
+    /// straight from the `dest`/`length` registers — the arena-free read
+    /// the switch kernel's examination walk uses (see
+    /// [`SwitchBuffer::front_meta`](crate::SwitchBuffer::front_meta)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn front_meta(&self, list: usize) -> Option<FrontMeta> {
+        let h = self.head[1 + list];
+        if h == NIL {
+            return None;
+        }
+        Some(FrontMeta {
+            dest: NodeId::new(self.dest[h as usize] as usize),
+            length_bytes: self.length[h as usize],
+        })
+    }
+
+    /// The packet at the front of queue `list`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn front(&self, list: usize) -> Option<&Packet> {
+        let h = self.head[1 + list];
+        if h == NIL {
+            return None;
+        }
+        // A queue head register always names a HEAD slot whose arena
+        // cell is populated (audited invariant "queue-shape").
+        self.arena[h as usize].as_ref()
+    }
+
+    /// Appends `packet`, which occupies `slots` slots, to queue `list`.
+    ///
+    /// Slots are taken from the *front* of the free list and linked to
+    /// the queue's tail — the paper's §3.2.1 reception sequence, now one
+    /// index-register update per slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back if fewer than `slots` slots are free.
+    /// The pool is unchanged in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range or `slots` is zero.
+    pub fn enqueue(&mut self, list: usize, packet: Packet, slots: usize) -> Result<(), Packet> {
+        assert!(slots > 0, "a packet occupies at least one slot");
+        assert!(list < self.list_count(), "queue index out of range");
+        if (self.slot_count[0] as usize) < slots {
+            return Err(packet);
+        }
+        let q = 1 + list;
+        let first = self.pop_free();
+        self.state[first as usize] = HEAD;
+        self.span[first as usize] = slots as u16;
+        self.dest[first as usize] = packet.dest().index() as u32;
+        self.length[first as usize] = packet.length_bytes() as u32;
+        self.arena[first as usize] = Some(packet);
+        self.append_to_list(q, first);
+        for _ in 1..slots {
+            let s = self.pop_free();
+            self.state[s as usize] = CONT;
+            self.append_to_list(q, s);
+        }
+        self.packet_count[q] += 1;
+        strict_audit!(self);
+        Ok(())
+    }
+
+    /// Removes and returns the packet at the front of queue `list`,
+    /// returning its slots to the free list (head first, continuations
+    /// in link order, as the hardware drains them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn dequeue(&mut self, list: usize) -> Option<Packet> {
+        let q = 1 + list;
+        let first = self.head[q];
+        if first == NIL {
+            return None;
+        }
+        let packet = self.arena[first as usize]
+            .take()
+            // lint: allow — a queue head register always names a HEAD
+            // slot with a populated arena cell (audited "queue-shape").
+            .expect("queue head register must point at a packet head slot");
+        let slots = self.span[first as usize];
+        self.span[first as usize] = 0;
+        self.dest[first as usize] = 0;
+        self.length[first as usize] = 0;
+        self.state[first as usize] = FREE;
+        self.unlink_list_head(q);
+        self.push_free(first);
+        for _ in 1..slots {
+            let s = self.head[q];
+            debug_assert!(s != NIL, "continuation slots linked atomically");
+            debug_assert_eq!(self.state[s as usize], CONT);
+            self.state[s as usize] = FREE;
+            self.unlink_list_head(q);
+            self.push_free(s);
+        }
+        self.packet_count[q] -= 1;
+        strict_audit!(self);
+        Some(packet)
+    }
+
+    /// Appends slot `s` to the tail of list `l` (pointer-register update
+    /// of §3.2.1).
+    fn append_to_list(&mut self, l: usize, s: u16) {
+        self.next[s as usize] = NIL;
+        let t = self.tail[l];
+        if t == NIL {
+            self.head[l] = s;
+        } else {
+            self.next[t as usize] = s;
+        }
+        self.tail[l] = s;
+        self.slot_count[l] += 1;
+    }
+
+    /// Advances list `l`'s head register past its first slot.
+    fn unlink_list_head(&mut self, l: usize) {
+        let h = self.head[l];
+        debug_assert!(h != NIL, "unlink from empty list");
+        let n = self.next[h as usize];
+        self.head[l] = n;
+        if n == NIL {
+            self.tail[l] = NIL;
+        }
+        self.next[h as usize] = NIL;
+        self.slot_count[l] -= 1;
+    }
+
+    /// Returns slot `s` to the free list — unless a deferred kill claims
+    /// it, in which case it dies instead.
+    fn push_free(&mut self, s: u16) {
+        self.next[s as usize] = NIL;
+        if self.pending_kills > 0 {
+            self.pending_kills -= 1;
+            self.dead += 1;
+            self.state[s as usize] = DEAD;
+            return;
+        }
+        self.state[s as usize] = FREE;
+        self.append_to_list(0, s);
+    }
+
+    /// Pops the free-list head. Callers check `slot_count[0]` first.
+    fn pop_free(&mut self) -> u16 {
+        let s = self.head[0];
+        debug_assert!(s != NIL, "pop from empty free list");
+        self.unlink_list_head(0);
+        s
+    }
+
+    /// Walks one list, marking visited slots in `seen`, and verifies the
+    /// list's registers against its links.
+    fn audit_list(&self, l: usize, seen: &mut [bool], label: &str) -> Result<Vec<u16>, AuditError> {
+        let mut out = Vec::new();
+        let mut cur = self.head[l];
+        while cur != NIL {
+            audit_ensure!(
+                !seen[cur as usize],
+                "list-partition",
+                "{label}: slot slot{cur} appears on two lists or in a cycle"
+            );
+            seen[cur as usize] = true;
+            out.push(cur);
+            cur = self.next[cur as usize];
+        }
+        audit_ensure!(
+            out.len() == self.slot_count[l] as usize,
+            "register-sync",
+            "{label}: slot_count register says {} but the links hold {} slots",
+            self.slot_count[l],
+            out.len()
+        );
+        let tail = if out.is_empty() { NIL } else { out[out.len() - 1] };
+        audit_ensure!(
+            tail == self.tail[l],
+            "register-sync",
+            "{label}: tail register disagrees with the last linked slot"
+        );
+        Ok(out)
+    }
+
+    /// Verifies every structural invariant of the pool — the same named
+    /// §3.1 register contract [`SlotPool::audit`](crate::SlotPool::audit)
+    /// checks, re-derived over the SoA layout:
+    ///
+    /// * the lists exactly partition the storage and contain no cycle
+    ///   (`list-partition`),
+    /// * head/tail/`slot_count`/`packet_count` registers agree with the
+    ///   links they summarise (`register-sync`),
+    /// * queue contents are contiguous head+continuation runs consistent
+    ///   with the `span` length registers, with arena payloads exactly at
+    ///   head slots (`queue-shape`),
+    /// * dead slots are off-list and counted by the fault registers
+    ///   (`fault-ledger`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as an [`AuditError`].
+    pub fn audit(&self) -> Result<(), AuditError> {
+        let mut seen = vec![false; self.capacity()];
+        let free = self.audit_list(0, &mut seen, "free list")?;
+        audit_ensure!(
+            self.packet_count[0] == 0,
+            "register-sync",
+            "free list carries a nonzero packet_count register"
+        );
+        for s in free {
+            audit_ensure!(
+                self.state[s as usize] == FREE && self.arena[s as usize].is_none(),
+                "queue-shape",
+                "free list holds non-free slot slot{s}"
+            );
+        }
+        for qi in 0..self.list_count() {
+            let slots = self.audit_list(1 + qi, &mut seen, &format!("queue {qi}"))?;
+            let mut packets = 0;
+            let mut i = 0;
+            while i < slots.len() {
+                let s = slots[i] as usize;
+                audit_ensure!(
+                    self.state[s] == HEAD && self.arena[s].is_some(),
+                    "queue-shape",
+                    "queue {qi}: expected packet head at slot{}, found tag {}",
+                    slots[i],
+                    self.state[s]
+                );
+                audit_ensure!(
+                    self.arena[s].as_ref().is_some_and(|p| {
+                        self.dest[s] == p.dest().index() as u32
+                            && self.length[s] == p.length_bytes() as u32
+                    }),
+                    "register-sync",
+                    "queue {qi}: dest/length registers at slot{} disagree with the stored packet",
+                    slots[i]
+                );
+                let k = self.span[s] as usize;
+                audit_ensure!(
+                    k >= 1 && i + k <= slots.len(),
+                    "queue-shape",
+                    "queue {qi}: packet at slot{} claims {k} slots but the list ends",
+                    slots[i]
+                );
+                for j in 1..k {
+                    let c = slots[i + j] as usize;
+                    audit_ensure!(
+                        self.state[c] == CONT
+                            && self.arena[c].is_none()
+                            && self.span[c] == 0
+                            && self.dest[c] == 0
+                            && self.length[c] == 0,
+                        "queue-shape",
+                        "queue {qi}: packet at slot{} missing continuation slot",
+                        slots[i]
+                    );
+                }
+                packets += 1;
+                i += k;
+            }
+            audit_ensure!(
+                packets == self.packet_count[1 + qi],
+                "register-sync",
+                "queue {qi}: packet_count register says {} but the list holds {packets}",
+                self.packet_count[1 + qi]
+            );
+        }
+        // Fault-aware partition: the lists plus the declared dead slots
+        // must exactly cover the storage.
+        let mut dead_found: u16 = 0;
+        for (i, &s) in seen.iter().enumerate() {
+            let is_dead = self.state[i] == DEAD;
+            if !s {
+                audit_ensure!(
+                    is_dead,
+                    "list-partition",
+                    "slot slot{i} is on no list (leaked slot)"
+                );
+                audit_ensure!(
+                    self.arena[i].is_none()
+                        && self.span[i] == 0
+                        && self.dest[i] == 0
+                        && self.length[i] == 0,
+                    "fault-ledger",
+                    "dead slot slot{i} still carries payload registers"
+                );
+                dead_found += 1;
+            } else {
+                audit_ensure!(
+                    !is_dead,
+                    "fault-ledger",
+                    "dead slot slot{i} is still linked on a list"
+                );
+            }
+        }
+        audit_ensure!(
+            dead_found == self.dead,
+            "fault-ledger",
+            "dead register says {} but {dead_found} slots are marked dead",
+            self.dead
+        );
+        audit_ensure!(
+            self.dead_count() <= self.capacity(),
+            "fault-ledger",
+            "{} kills registered against {} slots",
+            self.dead_count(),
+            self.capacity()
+        );
+        Ok(())
+    }
+
+    /// Assert-style wrapper over [`SoaSlots::audit`] for tests and debug
+    /// checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the audit's description on violation.
+    pub fn check_invariants(&self) {
+        if let Err(e) = self.audit() {
+            // lint: allow — the panicking bridge is this method's contract.
+            panic!("soa slot pool {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn pkt(src: usize) -> Packet {
+        Packet::builder(NodeId::new(src), NodeId::new(0)).build()
+    }
+
+    #[test]
+    fn new_pool_is_all_free() {
+        let pool = SoaSlots::new(12, 5);
+        assert_eq!(pool.capacity(), 12);
+        assert_eq!(pool.free_count(), 12);
+        assert_eq!(pool.used_count(), 0);
+        assert_eq!(pool.list_count(), 5);
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn enqueue_dequeue_round_trip() {
+        let mut pool = SoaSlots::new(4, 2);
+        pool.enqueue(0, pkt(7), 1).unwrap();
+        assert_eq!(pool.free_count(), 3);
+        assert_eq!(pool.queue_packets(0), 1);
+        assert_eq!(pool.front(0).unwrap().source(), NodeId::new(7));
+        let p = pool.dequeue(0).unwrap();
+        assert_eq!(p.source(), NodeId::new(7));
+        assert_eq!(pool.free_count(), 4);
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn multi_slot_packets_link_and_free_correctly() {
+        let mut pool = SoaSlots::new(8, 2);
+        pool.enqueue(0, pkt(1), 4).unwrap();
+        pool.enqueue(1, pkt(2), 3).unwrap();
+        assert_eq!(pool.free_count(), 1);
+        assert_eq!(pool.queue_slots(0), 4);
+        assert_eq!(pool.queue_slots(1), 3);
+        pool.check_invariants();
+        assert_eq!(pool.dequeue(0).unwrap().source(), NodeId::new(1));
+        assert_eq!(pool.free_count(), 5);
+        assert_eq!(pool.dequeue(1).unwrap().source(), NodeId::new(2));
+        assert_eq!(pool.free_count(), 8);
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn enqueue_fails_without_enough_free_slots_and_is_atomic() {
+        let mut pool = SoaSlots::new(4, 1);
+        pool.enqueue(0, pkt(1), 3).unwrap();
+        let p = pkt(2);
+        let back = pool.enqueue(0, p.clone(), 2).unwrap_err();
+        assert_eq!(back, p);
+        assert_eq!(pool.free_count(), 1);
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn freed_slots_are_reused_in_fifo_order() {
+        let mut pool = SoaSlots::new(2, 1);
+        pool.enqueue(0, pkt(0), 1).unwrap();
+        pool.enqueue(0, pkt(1), 1).unwrap();
+        pool.dequeue(0).unwrap();
+        pool.enqueue(0, pkt(2), 1).unwrap();
+        assert_eq!(pool.dequeue(0).unwrap().source(), NodeId::new(1));
+        assert_eq!(pool.dequeue(0).unwrap().source(), NodeId::new(2));
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn queue_lens_into_mirrors_packet_counts() {
+        let mut pool = SoaSlots::new(8, 4);
+        pool.enqueue(2, pkt(0), 1).unwrap();
+        pool.enqueue(2, pkt(1), 2).unwrap();
+        pool.enqueue(0, pkt(2), 1).unwrap();
+        let mut lens = [9u16; 4];
+        pool.queue_lens_into(&mut lens);
+        assert_eq!(lens, [1, 0, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue index out of range")]
+    fn enqueue_bad_list_panics() {
+        let mut pool = SoaSlots::new(2, 1);
+        let _ = pool.enqueue(1, pkt(0), 1);
+    }
+
+    #[test]
+    fn kill_semantics_match_the_linked_pool_contract() {
+        // Free slot dies immediately.
+        let mut pool = SoaSlots::new(4, 2);
+        assert!(pool.kill_slot());
+        assert_eq!(pool.free_count(), 3);
+        assert_eq!(pool.effective_capacity(), 3);
+        pool.check_invariants();
+        // Full pool defers; the freed slot dies instead of rejoining.
+        let mut pool = SoaSlots::new(2, 1);
+        pool.enqueue(0, pkt(0), 1).unwrap();
+        pool.enqueue(0, pkt(1), 1).unwrap();
+        assert!(pool.kill_slot());
+        assert_eq!(pool.effective_capacity(), 1);
+        pool.check_invariants();
+        assert_eq!(pool.dequeue(0).unwrap().source(), NodeId::new(0));
+        assert_eq!(pool.free_count(), 0);
+        pool.check_invariants();
+        // Kills beyond capacity are refused without panicking.
+        let mut pool = SoaSlots::new(2, 1);
+        assert!(pool.kill_slot() && pool.kill_slot());
+        assert!(!pool.kill_slot());
+        assert_eq!(pool.effective_capacity(), 0);
+        assert!(pool.enqueue(0, pkt(0), 1).is_err());
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn multi_slot_dequeue_feeds_deferred_kills() {
+        let mut pool = SoaSlots::new(3, 1);
+        pool.enqueue(0, pkt(0), 3).unwrap();
+        assert!(pool.kill_slot());
+        assert!(pool.kill_slot());
+        pool.check_invariants();
+        assert!(pool.dequeue(0).is_some());
+        assert_eq!(pool.free_count(), 1);
+        assert_eq!(pool.dead_count(), 2);
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn audit_reports_corruption_by_invariant_name() {
+        let mut pool = SoaSlots::new(4, 1);
+        pool.enqueue(0, pkt(0), 1).unwrap();
+        // Desynchronise a register: the slot-count says one thing, the
+        // links another.
+        pool.slot_count[1] = 3;
+        let err = pool.audit().unwrap_err();
+        assert_eq!(err.invariant(), "register-sync");
+        // A leaked slot (off every list, not dead) is a partition error.
+        let mut pool = SoaSlots::new(4, 1);
+        pool.enqueue(0, pkt(0), 1).unwrap();
+        pool.head[1] = NIL;
+        pool.tail[1] = NIL;
+        pool.slot_count[1] = 0;
+        pool.packet_count[1] = 0;
+        let err = pool.audit().unwrap_err();
+        assert_eq!(err.invariant(), "list-partition");
+        // A queue head without its arena payload breaks queue-shape.
+        let mut pool = SoaSlots::new(4, 1);
+        pool.enqueue(0, pkt(0), 1).unwrap();
+        let h = pool.head[1] as usize;
+        pool.arena[h] = None;
+        let err = pool.audit().unwrap_err();
+        assert_eq!(err.invariant(), "queue-shape");
+        // A dead register that disagrees with the tags is a fault-ledger
+        // error.
+        let mut pool = SoaSlots::new(4, 1);
+        assert!(pool.kill_slot());
+        pool.dead = 0;
+        pool.pending_kills = 1; // keep dead_count stable for the count check
+        let err = pool.audit().unwrap_err();
+        assert_eq!(err.invariant(), "fault-ledger");
+    }
+}

@@ -30,10 +30,10 @@ use rand::{Rng, SeedableRng};
 
 use damq_core::{
     AnyBuffer, AuditError, BufferKind, BuildBuffer, ConfigError, FaultEvent, FaultLedger,
-    FaultPlan, InputPort, NodeId, OutputPort, Packet, PacketIdSource, SwitchBuffer,
-    DEFAULT_SLOT_BYTES,
+    FaultPlan, FrontMeta, InputPort, NodeId, OutputPort, Packet, PacketId, PacketIdSource,
+    SwitchBuffer, DEFAULT_SLOT_BYTES,
 };
-use damq_switch::{ArbiterPolicy, FlowControl, Switch, SwitchConfig};
+use damq_switch::{ArbiterPolicy, CycleSink, FlowControl, Switch, SwitchConfig};
 use damq_telemetry::{
     CounterId, Event, EventKind, HistogramId, MetricsRegistry, NullSink, TelemetrySink,
 };
@@ -426,9 +426,13 @@ impl FaultState {
 /// downstream space. Every field is behind a shared reference (or
 /// `Copy`), so islands can probe concurrently — the route plan's query
 /// counter is atomic, fault state is only read (`link_down`), and
-/// downstream switches are only queried through `&self`
-/// ([`Switch::can_accept`]).
-struct ProbeCtx<'a, B: SwitchBuffer> {
+/// downstream space is read from `caps`, the per-stage snapshot of
+/// [`Switch::accept_capacities_into`] taken in the serial section while
+/// the downstream stage is frozen (its own transmit and every merge
+/// into it are already done, and nothing touches it again until this
+/// stage's phase B), so one flat-array load answers the probe exactly
+/// as the live `can_accept` would.
+struct ProbeCtx<'a> {
     stage: usize,
     per_stage: usize,
     radix: usize,
@@ -436,7 +440,141 @@ struct ProbeCtx<'a, B: SwitchBuffer> {
     blocking: bool,
     plan: &'a RoutePlan,
     faults: Option<&'a FaultState>,
-    downstream: &'a [Switch<B>],
+    /// `caps[(sw * radix + input) * radix + output]` = largest packet
+    /// (slots) downstream switch `sw` accepts on that input/output pair.
+    caps: &'a [u16],
+    idle: IdleView<'a>,
+}
+
+/// Read-only phase-A view of one stage's slice of the quiescence map,
+/// plus the skip enable flag. The map is only written in the serial
+/// sections of the cycle (merge, inject), so islands may read it freely.
+#[derive(Clone, Copy)]
+struct IdleView<'a> {
+    enabled: bool,
+    map: &'a [bool],
+}
+
+impl IdleView<'_> {
+    /// Whether switch `sw` may take the idle fast path this cycle.
+    fn skip(&self, sw: usize) -> bool {
+        self.enabled && self.map[sw]
+    }
+}
+
+/// Phase-A departure sink for the last pipeline stage: terminals always
+/// accept, so flow control never blocks and no route is parked.
+struct LastStageSink<'a> {
+    sw: usize,
+    records: &'a mut Vec<DepartRecord>,
+}
+
+impl CycleSink for LastStageSink<'_> {
+    fn can_send(&mut self, _output: OutputPort, _front: FrontMeta) -> bool {
+        true
+    }
+
+    fn depart(&mut self, _input: InputPort, output: OutputPort, packet: Packet) {
+        self.records.push(DepartRecord {
+            sw: self.sw,
+            output,
+            route: None,
+            packet,
+        });
+    }
+}
+
+/// Phase-A departure sink for interior stages. Under the blocking
+/// protocol the `can_send` probe routes the candidate, parks the route
+/// in the lane scratch, and tests the downstream link and space; each
+/// grant then moves the parked route onto its departure record, so phase
+/// B routes every departure exactly once — identical to the serial loop.
+struct InteriorStageSink<'a, 'b> {
+    sw: usize,
+    ctx: &'a ProbeCtx<'b>,
+    scratch: &'a mut [Option<HopRoute>],
+    records: &'a mut Vec<DepartRecord>,
+    /// Route queries made by this switch's probes, flushed to the plan's
+    /// counter in one batched add after the cycle (see
+    /// [`RoutePlan::count_queries`]).
+    probes: u64,
+}
+
+impl CycleSink for InteriorStageSink<'_, '_> {
+    fn can_send(&mut self, output: OutputPort, front: FrontMeta) -> bool {
+        let ctx = self.ctx;
+        if !ctx.blocking {
+            return true;
+        }
+        // A grant through `output` always takes the packet probed here
+        // most recently (the crossbar skips taken outputs), so the parked
+        // route is the granted packet's when `depart` fires.
+        self.probes += 1;
+        let route = ctx
+            .plan
+            .departure_route_uncounted(ctx.stage, self.sw, output, front.dest);
+        self.scratch[output.index()] = Some(route);
+        if ctx.faults.is_some_and(|f| {
+            f.link_down(
+                ctx.per_stage,
+                ctx.radix,
+                ctx.stage + 1,
+                route.next_switch,
+                route.next_port.index(),
+                ctx.cycle,
+            )
+        }) {
+            return false; // hold: the link downstream is out
+        }
+        let slots = front.slots_needed(DEFAULT_SLOT_BYTES);
+        let idx = (route.next_switch * ctx.radix + route.next_port.index()) * ctx.radix
+            + route.next_output.index();
+        slots <= ctx.caps[idx] as usize
+    }
+
+    fn depart(&mut self, _input: InputPort, output: OutputPort, packet: Packet) {
+        let route = if self.ctx.blocking {
+            self.scratch[output.index()].take()
+        } else {
+            None
+        };
+        self.records.push(DepartRecord {
+            sw: self.sw,
+            output,
+            route,
+            packet,
+        });
+    }
+}
+
+/// A generated packet waiting at its source, in compact form.
+///
+/// Holds exactly the identity a [`Packet`] is built from — serial,
+/// destination, length, birth cycle — plus the corruption flag a fault
+/// plan may have stamped at generation time. `materialize` rebuilds the
+/// identical `Packet` (the source is the queue index), so deferring
+/// construction to injection time is unobservable.
+#[derive(Debug, Clone, Copy)]
+struct PendingPacket {
+    serial: u64,
+    birth_cycle: u64,
+    dest: u32,
+    length_bytes: u32,
+    corrupt: bool,
+}
+
+impl PendingPacket {
+    fn materialize(self, source: usize) -> Packet {
+        let mut packet = Packet::builder(NodeId::new(source), NodeId::new(self.dest as usize))
+            .id(PacketId::new(self.serial))
+            .length_bytes(self.length_bytes as usize)
+            .birth_cycle(self.birth_cycle)
+            .build();
+        if self.corrupt {
+            packet.corrupt_payload();
+        }
+        packet
+    }
 }
 
 /// The simulator: a grid of switches, source queues and sinks.
@@ -464,9 +602,20 @@ pub struct NetworkSim<B: SwitchBuffer = AnyBuffer, S: TelemetrySink<Event> = Nul
     plan: RoutePlan,
     /// `switches[stage][index]`.
     switches: Vec<Vec<Switch<B>>>,
-    source_queues: Vec<VecDeque<Packet>>,
+    /// Generated-but-not-yet-injected packets, held in compact form —
+    /// the full [`Packet`] (including its identity checksum) is
+    /// materialized at injection time. Past saturation these queues grow
+    /// without bound, so the compact record (32 bytes vs a full packet)
+    /// halves the steady-state working set, and the packets the window
+    /// never injects are never built at all.
+    source_queues: Vec<VecDeque<PendingPacket>>,
     /// On/off state per source (always `true` under Bernoulli arrivals).
     source_on: Vec<bool>,
+    /// Reused per-stage backpressure snapshot
+    /// (`per_stage x radix x radix`, see [`ProbeCtx::caps`]): refilled
+    /// serially from the downstream stage before each interior phase A
+    /// under the blocking protocol.
+    accept_caps: Vec<u16>,
     /// The sharded stage engine: island partition, phase pool, and the
     /// per-island lanes carrying probe scratch and departure records.
     /// One island on one thread by default; see
@@ -487,6 +636,20 @@ pub struct NetworkSim<B: SwitchBuffer = AnyBuffer, S: TelemetrySink<Event> = Nul
     phase_timing: bool,
     /// Accumulated serial phase-B merge nanoseconds (profiler only).
     merge_ns: u64,
+    /// Per-switch quiescence map, flat `stage * per_stage + switch`.
+    /// Invariant (audited as `quiescence-map`): at every phase-A entry
+    /// and at end of cycle, `quiescent[i]` ⇔ that switch holds zero
+    /// packets. Maintained incrementally, writes only in serial
+    /// sections: a successful receive (merge, inject) clears the
+    /// receiver's bit; each departure record re-derives the
+    /// transmitter's bit from [`Switch::is_quiescent`].
+    quiescent: Vec<bool>,
+    /// Whether phase A advances quiescent switches with
+    /// [`Switch::note_idle_cycle`] instead of a full arbitration sweep
+    /// (on by default; see [`NetworkSim::with_idle_skip`]).
+    idle_skip: bool,
+    /// Lifetime count of idle-skipped switch-cycles.
+    idle_skipped: u64,
     ledger: ConservationLedger,
     faults: Option<FaultState>,
     fault_ledger: FaultLedger,
@@ -518,6 +681,8 @@ struct MetricIds {
     network_latency: HistogramId,
     /// Per-buffer occupied slots, sampled every cycle.
     occupancy: HistogramId,
+    /// Switch-cycles advanced by the quiescent fast path.
+    idle_skipped: CounterId,
 }
 
 impl MetricIds {
@@ -532,6 +697,7 @@ impl MetricIds {
             latency: reg.histogram("net.latency_cycles"),
             network_latency: reg.histogram("net.network_latency_cycles"),
             occupancy: reg.histogram("net.occupancy_slots"),
+            idle_skipped: reg.counter("net.idle_skipped"),
         }
     }
 }
@@ -605,8 +771,9 @@ impl<B: BuildBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             .arbiter_policy(config.arbiter_policy)
             .flow_control(config.flow_control);
         let per_stage = topology.switches_per_stage();
-        let mut switches = Vec::with_capacity(topology.stages());
-        for _stage in 0..topology.stages() {
+        let stages = topology.stages();
+        let mut switches = Vec::with_capacity(stages);
+        for _stage in 0..stages {
             let mut row = Vec::with_capacity(per_stage);
             for _ in 0..per_stage {
                 row.push(Switch::typed(switch_config)?);
@@ -622,6 +789,7 @@ impl<B: BuildBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             switches,
             source_queues: vec![VecDeque::new(); config.size],
             source_on: vec![true; config.size],
+            accept_caps: vec![0; per_stage * config.radix * config.radix],
             engine: ParallelEngine::new(1, per_stage, config.radix),
             ids: PacketIdSource::new(),
             rng: StdRng::seed_from_u64(config.seed),
@@ -631,6 +799,10 @@ impl<B: BuildBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             metric_ids,
             phase_timing: false,
             merge_ns: 0,
+            // Every switch starts empty, hence quiescent.
+            quiescent: vec![true; stages * per_stage],
+            idle_skip: true,
+            idle_skipped: 0,
             ledger: ConservationLedger::default(),
             faults: None,
             fault_ledger: FaultLedger::default(),
@@ -903,6 +1075,27 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
         self
     }
 
+    /// Turns the quiescent-switch fast path on or off (on by default).
+    ///
+    /// With it on, phase A advances a switch whose quiescence bit is set
+    /// with [`Switch::note_idle_cycle`] — one counter tick instead of an
+    /// arbitration sweep over its buffers. The fast path is byte-identical
+    /// to arbitrating an empty switch (pinned per switch by
+    /// `idle_cycle_is_byte_identical_to_empty_transmit_cycle` and
+    /// end-to-end by `idle_skip_correctness`), so the toggle exists only
+    /// to measure the speedup and to cross-check equivalence.
+    #[must_use]
+    pub fn with_idle_skip(mut self, enabled: bool) -> Self {
+        self.idle_skip = enabled;
+        self
+    }
+
+    /// Lifetime count of switch-cycles advanced by the quiescent fast
+    /// path (also exported as the `net.idle_skipped` registry counter).
+    pub fn idle_skipped_total(&self) -> u64 {
+        self.idle_skipped
+    }
+
     /// The named-metric registry (disabled unless
     /// [`with_metrics`](NetworkSim::with_metrics) was called).
     pub fn metrics_registry(&self) -> &MetricsRegistry {
@@ -1042,27 +1235,27 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             let source = NodeId::new(src);
             let dest = self.config.pattern.sample(&mut self.rng, source, size);
             let length = self.config.packet_lengths.sample(&mut self.rng);
-            let mut packet = Packet::builder(source, dest)
-                .id(self.ids.next_id())
-                .length_bytes(length)
-                .birth_cycle(self.cycle)
-                .build();
-            if let Some(faults) = self.faults.as_mut() {
-                if faults.take_corruption(src) {
-                    packet.corrupt_payload();
-                }
-            }
+            let pending = PendingPacket {
+                serial: self.ids.next_id().serial(),
+                birth_cycle: self.cycle,
+                dest: dest.index() as u32,
+                length_bytes: length as u32,
+                corrupt: self
+                    .faults
+                    .as_mut()
+                    .is_some_and(|faults| faults.take_corruption(src)),
+            };
             if self.sink.enabled() {
                 self.sink.record(Event::new(
                     self.cycle,
                     EventKind::Generated {
-                        packet: packet.id().serial(),
+                        packet: pending.serial,
                         source: src as u32,
-                        dest: packet.dest().index() as u32,
+                        dest: pending.dest,
                     },
                 ));
             }
-            self.source_queues[src].push_back(packet);
+            self.source_queues[src].push_back(pending);
             self.metrics.record_generated();
             self.registry.add(self.metric_ids.generated, 1);
             self.ledger.generated += 1;
@@ -1100,28 +1293,45 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
         let islands = self.engine.islands();
 
         // Last stage delivers straight to the (always-ready) sinks.
-        // Phase A: every switch arbitrates; no probing needed.
+        // Phase A: every switch arbitrates; no probing needed. Quiescent
+        // switches take the idle fast path — one counter tick instead of
+        // a buffer sweep.
         let last = stages - 1;
+        let idle = IdleView {
+            enabled: self.idle_skip,
+            map: &self.quiescent[last * per_stage..(last + 1) * per_stage],
+        };
         self.engine.collect(
             &mut self.switches[last],
-            &(),
-            &|sw, switch: &mut Switch<B>, lane: &mut StageLane, _: &()| {
-                for d in switch.transmit_cycle(|_, _| true) {
-                    lane.records.push(DepartRecord {
-                        sw,
-                        output: d.output,
-                        route: None,
-                        packet: d.packet,
-                    });
+            &idle,
+            &|sw, switch: &mut Switch<B>, lane: &mut StageLane, idle: &IdleView<'_>| {
+                debug_assert_eq!(idle.map[sw], switch.is_quiescent(), "stale quiescence bit");
+                if idle.skip(sw) {
+                    switch.note_idle_cycle();
+                    lane.idle_skipped += 1;
+                    return;
                 }
+                let mut sink = LastStageSink {
+                    sw,
+                    records: &mut lane.records,
+                };
+                switch.transmit_cycle_with(&mut sink);
             },
         );
+        let skipped = self.engine.idle_skipped_in_phase();
+        self.idle_skipped += skipped;
+        self.registry.add(self.metric_ids.idle_skipped, skipped);
         // Phase B: deliver in ascending switch order.
         // lint: allow — harness wall-clock, never simulation state.
         let merge_start = self.phase_timing.then(Instant::now);
         for island in 0..islands {
             for rec in self.engine.lane_records(island) {
                 let sw = rec.sw;
+                // The record proves `sw` transmitted: re-derive its
+                // quiescence bit from the post-arbitration residency
+                // (idempotent; receives into this stage happen later, in
+                // the previous stage's merge, and clear it again).
+                self.quiescent[last * per_stage + sw] = self.switches[last][sw].is_quiescent();
                 let misrouted_here = faults
                     .as_mut()
                     .is_some_and(|f| f.take_misroute(per_stage, last, sw));
@@ -1217,6 +1427,19 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             let (current_stages, later_stages) = self.switches.split_at_mut(stage + 1);
             let current = &mut current_stages[stage];
             let downstream = &mut later_stages[0];
+            // Snapshot the downstream stage's admission capacities into
+            // the flat reused matrix. The downstream stage is frozen for
+            // the whole of this stage's phase A (its transmit and every
+            // merge into it already ran), so the snapshot answers every
+            // probe exactly as the live `can_accept` would — and islands
+            // read a 256-byte array instead of chasing through foreign
+            // switch state.
+            if blocking {
+                let link = radix * radix;
+                for (sw, caps) in self.accept_caps.chunks_exact_mut(link).enumerate() {
+                    downstream[sw].accept_capacities_into(caps);
+                }
+            }
             // Phase A: every island arbitrates its switches. Blocking
             // probes route, check the downstream link and read downstream
             // space; each departure leaves with the probe's parked route.
@@ -1228,57 +1451,44 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                 blocking,
                 plan: &self.plan,
                 faults: faults.as_ref(),
-                downstream: &downstream[..],
+                caps: &self.accept_caps,
+                idle: IdleView {
+                    enabled: self.idle_skip,
+                    map: &self.quiescent[stage * per_stage..(stage + 1) * per_stage],
+                },
             };
             self.engine.collect(
                 current,
                 &ctx,
-                &|sw, switch: &mut Switch<B>, lane: &mut StageLane, ctx: &ProbeCtx<'_, B>| {
-                    let StageLane { scratch, records } = lane;
-                    scratch.fill(None);
-                    let departures = switch.transmit_cycle(|out, pkt| {
-                        if !ctx.blocking {
-                            return true;
-                        }
-                        // A departure through `out` is always the packet the
-                        // crossbar granted last, i.e. the one probed here most
-                        // recently — park its route for the merge phase.
-                        let route = ctx.plan.departure_route(ctx.stage, sw, out, pkt.dest());
-                        scratch[out.index()] = Some(route);
-                        if ctx.faults.is_some_and(|f| {
-                            f.link_down(
-                                ctx.per_stage,
-                                ctx.radix,
-                                ctx.stage + 1,
-                                route.next_switch,
-                                route.next_port.index(),
-                                ctx.cycle,
-                            )
-                        }) {
-                            return false; // hold: the link downstream is out
-                        }
-                        let slots = pkt.slots_needed(DEFAULT_SLOT_BYTES);
-                        ctx.downstream[route.next_switch].can_accept(
-                            route.next_port,
-                            route.next_output,
-                            slots,
-                        )
-                    });
-                    for d in departures {
-                        let route = if ctx.blocking {
-                            scratch[d.output.index()].take()
-                        } else {
-                            None
-                        };
-                        records.push(DepartRecord {
-                            sw,
-                            output: d.output,
-                            route,
-                            packet: d.packet,
-                        });
+                &|sw, switch: &mut Switch<B>, lane: &mut StageLane, ctx: &ProbeCtx<'_>| {
+                    debug_assert_eq!(
+                        ctx.idle.map[sw],
+                        switch.is_quiescent(),
+                        "stale quiescence bit"
+                    );
+                    if ctx.idle.skip(sw) {
+                        switch.note_idle_cycle();
+                        lane.idle_skipped += 1;
+                        return;
                     }
+                    let StageLane {
+                        scratch, records, ..
+                    } = lane;
+                    scratch.fill(None);
+                    let mut sink = InteriorStageSink {
+                        sw,
+                        ctx,
+                        scratch,
+                        records,
+                        probes: 0,
+                    };
+                    switch.transmit_cycle_with(&mut sink);
+                    ctx.plan.count_queries(sink.probes);
                 },
             );
+            let skipped = self.engine.idle_skipped_in_phase();
+            self.idle_skipped += skipped;
+            self.registry.add(self.metric_ids.idle_skipped, skipped);
             // Phase B: merge departures in ascending switch order,
             // replaying the serial departure loop. Misroutes applied so
             // far in *this stage's* merge — the only mechanism that can
@@ -1290,6 +1500,9 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             for island in 0..islands {
                 for rec in self.engine.lane_records(island) {
                     let sw = rec.sw;
+                    // The record proves `sw` transmitted: re-derive its
+                    // quiescence bit from the post-arbitration residency.
+                    self.quiescent[stage * per_stage + sw] = current[sw].is_quiescent();
                     // Blocking probes parked the route on the record; the
                     // discarding path routes here — either way exactly one
                     // query per departure (misroutes pay one extra for the
@@ -1361,7 +1574,11 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                         continue;
                     }
                     match downstream[next_switch].receive(next_port, next_out, rec.packet) {
-                        Ok(()) => {}
+                        Ok(()) => {
+                            // The receiver now holds a packet: it cannot
+                            // idle-skip until it drains again.
+                            self.quiescent[(stage + 1) * per_stage + next_switch] = false;
+                        }
                         Err(_rejected) => {
                             // Invariant: a probed blocking departure can only
                             // bounce after a misroute in this same stage's
@@ -1421,7 +1638,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
         let per_stage = self.topology.switches_per_stage();
         let radix = self.config.radix;
         for src in 0..self.config.size {
-            let Some(front) = self.source_queues[src].front() else {
+            let Some(&front) = self.source_queues[src].front() else {
                 continue;
             };
             let (sw, port) = self.plan.entry(NodeId::new(src));
@@ -1432,18 +1649,17 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             if blocking && link_dead {
                 continue; // hold at the source until the link recovers
             }
-            let out = self.plan.route_output(0, front.dest());
-            let slots = front.slots_needed(DEFAULT_SLOT_BYTES);
+            let out = self.plan.route_output(0, NodeId::new(front.dest as usize));
+            let slots = (front.length_bytes as usize).div_ceil(DEFAULT_SLOT_BYTES).max(1);
             if blocking && !self.switches[0][sw].can_accept(port, out, slots) {
                 continue; // hold the packet; try again next cycle
             }
-            // lint: allow — the queue front was checked non-empty above.
-            let mut packet = self.source_queues[src].pop_front().expect("front checked");
-            packet.mark_injected(self.cycle);
-            let serial = packet.id().serial();
+            self.source_queues[src].pop_front();
+            let serial = front.serial;
             if link_dead {
                 // Discarding protocol: the packet is launched into the
-                // outage and lost at the network's edge.
+                // outage and lost at the network's edge (never built —
+                // only its serial reaches the telemetry).
                 if self.sink.enabled() {
                     self.sink.record(Event::new(
                         self.cycle,
@@ -1459,8 +1675,12 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                 self.fault_ledger.link_dropped += 1;
                 continue;
             }
+            let mut packet = front.materialize(src);
+            packet.mark_injected(self.cycle);
             match self.switches[0][sw].receive(port, out, packet) {
                 Ok(()) => {
+                    // Entry switch `sw` of stage 0 now holds a packet.
+                    self.quiescent[sw] = false;
                     if self.sink.enabled() {
                         self.sink.record(Event::new(
                             self.cycle,
@@ -1616,8 +1836,37 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
         Ok(())
     }
 
-    /// Full network audit: buffer structure in every switch, packet
-    /// conservation, and the fault ledger.
+    /// Verifies the idle-skip quiescence map against ground truth: at end
+    /// of cycle every bit must equal its switch's actual emptiness — a
+    /// stale set bit would let the fast path freeze resident packets, a
+    /// stale clear bit only costs speed, but both break the documented
+    /// invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AuditError`] naming the stale bit.
+    pub fn audit_quiescence(&self) -> Result<(), AuditError> {
+        let per_stage = self.topology.switches_per_stage();
+        for (stage, row) in self.switches.iter().enumerate() {
+            for (sw, switch) in row.iter().enumerate() {
+                let bit = self.quiescent[stage * per_stage + sw];
+                if bit != switch.is_quiescent() {
+                    return Err(AuditError::new(
+                        "quiescence-map",
+                        format!(
+                            "stage {stage} switch {sw}: map bit {bit} but the \
+                             switch holds {} packets",
+                            switch.packets_resident(),
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full network audit: buffer structure in every switch, the
+    /// quiescence map, packet conservation, and the fault ledger.
     ///
     /// # Errors
     ///
@@ -1628,6 +1877,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                 sw.audit()?;
             }
         }
+        self.audit_quiescence()?;
         self.audit_conservation()?;
         self.audit_fault_ledger()
     }

@@ -179,6 +179,9 @@ pub(crate) struct StageLane {
     pub(crate) scratch: Vec<Option<HopRoute>>,
     /// Departures collected by this island, in switch order.
     pub(crate) records: Vec<DepartRecord>,
+    /// Switches this island advanced with the quiescent fast path this
+    /// phase (reset per phase; summed serially into `net.idle_skipped`).
+    pub(crate) idle_skipped: u64,
 }
 
 /// The sharded stage engine owned by a
@@ -199,6 +202,7 @@ impl ParallelEngine {
             .map(|_| StageLane {
                 scratch: vec![None; radix],
                 records: Vec::new(),
+                idle_skipped: 0,
             })
             .collect();
         ParallelEngine {
@@ -232,6 +236,7 @@ impl ParallelEngine {
     {
         for lane in &mut self.lanes {
             lane.records.clear();
+            lane.idle_skipped = 0;
         }
         self.pool.run_phase(
             row,
@@ -244,6 +249,13 @@ impl ParallelEngine {
                 }
             },
         );
+    }
+
+    /// Quiescent switches advanced by the idle fast path in the most
+    /// recent phase, summed over every island (read serially after
+    /// [`collect`](ParallelEngine::collect) returns).
+    pub(crate) fn idle_skipped_in_phase(&self) -> u64 {
+        self.lanes.iter().map(|l| l.idle_skipped).sum()
     }
 
     /// Phase B: drains island `island`'s records, in the order phase A

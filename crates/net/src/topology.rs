@@ -366,6 +366,10 @@ pub struct RoutePlan {
     radix: usize,
     stages: usize,
     size: usize,
+    /// Switches per stage (`size / radix`), precomputed: the departure
+    /// probe runs once per flow-control candidate per cycle, and a
+    /// runtime division is a hardware divide on that path.
+    per_stage: usize,
     /// `(switch, port)` entered by each source, indexed by source.
     entries: Vec<(usize, InputPort)>,
     /// `(next switch, next port)` per (stage, switch, output), row-major
@@ -387,6 +391,7 @@ impl Clone for RoutePlan {
             radix: self.radix,
             stages: self.stages,
             size: self.size,
+            per_stage: self.per_stage,
             entries: self.entries.clone(),
             next_hops: self.next_hops.clone(),
             outputs: self.outputs.clone(),
@@ -433,6 +438,7 @@ impl RoutePlan {
             radix,
             stages,
             size,
+            per_stage,
             entries,
             next_hops,
             outputs,
@@ -480,7 +486,7 @@ impl RoutePlan {
         // orders it before any cross-thread read, so the deterministic
         // total needs no stronger ordering here.
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let per_stage = self.size / self.radix;
+        let per_stage = self.per_stage;
         let (next_switch, next_port) =
             self.next_hops[(stage * per_stage + switch) * self.radix + output.index()];
         HopRoute {
@@ -488,6 +494,38 @@ impl RoutePlan {
             next_port,
             next_output: self.route_output(stage + 1, dest),
         }
+    }
+
+    /// [`RoutePlan::departure_route`] without the query-counter bump:
+    /// the per-candidate backpressure probe calls this and batches its
+    /// count into one [`RoutePlan::count_queries`] per switch per cycle,
+    /// turning ~`radix`-squared atomic RMWs per switch into one. The
+    /// total stays exact — the counter is only read between cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is the last stage or any index is out of range.
+    pub(crate) fn departure_route_uncounted(
+        &self,
+        stage: usize,
+        switch: usize,
+        output: OutputPort,
+        dest: NodeId,
+    ) -> HopRoute {
+        let (next_switch, next_port) =
+            self.next_hops[(stage * self.per_stage + switch) * self.radix + output.index()];
+        HopRoute {
+            next_switch,
+            next_port,
+            next_output: self.route_output(stage + 1, dest),
+        }
+    }
+
+    /// Adds `n` batched [`RoutePlan::departure_route_uncounted`] queries
+    /// to the counter behind [`RoutePlan::route_queries`].
+    pub(crate) fn count_queries(&self, n: u64) {
+        // ordering: Relaxed — same pure event count as `departure_route`.
+        self.queries.fetch_add(n, Ordering::Relaxed);
     }
 
     /// The sink terminal reached from the last stage's (`switch`,

@@ -116,6 +116,15 @@ impl Arbiter {
         })
     }
 
+    /// Advances the priority pointer one port, wrapping by compare
+    /// instead of `%` (`ports` is runtime, so the modulo is a divide).
+    fn rotate_priority(&mut self) {
+        self.priority += 1;
+        if self.priority == self.ports {
+            self.priority = 0;
+        }
+    }
+
     /// Stale count of queue `output` in buffer `input`.
     pub fn stale_count(&self, input: InputPort, output: OutputPort) -> u32 {
         self.stale[input.index() * self.fanout + output.index()]
@@ -123,39 +132,64 @@ impl Arbiter {
 
     /// Finishes a cycle.
     ///
-    /// `served[i][o]` must be true iff buffer `i`'s queue `o` transmitted;
-    /// `occupied[i][o]` iff that queue still holds packets. Updates the
-    /// priority pointer and (for smart) the stale counts.
+    /// Both matrices are flat, row-major `ports x fanout` — the same layout
+    /// as the switch's batched-kernel scratch, so no per-row indirection.
+    /// `served[i * fanout + o]` must be true iff buffer `i`'s queue `o`
+    /// transmitted; `occupied[i * fanout + o]` iff that queue still holds
+    /// packets. Updates the priority pointer and (for smart) the stale
+    /// counts.
     ///
     /// # Panics
     ///
     /// Panics if the matrices have the wrong shape.
-    pub fn complete_cycle(&mut self, served: &[Vec<bool>], occupied: &[Vec<bool>]) {
-        assert_eq!(served.len(), self.ports, "served matrix shape");
-        assert_eq!(occupied.len(), self.ports, "occupied matrix shape");
-        let first_transmitted = served[self.priority].iter().any(|&s| s);
+    pub fn complete_cycle(&mut self, served: &[bool], occupied: &[bool]) {
+        assert_eq!(served.len(), self.ports * self.fanout, "served matrix shape");
+        assert_eq!(
+            occupied.len(),
+            self.ports * self.fanout,
+            "occupied matrix shape"
+        );
+        let row = self.priority * self.fanout;
+        let first_transmitted = served[row..row + self.fanout].iter().any(|&s| s);
         match self.policy {
             ArbiterPolicy::Dumb => {
-                self.priority = (self.priority + 1) % self.ports;
+                self.rotate_priority();
             }
             ArbiterPolicy::Smart => {
-                for i in 0..self.ports {
-                    assert_eq!(served[i].len(), self.fanout, "served row shape");
-                    assert_eq!(occupied[i].len(), self.fanout, "occupied row shape");
-                    for o in 0..self.fanout {
-                        let idx = i * self.fanout + o;
-                        if served[i][o] {
-                            self.stale[idx] = 0;
-                        } else if occupied[i][o] {
-                            self.stale[idx] = self.stale[idx].saturating_add(1);
-                        } else {
-                            self.stale[idx] = 0;
-                        }
-                    }
+                for ((stale, &served), &occupied) in
+                    self.stale.iter_mut().zip(served).zip(occupied)
+                {
+                    *stale = if !served && occupied {
+                        stale.saturating_add(1)
+                    } else {
+                        0
+                    };
                 }
                 if first_transmitted {
-                    self.priority = (self.priority + 1) % self.ports;
+                    self.rotate_priority();
                 }
+            }
+        }
+    }
+
+    /// Finishes a cycle in which the whole switch was quiescent — no queue
+    /// held a packet, so nothing was served and nothing was occupied.
+    ///
+    /// Byte-identical to `complete_cycle(all-false, all-false)`: dumb
+    /// rotates unconditionally; smart keeps its priority (nothing
+    /// transmitted) and leaves the stale counts at zero, which they must
+    /// already be, since a queue only accrues staleness while occupied and
+    /// every queue was observed empty when the switch went quiescent.
+    pub fn complete_idle_cycle(&mut self) {
+        match self.policy {
+            ArbiterPolicy::Dumb => {
+                self.rotate_priority();
+            }
+            ArbiterPolicy::Smart => {
+                debug_assert!(
+                    self.stale.iter().all(|&s| s == 0),
+                    "quiescent switch carried a nonzero stale count"
+                );
             }
         }
     }
@@ -172,8 +206,8 @@ mod tests {
         }
     }
 
-    fn no_service(ports: usize, fanout: usize) -> Vec<Vec<bool>> {
-        vec![vec![false; fanout]; ports]
+    fn no_service(ports: usize, fanout: usize) -> Vec<bool> {
+        vec![false; ports * fanout]
     }
 
     #[test]
@@ -219,7 +253,7 @@ mod tests {
         a.complete_cycle(&no_service(3, 2), &no_service(3, 2));
         assert_eq!(a.priority_port(), InputPort::new(0));
         let mut served = no_service(3, 2);
-        served[0][1] = true;
+        served[1] = true; // buffer 0, queue 1
         a.complete_cycle(&served, &no_service(3, 2));
         assert_eq!(a.priority_port(), InputPort::new(1));
     }
@@ -228,15 +262,15 @@ mod tests {
     fn stale_counts_accumulate_and_reset() {
         let mut a = Arbiter::new(ArbiterPolicy::Smart, 2, 2);
         let mut occupied = no_service(2, 2);
-        occupied[0][0] = true;
-        occupied[0][1] = true;
+        occupied[0] = true; // buffer 0, queue 0
+        occupied[1] = true; // buffer 0, queue 1
         // Queue (0,1) passed over twice.
         a.complete_cycle(&no_service(2, 2), &occupied);
         a.complete_cycle(&no_service(2, 2), &occupied);
         assert_eq!(a.stale_count(InputPort::new(0), OutputPort::new(1)), 2);
         // Serving it resets the count.
         let mut served = no_service(2, 2);
-        served[0][1] = true;
+        served[1] = true; // buffer 0, queue 1
         a.complete_cycle(&served, &occupied);
         assert_eq!(a.stale_count(InputPort::new(0), OutputPort::new(1)), 0);
         assert_eq!(a.stale_count(InputPort::new(0), OutputPort::new(0)), 3);
@@ -246,7 +280,7 @@ mod tests {
     fn smart_selects_stalest_queue_over_longest() {
         let mut a = Arbiter::new(ArbiterPolicy::Smart, 1, 3);
         let mut occupied = no_service(1, 3);
-        occupied[0][2] = true;
+        occupied[2] = true; // buffer 0, queue 2
         a.complete_cycle(&no_service(1, 3), &occupied);
         // Queue 2 is stale (count 1); queue 0 is longer but fresh.
         let picked = a
@@ -256,10 +290,23 @@ mod tests {
     }
 
     #[test]
+    fn idle_cycle_matches_all_false_complete_cycle() {
+        for policy in ArbiterPolicy::ALL {
+            let mut full = Arbiter::new(policy, 3, 2);
+            let mut fast = Arbiter::new(policy, 3, 2);
+            for _ in 0..5 {
+                full.complete_cycle(&no_service(3, 2), &no_service(3, 2));
+                fast.complete_idle_cycle();
+                assert_eq!(full.priority_port(), fast.priority_port(), "{policy}");
+            }
+        }
+    }
+
+    #[test]
     fn emptied_queue_loses_its_stale_count() {
         let mut a = Arbiter::new(ArbiterPolicy::Smart, 1, 2);
         let mut occupied = no_service(1, 2);
-        occupied[0][0] = true;
+        occupied[0] = true; // buffer 0, queue 0
         a.complete_cycle(&no_service(1, 2), &occupied);
         assert_eq!(a.stale_count(InputPort::new(0), OutputPort::new(0)), 1);
         // Queue drains (e.g. the packet was dropped): stale count clears.

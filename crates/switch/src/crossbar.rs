@@ -82,6 +82,14 @@ impl Crossbar {
         self.cycles += 1;
     }
 
+    /// Ends a cycle in which no connection was attempted (the switch was
+    /// quiescent). Equivalent to `release_all` on an unused crossbar, minus
+    /// the redundant `drivers` clear.
+    pub fn tick_idle_cycle(&mut self) {
+        debug_assert!(self.drivers.iter().all(Option::is_none));
+        self.cycles += 1;
+    }
+
     /// Mean fraction of outputs driven per completed cycle (crossbar
     /// utilisation so far).
     pub fn utilization(&self) -> f64 {

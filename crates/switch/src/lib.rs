@@ -50,4 +50,4 @@ pub use arbiter::{Arbiter, ArbiterPolicy, Candidate};
 pub use config::SwitchConfig;
 pub use crossbar::Crossbar;
 pub use flow::FlowControl;
-pub use switch::{Departure, Switch};
+pub use switch::{CycleSink, Departure, Switch};

@@ -1,7 +1,8 @@
 //! The n×n switch: input buffers + crossbar + central arbiter.
 
 use damq_core::{
-    AnyBuffer, BufferStats, BuildBuffer, InputPort, OutputPort, Packet, Rejected, SwitchBuffer,
+    AnyBuffer, BufferStats, BuildBuffer, FrontMeta, InputPort, OutputPort, Packet, Rejected,
+    SwitchBuffer,
 };
 
 use crate::arbiter::{Arbiter, Candidate};
@@ -17,6 +18,51 @@ pub struct Departure {
     pub output: OutputPort,
     /// The packet itself (hop already recorded).
     pub packet: Packet,
+}
+
+/// The caller's side of one arbitration cycle: flow control plus departure
+/// handling, as a single object so the cycle kernel makes no allocations.
+///
+/// [`Switch::transmit_cycle_with`] consults [`can_send`](CycleSink::can_send)
+/// while gathering candidates and hands each winning packet to
+/// [`depart`](CycleSink::depart) the moment it is dequeued. One object
+/// carries both halves because they typically share mutable state (the
+/// network's per-output route scratch), which two separate closures could
+/// not both borrow.
+pub trait CycleSink {
+    /// Flow control: may the head packet of `output`'s queue leave this
+    /// cycle? Return `false` to block it (e.g. no space downstream).
+    ///
+    /// The probe sees [`FrontMeta`] — destination and length, read from
+    /// the buffer's index registers — rather than the packet itself, so
+    /// the examination walk never drags out-of-line payloads through the
+    /// cache (see [`SwitchBuffer::front_meta`]).
+    fn can_send(&mut self, output: OutputPort, front: FrontMeta) -> bool;
+
+    /// Accepts a departing packet (hop already recorded). Called at most
+    /// once per output per cycle.
+    fn depart(&mut self, input: InputPort, output: OutputPort, packet: Packet);
+}
+
+/// Adapter giving the classic closure-plus-`Vec` surface of
+/// [`Switch::transmit_cycle`] on top of [`CycleSink`].
+struct CollectSink<F> {
+    can_send: F,
+    departures: Vec<Departure>,
+}
+
+impl<F: FnMut(OutputPort, FrontMeta) -> bool> CycleSink for CollectSink<F> {
+    fn can_send(&mut self, output: OutputPort, front: FrontMeta) -> bool {
+        (self.can_send)(output, front)
+    }
+
+    fn depart(&mut self, input: InputPort, output: OutputPort, packet: Packet) {
+        self.departures.push(Departure {
+            input,
+            output,
+            packet,
+        });
+    }
 }
 
 /// An n×n switch with per-input buffers of a configurable design, a
@@ -63,10 +109,16 @@ pub struct Switch<B: SwitchBuffer = AnyBuffer> {
     crossbar: Crossbar,
     hol_blocked_last_cycle: u64,
     hol_blocked_total: u64,
-    // Per-cycle scratch, hoisted out of `transmit_cycle` so steady-state
-    // stepping performs no allocations beyond the departure list.
-    served: Vec<Vec<bool>>,
-    occupied: Vec<Vec<bool>>,
+    /// Packets resident across all buffers, maintained incrementally on
+    /// `receive`/dequeue so quiescence checks never touch the buffers.
+    resident: usize,
+    // Per-cycle scratch, hoisted out of the cycle kernel so steady-state
+    // stepping performs no allocations. All matrices are flat, row-major
+    // ports x ports.
+    served: Vec<bool>,
+    occupied: Vec<bool>,
+    lens: Vec<u16>,
+    dirty: Vec<bool>,
     candidates: Vec<Candidate>,
 }
 
@@ -111,8 +163,12 @@ impl<B: BuildBuffer> Switch<B> {
             crossbar: Crossbar::new(ports, ports),
             hol_blocked_last_cycle: 0,
             hol_blocked_total: 0,
-            served: vec![vec![false; ports]; ports],
-            occupied: vec![vec![false; ports]; ports],
+            resident: 0,
+            served: vec![false; ports * ports],
+            occupied: vec![false; ports * ports],
+            lens: vec![0; ports * ports],
+            dirty: vec![false; ports],
+            // lint: allow — construction-time scratch, not the cycle kernel.
             candidates: Vec::with_capacity(ports),
         })
     }
@@ -149,6 +205,26 @@ impl<B: SwitchBuffer> Switch<B> {
         self.buffers[input.index()].can_accept(output, slots)
     }
 
+    /// Batched backpressure snapshot: fills `caps[i * ports + o]` with
+    /// the largest packet (in slots) input buffer `i` would accept for
+    /// output `o` right now — `can_accept(i, o, s)` iff
+    /// `s <= caps[i * ports + o]`. The network simulator takes this
+    /// snapshot per stage while the switch is frozen, so its probe loop
+    /// reads a flat array instead of chasing through buffer state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps` is not `ports * ports` long.
+    pub fn accept_capacities_into(&self, caps: &mut [u16]) {
+        let ports = self.ports();
+        assert_eq!(caps.len(), ports * ports, "capacity matrix shape");
+        for (b, row) in self.buffers.iter().zip(caps.chunks_exact_mut(ports)) {
+            for (o, cap) in row.iter_mut().enumerate() {
+                *cap = b.accept_capacity(OutputPort::new(o)).min(u16::MAX as usize) as u16;
+            }
+        }
+    }
+
     /// Stores a packet arriving on `input`, already routed to `output`.
     ///
     /// # Errors
@@ -165,7 +241,11 @@ impl<B: SwitchBuffer> Switch<B> {
         output: OutputPort,
         packet: Packet,
     ) -> Result<(), Rejected> {
-        self.buffers[input.index()].try_enqueue(output, packet)
+        let stored = self.buffers[input.index()].try_enqueue(output, packet);
+        if stored.is_ok() {
+            self.resident += 1;
+        }
+        stored
     }
 
     /// Runs one arbitration/transmission cycle.
@@ -192,35 +272,66 @@ impl<B: SwitchBuffer> Switch<B> {
     /// read-only downstream probes — and still produce byte-identical
     /// results at any thread count. Mutation of *shared* state (the
     /// downstream `receive`) is the caller's job, after arbitration.
-    pub fn transmit_cycle<F>(&mut self, mut can_send: F) -> Vec<Departure>
+    pub fn transmit_cycle<F>(&mut self, can_send: F) -> Vec<Departure>
     where
-        F: FnMut(OutputPort, &Packet) -> bool,
+        F: FnMut(OutputPort, FrontMeta) -> bool,
     {
+        let mut sink = CollectSink {
+            can_send,
+            // lint: allow — compatibility adapter, not the cycle kernel.
+            departures: Vec::new(),
+        };
+        self.transmit_cycle_with(&mut sink);
+        sink.departures
+    }
+
+    /// Runs one arbitration/transmission cycle against a [`CycleSink`].
+    ///
+    /// Identical semantics to [`transmit_cycle`](Switch::transmit_cycle) —
+    /// that method is a thin adapter over this one — but allocation-free:
+    /// departures stream into the sink instead of a fresh `Vec`, and the
+    /// per-cycle state (queue lengths, served/occupied matrices) lives in
+    /// flat scratch arrays reused across cycles. Queue lengths are
+    /// prefetched per buffer via
+    /// [`queue_lens_into`](SwitchBuffer::queue_lens_into) — one batched
+    /// register read instead of `ports x fanout` virtual calls — and kept
+    /// consistent arithmetically: serving a queue decrements its cached
+    /// length (exact for every per-output design; a FIFO's single read port
+    /// never re-reads its row within the cycle), and rows of buffers that
+    /// dequeued are re-fetched before the occupancy sweep, because a FIFO
+    /// dequeue exposes a new head output and reshapes its whole row.
+    pub fn transmit_cycle_with<S: CycleSink>(&mut self, sink: &mut S) {
         let ports = self.ports();
-        let mut departures = Vec::new();
-        for row in &mut self.served {
-            row.fill(false);
+        self.served.fill(false);
+        self.dirty.fill(false);
+
+        // Batched prefetch of every buffer's queue-length registers.
+        for (b, row) in self.buffers.iter().zip(self.lens.chunks_exact_mut(ports)) {
+            b.queue_lens_into(row);
         }
 
-        // Inline modulo walk instead of collecting `examination_order()`:
+        // Inline rotating walk instead of collecting `examination_order()`:
         // the arbiter's priority pointer is stable for the whole cycle.
-        let start = self.arbiter.priority_port().index();
-        for offset in 0..ports {
-            let input = InputPort::new((start + offset) % ports);
-            let reads = self.buffers[input.index()].read_ports();
+        // (Wrap by compare, not `%` — `ports` is a runtime value, so the
+        // modulo is a hardware divide on the hottest loop in the kernel.)
+        let mut i = self.arbiter.priority_port().index();
+        for _ in 0..ports {
+            let input = InputPort::new(i);
+            let row = i * ports;
+            let reads = self.buffers[i].read_ports();
             for _ in 0..reads {
                 self.candidates.clear();
-                let buffer = &self.buffers[input.index()];
+                let buffer = &self.buffers[i];
                 for o in OutputPort::all(ports) {
                     if !self.crossbar.is_free(o) {
                         continue;
                     }
-                    let queue_len = buffer.queue_len(o);
+                    let queue_len = self.lens[row + o.index()] as usize;
                     if queue_len == 0 {
                         continue;
                     }
-                    let front = buffer.front(o).expect("nonempty queue has a front");
-                    if can_send(o, front) {
+                    let front = buffer.front_meta(o).expect("nonempty queue has a front");
+                    if sink.can_send(o, front) {
                         self.candidates.push(Candidate {
                             output: o,
                             queue_len,
@@ -232,23 +343,32 @@ impl<B: SwitchBuffer> Switch<B> {
                 };
                 let connected = self.crossbar.try_connect(input, pick.output);
                 debug_assert!(connected, "candidate filtered on free outputs");
-                let mut packet = self.buffers[input.index()]
+                let mut packet = self.buffers[i]
                     .dequeue(pick.output)
                     .expect("candidate queue was nonempty");
                 packet.record_hop();
-                self.served[input.index()][pick.output.index()] = true;
-                departures.push(Departure {
-                    input,
-                    output: pick.output,
-                    packet,
-                });
+                self.served[row + pick.output.index()] = true;
+                self.lens[row + pick.output.index()] -= 1;
+                self.dirty[i] = true;
+                self.resident -= 1;
+                sink.depart(input, pick.output, packet);
+            }
+            i += 1;
+            if i == ports {
+                i = 0;
             }
         }
 
-        for (row, b) in self.occupied.iter_mut().zip(&self.buffers) {
-            for o in OutputPort::all(ports) {
-                row[o.index()] = b.queue_len(o) > 0;
+        // Re-fetch rows whose buffer dequeued before deriving occupancy: a
+        // FIFO dequeue can expose a head for a different output, reshaping
+        // its whole row (per-output designs are already exact).
+        for (i, b) in self.buffers.iter().enumerate() {
+            if self.dirty[i] {
+                b.queue_lens_into(&mut self.lens[i * ports..(i + 1) * ports]);
             }
+        }
+        for (occ, &len) in self.occupied.iter_mut().zip(&self.lens) {
+            *occ = len > 0;
         }
         self.arbiter.complete_cycle(&self.served, &self.occupied);
         self.crossbar.release_all();
@@ -257,7 +377,32 @@ impl<B: SwitchBuffer> Switch<B> {
         // a per-output design could have offered but this design could not.
         self.hol_blocked_last_cycle = self.buffers.iter_mut().map(|b| b.note_hol_blocked()).sum();
         self.hol_blocked_total += self.hol_blocked_last_cycle;
-        departures
+    }
+
+    /// Whether every input buffer is empty, in O(1) from the incrementally
+    /// maintained resident count.
+    pub fn is_quiescent(&self) -> bool {
+        self.resident == 0
+    }
+
+    /// Advances a quiescent switch by one cycle without touching its
+    /// buffers.
+    ///
+    /// Byte-identical to running [`transmit_cycle`](Switch::transmit_cycle)
+    /// on an empty switch: the crossbar counts an idle cycle, the arbiter
+    /// takes its idle step (dumb rotates; smart holds priority, and its
+    /// stale counts are provably already zero — the cycle that emptied the
+    /// switch observed every queue unoccupied), HOL accounting reads zero,
+    /// and no buffer statistic moves (an empty FIFO records nothing).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the switch [`is_quiescent`](Switch::is_quiescent).
+    pub fn note_idle_cycle(&mut self) {
+        debug_assert!(self.is_quiescent(), "idle-skip on a non-quiescent switch");
+        self.crossbar.tick_idle_cycle();
+        self.arbiter.complete_idle_cycle();
+        self.hol_blocked_last_cycle = 0;
     }
 
     /// Packets head-of-line blocked at the end of the most recent
@@ -273,9 +418,15 @@ impl<B: SwitchBuffer> Switch<B> {
         self.hol_blocked_total
     }
 
-    /// Total packets resident in all input buffers.
+    /// Total packets resident in all input buffers, in O(1) from the
+    /// incrementally maintained count.
     pub fn packets_resident(&self) -> usize {
-        self.buffers.iter().map(|b| b.packet_count()).sum()
+        debug_assert_eq!(
+            self.resident,
+            self.buffers.iter().map(|b| b.packet_count()).sum::<usize>(),
+            "resident cache drifted from the buffers"
+        );
+        self.resident
     }
 
     /// Total slots in use across all input buffers.
@@ -583,6 +734,83 @@ mod tests {
         let _ = sw.transmit_cycle(|_, _| true); // 4/4 outputs used
         let _ = sw.transmit_cycle(|_, _| true); // 0/4 outputs used
         assert!((sw.crossbar_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiescence_tracks_residency() {
+        let mut sw = switch(BufferKind::Damq);
+        assert!(sw.is_quiescent());
+        sw.receive(InputPort::new(0), OutputPort::new(2), pkt(0))
+            .unwrap();
+        assert!(!sw.is_quiescent());
+        let _ = sw.transmit_cycle(|_, _| true);
+        assert!(sw.is_quiescent());
+        // A rejected receive does not disturb the resident count.
+        let mut tiny = Switch::new(
+            SwitchConfig::new(2)
+                .buffer_kind(BufferKind::Damq)
+                .slots_per_buffer(1),
+        )
+        .unwrap();
+        tiny.receive(InputPort::new(0), OutputPort::new(0), pkt(0))
+            .unwrap();
+        let _ = tiny.receive(InputPort::new(0), OutputPort::new(1), pkt(1));
+        assert_eq!(tiny.packets_resident(), 1);
+    }
+
+    #[test]
+    fn idle_cycle_is_byte_identical_to_empty_transmit_cycle() {
+        for policy in ArbiterPolicy::ALL {
+            for kind in BufferKind::ALL {
+                let cfg = SwitchConfig::new(4)
+                    .buffer_kind(kind)
+                    .slots_per_buffer(4)
+                    .arbiter_policy(policy);
+                let mut full = Switch::new(cfg).unwrap();
+                let mut fast = Switch::new(cfg).unwrap();
+                // Shared non-trivial history so arbiter/crossbar state is
+                // mid-stream, then drain to quiescence.
+                for sw in [&mut full, &mut fast] {
+                    sw.receive(InputPort::new(0), OutputPort::new(1), pkt(0))
+                        .unwrap();
+                    sw.receive(InputPort::new(2), OutputPort::new(1), pkt(1))
+                        .unwrap();
+                    while !sw.is_quiescent() {
+                        let _ = sw.transmit_cycle(|_, _| true);
+                    }
+                }
+                for cycle in 0..5 {
+                    assert!(sw_state(&full) == sw_state(&fast), "{kind}/{policy}");
+                    let sent = full.transmit_cycle(|_, _| true);
+                    assert!(sent.is_empty());
+                    fast.note_idle_cycle();
+                    assert!(
+                        sw_state(&full) == sw_state(&fast),
+                        "{kind}/{policy} diverged at idle cycle {cycle}"
+                    );
+                }
+                // Both resume identically when traffic returns.
+                for sw in [&mut full, &mut fast] {
+                    sw.receive(InputPort::new(1), OutputPort::new(3), pkt(2))
+                        .unwrap();
+                    let sent = sw.transmit_cycle(|_, _| true);
+                    assert_eq!(sent.len(), 1);
+                }
+                assert!(sw_state(&full) == sw_state(&fast), "{kind}/{policy}");
+            }
+        }
+    }
+
+    /// Every externally observable piece of switch state.
+    fn sw_state(sw: &Switch) -> (InputPort, u64, u64, usize, String, u64) {
+        (
+            sw.arbiter().priority_port(),
+            sw.hol_blocked_last_cycle(),
+            sw.hol_blocked_total(),
+            sw.packets_resident(),
+            format!("{:?}", sw.aggregate_stats()),
+            sw.crossbar_utilization().to_bits(),
+        )
     }
 
     #[test]

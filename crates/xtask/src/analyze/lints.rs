@@ -1,9 +1,9 @@
-//! The ten workspace lints, implemented over the structural scanner.
+//! The eleven workspace lints, implemented over the structural scanner.
 //!
 //! Lints 1–7 are the historical regex-era lints migrated onto token
 //! sequences and the brace tree (same semantics, fewer loopholes —
 //! `Box < dyn SwitchBuffer >` and friends no longer slip through
-//! whitespace). Lints 8–10 are new:
+//! whitespace). Lints 8–11 are new:
 //!
 //! 8. **unsafe-audit** — every `unsafe` block/impl/fn/trait carries a
 //!    `// SAFETY:` justification; every workspace crate except
@@ -21,6 +21,13 @@
 //!     with a literal name, outside test code) appears in the metrics
 //!     reference table of `docs/OBSERVABILITY.md`, so the always-on
 //!     registry's namespace stays documented as it grows.
+//! 11. **hot-path-alloc** — the named cycle-kernel functions of the
+//!     core/switch/net crates (`try_enqueue`, `transmit_cycle_with`,
+//!     `advance_stages`, …) must not allocate or copy payloads:
+//!     `Box::new`, `with_capacity`, `.to_vec()` and `.clone()` are
+//!     flagged inside their brace spans. Scratch belongs in the owning
+//!     struct, hoisted to construction; waivers carry
+//!     `// lint: allow — why`.
 //!
 //! Every lint takes the parsed [`Workspace`] and appends [`Finding`]s;
 //! the driver times each entry of [`ALL`] so scan-speed regressions are
@@ -71,9 +78,9 @@ pub const UNSAFE_CRATE_DIR: &str = "crates/shard";
 /// A lint pass: appends findings for one structural rule.
 pub type LintFn = fn(&Workspace, &mut Vec<Finding>);
 
-/// The ten lints, in order, with their display names. The driver times
-/// each entry individually.
-pub const ALL: [(&str, LintFn); 10] = [
+/// The eleven lints, in order, with their display names. The driver
+/// times each entry individually.
+pub const ALL: [(&str, LintFn); 11] = [
     ("1 no-panic", no_panic),
     ("2 no-unseeded-rng", no_unseeded_rng),
     ("3 docs-mandatory", docs_mandatory),
@@ -84,6 +91,7 @@ pub const ALL: [(&str, LintFn); 10] = [
     ("8 unsafe-audit", unsafe_audit),
     ("9 determinism", determinism),
     ("10 metric-docs", metric_docs),
+    ("11 hot-path-alloc", hot_path_alloc),
 ];
 
 fn finding(file: &SourceFile, line: usize, message: String) -> Finding {
@@ -653,6 +661,123 @@ fn metric_docs(ws: &Workspace, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Crates whose cycle-kernel functions lint 11 keeps allocation-free
+/// (the steady-state per-cycle data path).
+const HOT_PATH_CRATES: [&str; 3] = ["crates/core/src/", "crates/switch/src/", "crates/net/src/"];
+
+/// The cycle-kernel function names lint 11 guards: every function a
+/// steady-state `NetworkSim::step` executes per cycle. Constructors and
+/// cold paths (audits, snapshots, telemetry emission) are exempt —
+/// scratch is *supposed* to be allocated there.
+const KERNEL_FNS: [&str; 13] = [
+    // core: the per-cycle buffer operations of every design.
+    "try_enqueue",
+    "enqueue",
+    "dequeue",
+    "front",
+    "kill_slot",
+    "queue_lens_into",
+    "can_accept",
+    // switch: the batched arbitration kernel and its ingress.
+    "transmit_cycle_with",
+    "receive",
+    // net: the cycle loop.
+    "step",
+    "generate",
+    "advance_stages",
+    "inject",
+];
+
+/// Line spans of every kernel function in `code`, as
+/// `(open_line, close_line, name)` — found by walking the brace tree for
+/// nodes whose header reads `fn <kernel-name>`.
+pub fn kernel_fn_spans(code: &[Token]) -> Vec<(usize, usize, &'static str)> {
+    let t = tree::build(code);
+    let mut spans = Vec::new();
+    collect_kernel_spans(&t.roots, code, &mut spans);
+    spans
+}
+
+fn collect_kernel_spans(
+    nodes: &[tree::Node],
+    code: &[Token],
+    spans: &mut Vec<(usize, usize, &'static str)>,
+) {
+    for node in nodes {
+        let header = &code[node.header.0..node.header.1];
+        let named = header.windows(2).find_map(|w| {
+            if !w[0].is_ident("fn") {
+                return None;
+            }
+            KERNEL_FNS.iter().find(|k| w[1].is_ident(k)).copied()
+        });
+        if let Some(name) = named {
+            spans.push((node.open_line, node.close_line, name));
+            // A kernel's nested blocks are already inside the span.
+            continue;
+        }
+        collect_kernel_spans(&node.children, code, spans);
+    }
+}
+
+/// Lint 11: no allocation or payload copies inside the cycle kernels.
+/// Steady-state stepping must be allocation-free (the scratch lives in
+/// the owning struct, sized at construction), so inside the functions
+/// named by [`KERNEL_FNS`] the tokens `Box::new`, `with_capacity(`,
+/// `.to_vec()` and `.clone()` are findings. Waivers carry
+/// `// lint: allow — why`.
+fn hot_path_alloc(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for prefix in HOT_PATH_CRATES {
+        for file in ws.files_under(prefix) {
+            let spans = kernel_fn_spans(&file.code);
+            if spans.is_empty() {
+                continue;
+            }
+            for (i, tok) in file.code.iter().enumerate() {
+                let after_dot = i > 0 && file.code[i - 1].is_punct('.');
+                let calls = file.code.get(i + 1).is_some_and(|t| t.is_punct('('));
+                let what = if tok.is_ident("new")
+                    && i >= 3
+                    && file.code[i - 1].is_punct(':')
+                    && file.code[i - 2].is_punct(':')
+                    && file.code[i - 3].is_ident("Box")
+                {
+                    Some("Box::new")
+                } else if tok.is_ident("with_capacity") && calls {
+                    Some("with_capacity(…)")
+                } else if tok.is_ident("to_vec") && after_dot && calls {
+                    Some(".to_vec()")
+                } else if tok.is_ident("clone") && after_dot && calls {
+                    Some(".clone()")
+                } else {
+                    None
+                };
+                let Some(what) = what else {
+                    continue;
+                };
+                let Some(&(_, _, kernel)) = spans
+                    .iter()
+                    .find(|&&(lo, hi, _)| (lo..=hi).contains(&tok.line))
+                else {
+                    continue;
+                };
+                if unwaived(file, tok.line) {
+                    findings.push(finding(
+                        file,
+                        tok.line,
+                        format!(
+                            "'{what}' inside the cycle kernel `{kernel}` — steady-state \
+                             stepping must not allocate or copy payloads; hoist the \
+                             buffer into the owning struct (sized at construction) or \
+                             justify with a '// {ALLOW_MARKER} — why' comment"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -806,6 +931,73 @@ mod tests {
         let findings = run(metric_docs, &ws);
         let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
         assert_eq!(lines, vec![2, 3]);
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_kernels_only() {
+        let ws = ws_with(vec![(
+            "crates/switch/src/x.rs",
+            "impl Switch {\n\
+             pub fn new() -> Self {\n\
+                 let scratch = Vec::with_capacity(16);\n\
+                 Self { scratch }\n\
+             }\n\
+             pub fn transmit_cycle_with(&mut self) {\n\
+                 let v = Vec::with_capacity(4);\n\
+                 let b = Box::new(0u32);\n\
+                 let c = self.lens.to_vec();\n\
+                 let p = packet.clone();\n\
+                 let ok = done.clone;\n\
+             }\n\
+             }\n",
+        )]);
+        let findings = run(hot_path_alloc, &ws);
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(
+            lines,
+            vec![7, 8, 9, 10],
+            "constructor allocation is fine; the four kernel sites are \
+             findings; `done.clone` without a call is not"
+        );
+        assert!(findings[0].message.contains("transmit_cycle_with"));
+    }
+
+    #[test]
+    fn hot_path_alloc_honours_waivers_and_test_code() {
+        let ws = ws_with(vec![(
+            "crates/core/src/x.rs",
+            "pub fn dequeue(&mut self) {\n\
+                 // lint: allow — cold fault path, measured free.\n\
+                 let v = self.dead.to_vec();\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 pub fn dequeue() { let b = Box::new(1); }\n\
+             }\n",
+        )]);
+        assert!(run(hot_path_alloc, &ws).is_empty());
+    }
+
+    #[test]
+    fn kernel_spans_cover_nested_blocks() {
+        let src = "pub fn advance_stages(&mut self) {\n\
+                   for s in 0..n {\n\
+                   let x = 1;\n\
+                   }\n\
+                   }\n\
+                   pub fn other() {\n\
+                   let y = 2;\n\
+                   }\n";
+        let file = SourceFile::from_source(
+            PathBuf::from("crates/net/src/x.rs"),
+            "crates/net/src/x.rs".to_owned(),
+            src,
+        );
+        let spans = kernel_fn_spans(&file.code);
+        assert_eq!(spans.len(), 1);
+        let (lo, hi, name) = spans[0];
+        assert_eq!(name, "advance_stages");
+        assert!(lo <= 1 && hi >= 5, "span {lo}..={hi} covers the loop");
     }
 
     #[test]

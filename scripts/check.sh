@@ -18,6 +18,7 @@
 #        scripts/check.sh fault-smoke      # just the fault-injection smoke
 #        scripts/check.sh parallel-smoke   # just the sharded-stepping smoke
 #        scripts/check.sh obs-smoke        # just the observability smoke
+#        scripts/check.sh soa-smoke        # just the SoA hot-path smoke
 #        scripts/check.sh sanitizer-smoke  # miri + TSan, skip when unsupported
 set -Eeuo pipefail
 cd "$(dirname "$0")/.."
@@ -98,6 +99,28 @@ obs_smoke() {
     cargo bench -p damq-bench --bench no_op_registry_overhead
 }
 
+# Satellite gate: the SoA hot path. Asserts (1) the SoA slot pool and
+# its AoS twins stay equivalent with every per-operation invariant audit
+# enabled (`strict-audit`); (2) the end-to-end AoS-vs-SoA network
+# fingerprints (all five designs, faulted runs included) are
+# byte-identical; (3) a network forced fully idle takes the quiescence
+# fast path every switch-cycle and an idle-skip-off run fingerprints
+# identically (`idle_skip_correctness`); (4) the always-on registry that
+# carries `net.idle_skipped` is still free when disabled.
+soa_smoke() {
+    gate "soa-smoke: SoA pool vs AoS twins under strict-audit"
+    cargo test -q -p damq-core --features strict-audit --test soa_equivalence
+
+    gate "soa-smoke: AoS-vs-SoA network fingerprints are byte-identical"
+    cargo test -q -p damq-net --test dispatch_equivalence
+
+    gate "soa-smoke: idle-skip on/off fingerprints agree"
+    cargo test -q -p damq-net --test idle_skip idle_skip_correctness
+
+    gate "soa-smoke: disabled metrics registry is still free"
+    cargo bench -p damq-bench --bench no_op_registry_overhead
+}
+
 # Tentpole gate: the in-tree static analyzer. The ten structural lints
 # (lexer-backed, no regex) must report zero findings, the generated
 # unsafe ledger must be fresh, and — in the full run — clippy and
@@ -172,6 +195,11 @@ obs-smoke)
     echo "obs-smoke passed"
     exit 0
     ;;
+soa-smoke)
+    soa_smoke
+    echo "soa-smoke passed"
+    exit 0
+    ;;
 sanitizer-smoke)
     sanitizer_smoke
     echo "sanitizer-smoke passed"
@@ -179,7 +207,7 @@ sanitizer-smoke)
     ;;
 all) ;;
 *)
-    echo "usage: scripts/check.sh [analyze|fault-smoke|parallel-smoke|obs-smoke|sanitizer-smoke]" >&2
+    echo "usage: scripts/check.sh [analyze|fault-smoke|parallel-smoke|obs-smoke|soa-smoke|sanitizer-smoke]" >&2
     exit 2
     ;;
 esac
@@ -214,6 +242,8 @@ fault_smoke
 parallel_smoke
 
 obs_smoke
+
+soa_smoke
 
 sanitizer_smoke
 
