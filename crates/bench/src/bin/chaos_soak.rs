@@ -1,0 +1,279 @@
+//! Chaos soak: long randomized fault storms against every buffer design
+//! with the self-healing data path switched on.
+//!
+//! Each cell soaks one buffer design under one flow-control protocol for
+//! many epochs; every epoch draws a fresh storm (dead slots, link flaps,
+//! payload corruption, and misroutes) and ends with a full invariant
+//! re-audit (conservation, fault-ledger accounting, quiescence). Cells
+//! run through the recorded isolation harness
+//! ([`sweep::run_isolated_recorded`]): each attempt records telemetry
+//! into a flight-recorder ring, and an invariant violation minimizes
+//! itself to a reproducer (seed + cycle window + fault plan), panics
+//! with the reproducer JSON as the message, and so lands in the crash
+//! dump sidecar under `results/chaos_dumps/` alongside the trailing
+//! event tail.
+//!
+//! Flags: `--smoke` shrinks the grid and epochs for the CI gate;
+//! `--resume` reloads `results/json/<name>.cells.jsonl`.
+
+use damq_bench::chaos::{self, SoakPlan};
+use damq_bench::json::{robustness_json, Json, Report};
+use damq_bench::render_table;
+use damq_bench::resume::Checkpoint;
+use damq_bench::sweep::{self, IsolationOptions};
+use damq_core::{BufferKind, FaultSpec};
+use damq_net::{NetworkConfig, RecoveryConfig};
+use damq_switch::FlowControl;
+
+const TERMINALS: usize = 16;
+const RADIX: usize = 4;
+const STAGES: usize = 2;
+const PER_STAGE: usize = 4;
+const SLOTS: usize = 4;
+const RING_CAPACITY: usize = 256;
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    kind: BufferKind,
+    flow: FlowControl,
+    coords: [u64; 2],
+}
+
+fn cell_key(cell: &Cell) -> String {
+    format!("{}|{:?}", cell.kind.name(), cell.flow)
+}
+
+struct Grid {
+    name: &'static str,
+    kinds: Vec<BufferKind>,
+    flows: Vec<FlowControl>,
+    epochs: u64,
+    epoch_cycles: u64,
+}
+
+fn grid(smoke: bool) -> Grid {
+    if smoke {
+        Grid {
+            name: "chaos_soak_smoke",
+            kinds: vec![BufferKind::Samq, BufferKind::Damq],
+            flows: vec![FlowControl::Discarding],
+            epochs: 3,
+            epoch_cycles: 150,
+        }
+    } else {
+        Grid {
+            name: "chaos_soak",
+            kinds: BufferKind::EXTENDED.to_vec(),
+            flows: FlowControl::ALL.to_vec(),
+            epochs: 20,
+            epoch_cycles: 500,
+        }
+    }
+}
+
+fn soak_for(cell: &Cell, grid: &Grid) -> SoakPlan {
+    SoakPlan {
+        // The storm seed depends only on the grid coordinates: the
+        // faults are the experiment, so a retry replays the same storms
+        // against a fresh traffic stream.
+        seed: sweep::cell_seed(sweep::BASE_SEED ^ 0xC4A05, &cell.coords),
+        epochs: grid.epochs,
+        epoch_cycles: grid.epoch_cycles,
+        storm: FaultSpec {
+            dead_slot_fraction: 0.02,
+            link_flaps: 3,
+            flap_duration: grid.epoch_cycles / 5,
+            corrupt_packets: 2,
+            misroutes: 1,
+            ..FaultSpec::fault_free(
+                STAGES,
+                PER_STAGE,
+                RADIX,
+                TERMINALS,
+                SLOTS,
+                grid.epoch_cycles,
+            )
+        },
+    }
+}
+
+fn config_for(cell: &Cell, attempt: u32) -> NetworkConfig {
+    let seed = sweep::cell_seed(sweep::BASE_SEED + u64::from(attempt), &cell.coords);
+    NetworkConfig::new(TERMINALS, RADIX)
+        .buffer_kind(cell.kind)
+        .slots_per_buffer(SLOTS)
+        .flow_control(cell.flow)
+        .recovery(RecoveryConfig::enabled())
+        .offered_load(0.5)
+        .seed(seed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let resume = args.iter().any(|a| a == "--resume");
+    if let Some(bad) = args.iter().find(|a| *a != "--smoke" && *a != "--resume") {
+        eprintln!("unknown flag {bad}; accepted: --smoke --resume"); // lint: allow — harness status channel
+        std::process::exit(2);
+    }
+    let grid = grid(smoke);
+
+    let mut cells = Vec::new();
+    for (k, &kind) in grid.kinds.iter().enumerate() {
+        for (f, &flow) in grid.flows.iter().enumerate() {
+            cells.push(Cell {
+                kind,
+                flow,
+                coords: [k as u64, f as u64],
+            });
+        }
+    }
+
+    let mut report = Report::new(grid.name);
+    report.meta("terminals", Json::from(TERMINALS));
+    report.meta("radix", Json::from(RADIX));
+    report.meta("slots_per_buffer", Json::from(SLOTS));
+    report.meta("recovery", Json::from("enabled"));
+    report.meta("epochs", Json::from(grid.epochs));
+    report.meta("epoch_cycles", Json::from(grid.epoch_cycles));
+
+    let checkpoint = if resume {
+        Checkpoint::load(grid.name)
+    } else {
+        Checkpoint::fresh(grid.name)
+    }
+    .expect("checkpoint sidecar must be readable/writable");
+    let resumed = cells
+        .iter()
+        .filter(|c| checkpoint.contains(&cell_key(c)))
+        .count();
+
+    let pending: Vec<Cell> = cells
+        .iter()
+        .filter(|c| !checkpoint.contains(&cell_key(c)))
+        .copied()
+        .collect();
+    let opts = IsolationOptions {
+        cycle_budget: grid.epochs * grid.epoch_cycles * 20,
+        max_retries: 1,
+    };
+    let results_dir = std::env::var("DAMQ_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+    let dump_dir = std::path::Path::new(&results_dir).join("chaos_dumps");
+    let dump_dir = dump_dir.as_path();
+    // Built-in audits are the soaked invariants; the extra hook stays
+    // inert here (the seeded-mutation test exercises it).
+    let check = |_probe: &chaos::EpochProbe| -> Result<(), String> { Ok(()) };
+    let recorded = sweep::run_isolated_recorded(
+        &pending,
+        opts,
+        RING_CAPACITY,
+        dump_dir,
+        |cell, watchdog, attempt, recorder| {
+            let soak = soak_for(cell, &grid);
+            let config = config_for(cell, attempt);
+            let outcome = chaos::run_soak(config, &soak, recorder, &check, || watchdog.tick())
+                .expect("grid cell configuration is valid");
+            if let Some(violation) = &outcome.violation {
+                // Minimize first, then panic with the reproducer as the
+                // message: the recorded harness writes it (plus the
+                // telemetry ring's tail) into the crash-dump sidecar.
+                let rep = chaos::minimize(config, &soak, violation, &check);
+                panic!(
+                    "chaos invariant violated at epoch {} cycle {}: {} — reproducer {}",
+                    violation.epoch,
+                    violation.cycle,
+                    violation.message,
+                    rep.to_json().render()
+                );
+            }
+            let json = Json::cell(
+                [
+                    ("buffer", Json::from(cell.kind.name())),
+                    ("flow", Json::from(format!("{:?}", cell.flow))),
+                ],
+                Json::obj([
+                    ("epochs_run", Json::from(outcome.epochs_run)),
+                    ("cycles_run", Json::from(outcome.cycles_run)),
+                    ("delivered", Json::from(outcome.delivered)),
+                    ("discarded", Json::from(outcome.discarded)),
+                    ("fault_drops", Json::from(outcome.ledger.dropped())),
+                    ("slots_killed", Json::from(outcome.ledger.slots_killed)),
+                ]),
+            );
+            checkpoint
+                .record(&cell_key(cell), &json)
+                .expect("checkpoint append must succeed");
+            json
+        },
+    );
+    let dumps: usize = recorded.iter().map(|r| r.dumps.len()).sum();
+    let outcomes: Vec<sweep::CellOutcome> =
+        recorded.into_iter().map(|r| r.report.outcome).collect();
+
+    for cell in &cells {
+        let key = cell_key(cell);
+        report.push_cell(checkpoint.get(&key).unwrap_or_else(|| {
+            Json::cell(
+                [
+                    ("buffer", Json::from(cell.kind.name())),
+                    ("flow", Json::from(format!("{:?}", cell.flow))),
+                ],
+                Json::obj([("failed", Json::from(true))]),
+            )
+        }));
+    }
+    let robustness = match robustness_json(&outcomes) {
+        Json::Obj(mut pairs) => {
+            pairs.push(("resumed".to_owned(), Json::from(resumed)));
+            pairs.push(("flight_dumps".to_owned(), Json::from(dumps)));
+            Json::Obj(pairs)
+        }
+        other => other,
+    };
+    report.set_robustness(robustness);
+
+    let mut rows = Vec::new();
+    for cell in &cells {
+        let entry = checkpoint.get(&cell_key(cell));
+        let field = |name: &str| -> String {
+            entry
+                .as_ref()
+                .and_then(|e| e.get(name))
+                .and_then(Json::as_f64)
+                .map_or_else(|| "failed".to_owned(), |v| format!("{v:.0}"))
+        };
+        rows.push(vec![
+            cell.kind.name().to_owned(),
+            format!("{:?}", cell.flow),
+            field("epochs_run"),
+            field("delivered"),
+            field("discarded"),
+            field("fault_drops"),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "buffer",
+                "flow",
+                "epochs",
+                "delivered",
+                "discarded",
+                "fault_drops"
+            ],
+            &rows,
+        )
+    );
+
+    report.write_and_announce();
+
+    let clean = cells.iter().all(|c| checkpoint.contains(&cell_key(c)));
+    if !clean {
+        eprintln!(
+            "chaos soak found violations; see {} for reproducers",
+            dump_dir.display()
+        );
+        std::process::exit(1);
+    }
+}

@@ -14,6 +14,9 @@
 //!   `results/json/<experiment>.json` alongside its text table.
 //! - [`resume`] — per-cell checkpointing to an append-only sidecar so an
 //!   interrupted sweep resumes from its last completed cell.
+//! - [`chaos`] — the chaos soak engine: composed per-epoch fault storms,
+//!   per-epoch invariant audits, and reproducer minimization for the
+//!   `chaos_soak` binary.
 //! - [`timing`] — a std-only micro-benchmark harness for the `benches/`
 //!   targets.
 //! - Paper-style number formatting ([`fmt_prob`]) and fixed-width table
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod chaos;
 pub mod json;
 pub mod resume;
 pub mod sweep;

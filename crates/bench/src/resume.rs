@@ -65,6 +65,12 @@ impl Checkpoint {
     pub fn load_in(dir: impl Into<PathBuf>, name: &str) -> io::Result<Checkpoint> {
         let path = sidecar_path(dir, name);
         let mut done = BTreeMap::new();
+        // Whether the sidecar carries lines the reload does not keep —
+        // a torn tail, unparseable garbage, or duplicate keys from
+        // interleaved crash/resume generations. Those lines are dead
+        // weight that would otherwise accumulate across resumes, so the
+        // load compacts them away below.
+        let mut dead_lines = false;
         match std::fs::read_to_string(&path) {
             Ok(text) => {
                 for line in text.lines() {
@@ -74,16 +80,27 @@ impl Checkpoint {
                     }
                     // A torn tail line (crash mid-append) fails to parse:
                     // drop it and everything after — those cells re-run.
-                    let Ok(entry) = Json::parse(line) else { break };
-                    let (Some(Json::Str(key)), Some(cell)) = (entry.get("key"), entry.get("cell"))
-                    else {
+                    let Ok(entry) = Json::parse(line) else {
+                        dead_lines = true;
                         break;
                     };
-                    done.insert(key.clone(), cell.clone());
+                    let (Some(Json::Str(key)), Some(cell)) = (entry.get("key"), entry.get("cell"))
+                    else {
+                        dead_lines = true;
+                        break;
+                    };
+                    if done.insert(key.clone(), cell.clone()).is_some() {
+                        // A later generation re-recorded the key: last
+                        // write wins, and the earlier line is dead.
+                        dead_lines = true;
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
+        }
+        if dead_lines {
+            compact(&path, &done)?;
         }
         Ok(Checkpoint {
             path,
@@ -176,6 +193,26 @@ fn sidecar_path(dir: impl Into<PathBuf>, name: &str) -> PathBuf {
     dir.into().join(format!("{name}.cells.jsonl"))
 }
 
+/// Rewrites the sidecar to exactly the surviving cells, one line per
+/// key, via a temporary file and an atomic rename — an interrupted
+/// compaction leaves either the old sidecar or the new one, never a
+/// half-written mix. Keeps sidecar size proportional to the number of
+/// *distinct* completed cells no matter how many crash/resume
+/// generations appended to it.
+fn compact(path: &Path, done: &BTreeMap<String, Json>) -> io::Result<()> {
+    let tmp = path.with_extension("jsonl.tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        for (key, cell) in done {
+            let entry = Json::obj([("key", Json::from(key.as_str())), ("cell", cell.clone())]);
+            writeln!(file, "{}", entry.render())?;
+        }
+        // No fsync: if the rename is lost to a crash the old sidecar
+        // simply survives un-compacted, which the next load fixes.
+    }
+    std::fs::rename(&tmp, path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +254,91 @@ mod tests {
         assert!(Checkpoint::load_in(&dir, "never_written")
             .unwrap()
             .is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn sidecar_lines(dir: &Path, name: &str) -> Vec<String> {
+        std::fs::read_to_string(sidecar_path(dir, name))
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn load_compacts_duplicate_keys_and_keeps_the_last_write() {
+        let dir = temp_dir("dup");
+        let path = sidecar_path(&dir, "exp");
+        std::fs::write(
+            &path,
+            "{\"key\":\"a\",\"cell\":1}\n{\"key\":\"b\",\"cell\":2}\n{\"key\":\"a\",\"cell\":3}\n",
+        )
+        .unwrap();
+        let ck = Checkpoint::load_in(&dir, "exp").unwrap();
+        assert_eq!(ck.len(), 2);
+        assert_eq!(ck.get("a"), Some(Json::from(3i64)), "last write wins");
+        // The sidecar itself was rewritten to one line per key.
+        assert_eq!(sidecar_lines(&dir, "exp").len(), 2);
+        // A clean sidecar reloads without touching the file.
+        let before = std::fs::read_to_string(&path).unwrap();
+        let ck = Checkpoint::load_in(&dir, "exp").unwrap();
+        assert_eq!(ck.len(), 2);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_compacted_away_on_reload() {
+        let dir = temp_dir("torn_compact");
+        let path = sidecar_path(&dir, "exp");
+        std::fs::write(
+            &path,
+            "{\"key\":\"good\",\"cell\":{\"v\":1}}\n{\"key\":\"torn\",\"ce",
+        )
+        .unwrap();
+        let ck = Checkpoint::load_in(&dir, "exp").unwrap();
+        assert_eq!(ck.len(), 1);
+        let lines = sidecar_lines(&dir, "exp");
+        assert_eq!(lines.len(), 1, "the torn tail is gone from disk");
+        assert!(lines[0].contains("\"good\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ten_thousand_crash_resume_attempts_keep_the_sidecar_bounded() {
+        // Every generation appends a duplicate of an existing cell
+        // (simulating a crash after the append raced an earlier
+        // generation's line) and then resumes. Compaction on load must
+        // keep the sidecar proportional to the *distinct* cells, not
+        // the attempt count.
+        let dir = temp_dir("bounded");
+        let ck = Checkpoint::fresh_in(&dir, "exp").unwrap();
+        for k in 0..4 {
+            ck.record(&format!("cell{k}"), &Json::from(k as i64))
+                .unwrap();
+        }
+        let path = sidecar_path(&dir, "exp").to_path_buf();
+        for attempt in 0..10_000u64 {
+            // Simulated crash leftover: a stale duplicate line.
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(file, "{{\"key\":\"cell0\",\"cell\":{attempt}}}").unwrap();
+            drop(file);
+            let ck = Checkpoint::load_in(&dir, "exp").unwrap();
+            assert_eq!(ck.len(), 4, "attempt {attempt}");
+            assert!(
+                sidecar_lines(&dir, "exp").len() <= 4,
+                "attempt {attempt}: sidecar grew past the distinct-cell count"
+            );
+        }
+        let ck = Checkpoint::load_in(&dir, "exp").unwrap();
+        assert_eq!(
+            ck.get("cell0"),
+            Some(Json::from(9_999i64)),
+            "last write wins"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

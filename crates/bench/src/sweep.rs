@@ -290,10 +290,16 @@ pub struct Watchdog {
 }
 
 impl Watchdog {
-    fn new(budget: u64) -> Watchdog {
+    /// A watchdog with `spent` ticks already charged against `budget` —
+    /// how [`run_isolated`] levies the deterministic retry backoff: a
+    /// retried attempt starts with [`retry_backoff`] ticks gone, so
+    /// repeated failures cost a geometrically growing share of the cell's
+    /// cycle budget instead of wall-clock sleeps (which would break
+    /// determinism and slow healthy sweeps).
+    fn precharged(budget: u64, spent: u64) -> Watchdog {
         Watchdog {
             budget,
-            ticks: AtomicU64::new(0),
+            ticks: AtomicU64::new(spent.min(budget)),
         }
     }
 
@@ -315,6 +321,36 @@ impl Watchdog {
     pub fn ticks(&self) -> u64 {
         self.ticks.load(Ordering::Relaxed)
     }
+}
+
+/// The deterministic backoff levied on retry attempt `attempt`
+/// (0-based), in [`Watchdog::tick`] units pre-charged against the
+/// cell's `cycle_budget`.
+///
+/// Attempt 0 is free; each retry doubles from `cycle_budget / 8`,
+/// capped at `cycle_budget / 2` — scaled to the budget, so the same
+/// schedule applies to a smoke-sized and a soak-sized sweep, and pinned
+/// by `attempt_schedule_is_pinned` so harness tuning cannot silently
+/// change which flaky cells survive.
+///
+/// # Examples
+///
+/// ```
+/// use damq_bench::sweep::retry_backoff;
+///
+/// assert_eq!(retry_backoff(8_000, 0), 0);
+/// assert_eq!(retry_backoff(8_000, 1), 1_000);
+/// assert_eq!(retry_backoff(8_000, 2), 2_000);
+/// assert_eq!(retry_backoff(8_000, 3), 4_000);
+/// assert_eq!(retry_backoff(8_000, 4), 4_000); // capped at budget / 2
+/// ```
+pub fn retry_backoff(cycle_budget: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        return 0;
+    }
+    let base = cycle_budget / 8;
+    let shifted = base.saturating_mul(1u64 << (attempt - 1).min(32));
+    shifted.min(cycle_budget / 2)
 }
 
 /// What happened to one isolated cell.
@@ -404,7 +440,10 @@ where
     run_with_workers(cells, worker_count(), |cell| {
         let mut attempt = 0;
         loop {
-            let watchdog = Watchdog::new(opts.cycle_budget);
+            // Retries start with a backoff pre-charged against the
+            // budget: deterministic (no wall clock) and budget-scaled.
+            let watchdog =
+                Watchdog::precharged(opts.cycle_budget, retry_backoff(opts.cycle_budget, attempt));
             match catch_unwind(AssertUnwindSafe(|| f(cell, &watchdog, attempt))) {
                 Ok(result) => {
                     let outcome = if attempt == 0 {
@@ -488,7 +527,8 @@ where
         let mut attempt = 0;
         let mut dumps = Vec::new();
         loop {
-            let watchdog = Watchdog::new(opts.cycle_budget);
+            let watchdog =
+                Watchdog::precharged(opts.cycle_budget, retry_backoff(opts.cycle_budget, attempt));
             let recorder = SharedRecorder::new(capacity.max(1));
             let inside = recorder.clone();
             match catch_unwind(AssertUnwindSafe(|| f(cell, &watchdog, attempt, inside))) {
@@ -763,6 +803,68 @@ mod tests {
         assert_ne!(s, cell_seed(BASE_SEED + 1, &[3, 1, 4]));
         assert_ne!(s, cell_seed(BASE_SEED, &[3, 1]));
         assert_ne!(cell_seed(0, &[]), 0);
+    }
+
+    #[test]
+    fn attempt_schedule_is_pinned() {
+        // The deterministic retry-backoff table, pinned so harness
+        // tuning cannot silently change which flaky cells survive.
+        for (attempt, expect) in [
+            (0u32, 0u64),
+            (1, 125),
+            (2, 250),
+            (3, 500),
+            (4, 500),
+            (9, 500),
+        ] {
+            assert_eq!(retry_backoff(1_000, attempt), expect, "attempt {attempt}");
+        }
+        assert_eq!(retry_backoff(0, 5), 0, "degenerate budget");
+        assert_eq!(retry_backoff(u64::MAX, 63), u64::MAX / 2);
+
+        // A retried cell actually starts each attempt with the backoff
+        // pre-charged against its watchdog budget.
+        use std::sync::Mutex;
+        let observed = Mutex::new(Vec::new());
+        let reports = run_isolated(
+            &[0u64],
+            IsolationOptions {
+                cycle_budget: 1_000,
+                max_retries: 3,
+            },
+            |_, watchdog, attempt| {
+                observed.lock().unwrap().push(watchdog.ticks());
+                if attempt < 2 {
+                    panic!("injected: force a retry");
+                }
+                attempt
+            },
+        );
+        assert_eq!(reports[0].outcome, CellOutcome::Retried { attempts: 3 });
+        assert_eq!(
+            *observed.lock().unwrap(),
+            vec![0, 125, 250],
+            "per-attempt pre-charged ticks follow the pinned schedule"
+        );
+
+        // The pre-charge shrinks the work a retry may do: a cell that
+        // ticks more than budget − backoff on its retry times out.
+        let reports = run_isolated(
+            &[0u64],
+            IsolationOptions {
+                cycle_budget: 1_000,
+                max_retries: 3,
+            },
+            |_, watchdog, attempt| {
+                if attempt == 0 {
+                    panic!("injected: force a retry");
+                }
+                for _ in 0..900 {
+                    watchdog.tick(); // 125 + 900 > 1_000
+                }
+            },
+        );
+        assert_eq!(reports[0].outcome, CellOutcome::TimedOut);
     }
 
     #[test]

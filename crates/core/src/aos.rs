@@ -837,7 +837,10 @@ mod tests {
         b.try_enqueue(OutputPort::new(2), pkt(0)).unwrap();
         b.try_enqueue(OutputPort::new(1), pkt(1)).unwrap();
         assert_eq!(b.packet_count(), 2);
-        assert_eq!(b.dequeue(OutputPort::new(1)).unwrap().source(), NodeId::new(1));
+        assert_eq!(
+            b.dequeue(OutputPort::new(1)).unwrap().source(),
+            NodeId::new(1)
+        );
         b.check_invariants();
     }
 

@@ -399,7 +399,11 @@ impl SoaSlots {
             self.slot_count[l],
             out.len()
         );
-        let tail = if out.is_empty() { NIL } else { out[out.len() - 1] };
+        let tail = if out.is_empty() {
+            NIL
+        } else {
+            out[out.len() - 1]
+        };
         audit_ensure!(
             tail == self.tail[l],
             "register-sync",

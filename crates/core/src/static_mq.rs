@@ -100,7 +100,11 @@ impl StaticMultiQueue {
     /// full partitions.
     pub(crate) fn dead_slots(&self) -> usize {
         self.dead.iter().map(|&d| d as usize).sum::<usize>()
-            + self.pending_kills.iter().map(|&p| p as usize).sum::<usize>()
+            + self
+                .pending_kills
+                .iter()
+                .map(|&p| p as usize)
+                .sum::<usize>()
     }
 
     /// Permanently disables one slot, preferring the partition for `hint`.
@@ -141,8 +145,7 @@ impl StaticMultiQueue {
 
     pub(crate) fn can_accept(&self, output: OutputPort, slots: usize) -> bool {
         output.index() < self.fanout()
-            && self.queue_used[output.index()] as usize + slots
-                + self.faulted_slots(output.index())
+            && self.queue_used[output.index()] as usize + slots + self.faulted_slots(output.index())
                 <= self.per_queue_capacity
     }
 
@@ -278,8 +281,7 @@ impl StaticMultiQueue {
                     ));
                 };
                 audit_ensure!(
-                    self.entry_slots[p] as usize
-                        == packet.slots_needed(self.config.slot_size()),
+                    self.entry_slots[p] as usize == packet.slots_needed(self.config.slot_size()),
                     "queue-shape",
                     "queue {q}: entry slot count {} disagrees with its packet length",
                     self.entry_slots[p]

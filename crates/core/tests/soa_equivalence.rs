@@ -53,14 +53,14 @@ fn assert_pools_agree(soa: &SoaSlots, aos: &SlotPool, lists: usize, ctx: &str) {
     );
     let mut lens = vec![0u16; lists];
     soa.queue_lens_into(&mut lens);
-    for l in 0..lists {
+    for (l, &len) in lens.iter().enumerate() {
         assert_eq!(
             soa.queue_packets(l),
             aos.queue_packets(l),
             "queue_packets({l}) {ctx}"
         );
         assert_eq!(
-            lens[l] as usize,
+            len as usize,
             aos.queue_packets(l),
             "queue_lens_into[{l}] {ctx}"
         );
@@ -86,7 +86,7 @@ fn soa_slots_match_linked_slot_pool_across_48_shapes() {
         let capacity = rng.random_range(1..=24usize);
         let lists = rng.random_range(1..=6usize);
         let ops = rng.random_range(50..400usize);
-        let max_span = capacity.min(4).max(1);
+        let max_span = capacity.clamp(1, 4);
 
         let mut soa = SoaSlots::new(capacity, lists);
         let mut aos = SlotPool::new(capacity, lists);
@@ -279,11 +279,15 @@ fn diff_designs<S: SwitchBuffer, A: SwitchBuffer>(mut soa: S, mut aos: A, seed: 
             "eligible_outputs {ctx}"
         );
         soa.queue_lens_into(&mut lens);
-        for o in 0..fanout {
+        for (o, &len) in lens.iter().enumerate().take(fanout) {
             let out = OutputPort::new(o);
-            assert_eq!(soa.queue_len(out), aos.queue_len(out), "queue_len({o}) {ctx}");
             assert_eq!(
-                lens[o] as usize,
+                soa.queue_len(out),
+                aos.queue_len(out),
+                "queue_len({o}) {ctx}"
+            );
+            assert_eq!(
+                len as usize,
                 aos.queue_len(out),
                 "queue_lens_into[{o}] {ctx}"
             );

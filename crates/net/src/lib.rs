@@ -50,7 +50,9 @@ mod traffic;
 
 pub use butterfly::ButterflyTopology;
 pub use metrics::{Accumulator, Histogram, NetMetrics, CLOCKS_PER_CYCLE};
-pub use network::{ArrivalProcess, NetworkConfig, NetworkError, NetworkSim, PacketLengths};
+pub use network::{
+    ArrivalProcess, NetworkConfig, NetworkError, NetworkSim, PacketLengths, RecoveryConfig,
+};
 pub use parallel::{IslandPartition, PhaseProfile};
 pub use runner::{measure, measure_with_faults, Measurement};
 pub use saturation::{find_saturation, SaturationOptions, SaturationResult};

@@ -31,7 +31,7 @@ use rand::{Rng, SeedableRng};
 use damq_core::{
     AnyBuffer, AuditError, BufferKind, BuildBuffer, ConfigError, FaultEvent, FaultLedger,
     FaultPlan, FrontMeta, InputPort, NodeId, OutputPort, Packet, PacketId, PacketIdSource,
-    SwitchBuffer, DEFAULT_SLOT_BYTES,
+    RejectReason, SwitchBuffer, DEFAULT_SLOT_BYTES,
 };
 use damq_switch::{ArbiterPolicy, CycleSink, FlowControl, Switch, SwitchConfig};
 use damq_telemetry::{
@@ -127,6 +127,109 @@ impl From<ConfigError> for NetworkError {
     }
 }
 
+/// Closed-loop recovery configuration: link-level retransmission and
+/// fault-adaptive (deflection) rerouting.
+///
+/// Disabled by default — a `NetworkSim` without recovery behaves exactly
+/// as before this subsystem existed. All timers are **simulated network
+/// cycles**, never wall clock, so recovery is seed-stable and preserves
+/// the serial ≡ N-thread byte-identical contract (every recovery action
+/// runs in the serial sections of the cycle).
+///
+/// # Examples
+///
+/// ```
+/// use damq_net::{NetworkConfig, RecoveryConfig};
+///
+/// let cfg = NetworkConfig::new(64, 4).recovery(RecoveryConfig::enabled());
+/// assert!(cfg.recovery_config().retransmit);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Park packets lost to flapped links or checksum-caught corruption
+    /// in a bounded per-hop retransmit buffer and resend them after a
+    /// deterministic cycle-count timeout.
+    pub retransmit: bool,
+    /// Retransmit-buffer depth per hop (parked packets per link). A
+    /// loss on a hop whose buffer is full gives the packet up
+    /// immediately.
+    pub retransmit_slots: usize,
+    /// Resend attempts before a parked packet is given up
+    /// (`net.retry_exhausted`, `gave_up` telemetry).
+    pub max_retries: u32,
+    /// Cycles from a loss (or failed resend) to the next resend attempt,
+    /// before backoff scaling.
+    pub base_timeout: u64,
+    /// Cap on the exponential backoff: attempt `n` waits
+    /// `base_timeout << min(n, max_backoff_exp)` cycles.
+    pub max_backoff_exp: u32,
+    /// Deflect packets through the route plan's alternate output when
+    /// the primary output's link is down or its downstream queue is
+    /// saturated (misroute-on-block; the deflection is corrected by
+    /// end-to-end retransmission at the wrong sink).
+    pub adaptive: bool,
+    /// Deflections allowed per packet — bounds deliberate misrouting so
+    /// every packet keeps making progress toward *some* sink.
+    pub misroute_budget: u8,
+    /// Cycles between a link fault striking and recovery's link-health
+    /// state believing it (routing reacts within this window).
+    pub detection_window: u64,
+}
+
+impl RecoveryConfig {
+    /// No recovery: losses are final, routing never deflects (the
+    /// drop-only behaviour of the plain fault model).
+    pub fn disabled() -> Self {
+        RecoveryConfig {
+            retransmit: false,
+            retransmit_slots: 0,
+            max_retries: 0,
+            base_timeout: 0,
+            max_backoff_exp: 0,
+            adaptive: false,
+            misroute_budget: 0,
+            detection_window: 0,
+        }
+    }
+
+    /// Retransmission and adaptive rerouting both on, with defaults
+    /// sized for the paper's 64-terminal network: 8 retransmit slots
+    /// per hop, 8 resend attempts starting 4 cycles after a loss with
+    /// backoff capped at `4 << 5` cycles, a misroute budget of 2
+    /// deflections per packet, and a 2-cycle fault-detection window.
+    pub fn enabled() -> Self {
+        RecoveryConfig {
+            retransmit: true,
+            retransmit_slots: 8,
+            max_retries: 8,
+            base_timeout: 4,
+            max_backoff_exp: 5,
+            adaptive: true,
+            misroute_budget: 2,
+            detection_window: 2,
+        }
+    }
+
+    /// Whether any recovery mechanism is on.
+    pub fn active(&self) -> bool {
+        self.retransmit || self.adaptive
+    }
+
+    /// The resend delay after `attempts` failed attempts:
+    /// `base_timeout << min(attempts, max_backoff_exp)`, floored at one
+    /// cycle so a zero configuration cannot spin.
+    fn backoff(&self, attempts: u32) -> u64 {
+        let exp = attempts.min(self.max_backoff_exp).min(32);
+        self.base_timeout.max(1).saturating_mul(1u64 << exp)
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Full description of a network experiment.
 ///
 /// Defaults reproduce the paper's Omega setup: 64 terminals, 4×4 switches,
@@ -162,6 +265,7 @@ pub struct NetworkConfig {
     offered_load: f64,
     packet_lengths: PacketLengths,
     arrivals: ArrivalProcess,
+    recovery: RecoveryConfig,
     seed: u64,
 }
 
@@ -181,8 +285,22 @@ impl NetworkConfig {
             offered_load: 0.5,
             packet_lengths: PacketLengths::Fixed(DEFAULT_SLOT_BYTES),
             arrivals: ArrivalProcess::Bernoulli,
+            recovery: RecoveryConfig::disabled(),
             seed: 0xDA3B,
         }
+    }
+
+    /// Selects the recovery protocols (off by default; see
+    /// [`RecoveryConfig`]).
+    #[must_use]
+    pub fn recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// The recovery configuration in use.
+    pub fn recovery_config(&self) -> RecoveryConfig {
+        self.recovery
     }
 
     /// Selects the MIN wiring (Omega by default; the paper's network).
@@ -421,6 +539,193 @@ impl FaultState {
     }
 }
 
+/// Where a parked packet re-enters the network when its retransmit
+/// timer fires.
+#[derive(Debug, Clone, Copy)]
+enum HopKind {
+    /// Lost on the source→stage-0 link: re-inject at the entry
+    /// (`switch`, `port`) toward `out`.
+    Entry { sw: usize, port: usize, out: usize },
+    /// Lost on an interior hop: re-deliver into the receiving `stage`'s
+    /// (`next_switch`, `next_port`) queue `next_out`.
+    Interior {
+        stage: usize,
+        next_switch: usize,
+        next_port: usize,
+        next_out: usize,
+    },
+    /// NACKed at the sink (checksum failure or a misrouted arrival):
+    /// resend the clean upstream copy end-to-end to the packet's true
+    /// destination terminal.
+    Final,
+}
+
+/// One packet parked in a hop's retransmit buffer, waiting for its
+/// cycle-count timer.
+#[derive(Debug, Clone)]
+struct RetransmitEntry {
+    /// Per-hop sequence number, stamped at park time.
+    seq: u64,
+    /// Hop slot (see [`RecoveryState::held`]) charged for this entry.
+    link: usize,
+    /// Cycle at which the next resend attempt fires.
+    due: u64,
+    /// Failed resend attempts so far.
+    attempts: u32,
+    /// Whether the current attempt already deferred once for believed
+    /// link health (the free wait is capped at one deferral per
+    /// attempt, so a permanently dead link still exhausts its retries).
+    deferred: bool,
+    /// Upstream (stage, switch) of the lossy hop, for telemetry.
+    stage: u32,
+    switch: u32,
+    kind: HopKind,
+    packet: Packet,
+}
+
+/// Run-time recovery machinery: the bounded per-hop retransmit buffers,
+/// per-hop sequence counters, and the believed link-health state that
+/// adaptive rerouting consults.
+///
+/// Everything here is read by phase-A probes but **mutated only in the
+/// serial sections of the cycle** (`service_recovery`, phase-B merges,
+/// `inject`), which preserves the serial ≡ N-thread byte-identical
+/// contract.
+#[derive(Debug)]
+struct RecoveryState {
+    config: RecoveryConfig,
+    per_stage: usize,
+    radix: usize,
+    /// First hop slot of the per-sink namespace (`Final` entries):
+    /// `stages * per_stage * radix`.
+    sink_base: usize,
+    /// Parked packets, serviced in park order each cycle.
+    pending: Vec<RetransmitEntry>,
+    /// Next sequence number per hop slot.
+    next_seq: Vec<u64>,
+    /// Parked packets per hop slot — the bounded retransmit buffer.
+    held: Vec<u32>,
+    /// Cycle (exclusive) until which each link is *believed* down.
+    /// Trails ground truth by the detection window; also raised by
+    /// every observed loss.
+    believed_down_until: Vec<u64>,
+    /// Link faults observed but not yet believed:
+    /// `(effective_cycle, hop slot, down until)`, in effective-cycle
+    /// order (fault events apply in cycle order, window is constant).
+    detections: Vec<(u64, usize, u64)>,
+}
+
+impl RecoveryState {
+    fn new(
+        config: RecoveryConfig,
+        stages: usize,
+        per_stage: usize,
+        radix: usize,
+        size: usize,
+    ) -> Self {
+        let sink_base = stages * per_stage * radix;
+        RecoveryState {
+            config,
+            per_stage,
+            radix,
+            sink_base,
+            pending: Vec::new(),
+            next_seq: vec![0; sink_base + size],
+            held: vec![0; sink_base + size],
+            believed_down_until: vec![0; sink_base + size],
+            detections: Vec::new(),
+        }
+    }
+
+    /// Hop slot of the link into (`stage`, `sw`, `input`) — the same
+    /// indexing as [`FaultState::link_index`].
+    fn link_index(&self, stage: usize, sw: usize, input: usize) -> usize {
+        (stage * self.per_stage + sw) * self.radix + input
+    }
+
+    /// Hop slot of the final switch→`sink` hop.
+    fn sink_slot(&self, sink: usize) -> usize {
+        self.sink_base + sink
+    }
+
+    /// Whether recovery currently believes the link behind `slot` is
+    /// out of service.
+    fn believed_down(&self, slot: usize, cycle: u64) -> bool {
+        self.believed_down_until[slot] > cycle
+    }
+
+    /// Records an observed loss on `slot`: believe the link down for
+    /// one detection window (local suspicion; cleared by time).
+    fn note_loss(&mut self, slot: usize, cycle: u64) {
+        let until = cycle + self.config.detection_window.max(1);
+        if self.believed_down_until[slot] < until {
+            self.believed_down_until[slot] = until;
+        }
+    }
+
+    /// Schedules a detected link fault: believed from `effective` until
+    /// the fault's own end cycle.
+    fn schedule_detection(&mut self, effective: u64, slot: usize, until: u64) {
+        self.detections.push((effective, slot, until));
+    }
+
+    /// Whether `slot`'s retransmit buffer has room for another park.
+    fn can_park(&self, slot: usize) -> bool {
+        self.config.retransmit && (self.held[slot] as usize) < self.config.retransmit_slots
+    }
+
+    /// Parks `packet` in `slot`'s retransmit buffer, stamping its
+    /// sequence number and first resend deadline. The caller must have
+    /// checked [`RecoveryState::can_park`].
+    fn park(
+        &mut self,
+        slot: usize,
+        cycle: u64,
+        stage: u32,
+        switch: u32,
+        kind: HopKind,
+        packet: Packet,
+    ) {
+        let seq = self.next_seq[slot];
+        self.next_seq[slot] += 1;
+        self.held[slot] += 1;
+        self.pending.push(RetransmitEntry {
+            seq,
+            link: slot,
+            due: cycle + self.config.backoff(0),
+            attempts: 0,
+            deferred: false,
+            stage,
+            switch,
+            kind,
+            packet,
+        });
+    }
+
+    /// The read-only view phase-A probes take of recovery state.
+    fn view(&self) -> RecoveryView<'_> {
+        RecoveryView {
+            adaptive: self.config.adaptive,
+            believed_down_until: &self.believed_down_until,
+        }
+    }
+}
+
+/// Read-only phase-A view of recovery state: the adaptive flag and the
+/// believed link-health table. Only written in serial sections, so
+/// islands may read it freely (same argument as [`IdleView`]).
+#[derive(Clone, Copy)]
+struct RecoveryView<'a> {
+    adaptive: bool,
+    believed_down_until: &'a [u64],
+}
+
+impl RecoveryView<'_> {
+    fn believed_down(&self, slot: usize, cycle: u64) -> bool {
+        self.believed_down_until[slot] > cycle
+    }
+}
+
 /// Read-only context shared by one stage's phase-A transmit probes:
 /// everything a switch needs to route a candidate departure and test
 /// downstream space. Every field is behind a shared reference (or
@@ -444,6 +749,10 @@ struct ProbeCtx<'a> {
     /// (slots) downstream switch `sw` accepts on that input/output pair.
     caps: &'a [u16],
     idle: IdleView<'a>,
+    /// Recovery's believed link health, for the adaptive probe (absent
+    /// while recovery is off — the probe then behaves exactly as before
+    /// recovery existed).
+    recovery: Option<RecoveryView<'a>>,
 }
 
 /// Read-only phase-A view of one stage's slice of the quiescence map,
@@ -514,7 +823,8 @@ impl CycleSink for InteriorStageSink<'_, '_> {
             .plan
             .departure_route_uncounted(ctx.stage, self.sw, output, front.dest);
         self.scratch[output.index()] = Some(route);
-        if ctx.faults.is_some_and(|f| {
+        let slots = front.slots_needed(DEFAULT_SLOT_BYTES);
+        let primary_ok = !ctx.faults.is_some_and(|f| {
             f.link_down(
                 ctx.per_stage,
                 ctx.radix,
@@ -523,12 +833,45 @@ impl CycleSink for InteriorStageSink<'_, '_> {
                 route.next_port.index(),
                 ctx.cycle,
             )
-        }) {
-            return false; // hold: the link downstream is out
+        }) && {
+            let idx = (route.next_switch * ctx.radix + route.next_port.index()) * ctx.radix
+                + route.next_output.index();
+            slots <= ctx.caps[idx] as usize
+        };
+        if primary_ok {
+            return true;
         }
-        let slots = front.slots_needed(DEFAULT_SLOT_BYTES);
-        let idx = (route.next_switch * ctx.radix + route.next_port.index()) * ctx.radix
-            + route.next_output.index();
+        // Adaptive recovery: the departure may still leave through the
+        // alternate output (misroute-on-block), so the probe passes if
+        // the deflection target looks viable. The merge re-checks both
+        // live and charges the misroute budget.
+        let Some(recovery) = ctx.recovery.filter(|r| r.adaptive) else {
+            return false; // hold: link out or downstream space exhausted
+        };
+        self.probes += 1;
+        let alt_out = ctx.plan.alternate_output(ctx.stage, self.sw, output);
+        let alt = ctx
+            .plan
+            .departure_route_uncounted(ctx.stage, self.sw, alt_out, front.dest);
+        let alt_slot = (ctx.stage + 1) * ctx.per_stage * ctx.radix
+            + alt.next_switch * ctx.radix
+            + alt.next_port.index();
+        if recovery.believed_down(alt_slot, ctx.cycle)
+            || ctx.faults.is_some_and(|f| {
+                f.link_down(
+                    ctx.per_stage,
+                    ctx.radix,
+                    ctx.stage + 1,
+                    alt.next_switch,
+                    alt.next_port.index(),
+                    ctx.cycle,
+                )
+            })
+        {
+            return false;
+        }
+        let idx = (alt.next_switch * ctx.radix + alt.next_port.index()) * ctx.radix
+            + alt.next_output.index();
         slots <= ctx.caps[idx] as usize
     }
 
@@ -653,6 +996,12 @@ pub struct NetworkSim<B: SwitchBuffer = AnyBuffer, S: TelemetrySink<Event> = Nul
     ledger: ConservationLedger,
     faults: Option<FaultState>,
     fault_ledger: FaultLedger,
+    /// Fault-ledger values already mirrored into the registry's
+    /// `net.fault.*` counters (the per-cycle sync adds the delta).
+    reported_faults: FaultLedger,
+    /// Recovery machinery, present only while the configuration's
+    /// [`RecoveryConfig`] is active.
+    recovery: Option<RecoveryState>,
     sink: S,
 }
 
@@ -683,6 +1032,25 @@ struct MetricIds {
     occupancy: HistogramId,
     /// Switch-cycles advanced by the quiescent fast path.
     idle_skipped: CounterId,
+    /// Resend attempts made by link-level retransmission.
+    retransmits: CounterId,
+    /// Parked packets given up after exhausting their retries.
+    retry_exhausted: CounterId,
+    /// Packets deflected through an alternate output (adaptive
+    /// rerouting).
+    rerouted: CounterId,
+    /// Wrong-sink arrivals recirculated end-to-end instead of dropped.
+    recirculated: CounterId,
+    /// Fault-ledger mirror: buffer slots killed.
+    fault_slots_killed: CounterId,
+    /// Fault-ledger mirror: packets lost to link outages.
+    fault_link_dropped: CounterId,
+    /// Fault-ledger mirror: corrupted packets refused at sinks.
+    fault_corrupt_dropped: CounterId,
+    /// Fault-ledger mirror: transiently misrouted packets dropped.
+    fault_misrouted: CounterId,
+    /// Fault-ledger mirror: blocking probes invalidated by a misroute.
+    fault_probe_invalidated: CounterId,
 }
 
 impl MetricIds {
@@ -698,6 +1066,15 @@ impl MetricIds {
             network_latency: reg.histogram("net.network_latency_cycles"),
             occupancy: reg.histogram("net.occupancy_slots"),
             idle_skipped: reg.counter("net.idle_skipped"),
+            retransmits: reg.counter("net.retransmits"),
+            retry_exhausted: reg.counter("net.retry_exhausted"),
+            rerouted: reg.counter("net.rerouted"),
+            recirculated: reg.counter("net.recirculated"),
+            fault_slots_killed: reg.counter("net.fault.slots_killed"),
+            fault_link_dropped: reg.counter("net.fault.link_dropped"),
+            fault_corrupt_dropped: reg.counter("net.fault.corrupt_dropped"),
+            fault_misrouted: reg.counter("net.fault.misrouted"),
+            fault_probe_invalidated: reg.counter("net.fault.probe_invalidated"),
         }
     }
 }
@@ -806,6 +1183,16 @@ impl<B: BuildBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             ledger: ConservationLedger::default(),
             faults: None,
             fault_ledger: FaultLedger::default(),
+            reported_faults: FaultLedger::default(),
+            recovery: config.recovery.active().then(|| {
+                RecoveryState::new(
+                    config.recovery,
+                    stages,
+                    per_stage,
+                    config.radix,
+                    config.size,
+                )
+            }),
             sink,
         })
     }
@@ -956,6 +1343,12 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                     let idx =
                         faults.link_index(per_stage, radix, site.stage, site.switch, site.input);
                     faults.link_down_until[idx] = faults.link_down_until[idx].max(until);
+                    if let Some(rec) = self.recovery.as_mut() {
+                        // Recovery learns of the outage one detection
+                        // window after it strikes.
+                        let window = rec.config.detection_window;
+                        rec.schedule_detection(self.cycle + window, idx, until);
+                    }
                     if self.sink.enabled() {
                         self.sink.record(Event::new(
                             self.cycle,
@@ -982,6 +1375,245 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             }
         }
         self.faults = Some(faults);
+    }
+
+    /// Packets currently parked in recovery's retransmit buffers
+    /// (accounted by the conservation audit).
+    pub fn recovery_held(&self) -> usize {
+        self.recovery.as_ref().map_or(0, |r| r.pending.len())
+    }
+
+    /// Drives the recovery protocols at the start of each cycle
+    /// (serial, right after fault application): promotes link-fault
+    /// detections whose window elapsed into believed link health, then
+    /// services every due retransmit entry — resending, backing off,
+    /// or giving up. All deadlines are cycle counts, so the schedule is
+    /// seed-stable and lane-count-independent.
+    fn service_recovery(&mut self) {
+        let Some(mut rec) = self.recovery.take() else {
+            return;
+        };
+        let cycle = self.cycle;
+        // Believe every detection whose window has elapsed (kept in
+        // effective-cycle order by construction).
+        let mut promoted = 0;
+        while let Some(&(effective, slot, until)) = rec.detections.get(promoted) {
+            if effective > cycle {
+                break;
+            }
+            if rec.believed_down_until[slot] < until {
+                rec.believed_down_until[slot] = until;
+            }
+            promoted += 1;
+        }
+        rec.detections.drain(..promoted);
+        if rec.pending.is_empty() {
+            self.recovery = Some(rec);
+            return;
+        }
+        let per_stage = self.topology.switches_per_stage();
+        let radix = self.config.radix;
+        let entries = std::mem::take(&mut rec.pending);
+        for mut entry in entries {
+            if entry.due > cycle {
+                rec.pending.push(entry);
+                continue;
+            }
+            if entry.link < rec.sink_base && !entry.deferred && rec.believed_down(entry.link, cycle)
+            {
+                // The link is still believed out: wait for believed
+                // health instead of burning an attempt. The free wait
+                // is capped at one maximum-backoff deferral per attempt
+                // — when the capped deadline arrives the resend goes
+                // out against ground truth regardless, so a permanently
+                // dead link still burns through its retries and gives
+                // the packet up (bounded memory). The new deadline is
+                // itself deterministic.
+                entry.deferred = true;
+                let cap = cycle + rec.config.backoff(rec.config.max_backoff_exp);
+                entry.due = rec.believed_down_until[entry.link].min(cap).max(cycle + 1);
+                rec.pending.push(entry);
+                continue;
+            }
+            // One resend attempt.
+            entry.deferred = false;
+            let attempt = entry.attempts + 1;
+            self.registry.add(self.metric_ids.retransmits, 1);
+            if self.sink.enabled() {
+                self.sink.record(Event::new(
+                    cycle,
+                    EventKind::Retransmit {
+                        packet: entry.packet.id().serial(),
+                        stage: entry.stage,
+                        switch: entry.switch,
+                        attempt,
+                        seq: entry.seq,
+                    },
+                ));
+            }
+            match entry.kind {
+                HopKind::Final => {
+                    // Sinks always accept: the clean upstream copy is
+                    // resent end-to-end and delivered.
+                    entry.packet.repair_payload();
+                    let sink = entry.packet.dest();
+                    let total = cycle.saturating_sub(entry.packet.birth_cycle());
+                    let injected = entry
+                        .packet
+                        .injected_cycle()
+                        .unwrap_or(entry.packet.birth_cycle());
+                    let network = cycle.saturating_sub(injected);
+                    if self.sink.enabled() {
+                        self.sink.record(Event::new(
+                            cycle,
+                            EventKind::Delivered {
+                                packet: entry.packet.id().serial(),
+                                sink: sink.index() as u32,
+                            },
+                        ));
+                    }
+                    self.metrics.record_delivery_from(
+                        entry.packet.source().index(),
+                        sink.index(),
+                        total,
+                        network,
+                    );
+                    self.registry.add(self.metric_ids.delivered, 1);
+                    self.registry.observe(self.metric_ids.latency, total);
+                    self.registry
+                        .observe(self.metric_ids.network_latency, network);
+                    self.ledger.delivered += 1;
+                    rec.held[entry.link] -= 1;
+                    continue;
+                }
+                HopKind::Interior {
+                    stage,
+                    next_switch,
+                    next_port,
+                    next_out,
+                } => {
+                    let link_dead = self.faults.as_ref().is_some_and(|f| {
+                        f.link_down(per_stage, radix, stage, next_switch, next_port, cycle)
+                    });
+                    if !link_dead {
+                        let slots = entry.packet.slots_needed(DEFAULT_SLOT_BYTES);
+                        let port = InputPort::new(next_port);
+                        let out = OutputPort::new(next_out);
+                        if self.switches[stage][next_switch].can_accept(port, out, slots) {
+                            match self.switches[stage][next_switch].receive(port, out, entry.packet)
+                            {
+                                Ok(()) => {
+                                    self.quiescent[stage * per_stage + next_switch] = false;
+                                    rec.held[entry.link] -= 1;
+                                    continue;
+                                }
+                                Err(rejected) => {
+                                    debug_assert!(false, "can_accept pre-checked the resend");
+                                    entry.packet = rejected.into_packet();
+                                }
+                            }
+                        }
+                    }
+                }
+                HopKind::Entry { sw, port, out } => {
+                    let link_dead = self
+                        .faults
+                        .as_ref()
+                        .is_some_and(|f| f.link_down(per_stage, radix, 0, sw, port, cycle));
+                    if !link_dead {
+                        let slots = entry.packet.slots_needed(DEFAULT_SLOT_BYTES);
+                        let port = InputPort::new(port);
+                        let out = OutputPort::new(out);
+                        if self.switches[0][sw].can_accept(port, out, slots) {
+                            let serial = entry.packet.id().serial();
+                            let src = entry.packet.source().index();
+                            match self.switches[0][sw].receive(port, out, entry.packet) {
+                                Ok(()) => {
+                                    self.quiescent[sw] = false;
+                                    if self.sink.enabled() {
+                                        self.sink.record(Event::new(
+                                            cycle,
+                                            EventKind::Injected {
+                                                packet: serial,
+                                                source: src as u32,
+                                            },
+                                        ));
+                                    }
+                                    self.metrics.record_injected();
+                                    self.registry.add(self.metric_ids.injected, 1);
+                                    rec.held[entry.link] -= 1;
+                                    continue;
+                                }
+                                Err(rejected) => {
+                                    debug_assert!(false, "can_accept pre-checked the resend");
+                                    entry.packet = rejected.into_packet();
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // The attempt failed: the copy stays parked.
+            entry.attempts = attempt;
+            rec.note_loss(entry.link, cycle);
+            if attempt >= rec.config.max_retries.max(1) {
+                // Retries exhausted: the protocol gives the packet up.
+                rec.held[entry.link] -= 1;
+                self.registry.add(self.metric_ids.retry_exhausted, 1);
+                if self.sink.enabled() {
+                    self.sink.record(Event::new(
+                        cycle,
+                        EventKind::GaveUp {
+                            packet: entry.packet.id().serial(),
+                            stage: entry.stage,
+                            switch: entry.switch,
+                            attempts: attempt,
+                        },
+                    ));
+                }
+                self.ledger.discarded += 1;
+                if matches!(entry.kind, HopKind::Entry { .. }) {
+                    self.metrics.record_entry_discard();
+                    self.registry.add(self.metric_ids.discarded_entry, 1);
+                } else {
+                    self.metrics.record_network_discard();
+                    self.registry.add(self.metric_ids.discarded_network, 1);
+                }
+            } else {
+                entry.due = cycle + rec.config.backoff(entry.attempts);
+                rec.pending.push(entry);
+            }
+        }
+        self.recovery = Some(rec);
+    }
+
+    /// Mirrors fault-ledger deltas into the `net.fault.*` registry
+    /// counters (serial, once per cycle) so fault state shows up in
+    /// `obs_report` snapshots without parsing JSONL traces.
+    fn sync_fault_metrics(&mut self) {
+        let cur = self.fault_ledger;
+        let prev = self.reported_faults;
+        self.registry.add(
+            self.metric_ids.fault_slots_killed,
+            cur.slots_killed - prev.slots_killed,
+        );
+        self.registry.add(
+            self.metric_ids.fault_link_dropped,
+            cur.link_dropped - prev.link_dropped,
+        );
+        self.registry.add(
+            self.metric_ids.fault_corrupt_dropped,
+            cur.corrupt_dropped - prev.corrupt_dropped,
+        );
+        self.registry.add(
+            self.metric_ids.fault_misrouted,
+            cur.misrouted - prev.misrouted,
+        );
+        self.registry.add(
+            self.metric_ids.fault_probe_invalidated,
+            cur.probe_invalidated - prev.probe_invalidated,
+        );
+        self.reported_faults = cur;
     }
 
     /// Aggregated buffer operation counters over every switch in the
@@ -1169,9 +1801,13 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
         if self.faults.is_some() {
             self.apply_due_faults();
         }
+        if self.recovery.is_some() {
+            self.service_recovery();
+        }
         self.generate();
         let forwarded = self.advance_stages();
         self.inject();
+        self.sync_fault_metrics();
         if self.registry.enabled() {
             self.observe_occupancy();
         }
@@ -1286,8 +1922,11 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
         };
 
         // Fault state leaves `self` for the stage loops so the phase-A
-        // probes can read it while the switch grid is mutably borrowed.
+        // probes can read it while the switch grid is mutably borrowed;
+        // recovery state leaves for the same reason (probes read its
+        // believed link health, merges park and deflect through it).
         let mut faults = self.faults.take();
+        let mut recovery = self.recovery.take();
         let radix = self.config.radix;
         let cycle = self.cycle;
         let islands = self.engine.islands();
@@ -1355,9 +1994,40 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                     ));
                 }
                 if sink != rec.packet.dest() {
-                    // A transient misroute (here or upstream) carried the
-                    // packet to the wrong terminal: it is dropped there.
-                    debug_assert!(faults.is_some(), "misrouted packet without faults");
+                    // A transient misroute (here or upstream) or a deliberate
+                    // deflection carried the packet to the wrong terminal.
+                    debug_assert!(
+                        faults.is_some() || rec.packet.deflections() > 0,
+                        "misrouted packet without faults"
+                    );
+                    // With retransmission on, the wrong sink NACKs and the
+                    // packet recirculates from the hop buffer: it parks at
+                    // the terminal slot of its *true* destination and is
+                    // re-delivered by the retransmit timer.
+                    if let Some(recv) = recovery.as_mut() {
+                        let slot = recv.sink_slot(rec.packet.dest().index());
+                        if recv.can_park(slot) {
+                            self.registry.add(self.metric_ids.recirculated, 1);
+                            if tracing {
+                                self.sink.record(Event::new(
+                                    self.cycle,
+                                    EventKind::Recirculated {
+                                        packet: serial,
+                                        sink: sink.index() as u32,
+                                    },
+                                ));
+                            }
+                            recv.park(
+                                slot,
+                                cycle,
+                                last as u32,
+                                sw as u32,
+                                HopKind::Final,
+                                rec.packet,
+                            );
+                            continue;
+                        }
+                    }
                     if tracing {
                         self.sink.record(Event::new(
                             self.cycle,
@@ -1375,6 +2045,24 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                 }
                 if !rec.packet.verify_checksum() {
                     // Payload damaged in flight: the sink refuses delivery.
+                    // With retransmission on the refusal is a NACK — the
+                    // packet parks at the terminal hop and the timer resends
+                    // a repaired copy (no discard is charged unless every
+                    // retry is exhausted).
+                    if let Some(recv) = recovery.as_mut() {
+                        let slot = recv.sink_slot(rec.packet.dest().index());
+                        if recv.can_park(slot) {
+                            recv.park(
+                                slot,
+                                cycle,
+                                last as u32,
+                                sw as u32,
+                                HopKind::Final,
+                                rec.packet,
+                            );
+                            continue;
+                        }
+                    }
                     if tracing {
                         self.sink.record(Event::new(
                             self.cycle,
@@ -1451,6 +2139,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                 blocking,
                 plan: &self.plan,
                 faults: faults.as_ref(),
+                recovery: recovery.as_ref().map(|r| r.view()),
                 caps: &self.accept_caps,
                 idle: IdleView {
                     enabled: self.idle_skip,
@@ -1495,6 +2184,11 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             // invalidate a phase-A probe (see the invariant at the
             // receive below).
             let mut stage_misroutes = 0u64;
+            // Deflections applied so far in this stage's merge: like a
+            // misroute, a deflection lands on an input its probe never
+            // reserved and can therefore invalidate a later in-order
+            // blocking departure in the same merge.
+            let mut stage_deflections = 0u64;
             // lint: allow — harness wall-clock, never simulation state.
             let merge_start = self.phase_timing.then(Instant::now);
             for island in 0..islands {
@@ -1553,10 +2247,196 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                             cycle,
                         )
                     });
+                    // `loss` carries the packet through the recovery ladder
+                    // below whenever the primary hop fails (dead wire or a
+                    // bounced receive); `None` means it was delivered.
+                    let mut loss: Option<Packet> = None;
                     if link_dead {
-                        // Discarding protocol (or a misroute onto a dead
-                        // wire): the packet flies into the outage and is
-                        // lost.
+                        // The packet would fly into the outage and be lost;
+                        // the ladder below may still save it.
+                        loss = Some(rec.packet);
+                    } else {
+                        match downstream[next_switch].receive(next_port, next_out, rec.packet) {
+                            Ok(()) => {
+                                // The receiver now holds a packet: it cannot
+                                // idle-skip until it drains again.
+                                self.quiescent[(stage + 1) * per_stage + next_switch] = false;
+                            }
+                            Err(rejected) => {
+                                // Every rejection reason in the delivery path
+                                // is handled explicitly (workspace lint 12):
+                                // capacity and fault bounces are recoverable
+                                // losses, structural rejects are programming
+                                // errors in the route plan.
+                                match rejected.reason {
+                                    RejectReason::BufferFull
+                                    | RejectReason::QueueFull
+                                    | RejectReason::Faulted => {}
+                                    RejectReason::PacketTooLarge | RejectReason::NoSuchOutput => {
+                                        debug_assert!(
+                                            false,
+                                            "structural reject in the delivery path: {}",
+                                            rejected.reason
+                                        );
+                                    }
+                                    _ => {
+                                        debug_assert!(
+                                            false,
+                                            "unknown reject reason in the delivery path: {}",
+                                            rejected.reason
+                                        );
+                                    }
+                                }
+                                // Invariant: a probed blocking departure can only
+                                // bounce after a misroute or a deflection in this
+                                // same stage's merge. The banyan wiring maps each
+                                // upstream (switch, output) to a *unique*
+                                // downstream (switch, input), and the crossbar
+                                // grants at most one departure per output per
+                                // cycle, so every in-order departure in this
+                                // merge owns a private downstream input whose
+                                // space its probe reserved. Earlier in-order
+                                // receives therefore cannot consume it; only a
+                                // misroute or deflection — which flips a packet
+                                // onto an output it never probed, landing on an
+                                // input port that belongs to another departure —
+                                // can. (Retransmit resends run before this
+                                // stage's capacity snapshot, so they cannot
+                                // invalidate a probe.) With adaptive recovery
+                                // the bounce is additionally expected whenever
+                                // the probe admitted the departure on the
+                                // *alternate* route's space — the primary was
+                                // already known to be blocked and the ladder
+                                // below deflects — so the invariant only has
+                                // teeth without deflection in play.
+                                let adaptive_on =
+                                    recovery.as_ref().is_some_and(|r| r.config.adaptive);
+                                assert!(
+                                    !blocking
+                                        || adaptive_on
+                                        || stage_misroutes > 0
+                                        || stage_deflections > 0,
+                                    "blocking probe invalidated with no misroute or \
+                                     deflection in this stage's merge (stage {stage}, \
+                                     switch {sw})"
+                                );
+                                loss = Some(rejected.into_packet());
+                            }
+                        }
+                    }
+                    if loss.is_some() {
+                        if let Some(recv) = recovery.as_mut() {
+                            // Rung 1 — deflect: misroute on purpose through
+                            // the alternate output and let the wrong sink
+                            // recirculate it (unique-path banyans have no
+                            // second path to the right sink mid-network).
+                            let budget_left = recv.config.adaptive
+                                && loss
+                                    .as_ref()
+                                    .is_some_and(|p| p.deflections() < recv.config.misroute_budget);
+                            if budget_left {
+                                let alt_out = self.plan.alternate_output(stage, sw, out);
+                                let alt = self.plan.departure_route(
+                                    stage,
+                                    sw,
+                                    alt_out,
+                                    // lint: allow — loss was just set Some on both paths above
+                                    loss.as_ref().expect("checked above").dest(),
+                                );
+                                let alt_dead = faults.as_ref().is_some_and(|f| {
+                                    f.link_down(
+                                        per_stage,
+                                        radix,
+                                        stage + 1,
+                                        alt.next_switch,
+                                        alt.next_port.index(),
+                                        cycle,
+                                    )
+                                });
+                                let alt_slot = recv.link_index(
+                                    stage + 1,
+                                    alt.next_switch,
+                                    alt.next_port.index(),
+                                );
+                                let slots = loss
+                                    .as_ref()
+                                    // lint: allow — loss was just set Some on both paths above
+                                    .expect("checked above")
+                                    .slots_needed(DEFAULT_SLOT_BYTES);
+                                if !alt_dead
+                                    && !recv.believed_down(alt_slot, cycle)
+                                    && downstream[alt.next_switch].can_accept(
+                                        alt.next_port,
+                                        alt.next_output,
+                                        slots,
+                                    )
+                                {
+                                    // lint: allow — loss was just set Some on both paths above
+                                    let mut packet = loss.take().expect("checked above");
+                                    packet.note_deflection();
+                                    match downstream[alt.next_switch].receive(
+                                        alt.next_port,
+                                        alt.next_output,
+                                        packet,
+                                    ) {
+                                        Ok(()) => {
+                                            self.quiescent
+                                                [(stage + 1) * per_stage + alt.next_switch] = false;
+                                            stage_deflections += 1;
+                                            self.registry.add(self.metric_ids.rerouted, 1);
+                                            if tracing {
+                                                self.sink.record(Event::new(
+                                                    self.cycle,
+                                                    EventKind::Rerouted {
+                                                        packet: serial,
+                                                        stage: stage as u32,
+                                                        switch: sw as u32,
+                                                        output: alt_out.index() as u32,
+                                                    },
+                                                ));
+                                            }
+                                        }
+                                        Err(rejected) => {
+                                            debug_assert!(
+                                                false,
+                                                "deflection bounced after can_accept"
+                                            );
+                                            loss = Some(rejected.into_packet());
+                                        }
+                                    }
+                                }
+                            }
+                            // Rung 2 — park: hold the packet in the hop's
+                            // bounded retransmit buffer; the timer resends
+                            // it once the link is believed healthy again.
+                            if loss.is_some() {
+                                let slot =
+                                    recv.link_index(stage + 1, next_switch, next_port.index());
+                                if recv.can_park(slot) {
+                                    if link_dead {
+                                        recv.note_loss(slot, cycle);
+                                    }
+                                    recv.park(
+                                        slot,
+                                        cycle,
+                                        stage as u32,
+                                        sw as u32,
+                                        HopKind::Interior {
+                                            stage: stage + 1,
+                                            next_switch,
+                                            next_port: next_port.index(),
+                                            next_out: next_out.index(),
+                                        },
+                                        // lint: allow — can_park was checked in the rung-2 guard
+                                        loss.take().expect("checked above"),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    // Rung 3 — drop: the plain fault model (recovery off,
+                    // out of deflection budget, or the hop buffer is full).
+                    if loss.take().is_some() {
                         if tracing {
                             self.sink.record(Event::new(
                                 self.cycle,
@@ -1570,57 +2450,14 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                         self.metrics.record_network_discard();
                         self.registry.add(self.metric_ids.discarded_network, 1);
                         self.ledger.discarded += 1;
-                        self.fault_ledger.link_dropped += 1;
-                        continue;
-                    }
-                    match downstream[next_switch].receive(next_port, next_out, rec.packet) {
-                        Ok(()) => {
-                            // The receiver now holds a packet: it cannot
-                            // idle-skip until it drains again.
-                            self.quiescent[(stage + 1) * per_stage + next_switch] = false;
-                        }
-                        Err(_rejected) => {
-                            // Invariant: a probed blocking departure can only
-                            // bounce after a misroute in this same stage's
-                            // merge. The banyan wiring maps each upstream
-                            // (switch, output) to a *unique* downstream
-                            // (switch, input), and the crossbar grants at
-                            // most one departure per output per cycle, so
-                            // every in-order departure in this merge owns a
-                            // private downstream input whose space its probe
-                            // reserved. Earlier in-order receives therefore
-                            // cannot consume it; only a misroute — which
-                            // flips a packet onto an output it never probed,
-                            // landing on an input port that belongs to
-                            // another departure — can. With misroute faults
-                            // active the blocking protocol's lossless
-                            // guarantee is already forfeited, so the collided
-                            // packet is discarded and tallied below.
-                            assert!(
-                                !blocking || stage_misroutes > 0,
-                                "blocking probe invalidated with no misroute in \
-                                 this stage's merge (stage {stage}, switch {sw})"
-                            );
-                            if tracing {
-                                self.sink.record(Event::new(
-                                    self.cycle,
-                                    EventKind::NetworkDiscarded {
-                                        packet: serial,
-                                        stage: stage as u32,
-                                        switch: sw as u32,
-                                    },
-                                ));
-                            }
-                            self.metrics.record_network_discard();
-                            self.registry.add(self.metric_ids.discarded_network, 1);
-                            self.ledger.discarded += 1;
-                            if misrouted_here {
-                                self.fault_ledger.misrouted += 1;
-                            } else if blocking {
-                                // An in-order departure whose probe a
-                                // misroute invalidated (the invariant above).
-                                self.fault_ledger.probe_invalidated += 1;
-                            }
+                        if link_dead {
+                            self.fault_ledger.link_dropped += 1;
+                        } else if misrouted_here {
+                            self.fault_ledger.misrouted += 1;
+                        } else if blocking {
+                            // An in-order departure whose probe a misroute or
+                            // deflection invalidated (the invariant above).
+                            self.fault_ledger.probe_invalidated += 1;
                         }
                     }
                 }
@@ -1630,6 +2467,7 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
             }
         }
         self.faults = faults;
+        self.recovery = recovery;
         forwarded
     }
 
@@ -1650,13 +2488,45 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
                 continue; // hold at the source until the link recovers
             }
             let out = self.plan.route_output(0, NodeId::new(front.dest as usize));
-            let slots = (front.length_bytes as usize).div_ceil(DEFAULT_SLOT_BYTES).max(1);
+            let slots = (front.length_bytes as usize)
+                .div_ceil(DEFAULT_SLOT_BYTES)
+                .max(1);
             if blocking && !self.switches[0][sw].can_accept(port, out, slots) {
                 continue; // hold the packet; try again next cycle
             }
             self.source_queues[src].pop_front();
             let serial = front.serial;
             if link_dead {
+                // With retransmission on, the edge hop buffers the launch
+                // instead of losing it: park at the entry link's slot and
+                // resend once the link is believed healthy again.
+                let parked = self.recovery.as_mut().is_some_and(|recv| {
+                    let slot = recv.link_index(0, sw, port.index());
+                    recv.can_park(slot) && {
+                        recv.note_loss(slot, self.cycle);
+                        true
+                    }
+                });
+                if parked {
+                    let mut packet = front.materialize(src);
+                    packet.mark_injected(self.cycle);
+                    // lint: allow — parked is only true when recovery is Some
+                    let recv = self.recovery.as_mut().expect("checked above");
+                    let slot = recv.link_index(0, sw, port.index());
+                    recv.park(
+                        slot,
+                        self.cycle,
+                        0,
+                        sw as u32,
+                        HopKind::Entry {
+                            sw,
+                            port: port.index(),
+                            out: out.index(),
+                        },
+                        packet,
+                    );
+                    continue;
+                }
                 // Discarding protocol: the packet is launched into the
                 // outage and lost at the network's edge (never built —
                 // only its serial reaches the telemetry).
@@ -1777,8 +2647,8 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
     /// Verifies end-of-cycle packet conservation against the lifetime
     /// ledger (which, unlike [`NetworkSim::metrics`], survives
     /// [`NetworkSim::warm_up`]): every packet ever generated is delivered,
-    /// discarded, waiting at a source, or resident in a buffer — exactly
-    /// one of the four.
+    /// discarded, waiting at a source, resident in a buffer, or held in
+    /// a hop's retransmit buffer — exactly one of the five.
     ///
     /// # Errors
     ///
@@ -1787,17 +2657,19 @@ impl<B: SwitchBuffer, S: TelemetrySink<Event>> NetworkSim<B, S> {
         let accounted = self.ledger.delivered
             + self.ledger.discarded
             + self.source_backlog() as u64
-            + self.packets_in_flight() as u64;
+            + self.packets_in_flight() as u64
+            + self.recovery_held() as u64;
         if self.ledger.generated != accounted {
             return Err(AuditError::new(
                 "packet-conservation",
                 format!(
-                    "generated {} but delivered {} + discarded {} + backlog {} + in-flight {} = {accounted}",
+                    "generated {} but delivered {} + discarded {} + backlog {} + in-flight {} + retransmit-held {} = {accounted}",
                     self.ledger.generated,
                     self.ledger.delivered,
                     self.ledger.discarded,
                     self.source_backlog(),
                     self.packets_in_flight(),
+                    self.recovery_held(),
                 ),
             ));
         }
@@ -2320,6 +3192,274 @@ mod fault_tests {
                 let mut sim = NetworkSim::with_faults(base(kind).flow_control(flow), plan).unwrap();
                 sim.run(250);
                 assert!(sim.fault_ledger().slots_killed > 0, "{kind}/{flow}");
+                sim.audit().unwrap_or_else(|e| panic!("{kind}/{flow}: {e}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use damq_core::{FaultSite, FaultSpec};
+
+    fn base(kind: BufferKind) -> NetworkConfig {
+        NetworkConfig::new(16, 4)
+            .buffer_kind(kind)
+            .offered_load(0.5)
+            .seed(17)
+    }
+
+    /// Retransmission-only recovery with a deep per-hop buffer and a
+    /// long detection window (no deflection).
+    fn deep_retransmit() -> RecoveryConfig {
+        RecoveryConfig {
+            retransmit: true,
+            retransmit_slots: 64,
+            max_retries: 16,
+            base_timeout: 4,
+            max_backoff_exp: 5,
+            adaptive: false,
+            misroute_budget: 0,
+            detection_window: 10,
+        }
+    }
+
+    fn trace_of<B: SwitchBuffer>(sim: NetworkSim<B, damq_telemetry::MemorySink<Event>>) -> String {
+        sim.into_sink()
+            .events()
+            .iter()
+            .map(|e| e.to_jsonl() + "\n")
+            .collect()
+    }
+
+    #[test]
+    fn corrupted_payloads_are_repaired_and_delivered() {
+        let plan = FaultPlan::new()
+            .with_corruption(1, 0)
+            .with_corruption(1, 3)
+            .with_corruption(2, 7);
+        let mut sim = NetworkSim::with_sink(
+            base(BufferKind::Damq)
+                .flow_control(FlowControl::Blocking)
+                .recovery(deep_retransmit()),
+            damq_telemetry::MemorySink::new(),
+        )
+        .unwrap();
+        sim.install_fault_plan(plan);
+        sim.run(300);
+        // The sink NACKs each damaged arrival; the hop buffer resends a
+        // repaired copy instead of charging a corrupt drop.
+        assert_eq!(sim.fault_ledger().corrupt_dropped, 0);
+        assert_eq!(sim.fault_ledger().dropped(), 0);
+        sim.audit().expect("recovered run stays consistent");
+        let trace = trace_of(sim);
+        assert!(trace.contains("\"retransmit\""), "resends in the trace");
+        assert!(!trace.contains("\"corrupt_dropped\""), "no corrupt drops");
+    }
+
+    #[test]
+    fn flapped_link_losses_are_retransmitted_not_dropped() {
+        let site = FaultSite {
+            stage: 1,
+            switch: 0,
+            input: 0,
+        };
+        let run = |recovery: RecoveryConfig| {
+            let plan = FaultPlan::new().with_link_down(10, site, 60);
+            let mut sim = NetworkSim::with_faults(
+                base(BufferKind::Damq)
+                    .flow_control(FlowControl::Discarding)
+                    .recovery(recovery),
+                plan,
+            )
+            .unwrap();
+            sim.run(400);
+            sim.audit().expect("flapped run stays consistent");
+            assert_eq!(sim.recovery_held(), 0, "buffers drain after the flap");
+            (sim.fault_ledger().link_dropped, sim.metrics().delivered())
+        };
+        let (dropped_off, delivered_off) = run(RecoveryConfig::disabled());
+        let (dropped_on, delivered_on) = run(deep_retransmit());
+        assert!(dropped_off > 0, "the flap costs the plain fault model");
+        assert_eq!(dropped_on, 0, "every flap loss parks and resends");
+        assert!(
+            delivered_on > delivered_off,
+            "recovery delivers more: {delivered_on} vs {delivered_off}"
+        );
+    }
+
+    #[test]
+    fn deflection_recirculates_to_the_true_destination() {
+        let site = FaultSite {
+            stage: 1,
+            switch: 0,
+            input: 0,
+        };
+        let plan = FaultPlan::new().with_link_down(10, site, 260);
+        let mut sim = NetworkSim::with_sink(
+            base(BufferKind::Damq)
+                .flow_control(FlowControl::Discarding)
+                .recovery(RecoveryConfig::enabled()),
+            damq_telemetry::MemorySink::new(),
+        )
+        .unwrap();
+        sim.install_fault_plan(plan);
+        sim.run(400);
+        sim.audit().expect("deflected run stays consistent");
+        assert!(sim.metrics().delivered() > 0);
+        let trace = trace_of(sim);
+        assert!(trace.contains("\"rerouted\""), "deflections in the trace");
+        assert!(
+            trace.contains("\"recirculated\""),
+            "wrong-sink arrivals recirculate instead of dropping"
+        );
+    }
+
+    #[test]
+    fn bounded_retries_give_the_packet_up() {
+        let site = FaultSite {
+            stage: 0,
+            switch: 0,
+            input: 0,
+        };
+        // The entry link never comes back: every park must eventually
+        // exhaust its retries and be given up, not held forever.
+        let plan = FaultPlan::new().with_link_down(5, site, 100_000);
+        let recovery = RecoveryConfig {
+            retransmit: true,
+            retransmit_slots: 8,
+            max_retries: 3,
+            base_timeout: 2,
+            max_backoff_exp: 3,
+            adaptive: false,
+            misroute_budget: 0,
+            detection_window: 5,
+        };
+        let mut sim = NetworkSim::with_sink(
+            base(BufferKind::Damq)
+                .flow_control(FlowControl::Discarding)
+                .recovery(recovery)
+                .seed(23),
+            damq_telemetry::MemorySink::new(),
+        )
+        .unwrap();
+        sim.install_fault_plan(plan);
+        sim.run(600);
+        sim.audit().expect("exhausted run stays consistent");
+        assert!(sim.metrics().discarded() > 0, "give-ups count as discards");
+        let snapshot = sim.metrics_snapshot();
+        let trace = trace_of(sim);
+        assert!(trace.contains("\"gave_up\""), "give-ups in the trace");
+        // The registry was never enabled, so the snapshot stays zeroed —
+        // the counter exists either way.
+        assert!(snapshot.contains("\"net.retry_exhausted\""));
+    }
+
+    #[test]
+    fn recovery_metrics_land_in_the_registry() {
+        let plan = FaultPlan::new()
+            .with_link_down(
+                10,
+                FaultSite {
+                    stage: 1,
+                    switch: 1,
+                    input: 2,
+                },
+                60,
+            )
+            .with_corruption(5, 3);
+        let mut sim = NetworkSim::with_faults(
+            base(BufferKind::Damq)
+                .flow_control(FlowControl::Discarding)
+                .recovery(RecoveryConfig::enabled()),
+            plan,
+        )
+        .unwrap()
+        .with_metrics();
+        sim.run(400);
+        let snapshot = sim.metrics_snapshot();
+        let counter = |name: &str| {
+            let key = format!("\"{name}\":");
+            let at = snapshot
+                .find(&key)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                + key.len();
+            snapshot[at..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse::<u64>()
+                .unwrap()
+        };
+        assert!(counter("net.retransmits") > 0, "resends counted");
+        assert_eq!(
+            counter("net.fault.corrupt_dropped"),
+            sim.fault_ledger().corrupt_dropped,
+            "registry mirrors the fault ledger"
+        );
+        assert_eq!(
+            counter("net.fault.link_dropped"),
+            sim.fault_ledger().link_dropped
+        );
+    }
+
+    #[test]
+    fn recovered_runs_are_deterministic_to_the_byte() {
+        let run = || {
+            let spec = FaultSpec {
+                dead_slot_fraction: 0.1,
+                link_flaps: 4,
+                flap_duration: 30,
+                corrupt_packets: 3,
+                misroutes: 2,
+                ..FaultSpec::fault_free(2, 4, 4, 16, 4, 200)
+            };
+            let plan = FaultPlan::generate(11, &spec);
+            let mut sim = NetworkSim::with_sink(
+                base(BufferKind::Damq)
+                    .flow_control(FlowControl::Discarding)
+                    .recovery(RecoveryConfig::enabled()),
+                damq_telemetry::MemorySink::new(),
+            )
+            .unwrap()
+            .with_metrics();
+            sim.install_fault_plan(plan);
+            sim.run(400);
+            sim.audit().expect("recovered run stays consistent");
+            let snapshot = sim.metrics_snapshot();
+            let ledger = sim.fault_ledger();
+            (ledger, snapshot, trace_of(sim))
+        };
+        let (ledger_a, snap_a, trace_a) = run();
+        let (ledger_b, snap_b, trace_b) = run();
+        assert_eq!(ledger_a, ledger_b);
+        assert_eq!(snap_a, snap_b, "registry snapshots byte-identical");
+        assert_eq!(trace_a, trace_b, "recovery JSONL byte-identical");
+        assert!(trace_a.contains("\"retransmit\""), "recovery was exercised");
+    }
+
+    #[test]
+    fn all_designs_and_protocols_audit_clean_with_recovery_active() {
+        let spec = FaultSpec {
+            dead_slot_fraction: 0.15,
+            link_flaps: 3,
+            flap_duration: 25,
+            corrupt_packets: 3,
+            misroutes: 3,
+            ..FaultSpec::fault_free(2, 4, 4, 16, 4, 150)
+        };
+        for kind in BufferKind::ALL {
+            for flow in FlowControl::ALL {
+                let plan = FaultPlan::generate(7, &spec);
+                let mut sim = NetworkSim::with_faults(
+                    base(kind)
+                        .flow_control(flow)
+                        .recovery(RecoveryConfig::enabled()),
+                    plan,
+                )
+                .unwrap();
+                sim.run(300);
                 sim.audit().unwrap_or_else(|e| panic!("{kind}/{flow}: {e}"));
             }
         }

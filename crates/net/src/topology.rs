@@ -379,6 +379,14 @@ pub struct RoutePlan {
     outputs: Vec<OutputPort>,
     /// Sink terminal per (switch, output) of the final stage.
     sinks: Vec<NodeId>,
+    /// Alternate output per (stage, switch, output), row-major: the
+    /// deflection target adaptive recovery consults when the primary
+    /// output's link is down or its downstream queue is saturated. In a
+    /// unique-path banyan every deflection is a deliberate misroute, so
+    /// the table's job is only to name a *consistent* escape port per
+    /// switch — the neighbouring output — which keeps deflected traffic
+    /// deterministic and spread across the crossbar.
+    alternates: Vec<OutputPort>,
     /// Departure-route queries served so far. Atomic (relaxed) so
     /// concurrent backpressure probes from sharded stage islands can
     /// count without synchronization; the total stays deterministic.
@@ -396,6 +404,7 @@ impl Clone for RoutePlan {
             next_hops: self.next_hops.clone(),
             outputs: self.outputs.clone(),
             sinks: self.sinks.clone(),
+            alternates: self.alternates.clone(),
             // ordering: Relaxed — clone takes a point-in-time snapshot of
             // a pure statistics counter; no other memory is published
             // through it, so no acquire/release pairing is needed.
@@ -434,6 +443,14 @@ impl RoutePlan {
                 sinks.push(topology.sink_of(sw, o));
             }
         }
+        let mut alternates = Vec::with_capacity(stages * per_stage * radix);
+        for _stage in 0..stages {
+            for _sw in 0..per_stage {
+                for o in 0..radix {
+                    alternates.push(OutputPort::new((o + 1) % radix));
+                }
+            }
+        }
         RoutePlan {
             radix,
             stages,
@@ -443,6 +460,7 @@ impl RoutePlan {
             next_hops,
             outputs,
             sinks,
+            alternates,
             queries: AtomicU64::new(0),
         }
     }
@@ -526,6 +544,20 @@ impl RoutePlan {
     pub(crate) fn count_queries(&self, n: u64) {
         // ordering: Relaxed — same pure event count as `departure_route`.
         self.queries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The alternate (deflection) output adaptive recovery tries at
+    /// (`stage`, `switch`) when `output`'s link is down or its
+    /// downstream queue is saturated. Deflecting through it is a
+    /// deliberate misroute in a unique-path banyan — the packet reaches
+    /// the wrong sink and relies on end-to-end retransmission — so the
+    /// caller must charge the packet's misroute budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn alternate_output(&self, stage: usize, switch: usize, output: OutputPort) -> OutputPort {
+        self.alternates[(stage * self.per_stage + switch) * self.radix + output.index()]
     }
 
     /// The sink terminal reached from the last stage's (`switch`,
@@ -696,6 +728,25 @@ mod tests {
         let _ = plan.departure_route(0, 0, OutputPort::new(0), NodeId::new(5));
         let _ = plan.departure_route(0, 3, OutputPort::new(2), NodeId::new(8));
         assert_eq!(plan.route_queries(), 2);
+    }
+
+    #[test]
+    fn alternate_outputs_differ_from_primaries_and_permute_the_crossbar() {
+        for kind in TopologyKind::ALL {
+            let topo = Topology::build(kind, 64, 4).unwrap();
+            let plan = RoutePlan::new(&topo);
+            for stage in 0..topo.stages() {
+                for sw in 0..topo.switches_per_stage() {
+                    let mut seen = [false; 4];
+                    for o in OutputPort::all(4) {
+                        let alt = plan.alternate_output(stage, sw, o);
+                        assert_ne!(alt, o, "deflection must leave the blocked port");
+                        seen[alt.index()] = true;
+                    }
+                    assert_eq!(seen, [true; 4], "alternates spread over all outputs");
+                }
+            }
+        }
     }
 
     #[test]

@@ -17,8 +17,8 @@
 
 use damq_core::{
     AosDafcBuffer, AosDamqBuffer, AosFifoBuffer, AosSafcBuffer, AosSamqBuffer, BufferKind,
-    BufferStats, DafcBuffer, DamqBuffer, FaultLedger, FaultPlan, FaultSpec, FifoBuffer,
-    SafcBuffer, SamqBuffer, SwitchBuffer,
+    BufferStats, DafcBuffer, DamqBuffer, FaultLedger, FaultPlan, FaultSpec, FifoBuffer, SafcBuffer,
+    SamqBuffer, SwitchBuffer,
 };
 use damq_net::{NetworkConfig, NetworkSim, TrafficPattern};
 use damq_switch::FlowControl;

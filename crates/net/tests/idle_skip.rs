@@ -114,7 +114,10 @@ fn idle_skip_is_lane_count_independent() {
     let (sharded_on, skipped_sharded) = run(4, true);
     assert_eq!(serial_on, serial_off, "toggle changes nothing");
     assert_eq!(serial_on, sharded_on, "lane count changes nothing");
-    assert_eq!(skipped_serial, skipped_sharded, "same switch-cycles skipped");
+    assert_eq!(
+        skipped_serial, skipped_sharded,
+        "same switch-cycles skipped"
+    );
     assert!(skipped_serial > 0);
 }
 

@@ -13,7 +13,7 @@
 //! for all five buffer designs, under both flow-control protocols.
 
 use damq_core::{BufferKind, BufferStats, FaultPlan, FaultSpec};
-use damq_net::{NetworkConfig, NetworkSim, TrafficPattern};
+use damq_net::{NetworkConfig, NetworkSim, RecoveryConfig, TrafficPattern};
 use damq_switch::FlowControl;
 use damq_telemetry::MemorySink;
 
@@ -36,6 +36,9 @@ struct Run {
     link_dropped: u64,
     corrupt_dropped: u64,
     probe_invalidated: u64,
+    /// Packets still parked in recovery's retransmit buffers at the end
+    /// of the run (zero unless recovery is on).
+    recovery_held: usize,
     /// The metrics registry's deterministic JSON snapshot (counters plus
     /// histogram p50/p99/p999) — must be byte-identical too.
     metrics_snapshot: String,
@@ -73,6 +76,7 @@ fn run(config: NetworkConfig, faults: Option<&FaultPlan>, threads: usize, cycles
         link_dropped: ledger.link_dropped,
         corrupt_dropped: ledger.corrupt_dropped,
         probe_invalidated: ledger.probe_invalidated,
+        recovery_held: sim.recovery_held(),
         metrics_snapshot: sim.metrics_snapshot(),
         trace: sim
             .into_sink()
@@ -273,6 +277,84 @@ fn metrics_registry_snapshot_matches_across_thread_counts() {
     assert!(latency.count() > 0, "hot-spot run delivers packets");
     assert!(latency.p50() <= latency.p99() && latency.p99() <= latency.p999());
     assert!(latency.p999() <= latency.max());
+}
+
+/// The PR 9 acceptance gate: the self-healing data path — link-level
+/// retransmission, believed link-health tracking, and fault-adaptive
+/// deflection rerouting — mutates state only in the serial sections of
+/// the cycle (`service_recovery` at cycle start, phase-B merges,
+/// inject), while phase-A probes read an immutable view. These runs pin
+/// that argument: with retransmission + rerouting + a storm of faults
+/// all active, every observable (including the retransmit/reroute
+/// telemetry and the `net.retransmits`-family counters in the registry
+/// snapshot) must stay byte-identical from serial through 8 threads.
+#[test]
+fn recovery_runs_match_across_thread_counts() {
+    let plan = FaultPlan::generate(
+        11,
+        &FaultSpec {
+            dead_slot_fraction: 0.1,
+            link_flaps: 5,
+            flap_duration: 40,
+            corrupt_packets: 4,
+            misroutes: 3,
+            ..FaultSpec::fault_free(2, 4, 4, 16, 4, 250)
+        },
+    );
+    for flow in FlowControl::ALL {
+        let config = uniform(16, 4)
+            .flow_control(flow)
+            .recovery(RecoveryConfig::enabled())
+            .seed(29);
+        let serial = run(config, Some(&plan), 1, 350);
+        assert!(
+            serial.trace.contains("\"retransmit\""),
+            "recovery/{flow}: the storm must exercise retransmission"
+        );
+        assert_threads_agree(
+            config,
+            Some(&plan),
+            350,
+            &[2, 4, 8],
+            &format!("recovery/{flow}"),
+        );
+    }
+}
+
+/// Retransmission-only (no deflection) and every buffer design: the
+/// recovery path must stay lane-count-invariant regardless of the
+/// underlying buffer organisation.
+#[test]
+fn recovery_designs_match_at_four_threads() {
+    let plan = FaultPlan::generate(
+        23,
+        &FaultSpec {
+            link_flaps: 4,
+            flap_duration: 30,
+            corrupt_packets: 3,
+            ..FaultSpec::fault_free(2, 4, 4, 16, 4, 200)
+        },
+    );
+    let retransmit_only = RecoveryConfig {
+        adaptive: false,
+        misroute_budget: 0,
+        ..RecoveryConfig::enabled()
+    };
+    for kind in BufferKind::ALL {
+        for flow in FlowControl::ALL {
+            let config = uniform(16, 4)
+                .buffer_kind(kind)
+                .flow_control(flow)
+                .recovery(retransmit_only);
+            assert_threads_agree(
+                config,
+                Some(&plan),
+                300,
+                &[4],
+                &format!("recovery-retransmit/{kind}/{flow}"),
+            );
+        }
+    }
 }
 
 #[test]

@@ -143,7 +143,11 @@ impl Arbiter {
     ///
     /// Panics if the matrices have the wrong shape.
     pub fn complete_cycle(&mut self, served: &[bool], occupied: &[bool]) {
-        assert_eq!(served.len(), self.ports * self.fanout, "served matrix shape");
+        assert_eq!(
+            served.len(),
+            self.ports * self.fanout,
+            "served matrix shape"
+        );
         assert_eq!(
             occupied.len(),
             self.ports * self.fanout,
@@ -156,8 +160,7 @@ impl Arbiter {
                 self.rotate_priority();
             }
             ArbiterPolicy::Smart => {
-                for ((stale, &served), &occupied) in
-                    self.stale.iter_mut().zip(served).zip(occupied)
+                for ((stale, &served), &occupied) in self.stale.iter_mut().zip(served).zip(occupied)
                 {
                     *stale = if !served && occupied {
                         stale.saturating_add(1)
@@ -264,7 +267,7 @@ mod tests {
         let mut occupied = no_service(2, 2);
         occupied[0] = true; // buffer 0, queue 0
         occupied[1] = true; // buffer 0, queue 1
-        // Queue (0,1) passed over twice.
+                            // Queue (0,1) passed over twice.
         a.complete_cycle(&no_service(2, 2), &occupied);
         a.complete_cycle(&no_service(2, 2), &occupied);
         assert_eq!(a.stale_count(InputPort::new(0), OutputPort::new(1)), 2);

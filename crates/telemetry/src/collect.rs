@@ -126,6 +126,14 @@ pub struct TraceSummary {
     pub corrupt_drops: u64,
     /// Packets dropped after arriving at the wrong sink.
     pub misroutes: u64,
+    /// Link-level resend attempts by the recovery layer.
+    pub retransmits: u64,
+    /// Parked packets dropped after exhausting their retries.
+    pub gave_ups: u64,
+    /// Departures deflected to an alternate output by adaptive routing.
+    pub reroutes: u64,
+    /// Deflected packets fed back into a source queue at the wrong sink.
+    pub recirculations: u64,
     /// Last cycle stamp seen.
     pub last_cycle: u64,
     /// Per-cycle discard counter, flushed into `discard_series` when the
@@ -179,6 +187,10 @@ impl TraceSummary {
             link_downs: 0,
             corrupt_drops: 0,
             misroutes: 0,
+            retransmits: 0,
+            gave_ups: 0,
+            reroutes: 0,
+            recirculations: 0,
             last_cycle: 0,
             pending_discards: 0,
             pending_cycle: None,
@@ -289,6 +301,22 @@ impl TraceSummary {
                 self.misroutes += 1;
                 self.pending_discards += 1;
                 self.lifecycle(*packet).discarded = Some(event.cycle);
+            }
+            EventKind::Retransmit { .. } => {
+                self.retransmits += 1;
+            }
+            EventKind::GaveUp { packet, .. } => {
+                self.gave_ups += 1;
+                self.pending_discards += 1;
+                self.lifecycle(*packet).discarded = Some(event.cycle);
+            }
+            EventKind::Rerouted { .. } => {
+                self.reroutes += 1;
+            }
+            // A recirculated packet is back in a source queue, still
+            // live: it neither discards nor closes the lifecycle.
+            EventKind::Recirculated { .. } => {
+                self.recirculations += 1;
             }
             EventKind::CycleSample {
                 occupied,

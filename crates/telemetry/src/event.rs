@@ -152,6 +152,54 @@ pub enum EventKind {
         /// Terminal the packet wrongly arrived at.
         sink: u32,
     },
+    /// The recovery layer resent a parked packet over its hop (a lost or
+    /// corrupted transfer timed out, or a NACK arrived).
+    Retransmit {
+        /// Packet serial number.
+        packet: u64,
+        /// Stage of the retransmitting hop (`stages` for the final
+        /// switch-to-sink hop).
+        stage: u32,
+        /// Switch index the retransmit buffer belongs to.
+        switch: u32,
+        /// Resend attempt number (1 = first resend).
+        attempt: u32,
+        /// Link-level sequence number of the transfer.
+        seq: u64,
+    },
+    /// The recovery layer exhausted its retries for a parked packet and
+    /// dropped it.
+    GaveUp {
+        /// Packet serial number.
+        packet: u64,
+        /// Stage of the hop that gave up.
+        stage: u32,
+        /// Switch index the retransmit buffer belongs to.
+        switch: u32,
+        /// Resend attempts made before giving up.
+        attempts: u32,
+    },
+    /// Adaptive routing deflected a packet to an alternate output queue
+    /// because the primary output's link was believed down or its queue
+    /// was saturated.
+    Rerouted {
+        /// Packet serial number.
+        packet: u64,
+        /// Stage of the deflecting switch.
+        stage: u32,
+        /// Switch index within its stage.
+        switch: u32,
+        /// Alternate output queue the packet was deflected into.
+        output: u32,
+    },
+    /// A deflected packet reached the wrong sink intact and was fed back
+    /// into that terminal's source queue for another traversal.
+    Recirculated {
+        /// Packet serial number.
+        packet: u64,
+        /// Terminal that recirculates the packet.
+        sink: u32,
+    },
     /// Per-cycle aggregate state, recorded once per cycle while the sink
     /// is enabled.
     CycleSample {
@@ -185,6 +233,10 @@ impl EventKind {
             EventKind::LinkDown { .. } => "link_down",
             EventKind::CorruptDropped { .. } => "corrupt_dropped",
             EventKind::Misrouted { .. } => "misrouted",
+            EventKind::Retransmit { .. } => "retransmit",
+            EventKind::GaveUp { .. } => "gave_up",
+            EventKind::Rerouted { .. } => "rerouted",
+            EventKind::Recirculated { .. } => "recirculated",
             EventKind::CycleSample { .. } => "cycle_sample",
         }
     }
@@ -199,7 +251,11 @@ impl EventKind {
             | EventKind::NetworkDiscarded { packet, .. }
             | EventKind::Delivered { packet, .. }
             | EventKind::CorruptDropped { packet, .. }
-            | EventKind::Misrouted { packet, .. } => Some(packet),
+            | EventKind::Misrouted { packet, .. }
+            | EventKind::Retransmit { packet, .. }
+            | EventKind::GaveUp { packet, .. }
+            | EventKind::Rerouted { packet, .. }
+            | EventKind::Recirculated { packet, .. } => Some(packet),
             _ => None,
         }
     }
@@ -338,9 +394,46 @@ impl Event {
                 push_u64_field(&mut out, "input", u64::from(*input));
                 push_u64_field(&mut out, "until", *until);
             }
-            EventKind::CorruptDropped { packet, sink } | EventKind::Misrouted { packet, sink } => {
+            EventKind::CorruptDropped { packet, sink }
+            | EventKind::Misrouted { packet, sink }
+            | EventKind::Recirculated { packet, sink } => {
                 push_u64_field(&mut out, "packet", *packet);
                 push_u64_field(&mut out, "sink", u64::from(*sink));
+            }
+            EventKind::Retransmit {
+                packet,
+                stage,
+                switch,
+                attempt,
+                seq,
+            } => {
+                push_u64_field(&mut out, "packet", *packet);
+                push_u64_field(&mut out, "stage", u64::from(*stage));
+                push_u64_field(&mut out, "switch", u64::from(*switch));
+                push_u64_field(&mut out, "attempt", u64::from(*attempt));
+                push_u64_field(&mut out, "seq", *seq);
+            }
+            EventKind::GaveUp {
+                packet,
+                stage,
+                switch,
+                attempts,
+            } => {
+                push_u64_field(&mut out, "packet", *packet);
+                push_u64_field(&mut out, "stage", u64::from(*stage));
+                push_u64_field(&mut out, "switch", u64::from(*switch));
+                push_u64_field(&mut out, "attempts", u64::from(*attempts));
+            }
+            EventKind::Rerouted {
+                packet,
+                stage,
+                switch,
+                output,
+            } => {
+                push_u64_field(&mut out, "packet", *packet);
+                push_u64_field(&mut out, "stage", u64::from(*stage));
+                push_u64_field(&mut out, "switch", u64::from(*switch));
+                push_u64_field(&mut out, "output", u64::from(*output));
             }
             EventKind::CycleSample {
                 occupied,
@@ -464,6 +557,29 @@ impl Event {
                 sink: get_u32("sink")?,
             },
             "misrouted" => EventKind::Misrouted {
+                packet: get_u64("packet")?,
+                sink: get_u32("sink")?,
+            },
+            "retransmit" => EventKind::Retransmit {
+                packet: get_u64("packet")?,
+                stage: get_u32("stage")?,
+                switch: get_u32("switch")?,
+                attempt: get_u32("attempt")?,
+                seq: get_u64("seq")?,
+            },
+            "gave_up" => EventKind::GaveUp {
+                packet: get_u64("packet")?,
+                stage: get_u32("stage")?,
+                switch: get_u32("switch")?,
+                attempts: get_u32("attempts")?,
+            },
+            "rerouted" => EventKind::Rerouted {
+                packet: get_u64("packet")?,
+                stage: get_u32("stage")?,
+                switch: get_u32("switch")?,
+                output: get_u32("output")?,
+            },
+            "recirculated" => EventKind::Recirculated {
                 packet: get_u64("packet")?,
                 sink: get_u32("sink")?,
             },
@@ -771,6 +887,41 @@ mod tests {
             EventKind::Misrouted {
                 packet: 46,
                 sink: 13,
+            },
+        ));
+        round_trip(Event::new(
+            17,
+            EventKind::Retransmit {
+                packet: 47,
+                stage: 1,
+                switch: 2,
+                attempt: 1,
+                seq: 9,
+            },
+        ));
+        round_trip(Event::new(
+            18,
+            EventKind::GaveUp {
+                packet: 47,
+                stage: 1,
+                switch: 2,
+                attempts: 3,
+            },
+        ));
+        round_trip(Event::new(
+            19,
+            EventKind::Rerouted {
+                packet: 48,
+                stage: 0,
+                switch: 3,
+                output: 2,
+            },
+        ));
+        round_trip(Event::new(
+            20,
+            EventKind::Recirculated {
+                packet: 48,
+                sink: 14,
             },
         ));
         round_trip(Event::new(

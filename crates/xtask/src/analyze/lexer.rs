@@ -200,7 +200,15 @@ impl Lexer {
         self.pos += prefix + 1; // past the opening quote
         while let Some(c) = self.peek(0) {
             match c {
-                '\\' => self.pos += 2, // escape: skip the escaped char
+                '\\' => {
+                    // A `\<newline>` continuation escapes the newline
+                    // itself; it is still a new source line, so count it
+                    // or every later token's line number drifts.
+                    if self.peek(1) == Some('\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2; // escape: skip the escaped char
+                }
                 '"' => {
                     self.pos += 1;
                     break;
@@ -417,6 +425,13 @@ mod tests {
         let tokens = lex("/* a\nb\nc */\nfn f() {}");
         let f = tokens.iter().find(|t| t.is_ident("fn")).unwrap();
         assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn string_continuation_escapes_still_count_their_newline() {
+        let tokens = lex("let s = \"a \\\n   b \\\n   c\";\nfn f() {}");
+        let f = tokens.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 4, "two \\<newline> continuations span two lines");
     }
 
     #[test]

@@ -1,9 +1,9 @@
-//! The eleven workspace lints, implemented over the structural scanner.
+//! The twelve workspace lints, implemented over the structural scanner.
 //!
 //! Lints 1–7 are the historical regex-era lints migrated onto token
 //! sequences and the brace tree (same semantics, fewer loopholes —
 //! `Box < dyn SwitchBuffer >` and friends no longer slip through
-//! whitespace). Lints 8–11 are new:
+//! whitespace). Lints 8–12 are new:
 //!
 //! 8. **unsafe-audit** — every `unsafe` block/impl/fn/trait carries a
 //!    `// SAFETY:` justification; every workspace crate except
@@ -28,6 +28,14 @@
 //!     flagged inside their brace spans. Scratch belongs in the owning
 //!     struct, hoisted to construction; waivers carry
 //!     `// lint: allow — why`.
+//! 12. **reject-reason-coverage** — every variant of `RejectReason`
+//!     (declared in `crates/core/src/error.rs`) must appear as a
+//!     `RejectReason::Variant` match-arm pattern in non-test code of
+//!     `crates/net/src`, the delivery path. The enum is
+//!     `#[non_exhaustive]`, so a new reject class compiles everywhere
+//!     without complaint; this lint makes the delivery path the one
+//!     place that *must* decide how to handle it (recoverable loss vs
+//!     structural bug).
 //!
 //! Every lint takes the parsed [`Workspace`] and appends [`Finding`]s;
 //! the driver times each entry of [`ALL`] so scan-speed regressions are
@@ -78,9 +86,9 @@ pub const UNSAFE_CRATE_DIR: &str = "crates/shard";
 /// A lint pass: appends findings for one structural rule.
 pub type LintFn = fn(&Workspace, &mut Vec<Finding>);
 
-/// The eleven lints, in order, with their display names. The driver
+/// The twelve lints, in order, with their display names. The driver
 /// times each entry individually.
-pub const ALL: [(&str, LintFn); 11] = [
+pub const ALL: [(&str, LintFn); 12] = [
     ("1 no-panic", no_panic),
     ("2 no-unseeded-rng", no_unseeded_rng),
     ("3 docs-mandatory", docs_mandatory),
@@ -92,6 +100,7 @@ pub const ALL: [(&str, LintFn); 11] = [
     ("9 determinism", determinism),
     ("10 metric-docs", metric_docs),
     ("11 hot-path-alloc", hot_path_alloc),
+    ("12 reject-reason-coverage", reject_reason_coverage),
 ];
 
 fn finding(file: &SourceFile, line: usize, message: String) -> Finding {
@@ -778,6 +787,112 @@ fn hot_path_alloc(ws: &Workspace, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Where the reject-reason enum lint 12 audits is declared.
+const REJECT_ENUM_FILE: &str = "crates/core/src/error.rs";
+
+/// The crate whose non-test code must match every reject variant (the
+/// network delivery path).
+const REJECT_HANDLER_DIR: &str = "crates/net/src/";
+
+/// The variants of `RejectReason`, read structurally from its enum
+/// declaration: idents directly inside the enum's brace span (depth 1,
+/// outside any parentheses) that open a variant — i.e. follow the `{`
+/// or a `,`. Unit, tuple and struct variants all parse; only the
+/// variant *names* are collected.
+pub fn reject_reason_variants(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut variants = Vec::new();
+    let code = &file.code;
+    let Some(open) = code
+        .windows(3)
+        .position(|w| w[0].is_ident("enum") && w[1].is_ident("RejectReason") && w[2].is_punct('{'))
+    else {
+        return variants;
+    };
+    let mut brace_depth = 0i32;
+    let mut paren_depth = 0i32;
+    let mut at_variant_start = false;
+    for tok in &code[open + 2..] {
+        if tok.is_punct('{') {
+            brace_depth += 1;
+            at_variant_start = brace_depth == 1;
+            continue;
+        }
+        if tok.is_punct('}') {
+            brace_depth -= 1;
+            if brace_depth == 0 {
+                break;
+            }
+            continue;
+        }
+        if tok.is_punct('(') {
+            paren_depth += 1;
+        } else if tok.is_punct(')') {
+            paren_depth -= 1;
+        } else if tok.is_punct(',') {
+            at_variant_start = brace_depth == 1 && paren_depth == 0;
+            continue;
+        } else if at_variant_start && tok.kind == TokenKind::Ident {
+            variants.push((tok.line, tok.text.clone()));
+        }
+        at_variant_start = false;
+    }
+    variants
+}
+
+/// Lint 12: reject-reason coverage. `RejectReason` is
+/// `#[non_exhaustive]`, so the delivery path's matches all carry a `_`
+/// arm and a newly added reject class would silently fall through
+/// everywhere. This lint closes the loop: every declared variant must
+/// appear as a `RejectReason::Variant` match-arm pattern (followed by
+/// `|` or `=>`) in non-test code under `crates/net/src`, so adding a
+/// variant forces an explicit delivery-path decision — recoverable loss
+/// (park/deflect/drop) or structural bug (debug assert).
+fn reject_reason_coverage(ws: &Workspace, findings: &mut Vec<Finding>) {
+    let Some(enum_file) = ws.file(REJECT_ENUM_FILE) else {
+        return; // partial workspaces (unit tests) have nothing to check
+    };
+    let variants = reject_reason_variants(enum_file);
+    if variants.is_empty() {
+        findings.push(finding(
+            enum_file,
+            1,
+            "lint 12 found no RejectReason variants — if the enum moved, \
+             update REJECT_ENUM_FILE in the analyzer"
+                .into(),
+        ));
+        return;
+    }
+    for (decl_line, variant) in variants {
+        let handled = ws.files_under(REJECT_HANDLER_DIR).into_iter().any(|file| {
+            file.code.iter().enumerate().any(|(i, tok)| {
+                tok.is_ident("RejectReason")
+                    && !file.in_test_code(tok.line)
+                    && file.code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && file.code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && file.code.get(i + 3).is_some_and(|t| t.is_ident(&variant))
+                    // A match-arm pattern: the next token starts `|` (an
+                    // or-pattern) or `=>` (the arm's arrow).
+                    && file
+                        .code
+                        .get(i + 4)
+                        .is_some_and(|t| t.is_punct('|') || t.is_punct('='))
+            })
+        });
+        if !handled {
+            findings.push(finding(
+                enum_file,
+                decl_line,
+                format!(
+                    "RejectReason::{variant} is never matched in the delivery path \
+                     ({REJECT_HANDLER_DIR}) — the enum is #[non_exhaustive], so decide \
+                     explicitly whether this reject class is recoverable loss or a \
+                     structural bug"
+                ),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -998,6 +1113,93 @@ mod tests {
         let (lo, hi, name) = spans[0];
         assert_eq!(name, "advance_stages");
         assert!(lo <= 1 && hi >= 5, "span {lo}..={hi} covers the loop");
+    }
+
+    const REJECT_ENUM_SRC: &str = "#[non_exhaustive]\n\
+         pub enum RejectReason {\n\
+         PacketTooLarge,\n\
+         BufferFull,\n\
+         Faulted,\n\
+         }\n";
+
+    #[test]
+    fn reject_variants_parse_structurally() {
+        let file = SourceFile::from_source(
+            PathBuf::from(REJECT_ENUM_FILE),
+            REJECT_ENUM_FILE.to_owned(),
+            "pub enum Other { A, B }\n\
+             pub enum RejectReason {\n\
+             Unit,\n\
+             Tuple(usize, String),\n\
+             Struct { len: usize, cap: usize },\n\
+             }\n",
+        );
+        let names: Vec<String> = reject_reason_variants(&file)
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["Unit", "Tuple", "Struct"],
+            "variant names only — no field idents, no other enums"
+        );
+    }
+
+    #[test]
+    fn reject_coverage_requires_every_variant_in_a_match() {
+        let ws = ws_with(vec![
+            (REJECT_ENUM_FILE, REJECT_ENUM_SRC),
+            (
+                "crates/net/src/network.rs",
+                "fn deliver() {\n\
+                 match r.reason {\n\
+                 RejectReason::BufferFull | RejectReason::Faulted => {}\n\
+                 _ => {}\n\
+                 }\n\
+                 let x = RejectReason::PacketTooLarge;\n\
+                 }\n",
+            ),
+        ]);
+        let findings = run(reject_reason_coverage, &ws);
+        assert_eq!(
+            findings.len(),
+            1,
+            "PacketTooLarge appears only as an expression, not an arm"
+        );
+        assert!(findings[0].message.contains("PacketTooLarge"));
+    }
+
+    #[test]
+    fn reject_coverage_ignores_test_code_and_passes_when_complete() {
+        let ws = ws_with(vec![
+            (REJECT_ENUM_FILE, REJECT_ENUM_SRC),
+            (
+                "crates/net/src/network.rs",
+                "fn deliver() {\n\
+                 match r.reason {\n\
+                 RejectReason::BufferFull | RejectReason::Faulted => {}\n\
+                 RejectReason::PacketTooLarge => {}\n\
+                 _ => {}\n\
+                 }\n\
+                 }\n",
+            ),
+        ]);
+        assert!(run(reject_reason_coverage, &ws).is_empty());
+
+        let ws = ws_with(vec![
+            (REJECT_ENUM_FILE, REJECT_ENUM_SRC),
+            (
+                "crates/net/src/network.rs",
+                "#[cfg(test)]\nmod tests {\n\
+                 fn t() { match r { RejectReason::BufferFull => {} _ => {} } }\n\
+                 }\n",
+            ),
+        ]);
+        assert_eq!(
+            run(reject_reason_coverage, &ws).len(),
+            3,
+            "matches inside test code do not count as delivery-path coverage"
+        );
     }
 
     #[test]

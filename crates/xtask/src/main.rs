@@ -3,7 +3,7 @@
 //!
 //! The analysis itself lives in the [`analyze`] module — a hand-rolled
 //! lexer, a brace tree, ten structural lints and the generated
-//! `docs/UNSAFE_LEDGER.md` inventory. The eleven lints (details in
+//! `docs/UNSAFE_LEDGER.md` inventory. The twelve lints (details in
 //! `docs/VERIFICATION.md` § Static analysis):
 //!
 //! 1. **No panics in simulator library code** (`crates/core`,

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# The repo's offline quality gate: static analysis (ten structural
+# The repo's offline quality gate: static analysis (twelve structural
 # lints + unsafe ledger + clippy + rustfmt), build, the full test suite
 # (with and without per-operation invariant audits), the exhaustive 2x2
 # model checker, the fault-injection smoke (self-healing harness +
 # resume), the observability smoke (metrics-registry golden + disabled
-# overhead), sanitizer smokes (miri + TSan, probed and skipped with a note
+# overhead), the chaos soak smoke (recovery protocols under randomized
+# fault storms, minimized-reproducer loop), sanitizer smokes (miri +
+# TSan, probed and skipped with a note
 # where the toolchain lacks them), and rustdoc with warnings denied
 # (`#![deny(missing_docs)]` in the crates turns any missing doc into a
 # hard failure here).
@@ -19,6 +21,7 @@
 #        scripts/check.sh parallel-smoke   # just the sharded-stepping smoke
 #        scripts/check.sh obs-smoke        # just the observability smoke
 #        scripts/check.sh soa-smoke        # just the SoA hot-path smoke
+#        scripts/check.sh chaos-smoke      # just the chaos soak smoke
 #        scripts/check.sh sanitizer-smoke  # miri + TSan, skip when unsupported
 set -Eeuo pipefail
 cd "$(dirname "$0")/.."
@@ -121,13 +124,35 @@ soa_smoke() {
     cargo bench -p damq-bench --bench no_op_registry_overhead
 }
 
-# Tentpole gate: the in-tree static analyzer. The ten structural lints
+# Satellite gate: the chaos soak harness around the recovery protocols.
+# Asserts (1) a seeded invariant mutation surfaces as a minimized,
+# replayable reproducer through the crash flight recorder (the
+# damq-bench integration test); (2) the CI-sized soak grid — randomized
+# per-epoch fault storms against live retransmission and rerouting,
+# invariants re-audited every epoch — completes clean through the real
+# binary.
+chaos_smoke() {
+    gate "chaos-smoke: seeded mutation yields a working reproducer"
+    cargo test -q -p damq-bench --test chaos_soak
+
+    gate "chaos-smoke: tiny soak grid stays clean"
+    local tmp
+    tmp="$(mktemp -d)"
+    DAMQ_RESULTS_DIR="$tmp" \
+        cargo run -q --release -p damq-bench --bin chaos_soak -- --smoke \
+        > /dev/null
+    # A clean soak leaves no flight dumps behind.
+    [ ! -d "$tmp/chaos_dumps" ] || [ -z "$(ls -A "$tmp/chaos_dumps")" ]
+    rm -rf "$tmp"
+}
+
+# Tentpole gate: the in-tree static analyzer. The twelve structural lints
 # (lexer-backed, no regex) must report zero findings, the generated
 # unsafe ledger must be fresh, and — in the full run — clippy and
 # rustfmt must agree. The bare-lint pass is budgeted at ~2s so it stays
 # cheap enough to run on every edit; the xtask prints per-lint timings.
 analyze() {
-    gate "analyze: ten structural lints + unsafe-ledger freshness"
+    gate "analyze: twelve structural lints + unsafe-ledger freshness"
     cargo xtask lint --no-cargo
 
     gate "analyze: clippy + rustfmt"
@@ -200,6 +225,11 @@ soa-smoke)
     echo "soa-smoke passed"
     exit 0
     ;;
+chaos-smoke)
+    chaos_smoke
+    echo "chaos-smoke passed"
+    exit 0
+    ;;
 sanitizer-smoke)
     sanitizer_smoke
     echo "sanitizer-smoke passed"
@@ -207,7 +237,7 @@ sanitizer-smoke)
     ;;
 all) ;;
 *)
-    echo "usage: scripts/check.sh [analyze|fault-smoke|parallel-smoke|obs-smoke|soa-smoke|sanitizer-smoke]" >&2
+    echo "usage: scripts/check.sh [analyze|fault-smoke|parallel-smoke|obs-smoke|soa-smoke|chaos-smoke|sanitizer-smoke]" >&2
     exit 2
     ;;
 esac
@@ -244,6 +274,8 @@ parallel_smoke
 obs_smoke
 
 soa_smoke
+
+chaos_smoke
 
 sanitizer_smoke
 
